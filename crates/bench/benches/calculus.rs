@@ -1,0 +1,118 @@
+//! Experiments Q1 and C8: declarative vs procedural selection (§5.2's
+//! claim that declarative syntax "allows much more access planning"), and
+//! the directory's effect on equality selections.
+//!
+//! Expected shape: procedural and declarative scans are comparable (the
+//! declarative path adds planning overhead but skips block dispatch); with
+//! a directory, equality selections stop scaling with collection size.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemstone_bench::{build_employees, fresh};
+
+fn selection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C8_selection");
+    group.sample_size(15);
+    for &n in &[100usize, 1000, 4000] {
+        // Procedural scan (block dispatch per element).
+        let (_gs, mut s) = fresh();
+        let salaries = build_employees(&mut s, n);
+        let probe = salaries[n / 2];
+        group.bench_function(BenchmarkId::new("procedural_scan", n), |b| {
+            b.iter(|| {
+                let v = s
+                    .run(&format!(
+                        "| out | out := OrderedCollection new.
+                         Employees do: [:e | (e at: #Salary) = {probe} ifTrue: [out add: e]].
+                         out size"
+                    ))
+                    .unwrap();
+                black_box(v)
+            })
+        });
+        // Declarative, no directory: planned scan.
+        group.bench_function(BenchmarkId::new("declarative_scan", n), |b| {
+            b.iter(|| {
+                let v = s
+                    .run(&format!("(Employees select: [:e | e Salary = {probe}]) size"))
+                    .unwrap();
+                black_box(v)
+            })
+        });
+        // Declarative with a directory (§6 hint).
+        s.run("System createIndexOn: Employees path: #Salary").unwrap();
+        s.commit().unwrap();
+        group.bench_function(BenchmarkId::new("declarative_indexed", n), |b| {
+            b.iter(|| {
+                let v = s
+                    .run(&format!("(Employees select: [:e | e Salary = {probe}]) size"))
+                    .unwrap();
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn section51_query(c: &mut Criterion) {
+    // The paper's flagship query at a realistic size, end to end.
+    let mut group = c.benchmark_group("Q1_section51");
+    group.sample_size(10);
+    let (_gs, mut s) = fresh();
+    s.run(
+        "| d |
+         Departments := Set new.
+         d := Dictionary new. d at: #Name put: 'Sales'. d at: #Budget put: 142000.
+         d at: #Managers put: Set new. (d at: #Managers) add: 'Nathen'; add: 'Roberts'.
+         Departments add: d.
+         d := Dictionary new. d at: #Name put: 'Research'. d at: #Budget put: 256500.
+         d at: #Managers put: Set new. (d at: #Managers) add: 'Carter'.
+         Departments add: d",
+    )
+    .unwrap();
+    s.run(
+        "| e |
+         Employees := Set new.
+         1 to: 500 do: [:i |
+             e := Dictionary new.
+             e at: #Salary put: 10000 + ((i * 631) \\\\ 30000).
+             e at: #Depts put: Set new.
+             (e at: #Depts) add: ((i \\\\ 2) = 0 ifTrue: ['Sales'] ifFalse: ['Research']).
+             Employees add: e]",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    group.bench_function("procedural", |b| {
+        b.iter(|| {
+            let v = s
+                .run(
+                    "| n | n := 0.
+                     Employees do: [:e |
+                         Departments do: [:d |
+                             (((e at: #Depts) includes: (d at: #Name))
+                               and: [(e at: #Salary) > (0.10 * (d at: #Budget))])
+                                 ifTrue: [n := n + ((d at: #Managers) size)]]].
+                     n",
+                )
+                .unwrap();
+            black_box(v)
+        })
+    });
+    group.bench_function("declarative_inner_select", |b| {
+        b.iter(|| {
+            let v = s
+                .run(
+                    "| n | n := 0.
+                     Departments do: [:d |
+                         n := n + ((Employees select:
+                               [:e | e Salary > (0.10 * (d at: #Budget))]) size)].
+                     n",
+                )
+                .unwrap();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, selection, section51_query);
+criterion_main!(benches);

@@ -1,0 +1,108 @@
+//! Experiment C5 + the track-size ablation (DESIGN.md §4.2): cost of the
+//! safe-write commit pipeline (Linker → Boxer → Commit Manager) as batch
+//! size and track size vary.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemstone_object::{ClassId, ElemName, PRef, SegmentId};
+use gemstone_storage::{ObjectDelta, PermanentStore, StoreConfig};
+use gemstone_temporal::TxnTime;
+
+fn delta(store: &mut PermanentStore, value: i64, is_new: bool, goop: gemstone_object::Goop) -> ObjectDelta {
+    let _ = store;
+    ObjectDelta {
+        goop,
+        class: ClassId(3),
+        segment: SegmentId(0),
+        alias_next: 0,
+        elem_writes: vec![(ElemName::Int(0), PRef::int(value))],
+        bytes_write: None,
+        is_new,
+    }
+}
+
+fn commit_batch_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C5_commit_batch");
+    group.sample_size(20);
+    for &batch in &[1usize, 16, 256] {
+        group.bench_function(BenchmarkId::new("objects", batch), |b| {
+            b.iter_with_setup(
+                || {
+                    let mut store = PermanentStore::create(StoreConfig::default()).unwrap();
+                    let deltas: Vec<ObjectDelta> = (0..batch)
+                        .map(|i| {
+                            let g = store.alloc_goop();
+                            delta(&mut store, i as i64, true, g)
+                        })
+                        .collect();
+                    (store, deltas)
+                },
+                |(mut store, deltas)| {
+                    store.commit_batch(TxnTime::from_ticks(1), &deltas).unwrap();
+                    black_box(store.disk_stats().track_writes)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn track_size_ablation(c: &mut Criterion) {
+    // §6: "Disk access will always be by entire tracks" — what does track
+    // size cost? Small tracks mean more writes per group; large tracks mean
+    // more bytes per write.
+    let mut group = c.benchmark_group("C5_track_size");
+    group.sample_size(20);
+    for &track_size in &[1024usize, 8192, 65536] {
+        group.bench_function(BenchmarkId::new("bytes", track_size), |b| {
+            b.iter_with_setup(
+                || {
+                    let cfg = StoreConfig { track_size, cache_tracks: 64, replicas: 1 };
+                    let mut store = PermanentStore::create(cfg).unwrap();
+                    let deltas: Vec<ObjectDelta> = (0..64)
+                        .map(|i| {
+                            let g = store.alloc_goop();
+                            delta(&mut store, i as i64, true, g)
+                        })
+                        .collect();
+                    (store, deltas)
+                },
+                |(mut store, deltas)| {
+                    store.commit_batch(TxnTime::from_ticks(1), &deltas).unwrap();
+                    black_box((store.disk_stats().track_writes, store.disk_stats().bytes_written))
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn replication_cost(c: &mut Criterion) {
+    // C10's write-path price: every track lands on every replica.
+    let mut group = c.benchmark_group("C10_replication");
+    group.sample_size(20);
+    for &replicas in &[1usize, 2, 3] {
+        group.bench_function(BenchmarkId::new("replicas", replicas), |b| {
+            b.iter_with_setup(
+                || {
+                    let cfg = StoreConfig { track_size: 8192, cache_tracks: 64, replicas };
+                    let mut store = PermanentStore::create(cfg).unwrap();
+                    let deltas: Vec<ObjectDelta> = (0..32)
+                        .map(|i| {
+                            let g = store.alloc_goop();
+                            delta(&mut store, i as i64, true, g)
+                        })
+                        .collect();
+                    (store, deltas)
+                },
+                |(mut store, deltas)| {
+                    store.commit_batch(TxnTime::from_ticks(1), &deltas).unwrap();
+                    black_box(store.disk_stats().track_writes)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, commit_batch_size, track_size_ablation, replication_cost);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Experiment C3: temporal access cost (§5.3 / §6).
+//!
+//! "The mapping from arbitrary times to value for an element can easily be
+//! realized from this table" — measured: current reads stay O(1) regardless
+//! of history length; as-of reads pay the association-table lookup (linear
+//! for short histories, binary search past the directory threshold), so
+//! latency grows logarithmically. Also measures the full-system path
+//! `E ! balance @ T` through a session.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemstone_bench::fresh;
+use gemstone_temporal::{History, TxnTime};
+
+fn t(n: u64) -> TxnTime {
+    TxnTime::from_ticks(n)
+}
+
+fn history_reads(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C3_history_reads");
+    for &len in &[4usize, 64, 1024, 16384] {
+        let h: History<u64> = (1..=len as u64).map(|i| (t(i * 2), i)).collect();
+        group.bench_with_input(BenchmarkId::new("current", len), &h, |b, h| {
+            b.iter(|| black_box(h.current()))
+        });
+        group.bench_with_input(BenchmarkId::new("as_of_mid", len), &h, |b, h| {
+            let probe = t(len as u64); // middle of the range
+            b.iter(|| black_box(h.as_of(probe)))
+        });
+        group.bench_with_input(BenchmarkId::new("as_of_oldest", len), &h, |b, h| {
+            b.iter(|| black_box(h.as_of(t(2))))
+        });
+    }
+    group.finish();
+}
+
+fn history_writes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C3_history_append");
+    // Appending to a long history must stay O(1) amortized: histories grow
+    // forever (§6: "database objects in the past never go away").
+    for &len in &[64usize, 16384] {
+        group.bench_function(BenchmarkId::new("append_after", len), |b| {
+            b.iter_with_setup(
+                || (1..=len as u64).map(|i| (t(i), i)).collect::<History<u64>>(),
+                |mut h| {
+                    h.write_committed(t(len as u64 + 1), 0);
+                    black_box(h)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn session_temporal_paths(c: &mut Criterion) {
+    // Full-system: one account updated `n` times; read `balance @ t`
+    // through OPAL paths.
+    let mut group = c.benchmark_group("C3_session_as_of");
+    group.sample_size(20);
+    for &versions in &[8usize, 128, 1024] {
+        let (_gs, mut s) = fresh();
+        s.run("A := Dictionary new. A at: #balance put: 0").unwrap();
+        s.commit().unwrap();
+        for i in 0..versions {
+            s.run(&format!("A at: #balance put: {i}")).unwrap();
+            s.commit().unwrap();
+        }
+        let mid = (versions / 2).max(2);
+        group.bench_function(BenchmarkId::new("path_at_mid", versions), |b| {
+            b.iter(|| {
+                let v = s.run(&format!("A ! balance @ {mid}")).unwrap();
+                black_box(v)
+            })
+        });
+        group.bench_function(BenchmarkId::new("path_current", versions), |b| {
+            b.iter(|| {
+                let v = s.run("A ! balance").unwrap();
+                black_box(v)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, history_reads, history_writes, session_temporal_paths);
+criterion_main!(benches);

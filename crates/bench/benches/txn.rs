@@ -1,0 +1,89 @@
+//! Experiment C4: optimistic transaction throughput (§6's Transaction
+//! Manager) — commit latency vs batch size, and validation-grain ablation
+//! (DESIGN.md §4.5) at the Transaction Manager level.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use gemstone_bench::{build_accounts, fresh, rng};
+use gemstone_object::{ElemName, Goop, SymbolId};
+use gemstone_temporal::TxnTime;
+use gemstone_txn::{AccessSet, SlotId, TransactionManager, ValidationGrain};
+use rand::Rng;
+
+fn commit_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("C4_commit_latency");
+    group.sample_size(15);
+    for &writes in &[1usize, 10, 100] {
+        let (_gs, mut s) = fresh();
+        build_accounts(&mut s, 200);
+        let mut r = rng(7);
+        group.bench_function(BenchmarkId::new("writes_per_txn", writes), |b| {
+            b.iter(|| {
+                let mut src = String::new();
+                for _ in 0..writes {
+                    let i = r.gen_range(0..200);
+                    src.push_str(&format!(
+                        "(Accounts at: {i}) at: #balance put: ((Accounts at: {i}) at: #balance) + 1.\n"
+                    ));
+                }
+                s.run(&src).unwrap();
+                black_box(s.commit().unwrap())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn validation_grain(c: &mut Criterion) {
+    // Pure Transaction-Manager microbench: validation cost and abort rate
+    // at element vs whole-object grain under a skewed workload.
+    let mut group = c.benchmark_group("C4_validation_grain");
+    for grain in [ValidationGrain::Element, ValidationGrain::Object] {
+        group.bench_function(BenchmarkId::new("validate", format!("{grain:?}")), |b| {
+            b.iter_with_setup(
+                || TransactionManager::with_grain(TxnTime::EPOCH, grain),
+                |tm| {
+                    let mut r = rng(3);
+                    let mut aborts = 0u32;
+                    for _ in 0..200 {
+                        let t1 = tm.begin();
+                        let t2 = tm.begin();
+                        let obj = Goop(r.gen_range(0..10));
+                        let e1 = ElemName::Sym(SymbolId(r.gen_range(0..4)));
+                        let e2 = ElemName::Sym(SymbolId(r.gen_range(0..4)));
+                        let mut s1 = AccessSet::new();
+                        s1.record(SlotId::Elem(obj, e1));
+                        let mut s2 = AccessSet::new();
+                        s2.record(SlotId::Elem(obj, e2));
+                        tm.commit(t1, &s1, &s1).unwrap();
+                        if tm.commit(t2, &s2, &s2).is_err() {
+                            aborts += 1;
+                        }
+                    }
+                    black_box(aborts)
+                },
+            )
+        });
+    }
+    group.finish();
+}
+
+fn read_only_throughput(c: &mut Criterion) {
+    // Read-only transactions validate without consuming transaction times.
+    let mut group = c.benchmark_group("C4_read_only");
+    group.sample_size(20);
+    let (_gs, mut s) = fresh();
+    build_accounts(&mut s, 100);
+    group.bench_function("read_100_commit", |b| {
+        b.iter(|| {
+            let v = s
+                .run("Accounts __elements inject: 0 into: [:a :e | a + (e at: #balance)]")
+                .unwrap();
+            s.commit().unwrap();
+            black_box(v)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, commit_latency, validation_grain, read_only_throughput);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Shared workload builders for the GemStone benchmark harness.
+//!
+//! Every experiment in DESIGN.md §3 maps either to a Criterion bench in
+//! `benches/` (latency-shaped results) or to a counted series printed by
+//! `src/bin/report.rs` (fault counts, abort rates, disk traffic — the
+//! quantities the paper's architectural claims are about).
+
+use gemstone::{GemStone, Session, StoreConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A deterministic RNG for workloads.
+pub fn rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+/// A fresh in-memory GemStone plus a logged-in session.
+pub fn fresh() -> (GemStone, Session) {
+    let gs = GemStone::create(StoreConfig::default()).expect("db");
+    let s = gs.login("system").expect("login");
+    (gs, s)
+}
+
+/// Populate `Employees` (a committed Set global) with `n` synthetic staff
+/// carrying `Salary`, `Dept` and `Name` elements. Returns the salary values
+/// used, in insertion order.
+pub fn build_employees(s: &mut Session, n: usize) -> Vec<i64> {
+    let mut r = rng(42);
+    s.run("Employees := Set new").expect("create");
+    let mut salaries = Vec::with_capacity(n);
+    for chunk in (0..n).collect::<Vec<_>>().chunks(500) {
+        let mut src = String::from("| e |\n");
+        for &i in chunk {
+            let salary = 18_000 + r.gen_range(0..20_000) as i64;
+            salaries.push(salary);
+            src.push_str(&format!(
+                "e := Dictionary new. e at: #Salary put: {salary}. \
+                 e at: #Dept put: {}. e at: #Name put: 'emp{i}'. Employees add: e.\n",
+                i % 7
+            ));
+        }
+        s.run(&src).expect("populate");
+        s.commit().expect("commit");
+    }
+    salaries
+}
+
+/// Build an `Accounts` dictionary of `n` accounts for contention workloads.
+pub fn build_accounts(s: &mut Session, n: usize) {
+    for chunk in (0..n).collect::<Vec<_>>().chunks(500) {
+        let mut src = String::from("| a |\n");
+        if chunk[0] == 0 {
+            src.push_str("Accounts := Dictionary new.\n");
+        }
+        for &i in chunk {
+            src.push_str(&format!(
+                "a := Dictionary new. a at: #balance put: 1000. Accounts at: {i} put: a.\n"
+            ));
+        }
+        s.run(&src).expect("accounts");
+        s.commit().expect("commit");
+    }
+}

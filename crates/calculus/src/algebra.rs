@@ -1,0 +1,207 @@
+//! The set algebra and its evaluator.
+//!
+//! Operators are *dependent*: a scan's domain term may reference variables
+//! bound to its left, which is what lets the algebra realize calculus ranges
+//! like `m ∈ d!Managers` directly (§5.1's "variables can be bound to
+//! functions of other variables").
+
+use crate::ast::{self, Pred, Query, Term, VarId};
+use crate::QueryContext;
+use gemstone_object::{ElemName, GemResult, Oop};
+
+/// A (partial) environment: one slot per range variable.
+pub type Binding = Vec<Oop>;
+
+/// An algebra expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgExpr {
+    /// The empty binding.
+    Unit,
+    /// Bind `var` to each element value of `domain`.
+    Scan { var: VarId, domain: Term },
+    /// Bind `var` to the members of `domain` whose `path` value equals
+    /// `key` — served by a directory when one covers the collection,
+    /// otherwise by scan-and-filter. Replaces `Scan + Select(path = key)`.
+    IndexScan { var: VarId, domain: Term, path: Vec<ElemName>, key: Term },
+    /// Bind `var` to the members of `domain` whose `path` value lies in the
+    /// half-open/closed interval — the directory's range scan. Bounds are
+    /// `(term, inclusive)`. Replaces `Scan + Select(path </<=/>/>= key)`.
+    IndexRangeScan {
+        var: VarId,
+        domain: Term,
+        path: Vec<ElemName>,
+        lo: Option<(Term, bool)>,
+        hi: Option<(Term, bool)>,
+    },
+    /// Filter bindings by a residual predicate.
+    Select { input: Box<AlgExpr>, pred: Pred },
+    /// Dependent product: for each left binding, evaluate the right.
+    NestJoin { left: Box<AlgExpr>, right: Box<AlgExpr> },
+}
+
+impl AlgExpr {
+    /// Pretty printer for plan inspection (EXPERIMENTS.md shows plans).
+    pub fn describe(&self) -> String {
+        match self {
+            AlgExpr::Unit => "unit".into(),
+            AlgExpr::Scan { var, .. } => format!("scan v{}", var.0),
+            AlgExpr::IndexScan { var, path, .. } => {
+                format!("index-scan v{} on path({} names)", var.0, path.len())
+            }
+            AlgExpr::IndexRangeScan { var, path, .. } => {
+                format!("index-range-scan v{} on path({} names)", var.0, path.len())
+            }
+            AlgExpr::Select { input, .. } => format!("select({})", input.describe()),
+            AlgExpr::NestJoin { left, right } => {
+                format!("({} ⋈ {})", left.describe(), right.describe())
+            }
+        }
+    }
+
+    /// True if any index scan appears in the plan.
+    pub fn uses_index(&self) -> bool {
+        match self {
+            AlgExpr::Unit | AlgExpr::Scan { .. } => false,
+            AlgExpr::IndexScan { .. } | AlgExpr::IndexRangeScan { .. } => true,
+            AlgExpr::Select { input, .. } => input.uses_index(),
+            AlgExpr::NestJoin { left, right } => left.uses_index() || right.uses_index(),
+        }
+    }
+}
+
+/// Evaluate an algebra expression, extending `base` bindings.
+fn eval<C: QueryContext>(
+    ctx: &mut C,
+    expr: &AlgExpr,
+    base: &Binding,
+) -> GemResult<Vec<Binding>> {
+    match expr {
+        AlgExpr::Unit => Ok(vec![base.clone()]),
+        AlgExpr::Scan { var, domain } => {
+            let d = ast::eval_term(ctx, domain, base)?;
+            let mut out = Vec::new();
+            for m in ctx.elements(d)? {
+                let mut env = base.clone();
+                env[var.0 as usize] = m;
+                out.push(env);
+            }
+            Ok(out)
+        }
+        AlgExpr::IndexScan { var, domain, path, key } => {
+            let d = ast::eval_term(ctx, domain, base)?;
+            let k = ast::eval_term(ctx, key, base)?;
+            let members = match ctx.index_lookup(d, path, k)? {
+                Some(members) => members,
+                None => {
+                    // No directory after all: scan and filter on the path.
+                    let mut kept = Vec::new();
+                    for m in ctx.elements(d)? {
+                        let mut v = m;
+                        for n in path {
+                            v = ctx.elem(v, *n)?;
+                        }
+                        if ctx.equals(v, k)? {
+                            kept.push(m);
+                        }
+                    }
+                    kept
+                }
+            };
+            let mut out = Vec::new();
+            for m in members {
+                let mut env = base.clone();
+                env[var.0 as usize] = m;
+                out.push(env);
+            }
+            Ok(out)
+        }
+        AlgExpr::IndexRangeScan { var, domain, path, lo, hi } => {
+            let d = ast::eval_term(ctx, domain, base)?;
+            let lo_v = match lo {
+                Some((t, inc)) => Some((ast::eval_term(ctx, t, base)?, *inc)),
+                None => None,
+            };
+            let hi_v = match hi {
+                Some((t, inc)) => Some((ast::eval_term(ctx, t, base)?, *inc)),
+                None => None,
+            };
+            let members = match ctx.index_range(d, path, lo_v, hi_v)? {
+                Some(members) => members,
+                None => {
+                    // No directory: scan and test the bounds.
+                    let mut kept = Vec::new();
+                    for m in ctx.elements(d)? {
+                        let mut v = m;
+                        for n in path {
+                            v = ctx.elem(v, *n)?;
+                        }
+                        let mut ok = true;
+                        if let Some((b, inc)) = lo_v {
+                            ok &= match ctx.compare(v, b)? {
+                                Some(std::cmp::Ordering::Greater) => true,
+                                Some(std::cmp::Ordering::Equal) => inc,
+                                _ => false,
+                            };
+                        }
+                        if ok {
+                            if let Some((b, inc)) = hi_v {
+                                ok &= match ctx.compare(v, b)? {
+                                    Some(std::cmp::Ordering::Less) => true,
+                                    Some(std::cmp::Ordering::Equal) => inc,
+                                    _ => false,
+                                };
+                            }
+                        }
+                        if ok {
+                            kept.push(m);
+                        }
+                    }
+                    kept
+                }
+            };
+            let mut out = Vec::new();
+            for m in members {
+                let mut env = base.clone();
+                env[var.0 as usize] = m;
+                out.push(env);
+            }
+            Ok(out)
+        }
+        AlgExpr::Select { input, pred } => {
+            let mut out = Vec::new();
+            for env in eval(ctx, input, base)? {
+                if ast::eval_pred(ctx, pred, &env)? {
+                    out.push(env);
+                }
+            }
+            Ok(out)
+        }
+        AlgExpr::NestJoin { left, right } => {
+            let mut out = Vec::new();
+            for env in eval(ctx, left, base)? {
+                out.extend(eval(ctx, right, &env)?);
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Run a plan and project each surviving binding through the query's result
+/// template.
+pub fn eval_algebra<C: QueryContext>(
+    ctx: &mut C,
+    plan: &AlgExpr,
+    query: &Query,
+) -> GemResult<Vec<Vec<Oop>>> {
+    let base: Binding = vec![Oop::NIL; query.var_count()];
+    let bindings = eval(ctx, plan, &base)?;
+    let mut out = Vec::with_capacity(bindings.len());
+    for env in bindings {
+        let mut tuple = Vec::with_capacity(query.result.len());
+        for (_, term) in &query.result {
+            tuple.push(ast::eval_term(ctx, term, &env)?);
+        }
+        out.push(tuple);
+    }
+    Ok(out)
+}

@@ -1,0 +1,124 @@
+//! The GemStone set calculus and set algebra (§3, §5.1, §6).
+//!
+//! "We have developed a set algebra, and an algorithm to translate a
+//! set-calculus expression to a set-algebra expression." The declarative
+//! layer is what lets GemStone do "access planning … much more [than] with
+//! an equivalent query specified procedurally" (§5.2), and §6 notes the
+//! OPAL compiler needed "a large addition … to translate calculus
+//! expressions into procedural form". This crate is that addition:
+//!
+//! * [`Query`] — the calculus: range variables over set-valued terms
+//!   (domains may mention earlier variables), a predicate, and a result
+//!   template;
+//! * [`AlgExpr`] — the algebra: dependent scans, selections, index scans,
+//!   and the template projection;
+//! * [`translate`] — the calculus→algebra algorithm: conjunct extraction,
+//!   predicate pushdown, and directory-aware scan replacement;
+//! * [`QueryContext`] — the object-graph interface the evaluator runs
+//!   against, implemented by the core crate's sessions (and by a mock here
+//!   for unit tests).
+//!
+//! The calculus is deliberately *isomorphic* to the pre-merger STDM calculus
+//! in `gemstone-stdm`; it differs in operating over [`Oop`]s and interned
+//! [`ElemName`]s so it can run inside the Object Manager with entity
+//! identity preserved.
+
+mod algebra;
+mod ast;
+mod translate;
+
+pub use algebra::{eval_algebra, AlgExpr, Binding};
+pub use ast::{CmpOp, Pred, Query, Range, Term, VarId};
+pub use translate::{translate, IndexCatalog};
+
+use gemstone_object::{ElemName, GemResult, Oop};
+
+/// The object-graph view a query evaluates against. Implementations decide
+/// how elements are fetched (workspace, permanent store, past state via the
+/// time dial) and whether a directory covers a collection.
+pub trait QueryContext {
+    /// The value of `obj`'s element `name` (nil if absent).
+    fn elem(&mut self, obj: Oop, name: ElemName) -> GemResult<Oop>;
+
+    /// The present element values of a collection, in element-name order.
+    fn elements(&mut self, obj: Oop) -> GemResult<Vec<Oop>>;
+
+    /// Structural equivalence (`=`).
+    fn equals(&mut self, a: Oop, b: Oop) -> GemResult<bool>;
+
+    /// Ordering for `<`/`>` comparisons (numbers and strings).
+    fn compare(&mut self, a: Oop, b: Oop) -> GemResult<Option<std::cmp::Ordering>>;
+
+    /// If a directory indexes `collection` on `path`, return the members
+    /// whose path value equals `key` — otherwise `None` and the evaluator
+    /// falls back to a scan. This is how "hints given in OPAL for
+    /// structuring directories" (§6) reach query evaluation.
+    fn index_lookup(
+        &mut self,
+        collection: Oop,
+        path: &[ElemName],
+        key: Oop,
+    ) -> GemResult<Option<Vec<Oop>>>;
+
+    /// Range analogue of [`Self::index_lookup`]: members whose path value
+    /// lies in `(lo, hi)` with the given inclusivities (`None` bound =
+    /// unbounded). Returns `None` when no directory covers the collection.
+    fn index_range(
+        &mut self,
+        _collection: Oop,
+        _path: &[ElemName],
+        _lo: Option<(Oop, bool)>,
+        _hi: Option<(Oop, bool)>,
+    ) -> GemResult<Option<Vec<Oop>>> {
+        Ok(None)
+    }
+}
+
+/// Evaluate a calculus query: translate to algebra (using `indexes` to spot
+/// usable directories), then run the algebra. Returns one binding tuple per
+/// result, in template order.
+pub fn eval_query<C: QueryContext>(
+    ctx: &mut C,
+    query: &Query,
+    indexes: &IndexCatalog,
+) -> GemResult<Vec<Vec<Oop>>> {
+    let alg = translate(query, indexes);
+    eval_algebra(ctx, &alg, query)
+}
+
+/// Evaluate by the calculus' direct semantics (pure nested loops, no
+/// planning). The algebra must agree with this — checked by tests and
+/// property tests.
+pub fn eval_naive<C: QueryContext>(ctx: &mut C, query: &Query) -> GemResult<Vec<Vec<Oop>>> {
+    let mut out = Vec::new();
+    let mut env: Vec<Oop> = vec![Oop::NIL; query.var_count()];
+    naive_ranges(ctx, query, 0, &mut env, &mut out)?;
+    Ok(out)
+}
+
+fn naive_ranges<C: QueryContext>(
+    ctx: &mut C,
+    query: &Query,
+    depth: usize,
+    env: &mut Vec<Oop>,
+    out: &mut Vec<Vec<Oop>>,
+) -> GemResult<()> {
+    if depth == query.ranges.len() {
+        if ast::eval_pred(ctx, &query.pred, env)? {
+            let mut tuple = Vec::with_capacity(query.result.len());
+            for (_, term) in &query.result {
+                tuple.push(ast::eval_term(ctx, term, env)?);
+            }
+            out.push(tuple);
+        }
+        return Ok(());
+    }
+    let range = &query.ranges[depth];
+    let domain = ast::eval_term(ctx, &range.domain, env)?;
+    for v in ctx.elements(domain)? {
+        env[range.var.0 as usize] = v;
+        naive_ranges(ctx, query, depth + 1, env, out)?;
+    }
+    env[range.var.0 as usize] = Oop::NIL;
+    Ok(())
+}

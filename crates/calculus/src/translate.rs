@@ -1,0 +1,382 @@
+//! The calculus → algebra translation algorithm.
+//!
+//! §3 / §8: the translation algorithm ("Fred Boals did the initial work on
+//! the set calculus to set algebra translation algorithm, and Bob Johnson
+//! brought it to its current form"). The strategy:
+//!
+//! 1. split the predicate into conjuncts;
+//! 2. visit ranges in declaration order, building a left-deep tree of
+//!    dependent scans;
+//! 3. *push down* each conjunct to the earliest point where all its
+//!    variables are bound;
+//! 4. when the conjunct being pushed is an equality between the newly
+//!    scanned variable's path and an already-computable key, and a
+//!    directory plausibly covers that path, fuse scan + selection into an
+//!    [`AlgExpr::IndexScan`].
+
+use crate::algebra::AlgExpr;
+use crate::ast::{CmpOp, Pred, Query, Term, VarId};
+use gemstone_object::ElemName;
+use std::collections::HashSet;
+
+/// Which element paths have directories built over them. Translation only
+/// needs plausibility; the [`crate::QueryContext`] makes the final call per
+/// collection at run time.
+#[derive(Debug, Default, Clone)]
+pub struct IndexCatalog {
+    paths: HashSet<Vec<ElemName>>,
+}
+
+impl IndexCatalog {
+    /// An empty catalog (every query plans as pure scans).
+    pub fn new() -> IndexCatalog {
+        IndexCatalog::default()
+    }
+
+    /// Register that directories exist over `path`.
+    pub fn add_path(&mut self, path: Vec<ElemName>) {
+        self.paths.insert(path);
+    }
+
+    /// True if some directory covers `path`.
+    pub fn covers(&self, path: &[ElemName]) -> bool {
+        self.paths.contains(path)
+    }
+}
+
+/// Translate a calculus query into an algebra plan.
+pub fn translate(query: &Query, indexes: &IndexCatalog) -> AlgExpr {
+    let mut remaining: Vec<Pred> = query.pred.clone().conjuncts();
+    let mut bound: Vec<VarId> = Vec::new();
+    let mut plan = AlgExpr::Unit;
+
+    for range in &query.ranges {
+        // Try to find an indexable equality conjunct for this range's var,
+        // then fall back to range-bound conjuncts.
+        let mut fused: Option<(Vec<ElemName>, Term)> = None;
+        if let Some(pos) = remaining.iter().position(|c| {
+            indexable_key(c, range.var, &bound, indexes).is_some()
+        }) {
+            let c = remaining.remove(pos);
+            fused = indexable_key(&c, range.var, &bound, indexes);
+        }
+        let scan = match fused {
+            Some((path, key)) => AlgExpr::IndexScan {
+                var: range.var,
+                domain: range.domain.clone(),
+                path,
+                key,
+            },
+            None => match extract_range_bounds(&mut remaining, range.var, &bound, indexes) {
+                Some((path, lo, hi)) => AlgExpr::IndexRangeScan {
+                    var: range.var,
+                    domain: range.domain.clone(),
+                    path,
+                    lo,
+                    hi,
+                },
+                None => AlgExpr::Scan { var: range.var, domain: range.domain.clone() },
+            },
+        };
+        plan = if matches!(plan, AlgExpr::Unit) {
+            scan
+        } else {
+            AlgExpr::NestJoin { left: Box::new(plan), right: Box::new(scan) }
+        };
+        bound.push(range.var);
+
+        // Push down every conjunct now fully bound.
+        let (ready, rest): (Vec<Pred>, Vec<Pred>) =
+            remaining.into_iter().partition(|c| {
+                let mut vs = Vec::new();
+                c.vars(&mut vs);
+                vs.iter().all(|v| bound.contains(v))
+            });
+        remaining = rest;
+        if !ready.is_empty() {
+            let pred = ready.into_iter().reduce(Pred::and).unwrap();
+            plan = AlgExpr::Select { input: Box::new(plan), pred };
+        }
+    }
+
+    // Conjuncts over no range variables (constants / root-only): final filter.
+    if !remaining.is_empty() {
+        let pred = remaining.into_iter().reduce(Pred::and).unwrap();
+        plan = AlgExpr::Select { input: Box::new(plan), pred };
+    }
+    plan
+}
+
+type Bound = Option<(Term, bool)>;
+
+/// Collect `var!path </<=/>/>= key` conjuncts over ONE indexed path into an
+/// interval, removing the conjuncts it absorbs. Returns `None` when no
+/// range-indexable conjunct exists.
+fn extract_range_bounds(
+    remaining: &mut Vec<Pred>,
+    var: VarId,
+    bound: &[VarId],
+    indexes: &IndexCatalog,
+) -> Option<(Vec<ElemName>, Bound, Bound)> {
+    // Find the first range-shaped conjunct to fix the path.
+    let first = remaining
+        .iter()
+        .position(|c| range_bound(c, var, bound, indexes).is_some())?;
+    let (path, _, _) = range_bound(&remaining[first], var, bound, indexes).unwrap();
+    let mut lo: Bound = None;
+    let mut hi: Bound = None;
+    let mut i = 0;
+    while i < remaining.len() {
+        match range_bound(&remaining[i], var, bound, indexes) {
+            Some((p, new_lo, new_hi)) if p == path => {
+                // First bound of each side wins; later ones stay as filters.
+                let take_lo = new_lo.is_some() && lo.is_none();
+                let take_hi = new_hi.is_some() && hi.is_none();
+                if take_lo || take_hi {
+                    if take_lo {
+                        lo = new_lo;
+                    }
+                    if take_hi {
+                        hi = new_hi;
+                    }
+                    remaining.remove(i);
+                    continue;
+                }
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    Some((path, lo, hi))
+}
+
+/// If `conj` is a comparison between `var!path` and a computable key over an
+/// indexed path, return the bound it contributes.
+fn range_bound(
+    conj: &Pred,
+    var: VarId,
+    bound: &[VarId],
+    indexes: &IndexCatalog,
+) -> Option<(Vec<ElemName>, Bound, Bound)> {
+    let Pred::Cmp(a, op, b) = conj else { return None };
+    // Normalize to path-op-key.
+    let (path, op, key) = match (a, b) {
+        (Term::Path(v, p), _) if *v == var => (p, *op, b),
+        (_, Term::Path(v, p)) if *v == var => (p, flip(*op), a),
+        _ => return None,
+    };
+    if path.is_empty() || !indexes.covers(path) {
+        return None;
+    }
+    let mut vs = Vec::new();
+    key.vars(&mut vs);
+    if !vs.iter().all(|u| bound.contains(u)) {
+        return None;
+    }
+    let k = key.clone();
+    match op {
+        CmpOp::Gt => Some((path.clone(), Some((k, false)), None)),
+        CmpOp::Ge => Some((path.clone(), Some((k, true)), None)),
+        CmpOp::Lt => Some((path.clone(), None, Some((k, false)))),
+        CmpOp::Le => Some((path.clone(), None, Some((k, true)))),
+        _ => None,
+    }
+}
+
+fn flip(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        other => other,
+    }
+}
+
+/// If `conj` is `var!path = key` (either side) with `key` computable from
+/// `bound` and a registered directory over `path`, return `(path, key)`.
+fn indexable_key(
+    conj: &Pred,
+    var: VarId,
+    bound: &[VarId],
+    indexes: &IndexCatalog,
+) -> Option<(Vec<ElemName>, Term)> {
+    let Pred::Cmp(a, CmpOp::Eq, b) = conj else { return None };
+    for (lhs, rhs) in [(a, b), (b, a)] {
+        if let Term::Path(v, path) = lhs {
+            if *v == var && !path.is_empty() && indexes.covers(path) {
+                let mut vs = Vec::new();
+                rhs.vars(&mut vs);
+                if vs.iter().all(|u| bound.contains(u)) {
+                    return Some((path.clone(), rhs.clone()));
+                }
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_object::{Oop, SymbolId};
+
+    fn sym(n: u32) -> ElemName {
+        ElemName::Sym(SymbolId(n))
+    }
+
+    fn salary_query() -> Query {
+        // e ∈ X, pred: e!salary = 100
+        Query {
+            result: vec![(SymbolId(9), Term::Var(VarId(0)))],
+            ranges: vec![crate::Range { var: VarId(0), domain: Term::Const(Oop::NIL) }],
+            pred: Pred::Cmp(
+                Term::Path(VarId(0), vec![sym(1)]),
+                CmpOp::Eq,
+                Term::Const(Oop::int(100)),
+            ),
+        }
+    }
+
+    #[test]
+    fn equality_on_indexed_path_becomes_index_scan() {
+        let mut idx = IndexCatalog::new();
+        idx.add_path(vec![sym(1)]);
+        let plan = translate(&salary_query(), &idx);
+        assert!(plan.uses_index(), "{}", plan.describe());
+        assert!(matches!(plan, AlgExpr::IndexScan { .. }));
+    }
+
+    #[test]
+    fn no_catalog_entry_means_scan_plus_select() {
+        let plan = translate(&salary_query(), &IndexCatalog::new());
+        assert!(!plan.uses_index());
+        assert!(matches!(plan, AlgExpr::Select { .. }));
+    }
+
+    #[test]
+    fn inequality_fuses_into_a_range_scan() {
+        let mut idx = IndexCatalog::new();
+        idx.add_path(vec![sym(1)]);
+        let mut q = salary_query();
+        q.pred = Pred::Cmp(
+            Term::Path(VarId(0), vec![sym(1)]),
+            CmpOp::Gt,
+            Term::Const(Oop::int(100)),
+        );
+        let plan = translate(&q, &idx);
+        match plan {
+            AlgExpr::IndexRangeScan { lo: Some((_, false)), hi: None, .. } => {}
+            other => panic!("expected exclusive lower-bounded range scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn two_bounds_merge_into_one_interval() {
+        // salary > 100 AND salary <= 200 → one range scan, no residual.
+        let mut idx = IndexCatalog::new();
+        idx.add_path(vec![sym(1)]);
+        let mut q = salary_query();
+        q.pred = Pred::Cmp(
+            Term::Path(VarId(0), vec![sym(1)]),
+            CmpOp::Gt,
+            Term::Const(Oop::int(100)),
+        )
+        .and(Pred::Cmp(
+            Term::Path(VarId(0), vec![sym(1)]),
+            CmpOp::Le,
+            Term::Const(Oop::int(200)),
+        ));
+        let plan = translate(&q, &idx);
+        match plan {
+            AlgExpr::IndexRangeScan { lo: Some((_, false)), hi: Some((_, true)), .. } => {}
+            other => panic!("expected two-sided range scan, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn flipped_comparison_normalizes() {
+        // 100 < salary is the same lower bound.
+        let mut idx = IndexCatalog::new();
+        idx.add_path(vec![sym(1)]);
+        let mut q = salary_query();
+        q.pred = Pred::Cmp(
+            Term::Const(Oop::int(100)),
+            CmpOp::Lt,
+            Term::Path(VarId(0), vec![sym(1)]),
+        );
+        let plan = translate(&q, &idx);
+        assert!(
+            matches!(plan, AlgExpr::IndexRangeScan { lo: Some((_, false)), hi: None, .. }),
+            "{plan:?}"
+        );
+    }
+
+    #[test]
+    fn key_must_be_computable_from_bound_vars() {
+        // e ∈ X, d ∈ Y, pred: e!a = d!b — when scanning e, d is unbound, so
+        // the equality cannot drive an index on e; it can drive one on d.
+        let mut idx = IndexCatalog::new();
+        idx.add_path(vec![sym(1)]);
+        idx.add_path(vec![sym(2)]);
+        let q = Query {
+            result: vec![],
+            ranges: vec![
+                crate::Range { var: VarId(0), domain: Term::Const(Oop::NIL) },
+                crate::Range { var: VarId(1), domain: Term::Const(Oop::NIL) },
+            ],
+            pred: Pred::Cmp(
+                Term::Path(VarId(0), vec![sym(1)]),
+                CmpOp::Eq,
+                Term::Path(VarId(1), vec![sym(2)]),
+            ),
+        };
+        let plan = translate(&q, &idx);
+        // The fusion must be on the SECOND scan (v1), keyed by v0's path.
+        match &plan {
+            AlgExpr::NestJoin { left, right } => {
+                assert!(matches!(**left, AlgExpr::Scan { var: VarId(0), .. }));
+                match &**right {
+                    AlgExpr::IndexScan { var, key, .. } => {
+                        assert_eq!(*var, VarId(1));
+                        assert!(matches!(key, Term::Path(VarId(0), _)));
+                    }
+                    other => panic!("expected IndexScan, got {other:?}"),
+                }
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pushdown_places_conjuncts_at_earliest_point() {
+        // Conjunct on v0 only must sit below the v1 scan.
+        let q = Query {
+            result: vec![],
+            ranges: vec![
+                crate::Range { var: VarId(0), domain: Term::Const(Oop::NIL) },
+                crate::Range { var: VarId(1), domain: Term::Const(Oop::NIL) },
+            ],
+            pred: Pred::Cmp(Term::Var(VarId(0)), CmpOp::Gt, Term::Const(Oop::int(3))),
+        };
+        let plan = translate(&q, &IndexCatalog::new());
+        match plan {
+            AlgExpr::NestJoin { left, right } => {
+                assert!(matches!(*left, AlgExpr::Select { .. }), "filter below the join");
+                assert!(matches!(*right, AlgExpr::Scan { .. }));
+            }
+            other => panic!("unexpected plan {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constant_conjuncts_become_final_filter() {
+        let q = Query {
+            result: vec![],
+            ranges: vec![],
+            pred: Pred::Cmp(Term::Const(Oop::int(1)), CmpOp::Eq, Term::Const(Oop::int(1))),
+        };
+        let plan = translate(&q, &IndexCatalog::new());
+        assert!(matches!(plan, AlgExpr::Select { .. }));
+    }
+}

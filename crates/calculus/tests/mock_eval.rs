@@ -1,0 +1,291 @@
+//! Algebra ≡ calculus: the translated plan must return exactly the naive
+//! nested-loop semantics, with and without directories, on hand-built and
+//! randomized object graphs.
+
+use gemstone_calculus::{
+    eval_naive, eval_query, translate, CmpOp, IndexCatalog, Pred, Query, QueryContext, Range,
+    Term, VarId,
+};
+use gemstone_object::{ElemName, GemResult, Oop, SymbolId};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+
+/// A tiny in-memory object graph: heap index → element map.
+#[derive(Default)]
+struct MockGraph {
+    objects: Vec<BTreeMap<ElemName, Oop>>,
+    /// Collections (by Oop) with a directory on a path.
+    indexed: Vec<(Oop, Vec<ElemName>)>,
+    index_probes: u64,
+}
+
+impl MockGraph {
+    fn alloc(&mut self, elems: BTreeMap<ElemName, Oop>) -> Oop {
+        self.objects.push(elems);
+        Oop::obj(self.objects.len() as u32 - 1)
+    }
+
+    fn set(&mut self, obj: Oop, name: ElemName, v: Oop) {
+        let idx = obj.as_obj().unwrap() as usize;
+        self.objects[idx].insert(name, v);
+    }
+}
+
+impl QueryContext for MockGraph {
+    fn elem(&mut self, obj: Oop, name: ElemName) -> GemResult<Oop> {
+        Ok(obj
+            .as_obj()
+            .and_then(|i| self.objects.get(i as usize))
+            .and_then(|m| m.get(&name).copied())
+            .unwrap_or(Oop::NIL))
+    }
+
+    fn elements(&mut self, obj: Oop) -> GemResult<Vec<Oop>> {
+        Ok(obj
+            .as_obj()
+            .and_then(|i| self.objects.get(i as usize))
+            .map(|m| m.values().copied().filter(|v| !v.is_nil()).collect())
+            .unwrap_or_default())
+    }
+
+    fn equals(&mut self, a: Oop, b: Oop) -> GemResult<bool> {
+        if let (Some(x), Some(y)) = (a.as_number(), b.as_number()) {
+            return Ok(x == y);
+        }
+        Ok(a == b)
+    }
+
+    fn compare(&mut self, a: Oop, b: Oop) -> GemResult<Option<Ordering>> {
+        match (a.as_number(), b.as_number()) {
+            (Some(x), Some(y)) => Ok(x.partial_cmp(&y)),
+            _ => Ok(None),
+        }
+    }
+
+    fn index_lookup(
+        &mut self,
+        collection: Oop,
+        path: &[ElemName],
+        key: Oop,
+    ) -> GemResult<Option<Vec<Oop>>> {
+        let covered = self.indexed.iter().any(|(c, p)| *c == collection && p == path);
+        if !covered {
+            return Ok(None);
+        }
+        self.index_probes += 1;
+        let members = self.elements(collection)?;
+        let mut out = Vec::new();
+        for m in members {
+            let mut v = m;
+            for n in path {
+                v = self.elem(v, *n)?;
+            }
+            if self.equals(v, key)? {
+                out.push(m);
+            }
+        }
+        Ok(Some(out))
+    }
+}
+
+fn sym(n: u32) -> ElemName {
+    ElemName::Sym(SymbolId(n))
+}
+
+const SALARY: u32 = 1;
+const DEPT: u32 = 2;
+
+/// Employees with salary/dept; returns (graph, employees-collection).
+fn build_employees(n: usize) -> (MockGraph, Oop) {
+    let mut g = MockGraph::default();
+    let mut members = Vec::new();
+    for i in 0..n {
+        let mut elems = BTreeMap::new();
+        elems.insert(sym(SALARY), Oop::int((20_000 + (i % 7) * 1000) as i64));
+        elems.insert(sym(DEPT), Oop::int((i % 3) as i64));
+        members.push(g.alloc(elems));
+    }
+    let coll: BTreeMap<ElemName, Oop> =
+        members.iter().enumerate().map(|(i, m)| (ElemName::Alias(i as u64), *m)).collect();
+    let coll = g.alloc(coll);
+    (g, coll)
+}
+
+fn salary_eq_query(coll: Oop, salary: i64) -> Query {
+    Query {
+        result: vec![(SymbolId(0), Term::Var(VarId(0)))],
+        ranges: vec![Range { var: VarId(0), domain: Term::Const(coll) }],
+        pred: Pred::Cmp(
+            Term::Path(VarId(0), vec![sym(SALARY)]),
+            CmpOp::Eq,
+            Term::Const(Oop::int(salary)),
+        ),
+    }
+}
+
+#[test]
+fn algebra_matches_naive_on_selection() {
+    let (mut g, coll) = build_employees(50);
+    let q = salary_eq_query(coll, 23_000);
+    let naive = eval_naive(&mut g, &q).unwrap();
+    let planned = eval_query(&mut g, &q, &IndexCatalog::new()).unwrap();
+    assert_eq!(naive, planned);
+    assert!(!naive.is_empty());
+}
+
+#[test]
+fn index_is_used_when_available_and_answers_match() {
+    let (mut g, coll) = build_employees(50);
+    g.indexed.push((coll, vec![sym(SALARY)]));
+    let mut cat = IndexCatalog::new();
+    cat.add_path(vec![sym(SALARY)]);
+    let q = salary_eq_query(coll, 23_000);
+    let naive = eval_naive(&mut g, &q).unwrap();
+    let plan = translate(&q, &cat);
+    assert!(plan.uses_index());
+    let planned = eval_query(&mut g, &q, &cat).unwrap();
+    assert_eq!(sorted(naive), sorted(planned));
+    assert!(g.index_probes > 0, "the directory really served the scan");
+}
+
+#[test]
+fn catalog_without_runtime_directory_falls_back() {
+    let (mut g, coll) = build_employees(30);
+    // Catalog says salary paths are indexed, but THIS collection has no
+    // directory: index_lookup returns None and evaluation falls back.
+    let mut cat = IndexCatalog::new();
+    cat.add_path(vec![sym(SALARY)]);
+    let q = salary_eq_query(coll, 24_000);
+    let naive = eval_naive(&mut g, &q).unwrap();
+    let planned = eval_query(&mut g, &q, &cat).unwrap();
+    assert_eq!(sorted(naive), sorted(planned));
+    assert_eq!(g.index_probes, 0);
+}
+
+#[test]
+fn dependent_join_matches_naive() {
+    // e ∈ Emps, d ∈ Depts, e!dept = d!id and e!salary > 22_500
+    let mut g = MockGraph::default();
+    const ID: u32 = 3;
+    let mut emp_members = BTreeMap::new();
+    for i in 0..20 {
+        let mut elems = BTreeMap::new();
+        elems.insert(sym(SALARY), Oop::int(20_000 + (i % 6) * 1000));
+        elems.insert(sym(DEPT), Oop::int(i % 4));
+        let e = g.alloc(elems);
+        emp_members.insert(ElemName::Alias(i as u64), e);
+    }
+    let emps = g.alloc(emp_members);
+    let mut dept_members = BTreeMap::new();
+    for i in 0..4 {
+        let mut elems = BTreeMap::new();
+        elems.insert(sym(ID), Oop::int(i));
+        let d = g.alloc(elems);
+        dept_members.insert(ElemName::Alias(i as u64), d);
+    }
+    let depts = g.alloc(dept_members);
+
+    let q = Query {
+        result: vec![
+            (SymbolId(0), Term::Var(VarId(0))),
+            (SymbolId(1), Term::Var(VarId(1))),
+        ],
+        ranges: vec![
+            Range { var: VarId(0), domain: Term::Const(emps) },
+            Range { var: VarId(1), domain: Term::Const(depts) },
+        ],
+        pred: Pred::Cmp(
+            Term::Path(VarId(0), vec![sym(DEPT)]),
+            CmpOp::Eq,
+            Term::Path(VarId(1), vec![sym(ID)]),
+        )
+        .and(Pred::Cmp(
+            Term::Path(VarId(0), vec![sym(SALARY)]),
+            CmpOp::Gt,
+            Term::Const(Oop::int(22_500)),
+        )),
+    };
+    let naive = eval_naive(&mut g, &q).unwrap();
+    assert!(!naive.is_empty());
+    // Without indexes.
+    let planned = eval_query(&mut g, &q, &IndexCatalog::new()).unwrap();
+    assert_eq!(sorted(naive.clone()), sorted(planned));
+    // With an index on d!id.
+    g.indexed.push((depts, vec![sym(ID)]));
+    let mut cat = IndexCatalog::new();
+    cat.add_path(vec![sym(ID)]);
+    assert!(translate(&q, &cat).uses_index());
+    let planned_idx = eval_query(&mut g, &q, &cat).unwrap();
+    assert_eq!(sorted(naive), sorted(planned_idx));
+}
+
+#[test]
+fn membership_and_arithmetic_predicates() {
+    // x ∈ S where 2 * x > 5 — ranges over immediates inside a collection.
+    let mut g = MockGraph::default();
+    let coll: BTreeMap<ElemName, Oop> =
+        (0..10).map(|i| (ElemName::Alias(i), Oop::int(i as i64))).collect();
+    let coll = g.alloc(coll);
+    let q = Query {
+        result: vec![(SymbolId(0), Term::Var(VarId(0)))],
+        ranges: vec![Range { var: VarId(0), domain: Term::Const(coll) }],
+        pred: Pred::Cmp(
+            Term::Mul(Box::new(Term::Const(Oop::int(2))), Box::new(Term::Var(VarId(0)))),
+            CmpOp::Gt,
+            Term::Const(Oop::int(5)),
+        ),
+    };
+    let res = eval_query(&mut g, &q, &IndexCatalog::new()).unwrap();
+    assert_eq!(res.len(), 7, "3..9 satisfy 2x > 5");
+}
+
+fn sorted(mut v: Vec<Vec<Oop>>) -> Vec<Vec<Oop>> {
+    v.sort_by_key(|t| t.iter().map(|o| o.bits()).collect::<Vec<_>>());
+    v
+}
+
+proptest! {
+    /// Randomized agreement: arbitrary salaries/depts, arbitrary predicate
+    /// constants, with and without a directory — algebra ≡ calculus.
+    #[test]
+    fn algebra_equals_calculus(
+        salaries in prop::collection::vec(0i64..8, 1..40),
+        key in 0i64..8,
+        threshold in 0i64..8,
+        with_index in any::<bool>(),
+    ) {
+        let mut g = MockGraph::default();
+        let mut members = BTreeMap::new();
+        for (i, s) in salaries.iter().enumerate() {
+            let mut elems = BTreeMap::new();
+            elems.insert(sym(SALARY), Oop::int(*s));
+            elems.insert(sym(DEPT), Oop::int((i as i64) % 3));
+            let e = g.alloc(elems);
+            members.insert(ElemName::Alias(i as u64), e);
+        }
+        let coll = g.alloc(members);
+        let mut cat = IndexCatalog::new();
+        if with_index {
+            g.indexed.push((coll, vec![sym(SALARY)]));
+            cat.add_path(vec![sym(SALARY)]);
+        }
+        let q = Query {
+            result: vec![(SymbolId(0), Term::Var(VarId(0)))],
+            ranges: vec![Range { var: VarId(0), domain: Term::Const(coll) }],
+            pred: Pred::Cmp(
+                Term::Path(VarId(0), vec![sym(SALARY)]),
+                CmpOp::Eq,
+                Term::Const(Oop::int(key)),
+            )
+            .and(Pred::Cmp(
+                Term::Path(VarId(0), vec![sym(DEPT)]),
+                CmpOp::Ge,
+                Term::Const(Oop::int(threshold)),
+            )),
+        };
+        let naive = eval_naive(&mut g, &q).unwrap();
+        let planned = eval_query(&mut g, &q, &cat).unwrap();
+        prop_assert_eq!(sorted(naive), sorted(planned));
+    }
+}

@@ -1,0 +1,276 @@
+//! The shared database: permanent store, schema, Transaction Manager.
+//!
+//! §6: "Sessions have shared access to the permanent database through
+//! transactions." One [`Database`] is shared (via `Arc`) by any number of
+//! [`Session`](crate::Session)s; the schema (symbols, classes, compiled
+//! methods, globals, directories, users) lives here behind one lock, and
+//! the optimistic [`TransactionManager`] has its own.
+
+use crate::auth::AuthTable;
+use crate::index::DirRegistry;
+use crate::meta::{self, MethodSource};
+use crate::session::Session;
+use gemstone_object::{
+    ClassId, ClassTable, GemError, GemResult, Kernel, PRef, SymbolId, SymbolTable,
+};
+use gemstone_opal::{install_kernel_methods, CompiledMethod};
+use gemstone_storage::{DiskArray, PermanentStore, StoreConfig};
+use gemstone_temporal::TxnTime;
+use gemstone_txn::TransactionManager;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+pub(crate) struct DbInner {
+    pub store: PermanentStore,
+    pub symbols: SymbolTable,
+    pub classes: ClassTable,
+    pub kernel: Kernel,
+    pub block_class: ClassId,
+    pub globals: HashMap<SymbolId, PRef>,
+    pub methods: Vec<Arc<CompiledMethod>>,
+    pub method_sources: Vec<MethodSource>,
+    pub dirs: DirRegistry,
+    pub auth: AuthTable,
+    /// Schema (classes/symbols/methods/globals/directories) changed since
+    /// the last commit and must be flushed with it.
+    pub schema_dirty: bool,
+}
+
+impl DbInner {
+    /// Stage all metadata blobs in the store (called under the lock just
+    /// before a commit when the schema changed, so the metadata lands in the
+    /// same safe-write group as the data).
+    pub fn flush_meta(&mut self) {
+        self.store.set_meta(meta::META_SYMBOLS, meta::put_symbols(&self.symbols));
+        self.store.set_meta(meta::META_CLASSES, meta::put_classes(&self.classes));
+        self.store.set_meta(meta::META_GLOBALS, meta::put_globals(&self.globals));
+        self.store
+            .set_meta(meta::META_METHODS, meta::put_method_sources(&self.method_sources));
+        self.store.set_meta(meta::META_DIRS, meta::put_dir_specs(&self.dirs.spec_records()));
+        self.schema_dirty = false;
+    }
+}
+
+/// The GemStone database: create one, share it, log sessions in.
+pub struct Database {
+    pub(crate) inner: Mutex<DbInner>,
+    pub(crate) txns: TransactionManager,
+}
+
+fn kernel_from(classes: &ClassTable, symbols: &SymbolTable) -> GemResult<Kernel> {
+    let class = |name: &str| -> GemResult<ClassId> {
+        symbols
+            .lookup(name)
+            .and_then(|s| classes.by_name(s))
+            .ok_or_else(|| GemError::Corrupt(format!("kernel class {name} missing")))
+    };
+    Ok(Kernel {
+        object: class("Object")?,
+        undefined_object: class("UndefinedObject")?,
+        boolean: class("Boolean")?,
+        true_class: class("True")?,
+        false_class: class("False")?,
+        magnitude: class("Magnitude")?,
+        number: class("Number")?,
+        small_integer: class("SmallInteger")?,
+        float: class("Float")?,
+        character: class("Character")?,
+        collection: class("Collection")?,
+        string: class("String")?,
+        symbol: class("Symbol")?,
+        array: class("Array")?,
+        ordered_collection: class("OrderedCollection")?,
+        set: class("Set")?,
+        bag: class("Bag")?,
+        dictionary: class("Dictionary")?,
+        association: class("Association")?,
+        metaclass: class("Metaclass")?,
+        system_class: class("System")?,
+    })
+}
+
+impl Database {
+    /// Format a fresh database on a simulated disk.
+    pub fn create(cfg: StoreConfig) -> GemResult<Arc<Database>> {
+        let store = PermanentStore::create(cfg)?;
+        let mut symbols = SymbolTable::new();
+        let (mut classes, kernel) = ClassTable::bootstrap(&mut symbols);
+        let block_class =
+            classes.subclass(symbols.intern("BlockClosure"), kernel.object, vec![])?;
+        let inner = DbInner {
+            store,
+            symbols,
+            classes,
+            kernel,
+            block_class,
+            globals: HashMap::new(),
+            methods: Vec::new(),
+            method_sources: Vec::new(),
+            dirs: DirRegistry::default(),
+            auth: AuthTable::new(),
+            schema_dirty: true,
+        };
+        let db = Arc::new(Database {
+            inner: Mutex::new(inner),
+            txns: TransactionManager::new(TxnTime::EPOCH),
+        });
+        // Kernel methods install through a bootstrap session.
+        let mut boot = Session::internal_login(db.clone());
+        install_kernel_methods(&mut boot)?;
+        // Persist the initial schema.
+        {
+            let mut inner = db.inner.lock();
+            inner.flush_meta();
+            let t = db.txns.now();
+            inner.store.commit_batch(t, &[])?;
+        }
+        Ok(db)
+    }
+
+    /// An in-memory database with default sizing (the common test entry).
+    pub fn in_memory() -> Arc<Database> {
+        Database::create(StoreConfig::default()).expect("in-memory database")
+    }
+
+    /// Recover a database from a disk: newest valid root wins, schema is
+    /// reloaded, user methods are recompiled from source, directories are
+    /// rebuilt.
+    pub fn open(disk: DiskArray, cache_tracks: usize) -> GemResult<Arc<Database>> {
+        let mut store = PermanentStore::open(disk, cache_tracks)?;
+        let symbols = match store.get_meta(meta::META_SYMBOLS)? {
+            Some(b) => meta::get_symbols(&b)?,
+            None => return Err(GemError::Corrupt("no symbol metadata".into())),
+        };
+        let classes = match store.get_meta(meta::META_CLASSES)? {
+            Some(b) => meta::get_classes(&b)?,
+            None => return Err(GemError::Corrupt("no class metadata".into())),
+        };
+        let globals = match store.get_meta(meta::META_GLOBALS)? {
+            Some(b) => meta::get_globals(&b)?,
+            None => HashMap::new(),
+        };
+        let method_sources = match store.get_meta(meta::META_METHODS)? {
+            Some(b) => meta::get_method_sources(&b)?,
+            None => Vec::new(),
+        };
+        let dir_specs = match store.get_meta(meta::META_DIRS)? {
+            Some(b) => meta::get_dir_specs(&b)?,
+            None => Vec::new(),
+        };
+        let kernel = kernel_from(&classes, &symbols)?;
+        let block_class = symbols
+            .lookup("BlockClosure")
+            .and_then(|s| classes.by_name(s))
+            .ok_or_else(|| GemError::Corrupt("BlockClosure class missing".into()))?;
+        let last = store.root().commit_time;
+        let dirs = DirRegistry::rebuild(&mut store, &symbols, &dir_specs, last)?;
+        let inner = DbInner {
+            store,
+            symbols,
+            classes,
+            kernel,
+            block_class,
+            globals,
+            methods: Vec::new(),
+            method_sources: method_sources.clone(),
+            dirs,
+            auth: AuthTable::new(),
+            schema_dirty: false,
+        };
+        let db = Arc::new(Database {
+            inner: Mutex::new(inner),
+            txns: TransactionManager::new(last),
+        });
+        // Rebuild method dictionaries: kernel first, then user sources in
+        // their original order.
+        let mut boot = Session::internal_login(db.clone());
+        install_kernel_methods(&mut boot)?;
+        for ms in method_sources {
+            boot.recompile_method(&ms)?;
+        }
+        Ok(db)
+    }
+
+    /// Log a user in, creating a session with its own workspace.
+    pub fn login(self: &Arc<Database>, user: &str) -> GemResult<Session> {
+        {
+            let inner = self.inner.lock();
+            if !inner.auth.user_exists(user) {
+                return Err(GemError::AuthorizationDenied {
+                    segment: 0,
+                    detail: format!("no such user {user}"),
+                });
+            }
+        }
+        Ok(Session::login(self.clone(), user))
+    }
+
+    /// Administrator session.
+    pub fn login_dba(self: &Arc<Database>) -> Session {
+        Session::internal_login(self.clone())
+    }
+
+    /// Register a user (DBA operation).
+    pub fn create_user(&self, name: &str) {
+        self.inner.lock().auth.create_user(name);
+        self.inner.lock().schema_dirty = true;
+    }
+
+    /// Tear down to the raw disk for crash/recovery tests. Fails if other
+    /// sessions still share the database.
+    pub fn into_disk(self: Arc<Database>) -> GemResult<DiskArray> {
+        match Arc::try_unwrap(self) {
+            Ok(db) => Ok(db.inner.into_inner().store.into_disk()),
+            Err(_) => Err(GemError::RuntimeError("database still shared".into())),
+        }
+    }
+
+    /// Storage/disk statistics snapshot (benchmark instrumentation).
+    pub fn storage_stats(&self) -> (gemstone_storage::StoreStats, gemstone_storage::DiskStats) {
+        let inner = self.inner.lock();
+        (inner.store.stats(), inner.store.disk_stats())
+    }
+
+    /// Reset storage counters.
+    pub fn reset_storage_stats(&self) {
+        self.inner.lock().store.reset_stats();
+    }
+
+    /// (commits, aborts) seen by the Transaction Manager.
+    pub fn txn_counts(&self) -> (u64, u64) {
+        self.txns.outcome_counts()
+    }
+
+    /// Bound the store's object cache (LOOM-comparison benches).
+    pub fn set_object_cache_limit(&self, limit: Option<usize>) {
+        self.inner.lock().store.set_object_cache_limit(limit);
+    }
+
+    /// Direct access to the simulated disk (crash injection in tests and
+    /// benches).
+    pub fn with_disk<R>(&self, f: impl FnOnce(&mut gemstone_storage::DiskArray) -> R) -> R {
+        f(self.inner.lock().store.disk_mut())
+    }
+
+    /// Number of registered directories.
+    pub fn directory_count(&self) -> usize {
+        self.inner.lock().dirs.count()
+    }
+
+    /// DBA archive: prune element histories older than the state at
+    /// `keep_from` across the whole database (§6's move-to-other-media).
+    /// Returns the number of archived associations.
+    pub fn archive_history_before(&self, keep_from: TxnTime) -> GemResult<usize> {
+        let time = self.txns.now();
+        self.inner.lock().store.archive_history_before(keep_from, time)
+    }
+
+    /// Administer users and segment privileges.
+    pub fn with_auth<R>(&self, f: impl FnOnce(&mut AuthTable) -> R) -> R {
+        let mut inner = self.inner.lock();
+        let r = f(&mut inner.auth);
+        inner.schema_dirty = true;
+        r
+    }
+}

@@ -1,0 +1,296 @@
+//! The Directory Manager's registry: which collections are indexed on which
+//! element paths, with incremental maintenance at commit.
+//!
+//! §6: "One headache has been that hints given in OPAL for structuring
+//! directories must be translated for use by the Object Manager. Another
+//! problem is using a nested element as a discriminator. Since that element
+//! may be different in different states of the database, its object may need
+//! to appear along two branches of the directory." Both are handled here:
+//! the OPAL hint is `System createIndexOn: coll path: #salary` (or an array
+//! of symbols for nested paths), and nested discriminators register every
+//! object along the path so a change anywhere re-keys the affected member.
+
+use crate::meta::DirSpecRecord;
+use gemstone_calculus::IndexCatalog;
+use gemstone_object::{ElemName, GemResult, Goop, OopKind, PRef, SymbolId, SymbolTable};
+use gemstone_storage::{DirKey, Directory, DirectorySpec, ObjectDelta, PermanentStore};
+
+use gemstone_temporal::TxnTime;
+use std::collections::HashMap;
+
+/// One registered directory.
+pub struct RegEntry {
+    pub collection: Goop,
+    pub path: Vec<SymbolId>,
+    pub directory: Directory,
+    pub created_at: TxnTime,
+}
+
+/// The registry of all directories plus reverse maps for maintenance.
+#[derive(Default)]
+pub struct DirRegistry {
+    entries: Vec<RegEntry>,
+    by_coll: HashMap<Goop, Vec<usize>>,
+    /// member-or-intermediate object → (directory, member) pairs whose key
+    /// depends on it.
+    by_object: HashMap<Goop, Vec<(usize, Goop)>>,
+    catalog: IndexCatalog,
+}
+
+/// Compute a member's directory key by following `path` through the
+/// permanent store's *current* state.
+fn key_of(
+    store: &mut PermanentStore,
+    symbols: &SymbolTable,
+    member: Goop,
+    path: &[SymbolId],
+) -> GemResult<(Option<DirKey>, Vec<Goop>)> {
+    let mut touched = vec![member];
+    let mut cur = PRef::goop(member);
+    for (i, step) in path.iter().enumerate() {
+        let Some(g) = cur.as_goop() else {
+            return Ok((None, touched)); // path broke: not indexed under any key
+        };
+        if i > 0 {
+            touched.push(g);
+        }
+        if !store.contains(g) {
+            return Ok((None, touched));
+        }
+        cur = match store.get(g)?.elem_current(ElemName::Sym(*step)) {
+            Some(v) => v,
+            None => return Ok((None, touched)),
+        };
+    }
+    Ok((pref_key(store, symbols, cur)?, touched))
+}
+
+/// The directory key of a value.
+fn pref_key(
+    store: &mut PermanentStore,
+    symbols: &SymbolTable,
+    v: PRef,
+) -> GemResult<Option<DirKey>> {
+    Ok(match v.kind() {
+        OopKind::Int(i) => Some(DirKey::num(i as f64)),
+        OopKind::Float(f) => Some(DirKey::num(f)),
+        OopKind::Sym(s) => Some(DirKey::text(symbols.name(s))),
+        OopKind::Char(c) => Some(DirKey::Text(c.to_string().into_bytes())),
+        OopKind::True | OopKind::False => Some(DirKey::Ref(v.bits())),
+        OopKind::Nil => None,
+        OopKind::Heap(g) => {
+            let goop = Goop(g);
+            if store.contains(goop) {
+                match store.get(goop)?.bytes_current() {
+                    Some(b) => Some(DirKey::Text(b.to_vec())),
+                    None => Some(DirKey::Ref(g)),
+                }
+            } else {
+                Some(DirKey::Ref(g))
+            }
+        }
+        _ => None,
+    })
+}
+
+impl DirRegistry {
+    /// Planner catalog of indexed paths.
+    pub fn catalog(&self) -> &IndexCatalog {
+        &self.catalog
+    }
+
+    /// Number of registered directories (DBA introspection).
+    pub fn count(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Create a directory over a committed collection, keyed by the current
+    /// state at `now`. As-of lookups are served for times ≥ `now`.
+    pub fn create_index(
+        &mut self,
+        store: &mut PermanentStore,
+        symbols: &SymbolTable,
+        collection: Goop,
+        path: Vec<SymbolId>,
+        now: TxnTime,
+    ) -> GemResult<usize> {
+        if path.is_empty() {
+            return Err(gemstone_object::GemError::RuntimeError(
+                "index path must not be empty".into(),
+            ));
+        }
+        let spec = DirectorySpec {
+            class: store.get(collection)?.class,
+            path: path.iter().map(|s| ElemName::Sym(*s)).collect(),
+        };
+        let idx = self.entries.len();
+        let mut directory = Directory::new(spec);
+        let members: Vec<Goop> = store
+            .get(collection)?
+            .current_elements()
+            .filter_map(|(_, v)| v.as_goop())
+            .collect();
+        for member in members {
+            let (key, touched) = key_of(store, symbols, member, &path)?;
+            directory.update(member, key, now);
+            for t in touched {
+                self.by_object.entry(t).or_default().push((idx, member));
+            }
+        }
+        self.by_coll.entry(collection).or_default().push(idx);
+        self.catalog.add_path(path.iter().map(|s| ElemName::Sym(*s)).collect());
+        self.entries.push(RegEntry { collection, path, directory, created_at: now });
+        Ok(idx)
+    }
+
+    /// Serve an equality lookup, if a directory covers (collection, path)
+    /// and can answer at the requested time.
+    pub fn lookup(
+        &self,
+        collection: Goop,
+        path: &[ElemName],
+        key: &DirKey,
+        at: Option<TxnTime>,
+    ) -> Option<Vec<Goop>> {
+        let idxs = self.by_coll.get(&collection)?;
+        for &i in idxs {
+            let e = &self.entries[i];
+            let epath: Vec<ElemName> = e.path.iter().map(|s| ElemName::Sym(*s)).collect();
+            if epath == path {
+                return match at {
+                    None => Some(e.directory.lookup_current(key)),
+                    Some(t) if t >= e.created_at => Some(e.directory.lookup_as_of(key, t)),
+                    Some(_) => None, // predates the directory: caller scans
+                };
+            }
+        }
+        None
+    }
+
+    /// Serve a range lookup over (collection, path), if a directory covers
+    /// it and can answer at the requested time.
+    pub fn range(
+        &self,
+        collection: Goop,
+        path: &[ElemName],
+        lo: Option<(&DirKey, bool)>,
+        hi: Option<(&DirKey, bool)>,
+        at: Option<TxnTime>,
+    ) -> Option<Vec<Goop>> {
+        use std::ops::Bound;
+        let idxs = self.by_coll.get(&collection)?;
+        for &i in idxs {
+            let e = &self.entries[i];
+            let epath: Vec<ElemName> = e.path.iter().map(|s| ElemName::Sym(*s)).collect();
+            if epath == path {
+                let lo_b = match lo {
+                    None => Bound::Unbounded,
+                    Some((k, true)) => Bound::Included(k),
+                    Some((k, false)) => Bound::Excluded(k),
+                };
+                let hi_b = match hi {
+                    None => Bound::Unbounded,
+                    Some((k, true)) => Bound::Included(k),
+                    Some((k, false)) => Bound::Excluded(k),
+                };
+                return match at {
+                    None => Some(e.directory.range_current(lo_b, hi_b)),
+                    Some(t) if t >= e.created_at => {
+                        Some(e.directory.range_as_of(lo_b, hi_b, t))
+                    }
+                    Some(_) => None,
+                };
+            }
+        }
+        None
+    }
+
+    /// Incremental maintenance after a committed batch (the Linker "calling
+    /// for restructuring of directories as needed", §6).
+    pub fn on_commit(
+        &mut self,
+        store: &mut PermanentStore,
+        symbols: &SymbolTable,
+        deltas: &[ObjectDelta],
+        time: TxnTime,
+    ) -> GemResult<()> {
+        for delta in deltas {
+            // Membership changes in indexed collections.
+            if let Some(dir_idxs) = self.by_coll.get(&delta.goop).cloned() {
+                for (name, newv) in &delta.elem_writes {
+                    for &i in &dir_idxs {
+                        let path = self.entries[i].path.clone();
+                        // The value this element held just before the commit.
+                        let oldv = store
+                            .get(delta.goop)?
+                            .elements
+                            .get(name)
+                            .and_then(|h| h.as_of(time.pred()))
+                            .copied();
+                        if let Some(old) = oldv.and_then(|v| v.as_goop()) {
+                            self.entries[i].directory.update(old, None, time);
+                        }
+                        if let Some(new) = newv.as_goop() {
+                            let (key, touched) = key_of(store, symbols, new, &path)?;
+                            self.entries[i].directory.update(new, key, time);
+                            for t in touched {
+                                let deps = self.by_object.entry(t).or_default();
+                                if !deps.contains(&(i, new)) {
+                                    deps.push((i, new));
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            // Discriminator changes along registered paths.
+            if let Some(deps) = self.by_object.get(&delta.goop).cloned() {
+                for (i, member) in deps {
+                    let path = self.entries[i].path.clone();
+                    let (key, touched) = key_of(store, symbols, member, &path)?;
+                    self.entries[i].directory.update(member, key, time);
+                    for t in touched {
+                        let deps = self.by_object.entry(t).or_default();
+                        if !deps.contains(&(i, member)) {
+                            deps.push((i, member));
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Persistable specifications.
+    pub fn spec_records(&self) -> Vec<DirSpecRecord> {
+        self.entries
+            .iter()
+            .map(|e| DirSpecRecord {
+                collection: e.collection.0,
+                path: e.path.clone(),
+                created_at: e.created_at.ticks(),
+            })
+            .collect()
+    }
+
+    /// Rebuild from persisted specs at recovery. Directories are repopulated
+    /// from the current state; `created_at` advances to `now` because the
+    /// historical key changes between the original creation and the crash
+    /// are not replayed (as-of lookups older than recovery fall back to
+    /// scans).
+    pub fn rebuild(
+        store: &mut PermanentStore,
+        symbols: &SymbolTable,
+        specs: &[DirSpecRecord],
+        now: TxnTime,
+    ) -> GemResult<DirRegistry> {
+        let mut reg = DirRegistry::default();
+        for s in specs {
+            let collection = Goop(s.collection);
+            if store.contains(collection) {
+                reg.create_index(store, symbols, collection, s.path.clone(), now)?;
+            }
+        }
+        Ok(reg)
+    }
+}

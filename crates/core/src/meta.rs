@@ -1,0 +1,321 @@
+//! Persistence of the schema: symbols, classes, globals, user method
+//! sources, and directory specifications. Serialized into metadata blobs in
+//! the permanent store's catalog at every commit that changed them.
+//!
+//! Compiled methods are *recompiled from source* at recovery (after the
+//! kernel is reinstalled), so bytecode and primitive numbers can evolve
+//! without a disk-format migration.
+
+use gemstone_object::{
+    BodyFormat, ClassDef, ClassId, ClassKind, ClassTable, GemResult, PRef, SymbolId, SymbolTable,
+};
+use gemstone_object::GemError;
+use std::collections::HashMap;
+
+/// Metadata blob keys in the store catalog.
+pub const META_SYMBOLS: u8 = 1;
+pub const META_CLASSES: u8 = 2;
+pub const META_GLOBALS: u8 = 3;
+pub const META_METHODS: u8 = 4;
+pub const META_DIRS: u8 = 5;
+
+/// A user method's compilation record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodSource {
+    pub class: ClassId,
+    pub source: String,
+    pub class_side: bool,
+}
+
+fn put_str(buf: &mut Vec<u8>, s: &str) {
+    buf.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    buf.extend_from_slice(s.as_bytes());
+}
+
+fn get_str(buf: &mut &[u8]) -> GemResult<String> {
+    let len = get_u32(buf)? as usize;
+    if buf.len() < len {
+        return Err(GemError::Corrupt("truncated string".into()));
+    }
+    let s = std::str::from_utf8(&buf[..len])
+        .map_err(|_| GemError::Corrupt("bad utf-8 in metadata".into()))?
+        .to_string();
+    *buf = &buf[len..];
+    Ok(s)
+}
+
+fn get_u32(buf: &mut &[u8]) -> GemResult<u32> {
+    if buf.len() < 4 {
+        return Err(GemError::Corrupt("truncated u32".into()));
+    }
+    let v = u32::from_le_bytes(buf[..4].try_into().unwrap());
+    *buf = &buf[4..];
+    Ok(v)
+}
+
+fn get_u64(buf: &mut &[u8]) -> GemResult<u64> {
+    if buf.len() < 8 {
+        return Err(GemError::Corrupt("truncated u64".into()));
+    }
+    let v = u64::from_le_bytes(buf[..8].try_into().unwrap());
+    *buf = &buf[8..];
+    Ok(v)
+}
+
+// ---------------------------------------------------------------- symbols
+
+pub fn put_symbols(symbols: &SymbolTable) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(symbols.len() as u32).to_le_bytes());
+    for (_, name) in symbols.iter() {
+        put_str(&mut buf, name);
+    }
+    buf
+}
+
+pub fn get_symbols(mut buf: &[u8]) -> GemResult<SymbolTable> {
+    let b = &mut buf;
+    let n = get_u32(b)?;
+    // Defensive cap: a corrupt length field must not drive allocation.
+    let mut names = Vec::with_capacity((n as usize).min(1 << 16));
+    for _ in 0..n {
+        names.push(get_str(b)?);
+    }
+    Ok(SymbolTable::from_names(names))
+}
+
+// ---------------------------------------------------------------- classes
+
+/// Serialize class *structure* only (no method dictionaries: those are
+/// rebuilt from kernel installation plus method sources).
+pub fn put_classes(classes: &ClassTable) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(classes.len() as u32).to_le_bytes());
+    for (_, def) in classes.iter() {
+        buf.extend_from_slice(&def.name.0.to_le_bytes());
+        let sup = def.superclass.map_or(u32::MAX, |c| c.0);
+        buf.extend_from_slice(&sup.to_le_bytes());
+        buf.push(match def.format {
+            BodyFormat::Elements => 0,
+            BodyFormat::Bytes => 1,
+        });
+        buf.push(match def.kind {
+            ClassKind::Kernel => 0,
+            ClassKind::User => 1,
+        });
+        buf.extend_from_slice(&(def.instvars.len() as u32).to_le_bytes());
+        for v in &def.instvars {
+            buf.extend_from_slice(&v.0.to_le_bytes());
+        }
+    }
+    buf
+}
+
+pub fn get_classes(mut buf: &[u8]) -> GemResult<ClassTable> {
+    let b = &mut buf;
+    let n = get_u32(b)?;
+    let mut table = ClassTable::default();
+    for _ in 0..n {
+        let name = SymbolId(get_u32(b)?);
+        let sup = get_u32(b)?;
+        let superclass = if sup == u32::MAX { None } else { Some(ClassId(sup)) };
+        if b.len() < 2 {
+            return Err(GemError::Corrupt("truncated class record".into()));
+        }
+        let format = match b[0] {
+            0 => BodyFormat::Elements,
+            1 => BodyFormat::Bytes,
+            t => return Err(GemError::Corrupt(format!("bad body format {t}"))),
+        };
+        let kind = match b[1] {
+            0 => ClassKind::Kernel,
+            _ => ClassKind::User,
+        };
+        *b = &b[2..];
+        let nv = get_u32(b)?;
+        let mut instvars = Vec::with_capacity((nv as usize).min(1 << 12));
+        for _ in 0..nv {
+            instvars.push(SymbolId(get_u32(b)?));
+        }
+        table.define(ClassDef {
+            name,
+            superclass,
+            format,
+            instvars,
+            methods: HashMap::new(),
+            class_methods: HashMap::new(),
+            kind,
+        })?;
+    }
+    Ok(table)
+}
+
+// ---------------------------------------------------------------- globals
+
+pub fn put_globals(globals: &HashMap<SymbolId, PRef>) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(globals.len() as u32).to_le_bytes());
+    let mut entries: Vec<_> = globals.iter().collect();
+    entries.sort_by_key(|(s, _)| s.0);
+    for (sym, v) in entries {
+        buf.extend_from_slice(&sym.0.to_le_bytes());
+        buf.extend_from_slice(&v.bits().to_le_bytes());
+    }
+    buf
+}
+
+pub fn get_globals(mut buf: &[u8]) -> GemResult<HashMap<SymbolId, PRef>> {
+    let b = &mut buf;
+    let n = get_u32(b)?;
+    let mut out = HashMap::with_capacity((n as usize).min(1 << 16));
+    for _ in 0..n {
+        let sym = SymbolId(get_u32(b)?);
+        let v = PRef::from_bits(get_u64(b)?);
+        out.insert(sym, v);
+    }
+    Ok(out)
+}
+
+// ---------------------------------------------------------------- methods
+
+pub fn put_method_sources(methods: &[MethodSource]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(methods.len() as u32).to_le_bytes());
+    for m in methods {
+        buf.extend_from_slice(&m.class.0.to_le_bytes());
+        buf.push(m.class_side as u8);
+        put_str(&mut buf, &m.source);
+    }
+    buf
+}
+
+pub fn get_method_sources(mut buf: &[u8]) -> GemResult<Vec<MethodSource>> {
+    let b = &mut buf;
+    let n = get_u32(b)?;
+    let mut out = Vec::with_capacity((n as usize).min(1 << 16));
+    for _ in 0..n {
+        let class = ClassId(get_u32(b)?);
+        if b.is_empty() {
+            return Err(GemError::Corrupt("truncated method record".into()));
+        }
+        let class_side = b[0] != 0;
+        *b = &b[1..];
+        let source = get_str(b)?;
+        out.push(MethodSource { class, source, class_side });
+    }
+    Ok(out)
+}
+
+// -------------------------------------------------------------- dir specs
+
+/// A persisted directory specification: which committed collection is
+/// indexed on which element path, and since when.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DirSpecRecord {
+    pub collection: u64,
+    pub path: Vec<SymbolId>,
+    pub created_at: u64,
+}
+
+pub fn put_dir_specs(specs: &[DirSpecRecord]) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(specs.len() as u32).to_le_bytes());
+    for s in specs {
+        buf.extend_from_slice(&s.collection.to_le_bytes());
+        buf.extend_from_slice(&s.created_at.to_le_bytes());
+        buf.extend_from_slice(&(s.path.len() as u32).to_le_bytes());
+        for p in &s.path {
+            buf.extend_from_slice(&p.0.to_le_bytes());
+        }
+    }
+    buf
+}
+
+pub fn get_dir_specs(mut buf: &[u8]) -> GemResult<Vec<DirSpecRecord>> {
+    let b = &mut buf;
+    let n = get_u32(b)?;
+    let mut out = Vec::with_capacity((n as usize).min(1 << 16));
+    for _ in 0..n {
+        let collection = get_u64(b)?;
+        let created_at = get_u64(b)?;
+        let np = get_u32(b)?;
+        let mut path = Vec::with_capacity((np as usize).min(1 << 8));
+        for _ in 0..np {
+            path.push(SymbolId(get_u32(b)?));
+        }
+        out.push(DirSpecRecord { collection, path, created_at });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_object::Goop;
+
+    #[test]
+    fn symbols_roundtrip() {
+        let mut t = SymbolTable::new();
+        for n in ["salary", "depts", "Acme Corp"] {
+            t.intern(n);
+        }
+        let t2 = get_symbols(&put_symbols(&t)).unwrap();
+        assert_eq!(t2.len(), 3);
+        assert_eq!(t2.lookup("Acme Corp"), t.lookup("Acme Corp"));
+    }
+
+    #[test]
+    fn classes_roundtrip_preserves_ids() {
+        let mut s = SymbolTable::new();
+        let (mut classes, k) = ClassTable::bootstrap(&mut s);
+        let emp = classes
+            .subclass(s.intern("Employee"), k.object, vec![s.intern("salary")])
+            .unwrap();
+        let back = get_classes(&put_classes(&classes)).unwrap();
+        assert_eq!(back.len(), classes.len());
+        assert_eq!(back.by_name(s.lookup("Employee").unwrap()), Some(emp));
+        assert_eq!(back.get(emp).instvars, classes.get(emp).instvars);
+        assert_eq!(back.get(k.string).format, BodyFormat::Bytes);
+        assert!(back.get(emp).methods.is_empty(), "method dicts are rebuilt, not persisted");
+    }
+
+    #[test]
+    fn globals_roundtrip() {
+        let mut g = HashMap::new();
+        g.insert(SymbolId(3), PRef::goop(Goop(42)));
+        g.insert(SymbolId(9), PRef::int(-5));
+        let back = get_globals(&put_globals(&g)).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn method_sources_roundtrip() {
+        let ms = vec![
+            MethodSource { class: ClassId(21), source: "salary ^salary".into(), class_side: false },
+            MethodSource { class: ClassId(21), source: "make ^self new".into(), class_side: true },
+        ];
+        assert_eq!(get_method_sources(&put_method_sources(&ms)).unwrap(), ms);
+    }
+
+    #[test]
+    fn dir_specs_roundtrip() {
+        let specs = vec![DirSpecRecord {
+            collection: 77,
+            path: vec![SymbolId(1), SymbolId(2)],
+            created_at: 9,
+        }];
+        assert_eq!(get_dir_specs(&put_dir_specs(&specs)).unwrap(), specs);
+    }
+
+    #[test]
+    fn corrupt_metadata_is_detected() {
+        assert!(get_symbols(&[1, 0, 0, 0]).is_err());
+        assert!(get_classes(&[9]).is_err());
+        let good = put_method_sources(&[MethodSource {
+            class: ClassId(1),
+            source: "x ^1".into(),
+            class_side: false,
+        }]);
+        assert!(get_method_sources(&good[..good.len() - 2]).is_err());
+    }
+}

@@ -1,0 +1,1032 @@
+//! Sessions: a private object space over the shared permanent database.
+//!
+//! §6: "Each user session in the GemStone system has its own invocation of
+//! the Interpreter, and its own Object Manager with a private object space.
+//! Sessions have shared access to the permanent database through
+//! transactions."
+//!
+//! A [`Session`]:
+//! * faults committed objects into its [`Workspace`] on first touch,
+//!   resolving unswizzled references through the GOOP table (§6);
+//! * tracks reads and writes for optimistic validation;
+//! * carries the [`TimeDial`] — when set, every element fetch is conducted
+//!   in that past database state and writes are refused;
+//! * implements [`OpalWorld`] so the OPAL interpreter runs directly against
+//!   it, and [`QueryContext`] so compiled selection blocks plan against the
+//!   Directory Manager.
+
+use crate::auth::{Access, DBA};
+use crate::db::{Database, DbInner};
+use crate::meta::MethodSource;
+use gemstone_calculus::{QueryContext, Term, VarId};
+use gemstone_object::{
+    structurally_equal, BodyFormat, ClassId, ElemName, GemError, GemResult, Goop, HeapObject,
+    Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId, SymbolId, Workspace,
+};
+use gemstone_opal::{compile_doit, CompiledMethod, Interpreter, OpalWorld, QueryTemplate};
+use gemstone_storage::{DirKey, ObjectDelta};
+use gemstone_temporal::{TimeDial, TxnTime};
+use gemstone_txn::{AccessSet, SlotId, TxnToken};
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, HashMap};
+use std::sync::Arc;
+
+/// A logged-in session.
+pub struct Session {
+    db: Arc<Database>,
+    ws: Workspace,
+    user: String,
+    txn: Option<TxnToken>,
+    reads: AccessSet,
+    dial: TimeDial,
+    /// Globals assigned this transaction, not yet committed.
+    pending_globals: HashMap<SymbolId, Oop>,
+    /// True once this transaction wrote a *committed* object (directories
+    /// then decline to serve queries until commit/abort).
+    wrote_committed: bool,
+    kernel: Kernel,
+    block_class: ClassId,
+}
+
+impl Session {
+    pub(crate) fn login(db: Arc<Database>, user: &str) -> Session {
+        let (kernel, block_class) = {
+            let inner = db.inner.lock();
+            (inner.kernel, inner.block_class)
+        };
+        Session {
+            db,
+            ws: Workspace::new(),
+            user: user.to_string(),
+            txn: None,
+            reads: AccessSet::new(),
+            dial: TimeDial::now(),
+            pending_globals: HashMap::new(),
+            wrote_committed: false,
+            kernel,
+            block_class,
+        }
+    }
+
+    pub(crate) fn internal_login(db: Arc<Database>) -> Session {
+        Session::login(db, DBA)
+    }
+
+    /// The shared database.
+    pub fn database(&self) -> &Arc<Database> {
+        &self.db
+    }
+
+    /// The session's user name.
+    pub fn user(&self) -> &str {
+        &self.user
+    }
+
+    // ----------------------------------------------------- transactions
+
+    fn ensure_txn(&mut self) {
+        if self.txn.is_none() {
+            self.txn = Some(self.db.txns.begin());
+            self.reads.clear();
+            self.refresh_workspace();
+        }
+    }
+
+    /// Refresh cached committed copies to the current committed state, so a
+    /// new transaction sees a fresh snapshot while session pointers stay
+    /// stable.
+    fn refresh_workspace(&mut self) {
+        let targets: Vec<(Oop, Goop)> =
+            self.ws.iter().filter_map(|(oop, o)| o.goop.map(|g| (oop, g))).collect();
+        let mut inner = self.db.inner.lock();
+        for (oop, goop) in targets {
+            let Ok(pobj) = inner.store.get(goop) else { continue };
+            let class = pobj.class;
+            let segment = pobj.segment;
+            let alias_next = pobj.alias_next;
+            let elems: Vec<(ElemName, PRef)> = pobj.current_elements().collect();
+            let bytes = pobj.bytes_current().map(|b| b.to_vec());
+            let mut elements = BTreeMap::new();
+            for (name, v) in elems {
+                elements.insert(name, pref_to_oop(&self.ws, v));
+            }
+            let obj = self.ws.get_mut(oop).expect("refresh target");
+            obj.class = class;
+            obj.refresh_from_fault(elements, bytes, alias_next, segment);
+        }
+    }
+
+    /// Commit the current transaction: optimistic validation, then the
+    /// Linker/Boxer/Commit-Manager pipeline, then directory maintenance.
+    pub fn commit(&mut self) -> GemResult<TxnTime> {
+        let Some(token) = self.txn else {
+            // Nothing read or written: trivially committed "at" now.
+            return Ok(self.db.txns.now());
+        };
+        // 1. Assign identities to new dirty objects.
+        let dirty = self.ws.dirty_objects();
+        {
+            let mut inner = self.db.inner.lock();
+            for &oop in &dirty {
+                let obj = self.ws.get_mut(oop)?;
+                if obj.goop.is_none() {
+                    let g = inner.store.alloc_goop();
+                    obj.goop = Some(g);
+                    self.ws.bind_goop(oop, g);
+                }
+            }
+        }
+        // 2. Build deltas and the write set.
+        let mut writes = AccessSet::new();
+        let mut deltas = Vec::with_capacity(dirty.len());
+        for &oop in &dirty {
+            let obj = self.ws.get(oop)?;
+            let goop = obj.goop.expect("assigned above");
+            let mut elem_writes = Vec::new();
+            if obj.is_new() {
+                writes.record(SlotId::Object(goop));
+                for (name, v) in obj.raw_elements() {
+                    elem_writes.push((name, self.oop_to_pref(v)?));
+                }
+            } else {
+                for name in obj.dirty_elems() {
+                    writes.record(SlotId::Elem(goop, name));
+                    elem_writes.push((name, self.oop_to_pref(obj.elem(name))?));
+                }
+            }
+            let bytes_write = if obj.is_new() || obj.bytes_dirty() {
+                if obj.bytes_dirty() {
+                    writes.record(SlotId::Bytes(goop));
+                }
+                obj.bytes().map(|b| b.to_vec())
+            } else {
+                None
+            };
+            deltas.push(ObjectDelta {
+                goop,
+                class: obj.class,
+                segment: obj.segment,
+                alias_next: obj.alias_next(),
+                elem_writes,
+                bytes_write,
+                is_new: obj.is_new(),
+            });
+        }
+        // 3. Validate.
+        let time = match self.db.txns.commit(token, &self.reads, &writes) {
+            Ok(t) => t,
+            Err(e) => {
+                // Conflict: the transaction is dead; discard its workspace.
+                self.discard_workspace();
+                return Err(e);
+            }
+        };
+        // 4. Persist (metadata travels in the same safe-write group).
+        {
+            let mut inner = self.db.inner.lock();
+            let pending: Vec<(SymbolId, Oop)> = self.pending_globals.drain().collect();
+            if !pending.is_empty() {
+                inner.schema_dirty = true;
+            }
+            for (sym, v) in pending {
+                let p = match v.kind() {
+                    OopKind::Heap(_) => {
+                        PRef::goop(self.ws.get(v)?.goop.expect("globals commit after goop assignment"))
+                    }
+                    OopKind::Ref(g) => PRef::goop(g),
+                    _ => v.to_pref_immediate().expect("immediate"),
+                };
+                inner.globals.insert(sym, p);
+            }
+            if inner.schema_dirty {
+                inner.flush_meta();
+            }
+            inner.store.commit_batch(time, &deltas)?;
+            // 5. Directory maintenance (§6: the Linker "calling for
+            //    restructuring of directories as needed").
+            let DbInner { store, symbols, dirs, .. } = &mut *inner;
+            dirs.on_commit(store, symbols, &deltas, time)?;
+        }
+        // 6. The workspace copies are now clean cached copies.
+        for &oop in &dirty {
+            let goop = self.ws.get(oop)?.goop.expect("assigned");
+            self.ws.get_mut(oop)?.mark_committed(goop);
+        }
+        self.reads.clear();
+        self.txn = None;
+        self.wrote_committed = false;
+        Ok(time)
+    }
+
+    /// Abort: discard every uncommitted change. "An entire session workspace
+    /// can be discarded" (§6).
+    pub fn abort(&mut self) {
+        if let Some(token) = self.txn.take() {
+            self.db.txns.abort(token);
+        }
+        self.discard_workspace();
+    }
+
+    fn discard_workspace(&mut self) {
+        self.ws = Workspace::new();
+        self.pending_globals.clear();
+        self.reads.clear();
+        self.txn = None;
+        self.wrote_committed = false;
+    }
+
+    // -------------------------------------------------------- time dial
+
+    /// Set the time dial: subsequent reads see the database state at `t`;
+    /// writes are refused until the dial returns to now.
+    pub fn set_time_dial(&mut self, t: TxnTime) {
+        self.dial.set(t);
+    }
+
+    /// Return the dial to the present.
+    pub fn time_dial_now(&mut self) {
+        self.dial.reset();
+    }
+
+    /// §5.4's SafeTime: the most recent state no running transaction can
+    /// change.
+    pub fn safe_time(&self) -> TxnTime {
+        self.db.txns.safe_time()
+    }
+
+    // ------------------------------------------------- faulting & refs
+
+    /// Resolve a value to a usable session pointer, faulting committed
+    /// objects on first touch (the GOOP "resolved through a global object
+    /// table", §6).
+    pub fn swizzle(&mut self, oop: Oop) -> GemResult<Oop> {
+        match oop.as_unswizzled() {
+            None => Ok(oop),
+            Some(g) => {
+                if let Some(local) = self.ws.lookup_goop(g) {
+                    return Ok(local);
+                }
+                self.fault(g)
+            }
+        }
+    }
+
+    fn fault(&mut self, goop: Goop) -> GemResult<Oop> {
+        let mut inner = self.db.inner.lock();
+        let DbInner { store, auth, .. } = &mut *inner;
+        let pobj = store.get(goop)?;
+        auth.check(&self.user, pobj.segment, Access::Read)?;
+        let class = pobj.class;
+        let segment = pobj.segment;
+        let alias_next = pobj.alias_next;
+        let elems: Vec<(ElemName, PRef)> = pobj.current_elements().collect();
+        let bytes = pobj.bytes_current().map(|b| b.to_vec());
+        drop(inner);
+        let mut elements = BTreeMap::new();
+        for (name, v) in elems {
+            elements.insert(name, pref_to_oop(&self.ws, v));
+        }
+        let obj = HeapObject::faulted(class, goop, segment, elements, bytes, alias_next);
+        Ok(self.ws.alloc(obj))
+    }
+
+    fn oop_to_pref(&self, oop: Oop) -> GemResult<PRef> {
+        match oop.kind() {
+            OopKind::Ref(g) => Ok(PRef::goop(g)),
+            OopKind::Heap(_) => {
+                let g = self.ws.get(oop)?.goop.ok_or_else(|| {
+                    GemError::Corrupt("uncommitted object escaped commit".into())
+                })?;
+                Ok(PRef::goop(g))
+            }
+            _ => Ok(oop.to_pref_immediate().expect("immediate")),
+        }
+    }
+
+    fn record_read(&mut self, slot: SlotId) {
+        if !self.dial.in_past() {
+            self.reads.record(slot);
+        }
+    }
+
+    /// True if the session has uncommitted writes to *committed* objects
+    /// (directories then decline to serve queries, because they reflect only
+    /// committed state — transient scratch objects cannot be in a committed
+    /// collection, so they don't count).
+    pub fn has_local_writes(&self) -> bool {
+        self.wrote_committed
+    }
+
+    /// Move an object to a protection segment (DBA operation; the change
+    /// commits with the object).
+    pub fn set_segment(&mut self, obj: Oop, segment: SegmentId) -> GemResult<()> {
+        if self.user != DBA {
+            return Err(GemError::AuthorizationDenied {
+                segment: segment.0,
+                detail: "only the DBA may move objects between segments".into(),
+            });
+        }
+        let obj = self.swizzle(obj)?;
+        let o = self.ws.get_mut(obj)?;
+        o.segment = segment;
+        o.touch_for_commit(); // the segment change must reach the disk
+        Ok(())
+    }
+
+    // ------------------------------------------------------- execution
+
+    /// Compile and execute a block of OPAL source, returning the value of
+    /// its last statement (§6: "Communication with GemStone is done in
+    /// blocks of OPAL source code. Compilation and execution of those blocks
+    /// is done entirely in the GemStone system").
+    pub fn run(&mut self, source: &str) -> GemResult<Oop> {
+        self.ensure_txn();
+        let method = compile_doit(self, source)?;
+        let id = self.add_method_code(method);
+        Interpreter::new(self).run_doit(id)
+    }
+
+    /// Run a block and render its result (the host-side display of §6's
+    /// "returning results"). Dispatches `printString`, so user-defined
+    /// printing applies.
+    pub fn run_display(&mut self, source: &str) -> GemResult<String> {
+        let v = self.run(source)?;
+        self.display(v)
+    }
+
+    /// Send a message to an object from Rust.
+    pub fn send(&mut self, recv: Oop, selector: &str, args: &[Oop]) -> GemResult<Oop> {
+        self.ensure_txn();
+        let sel = self.intern(selector);
+        Interpreter::new(self).send_message(recv, sel, args)
+    }
+
+    /// Render any value by dispatching `printString` (falling back to the
+    /// built-in printer if the method errors).
+    pub fn display(&mut self, v: Oop) -> GemResult<String> {
+        match self.send(v, "printString", &[]) {
+            Ok(shown) => match self.string_value(shown) {
+                Some(s) => Ok(s),
+                None => gemstone_opal::world::print_oop(self, v, Default::default()),
+            },
+            Err(_) => gemstone_opal::world::print_oop(self, v, Default::default()),
+        }
+    }
+
+    pub(crate) fn recompile_method(&mut self, ms: &MethodSource) -> GemResult<()> {
+        let m = gemstone_opal::compile_method(self, ms.class, &ms.source)?;
+        let sel = m.selector;
+        let id = self.add_method_code(m);
+        self.install_method(ms.class, sel, MethodRef::Compiled(id), ms.class_side);
+        Ok(())
+    }
+
+    // ------------------------------------------------ internal helpers
+
+    fn elem_read(&mut self, obj: Oop, name: ElemName) -> GemResult<Oop> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        let (goop, segment) = {
+            let o = self.ws.get(obj)?;
+            (o.goop, o.segment)
+        };
+        {
+            let inner = self.db.inner.lock();
+            inner.auth.check(&self.user, segment, Access::Read)?;
+        }
+        if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
+            // Past state: read through the permanent histories.
+            let v = {
+                let mut inner = self.db.inner.lock();
+                inner.store.get(g)?.elem_at(name, t).unwrap_or(PRef::NIL)
+            };
+            return Ok(pref_to_oop(&self.ws, v));
+        }
+        if let Some(g) = goop {
+            self.record_read(SlotId::Elem(g, name));
+        }
+        let v = self.ws.get(obj)?.elem(name);
+        let v2 = self.swizzle(v)?;
+        if v2 != v {
+            self.ws.get_mut(obj)?.swizzle_elem_in_place(name, v2);
+        }
+        Ok(v2)
+    }
+
+    fn elem_write(&mut self, obj: Oop, name: ElemName, v: Oop) -> GemResult<()> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        // Past states are immutable — but transient scratch objects (no
+        // permanent identity yet) stay writable even while the dial is set,
+        // so read-only reports can build result collections.
+        if self.ws.get(obj)?.goop.is_some() {
+            if self.dial.in_past() {
+                return Err(GemError::WriteInPast);
+            }
+            self.wrote_committed = true;
+        }
+        let segment = self.ws.get(obj)?.segment;
+        {
+            let inner = self.db.inner.lock();
+            inner.auth.check(&self.user, segment, Access::Write)?;
+        }
+        self.ws.get_mut(obj)?.set_elem(name, v);
+        Ok(())
+    }
+}
+
+/// Convert a persistent value into a session pointer: immediates directly,
+/// references either to the already-faulted copy or to an unswizzled ref.
+fn pref_to_oop(ws: &Workspace, v: PRef) -> Oop {
+    match v.as_goop() {
+        Some(g) => ws.lookup_goop(g).unwrap_or_else(|| Oop::unswizzled(g)),
+        None => v.to_oop_immediate().expect("immediate"),
+    }
+}
+
+// ------------------------------------------------------------- OpalWorld
+
+impl OpalWorld for Session {
+    fn intern(&mut self, name: &str) -> SymbolId {
+        self.db.inner.lock().symbols.intern(name)
+    }
+
+    fn sym_name(&self, id: SymbolId) -> String {
+        self.db.inner.lock().symbols.name(id).to_string()
+    }
+
+    fn class_named(&self, name: SymbolId) -> Option<ClassId> {
+        self.db.inner.lock().classes.by_name(name)
+    }
+
+    fn class_name_of(&self, class: ClassId) -> SymbolId {
+        self.db.inner.lock().classes.get(class).name
+    }
+
+    fn superclass_of(&self, class: ClassId) -> Option<ClassId> {
+        self.db.inner.lock().classes.get(class).superclass
+    }
+
+    fn define_subclass(
+        &mut self,
+        superclass: ClassId,
+        name: SymbolId,
+        instvars: Vec<SymbolId>,
+    ) -> GemResult<ClassId> {
+        let mut inner = self.db.inner.lock();
+        let id = inner.classes.subclass(name, superclass, instvars)?;
+        inner.schema_dirty = true;
+        Ok(id)
+    }
+
+    fn add_instvar(&mut self, class: ClassId, var: SymbolId) -> GemResult<()> {
+        let mut inner = self.db.inner.lock();
+        inner.classes.add_instvar(class, var)?;
+        inner.schema_dirty = true;
+        Ok(())
+    }
+
+    fn declares_instvar(&self, class: ClassId, var: SymbolId) -> bool {
+        self.db.inner.lock().classes.declares_instvar(class, var)
+    }
+
+    fn lookup_method(&self, class: ClassId, selector: SymbolId) -> Option<MethodRef> {
+        self.db.inner.lock().classes.lookup_method(class, selector).map(|(_, m)| m)
+    }
+
+    fn lookup_class_method(&self, class: ClassId, selector: SymbolId) -> Option<MethodRef> {
+        self.db.inner.lock().classes.lookup_class_method(class, selector).map(|(_, m)| m)
+    }
+
+    fn install_method(
+        &mut self,
+        class: ClassId,
+        selector: SymbolId,
+        m: MethodRef,
+        class_side: bool,
+    ) {
+        let mut inner = self.db.inner.lock();
+        if class_side {
+            inner.classes.add_class_method(class, selector, m);
+        } else {
+            inner.classes.add_method(class, selector, m);
+        }
+        inner.schema_dirty = true;
+    }
+
+    fn is_kind_of(&self, a: ClassId, b: ClassId) -> bool {
+        self.db.inner.lock().classes.is_kind_of(a, b)
+    }
+
+    fn kernel(&self) -> Kernel {
+        self.kernel
+    }
+
+    fn class_of(&self, oop: Oop) -> ClassId {
+        match oop.kind() {
+            OopKind::Ref(g) => {
+                let mut inner = self.db.inner.lock();
+                inner.store.get(g).map(|o| o.class).unwrap_or(self.kernel.object)
+            }
+            _ => gemstone_object::class_of(&self.ws, &self.kernel, oop),
+        }
+    }
+
+    fn class_format(&self, class: ClassId) -> BodyFormat {
+        self.db.inner.lock().classes.get(class).format
+    }
+
+    fn block_class(&self) -> ClassId {
+        self.block_class
+    }
+
+    fn selector_defined_anywhere(&self, selector: SymbolId) -> bool {
+        self.db.inner.lock().classes.iter().any(|(_, def)| {
+            def.methods.contains_key(&selector) || def.class_methods.contains_key(&selector)
+        })
+    }
+
+    fn note_method_source(&mut self, class: ClassId, source: &str, class_side: bool) {
+        let mut inner = self.db.inner.lock();
+        inner.method_sources.push(MethodSource {
+            class,
+            source: source.to_string(),
+            class_side,
+        });
+        inner.schema_dirty = true;
+    }
+
+    fn method(&self, id: MethodId) -> Arc<CompiledMethod> {
+        self.db.inner.lock().methods[id.0 as usize].clone()
+    }
+
+    fn add_method_code(&mut self, m: CompiledMethod) -> MethodId {
+        let mut inner = self.db.inner.lock();
+        inner.methods.push(Arc::new(m));
+        MethodId(inner.methods.len() as u32 - 1)
+    }
+
+    fn new_object(&mut self, class: ClassId) -> GemResult<Oop> {
+        self.ensure_txn();
+        let format = self.class_format(class);
+        let obj = match format {
+            BodyFormat::Elements => HeapObject::new_elements(class, SegmentId::SYSTEM),
+            BodyFormat::Bytes => HeapObject::new_bytes(class, SegmentId::SYSTEM, Vec::new()),
+        };
+        Ok(self.ws.alloc(obj))
+    }
+
+    fn new_string(&mut self, s: &str) -> Oop {
+        self.ws.alloc(HeapObject::new_bytes(
+            self.kernel.string,
+            SegmentId::SYSTEM,
+            s.as_bytes().to_vec(),
+        ))
+    }
+
+    fn string_value(&self, oop: Oop) -> Option<String> {
+        match oop.kind() {
+            OopKind::Sym(s) => Some(self.sym_name(s)),
+            OopKind::Heap(_) => {
+                self.ws.get(oop).ok().and_then(|o| o.as_str().ok()).map(String::from)
+            }
+            OopKind::Ref(g) => {
+                let mut inner = self.db.inner.lock();
+                inner
+                    .store
+                    .get(g)
+                    .ok()
+                    .and_then(|o| o.bytes_current())
+                    .and_then(|b| std::str::from_utf8(b).ok())
+                    .map(String::from)
+            }
+            _ => None,
+        }
+    }
+
+    fn get_elem(&mut self, obj: Oop, name: ElemName) -> GemResult<Oop> {
+        self.elem_read(obj, name)
+    }
+
+    fn get_elem_at(&mut self, obj: Oop, name: ElemName, t: TxnTime) -> GemResult<Oop> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        let goop = self.ws.get(obj)?.goop;
+        match goop {
+            Some(g) => {
+                let v = {
+                    let mut inner = self.db.inner.lock();
+                    inner.store.get(g)?.elem_at(name, t).unwrap_or(PRef::NIL)
+                };
+                Ok(pref_to_oop(&self.ws, v))
+            }
+            // A transient object has no history: it did not exist at t.
+            None => Ok(Oop::NIL),
+        }
+    }
+
+    fn set_elem(&mut self, obj: Oop, name: ElemName, v: Oop) -> GemResult<()> {
+        self.elem_write(obj, name, v)
+    }
+
+    fn elements(&mut self, obj: Oop) -> GemResult<Vec<Oop>> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        let goop = self.ws.get(obj)?.goop;
+        if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
+            let vals: Vec<PRef> = {
+                let mut inner = self.db.inner.lock();
+                inner.store.get(g)?.elements_at(t).map(|(_, v)| v).collect()
+            };
+            return Ok(vals.into_iter().map(|v| pref_to_oop(&self.ws, v)).collect());
+        }
+        if let Some(g) = goop {
+            self.record_read(SlotId::Object(g));
+        }
+        let raw: Vec<(ElemName, Oop)> = self.ws.get(obj)?.present_elements().collect();
+        let mut out = Vec::with_capacity(raw.len());
+        for (name, v) in raw {
+            let v2 = self.swizzle(v)?;
+            if v2 != v {
+                self.ws.get_mut(obj)?.swizzle_elem_in_place(name, v2);
+            }
+            out.push(v2);
+        }
+        Ok(out)
+    }
+
+    fn element_names(&mut self, obj: Oop) -> GemResult<Vec<ElemName>> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        let goop = self.ws.get(obj)?.goop;
+        if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
+            let mut inner = self.db.inner.lock();
+            return Ok(inner.store.get(g)?.elements_at(t).map(|(n, _)| n).collect());
+        }
+        if let Some(g) = goop {
+            self.record_read(SlotId::Object(g));
+        }
+        Ok(self.ws.get(obj)?.present_elements().map(|(n, _)| n).collect())
+    }
+
+    fn add_aliased(&mut self, obj: Oop, v: Oop) -> GemResult<()> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        if self.ws.get(obj)?.goop.is_some() {
+            if self.dial.in_past() {
+                return Err(GemError::WriteInPast);
+            }
+            self.wrote_committed = true;
+        }
+        self.ws.get_mut(obj)?.add_aliased(v);
+        Ok(())
+    }
+
+    fn push_indexed(&mut self, obj: Oop, v: Oop) -> GemResult<i64> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        if self.ws.get(obj)?.goop.is_some() {
+            if self.dial.in_past() {
+                return Err(GemError::WriteInPast);
+            }
+            self.wrote_committed = true;
+        }
+        Ok(self.ws.get_mut(obj)?.push_indexed(v).as_int().unwrap())
+    }
+
+    fn obj_size(&mut self, obj: Oop) -> GemResult<usize> {
+        self.ensure_txn();
+        let obj = self.swizzle(obj)?;
+        let goop = self.ws.get(obj)?.goop;
+        if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
+            let mut inner = self.db.inner.lock();
+            let pobj = inner.store.get(g)?;
+            return Ok(match pobj.bytes_at(t) {
+                Some(b) => b.len(),
+                None => pobj.elements_at(t).count(),
+            });
+        }
+        if let Some(g) = goop {
+            self.record_read(SlotId::Object(g));
+        }
+        let o = self.ws.get(obj)?;
+        Ok(match o.bytes() {
+            Some(b) => b.len(),
+            None => o.size(),
+        })
+    }
+
+    fn equals(&mut self, a: Oop, b: Oop) -> GemResult<bool> {
+        let a = self.swizzle(a)?;
+        let b = self.swizzle(b)?;
+        let inner = self.db.inner.lock();
+        Ok(structurally_equal(&self.ws, &inner.symbols, a, b))
+    }
+
+    fn compare(&mut self, a: Oop, b: Oop) -> GemResult<Option<Ordering>> {
+        let a = self.swizzle(a)?;
+        let b = self.swizzle(b)?;
+        gemstone_opal::world::compare_values(self, a, b)
+    }
+
+    fn get_global(&self, name: SymbolId) -> Option<Oop> {
+        if let Some(v) = self.pending_globals.get(&name) {
+            return Some(*v);
+        }
+        let inner = self.db.inner.lock();
+        inner.globals.get(&name).map(|p| pref_to_oop(&self.ws, *p))
+    }
+
+    fn set_global(&mut self, name: SymbolId, v: Oop) -> GemResult<()> {
+        self.ensure_txn();
+        self.pending_globals.insert(name, v);
+        Ok(())
+    }
+
+    fn system_message(&mut self, selector: SymbolId, args: &[Oop]) -> GemResult<Oop> {
+        let name = self.sym_name(selector);
+        match name.as_str() {
+            "commitTransaction" => match self.commit() {
+                Ok(_) => Ok(Oop::TRUE),
+                Err(GemError::TransactionConflict { .. }) => Ok(Oop::FALSE),
+                Err(e) => Err(e),
+            },
+            "abortTransaction" => {
+                self.abort();
+                Ok(Oop::TRUE)
+            }
+            "timeDial:" => {
+                let t = args[0].as_int().filter(|t| *t >= 0).ok_or_else(|| {
+                    GemError::TypeMismatch {
+                        expected: "non-negative integer time",
+                        got: format!("{:?}", args[0]),
+                    }
+                })?;
+                self.set_time_dial(TxnTime::from_ticks(t as u64));
+                Ok(args[0])
+            }
+            "timeDialNow" => {
+                self.time_dial_now();
+                Ok(Oop::TRUE)
+            }
+            "safeTime" => Ok(Oop::int(self.safe_time().ticks() as i64)),
+            "currentTime" => Ok(Oop::int(self.db.txns.now().ticks() as i64)),
+            "archiveHistoryBefore:" => {
+                if self.user != DBA {
+                    return Err(GemError::AuthorizationDenied {
+                        segment: 0,
+                        detail: "only the DBA may archive history".into(),
+                    });
+                }
+                let t = args[0].as_int().filter(|t| *t >= 0).ok_or_else(|| {
+                    GemError::TypeMismatch {
+                        expected: "non-negative integer time",
+                        got: format!("{:?}", args[0]),
+                    }
+                })?;
+                let n = self.db.archive_history_before(TxnTime::from_ticks(t as u64))?;
+                Ok(Oop::int(n as i64))
+            }
+            "createIndexOn:path:" => {
+                let coll = self.swizzle(args[0])?;
+                let goop = self.ws.get(coll)?.goop.ok_or_else(|| {
+                    GemError::RuntimeError(
+                        "createIndexOn: requires a committed collection (commit first)".into(),
+                    )
+                })?;
+                let path = self.path_arg(args[1])?;
+                let now = self.db.txns.now();
+                let mut inner = self.db.inner.lock();
+                let DbInner { store, symbols, dirs, .. } = &mut *inner;
+                dirs.create_index(store, symbols, goop, path, now)?;
+                inner.schema_dirty = true;
+                Ok(Oop::TRUE)
+            }
+            "error:" => {
+                let msg = self
+                    .string_value(args[0])
+                    .unwrap_or_else(|| format!("{:?}", args[0]));
+                Err(GemError::RuntimeError(msg))
+            }
+            other => Err(GemError::DoesNotUnderstand {
+                class: "System".into(),
+                selector: other.to_string(),
+            }),
+        }
+    }
+
+    fn run_select(
+        &mut self,
+        coll: Oop,
+        template: &QueryTemplate,
+        captured: &[Oop],
+    ) -> GemResult<Vec<Oop>> {
+        self.ensure_txn();
+        let coll = self.swizzle(coll)?;
+        // Substitute the receiver and captured values into the template.
+        let mut query = template.query.clone();
+        query.ranges[0].domain = Term::Const(coll);
+        let mut env_consts: HashMap<VarId, Oop> = HashMap::new();
+        for (i, v) in captured.iter().enumerate() {
+            env_consts.insert(VarId(1 + i as u16), *v);
+        }
+        substitute(&mut query.pred, &env_consts);
+        let catalog = { self.db.inner.lock().dirs.catalog().clone() };
+        let rows = gemstone_calculus::eval_query(self, &query, &catalog)?;
+        Ok(rows.into_iter().map(|mut r| r.remove(0)).collect())
+    }
+}
+
+/// Replace captured-variable terms with constants.
+fn substitute(pred: &mut gemstone_calculus::Pred, env: &HashMap<VarId, Oop>) {
+    use gemstone_calculus::Pred as P;
+    match pred {
+        P::True => {}
+        P::And(a, b) | P::Or(a, b) => {
+            substitute(a, env);
+            substitute(b, env);
+        }
+        P::Not(a) => substitute(a, env),
+        P::Cmp(a, _, b) | P::In(a, b) | P::Subset(a, b) => {
+            substitute_term(a, env);
+            substitute_term(b, env);
+        }
+    }
+}
+
+fn substitute_term(term: &mut Term, env: &HashMap<VarId, Oop>) {
+    match term {
+        Term::Var(v) => {
+            if let Some(c) = env.get(v) {
+                *term = Term::Const(*c);
+            }
+        }
+        Term::Path(_, _) | Term::Const(_) => {}
+        Term::Mul(a, b) | Term::Add(a, b) | Term::Sub(a, b) | Term::Div(a, b) => {
+            substitute_term(a, env);
+            substitute_term(b, env);
+        }
+    }
+}
+
+// ----------------------------------------------------------- QueryContext
+
+impl QueryContext for Session {
+    fn elem(&mut self, obj: Oop, name: ElemName) -> GemResult<Oop> {
+        if obj.is_nil() {
+            return Ok(Oop::NIL);
+        }
+        self.elem_read(obj, name)
+    }
+
+    fn elements(&mut self, obj: Oop) -> GemResult<Vec<Oop>> {
+        OpalWorld::elements(self, obj)
+    }
+
+    fn equals(&mut self, a: Oop, b: Oop) -> GemResult<bool> {
+        OpalWorld::equals(self, a, b)
+    }
+
+    fn compare(&mut self, a: Oop, b: Oop) -> GemResult<Option<Ordering>> {
+        OpalWorld::compare(self, a, b)
+    }
+
+    fn index_range(
+        &mut self,
+        collection: Oop,
+        path: &[ElemName],
+        lo: Option<(Oop, bool)>,
+        hi: Option<(Oop, bool)>,
+    ) -> GemResult<Option<Vec<Oop>>> {
+        if self.has_local_writes() {
+            return Ok(None);
+        }
+        let collection = self.swizzle(collection)?;
+        let Some(goop) = self.ws.get(collection)?.goop else {
+            return Ok(None);
+        };
+        let lo_key = match lo {
+            None => None,
+            Some((k, inc)) => {
+                let k = self.swizzle(k)?;
+                match self.session_dir_key(k)? {
+                    Some(dk) => Some((dk, inc)),
+                    None => return Ok(None),
+                }
+            }
+        };
+        let hi_key = match hi {
+            None => None,
+            Some((k, inc)) => {
+                let k = self.swizzle(k)?;
+                match self.session_dir_key(k)? {
+                    Some(dk) => Some((dk, inc)),
+                    None => return Ok(None),
+                }
+            }
+        };
+        let at = self.dial.setting();
+        let goops = {
+            let inner = self.db.inner.lock();
+            inner.dirs.range(
+                goop,
+                path,
+                lo_key.as_ref().map(|(k, i)| (k, *i)),
+                hi_key.as_ref().map(|(k, i)| (k, *i)),
+                at,
+            )
+        };
+        let Some(goops) = goops else { return Ok(None) };
+        self.record_read(SlotId::Object(goop));
+        let mut out = Vec::with_capacity(goops.len());
+        for g in goops {
+            out.push(self.swizzle(Oop::unswizzled(g))?);
+        }
+        Ok(Some(out))
+    }
+
+    fn index_lookup(
+        &mut self,
+        collection: Oop,
+        path: &[ElemName],
+        key: Oop,
+    ) -> GemResult<Option<Vec<Oop>>> {
+        // Directories reflect committed state only.
+        if self.has_local_writes() {
+            return Ok(None);
+        }
+        let collection = self.swizzle(collection)?;
+        let Some(goop) = self.ws.get(collection)?.goop else {
+            return Ok(None);
+        };
+        let key = self.swizzle(key)?;
+        let dir_key = match self.session_dir_key(key)? {
+            Some(k) => k,
+            None => return Ok(None),
+        };
+        let at = self.dial.setting();
+        let goops = {
+            let inner = self.db.inner.lock();
+            inner.dirs.lookup(goop, path, &dir_key, at)
+        };
+        let Some(goops) = goops else { return Ok(None) };
+        self.record_read(SlotId::Object(goop));
+        let mut out = Vec::with_capacity(goops.len());
+        for g in goops {
+            out.push(self.swizzle(Oop::unswizzled(g))?);
+        }
+        Ok(Some(out))
+    }
+}
+
+impl Session {
+    /// A DirKey for a session value (mirrors the store-side key function).
+    fn session_dir_key(&mut self, v: Oop) -> GemResult<Option<DirKey>> {
+        Ok(match v.kind() {
+            OopKind::Int(i) => Some(DirKey::num(i as f64)),
+            OopKind::Float(f) => Some(DirKey::num(f)),
+            OopKind::Sym(s) => Some(DirKey::text(&self.sym_name(s))),
+            OopKind::Char(c) => Some(DirKey::Text(c.to_string().into_bytes())),
+            OopKind::True | OopKind::False => {
+                Some(DirKey::Ref(v.to_pref_immediate().unwrap().bits()))
+            }
+            OopKind::Heap(_) => {
+                let o = self.ws.get(v)?;
+                match o.bytes() {
+                    Some(b) => Some(DirKey::Text(b.to_vec())),
+                    None => o.goop.map(|g| DirKey::Ref(g.0)),
+                }
+            }
+            _ => None,
+        })
+    }
+
+    /// Parse the `path:` argument of `createIndexOn:path:` — a symbol,
+    /// string, or array of symbols/strings.
+    fn path_arg(&mut self, v: Oop) -> GemResult<Vec<SymbolId>> {
+        if let Some(s) = v.as_sym() {
+            return Ok(vec![s]);
+        }
+        if let Some(s) = self.string_value(v) {
+            return Ok(vec![self.intern(&s)]);
+        }
+        if v.is_heap() {
+            let parts = OpalWorld::elements(self, v)?;
+            let mut path = Vec::with_capacity(parts.len());
+            for p in parts {
+                match p.as_sym() {
+                    Some(s) => path.push(s),
+                    None => {
+                        let s = self.string_value(p).ok_or_else(|| GemError::TypeMismatch {
+                            expected: "symbol path element",
+                            got: format!("{p:?}"),
+                        })?;
+                        path.push(self.intern(&s));
+                    }
+                }
+            }
+            return Ok(path);
+        }
+        Err(GemError::TypeMismatch { expected: "path (symbol or array)", got: format!("{v:?}") })
+    }
+}

@@ -1,0 +1,84 @@
+//! Unit-level coverage of the `Database` Rust API (the DBA's programmatic
+//! surface, distinct from the OPAL System commands).
+
+use gemstone::{Database, GemError, StoreConfig, TxnTime};
+
+#[test]
+fn storage_stats_reflect_activity() {
+    let db = Database::in_memory();
+    db.reset_storage_stats();
+    let mut s = db.login("system").unwrap();
+    s.run("D := Dictionary new. D at: #x put: 1").unwrap();
+    s.commit().unwrap();
+    let (store, disk) = db.storage_stats();
+    assert!(store.commits >= 1);
+    assert!(store.objects_written >= 1);
+    assert!(disk.track_writes >= 2, "data + root at least");
+    assert!(disk.bytes_written > 0);
+}
+
+#[test]
+fn txn_counts_track_commits_and_aborts() {
+    let db = Database::in_memory();
+    let mut s = db.login("system").unwrap();
+    s.run("X := 1").unwrap();
+    s.commit().unwrap();
+    s.run("X := 2").unwrap();
+    s.abort();
+    let (commits, aborts) = db.txn_counts();
+    assert!(commits >= 1);
+    assert!(aborts >= 1);
+}
+
+#[test]
+fn archive_api_mirrors_the_system_command() {
+    let db = Database::in_memory();
+    let mut s = db.login("system").unwrap();
+    s.run("D := Dictionary new. D at: #v put: 0").unwrap();
+    s.commit().unwrap();
+    for i in 1..=5 {
+        s.run(&format!("D at: #v put: {i}")).unwrap();
+        s.commit().unwrap();
+    }
+    let now = db.txn_counts().0; // not a time — use the session's clock below
+    let _ = now;
+    let t = s.run("System currentTime").unwrap().as_int().unwrap() as u64;
+    let archived = db.archive_history_before(TxnTime::from_ticks(t)).unwrap();
+    assert!(archived >= 4, "old associations pruned: {archived}");
+    assert_eq!(s.run("D at: #v").unwrap().as_int(), Some(5));
+}
+
+#[test]
+fn directory_count_and_cache_limits() {
+    let db = Database::in_memory();
+    assert_eq!(db.directory_count(), 0);
+    let mut s = db.login("system").unwrap();
+    s.run("| d | C := Set new. d := Dictionary new. d at: #k put: 1. C add: d").unwrap();
+    s.commit().unwrap();
+    s.run("System createIndexOn: C path: #k").unwrap();
+    s.commit().unwrap();
+    assert_eq!(db.directory_count(), 1);
+    // Cache limit round-trips without breaking reads.
+    db.set_object_cache_limit(Some(1));
+    s.abort();
+    assert_eq!(s.run("(C detect: [:e | true]) at: #k").unwrap().as_int(), Some(1));
+    db.set_object_cache_limit(None);
+}
+
+#[test]
+fn shutdown_refuses_while_shared_then_succeeds() {
+    let db = Database::create(StoreConfig::default()).unwrap();
+    let extra = db.clone();
+    let err = db.into_disk();
+    assert!(matches!(err, Err(GemError::RuntimeError(_))), "still shared");
+    // The failed into_disk consumed one Arc; `extra` is now the only owner.
+    assert!(extra.into_disk().is_ok());
+}
+
+#[test]
+fn create_user_then_login() {
+    let db = Database::in_memory();
+    assert!(db.login("ada").is_err());
+    db.create_user("ada");
+    assert!(db.login("ada").is_ok());
+}

@@ -1,0 +1,500 @@
+//! Classes and the strict class hierarchy (§4.1).
+//!
+//! "So that each object does not have to carry around a list of messages it
+//! handles, objects are organized into classes. … The class definition
+//! contains the procedures (methods) that its objects use to respond to
+//! messages. Classes are organized in a (strict) hierarchy, so that they can
+//! share common structure and methods in a superclass."
+//!
+//! Per the GemStone design goals (§2A/§2C), the class mechanism here
+//! *separates type definition from instantiation*, allows new instance
+//! variables to be added to a class **without restructuring existing
+//! instances** (instances store only the elements they actually have), and
+//! lets methods be attached to any class, including subclasses of simple
+//! types.
+
+use crate::error::{GemError, GemResult};
+use crate::oop::{Oop, OopKind};
+use crate::symbol::{SymbolId, SymbolTable};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of a class.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ClassId(pub u32);
+
+impl fmt::Debug for ClassId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "c{}", self.0)
+    }
+}
+
+/// Identity of a compiled method. The bytecode itself lives in the OPAL
+/// interpreter's method space; the class table only holds the reference.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub struct MethodId(pub u32);
+
+/// How a class responds to a selector.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum MethodRef {
+    /// A primitive method implemented by the interpreter (§6: the Interpreter
+    /// "performs stack manipulations and some primitive methods").
+    Primitive(u32),
+    /// A compiled OPAL method.
+    Compiled(MethodId),
+}
+
+/// Physical body format of instances.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum BodyFormat {
+    /// Labeled-set body: a map from element names to values. Covers named
+    /// instance variables, arrays (integer names), and unlabeled sets
+    /// (aliases) uniformly, as in the STDM treatment of §5.1.
+    Elements,
+    /// Byte body: strings and byte arrays. Large byte objects (long
+    /// documents, images — §4.3) are supported; only secondary storage
+    /// bounds their size.
+    Bytes,
+}
+
+/// Whether a class is part of the bootstrap kernel or user defined.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ClassKind {
+    Kernel,
+    User,
+}
+
+/// A class definition.
+#[derive(Debug, Clone)]
+pub struct ClassDef {
+    pub name: SymbolId,
+    pub superclass: Option<ClassId>,
+    pub format: BodyFormat,
+    /// Instance variables declared *by this class* (not inherited). These are
+    /// declarations only: instances pay no storage for variables they leave
+    /// unset (§4.3's "optional instance variables, without a storage
+    /// penalty").
+    pub instvars: Vec<SymbolId>,
+    /// Instance-side method dictionary.
+    pub methods: HashMap<SymbolId, MethodRef>,
+    /// Class-side method dictionary (`new`, constructors…).
+    pub class_methods: HashMap<SymbolId, MethodRef>,
+    pub kind: ClassKind,
+}
+
+/// The well-known kernel classes, bootstrapped before any user code runs.
+#[derive(Debug, Clone, Copy)]
+pub struct Kernel {
+    pub object: ClassId,
+    pub undefined_object: ClassId,
+    pub boolean: ClassId,
+    pub true_class: ClassId,
+    pub false_class: ClassId,
+    pub magnitude: ClassId,
+    pub number: ClassId,
+    pub small_integer: ClassId,
+    pub float: ClassId,
+    pub character: ClassId,
+    pub collection: ClassId,
+    pub string: ClassId,
+    pub symbol: ClassId,
+    pub array: ClassId,
+    pub ordered_collection: ClassId,
+    pub set: ClassId,
+    pub bag: ClassId,
+    pub dictionary: ClassId,
+    pub association: ClassId,
+    pub metaclass: ClassId,
+    pub system_class: ClassId,
+}
+
+impl Kernel {
+    /// The class of an immediate value. Heap references need the workspace.
+    pub fn class_of_immediate(&self, oop: Oop) -> Option<ClassId> {
+        match oop.kind() {
+            OopKind::Nil => Some(self.undefined_object),
+            OopKind::True => Some(self.true_class),
+            OopKind::False => Some(self.false_class),
+            OopKind::System => Some(self.system_class),
+            OopKind::Int(_) => Some(self.small_integer),
+            OopKind::Float(_) => Some(self.float),
+            OopKind::Char(_) => Some(self.character),
+            OopKind::Sym(_) => Some(self.symbol),
+            OopKind::Class(_) => Some(self.metaclass),
+            OopKind::Heap(_) | OopKind::Ref(_) => None,
+        }
+    }
+}
+
+/// The database-wide class table.
+#[derive(Debug, Default)]
+pub struct ClassTable {
+    defs: Vec<ClassDef>,
+    by_name: HashMap<SymbolId, ClassId>,
+}
+
+impl ClassTable {
+    /// Bootstrap the kernel hierarchy.
+    pub fn bootstrap(symbols: &mut SymbolTable) -> (ClassTable, Kernel) {
+        let mut t = ClassTable::default();
+        let def = |t: &mut ClassTable,
+                       symbols: &mut SymbolTable,
+                       name: &str,
+                       sup: Option<ClassId>,
+                       format: BodyFormat| {
+            let name = symbols.intern(name);
+            t.define(ClassDef {
+                name,
+                superclass: sup,
+                format,
+                instvars: Vec::new(),
+                methods: HashMap::new(),
+                class_methods: HashMap::new(),
+                kind: ClassKind::Kernel,
+            })
+            .expect("kernel bootstrap")
+        };
+        use BodyFormat::{Bytes, Elements};
+        let object = def(&mut t, symbols, "Object", None, Elements);
+        let undefined_object = def(&mut t, symbols, "UndefinedObject", Some(object), Elements);
+        let boolean = def(&mut t, symbols, "Boolean", Some(object), Elements);
+        let true_class = def(&mut t, symbols, "True", Some(boolean), Elements);
+        let false_class = def(&mut t, symbols, "False", Some(boolean), Elements);
+        let magnitude = def(&mut t, symbols, "Magnitude", Some(object), Elements);
+        let number = def(&mut t, symbols, "Number", Some(magnitude), Elements);
+        let small_integer = def(&mut t, symbols, "SmallInteger", Some(number), Elements);
+        let float = def(&mut t, symbols, "Float", Some(number), Elements);
+        let character = def(&mut t, symbols, "Character", Some(magnitude), Elements);
+        let collection = def(&mut t, symbols, "Collection", Some(object), Elements);
+        let string = def(&mut t, symbols, "String", Some(collection), Bytes);
+        let symbol = def(&mut t, symbols, "Symbol", Some(string), Bytes);
+        let array = def(&mut t, symbols, "Array", Some(collection), Elements);
+        let ordered_collection =
+            def(&mut t, symbols, "OrderedCollection", Some(collection), Elements);
+        let set = def(&mut t, symbols, "Set", Some(collection), Elements);
+        let bag = def(&mut t, symbols, "Bag", Some(collection), Elements);
+        let dictionary = def(&mut t, symbols, "Dictionary", Some(collection), Elements);
+        let association = def(&mut t, symbols, "Association", Some(object), Elements);
+        let metaclass = def(&mut t, symbols, "Metaclass", Some(object), Elements);
+        let system_class = def(&mut t, symbols, "System", Some(object), Elements);
+
+        let key = symbols.intern("key");
+        let value = symbols.intern("value");
+        t.defs[association.0 as usize].instvars = vec![key, value];
+
+        let kernel = Kernel {
+            object,
+            undefined_object,
+            boolean,
+            true_class,
+            false_class,
+            magnitude,
+            number,
+            small_integer,
+            float,
+            character,
+            collection,
+            string,
+            symbol,
+            array,
+            ordered_collection,
+            set,
+            bag,
+            dictionary,
+            association,
+            metaclass,
+            system_class,
+        };
+        (t, kernel)
+    }
+
+    /// Register a class definition.
+    pub fn define(&mut self, def: ClassDef) -> GemResult<ClassId> {
+        if self.by_name.contains_key(&def.name) {
+            return Err(GemError::ClassExists(def.name));
+        }
+        if let Some(sup) = def.superclass {
+            if sup.0 as usize >= self.defs.len() {
+                return Err(GemError::NoSuchClass(def.name));
+            }
+        }
+        let id = ClassId(u32::try_from(self.defs.len()).expect("class table exhausted"));
+        self.by_name.insert(def.name, id);
+        self.defs.push(def);
+        Ok(id)
+    }
+
+    /// Create a user subclass, inheriting the superclass's body format.
+    /// This is the `subclass:instVarNames:` protocol of §4.1's Employee /
+    /// Manager example.
+    pub fn subclass(
+        &mut self,
+        name: SymbolId,
+        superclass: ClassId,
+        instvars: Vec<SymbolId>,
+    ) -> GemResult<ClassId> {
+        // Reject duplicate declarations against inherited variables — each
+        // name must label a single element (§5.1).
+        let inherited = self.all_instvars(superclass);
+        for v in &instvars {
+            if inherited.contains(v) || instvars.iter().filter(|w| *w == v).count() > 1 {
+                return Err(GemError::DuplicateInstVar(*v));
+            }
+        }
+        let format = self.get(superclass).format;
+        self.define(ClassDef {
+            name,
+            superclass: Some(superclass),
+            format,
+            instvars,
+            methods: HashMap::new(),
+            class_methods: HashMap::new(),
+            kind: ClassKind::User,
+        })
+    }
+
+    /// The definition of a class.
+    pub fn get(&self, id: ClassId) -> &ClassDef {
+        &self.defs[id.0 as usize]
+    }
+
+    /// Mutable access (method installation, schema evolution).
+    pub fn get_mut(&mut self, id: ClassId) -> &mut ClassDef {
+        &mut self.defs[id.0 as usize]
+    }
+
+    /// Find a class by name.
+    pub fn by_name(&self, name: SymbolId) -> Option<ClassId> {
+        self.by_name.get(&name).copied()
+    }
+
+    /// True if `a` is `b` or a (transitive) subclass of `b`.
+    pub fn is_kind_of(&self, a: ClassId, b: ClassId) -> bool {
+        let mut cur = Some(a);
+        while let Some(c) = cur {
+            if c == b {
+                return true;
+            }
+            cur = self.get(c).superclass;
+        }
+        false
+    }
+
+    /// All declared instance variables, superclass-first.
+    pub fn all_instvars(&self, id: ClassId) -> Vec<SymbolId> {
+        let mut chain = Vec::new();
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            chain.push(c);
+            cur = self.get(c).superclass;
+        }
+        let mut vars = Vec::new();
+        for c in chain.into_iter().rev() {
+            vars.extend_from_slice(&self.get(c).instvars);
+        }
+        vars
+    }
+
+    /// True if `var` is declared by `id` or an ancestor.
+    pub fn declares_instvar(&self, id: ClassId, var: SymbolId) -> bool {
+        let mut cur = Some(id);
+        while let Some(c) = cur {
+            if self.get(c).instvars.contains(&var) {
+                return true;
+            }
+            cur = self.get(c).superclass;
+        }
+        false
+    }
+
+    /// Add an instance variable to an existing class. Existing instances are
+    /// untouched: they simply lack the element until it is first assigned —
+    /// the §2C goal of "modification of database schemes without database
+    /// restructuring".
+    pub fn add_instvar(&mut self, id: ClassId, var: SymbolId) -> GemResult<()> {
+        if self.declares_instvar(id, var) {
+            return Err(GemError::DuplicateInstVar(var));
+        }
+        self.get_mut(id).instvars.push(var);
+        Ok(())
+    }
+
+    /// Install an instance-side method.
+    pub fn add_method(&mut self, id: ClassId, selector: SymbolId, m: MethodRef) {
+        self.get_mut(id).methods.insert(selector, m);
+    }
+
+    /// Install a class-side method.
+    pub fn add_class_method(&mut self, id: ClassId, selector: SymbolId, m: MethodRef) {
+        self.get_mut(id).class_methods.insert(selector, m);
+    }
+
+    /// Look up `selector` starting at `class` and walking up the hierarchy.
+    /// Returns the defining class and the method.
+    pub fn lookup_method(&self, class: ClassId, selector: SymbolId) -> Option<(ClassId, MethodRef)> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(&m) = self.get(c).methods.get(&selector) {
+                return Some((c, m));
+            }
+            cur = self.get(c).superclass;
+        }
+        None
+    }
+
+    /// Look up a class-side method.
+    pub fn lookup_class_method(
+        &self,
+        class: ClassId,
+        selector: SymbolId,
+    ) -> Option<(ClassId, MethodRef)> {
+        let mut cur = Some(class);
+        while let Some(c) = cur {
+            if let Some(&m) = self.get(c).class_methods.get(&selector) {
+                return Some((c, m));
+            }
+            cur = self.get(c).superclass;
+        }
+        None
+    }
+
+    /// Number of classes defined.
+    pub fn len(&self) -> usize {
+        self.defs.len()
+    }
+
+    /// True when empty (never true after bootstrap).
+    pub fn is_empty(&self) -> bool {
+        self.defs.is_empty()
+    }
+
+    /// All classes in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (ClassId, &ClassDef)> {
+        self.defs.iter().enumerate().map(|(i, d)| (ClassId(i as u32), d))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (SymbolTable, ClassTable, Kernel) {
+        let mut symbols = SymbolTable::new();
+        let (classes, kernel) = ClassTable::bootstrap(&mut symbols);
+        (symbols, classes, kernel)
+    }
+
+    #[test]
+    fn bootstrap_hierarchy() {
+        let (_, classes, k) = setup();
+        assert!(classes.is_kind_of(k.small_integer, k.number));
+        assert!(classes.is_kind_of(k.small_integer, k.magnitude));
+        assert!(classes.is_kind_of(k.small_integer, k.object));
+        assert!(!classes.is_kind_of(k.small_integer, k.collection));
+        assert!(classes.is_kind_of(k.symbol, k.string));
+        assert_eq!(classes.get(k.string).format, BodyFormat::Bytes);
+        assert_eq!(classes.get(k.set).format, BodyFormat::Elements);
+    }
+
+    #[test]
+    fn employee_manager_example() {
+        // §4.1: "We can define a class Employee, with each instance having a
+        // name, a set of departments and a salary. … A subclass Manager of
+        // class Employee could define additional structure, such as the
+        // department managed."
+        let (mut symbols, mut classes, k) = setup();
+        let emp_name = symbols.intern("Employee");
+        let name = symbols.intern("name");
+        let depts = symbols.intern("depts");
+        let salary = symbols.intern("salary");
+        let employee = classes.subclass(emp_name, k.object, vec![name, depts, salary]).unwrap();
+
+        let mgr_name = symbols.intern("Manager");
+        let managed = symbols.intern("departmentManaged");
+        let manager = classes.subclass(mgr_name, employee, vec![managed]).unwrap();
+
+        assert!(classes.is_kind_of(manager, employee));
+        assert_eq!(classes.all_instvars(manager), vec![name, depts, salary, managed]);
+        assert!(classes.declares_instvar(manager, salary), "inherited");
+        assert!(!classes.declares_instvar(employee, managed));
+    }
+
+    #[test]
+    fn duplicate_class_name_rejected() {
+        let (mut symbols, mut classes, k) = setup();
+        let n = symbols.intern("Emp");
+        classes.subclass(n, k.object, vec![]).unwrap();
+        assert!(matches!(classes.subclass(n, k.object, vec![]), Err(GemError::ClassExists(_))));
+    }
+
+    #[test]
+    fn duplicate_instvar_rejected() {
+        let (mut symbols, mut classes, k) = setup();
+        let n = symbols.intern("Emp");
+        let v = symbols.intern("x");
+        let emp = classes.subclass(n, k.object, vec![v]).unwrap();
+        let n2 = symbols.intern("Emp2");
+        assert!(matches!(
+            classes.subclass(n2, emp, vec![v]),
+            Err(GemError::DuplicateInstVar(_))
+        ));
+        let n3 = symbols.intern("Emp3");
+        let w = symbols.intern("w");
+        assert!(matches!(
+            classes.subclass(n3, emp, vec![w, w]),
+            Err(GemError::DuplicateInstVar(_))
+        ));
+    }
+
+    #[test]
+    fn method_lookup_walks_hierarchy() {
+        let (mut symbols, mut classes, k) = setup();
+        let sel = symbols.intern("printString");
+        classes.add_method(k.object, sel, MethodRef::Primitive(1));
+        let n = symbols.intern("Emp");
+        let emp = classes.subclass(n, k.object, vec![]).unwrap();
+        let (defining, m) = classes.lookup_method(emp, sel).unwrap();
+        assert_eq!(defining, k.object);
+        assert_eq!(m, MethodRef::Primitive(1));
+        // Overriding in the subclass shadows the superclass.
+        classes.add_method(emp, sel, MethodRef::Primitive(2));
+        let (defining, m) = classes.lookup_method(emp, sel).unwrap();
+        assert_eq!(defining, emp);
+        assert_eq!(m, MethodRef::Primitive(2));
+    }
+
+    #[test]
+    fn schema_evolution_adds_instvar() {
+        let (mut symbols, mut classes, k) = setup();
+        let n = symbols.intern("Emp");
+        let emp = classes.subclass(n, k.object, vec![]).unwrap();
+        let phone = symbols.intern("phone");
+        classes.add_instvar(emp, phone).unwrap();
+        assert!(classes.declares_instvar(emp, phone));
+        assert!(classes.add_instvar(emp, phone).is_err());
+    }
+
+    #[test]
+    fn class_of_immediates() {
+        let (_, _, k) = setup();
+        assert_eq!(k.class_of_immediate(Oop::int(5)), Some(k.small_integer));
+        assert_eq!(k.class_of_immediate(Oop::float(1.5)), Some(k.float));
+        assert_eq!(k.class_of_immediate(Oop::NIL), Some(k.undefined_object));
+        assert_eq!(k.class_of_immediate(Oop::TRUE), Some(k.true_class));
+        assert_eq!(k.class_of_immediate(Oop::obj(3)), None);
+    }
+
+    #[test]
+    fn operations_on_subclasses_of_simple_types() {
+        // §2A: "We can't create a new 'employee number' type with a
+        // non-standard ordering" — here we can: subclass SmallInteger's class
+        // and attach methods.
+        let (mut symbols, mut classes, k) = setup();
+        let n = symbols.intern("EmployeeNumber");
+        let empno = classes.subclass(n, k.small_integer, vec![]).unwrap();
+        let sel = symbols.intern("nearestPayday");
+        classes.add_method(empno, sel, MethodRef::Primitive(99));
+        assert!(classes.lookup_method(empno, sel).is_some());
+        assert!(classes.lookup_method(k.small_integer, sel).is_none());
+    }
+}

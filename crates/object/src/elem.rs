@@ -1,0 +1,103 @@
+//! Element names of the GemStone Data Model (§5.1).
+//!
+//! "A set has elements, each of which has an element name that labels the
+//! element and a value. … No two elements in a set may have the same element
+//! name. For sets without labels, arbitrary aliases are used as element
+//! names. Presumably, the database system can generate unique aliases upon
+//! demand."
+//!
+//! Three name spaces cover the paper's uses:
+//!
+//! * `Int` — arrays are "sets with numbers as element names" (§5.2);
+//! * `Sym` — named instance variables, dictionary keys, string labels;
+//! * `Alias` — system-generated labels for unlabeled sets (the `A12`, `E62`
+//!   of the §5.1 example database).
+//!
+//! The ordering `Int < Sym < Alias` gives arrays their natural iteration
+//! order while keeping all elements in one ordered map.
+
+use crate::symbol::SymbolId;
+use std::fmt;
+
+/// An element name.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ElemName {
+    /// Numeric element name (array index).
+    Int(i64),
+    /// Symbolic element name (instance variable, dictionary key, label).
+    Sym(SymbolId),
+    /// System-generated alias for elements of unlabeled sets.
+    Alias(u64),
+}
+
+impl ElemName {
+    /// True for system-generated aliases.
+    pub fn is_alias(self) -> bool {
+        matches!(self, ElemName::Alias(_))
+    }
+
+    /// The numeric name, if this is one.
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            ElemName::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The symbolic name, if this is one.
+    pub fn as_sym(self) -> Option<SymbolId> {
+        match self {
+            ElemName::Sym(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Debug for ElemName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ElemName::Int(i) => write!(f, "[{i}]"),
+            ElemName::Sym(s) => write!(f, "{s:?}"),
+            ElemName::Alias(a) => write!(f, "A{a}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_groups_namespaces() {
+        let names = [
+            ElemName::Alias(0),
+            ElemName::Sym(SymbolId(0)),
+            ElemName::Int(5),
+            ElemName::Int(-3),
+            ElemName::Alias(9),
+            ElemName::Sym(SymbolId(4)),
+        ];
+        let mut sorted = names;
+        sorted.sort();
+        assert_eq!(
+            sorted,
+            [
+                ElemName::Int(-3),
+                ElemName::Int(5),
+                ElemName::Sym(SymbolId(0)),
+                ElemName::Sym(SymbolId(4)),
+                ElemName::Alias(0),
+                ElemName::Alias(9),
+            ]
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(ElemName::Int(7).as_int(), Some(7));
+        assert_eq!(ElemName::Sym(SymbolId(1)).as_int(), None);
+        assert_eq!(ElemName::Sym(SymbolId(1)).as_sym(), Some(SymbolId(1)));
+        assert!(ElemName::Alias(3).is_alias());
+        assert!(!ElemName::Int(3).is_alias());
+    }
+}

@@ -1,0 +1,180 @@
+//! Identity versus structural equivalence (§4.2).
+//!
+//! "Two entities are identical if they are represented by the same object.
+//! Two entities can have equivalent structures (have all component values
+//! the same), but not be the same object. Thus, we can distinguish, say, two
+//! gates in a circuit that have all the same characteristics, but are not
+//! physically the same gate."
+//!
+//! Identity (`==` in OPAL) is pointer equality on [`Oop`]s — the workspace
+//! guarantees one local copy per permanent identity. Structural equivalence
+//! (`=`) compares immediates by value (with numeric tower coercion),
+//! byte objects by content, and falls back to identity for element objects,
+//! as ST80 does by default.
+
+use crate::class::{ClassTable, Kernel};
+use crate::heap::Workspace;
+use crate::oop::{Oop, OopKind};
+
+/// A hashable key under structural equivalence, used by Set/Bag membership
+/// and by the Directory Manager to index collections by value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKey {
+    /// Numbers, normalized through f64 bits (so `1 = 1.0`). −0.0 normalizes
+    /// to 0.0; NaNs with identical bit patterns collide (documented edge).
+    Num(u64),
+    /// Characters.
+    Char(char),
+    /// Booleans and nil and System, by raw encoding.
+    Imm(u64),
+    /// Symbols and strings, by content (so a string-labeled lookup finds a
+    /// symbol-labeled element; Figure 1 labels with strings).
+    Text(Box<[u8]>),
+    /// Non-byte transient heap objects, by workspace identity.
+    Ident(u64),
+    /// Committed objects, by permanent identity (GOOP) — an unswizzled
+    /// reference and its faulted copy are the same entity.
+    Committed(u64),
+}
+
+/// Compute the structural key of a value.
+pub fn value_key(ws: &Workspace, symbols: &crate::SymbolTable, oop: Oop) -> ValueKey {
+    match oop.kind() {
+        OopKind::Int(i) => ValueKey::Num(canonical_f64_bits(i as f64)),
+        OopKind::Float(f) => ValueKey::Num(canonical_f64_bits(f)),
+        OopKind::Char(c) => ValueKey::Char(c),
+        OopKind::Sym(s) => ValueKey::Text(symbols.name(s).as_bytes().into()),
+        OopKind::Nil | OopKind::True | OopKind::False | OopKind::System | OopKind::Class(_) => {
+            ValueKey::Imm(oop.bits())
+        }
+        OopKind::Heap(idx) => match ws.get(oop).ok().and_then(|o| o.bytes()) {
+            Some(b) => ValueKey::Text(b.into()),
+            None => match ws.get(oop).ok().and_then(|o| o.goop) {
+                // Committed objects key by identity, matching unswizzled refs.
+                Some(g) => ValueKey::Committed(g.0),
+                None => ValueKey::Ident(idx),
+            },
+        },
+        OopKind::Ref(g) => ValueKey::Committed(g.0),
+    }
+}
+
+fn canonical_f64_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0.0f64.to_bits() // fold -0.0 into +0.0
+    } else {
+        f.to_bits()
+    }
+}
+
+/// Structural equivalence: the `=` of OPAL.
+pub fn structurally_equal(
+    ws: &Workspace,
+    symbols: &crate::SymbolTable,
+    a: Oop,
+    b: Oop,
+) -> bool {
+    if a == b {
+        // Identical objects are trivially equivalent — except NaN, which is
+        // not equal to itself numerically.
+        if let Some(f) = a.as_float() {
+            return !f.is_nan();
+        }
+        return true;
+    }
+    value_key(ws, symbols, a) == value_key(ws, symbols, b)
+        && !matches!(value_key(ws, symbols, a), ValueKey::Ident(_))
+        && !is_nan(a)
+}
+
+fn is_nan(o: Oop) -> bool {
+    o.as_float().is_some_and(f64::is_nan)
+}
+
+/// The class of any value, immediates included.
+pub fn class_of(ws: &Workspace, kernel: &Kernel, oop: Oop) -> crate::ClassId {
+    match kernel.class_of_immediate(oop) {
+        Some(c) => c,
+        None => ws.get(oop).map(|o| o.class).unwrap_or(kernel.object),
+    }
+}
+
+/// The printable name of a value's class (error messages).
+pub fn class_name(
+    ws: &Workspace,
+    kernel: &Kernel,
+    classes: &ClassTable,
+    symbols: &crate::SymbolTable,
+    oop: Oop,
+) -> String {
+    symbols.name(classes.get(class_of(ws, kernel, oop)).name).to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassTable;
+    use crate::heap::HeapObject;
+    use crate::oop::SegmentId;
+    use crate::symbol::SymbolTable;
+
+    fn setup() -> (SymbolTable, ClassTable, Kernel, Workspace) {
+        let mut s = SymbolTable::new();
+        let (c, k) = ClassTable::bootstrap(&mut s);
+        (s, c, k, Workspace::new())
+    }
+
+    #[test]
+    fn numbers_compare_across_types() {
+        let (s, _, _, ws) = setup();
+        assert!(structurally_equal(&ws, &s, Oop::int(1), Oop::float(1.0)));
+        assert!(structurally_equal(&ws, &s, Oop::float(-0.0), Oop::float(0.0)));
+        assert!(!structurally_equal(&ws, &s, Oop::int(1), Oop::int(2)));
+        let nan = Oop::float(f64::NAN);
+        assert!(!structurally_equal(&ws, &s, nan, nan), "NaN ≠ NaN");
+    }
+
+    #[test]
+    fn strings_compare_by_content_identity_differs() {
+        let (s, _, k, mut ws) = setup();
+        let a = ws.alloc(HeapObject::new_bytes(k.string, SegmentId::SYSTEM, b"Sales".to_vec()));
+        let b = ws.alloc(HeapObject::new_bytes(k.string, SegmentId::SYSTEM, b"Sales".to_vec()));
+        assert_ne!(a, b, "identity: two distinct gates");
+        assert!(structurally_equal(&ws, &s, a, b), "equivalence: same characteristics");
+    }
+
+    #[test]
+    fn symbol_equals_samecontent_string() {
+        let (mut s, _, k, mut ws) = setup();
+        let sym = Oop::sym(s.intern("Sales"));
+        let st = ws.alloc(HeapObject::new_bytes(k.string, SegmentId::SYSTEM, b"Sales".to_vec()));
+        assert!(structurally_equal(&ws, &s, sym, st));
+    }
+
+    #[test]
+    fn element_objects_fall_back_to_identity() {
+        let (s, _, k, mut ws) = setup();
+        let a = ws.alloc(HeapObject::new_elements(k.object, SegmentId::SYSTEM));
+        let b = ws.alloc(HeapObject::new_elements(k.object, SegmentId::SYSTEM));
+        assert!(!structurally_equal(&ws, &s, a, b));
+        assert!(structurally_equal(&ws, &s, a, a));
+    }
+
+    #[test]
+    fn value_keys_are_stable_hash_keys() {
+        let (s, _, k, mut ws) = setup();
+        let a = ws.alloc(HeapObject::new_bytes(k.string, SegmentId::SYSTEM, b"x".to_vec()));
+        let b = ws.alloc(HeapObject::new_bytes(k.string, SegmentId::SYSTEM, b"x".to_vec()));
+        assert_eq!(value_key(&ws, &s, a), value_key(&ws, &s, b));
+        assert_eq!(value_key(&ws, &s, Oop::int(3)), value_key(&ws, &s, Oop::float(3.0)));
+        assert_ne!(value_key(&ws, &s, Oop::NIL), value_key(&ws, &s, Oop::FALSE));
+    }
+
+    #[test]
+    fn class_of_heap_and_immediates() {
+        let (_, _, k, mut ws) = setup();
+        let a = ws.alloc(HeapObject::new_elements(k.set, SegmentId::SYSTEM));
+        assert_eq!(class_of(&ws, &k, a), k.set);
+        assert_eq!(class_of(&ws, &k, Oop::int(5)), k.small_integer);
+    }
+}

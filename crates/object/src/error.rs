@@ -1,0 +1,119 @@
+//! The error type shared by every GemStone subsystem.
+
+use crate::symbol::SymbolId;
+use std::fmt;
+
+/// Anything that can go wrong in the GemStone system, from message sends to
+/// track I/O. Subsystems all speak this type so errors cross crate
+/// boundaries without translation — the single-language goal of §2F applied
+/// to error handling.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GemError {
+    /// A message was sent that no class in the receiver's hierarchy handles.
+    DoesNotUnderstand { class: String, selector: String },
+    /// A path expression or element access named a missing element.
+    NoSuchElement(String),
+    /// A path expression tried to navigate through nil.
+    PathThroughNil(String),
+    /// Index outside an indexed object's bounds.
+    IndexOutOfRange { index: i64, size: usize },
+    /// The receiver cannot perform the requested structural operation.
+    NotIndexable(String),
+    /// Operand of the wrong type for a primitive.
+    TypeMismatch { expected: &'static str, got: String },
+    /// A class with this name already exists.
+    ClassExists(SymbolId),
+    /// No class with this name.
+    NoSuchClass(SymbolId),
+    /// Instance variable declared twice in a hierarchy.
+    DuplicateInstVar(SymbolId),
+    /// SmallInteger arithmetic left the immediate range.
+    IntOverflow,
+    /// Division by zero.
+    ZeroDivide,
+    /// A mutation was attempted while the time dial is set to a past state.
+    WriteInPast,
+    /// Optimistic validation failed: a concurrent transaction committed a
+    /// conflicting write (§6's Transaction Manager "validates [accesses] for
+    /// consistency when a transaction commits").
+    TransactionConflict { detail: String },
+    /// No transaction is active for an operation that requires one.
+    NoTransaction,
+    /// The user lacks the privilege for this segment.
+    AuthorizationDenied { segment: u16, detail: String },
+    /// Simulated disk failure or crash injection.
+    DiskFailure(String),
+    /// On-disk data failed validation.
+    Corrupt(String),
+    /// OPAL source failed to parse.
+    ParseError { line: u32, col: u32, msg: String },
+    /// OPAL compilation error (undefined variable, bad calculus expression…).
+    CompileError(String),
+    /// Generic runtime error raised by OPAL code (`System error:`).
+    RuntimeError(String),
+    /// Interpreter resource guard (runaway recursion / step budget).
+    ResourceExhausted(&'static str),
+}
+
+impl fmt::Display for GemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GemError::DoesNotUnderstand { class, selector } => {
+                write!(f, "{class} does not understand #{selector}")
+            }
+            GemError::NoSuchElement(name) => write!(f, "no element named {name}"),
+            GemError::PathThroughNil(path) => {
+                write!(f, "path expression traverses nil at {path}")
+            }
+            GemError::IndexOutOfRange { index, size } => {
+                write!(f, "index {index} out of range for size {size}")
+            }
+            GemError::NotIndexable(what) => write!(f, "{what} is not indexable"),
+            GemError::TypeMismatch { expected, got } => {
+                write!(f, "expected {expected}, got {got}")
+            }
+            GemError::ClassExists(s) => write!(f, "class already exists: {s:?}"),
+            GemError::NoSuchClass(s) => write!(f, "no such class: {s:?}"),
+            GemError::DuplicateInstVar(s) => write!(f, "duplicate instance variable: {s:?}"),
+            GemError::IntOverflow => write!(f, "SmallInteger overflow"),
+            GemError::ZeroDivide => write!(f, "division by zero"),
+            GemError::WriteInPast => write!(f, "cannot modify a past database state"),
+            GemError::TransactionConflict { detail } => {
+                write!(f, "transaction conflict: {detail}")
+            }
+            GemError::NoTransaction => write!(f, "no transaction in progress"),
+            GemError::AuthorizationDenied { segment, detail } => {
+                write!(f, "authorization denied on segment {segment}: {detail}")
+            }
+            GemError::DiskFailure(d) => write!(f, "disk failure: {d}"),
+            GemError::Corrupt(d) => write!(f, "corrupt database: {d}"),
+            GemError::ParseError { line, col, msg } => {
+                write!(f, "parse error at {line}:{col}: {msg}")
+            }
+            GemError::CompileError(m) => write!(f, "compile error: {m}"),
+            GemError::RuntimeError(m) => write!(f, "error: {m}"),
+            GemError::ResourceExhausted(w) => write!(f, "resource exhausted: {w}"),
+        }
+    }
+}
+
+impl std::error::Error for GemError {}
+
+/// Result alias used across all GemStone crates.
+pub type GemResult<T> = Result<T, GemError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GemError::DoesNotUnderstand { class: "Employee".into(), selector: "fire".into() };
+        assert_eq!(e.to_string(), "Employee does not understand #fire");
+        assert_eq!(GemError::ZeroDivide.to_string(), "division by zero");
+        assert_eq!(
+            GemError::IndexOutOfRange { index: 9, size: 3 }.to_string(),
+            "index 9 out of range for size 3"
+        );
+    }
+}

@@ -1,0 +1,509 @@
+//! Session workspaces and heap objects.
+//!
+//! §6: "Each user session in the GemStone system has its own invocation of
+//! the Interpreter, and its own Object Manager with a private object space.
+//! Sessions have shared access to the permanent database through
+//! transactions." A [`Workspace`] is that private object space. It holds
+//! current-state copies of permanent objects the session has touched, plus
+//! objects created during the session. Because "an entire session workspace
+//! can be discarded at the end of a session", the workspace is a simple
+//! grow-only arena with no garbage collector.
+
+use crate::class::ClassId;
+use crate::elem::ElemName;
+use crate::error::{GemError, GemResult};
+use crate::oop::{Goop, Oop, SegmentId};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+pub use crate::oop::ObjIndex;
+
+/// A heap object: class, identity, authorization segment, and a body that is
+/// either a labeled set of elements or bytes.
+///
+/// Following the GemStone Data Model, *all* structured state is a labeled
+/// set (§5.1): named instance variables are symbol-named elements, array
+/// slots are integer-named elements, and members of unlabeled sets get
+/// system-generated aliases. Absent elements cost nothing ("optional
+/// instance variables, without a storage penalty", §4.3), and removing an
+/// element stores nil rather than erasing the name — exactly how Figure 1
+/// records that employee 1821 left the company.
+#[derive(Debug, Clone)]
+pub struct HeapObject {
+    pub class: ClassId,
+    /// Permanent identity, assigned at first commit; `None` while the object
+    /// is session-transient.
+    pub goop: Option<Goop>,
+    pub segment: SegmentId,
+    elements: BTreeMap<ElemName, Oop>,
+    bytes: Option<Vec<u8>>,
+    alias_next: u64,
+    is_new: bool,
+    dirty_elems: BTreeSet<ElemName>,
+    bytes_dirty: bool,
+    force_dirty: bool,
+}
+
+impl HeapObject {
+    /// A fresh element-bodied object.
+    pub fn new_elements(class: ClassId, segment: SegmentId) -> HeapObject {
+        HeapObject {
+            class,
+            goop: None,
+            segment,
+            elements: BTreeMap::new(),
+            bytes: None,
+            alias_next: 0,
+            is_new: true,
+            dirty_elems: BTreeSet::new(),
+            bytes_dirty: false,
+            force_dirty: false,
+        }
+    }
+
+    /// A fresh byte-bodied object (string, byte array, long document…).
+    pub fn new_bytes(class: ClassId, segment: SegmentId, bytes: Vec<u8>) -> HeapObject {
+        HeapObject {
+            class,
+            goop: None,
+            segment,
+            elements: BTreeMap::new(),
+            bytes: Some(bytes),
+            alias_next: 0,
+            is_new: true,
+            dirty_elems: BTreeSet::new(),
+            bytes_dirty: false,
+            force_dirty: false,
+        }
+    }
+
+    /// Reconstruct a faulted-in copy of a committed object (clean).
+    pub fn faulted(
+        class: ClassId,
+        goop: Goop,
+        segment: SegmentId,
+        elements: BTreeMap<ElemName, Oop>,
+        bytes: Option<Vec<u8>>,
+        alias_next: u64,
+    ) -> HeapObject {
+        HeapObject {
+            class,
+            goop: Some(goop),
+            segment,
+            elements,
+            bytes,
+            alias_next,
+            is_new: false,
+            dirty_elems: BTreeSet::new(),
+            bytes_dirty: false,
+            force_dirty: false,
+        }
+    }
+
+    /// The value of an element; nil if absent. Nil-valued and absent
+    /// elements are indistinguishable to readers, per the temporal model's
+    /// use of nil for "no longer present".
+    pub fn elem(&self, name: ElemName) -> Oop {
+        self.elements.get(&name).copied().unwrap_or(Oop::NIL)
+    }
+
+    /// True if the element is present with a non-nil value.
+    pub fn has_elem(&self, name: ElemName) -> bool {
+        !self.elem(name).is_nil()
+    }
+
+    /// Set an element's value, recording it dirty for commit. Storing nil
+    /// *is* removal-with-history (§5.3.2 / Figure 1).
+    pub fn set_elem(&mut self, name: ElemName, value: Oop) {
+        if value.is_nil() && self.is_new {
+            // Transient objects have no history to preserve; drop the name.
+            self.elements.remove(&name);
+            self.dirty_elems.remove(&name);
+            return;
+        }
+        self.elements.insert(name, value);
+        self.dirty_elems.insert(name);
+    }
+
+    /// Replace an element's stored value *without* marking it dirty: used
+    /// when a session swizzles an unswizzled reference in place, which
+    /// changes the representation of the value, not the value itself.
+    pub fn swizzle_elem_in_place(&mut self, name: ElemName, value: Oop) {
+        self.elements.insert(name, value);
+    }
+
+    /// Overwrite this (clean, committed) copy with freshly faulted state —
+    /// sessions refresh cached copies at transaction boundaries so a new
+    /// transaction sees the latest committed database state.
+    pub fn refresh_from_fault(
+        &mut self,
+        elements: BTreeMap<ElemName, Oop>,
+        bytes: Option<Vec<u8>>,
+        alias_next: u64,
+        segment: SegmentId,
+    ) {
+        debug_assert!(!self.is_dirty(), "refreshing a dirty object loses writes");
+        self.elements = elements;
+        self.bytes = bytes;
+        self.alias_next = alias_next;
+        self.segment = segment;
+    }
+
+    /// Add a value under a fresh system-generated alias (§5.1: "the database
+    /// system can generate unique aliases upon demand"). Returns the alias.
+    pub fn add_aliased(&mut self, value: Oop) -> ElemName {
+        let name = ElemName::Alias(self.alias_next);
+        self.alias_next += 1;
+        self.set_elem(name, value);
+        name
+    }
+
+    /// The next alias counter value (persisted with the object so aliases
+    /// stay unique across sessions).
+    pub fn alias_next(&self) -> u64 {
+        self.alias_next
+    }
+
+    /// All present (non-nil) elements in name order.
+    pub fn present_elements(&self) -> impl Iterator<Item = (ElemName, Oop)> + '_ {
+        self.elements.iter().filter(|(_, v)| !v.is_nil()).map(|(n, v)| (*n, *v))
+    }
+
+    /// All stored elements including nil tombstones (commit needs these).
+    pub fn raw_elements(&self) -> impl Iterator<Item = (ElemName, Oop)> + '_ {
+        self.elements.iter().map(|(n, v)| (*n, *v))
+    }
+
+    /// Number of present (non-nil) elements.
+    pub fn size(&self) -> usize {
+        self.elements.values().filter(|v| !v.is_nil()).count()
+    }
+
+    /// Greatest integer element name, if any (OrderedCollection append).
+    pub fn max_int_name(&self) -> Option<i64> {
+        self.elements
+            .range(..=ElemName::Int(i64::MAX))
+            .next_back()
+            .and_then(|(n, _)| n.as_int())
+    }
+
+    /// Append under the next integer name (1-based, Smalltalk indexing).
+    pub fn push_indexed(&mut self, value: Oop) -> ElemName {
+        let next = self.max_int_name().map_or(1, |m| m + 1);
+        let name = ElemName::Int(next);
+        self.set_elem(name, value);
+        name
+    }
+
+    /// Byte body, if this is a byte object.
+    pub fn bytes(&self) -> Option<&[u8]> {
+        self.bytes.as_deref()
+    }
+
+    /// Byte body as UTF-8 text.
+    pub fn as_str(&self) -> GemResult<&str> {
+        let b = self
+            .bytes
+            .as_deref()
+            .ok_or(GemError::TypeMismatch { expected: "byte object", got: "element object".into() })?;
+        std::str::from_utf8(b)
+            .map_err(|_| GemError::TypeMismatch { expected: "utf-8 string", got: "bytes".into() })
+    }
+
+    /// Replace the byte body (whole-value update; history is kept at the
+    /// permanent level as one association per committed state).
+    pub fn set_bytes(&mut self, bytes: Vec<u8>) {
+        self.bytes = Some(bytes);
+        self.bytes_dirty = true;
+    }
+
+    /// True for objects created in this session and never yet committed.
+    pub fn is_new(&self) -> bool {
+        self.is_new
+    }
+
+    /// Force this object into the next commit batch even without element
+    /// writes (segment moves), without polluting element histories.
+    pub fn touch_for_commit(&mut self) {
+        self.force_dirty = true;
+    }
+
+    /// Elements written this transaction.
+    pub fn dirty_elems(&self) -> impl Iterator<Item = ElemName> + '_ {
+        self.dirty_elems.iter().copied()
+    }
+
+    /// True if the byte body was written this transaction.
+    pub fn bytes_dirty(&self) -> bool {
+        self.bytes_dirty
+    }
+
+    /// True if anything about this object must go out at commit.
+    pub fn is_dirty(&self) -> bool {
+        self.is_new || self.bytes_dirty || self.force_dirty || !self.dirty_elems.is_empty()
+    }
+
+    /// Clear dirty tracking after a successful commit (the object is now a
+    /// clean cached copy) and record its assigned identity.
+    pub fn mark_committed(&mut self, goop: Goop) {
+        self.goop = Some(goop);
+        self.is_new = false;
+        self.dirty_elems.clear();
+        self.bytes_dirty = false;
+        self.force_dirty = false;
+    }
+
+    /// Discard local writes at abort. The caller re-faults content from the
+    /// permanent store; this only resets bookkeeping on new objects.
+    pub fn clear_dirty(&mut self) {
+        self.dirty_elems.clear();
+        self.bytes_dirty = false;
+        self.force_dirty = false;
+    }
+}
+
+/// A session's private object space: a grow-only arena of [`HeapObject`]s
+/// plus the map from permanent identities to their local copies.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    objects: Vec<HeapObject>,
+    by_goop: HashMap<Goop, ObjIndex>,
+}
+
+impl Workspace {
+    /// An empty workspace.
+    pub fn new() -> Workspace {
+        Workspace::default()
+    }
+
+    /// Allocate an object, returning its session pointer. There is no
+    /// 32K-object cap (§4.3): the arena grows with the session.
+    pub fn alloc(&mut self, obj: HeapObject) -> Oop {
+        let idx = u32::try_from(self.objects.len()).expect("workspace exhausted");
+        if let Some(g) = obj.goop {
+            self.by_goop.insert(g, idx);
+        }
+        self.objects.push(obj);
+        Oop::obj(idx)
+    }
+
+    /// Resolve a heap pointer.
+    pub fn get(&self, oop: Oop) -> GemResult<&HeapObject> {
+        let idx = oop.as_obj().ok_or_else(|| GemError::TypeMismatch {
+            expected: "heap object",
+            got: format!("{oop:?}"),
+        })?;
+        self.objects.get(idx as usize).ok_or_else(|| GemError::Corrupt(format!("dangling {oop:?}")))
+    }
+
+    /// Resolve a heap pointer mutably.
+    pub fn get_mut(&mut self, oop: Oop) -> GemResult<&mut HeapObject> {
+        let idx = oop.as_obj().ok_or_else(|| GemError::TypeMismatch {
+            expected: "heap object",
+            got: format!("{oop:?}"),
+        })?;
+        self.objects
+            .get_mut(idx as usize)
+            .ok_or_else(|| GemError::Corrupt(format!("dangling {oop:?}")))
+    }
+
+    /// The local copy of a committed object, if it has been faulted in. At
+    /// most one local copy exists per identity, so session pointer equality
+    /// is object identity (§4.2).
+    pub fn lookup_goop(&self, goop: Goop) -> Option<Oop> {
+        self.by_goop.get(&goop).map(|&i| Oop::obj(i))
+    }
+
+    /// Record that a local object now carries a permanent identity.
+    pub fn bind_goop(&mut self, oop: Oop, goop: Goop) {
+        if let Some(idx) = oop.as_obj() {
+            self.by_goop.insert(goop, idx);
+        }
+    }
+
+    /// Indices of all objects with uncommitted changes.
+    pub fn dirty_objects(&self) -> Vec<Oop> {
+        self.objects
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.is_dirty())
+            .map(|(i, _)| Oop::obj(i as ObjIndex))
+            .collect()
+    }
+
+    /// All objects with their session pointers (workspace refresh, commit).
+    pub fn iter(&self) -> impl Iterator<Item = (Oop, &HeapObject)> {
+        self.objects.iter().enumerate().map(|(i, o)| (Oop::obj(i as ObjIndex), o))
+    }
+
+    /// Number of objects in the workspace.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// True when no objects exist.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::class::ClassTable;
+    use crate::symbol::SymbolTable;
+
+    fn setup() -> (SymbolTable, ClassTable, crate::class::Kernel) {
+        let mut s = SymbolTable::new();
+        let (c, k) = ClassTable::bootstrap(&mut s);
+        (s, c, k)
+    }
+
+    #[test]
+    fn elements_default_to_nil() {
+        let (mut s, _, k) = setup();
+        let obj = HeapObject::new_elements(k.object, SegmentId::SYSTEM);
+        let name = ElemName::Sym(s.intern("salary"));
+        assert!(obj.elem(name).is_nil());
+        assert!(!obj.has_elem(name));
+        assert_eq!(obj.size(), 0);
+    }
+
+    #[test]
+    fn set_and_read_elements() {
+        let (mut s, _, k) = setup();
+        let mut obj = HeapObject::new_elements(k.object, SegmentId::SYSTEM);
+        let salary = ElemName::Sym(s.intern("salary"));
+        obj.set_elem(salary, Oop::int(24_650));
+        assert_eq!(obj.elem(salary).as_int(), Some(24_650));
+        assert_eq!(obj.size(), 1);
+        assert!(obj.is_dirty());
+        assert_eq!(obj.dirty_elems().collect::<Vec<_>>(), vec![salary]);
+    }
+
+    #[test]
+    fn nil_store_on_new_object_removes() {
+        let (mut s, _, k) = setup();
+        let mut obj = HeapObject::new_elements(k.object, SegmentId::SYSTEM);
+        let x = ElemName::Sym(s.intern("x"));
+        obj.set_elem(x, Oop::int(1));
+        obj.set_elem(x, Oop::NIL);
+        assert_eq!(obj.raw_elements().count(), 0, "transient objects keep no tombstones");
+    }
+
+    #[test]
+    fn nil_store_on_committed_object_keeps_tombstone() {
+        let (mut s, _, k) = setup();
+        let x = ElemName::Sym(s.intern("x"));
+        let mut elements = BTreeMap::new();
+        elements.insert(x, Oop::int(1));
+        let mut obj =
+            HeapObject::faulted(k.object, Goop(7), SegmentId::SYSTEM, elements, None, 0);
+        obj.set_elem(x, Oop::NIL);
+        assert_eq!(obj.raw_elements().count(), 1, "tombstone preserved for history");
+        assert_eq!(obj.present_elements().count(), 0);
+        assert!(!obj.has_elem(x));
+    }
+
+    #[test]
+    fn aliases_are_unique_and_persistent() {
+        let (_, _, k) = setup();
+        let mut obj = HeapObject::new_elements(k.set, SegmentId::SYSTEM);
+        let a = obj.add_aliased(Oop::int(1));
+        let b = obj.add_aliased(Oop::int(2));
+        assert_ne!(a, b);
+        assert_eq!(obj.alias_next(), 2);
+        // A faulted copy continues the alias sequence.
+        let mut copy = HeapObject::faulted(k.set, Goop(1), SegmentId::SYSTEM, BTreeMap::new(), None, 2);
+        let c = copy.add_aliased(Oop::int(3));
+        assert_eq!(c, ElemName::Alias(2));
+    }
+
+    #[test]
+    fn indexed_push_is_one_based_and_ordered() {
+        let (_, _, k) = setup();
+        let mut obj = HeapObject::new_elements(k.ordered_collection, SegmentId::SYSTEM);
+        assert_eq!(obj.push_indexed(Oop::int(10)), ElemName::Int(1));
+        assert_eq!(obj.push_indexed(Oop::int(20)), ElemName::Int(2));
+        let vals: Vec<i64> =
+            obj.present_elements().map(|(_, v)| v.as_int().unwrap()).collect();
+        assert_eq!(vals, vec![10, 20]);
+        assert_eq!(obj.max_int_name(), Some(2));
+    }
+
+    #[test]
+    fn byte_bodies() {
+        let (_, _, k) = setup();
+        let mut obj = HeapObject::new_bytes(k.string, SegmentId::SYSTEM, b"Sales".to_vec());
+        assert_eq!(obj.as_str().unwrap(), "Sales");
+        obj.set_bytes(b"Research".to_vec());
+        assert!(obj.bytes_dirty());
+        assert_eq!(obj.as_str().unwrap(), "Research");
+        let plain = HeapObject::new_elements(k.object, SegmentId::SYSTEM);
+        assert!(plain.as_str().is_err());
+    }
+
+    #[test]
+    fn large_byte_object_beyond_st80_limit() {
+        // §4.3: ST80 capped objects at 64K bytes; GemStone must not.
+        let (_, _, k) = setup();
+        let big = vec![0xABu8; 1 << 20];
+        let obj = HeapObject::new_bytes(k.string, SegmentId::SYSTEM, big);
+        assert_eq!(obj.bytes().unwrap().len(), 1 << 20);
+    }
+
+    #[test]
+    fn workspace_alloc_and_identity() {
+        let (_, _, k) = setup();
+        let mut ws = Workspace::new();
+        let a = ws.alloc(HeapObject::new_elements(k.object, SegmentId::SYSTEM));
+        let b = ws.alloc(HeapObject::new_elements(k.object, SegmentId::SYSTEM));
+        assert_ne!(a, b, "two instantiations are two identities");
+        assert_eq!(ws.len(), 2);
+        assert!(ws.get(a).is_ok());
+        assert!(ws.get(Oop::int(3)).is_err());
+    }
+
+    #[test]
+    fn goop_binding_gives_one_copy_per_identity() {
+        let (_, _, k) = setup();
+        let mut ws = Workspace::new();
+        let g = Goop(42);
+        assert_eq!(ws.lookup_goop(g), None);
+        let o = ws.alloc(HeapObject::faulted(
+            k.object,
+            g,
+            SegmentId::SYSTEM,
+            BTreeMap::new(),
+            None,
+            0,
+        ));
+        assert_eq!(ws.lookup_goop(g), Some(o));
+    }
+
+    #[test]
+    fn dirty_tracking_through_commit() {
+        let (mut s, _, k) = setup();
+        let mut ws = Workspace::new();
+        let o = ws.alloc(HeapObject::new_elements(k.object, SegmentId::SYSTEM));
+        assert_eq!(ws.dirty_objects(), vec![o], "new objects are dirty");
+        let x = ElemName::Sym(s.intern("x"));
+        ws.get_mut(o).unwrap().set_elem(x, Oop::int(1));
+        ws.get_mut(o).unwrap().mark_committed(Goop(9));
+        assert!(ws.dirty_objects().is_empty());
+        assert_eq!(ws.get(o).unwrap().goop, Some(Goop(9)));
+    }
+
+    #[test]
+    fn more_than_32k_objects() {
+        // §4.3: "Only 32K objects are allowed in most implementations" of
+        // ST80 — the workspace must comfortably exceed that.
+        let (_, _, k) = setup();
+        let mut ws = Workspace::new();
+        let first = ws.alloc(HeapObject::new_elements(k.object, SegmentId::SYSTEM));
+        for _ in 0..40_000 {
+            ws.alloc(HeapObject::new_elements(k.object, SegmentId::SYSTEM));
+        }
+        assert_eq!(ws.len(), 40_001);
+        assert!(ws.get(first).is_ok());
+    }
+}

@@ -1,0 +1,41 @@
+//! The object model underlying GemStone (§4 of Copeland & Maier, SIGMOD 1984).
+//!
+//! "ST80 is based on three concepts: object, message, and class. An object is
+//! essentially private memory with a public interface. … Objects are organized
+//! into classes. … Classes are organized in a (strict) hierarchy."
+//!
+//! This crate supplies the session-level object model:
+//!
+//! * [`Oop`] — tagged object-oriented pointers, with immediate SmallIntegers,
+//!   Characters, Booleans, Floats, Symbols, and nil, exactly in the spirit of
+//!   the ST80 object memory, but without its 32K-object / 64KB-object limits
+//!   (§4.3).
+//! * [`Goop`] — global object-oriented pointers, the permanent identity an
+//!   object keeps for its whole life (§5.4: "When an object is instantiated,
+//!   it is given a globally unique identity. It lives forever with that
+//!   identity.").
+//! * [`SymbolTable`] — interned symbols used for selectors, element names and
+//!   class names.
+//! * [`ClassTable`] / [`Kernel`] — the strict class hierarchy with method
+//!   dictionaries and instance-variable declarations.
+//! * [`ElemName`] — element names of the GemStone Data Model: integers,
+//!   symbols, or system-generated aliases (§5.1).
+//! * [`Workspace`] / [`HeapObject`] — a session's private object space
+//!   (§6: "Each user session … has its own Object Manager with a private
+//!   object space").
+
+mod class;
+mod elem;
+mod equality;
+mod error;
+mod heap;
+mod oop;
+mod symbol;
+
+pub use class::{BodyFormat, ClassDef, ClassId, ClassKind, ClassTable, Kernel, MethodId, MethodRef};
+pub use elem::ElemName;
+pub use equality::{class_name, class_of, structurally_equal, value_key, ValueKey};
+pub use error::{GemError, GemResult};
+pub use heap::{HeapObject, ObjIndex, Workspace};
+pub use oop::{Goop, Oop, OopKind, PRef, SegmentId};
+pub use symbol::{SymbolId, SymbolTable};

@@ -1,0 +1,472 @@
+//! Tagged object pointers.
+//!
+//! The standard ST80 object memory represents references as object-oriented
+//! pointers (OOPs) with immediate SmallIntegers. GemStone additionally uses
+//! *global* OOPs — GOOPs — for references that cross logical access paths
+//! (§6: "Where an object is an element of more than one set … references to
+//! the object use a global object-oriented pointer (GOOP)").
+//!
+//! Encoding: a 64-bit word whose low 4 bits are a tag.
+//!
+//! | tag | meaning                  | payload (high 60 bits)            |
+//! |-----|--------------------------|-----------------------------------|
+//! | 0x0 | heap reference           | workspace index ([`Oop`]) or GOOP ([`PRef`]) |
+//! | 0x1 | SmallInteger             | signed 60-bit integer             |
+//! | 0x2 | Character                | Unicode scalar value              |
+//! | 0x3 | special                  | 0 = nil, 1 = false, 2 = true, 3 = System |
+//! | 0x4 | Symbol                   | [`SymbolId`]                      |
+//! | 0x5 | Float                    | f64 bits with the low 4 mantissa bits zeroed |
+//! | 0x6 | Class                    | [`ClassId`]                       |
+//! | 0x7 | unswizzled reference     | [`Goop`] (session pointers only: a committed object not yet faulted into the workspace) |
+//!
+//! Floats lose their 4 lowest mantissa bits to the tag — a relative error of
+//! 2⁻⁴⁸, far below the paper's use of money/ratio comparisons. SmallIntegers
+//! cover ±2⁵⁹; exceeding that range is reported as an overflow error rather
+//! than silently wrapping (§2B: limits must come from storage, not artifacts,
+//! so the limit is explicit and checked).
+
+use crate::class::ClassId;
+use crate::symbol::SymbolId;
+use std::fmt;
+
+const TAG_BITS: u32 = 4;
+const TAG_MASK: u64 = 0xF;
+
+const TAG_HEAP: u64 = 0x0;
+const TAG_INT: u64 = 0x1;
+const TAG_CHAR: u64 = 0x2;
+const TAG_SPECIAL: u64 = 0x3;
+const TAG_SYM: u64 = 0x4;
+const TAG_FLOAT: u64 = 0x5;
+const TAG_CLASS: u64 = 0x6;
+const TAG_REF: u64 = 0x7;
+
+const SPECIAL_NIL: u64 = 0;
+const SPECIAL_FALSE: u64 = 1;
+const SPECIAL_TRUE: u64 = 2;
+const SPECIAL_SYSTEM: u64 = 3;
+
+/// Range of immediate SmallIntegers: ±(2⁵⁹ − 1).
+pub const SMALL_INT_MAX: i64 = (1 << 59) - 1;
+/// Minimum immediate SmallInteger.
+pub const SMALL_INT_MIN: i64 = -(1 << 59);
+
+/// An index into a session workspace's object table.
+pub type ObjIndex = u32;
+
+/// A global object identity, unique for the life of the database.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Goop(pub u64);
+
+impl fmt::Debug for Goop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "g{}", self.0)
+    }
+}
+
+/// An authorization segment: the unit at which read/write privileges are
+/// granted to users (§6 lists authorization among the Object Manager's
+/// duties).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default)]
+pub struct SegmentId(pub u16);
+
+impl SegmentId {
+    /// The system segment, readable by everyone; kernel objects live here.
+    pub const SYSTEM: SegmentId = SegmentId(0);
+}
+
+/// The decoded form of a tagged pointer, for matching.
+#[derive(Copy, Clone, PartialEq, Debug)]
+pub enum OopKind {
+    Nil,
+    False,
+    True,
+    /// The `System` pseudo-object that receives system commands
+    /// (§4.2: "ST80 treats system components as full-fledged objects, giving
+    /// a natural and uniform way to issue system commands").
+    System,
+    Int(i64),
+    Char(char),
+    Sym(SymbolId),
+    Float(f64),
+    Class(ClassId),
+    Heap(u64),
+    /// An unswizzled persistent reference: the session has not faulted this
+    /// object yet. Sessions resolve these on first touch (§6's GOOP
+    /// resolution "through a global object table").
+    Ref(Goop),
+}
+
+macro_rules! tagged_impl {
+    ($name:ident, $heap_doc:expr) => {
+        impl $name {
+            /// The nil pointer.
+            pub const NIL: $name = $name(TAG_SPECIAL | (SPECIAL_NIL << TAG_BITS));
+            /// The false object.
+            pub const FALSE: $name = $name(TAG_SPECIAL | (SPECIAL_FALSE << TAG_BITS));
+            /// The true object.
+            pub const TRUE: $name = $name(TAG_SPECIAL | (SPECIAL_TRUE << TAG_BITS));
+            /// The System pseudo-object.
+            pub const SYSTEM: $name = $name(TAG_SPECIAL | (SPECIAL_SYSTEM << TAG_BITS));
+
+            /// Raw 64-bit encoding (used by the storage format).
+            pub const fn bits(self) -> u64 {
+                self.0
+            }
+
+            /// Rebuild from a raw encoding read off disk.
+            pub const fn from_bits(bits: u64) -> $name {
+                $name(bits)
+            }
+
+            /// An immediate SmallInteger. Panics outside ±2⁵⁹; use
+            /// [`Self::try_int`] where user arithmetic can overflow.
+            pub fn int(i: i64) -> $name {
+                Self::try_int(i).expect("SmallInteger out of immediate range")
+            }
+
+            /// An immediate SmallInteger, or `None` if out of range.
+            pub fn try_int(i: i64) -> Option<$name> {
+                if (SMALL_INT_MIN..=SMALL_INT_MAX).contains(&i) {
+                    Some($name(((i as u64) << TAG_BITS) | TAG_INT))
+                } else {
+                    None
+                }
+            }
+
+            /// An immediate Character.
+            pub fn char(c: char) -> $name {
+                $name(((c as u64) << TAG_BITS) | TAG_CHAR)
+            }
+
+            /// A Boolean object.
+            pub fn bool(b: bool) -> $name {
+                if b {
+                    Self::TRUE
+                } else {
+                    Self::FALSE
+                }
+            }
+
+            /// An interned Symbol.
+            pub fn sym(s: SymbolId) -> $name {
+                $name(((s.0 as u64) << TAG_BITS) | TAG_SYM)
+            }
+
+            /// An immediate Float (low 4 mantissa bits truncated).
+            pub fn float(x: f64) -> $name {
+                $name((x.to_bits() & !TAG_MASK) | TAG_FLOAT)
+            }
+
+            /// A class object.
+            pub fn class(c: ClassId) -> $name {
+                $name(((c.0 as u64) << TAG_BITS) | TAG_CLASS)
+            }
+
+            #[doc = $heap_doc]
+            pub fn heap(idx: u64) -> $name {
+                debug_assert!(idx < (1 << 60));
+                $name(idx << TAG_BITS)
+            }
+
+            /// Decode for matching.
+            pub fn kind(self) -> OopKind {
+                let payload = self.0 >> TAG_BITS;
+                match self.0 & TAG_MASK {
+                    TAG_HEAP => OopKind::Heap(payload),
+                    TAG_INT => OopKind::Int((self.0 as i64) >> TAG_BITS),
+                    TAG_CHAR => OopKind::Char(
+                        char::from_u32(payload as u32).expect("invalid char payload"),
+                    ),
+                    TAG_SYM => OopKind::Sym(SymbolId(payload as u32)),
+                    TAG_FLOAT => OopKind::Float(f64::from_bits(self.0 & !TAG_MASK)),
+                    TAG_CLASS => OopKind::Class(ClassId(payload as u32)),
+                    TAG_REF => OopKind::Ref(Goop(payload)),
+                    TAG_SPECIAL => match payload {
+                        SPECIAL_NIL => OopKind::Nil,
+                        SPECIAL_FALSE => OopKind::False,
+                        SPECIAL_TRUE => OopKind::True,
+                        SPECIAL_SYSTEM => OopKind::System,
+                        _ => unreachable!("bad special payload"),
+                    },
+                    _ => unreachable!("bad tag"),
+                }
+            }
+
+            /// True for nil.
+            pub const fn is_nil(self) -> bool {
+                self.0 == Self::NIL.0
+            }
+
+            /// True for any heap reference.
+            pub const fn is_heap(self) -> bool {
+                self.0 & TAG_MASK == TAG_HEAP
+            }
+
+            /// True for any non-heap (immediate) value. Immediates have the
+            /// same encoding in workspaces and on disk.
+            pub const fn is_immediate(self) -> bool {
+                self.0 & TAG_MASK != TAG_HEAP
+            }
+
+            /// SmallInteger payload, if this is one.
+            pub fn as_int(self) -> Option<i64> {
+                if self.0 & TAG_MASK == TAG_INT {
+                    Some((self.0 as i64) >> TAG_BITS)
+                } else {
+                    None
+                }
+            }
+
+            /// Float payload, if this is one.
+            pub fn as_float(self) -> Option<f64> {
+                if self.0 & TAG_MASK == TAG_FLOAT {
+                    Some(f64::from_bits(self.0 & !TAG_MASK))
+                } else {
+                    None
+                }
+            }
+
+            /// Numeric value if SmallInteger or Float.
+            pub fn as_number(self) -> Option<f64> {
+                match self.kind() {
+                    OopKind::Int(i) => Some(i as f64),
+                    OopKind::Float(f) => Some(f),
+                    _ => None,
+                }
+            }
+
+            /// Symbol payload, if this is one.
+            pub fn as_sym(self) -> Option<SymbolId> {
+                if self.0 & TAG_MASK == TAG_SYM {
+                    Some(SymbolId((self.0 >> TAG_BITS) as u32))
+                } else {
+                    None
+                }
+            }
+
+            /// Character payload, if this is one.
+            pub fn as_char(self) -> Option<char> {
+                if self.0 & TAG_MASK == TAG_CHAR {
+                    char::from_u32((self.0 >> TAG_BITS) as u32)
+                } else {
+                    None
+                }
+            }
+
+            /// Boolean payload, if this is true or false.
+            pub fn as_bool(self) -> Option<bool> {
+                match self.kind() {
+                    OopKind::True => Some(true),
+                    OopKind::False => Some(false),
+                    _ => None,
+                }
+            }
+
+            /// Class payload, if this is a class object.
+            pub fn as_class(self) -> Option<ClassId> {
+                if self.0 & TAG_MASK == TAG_CLASS {
+                    Some(ClassId((self.0 >> TAG_BITS) as u32))
+                } else {
+                    None
+                }
+            }
+
+            /// Heap payload, if this is a heap reference.
+            pub fn as_heap_raw(self) -> Option<u64> {
+                if self.is_heap() {
+                    Some(self.0 >> TAG_BITS)
+                } else {
+                    None
+                }
+            }
+        }
+    };
+}
+
+/// A session-local object pointer: heap payload indexes the session
+/// [`Workspace`](crate::Workspace).
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct Oop(u64);
+
+/// A persistent object pointer: heap payload is a [`Goop`]. This is the form
+/// element values take inside the permanent database and on disk.
+#[derive(Copy, Clone, PartialEq, Eq, Hash)]
+pub struct PRef(u64);
+
+tagged_impl!(Oop, "A workspace heap reference.");
+tagged_impl!(PRef, "A persistent reference by GOOP.");
+
+impl Oop {
+    /// An unswizzled reference to a committed object.
+    pub fn unswizzled(g: Goop) -> Oop {
+        debug_assert!(g.0 < (1 << 60));
+        Oop((g.0 << TAG_BITS) | TAG_REF)
+    }
+
+    /// The referenced identity, if this is an unswizzled reference.
+    pub fn as_unswizzled(self) -> Option<Goop> {
+        if self.0 & TAG_MASK == TAG_REF {
+            Some(Goop(self.0 >> TAG_BITS))
+        } else {
+            None
+        }
+    }
+
+    /// A workspace heap reference by object-table index.
+    pub fn obj(idx: ObjIndex) -> Oop {
+        Oop::heap(idx as u64)
+    }
+
+    /// Workspace object-table index, if a heap reference.
+    pub fn as_obj(self) -> Option<ObjIndex> {
+        self.as_heap_raw().map(|x| x as ObjIndex)
+    }
+
+    /// Convert an immediate to its persistent form. Heap references need the
+    /// session's goop assignment and are rejected here.
+    pub fn to_pref_immediate(self) -> Option<PRef> {
+        if self.is_immediate() {
+            Some(PRef(self.0))
+        } else {
+            None
+        }
+    }
+}
+
+impl PRef {
+    /// A persistent reference to the object with the given identity.
+    pub fn goop(g: Goop) -> PRef {
+        PRef::heap(g.0)
+    }
+
+    /// The referenced identity, if a heap reference.
+    pub fn as_goop(self) -> Option<Goop> {
+        self.as_heap_raw().map(Goop)
+    }
+
+    /// Convert an immediate to its session form.
+    pub fn to_oop_immediate(self) -> Option<Oop> {
+        if self.is_immediate() {
+            Some(Oop(self.0))
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Debug for Oop {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            OopKind::Heap(i) => write!(f, "obj#{i}"),
+            k => write!(f, "{k:?}"),
+        }
+    }
+}
+
+impl fmt::Debug for PRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind() {
+            OopKind::Heap(i) => write!(f, "g{i}"),
+            k => write!(f, "{k:?}"),
+        }
+    }
+}
+
+impl Default for Oop {
+    fn default() -> Self {
+        Oop::NIL
+    }
+}
+
+impl Default for PRef {
+    fn default() -> Self {
+        PRef::NIL
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_roundtrip() {
+        for i in [0i64, 1, -1, 42, -42, SMALL_INT_MAX, SMALL_INT_MIN] {
+            assert_eq!(Oop::int(i).as_int(), Some(i), "roundtrip {i}");
+        }
+        assert_eq!(Oop::try_int(SMALL_INT_MAX + 1), None);
+        assert_eq!(Oop::try_int(SMALL_INT_MIN - 1), None);
+    }
+
+    #[test]
+    fn float_roundtrip_precision() {
+        for x in [0.0f64, 1.5, -2.25, 24650.0, 0.10, 256_500.0, 1e300, -1e-300] {
+            let back = Oop::float(x).as_float().unwrap();
+            let err = if x == 0.0 { back.abs() } else { ((back - x) / x).abs() };
+            assert!(err < 1e-13, "x={x} back={back}");
+        }
+        // Integral floats below 2^48 are exact despite tag truncation.
+        assert_eq!(Oop::float(142_000.0).as_float(), Some(142_000.0));
+    }
+
+    #[test]
+    fn char_and_sym() {
+        assert_eq!(Oop::char('Q').as_char(), Some('Q'));
+        assert_eq!(Oop::char('λ').as_char(), Some('λ'));
+        let s = SymbolId(77);
+        assert_eq!(Oop::sym(s).as_sym(), Some(s));
+    }
+
+    #[test]
+    fn specials_are_distinct() {
+        let all = [Oop::NIL, Oop::FALSE, Oop::TRUE, Oop::SYSTEM, Oop::int(0), Oop::obj(0)];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                assert_eq!(a == b, i == j, "{a:?} vs {b:?}");
+            }
+        }
+        assert!(Oop::NIL.is_nil());
+        assert!(!Oop::FALSE.is_nil());
+        assert_eq!(Oop::TRUE.as_bool(), Some(true));
+        assert_eq!(Oop::FALSE.as_bool(), Some(false));
+        assert_eq!(Oop::NIL.as_bool(), None);
+    }
+
+    #[test]
+    fn heap_refs() {
+        let o = Oop::obj(123_456);
+        assert!(o.is_heap());
+        assert!(!o.is_immediate());
+        assert_eq!(o.as_obj(), Some(123_456));
+        assert_eq!(o.to_pref_immediate(), None);
+
+        let p = PRef::goop(Goop(987_654_321));
+        assert_eq!(p.as_goop(), Some(Goop(987_654_321)));
+    }
+
+    #[test]
+    fn immediate_conversion_is_bit_identical() {
+        for o in [Oop::NIL, Oop::TRUE, Oop::int(-5), Oop::char('x'), Oop::float(2.5)] {
+            let p = o.to_pref_immediate().unwrap();
+            assert_eq!(p.bits(), o.bits());
+            assert_eq!(p.to_oop_immediate().unwrap(), o);
+        }
+    }
+
+    #[test]
+    fn kind_decoding() {
+        assert_eq!(Oop::int(9).kind(), OopKind::Int(9));
+        assert_eq!(Oop::NIL.kind(), OopKind::Nil);
+        assert_eq!(Oop::SYSTEM.kind(), OopKind::System);
+        assert!(matches!(Oop::class(ClassId(3)).kind(), OopKind::Class(ClassId(3))));
+        assert_eq!(Oop::int(7).as_number(), Some(7.0));
+        assert_eq!(Oop::float(2.5).as_number(), Some(2.5));
+        assert_eq!(Oop::NIL.as_number(), None);
+    }
+
+    #[test]
+    fn negative_int_encoding_uses_arithmetic_shift() {
+        assert_eq!(Oop::int(-1).as_int(), Some(-1));
+        assert_eq!(Oop::int(i64::from(i32::MIN)).as_int(), Some(i64::from(i32::MIN)));
+    }
+}

@@ -1,0 +1,128 @@
+//! Interned symbols.
+//!
+//! Selectors, element names, class names and string labels (Figure 1 labels
+//! elements with strings such as `'Acme Corp'`) are interned into a single
+//! database-wide table, so symbol comparison is integer comparison.
+
+use std::collections::HashMap;
+use std::fmt;
+
+/// Identity of an interned symbol.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SymbolId(pub u32);
+
+impl fmt::Debug for SymbolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#<{}>", self.0)
+    }
+}
+
+/// The database-wide symbol table. Symbols are never removed: like all
+/// GemStone objects they live forever (§5.4).
+#[derive(Debug, Default)]
+pub struct SymbolTable {
+    names: Vec<Box<str>>,
+    index: HashMap<Box<str>, SymbolId>,
+}
+
+impl SymbolTable {
+    /// An empty table.
+    pub fn new() -> SymbolTable {
+        SymbolTable::default()
+    }
+
+    /// Intern `name`, returning its stable id.
+    pub fn intern(&mut self, name: &str) -> SymbolId {
+        if let Some(&id) = self.index.get(name) {
+            return id;
+        }
+        let id = SymbolId(u32::try_from(self.names.len()).expect("symbol table exhausted"));
+        self.names.push(name.into());
+        self.index.insert(name.into(), id);
+        id
+    }
+
+    /// Find an already-interned symbol.
+    pub fn lookup(&self, name: &str) -> Option<SymbolId> {
+        self.index.get(name).copied()
+    }
+
+    /// The text of a symbol.
+    pub fn name(&self, id: SymbolId) -> &str {
+        &self.names[id.0 as usize]
+    }
+
+    /// Number of interned symbols.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when no symbol has been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// All symbols in id order (used to persist the table).
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (SymbolId(i as u32), &**n))
+    }
+
+    /// Rebuild from persisted names, in id order (used at recovery).
+    pub fn from_names<I: IntoIterator<Item = String>>(names: I) -> SymbolTable {
+        let mut t = SymbolTable::new();
+        for n in names {
+            t.intern(&n);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("salary");
+        let b = t.intern("salary");
+        assert_eq!(a, b);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.name(a), "salary");
+    }
+
+    #[test]
+    fn distinct_names_distinct_ids() {
+        let mut t = SymbolTable::new();
+        let a = t.intern("name");
+        let b = t.intern("Name");
+        assert_ne!(a, b, "symbols are case sensitive");
+    }
+
+    #[test]
+    fn lookup_without_interning() {
+        let mut t = SymbolTable::new();
+        assert_eq!(t.lookup("depts"), None);
+        let id = t.intern("depts");
+        assert_eq!(t.lookup("depts"), Some(id));
+    }
+
+    #[test]
+    fn persist_roundtrip() {
+        let mut t = SymbolTable::new();
+        for n in ["a", "b", "c"] {
+            t.intern(n);
+        }
+        let names: Vec<String> = t.iter().map(|(_, n)| n.to_string()).collect();
+        let t2 = SymbolTable::from_names(names);
+        assert_eq!(t2.lookup("b"), t.lookup("b"));
+        assert_eq!(t2.len(), 3);
+    }
+
+    #[test]
+    fn unicode_symbols() {
+        let mut t = SymbolTable::new();
+        let id = t.intern("Größe");
+        assert_eq!(t.name(id), "Größe");
+    }
+}

@@ -1,0 +1,83 @@
+//! The OPAL abstract syntax tree.
+
+/// A literal value appearing in source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Lit {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(String),
+    Char(char),
+    /// `#( … )` — array of literals.
+    Array(Vec<Lit>),
+    True,
+    False,
+    Nil,
+}
+
+/// One step of a path expression: `! component [@ time]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    pub component: PathComponent,
+    pub at: Option<Expr>,
+}
+
+/// What a path component names.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathComponent {
+    /// `! name` — a symbolic element name.
+    Name(String),
+    /// `! 'Acme Corp'` — a string label.
+    Label(String),
+    /// `! 1821` — an integer element name.
+    Index(i64),
+    /// `! (expr)` — a computed component.
+    Dynamic(Box<Expr>),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    Lit(Lit),
+    /// Variable reference: parameter, temp, instance variable, global,
+    /// class name, or pseudo-variable (`self`, `System`).
+    Ident(String),
+    /// `x := expr`.
+    Assign(String, Box<Expr>),
+    /// A message send (unary, binary or keyword — the selector tells).
+    Send { recv: Box<Expr>, selector: String, args: Vec<Expr> },
+    /// `recv sel1; sel2: x; …` — cascades send each message to `recv`.
+    Cascade { recv: Box<Expr>, sends: Vec<(String, Vec<Expr>)> },
+    /// `[:a :b | stmts]`.
+    Block(Block),
+    /// `root ! a ! b@7 ! c` — OPAL path navigation.
+    Path { root: Box<Expr>, steps: Vec<PathStep> },
+    /// `root ! a ! b := v` — assignment through a path (§4.3: "allow
+    /// assignments to path expressions").
+    PathAssign { root: Box<Expr>, steps: Vec<PathStep>, value: Box<Expr> },
+}
+
+/// A block literal.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    pub params: Vec<String>,
+    pub temps: Vec<String>,
+    pub body: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    Expr(Expr),
+    /// `^ expr` — method return (non-local from inside a block).
+    Return(Expr),
+}
+
+/// A parsed method: selector pattern, parameters, temporaries, body.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MethodAst {
+    pub selector: String,
+    pub params: Vec<String>,
+    pub temps: Vec<String>,
+    pub body: Vec<Stmt>,
+}

@@ -1,0 +1,109 @@
+//! Bytecodes for the OPAL abstract stack machine (§6: "compiledMethods
+//! consisting of sequences of bytecodes, much the same as the ST80
+//! interpreter").
+
+use gemstone_calculus::Query;
+use gemstone_object::SymbolId;
+
+/// A literal pooled in a compiled method.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Literal {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Sym(SymbolId),
+    Char(char),
+    Array(Vec<Literal>),
+    /// A compiled declarative selection (§6's "large addition" to the
+    /// compiler): the calculus query template for a `select:` block.
+    Query(QueryTemplate),
+}
+
+/// A calculus query compiled from a selection block. Range variables occupy
+/// `VarId 0..n_ranges`; captured outer values occupy the next `n_captured`
+/// ids and are substituted at run time from the operand stack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTemplate {
+    pub query: Query,
+    pub n_captured: u16,
+}
+
+/// One bytecode.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bc {
+    /// Push literal at pool index.
+    PushLit(u16),
+    PushNil,
+    PushTrue,
+    PushFalse,
+    PushSelf,
+    /// The `System` pseudo-object.
+    PushSystem,
+    /// Local temp of the current activation (params first).
+    PushTemp(u8),
+    StoreTemp(u8),
+    /// Home-method temp, from inside a block.
+    PushHome(u8),
+    StoreHome(u8),
+    /// Temp of the `up`-th lexically enclosing block activation (nested
+    /// closures over outer block variables — `do:` inside `do:`).
+    PushOuter { up: u8, idx: u8 },
+    StoreOuter { up: u8, idx: u8 },
+    /// Instance variable of the receiver, by pooled symbol.
+    PushInstVar(u16),
+    StoreInstVar(u16),
+    /// Global or class name, by pooled symbol; resolved at run time.
+    PushGlobal(u16),
+    StoreGlobal(u16),
+    Pop,
+    Dup,
+    /// Send the pooled selector with `argc` arguments.
+    Send { sel: u16, argc: u8 },
+    /// Unconditional relative jump (offset from the *next* instruction).
+    Jump(i32),
+    /// Pop; jump if false.
+    JumpIfFalse(i32),
+    /// Pop; jump if true.
+    JumpIfTrue(i32),
+    /// Push a closure over block `idx` of the current method.
+    PushBlock(u16),
+    /// Path step: pops [time?] and name and receiver, pushes the element
+    /// value. The flag says whether a time operand was pushed.
+    PathStep { has_time: bool },
+    /// Path store: pops value, name, receiver; stores the element; pushes
+    /// the value (assignment yields its value).
+    PathStore,
+    /// Method return with top of stack (non-local when inside a block).
+    ReturnTop,
+    /// Method return with self.
+    ReturnSelf,
+    /// Declarative selection: pops `argc` captured values and the receiver
+    /// collection; pushes the result array.
+    SelectQuery { lit: u16, argc: u8 },
+}
+
+/// A block compiled within a method. Blocks share the method's literal pool.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledBlock {
+    pub n_params: u8,
+    pub n_temps: u8,
+    pub code: Vec<Bc>,
+}
+
+/// A compiled method (or doIt body).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledMethod {
+    pub selector: SymbolId,
+    pub n_params: u8,
+    pub n_temps: u8,
+    pub literals: Vec<Literal>,
+    pub code: Vec<Bc>,
+    pub blocks: Vec<CompiledBlock>,
+}
+
+impl CompiledMethod {
+    /// Total slots in an activation's temp frame.
+    pub fn frame_size(&self) -> usize {
+        self.n_params as usize + self.n_temps as usize
+    }
+}

@@ -1,0 +1,1053 @@
+//! The OPAL compiler: AST → bytecode.
+//!
+//! Follows the ST80 compiler's shape — literal pool, inlined control-flow
+//! selectors, block compilation — "but a large addition is needed [to]
+//! translate calculus expressions into procedural form" (§6): a `select:`
+//! whose argument block is recognizably a calculus predicate is compiled to
+//! a [`Bc::SelectQuery`] carrying a [`QueryTemplate`], so the session can
+//! plan it (directories, index scans) instead of running the block
+//! procedurally. Unanalyzable blocks silently fall back to the procedural
+//! `select:` of the kernel library — exactly the latitude §5.2 claims for
+//! declarative syntax.
+
+use crate::ast::{Block, Expr, Lit, PathComponent, PathStep, Stmt};
+use crate::bytecode::{Bc, CompiledBlock, CompiledMethod, Literal, QueryTemplate};
+use crate::parser;
+use crate::world::OpalWorld;
+use gemstone_calculus as calc;
+use gemstone_object::{ClassId, GemError, GemResult, Oop};
+
+/// Compile a method definition for `class`.
+pub fn compile_method<W: OpalWorld>(
+    world: &mut W,
+    class: ClassId,
+    source: &str,
+) -> GemResult<CompiledMethod> {
+    let ast = parser::parse_method(source)?;
+    Compiler::new(world, Some(class)).compile(&ast.selector, &ast.params, &ast.temps, &ast.body, false)
+}
+
+/// Compile a "doIt": a block of OPAL source whose last statement's value is
+/// the result (§6: "Communication with GemStone is done in blocks of OPAL
+/// source code").
+pub fn compile_doit<W: OpalWorld>(world: &mut W, source: &str) -> GemResult<CompiledMethod> {
+    let (temps, body) = parser::parse_doit(source)?;
+    Compiler::new(world, None).compile("doIt", &[], &temps, &body, true)
+}
+
+struct Compiler<'w, W: OpalWorld> {
+    world: &'w mut W,
+    class: Option<ClassId>,
+    literals: Vec<Literal>,
+    blocks: Vec<CompiledBlock>,
+    /// Method-frame variable names (params then temps, growing as inlined
+    /// blocks contribute slots).
+    method_scope: Vec<String>,
+    is_doit: bool,
+}
+
+/// Compilation context for one code body (method or block).
+struct Ctx {
+    code: Vec<Bc>,
+    /// Lexical chain of (non-inlined) block scopes, outermost first; empty
+    /// while compiling method-level code. The last entry is the scope of
+    /// the block currently being compiled.
+    block_chain: Vec<Vec<String>>,
+}
+
+impl Ctx {
+    fn method() -> Ctx {
+        Ctx { code: Vec::new(), block_chain: Vec::new() }
+    }
+
+    fn block(chain: Vec<Vec<String>>) -> Ctx {
+        Ctx { code: Vec::new(), block_chain: chain }
+    }
+
+    fn emit(&mut self, bc: Bc) {
+        self.code.push(bc);
+    }
+
+    /// Emit a placeholder jump, returning its index for later patching.
+    fn emit_jump(&mut self, make: fn(i32) -> Bc) -> usize {
+        self.code.push(make(0));
+        self.code.len() - 1
+    }
+
+    /// Patch the jump at `at` to land on the current end of code.
+    fn patch_to_here(&mut self, at: usize) {
+        let offset = (self.code.len() - at - 1) as i32;
+        self.code[at] = match self.code[at] {
+            Bc::Jump(_) => Bc::Jump(offset),
+            Bc::JumpIfFalse(_) => Bc::JumpIfFalse(offset),
+            Bc::JumpIfTrue(_) => Bc::JumpIfTrue(offset),
+            other => other,
+        };
+    }
+}
+
+impl<'w, W: OpalWorld> Compiler<'w, W> {
+    fn new(world: &'w mut W, class: Option<ClassId>) -> Compiler<'w, W> {
+        Compiler {
+            world,
+            class,
+            literals: Vec::new(),
+            blocks: Vec::new(),
+            method_scope: Vec::new(),
+            is_doit: false,
+        }
+    }
+
+    fn compile(
+        mut self,
+        selector: &str,
+        params: &[String],
+        temps: &[String],
+        body: &[Stmt],
+        is_doit: bool,
+    ) -> GemResult<CompiledMethod> {
+        self.is_doit = is_doit;
+        let n_params = params.len();
+        self.method_scope.extend(params.iter().cloned());
+        self.method_scope.extend(temps.iter().cloned());
+        let mut ctx = Ctx::method();
+        self.compile_body(&mut ctx, body, is_doit)?;
+        let selector = self.world.intern(selector);
+        Ok(CompiledMethod {
+            selector,
+            n_params: u8::try_from(n_params)
+                .map_err(|_| GemError::CompileError("too many parameters".into()))?,
+            n_temps: u8::try_from(self.method_scope.len() - n_params)
+                .map_err(|_| GemError::CompileError("too many temporaries".into()))?,
+            literals: self.literals,
+            code: ctx.code,
+            blocks: self.blocks,
+        })
+    }
+
+    /// Compile statements. `value_of_last`: leave/return the last
+    /// statement's value (doIt semantics); else return self (methods).
+    fn compile_body(&mut self, ctx: &mut Ctx, body: &[Stmt], value_of_last: bool) -> GemResult<()> {
+        if body.is_empty() {
+            if value_of_last {
+                ctx.emit(Bc::PushNil);
+                ctx.emit(Bc::ReturnTop);
+            } else {
+                ctx.emit(Bc::ReturnSelf);
+            }
+            return Ok(());
+        }
+        for (i, stmt) in body.iter().enumerate() {
+            let last = i == body.len() - 1;
+            match stmt {
+                Stmt::Return(e) => {
+                    self.compile_expr(ctx, e)?;
+                    ctx.emit(Bc::ReturnTop);
+                    if !last {
+                        return Err(GemError::CompileError(
+                            "statements after ^ are unreachable".into(),
+                        ));
+                    }
+                    return Ok(());
+                }
+                Stmt::Expr(e) => {
+                    self.compile_expr(ctx, e)?;
+                    if last {
+                        if value_of_last {
+                            ctx.emit(Bc::ReturnTop);
+                        } else {
+                            ctx.emit(Bc::Pop);
+                            ctx.emit(Bc::ReturnSelf);
+                        }
+                    } else {
+                        ctx.emit(Bc::Pop);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compile block statements leaving the last value on the stack
+    /// (blocks return their last expression; empty blocks return nil).
+    fn compile_block_body(&mut self, ctx: &mut Ctx, body: &[Stmt]) -> GemResult<()> {
+        if body.is_empty() {
+            ctx.emit(Bc::PushNil);
+            return Ok(());
+        }
+        for (i, stmt) in body.iter().enumerate() {
+            let last = i == body.len() - 1;
+            match stmt {
+                Stmt::Return(e) => {
+                    self.compile_expr(ctx, e)?;
+                    ctx.emit(Bc::ReturnTop); // non-local return
+                    if !last {
+                        return Err(GemError::CompileError(
+                            "statements after ^ are unreachable".into(),
+                        ));
+                    }
+                    return Ok(());
+                }
+                Stmt::Expr(e) => {
+                    self.compile_expr(ctx, e)?;
+                    if !last {
+                        ctx.emit(Bc::Pop);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // -------------------------------------------------------- literals
+
+    fn add_literal(&mut self, lit: Literal) -> u16 {
+        if let Some(i) = self.literals.iter().position(|l| l == &lit) {
+            return i as u16;
+        }
+        self.literals.push(lit);
+        (self.literals.len() - 1) as u16
+    }
+
+    fn lit_of(&mut self, lit: &Lit) -> GemResult<Option<Literal>> {
+        Ok(Some(match lit {
+            Lit::Int(i) => Literal::Int(*i),
+            Lit::Float(x) => Literal::Float(*x),
+            Lit::Str(s) => Literal::Str(s.clone()),
+            Lit::Sym(s) => Literal::Sym(self.world.intern(s)),
+            Lit::Char(c) => Literal::Char(*c),
+            Lit::Array(items) => {
+                let mut out = Vec::with_capacity(items.len());
+                for item in items {
+                    match self.lit_of(item)? {
+                        Some(l) => out.push(l),
+                        None => return Ok(None),
+                    }
+                }
+                Literal::Array(out)
+            }
+            Lit::True | Lit::False | Lit::Nil => return Ok(None),
+        }))
+    }
+
+    // ----------------------------------------------------- expressions
+
+    fn compile_expr(&mut self, ctx: &mut Ctx, expr: &Expr) -> GemResult<()> {
+        match expr {
+            Expr::Lit(Lit::True) => ctx.emit(Bc::PushTrue),
+            Expr::Lit(Lit::False) => ctx.emit(Bc::PushFalse),
+            Expr::Lit(Lit::Nil) => ctx.emit(Bc::PushNil),
+            Expr::Lit(lit) => {
+                let l = self.lit_of(lit)?.expect("non-pseudo literal");
+                let idx = self.add_literal(l);
+                ctx.emit(Bc::PushLit(idx));
+            }
+            Expr::Ident(name) => self.compile_ident(ctx, name)?,
+            Expr::Assign(name, value) => {
+                self.compile_expr(ctx, value)?;
+                ctx.emit(Bc::Dup);
+                self.compile_store(ctx, name)?;
+            }
+            Expr::Send { recv, selector, args } => {
+                self.compile_send(ctx, recv, selector, args)?;
+            }
+            Expr::Cascade { recv, sends } => {
+                self.compile_expr(ctx, recv)?;
+                for (i, (selector, args)) in sends.iter().enumerate() {
+                    let last = i == sends.len() - 1;
+                    if !last {
+                        ctx.emit(Bc::Dup);
+                    }
+                    for a in args {
+                        self.compile_expr(ctx, a)?;
+                    }
+                    let sel = self.world.intern(selector);
+                    let sel = self.add_literal(Literal::Sym(sel));
+                    ctx.emit(Bc::Send { sel, argc: args.len() as u8 });
+                    if !last {
+                        ctx.emit(Bc::Pop);
+                    }
+                }
+            }
+            Expr::Block(b) => {
+                let idx = self.compile_closure(ctx, b)?;
+                ctx.emit(Bc::PushBlock(idx));
+            }
+            Expr::Path { root, steps } => {
+                self.compile_expr(ctx, root)?;
+                for step in steps {
+                    self.compile_path_step(ctx, step)?;
+                }
+            }
+            Expr::PathAssign { root, steps, value } => {
+                self.compile_expr(ctx, root)?;
+                let (last, navigate) = steps.split_last().expect("path has steps");
+                for step in navigate {
+                    self.compile_path_step(ctx, step)?;
+                }
+                if last.at.is_some() {
+                    return Err(GemError::CompileError(
+                        "cannot assign into a past state (@ on assignment target)".into(),
+                    ));
+                }
+                self.compile_path_component(ctx, &last.component)?;
+                self.compile_expr(ctx, value)?;
+                ctx.emit(Bc::PathStore);
+            }
+        }
+        Ok(())
+    }
+
+    fn compile_path_step(&mut self, ctx: &mut Ctx, step: &PathStep) -> GemResult<()> {
+        self.compile_path_component(ctx, &step.component)?;
+        match &step.at {
+            Some(t) => {
+                self.compile_expr(ctx, t)?;
+                ctx.emit(Bc::PathStep { has_time: true });
+            }
+            None => ctx.emit(Bc::PathStep { has_time: false }),
+        }
+        Ok(())
+    }
+
+    fn compile_path_component(&mut self, ctx: &mut Ctx, c: &PathComponent) -> GemResult<()> {
+        match c {
+            PathComponent::Name(n) | PathComponent::Label(n) => {
+                let sym = self.world.intern(n);
+                let idx = self.add_literal(Literal::Sym(sym));
+                ctx.emit(Bc::PushLit(idx));
+            }
+            PathComponent::Index(i) => {
+                let idx = self.add_literal(Literal::Int(*i));
+                ctx.emit(Bc::PushLit(idx));
+            }
+            PathComponent::Dynamic(e) => self.compile_expr(ctx, e)?,
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------- variable handling
+
+    fn compile_ident(&mut self, ctx: &mut Ctx, name: &str) -> GemResult<()> {
+        match name {
+            "self" => {
+                ctx.emit(Bc::PushSelf);
+                return Ok(());
+            }
+            "System" => {
+                ctx.emit(Bc::PushSystem);
+                return Ok(());
+            }
+            "super" => {
+                return Err(GemError::CompileError("super sends are not supported".into()));
+            }
+            _ => {}
+        }
+        if !ctx.block_chain.is_empty() {
+            // Own block frame first, then enclosing block activations.
+            let depth = ctx.block_chain.len();
+            for (up, scope) in ctx.block_chain.iter().rev().enumerate() {
+                if let Some(i) = scope.iter().rposition(|n| n == name) {
+                    if up == 0 {
+                        ctx.emit(Bc::PushTemp(i as u8));
+                    } else {
+                        ctx.emit(Bc::PushOuter { up: up as u8, idx: i as u8 });
+                    }
+                    return Ok(());
+                }
+            }
+            let _ = depth;
+            if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
+                ctx.emit(Bc::PushHome(i as u8));
+                return Ok(());
+            }
+        } else if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
+            ctx.emit(Bc::PushTemp(i as u8));
+            return Ok(());
+        }
+        let sym = self.world.intern(name);
+        if let Some(class) = self.class {
+            if self.world.declares_instvar(class, sym) {
+                let idx = self.add_literal(Literal::Sym(sym));
+                ctx.emit(Bc::PushInstVar(idx));
+                return Ok(());
+            }
+        }
+        let idx = self.add_literal(Literal::Sym(sym));
+        ctx.emit(Bc::PushGlobal(idx));
+        Ok(())
+    }
+
+    fn compile_store(&mut self, ctx: &mut Ctx, name: &str) -> GemResult<()> {
+        if name == "self" || name == "System" {
+            return Err(GemError::CompileError(format!("cannot assign to {name}")));
+        }
+        if !ctx.block_chain.is_empty() {
+            for (up, scope) in ctx.block_chain.iter().rev().enumerate() {
+                if let Some(i) = scope.iter().rposition(|n| n == name) {
+                    if up == 0 {
+                        ctx.emit(Bc::StoreTemp(i as u8));
+                    } else {
+                        ctx.emit(Bc::StoreOuter { up: up as u8, idx: i as u8 });
+                    }
+                    return Ok(());
+                }
+            }
+            if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
+                ctx.emit(Bc::StoreHome(i as u8));
+                return Ok(());
+            }
+        } else if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
+            ctx.emit(Bc::StoreTemp(i as u8));
+            return Ok(());
+        }
+        let sym = self.world.intern(name);
+        if let Some(class) = self.class {
+            if self.world.declares_instvar(class, sym) {
+                let idx = self.add_literal(Literal::Sym(sym));
+                ctx.emit(Bc::StoreInstVar(idx));
+                return Ok(());
+            }
+        }
+        if self.is_doit {
+            // doIts may create globals by assignment (`World := …`).
+            let idx = self.add_literal(Literal::Sym(sym));
+            ctx.emit(Bc::StoreGlobal(idx));
+            Ok(())
+        } else {
+            Err(GemError::CompileError(format!("undeclared variable {name}")))
+        }
+    }
+
+    // ------------------------------------------------------------ sends
+
+    fn compile_send(
+        &mut self,
+        ctx: &mut Ctx,
+        recv: &Expr,
+        selector: &str,
+        args: &[Expr],
+    ) -> GemResult<()> {
+        // Inlined control flow (requires literal blocks, as in GemStone).
+        match (selector, args) {
+            ("ifTrue:", [Expr::Block(b)]) if b.params.is_empty() => {
+                return self.compile_if(ctx, recv, Some(b), None);
+            }
+            ("ifFalse:", [Expr::Block(b)]) if b.params.is_empty() => {
+                return self.compile_if(ctx, recv, None, Some(b));
+            }
+            ("ifTrue:ifFalse:", [Expr::Block(t), Expr::Block(f)])
+                if t.params.is_empty() && f.params.is_empty() =>
+            {
+                return self.compile_if(ctx, recv, Some(t), Some(f));
+            }
+            ("ifFalse:ifTrue:", [Expr::Block(f), Expr::Block(t)])
+                if t.params.is_empty() && f.params.is_empty() =>
+            {
+                return self.compile_if(ctx, recv, Some(t), Some(f));
+            }
+            ("and:", [Expr::Block(b)]) if b.params.is_empty() => {
+                return self.compile_and_or(ctx, recv, b, true);
+            }
+            ("or:", [Expr::Block(b)]) if b.params.is_empty() => {
+                return self.compile_and_or(ctx, recv, b, false);
+            }
+            ("whileTrue:", [Expr::Block(body)]) if body.params.is_empty() => {
+                if let Expr::Block(cond) = recv {
+                    return self.compile_while(ctx, cond, body, true);
+                }
+            }
+            ("whileFalse:", [Expr::Block(body)]) if body.params.is_empty() => {
+                if let Expr::Block(cond) = recv {
+                    return self.compile_while(ctx, cond, body, false);
+                }
+            }
+            ("timesRepeat:", [Expr::Block(body)]) if body.params.is_empty() => {
+                // n timesRepeat: [..] ≡ 1 to: n do: [:i# | ..]
+                let counter = Block {
+                    params: vec!["__i".into()],
+                    temps: body.temps.clone(),
+                    body: body.body.clone(),
+                };
+                return self.compile_to_do(ctx, &Expr::Lit(Lit::Int(1)), recv, &counter);
+            }
+            ("to:do:", [end, Expr::Block(b)]) if b.params.len() == 1 => {
+                return self.compile_to_do(ctx, recv, end, b);
+            }
+            ("select:", [Expr::Block(b)]) if b.params.len() == 1 && b.temps.is_empty() => {
+                if let Some(()) = self.try_compile_select(ctx, recv, b)? {
+                    return Ok(());
+                }
+            }
+            _ => {}
+        }
+        // Plain send.
+        self.compile_expr(ctx, recv)?;
+        for a in args {
+            self.compile_expr(ctx, a)?;
+        }
+        let sel = self.world.intern(selector);
+        let sel = self.add_literal(Literal::Sym(sel));
+        ctx.emit(Bc::Send { sel, argc: args.len() as u8 });
+        Ok(())
+    }
+
+    fn push_inline_var(&mut self, ctx: &mut Ctx, name: &str) -> GemResult<u8> {
+        match ctx.block_chain.last_mut() {
+            Some(scope) => {
+                scope.push(name.to_string());
+                u8::try_from(scope.len() - 1)
+                    .map_err(|_| GemError::CompileError("too many block temps".into()))
+            }
+            None => {
+                self.method_scope.push(name.to_string());
+                u8::try_from(self.method_scope.len() - 1)
+                    .map_err(|_| GemError::CompileError("too many temporaries".into()))
+            }
+        }
+    }
+
+    /// Inline an argument block's statements, leaving its value on the
+    /// stack. Block temps get fresh slots in the enclosing frame.
+    fn inline_block(&mut self, ctx: &mut Ctx, b: &Block) -> GemResult<()> {
+        for t in &b.temps {
+            self.push_inline_var(ctx, t)?;
+        }
+        self.compile_block_body(ctx, &b.body)
+    }
+
+    fn compile_if(
+        &mut self,
+        ctx: &mut Ctx,
+        cond: &Expr,
+        then_b: Option<&Block>,
+        else_b: Option<&Block>,
+    ) -> GemResult<()> {
+        self.compile_expr(ctx, cond)?;
+        let jf = ctx.emit_jump(Bc::JumpIfFalse);
+        match then_b {
+            Some(b) => self.inline_block(ctx, b)?,
+            None => ctx.emit(Bc::PushNil),
+        }
+        let jend = ctx.emit_jump(Bc::Jump);
+        ctx.patch_to_here(jf);
+        match else_b {
+            Some(b) => self.inline_block(ctx, b)?,
+            None => ctx.emit(Bc::PushNil),
+        }
+        ctx.patch_to_here(jend);
+        Ok(())
+    }
+
+    fn compile_and_or(&mut self, ctx: &mut Ctx, recv: &Expr, b: &Block, is_and: bool) -> GemResult<()> {
+        self.compile_expr(ctx, recv)?;
+        if is_and {
+            let jf = ctx.emit_jump(Bc::JumpIfFalse);
+            self.inline_block(ctx, b)?;
+            let jend = ctx.emit_jump(Bc::Jump);
+            ctx.patch_to_here(jf);
+            ctx.emit(Bc::PushFalse);
+            ctx.patch_to_here(jend);
+        } else {
+            let jt = ctx.emit_jump(Bc::JumpIfTrue);
+            self.inline_block(ctx, b)?;
+            let jend = ctx.emit_jump(Bc::Jump);
+            ctx.patch_to_here(jt);
+            ctx.emit(Bc::PushTrue);
+            ctx.patch_to_here(jend);
+        }
+        Ok(())
+    }
+
+    fn compile_while(
+        &mut self,
+        ctx: &mut Ctx,
+        cond: &Block,
+        body: &Block,
+        until_false: bool,
+    ) -> GemResult<()> {
+        let loop_start = ctx.code.len();
+        self.inline_block(ctx, cond)?;
+        let jexit =
+            ctx.emit_jump(if until_false { Bc::JumpIfFalse } else { Bc::JumpIfTrue });
+        self.inline_block(ctx, body)?;
+        ctx.emit(Bc::Pop);
+        let back = -((ctx.code.len() + 1 - loop_start) as i32);
+        ctx.emit(Bc::Jump(back));
+        ctx.patch_to_here(jexit);
+        ctx.emit(Bc::PushNil);
+        Ok(())
+    }
+
+    fn compile_to_do(
+        &mut self,
+        ctx: &mut Ctx,
+        start: &Expr,
+        end: &Expr,
+        b: &Block,
+    ) -> GemResult<()> {
+        let ivar = self.push_inline_var(ctx, &b.params[0])?;
+        let limit = self.push_inline_var(ctx, "__limit")?;
+        let (push, store): (fn(u8) -> Bc, fn(u8) -> Bc) = (Bc::PushTemp, Bc::StoreTemp);
+        self.compile_expr(ctx, start)?;
+        ctx.emit(store(ivar));
+        self.compile_expr(ctx, end)?;
+        ctx.emit(store(limit));
+        let loop_start = ctx.code.len();
+        ctx.emit(push(ivar));
+        ctx.emit(push(limit));
+        let le = self.world.intern("<=");
+        let le = self.add_literal(Literal::Sym(le));
+        ctx.emit(Bc::Send { sel: le, argc: 1 });
+        let jexit = ctx.emit_jump(Bc::JumpIfFalse);
+        for t in &b.temps {
+            self.push_inline_var(ctx, t)?;
+        }
+        self.compile_block_body(ctx, &b.body)?;
+        ctx.emit(Bc::Pop);
+        ctx.emit(push(ivar));
+        let one = self.add_literal(Literal::Int(1));
+        ctx.emit(Bc::PushLit(one));
+        let plus = self.world.intern("+");
+        let plus = self.add_literal(Literal::Sym(plus));
+        ctx.emit(Bc::Send { sel: plus, argc: 1 });
+        ctx.emit(store(ivar));
+        let back = -((ctx.code.len() + 1 - loop_start) as i32);
+        ctx.emit(Bc::Jump(back));
+        ctx.patch_to_here(jexit);
+        ctx.emit(Bc::PushNil);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------- blocks
+
+    fn compile_closure(&mut self, ctx: &Ctx, b: &Block) -> GemResult<u16> {
+        let mut scope = Vec::with_capacity(b.params.len() + b.temps.len());
+        scope.extend(b.params.iter().cloned());
+        scope.extend(b.temps.iter().cloned());
+        let mut chain = ctx.block_chain.clone();
+        chain.push(scope);
+        let mut bctx = Ctx::block(chain);
+        self.compile_block_body(&mut bctx, &b.body)?;
+        let block_scope = bctx.block_chain.pop().unwrap();
+        self.blocks.push(CompiledBlock {
+            n_params: b.params.len() as u8,
+            n_temps: (block_scope.len() - b.params.len()) as u8,
+            code: bctx.code,
+        });
+        Ok((self.blocks.len() - 1) as u16)
+    }
+
+    // -------------------------------------- declarative select: blocks
+
+    /// Try to compile `recv select: [:e | pred]` declaratively. Returns
+    /// `Some(())` on success (code emitted), `None` to fall back.
+    fn try_compile_select(
+        &mut self,
+        ctx: &mut Ctx,
+        recv: &Expr,
+        b: &Block,
+    ) -> GemResult<Option<()>> {
+        // The block body must be a single expression.
+        let [Stmt::Expr(body)] = &b.body[..] else { return Ok(None) };
+        let mut captures: Vec<Expr> = Vec::new();
+        let Some(pred) = self.analyze_pred(body, &b.params[0], &mut captures) else {
+            return Ok(None);
+        };
+        if captures.len() > 200 {
+            return Ok(None);
+        }
+        let query = calc::Query {
+            result: vec![(self.world.intern("each"), calc::Term::Var(calc::VarId(0)))],
+            ranges: vec![calc::Range {
+                var: calc::VarId(0),
+                // Placeholder: the session substitutes the receiver.
+                domain: calc::Term::Const(Oop::NIL),
+            }],
+            pred,
+        };
+        let template = QueryTemplate { query, n_captured: captures.len() as u16 };
+        let lit = self.add_literal(Literal::Query(template));
+        self.compile_expr(ctx, recv)?;
+        let argc = captures.len() as u8;
+        for c in &captures {
+            self.compile_expr(ctx, c)?;
+        }
+        ctx.emit(Bc::SelectQuery { lit, argc });
+        Ok(Some(()))
+    }
+
+    /// Captured slots start after the single range variable.
+    const CAPTURE_BASE: u16 = 1;
+
+    fn capture(&mut self, captures: &mut Vec<Expr>, e: &Expr) -> calc::Term {
+        if let Some(i) = captures.iter().position(|c| c == e) {
+            return calc::Term::Var(calc::VarId(Self::CAPTURE_BASE + i as u16));
+        }
+        captures.push(e.clone());
+        calc::Term::Var(calc::VarId(Self::CAPTURE_BASE + captures.len() as u16 - 1))
+    }
+
+    fn analyze_pred(
+        &mut self,
+        e: &Expr,
+        param: &str,
+        captures: &mut Vec<Expr>,
+    ) -> Option<calc::Pred> {
+        match e {
+            Expr::Send { recv, selector, args } => match (selector.as_str(), &args[..]) {
+                ("<", [a]) => self.cmp(recv, calc::CmpOp::Lt, a, param, captures),
+                ("<=", [a]) => self.cmp(recv, calc::CmpOp::Le, a, param, captures),
+                (">", [a]) => self.cmp(recv, calc::CmpOp::Gt, a, param, captures),
+                (">=", [a]) => self.cmp(recv, calc::CmpOp::Ge, a, param, captures),
+                ("=", [a]) => self.cmp(recv, calc::CmpOp::Eq, a, param, captures),
+                ("~=", [a]) => self.cmp(recv, calc::CmpOp::Ne, a, param, captures),
+                ("&", [a]) => Some(calc::Pred::And(
+                    Box::new(self.analyze_pred(recv, param, captures)?),
+                    Box::new(self.analyze_pred(a, param, captures)?),
+                )),
+                ("|", [a]) => Some(calc::Pred::Or(
+                    Box::new(self.analyze_pred(recv, param, captures)?),
+                    Box::new(self.analyze_pred(a, param, captures)?),
+                )),
+                ("and:", [Expr::Block(b)]) if b.params.is_empty() && b.temps.is_empty() => {
+                    let [Stmt::Expr(inner)] = &b.body[..] else { return None };
+                    Some(calc::Pred::And(
+                        Box::new(self.analyze_pred(recv, param, captures)?),
+                        Box::new(self.analyze_pred(inner, param, captures)?),
+                    ))
+                }
+                ("or:", [Expr::Block(b)]) if b.params.is_empty() && b.temps.is_empty() => {
+                    let [Stmt::Expr(inner)] = &b.body[..] else { return None };
+                    Some(calc::Pred::Or(
+                        Box::new(self.analyze_pred(recv, param, captures)?),
+                        Box::new(self.analyze_pred(inner, param, captures)?),
+                    ))
+                }
+                ("not", []) => {
+                    Some(calc::Pred::Not(Box::new(self.analyze_pred(recv, param, captures)?)))
+                }
+                ("includes:", [a]) => {
+                    let set = self.analyze_term(recv, param, captures)?;
+                    let val = self.analyze_term(a, param, captures)?;
+                    Some(calc::Pred::In(val, set))
+                }
+                ("includesAll:", [a]) => {
+                    let sup = self.analyze_term(recv, param, captures)?;
+                    let sub = self.analyze_term(a, param, captures)?;
+                    Some(calc::Pred::Subset(sub, sup))
+                }
+                ("between:and:", [lo, hi]) => {
+                    let t = self.analyze_term(recv, param, captures)?;
+                    let lo = self.analyze_term(lo, param, captures)?;
+                    let hi = self.analyze_term(hi, param, captures)?;
+                    Some(calc::Pred::And(
+                        Box::new(calc::Pred::Cmp(t.clone(), calc::CmpOp::Ge, lo)),
+                        Box::new(calc::Pred::Cmp(t, calc::CmpOp::Le, hi)),
+                    ))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    fn cmp(
+        &mut self,
+        a: &Expr,
+        op: calc::CmpOp,
+        b: &Expr,
+        param: &str,
+        captures: &mut Vec<Expr>,
+    ) -> Option<calc::Pred> {
+        Some(calc::Pred::Cmp(
+            self.analyze_term(a, param, captures)?,
+            op,
+            self.analyze_term(b, param, captures)?,
+        ))
+    }
+
+    /// A term mentioning the block parameter becomes a path; anything not
+    /// mentioning it is captured and evaluated once outside the query.
+    fn analyze_term(
+        &mut self,
+        e: &Expr,
+        param: &str,
+        captures: &mut Vec<Expr>,
+    ) -> Option<calc::Term> {
+        if !mentions(e, param) {
+            return Some(match e {
+                Expr::Lit(Lit::Int(i)) => calc::Term::Const(Oop::int(*i)),
+                Expr::Lit(Lit::Float(x)) => calc::Term::Const(Oop::float(*x)),
+                Expr::Lit(Lit::Sym(s)) => calc::Term::Const(Oop::sym(self.world.intern(s))),
+                Expr::Lit(Lit::Char(c)) => calc::Term::Const(Oop::char(*c)),
+                Expr::Lit(Lit::True) => calc::Term::Const(Oop::TRUE),
+                Expr::Lit(Lit::False) => calc::Term::Const(Oop::FALSE),
+                Expr::Lit(Lit::Nil) => calc::Term::Const(Oop::NIL),
+                other => self.capture(captures, other),
+            });
+        }
+        match e {
+            Expr::Ident(n) if n == param => Some(calc::Term::Var(calc::VarId(0))),
+            // Unary-send chains on the parameter are paths: `e salary` —
+            // but only when no class defines the selector as a method, so
+            // real sends (`printString`) keep their semantics procedurally.
+            Expr::Send { recv, selector, args } if args.is_empty() => {
+                let sym = self.world.intern(selector);
+                if self.world.selector_defined_anywhere(sym) {
+                    return None;
+                }
+                let base = self.analyze_term(recv, param, captures)?;
+                let name = gemstone_object::ElemName::Sym(sym);
+                match base {
+                    calc::Term::Var(v) if v.0 == 0 => Some(calc::Term::Path(v, vec![name])),
+                    calc::Term::Path(v, mut path) if v.0 == 0 => {
+                        path.push(name);
+                        Some(calc::Term::Path(v, path))
+                    }
+                    _ => None,
+                }
+            }
+            // `e at: #salary` is also a path.
+            Expr::Send { recv, selector, args } if selector == "at:" && args.len() == 1 => {
+                let base = self.analyze_term(recv, param, captures)?;
+                let name = match &args[0] {
+                    Expr::Lit(Lit::Sym(s)) | Expr::Lit(Lit::Str(s)) => {
+                        gemstone_object::ElemName::Sym(self.world.intern(s))
+                    }
+                    Expr::Lit(Lit::Int(i)) => gemstone_object::ElemName::Int(*i),
+                    _ => return None,
+                };
+                match base {
+                    calc::Term::Var(v) if v.0 == 0 => Some(calc::Term::Path(v, vec![name])),
+                    calc::Term::Path(v, mut path) if v.0 == 0 => {
+                        path.push(name);
+                        Some(calc::Term::Path(v, path))
+                    }
+                    _ => None,
+                }
+            }
+            // Paths on the parameter: `e ! salary`.
+            Expr::Path { root, steps } => {
+                let base = self.analyze_term(root, param, captures)?;
+                let calc::Term::Var(v) = base else { return None };
+                if v.0 != 0 {
+                    return None;
+                }
+                let mut path = Vec::with_capacity(steps.len());
+                for s in steps {
+                    if s.at.is_some() {
+                        return None; // temporal inside select: falls back
+                    }
+                    match &s.component {
+                        PathComponent::Name(n) | PathComponent::Label(n) => {
+                            path.push(gemstone_object::ElemName::Sym(self.world.intern(n)));
+                        }
+                        PathComponent::Index(i) => {
+                            path.push(gemstone_object::ElemName::Int(*i));
+                        }
+                        PathComponent::Dynamic(_) => return None,
+                    }
+                }
+                Some(calc::Term::Path(v, path))
+            }
+            Expr::Send { recv, selector, args } if args.len() == 1 => {
+                let a = self.analyze_term(recv, param, captures)?;
+                let b = self.analyze_term(&args[0], param, captures)?;
+                let (a, b) = (Box::new(a), Box::new(b));
+                match selector.as_str() {
+                    "*" => Some(calc::Term::Mul(a, b)),
+                    "+" => Some(calc::Term::Add(a, b)),
+                    "-" => Some(calc::Term::Sub(a, b)),
+                    "/" => Some(calc::Term::Div(a, b)),
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Does the expression mention the identifier?
+fn mentions(e: &Expr, name: &str) -> bool {
+    match e {
+        Expr::Ident(n) => n == name,
+        Expr::Lit(_) => false,
+        Expr::Assign(n, v) => n == name || mentions(v, name),
+        Expr::Send { recv, args, .. } => {
+            mentions(recv, name) || args.iter().any(|a| mentions(a, name))
+        }
+        Expr::Cascade { recv, sends } => {
+            mentions(recv, name)
+                || sends.iter().any(|(_, args)| args.iter().any(|a| mentions(a, name)))
+        }
+        Expr::Block(b) => {
+            if b.params.iter().any(|p| p == name) || b.temps.iter().any(|t| t == name) {
+                return false; // shadowed
+            }
+            b.body.iter().any(|s| match s {
+                Stmt::Expr(e) | Stmt::Return(e) => mentions(e, name),
+            })
+        }
+        Expr::Path { root, steps } => {
+            mentions(root, name)
+                || steps.iter().any(|s| {
+                    s.at.as_ref().is_some_and(|t| mentions(t, name))
+                        || matches!(&s.component, PathComponent::Dynamic(d) if mentions(d, name))
+                })
+        }
+        Expr::PathAssign { root, steps, value } => {
+            mentions(root, name)
+                || mentions(value, name)
+                || steps.iter().any(|s| {
+                    s.at.as_ref().is_some_and(|t| mentions(t, name))
+                        || matches!(&s.component, PathComponent::Dynamic(d) if mentions(d, name))
+                })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::BasicWorld;
+
+    #[test]
+    fn doit_compiles_and_returns_last_value() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "| x | x := 3. x + 4").unwrap();
+        assert_eq!(m.n_temps, 1);
+        assert!(matches!(m.code.last(), Some(Bc::ReturnTop)));
+    }
+
+    #[test]
+    fn method_without_return_returns_self() {
+        let mut w = BasicWorld::new();
+        let k = w.kernel();
+        let m = compile_method(&mut w, k.object, "bump | x | x := 1").unwrap();
+        assert!(matches!(m.code.last(), Some(Bc::ReturnSelf)));
+    }
+
+    #[test]
+    fn undeclared_variable_in_method_is_an_error() {
+        let mut w = BasicWorld::new();
+        let k = w.kernel();
+        let err = compile_method(&mut w, k.object, "bad zzz := 1");
+        assert!(matches!(err, Err(GemError::CompileError(_))), "{err:?}");
+    }
+
+    #[test]
+    fn doit_assignment_creates_global_store() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "World := 5").unwrap();
+        assert!(m.code.iter().any(|b| matches!(b, Bc::StoreGlobal(_))));
+    }
+
+    #[test]
+    fn instvar_access_compiles_to_instvar_ops() {
+        let mut w = BasicWorld::new();
+        let k = w.kernel();
+        let name = w.intern("Emp");
+        let salary = w.intern("salary");
+        let emp = w.define_subclass(k.object, name, vec![salary]).unwrap();
+        let m = compile_method(&mut w, emp, "salary ^salary").unwrap();
+        assert!(m.code.iter().any(|b| matches!(b, Bc::PushInstVar(_))));
+        let m = compile_method(&mut w, emp, "salary: s salary := s").unwrap();
+        assert!(m.code.iter().any(|b| matches!(b, Bc::StoreInstVar(_))));
+    }
+
+    #[test]
+    fn if_true_inlines_with_jumps() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "3 < 4 ifTrue: [1] ifFalse: [2]").unwrap();
+        assert!(m.blocks.is_empty(), "inlined, no closures");
+        assert!(m.code.iter().any(|b| matches!(b, Bc::JumpIfFalse(_))));
+    }
+
+    #[test]
+    fn while_inlines_backward_jump() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "| i | i := 0. [i < 5] whileTrue: [i := i + 1]. i").unwrap();
+        assert!(m.blocks.is_empty());
+        assert!(m.code.iter().any(|b| matches!(b, Bc::Jump(o) if *o < 0)));
+    }
+
+    #[test]
+    fn real_blocks_are_compiled_separately() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "| b | b := [:x | x + 1]. b value: 2").unwrap();
+        assert_eq!(m.blocks.len(), 1);
+        assert_eq!(m.blocks[0].n_params, 1);
+    }
+
+    #[test]
+    fn select_with_analyzable_block_emits_query() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "| c | c := Set new. c select: [:e | e salary > 100]").unwrap();
+        assert!(m.code.iter().any(|b| matches!(b, Bc::SelectQuery { .. })));
+        let Some(Literal::Query(t)) = m
+            .literals
+            .iter()
+            .find(|l| matches!(l, Literal::Query(_)))
+        else {
+            panic!()
+        };
+        assert_eq!(t.n_captured, 0);
+        assert!(matches!(t.query.pred, calc::Pred::Cmp(_, calc::CmpOp::Gt, _)));
+    }
+
+    #[test]
+    fn select_captures_outer_values() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(
+            &mut w,
+            "| c limit | c := Set new. limit := 50. c select: [:e | e salary > limit]",
+        )
+        .unwrap();
+        let q = m.code.iter().find_map(|b| match b {
+            Bc::SelectQuery { argc, .. } => Some(*argc),
+            _ => None,
+        });
+        assert_eq!(q, Some(1), "limit is captured");
+    }
+
+    #[test]
+    fn unanalyzable_select_falls_back_to_send() {
+        let mut w = BasicWorld::new();
+        // printString is not a calculus operation.
+        let m = compile_doit(&mut w, "| c | c := Set new. c select: [:e | e printString = e]")
+            .unwrap();
+        assert!(!m.code.iter().any(|b| matches!(b, Bc::SelectQuery { .. })));
+        assert_eq!(m.blocks.len(), 1, "procedural block retained");
+    }
+
+    #[test]
+    fn path_expressions_compile_to_path_steps() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "| w | w := Dictionary new. w ! 'Acme Corp' ! president @ 7")
+            .unwrap();
+        let steps: Vec<bool> = m
+            .code
+            .iter()
+            .filter_map(|b| match b {
+                Bc::PathStep { has_time } => Some(*has_time),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(steps, vec![false, true]);
+    }
+
+    #[test]
+    fn path_assignment_compiles_to_path_store() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "| d | d := Dictionary new. d ! city := 'Portland'").unwrap();
+        assert!(m.code.iter().any(|b| matches!(b, Bc::PathStore)));
+    }
+
+    #[test]
+    fn assignment_into_past_is_rejected() {
+        let mut w = BasicWorld::new();
+        let err = compile_doit(&mut w, "| d | d := Dictionary new. d ! city @ 3 := 'X'");
+        assert!(err.is_err());
+    }
+}

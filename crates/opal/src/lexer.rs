@@ -1,0 +1,554 @@
+//! The OPAL lexer: ST80 tokens plus `!` (path) and `@` (time).
+
+use gemstone_object::{GemError, GemResult};
+use std::fmt;
+
+/// A token with its source position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: Tok,
+    pub line: u32,
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    Ident(String),
+    /// `foo:` — one keyword-message part.
+    Keyword(String),
+    /// Binary selector such as `+`, `<=`, `,`, `~=`.
+    BinSel(String),
+    Int(i64),
+    Float(f64),
+    Str(String),
+    /// `#foo`, `#foo:bar:`, `#+`.
+    Sym(String),
+    /// `$a`.
+    Char(char),
+    /// `:=`
+    Assign,
+    /// `^`
+    Caret,
+    /// `.`
+    Period,
+    /// `;`
+    Semi,
+    /// `|` used as temp-declaration delimiter or block-param separator; the
+    /// parser disambiguates against the binary selector use.
+    VBar,
+    /// `:x` block parameter.
+    BlockParam(String),
+    LParen,
+    RParen,
+    LBracket,
+    RBracket,
+    /// `#(` literal array open.
+    HashParen,
+    /// `!` path separator (OPAL extension).
+    Bang,
+    /// `@` temporal qualifier (OPAL extension).
+    At,
+    Eof,
+}
+
+impl fmt::Display for Tok {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "{s}"),
+            Tok::Keyword(s) => write!(f, "{s}:"),
+            Tok::BinSel(s) => write!(f, "{s}"),
+            Tok::Int(i) => write!(f, "{i}"),
+            Tok::Float(x) => write!(f, "{x}"),
+            Tok::Str(s) => write!(f, "'{s}'"),
+            Tok::Sym(s) => write!(f, "#{s}"),
+            Tok::Char(c) => write!(f, "${c}"),
+            Tok::Assign => write!(f, ":="),
+            Tok::Caret => write!(f, "^"),
+            Tok::Period => write!(f, "."),
+            Tok::Semi => write!(f, ";"),
+            Tok::VBar => write!(f, "|"),
+            Tok::BlockParam(s) => write!(f, ":{s}"),
+            Tok::LParen => write!(f, "("),
+            Tok::RParen => write!(f, ")"),
+            Tok::LBracket => write!(f, "["),
+            Tok::RBracket => write!(f, "]"),
+            Tok::HashParen => write!(f, "#("),
+            Tok::Bang => write!(f, "!"),
+            Tok::At => write!(f, "@"),
+            Tok::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// Characters that may form binary selectors. `!` and `@` are reserved for
+/// paths and time; `|`, `^`, `;` have structural roles.
+const BIN_CHARS: &str = "+-*/~<>=&,%?\\";
+
+/// Tokenize OPAL source.
+pub fn lex(src: &str) -> GemResult<Vec<Token>> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line: u32 = 1;
+    let mut col: u32 = 0;
+
+    macro_rules! err {
+        ($($arg:tt)*) => {
+            return Err(GemError::ParseError { line, col, msg: format!($($arg)*) })
+        };
+    }
+
+    let push = |kind: Tok, line: u32, col: u32, out: &mut Vec<Token>| {
+        out.push(Token { kind, line, col });
+    };
+
+    while let Some(&c) = chars.peek() {
+        let tok_line = line;
+        let tok_col = col + 1;
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                col = 0;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                col += 1;
+            }
+            '"' => {
+                // comment
+                chars.next();
+                col += 1;
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            col += 1;
+                            break;
+                        }
+                        Some('\n') => {
+                            line += 1;
+                            col = 0;
+                        }
+                        Some(_) => col += 1,
+                        None => err!("unterminated comment"),
+                    }
+                }
+            }
+            '\'' => {
+                chars.next();
+                col += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            col += 1;
+                            // doubled quote = escaped quote
+                            if chars.peek() == Some(&'\'') {
+                                chars.next();
+                                col += 1;
+                                s.push('\'');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some('\n') => {
+                            line += 1;
+                            col = 0;
+                            s.push('\n');
+                        }
+                        Some(ch) => {
+                            col += 1;
+                            s.push(ch);
+                        }
+                        None => err!("unterminated string"),
+                    }
+                }
+                push(Tok::Str(s), tok_line, tok_col, &mut out);
+            }
+            '$' => {
+                chars.next();
+                col += 1;
+                match chars.next() {
+                    Some(ch) => {
+                        col += 1;
+                        push(Tok::Char(ch), tok_line, tok_col, &mut out);
+                    }
+                    None => err!("character literal at end of input"),
+                }
+            }
+            '#' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some('(') => {
+                        chars.next();
+                        col += 1;
+                        push(Tok::HashParen, tok_line, tok_col, &mut out);
+                    }
+                    Some('\'') => {
+                        // #'quoted symbol'
+                        chars.next();
+                        col += 1;
+                        let mut s = String::new();
+                        loop {
+                            match chars.next() {
+                                Some('\'') => {
+                                    col += 1;
+                                    break;
+                                }
+                                Some(ch) => {
+                                    col += 1;
+                                    s.push(ch);
+                                }
+                                None => err!("unterminated symbol"),
+                            }
+                        }
+                        push(Tok::Sym(s), tok_line, tok_col, &mut out);
+                    }
+                    Some(&ch) if ch.is_alphabetic() || ch == '_' => {
+                        let mut s = String::new();
+                        while let Some(&ch) = chars.peek() {
+                            if ch.is_alphanumeric() || ch == '_' || ch == ':' {
+                                s.push(ch);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        push(Tok::Sym(s), tok_line, tok_col, &mut out);
+                    }
+                    Some(&ch) if BIN_CHARS.contains(ch) => {
+                        let mut s = String::new();
+                        while let Some(&ch) = chars.peek() {
+                            if BIN_CHARS.contains(ch) {
+                                s.push(ch);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        push(Tok::Sym(s), tok_line, tok_col, &mut out);
+                    }
+                    _ => err!("bad symbol literal"),
+                }
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_ascii_digit() {
+                        s.push(ch);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                // Fraction only if a digit follows the dot (else it's a
+                // statement period).
+                let mut is_float = false;
+                if chars.peek() == Some(&'.') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        is_float = true;
+                        s.push('.');
+                        chars.next();
+                        col += 1;
+                        while let Some(&ch) = chars.peek() {
+                            if ch.is_ascii_digit() {
+                                s.push(ch);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if chars.peek() == Some(&'e') || chars.peek() == Some(&'E') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    let sign = matches!(ahead.peek(), Some('-') | Some('+'));
+                    if sign {
+                        ahead.next();
+                    }
+                    if ahead.peek().is_some_and(|c| c.is_ascii_digit()) {
+                        is_float = true;
+                        s.push('e');
+                        chars.next();
+                        col += 1;
+                        if sign {
+                            s.push(chars.next().unwrap());
+                            col += 1;
+                        }
+                        while let Some(&ch) = chars.peek() {
+                            if ch.is_ascii_digit() {
+                                s.push(ch);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                if is_float {
+                    match s.parse::<f64>() {
+                        Ok(x) => push(Tok::Float(x), tok_line, tok_col, &mut out),
+                        Err(_) => err!("bad float literal {s}"),
+                    }
+                } else {
+                    match s.parse::<i64>() {
+                        Ok(i) => push(Tok::Int(i), tok_line, tok_col, &mut out),
+                        Err(_) => err!("integer literal out of range: {s}"),
+                    }
+                }
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if ch.is_alphanumeric() || ch == '_' {
+                        s.push(ch);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if chars.peek() == Some(&':') {
+                    // keyword, unless it's `:=` (e.g. `x:=1` never happens:
+                    // ident followed by ':' then '=' is assignment target).
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek() == Some(&'=') {
+                        push(Tok::Ident(s), tok_line, tok_col, &mut out);
+                    } else {
+                        chars.next();
+                        col += 1;
+                        push(Tok::Keyword(s), tok_line, tok_col, &mut out);
+                    }
+                } else {
+                    push(Tok::Ident(s), tok_line, tok_col, &mut out);
+                }
+            }
+            ':' => {
+                chars.next();
+                col += 1;
+                match chars.peek() {
+                    Some('=') => {
+                        chars.next();
+                        col += 1;
+                        push(Tok::Assign, tok_line, tok_col, &mut out);
+                    }
+                    Some(&ch) if ch.is_alphabetic() || ch == '_' => {
+                        let mut s = String::new();
+                        while let Some(&ch) = chars.peek() {
+                            if ch.is_alphanumeric() || ch == '_' {
+                                s.push(ch);
+                                chars.next();
+                                col += 1;
+                            } else {
+                                break;
+                            }
+                        }
+                        push(Tok::BlockParam(s), tok_line, tok_col, &mut out);
+                    }
+                    _ => err!("stray ':'"),
+                }
+            }
+            '^' => {
+                chars.next();
+                col += 1;
+                push(Tok::Caret, tok_line, tok_col, &mut out);
+            }
+            '.' => {
+                chars.next();
+                col += 1;
+                push(Tok::Period, tok_line, tok_col, &mut out);
+            }
+            ';' => {
+                chars.next();
+                col += 1;
+                push(Tok::Semi, tok_line, tok_col, &mut out);
+            }
+            '(' => {
+                chars.next();
+                col += 1;
+                push(Tok::LParen, tok_line, tok_col, &mut out);
+            }
+            ')' => {
+                chars.next();
+                col += 1;
+                push(Tok::RParen, tok_line, tok_col, &mut out);
+            }
+            '[' => {
+                chars.next();
+                col += 1;
+                push(Tok::LBracket, tok_line, tok_col, &mut out);
+            }
+            ']' => {
+                chars.next();
+                col += 1;
+                push(Tok::RBracket, tok_line, tok_col, &mut out);
+            }
+            '!' => {
+                chars.next();
+                col += 1;
+                push(Tok::Bang, tok_line, tok_col, &mut out);
+            }
+            '@' => {
+                chars.next();
+                col += 1;
+                push(Tok::At, tok_line, tok_col, &mut out);
+            }
+            '|' => {
+                chars.next();
+                col += 1;
+                // `||` is never a selector here; single `|` may be a binary
+                // selector (Boolean or) or a declaration bar — parser decides.
+                push(Tok::VBar, tok_line, tok_col, &mut out);
+            }
+            c if BIN_CHARS.contains(c) => {
+                let mut s = String::new();
+                while let Some(&ch) = chars.peek() {
+                    if BIN_CHARS.contains(ch) && s.len() < 2 {
+                        s.push(ch);
+                        chars.next();
+                        col += 1;
+                    } else {
+                        break;
+                    }
+                }
+                push(Tok::BinSel(s), tok_line, tok_col, &mut out);
+            }
+            other => err!("unexpected character {other:?}"),
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("x := 3 + 4."),
+            vec![
+                Tok::Ident("x".into()),
+                Tok::Assign,
+                Tok::Int(3),
+                Tok::BinSel("+".into()),
+                Tok::Int(4),
+                Tok::Period,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keyword_messages() {
+        assert_eq!(
+            kinds("dict at: #name put: 'Ellen'"),
+            vec![
+                Tok::Ident("dict".into()),
+                Tok::Keyword("at".into()),
+                Tok::Sym("name".into()),
+                Tok::Keyword("put".into()),
+                Tok::Str("Ellen".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![Tok::Int(42), Tok::Eof]);
+        assert_eq!(kinds("3.25"), vec![Tok::Float(3.25), Tok::Eof]);
+        assert_eq!(kinds("1e3"), vec![Tok::Float(1000.0), Tok::Eof]);
+        // A trailing period is a statement separator, not a fraction.
+        assert_eq!(kinds("3."), vec![Tok::Int(3), Tok::Period, Tok::Eof]);
+    }
+
+    #[test]
+    fn strings_with_escapes_and_comments() {
+        assert_eq!(kinds("'it''s'"), vec![Tok::Str("it's".into()), Tok::Eof]);
+        assert_eq!(kinds("\"note\" 5"), vec![Tok::Int(5), Tok::Eof]);
+    }
+
+    #[test]
+    fn symbols() {
+        assert_eq!(kinds("#foo"), vec![Tok::Sym("foo".into()), Tok::Eof]);
+        assert_eq!(kinds("#at:put:"), vec![Tok::Sym("at:put:".into()), Tok::Eof]);
+        assert_eq!(kinds("#+"), vec![Tok::Sym("+".into()), Tok::Eof]);
+        assert_eq!(kinds("#'Acme Corp'"), vec![Tok::Sym("Acme Corp".into()), Tok::Eof]);
+        assert_eq!(kinds("#(1 2)"), vec![Tok::HashParen, Tok::Int(1), Tok::Int(2), Tok::RParen, Tok::Eof]);
+    }
+
+    #[test]
+    fn blocks_and_params() {
+        assert_eq!(
+            kinds("[:e | e]"),
+            vec![
+                Tok::LBracket,
+                Tok::BlockParam("e".into()),
+                Tok::VBar,
+                Tok::Ident("e".into()),
+                Tok::RBracket,
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn path_and_time_tokens() {
+        assert_eq!(
+            kinds("world ! 'Acme Corp' ! president @ 7 ! city"),
+            vec![
+                Tok::Ident("world".into()),
+                Tok::Bang,
+                Tok::Str("Acme Corp".into()),
+                Tok::Bang,
+                Tok::Ident("president".into()),
+                Tok::At,
+                Tok::Int(7),
+                Tok::Bang,
+                Tok::Ident("city".into()),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn binary_selectors() {
+        assert_eq!(kinds("a <= b"), vec![
+            Tok::Ident("a".into()),
+            Tok::BinSel("<=".into()),
+            Tok::Ident("b".into()),
+            Tok::Eof
+        ]);
+        assert_eq!(kinds("a ~= b")[1], Tok::BinSel("~=".into()));
+        assert_eq!(kinds("a , b")[1], Tok::BinSel(",".into()));
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        match lex("x 'unterminated") {
+            Err(GemError::ParseError { line, .. }) => assert_eq!(line, 1),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn characters() {
+        assert_eq!(kinds("$a $  "), vec![Tok::Char('a'), Tok::Char(' '), Tok::Eof]);
+    }
+}

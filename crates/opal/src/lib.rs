@@ -1,0 +1,45 @@
+//! OPAL: the GemStone data language (§4–§5 of Copeland & Maier, SIGMOD 1984).
+//!
+//! "We scrapped the Pascal-based version of OPAL, and [began] anew with an
+//! object-oriented language, Smalltalk-80, as a basis." OPAL keeps ST80's
+//! object/message/class model and syntax, and adds what the paper's §4.3
+//! found missing: `!` path expressions (with assignment), `@` temporal
+//! access, declarative selection blocks compiled through the set calculus,
+//! and system commands sent to the `System` object.
+//!
+//! Pipeline (§6): source blocks are **compiled** to bytecode — "The
+//! Interpreter is an abstract stack machine that executes compiledMethods
+//! consisting of sequences of bytecodes, much the same as the ST80
+//! interpreter … The Compiler requires some modifications from the ST80
+//! compiler. Most are small changes in syntax …, but a large addition is
+//! needed [to] translate calculus expressions into procedural form."
+//!
+//! * [`lexer`] / [`parser`] — OPAL surface syntax;
+//! * [`compiler`] — AST → [`bytecode`], including the select-block →
+//!   calculus translation;
+//! * [`interp`] — the stack machine and its ~90 primitive methods;
+//! * [`OpalWorld`] — the object-system interface the machine runs against:
+//!   the core crate implements it with persistence, transactions and the
+//!   time dial; [`BasicWorld`] implements it in memory for a standalone,
+//!   non-persistent OPAL (what ST80 itself was, per §4.3).
+
+pub mod ast;
+pub mod bytecode;
+pub mod compiler;
+pub mod interp;
+pub mod lexer;
+pub mod parser;
+pub mod world;
+
+pub use bytecode::{Bc, CompiledBlock, CompiledMethod, Literal, QueryTemplate};
+pub use compiler::{compile_doit, compile_method};
+pub use interp::Interpreter;
+pub use world::{install_kernel_methods, BasicWorld, OpalWorld, PrintDepth};
+
+/// Convenience: parse, compile and run a source block against a world,
+/// returning the value of its last statement.
+pub fn run_block<W: OpalWorld>(world: &mut W, source: &str) -> gemstone_object::GemResult<gemstone_object::Oop> {
+    let method = compile_doit(world, source)?;
+    let id = world.add_method_code(method);
+    Interpreter::new(world).run_doit(id)
+}

@@ -1,0 +1,561 @@
+//! The OPAL recursive-descent parser.
+//!
+//! Standard ST80 precedence — unary, then binary, then keyword — with OPAL's
+//! path syntax binding tighter than unary sends:
+//!
+//! ```text
+//! expr        := IDENT ':=' expr | cascade [':=' expr  when path]
+//! cascade     := keyword (';' message)*
+//! keyword     := binary (KEYWORD binary)*
+//! binary      := unary ((BINSEL | '|') unary)*
+//! unary       := path IDENT*
+//! path        := primary ('!' component ('@' primary)?)*
+//! primary     := literal | IDENT | '(' expr ')' | block | '#(' literals ')'
+//! ```
+
+use crate::ast::{Block, Expr, Lit, MethodAst, PathComponent, PathStep, Stmt};
+use crate::lexer::{lex, Tok, Token};
+use gemstone_object::{GemError, GemResult};
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+/// Parse a "doIt" — temporaries plus statements, as sent to GemStone in
+/// "blocks of OPAL source code" (§6).
+pub fn parse_doit(src: &str) -> GemResult<(Vec<String>, Vec<Stmt>)> {
+    let mut p = Parser { toks: lex(src)?, pos: 0 };
+    let temps = p.parse_temps()?;
+    let body = p.parse_statements(&Tok::Eof)?;
+    p.expect(&Tok::Eof)?;
+    Ok((temps, body))
+}
+
+/// Parse a method definition: selector pattern, temporaries, body.
+pub fn parse_method(src: &str) -> GemResult<MethodAst> {
+    let mut p = Parser { toks: lex(src)?, pos: 0 };
+    let (selector, params) = p.parse_pattern()?;
+    let temps = p.parse_temps()?;
+    let body = p.parse_statements(&Tok::Eof)?;
+    p.expect(&Tok::Eof)?;
+    Ok(MethodAst { selector, params, temps, body })
+}
+
+impl Parser {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &Tok {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn next(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos < self.toks.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error(&self, msg: impl Into<String>) -> GemError {
+        let t = &self.toks[self.pos];
+        GemError::ParseError { line: t.line, col: t.col, msg: msg.into() }
+    }
+
+    fn expect(&mut self, tok: &Tok) -> GemResult<()> {
+        if self.peek() == tok {
+            self.next();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected {tok}, found {}", self.peek())))
+        }
+    }
+
+    // -------------------------------------------------------- structure
+
+    fn parse_pattern(&mut self) -> GemResult<(String, Vec<String>)> {
+        match self.next() {
+            Tok::Ident(name) => Ok((name, vec![])),
+            Tok::BinSel(op) => match self.next() {
+                Tok::Ident(p) => Ok((op, vec![p])),
+                t => Err(self.error(format!("expected parameter after binary selector, found {t}"))),
+            },
+            Tok::Keyword(first) => {
+                let mut selector = format!("{first}:");
+                let mut params = Vec::new();
+                match self.next() {
+                    Tok::Ident(p) => params.push(p),
+                    t => return Err(self.error(format!("expected parameter, found {t}"))),
+                }
+                while let Tok::Keyword(k) = self.peek().clone() {
+                    self.next();
+                    selector.push_str(&k);
+                    selector.push(':');
+                    match self.next() {
+                        Tok::Ident(p) => params.push(p),
+                        t => return Err(self.error(format!("expected parameter, found {t}"))),
+                    }
+                }
+                Ok((selector, params))
+            }
+            t => Err(self.error(format!("expected method pattern, found {t}"))),
+        }
+    }
+
+    fn parse_temps(&mut self) -> GemResult<Vec<String>> {
+        if self.peek() != &Tok::VBar {
+            return Ok(vec![]);
+        }
+        self.next();
+        let mut temps = Vec::new();
+        loop {
+            match self.next() {
+                Tok::Ident(n) => temps.push(n),
+                Tok::VBar => return Ok(temps),
+                t => return Err(self.error(format!("expected temporary name or '|', found {t}"))),
+            }
+        }
+    }
+
+    fn parse_statements(&mut self, end: &Tok) -> GemResult<Vec<Stmt>> {
+        let mut stmts = Vec::new();
+        loop {
+            if self.peek() == end {
+                return Ok(stmts);
+            }
+            if self.peek() == &Tok::Caret {
+                self.next();
+                stmts.push(Stmt::Return(self.parse_expr()?));
+            } else {
+                stmts.push(Stmt::Expr(self.parse_expr()?));
+            }
+            if self.peek() == &Tok::Period {
+                self.next();
+            } else if self.peek() != end {
+                return Err(self.error(format!("expected '.' or {end}, found {}", self.peek())));
+            }
+        }
+    }
+
+    // ------------------------------------------------------ expressions
+
+    fn parse_expr(&mut self) -> GemResult<Expr> {
+        // `name := expr`
+        if let Tok::Ident(name) = self.peek().clone() {
+            if self.peek2() == &Tok::Assign {
+                self.next();
+                self.next();
+                return Ok(Expr::Assign(name, Box::new(self.parse_expr()?)));
+            }
+        }
+        let e = self.parse_cascade()?;
+        // `path := expr`
+        if self.peek() == &Tok::Assign {
+            if let Expr::Path { root, steps } = e {
+                self.next();
+                let value = Box::new(self.parse_expr()?);
+                return Ok(Expr::PathAssign { root, steps, value });
+            }
+            return Err(self.error("left side of := must be a variable or path"));
+        }
+        Ok(e)
+    }
+
+    fn parse_cascade(&mut self) -> GemResult<Expr> {
+        let first = self.parse_keyword_expr()?;
+        if self.peek() != &Tok::Semi {
+            return Ok(first);
+        }
+        let Expr::Send { recv, selector, args } = first else {
+            return Err(self.error("cascade requires a message send before ';'"));
+        };
+        let mut sends = vec![(selector, args)];
+        while self.peek() == &Tok::Semi {
+            self.next();
+            sends.push(self.parse_cascade_message()?);
+        }
+        Ok(Expr::Cascade { recv, sends })
+    }
+
+    fn parse_cascade_message(&mut self) -> GemResult<(String, Vec<Expr>)> {
+        match self.peek().clone() {
+            Tok::Ident(name) => {
+                self.next();
+                Ok((name, vec![]))
+            }
+            Tok::BinSel(op) => {
+                self.next();
+                let arg = self.parse_unary_expr()?;
+                Ok((op, vec![arg]))
+            }
+            Tok::Keyword(_) => {
+                let mut selector = String::new();
+                let mut args = Vec::new();
+                while let Tok::Keyword(k) = self.peek().clone() {
+                    self.next();
+                    selector.push_str(&k);
+                    selector.push(':');
+                    args.push(self.parse_binary_expr()?);
+                }
+                Ok((selector, args))
+            }
+            t => Err(self.error(format!("expected message after ';', found {t}"))),
+        }
+    }
+
+    fn parse_keyword_expr(&mut self) -> GemResult<Expr> {
+        let recv = self.parse_binary_expr()?;
+        if !matches!(self.peek(), Tok::Keyword(_)) {
+            return Ok(recv);
+        }
+        let mut selector = String::new();
+        let mut args = Vec::new();
+        while let Tok::Keyword(k) = self.peek().clone() {
+            self.next();
+            selector.push_str(&k);
+            selector.push(':');
+            args.push(self.parse_binary_expr()?);
+        }
+        Ok(Expr::Send { recv: Box::new(recv), selector, args })
+    }
+
+    fn parse_binary_expr(&mut self) -> GemResult<Expr> {
+        let mut left = self.parse_unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                Tok::BinSel(op) => op.clone(),
+                Tok::VBar => "|".to_string(),
+                _ => break,
+            };
+            self.next();
+            let right = self.parse_unary_expr()?;
+            left = Expr::Send { recv: Box::new(left), selector: op, args: vec![right] };
+        }
+        Ok(left)
+    }
+
+    fn parse_unary_expr(&mut self) -> GemResult<Expr> {
+        let mut e = self.parse_path_expr()?;
+        while let Tok::Ident(name) = self.peek().clone() {
+            // An identifier here is a unary selector (keywords were handled
+            // above; `:=` lookahead keeps assignments out).
+            if self.peek2() == &Tok::Assign {
+                break;
+            }
+            self.next();
+            e = Expr::Send { recv: Box::new(e), selector: name, args: vec![] };
+        }
+        Ok(e)
+    }
+
+    fn parse_path_expr(&mut self) -> GemResult<Expr> {
+        let root = self.parse_primary()?;
+        if self.peek() != &Tok::Bang {
+            return Ok(root);
+        }
+        let mut steps = Vec::new();
+        while self.peek() == &Tok::Bang {
+            self.next();
+            let component = match self.next() {
+                Tok::Ident(n) => PathComponent::Name(n),
+                Tok::Str(s) => PathComponent::Label(s),
+                Tok::Int(i) => PathComponent::Index(i),
+                Tok::Sym(s) => PathComponent::Name(s),
+                Tok::LParen => {
+                    let e = self.parse_expr()?;
+                    self.expect(&Tok::RParen)?;
+                    PathComponent::Dynamic(Box::new(e))
+                }
+                t => return Err(self.error(format!("expected path component, found {t}"))),
+            };
+            let at = if self.peek() == &Tok::At {
+                self.next();
+                Some(self.parse_primary()?)
+            } else {
+                None
+            };
+            steps.push(PathStep { component, at });
+        }
+        Ok(Expr::Path { root: Box::new(root), steps })
+    }
+
+    fn parse_primary(&mut self) -> GemResult<Expr> {
+        match self.peek().clone() {
+            Tok::Int(i) => {
+                self.next();
+                Ok(Expr::Lit(Lit::Int(i)))
+            }
+            Tok::Float(x) => {
+                self.next();
+                Ok(Expr::Lit(Lit::Float(x)))
+            }
+            Tok::Str(s) => {
+                self.next();
+                Ok(Expr::Lit(Lit::Str(s)))
+            }
+            Tok::Sym(s) => {
+                self.next();
+                Ok(Expr::Lit(Lit::Sym(s)))
+            }
+            Tok::Char(c) => {
+                self.next();
+                Ok(Expr::Lit(Lit::Char(c)))
+            }
+            // Negative numeric literal: `-3`.
+            Tok::BinSel(op) if op == "-" => match self.peek2().clone() {
+                Tok::Int(i) => {
+                    self.next();
+                    self.next();
+                    Ok(Expr::Lit(Lit::Int(-i)))
+                }
+                Tok::Float(x) => {
+                    self.next();
+                    self.next();
+                    Ok(Expr::Lit(Lit::Float(-x)))
+                }
+                t => Err(self.error(format!("expected number after '-', found {t}"))),
+            },
+            Tok::Ident(name) => {
+                self.next();
+                Ok(match name.as_str() {
+                    "true" => Expr::Lit(Lit::True),
+                    "false" => Expr::Lit(Lit::False),
+                    "nil" => Expr::Lit(Lit::Nil),
+                    _ => Expr::Ident(name),
+                })
+            }
+            Tok::LParen => {
+                self.next();
+                let e = self.parse_expr()?;
+                self.expect(&Tok::RParen)?;
+                Ok(e)
+            }
+            Tok::HashParen => {
+                self.next();
+                let mut items = Vec::new();
+                while self.peek() != &Tok::RParen {
+                    items.push(self.parse_array_literal_item()?);
+                }
+                self.next();
+                Ok(Expr::Lit(Lit::Array(items)))
+            }
+            Tok::LBracket => self.parse_block(),
+            t => Err(self.error(format!("expected expression, found {t}"))),
+        }
+    }
+
+    fn parse_array_literal_item(&mut self) -> GemResult<Lit> {
+        match self.next() {
+            Tok::Int(i) => Ok(Lit::Int(i)),
+            Tok::Float(x) => Ok(Lit::Float(x)),
+            Tok::Str(s) => Ok(Lit::Str(s)),
+            Tok::Sym(s) => Ok(Lit::Sym(s)),
+            Tok::Char(c) => Ok(Lit::Char(c)),
+            Tok::Ident(n) if n == "true" => Ok(Lit::True),
+            Tok::Ident(n) if n == "false" => Ok(Lit::False),
+            Tok::Ident(n) if n == "nil" => Ok(Lit::Nil),
+            // Bare words inside #( ) are symbols, as in ST80.
+            Tok::Ident(n) => Ok(Lit::Sym(n)),
+            Tok::Keyword(k) => Ok(Lit::Sym(format!("{k}:"))),
+            Tok::HashParen | Tok::LParen => {
+                let mut items = Vec::new();
+                while self.peek() != &Tok::RParen {
+                    items.push(self.parse_array_literal_item()?);
+                }
+                self.next();
+                Ok(Lit::Array(items))
+            }
+            Tok::BinSel(op) => match self.peek().clone() {
+                Tok::Int(i) if op == "-" => {
+                    self.next();
+                    Ok(Lit::Int(-i))
+                }
+                Tok::Float(x) if op == "-" => {
+                    self.next();
+                    Ok(Lit::Float(-x))
+                }
+                _ => Ok(Lit::Sym(op)),
+            },
+            t => Err(self.error(format!("bad array literal element {t}"))),
+        }
+    }
+
+    fn parse_block(&mut self) -> GemResult<Expr> {
+        self.expect(&Tok::LBracket)?;
+        let mut params = Vec::new();
+        while let Tok::BlockParam(p) = self.peek().clone() {
+            self.next();
+            params.push(p);
+        }
+        if !params.is_empty() {
+            self.expect(&Tok::VBar)?;
+        }
+        let temps = self.parse_temps()?;
+        let body = self.parse_statements(&Tok::RBracket)?;
+        self.expect(&Tok::RBracket)?;
+        Ok(Expr::Block(Block { params, temps, body }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doit(src: &str) -> (Vec<String>, Vec<Stmt>) {
+        parse_doit(src).unwrap()
+    }
+
+    fn expr(src: &str) -> Expr {
+        let (_, mut stmts) = doit(src);
+        assert_eq!(stmts.len(), 1);
+        match stmts.remove(0) {
+            Stmt::Expr(e) => e,
+            s => panic!("{s:?}"),
+        }
+    }
+
+    #[test]
+    fn precedence_unary_binary_keyword() {
+        // `d at: 2 + 3 factorial` parses as `d at: (2 + (3 factorial))`.
+        let e = expr("d at: 2 + 3 factorial");
+        let Expr::Send { selector, args, .. } = &e else { panic!() };
+        assert_eq!(selector, "at:");
+        let Expr::Send { selector: plus, args: plus_args, .. } = &args[0] else { panic!() };
+        assert_eq!(plus, "+");
+        let Expr::Send { selector: fact, .. } = &plus_args[0] else { panic!() };
+        assert_eq!(fact, "factorial");
+    }
+
+    #[test]
+    fn binary_left_associative() {
+        let e = expr("1 - 2 - 3");
+        let Expr::Send { recv, selector, .. } = &e else { panic!() };
+        assert_eq!(selector, "-");
+        assert!(matches!(&**recv, Expr::Send { .. }));
+    }
+
+    #[test]
+    fn keyword_selector_joins() {
+        let e = expr("d at: 1 put: 2");
+        let Expr::Send { selector, args, .. } = &e else { panic!() };
+        assert_eq!(selector, "at:put:");
+        assert_eq!(args.len(), 2);
+    }
+
+    #[test]
+    fn assignment_and_temps() {
+        let (temps, stmts) = doit("| x y | x := 3. y := x + 1. ^y");
+        assert_eq!(temps, vec!["x", "y"]);
+        assert_eq!(stmts.len(), 3);
+        assert!(matches!(&stmts[0], Stmt::Expr(Expr::Assign(n, _)) if n == "x"));
+        assert!(matches!(&stmts[2], Stmt::Return(_)));
+    }
+
+    #[test]
+    fn cascades() {
+        let e = expr("coll add: 1; add: 2; size");
+        let Expr::Cascade { sends, .. } = &e else { panic!("{e:?}") };
+        assert_eq!(sends.len(), 3);
+        assert_eq!(sends[2].0, "size");
+    }
+
+    #[test]
+    fn blocks_with_params_and_temps() {
+        let e = expr("[:a :b | | t | t := a + b. t]");
+        let Expr::Block(b) = &e else { panic!() };
+        assert_eq!(b.params, vec!["a", "b"]);
+        assert_eq!(b.temps, vec!["t"]);
+        assert_eq!(b.body.len(), 2);
+    }
+
+    #[test]
+    fn paths_with_time() {
+        let e = expr("world ! 'Acme Corp' ! president @ 7 ! city");
+        let Expr::Path { root, steps } = &e else { panic!("{e:?}") };
+        assert!(matches!(&**root, Expr::Ident(n) if n == "world"));
+        assert_eq!(steps.len(), 3);
+        assert!(matches!(&steps[0].component, PathComponent::Label(l) if l == "Acme Corp"));
+        assert!(steps[1].at.is_some());
+        assert!(steps[2].at.is_none());
+    }
+
+    #[test]
+    fn path_assignment() {
+        let e = expr("acme ! president ! city := 'Chicago'");
+        assert!(matches!(e, Expr::PathAssign { .. }));
+    }
+
+    #[test]
+    fn plain_assign_beats_path_assign_confusion() {
+        let (_, stmts) = doit("x := w ! a");
+        assert!(matches!(&stmts[0], Stmt::Expr(Expr::Assign(_, _))));
+    }
+
+    #[test]
+    fn unary_chain_on_path() {
+        let e = expr("w ! emp size");
+        let Expr::Send { recv, selector, .. } = &e else { panic!("{e:?}") };
+        assert_eq!(selector, "size");
+        assert!(matches!(&**recv, Expr::Path { .. }));
+    }
+
+    #[test]
+    fn array_literals() {
+        let e = expr("#('name' 'salary' 42 sym (1 2))");
+        let Expr::Lit(Lit::Array(items)) = &e else { panic!("{e:?}") };
+        assert_eq!(items.len(), 5);
+        assert_eq!(items[3], Lit::Sym("sym".into()));
+        assert!(matches!(&items[4], Lit::Array(inner) if inner.len() == 2));
+    }
+
+    #[test]
+    fn method_patterns() {
+        let m = parse_method("salary ^salary").unwrap();
+        assert_eq!(m.selector, "salary");
+        assert!(m.params.is_empty());
+
+        let m = parse_method("+ other ^1").unwrap();
+        assert_eq!(m.selector, "+");
+        assert_eq!(m.params, vec!["other"]);
+
+        let m = parse_method("salary: s depts: d salary := s. depts := d").unwrap();
+        assert_eq!(m.selector, "salary:depts:");
+        assert_eq!(m.params, vec!["s", "d"]);
+        assert_eq!(m.body.len(), 2);
+    }
+
+    #[test]
+    fn negative_literals() {
+        assert_eq!(expr("-5"), Expr::Lit(Lit::Int(-5)));
+        let e = expr("3 - -2");
+        let Expr::Send { args, .. } = &e else { panic!() };
+        assert_eq!(args[0], Expr::Lit(Lit::Int(-2)));
+    }
+
+    #[test]
+    fn vbar_as_boolean_or() {
+        let e = expr("a | b");
+        let Expr::Send { selector, .. } = &e else { panic!("{e:?}") };
+        assert_eq!(selector, "|");
+    }
+
+    #[test]
+    fn errors_are_positioned() {
+        match parse_doit("x := .") {
+            Err(GemError::ParseError { line, .. }) => assert_eq!(line, 1),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_doit("(1 + 2").is_err());
+        assert!(parse_doit("1 + 2 3").is_err(), "missing period");
+    }
+
+    #[test]
+    fn pseudo_variables() {
+        assert_eq!(expr("nil"), Expr::Lit(Lit::Nil));
+        assert_eq!(expr("true"), Expr::Lit(Lit::True));
+        assert!(matches!(expr("self"), Expr::Ident(n) if n == "self"));
+        assert!(matches!(expr("System"), Expr::Ident(n) if n == "System"));
+    }
+}

@@ -1,0 +1,471 @@
+//! End-to-end OPAL language tests: source blocks executed against the
+//! in-memory [`BasicWorld`] — the ST80-equivalent, non-persistent language
+//! substrate of §4.
+
+use gemstone_object::{GemError, Oop, OopKind};
+use gemstone_opal::{run_block, BasicWorld, OpalWorld};
+
+fn eval(src: &str) -> Oop {
+    let mut w = BasicWorld::new();
+    run_block(&mut w, src).unwrap_or_else(|e| panic!("{src}\n→ {e}"))
+}
+
+fn eval_in(w: &mut BasicWorld, src: &str) -> Oop {
+    run_block(w, src).unwrap_or_else(|e| panic!("{src}\n→ {e}"))
+}
+
+fn eval_err(src: &str) -> GemError {
+    let mut w = BasicWorld::new();
+    run_block(&mut w, src).expect_err(src)
+}
+
+fn as_string(w: &BasicWorld, v: Oop) -> String {
+    w.string_value(v).unwrap_or_else(|| panic!("{v:?} is not stringlike"))
+}
+
+#[test]
+fn arithmetic_tower() {
+    assert_eq!(eval("3 + 4 * 2").as_int(), Some(14), "no precedence: left to right");
+    assert_eq!(eval("3 + (4 * 2)").as_int(), Some(11));
+    assert_eq!(eval("7 // 2").as_int(), Some(3));
+    assert_eq!(eval("7 \\\\ 2").as_int(), Some(1));
+    assert_eq!(eval("-7 \\\\ 2").as_int(), Some(1), "euclidean mod");
+    assert_eq!(eval("6 / 3").as_int(), Some(2), "exact division stays integer");
+    assert_eq!(eval("7 / 2").as_float(), Some(3.5));
+    assert_eq!(eval("2.5 + 1").as_float(), Some(3.5));
+    assert_eq!(eval("3 max: 9").as_int(), Some(9));
+    assert_eq!(eval("3 negated abs").as_int(), Some(3));
+    assert_eq!(eval("24650 > (0.10 * 142000)").as_bool(), Some(true));
+}
+
+#[test]
+fn arithmetic_errors() {
+    assert!(matches!(eval_err("1 / 0"), GemError::ZeroDivide));
+    assert!(matches!(eval_err("1 // 0"), GemError::ZeroDivide));
+    assert!(matches!(eval_err("1 + 'x'"), GemError::TypeMismatch { .. }));
+}
+
+#[test]
+fn comparisons_and_booleans() {
+    assert_eq!(eval("3 < 4").as_bool(), Some(true));
+    assert_eq!(eval("(3 < 4) & (4 < 3)").as_bool(), Some(false));
+    assert_eq!(eval("(3 < 4) | (4 < 3)").as_bool(), Some(true));
+    assert_eq!(eval("(3 < 4) not").as_bool(), Some(false));
+    assert_eq!(eval("3 = 3.0").as_bool(), Some(true), "numeric equivalence");
+    assert_eq!(eval("3 == 3").as_bool(), Some(true), "immediates are identical");
+    assert_eq!(eval("'ab' < 'b'").as_bool(), Some(true));
+}
+
+#[test]
+fn identity_vs_equivalence_of_strings() {
+    // §4.2: "Two entities can have equivalent structures … but not be the
+    // same object."
+    assert_eq!(eval("'Sales' = 'Sales'").as_bool(), Some(true));
+    assert_eq!(eval("'Sales' == 'Sales'").as_bool(), Some(false), "two distinct objects");
+    assert_eq!(eval("| s | s := 'Sales'. s == s").as_bool(), Some(true));
+}
+
+#[test]
+fn strings_and_symbols() {
+    let mut w = BasicWorld::new();
+    let v = eval_in(&mut w, "'Gem', 'Stone'");
+    assert_eq!(as_string(&w, v), "GemStone");
+    assert_eq!(eval("'abc' size").as_int(), Some(3));
+    assert_eq!(eval("'abc' at: 2").as_char(), Some('b'));
+    assert!(matches!(eval("#name") .kind(), OopKind::Sym(_)));
+    assert_eq!(eval("'name' asSymbol = #name").as_bool(), Some(true));
+    assert!(matches!(eval_err("'abc' at: 4"), GemError::IndexOutOfRange { .. }));
+}
+
+#[test]
+fn control_flow_inlining() {
+    assert_eq!(eval("3 < 4 ifTrue: ['yes' size] ifFalse: [0]").as_int(), Some(3));
+    assert_eq!(eval("3 > 4 ifTrue: [1]").kind(), OopKind::Nil);
+    assert_eq!(eval("3 > 4 ifFalse: [9]").as_int(), Some(9));
+    assert_eq!(eval("(3 < 4) and: [4 < 5]").as_bool(), Some(true));
+    assert_eq!(eval("(3 > 4) and: [1 / 0]").as_bool(), Some(false), "short circuit");
+    assert_eq!(eval("(3 < 4) or: [1 / 0]").as_bool(), Some(true), "short circuit");
+    assert_eq!(
+        eval("| i sum | i := 0. sum := 0. [i < 10] whileTrue: [i := i + 1. sum := sum + i]. sum")
+            .as_int(),
+        Some(55)
+    );
+    assert_eq!(eval("| s | s := 0. 1 to: 5 do: [:i | s := s + i]. s").as_int(), Some(15));
+    assert_eq!(eval("| n | n := 0. 3 timesRepeat: [n := n + 2]. n").as_int(), Some(6));
+}
+
+#[test]
+fn blocks_are_closures() {
+    assert_eq!(eval("[:x | x * x] value: 7").as_int(), Some(49));
+    assert_eq!(eval("[:a :b | a - b] value: 10 value: 3").as_int(), Some(7));
+    assert_eq!(
+        eval("| n add | n := 10. add := [:x | x + n]. n := 20. add value: 1").as_int(),
+        Some(21),
+        "closures see the live variable, not a copy"
+    );
+    assert_eq!(
+        eval("| b | b := [:x | | y | y := x * 2. y + 1]. (b value: 3) + (b value: 4)").as_int(),
+        Some(16),
+        "block temps are per-activation"
+    );
+}
+
+#[test]
+fn nested_blocks_close_over_outer_block_variables() {
+    // d is an outer *block* parameter referenced two blocks down — the
+    // §5.1 query's nested-loop shape.
+    assert_eq!(
+        eval(
+            "| outer pairs |
+             outer := OrderedCollection new. outer add: 10; add: 20.
+             pairs := 0.
+             outer do: [:d | | inner |
+                 inner := OrderedCollection new. inner add: 1; add: 2; add: 3.
+                 inner do: [:e | (e + d) > 12 ifTrue: [pairs := pairs + 1]]].
+             pairs"
+        )
+        .as_int(),
+        Some(4),
+        "11,12,13 vs 21,22,23 → 13, 21, 22, 23 exceed 12"
+    );
+    // Writing an outer block variable from the inner block.
+    assert_eq!(
+        eval(
+            "| c total |
+             c := OrderedCollection new. c add: 2; add: 3.
+             total := 0.
+             c do: [:x | | acc | acc := 0.
+                 c do: [:y | acc := acc + (x * y)].
+                 total := total + acc].
+             total"
+        )
+        .as_int(),
+        Some(25),
+        "(2+3)·2 + (2+3)·3"
+    );
+}
+
+#[test]
+fn non_local_return_from_block() {
+    let mut w = BasicWorld::new();
+    eval_in(
+        &mut w,
+        "Object subclass: 'Finder' instVarNames: #().
+         Finder compile: 'findIn: coll coll do: [:e | e > 2 ifTrue: [^e]]. ^0'",
+    );
+    let v = eval_in(
+        &mut w,
+        "| c | c := OrderedCollection new. c add: 1; add: 5; add: 9. Finder new findIn: c",
+    );
+    assert_eq!(v.as_int(), Some(5), "^ inside do: block returns from findIn:");
+}
+
+#[test]
+fn collections_protocols() {
+    assert_eq!(eval("| c | c := OrderedCollection new. c add: 3; add: 1. c size").as_int(), Some(2));
+    assert_eq!(eval("| c | c := OrderedCollection new. c add: 3; add: 1. c first").as_int(), Some(3));
+    assert_eq!(eval("| s | s := Set new. s add: 5; add: 5; add: 6. s size").as_int(), Some(2));
+    assert_eq!(eval("| b | b := Bag new. b add: 5; add: 5. b size").as_int(), Some(2));
+    assert_eq!(
+        eval("| b | b := Bag new. b add: 5; add: 5; add: 7. b occurrencesOf: 5").as_int(),
+        Some(2)
+    );
+    assert_eq!(eval("| s | s := Set new. s add: 2. s includes: 2").as_bool(), Some(true));
+    assert_eq!(eval("| s | s := Set new. s add: 2. s includes: 3").as_bool(), Some(false));
+    assert_eq!(eval("Set new isEmpty").as_bool(), Some(true));
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 1; add: 2; add: 3. c inject: 0 into: [:a :e | a + e]")
+            .as_int(),
+        Some(6)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 1; add: 2; add: 3. (c collect: [:e | e * e]) last")
+            .as_int(),
+        Some(9)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. 1 to: 10 do: [:i | c add: i]. (c select: [:e | e printString size > 1]) size")
+            .as_int(),
+        Some(1),
+        "procedural select fallback (printString is not calculus)"
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 9; add: 4. c detect: [:e | e < 5]").as_int(),
+        Some(4)
+    );
+    assert!(matches!(
+        eval_err("OrderedCollection new detect: [:e | true]"),
+        GemError::RuntimeError(_)
+    ));
+}
+
+#[test]
+fn collection_arithmetic_protocols() {
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 3; add: 9; add: 5. c sum").as_int(),
+        Some(17)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 3; add: 9; add: 5. c max").as_int(),
+        Some(9)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 3; add: 9; add: 5. c min").as_int(),
+        Some(3)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 2; add: 4. c average").as_int(),
+        Some(3)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. 1 to: 10 do: [:i | c add: i]. c count: [:e | e > 7]")
+            .as_int(),
+        Some(3)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 1; add: 1; add: 2. c asSet size").as_int(),
+        Some(2)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 1; add: 1. c asBag size").as_int(),
+        Some(2)
+    );
+}
+
+#[test]
+fn sorting_and_searching() {
+    let mut w = BasicWorld::new();
+    let v = eval_in(
+        &mut w,
+        "| c | c := OrderedCollection new. c add: 5; add: 1; add: 9; add: 3. c asSortedArray printString",
+    );
+    assert_eq!(as_string(&w, v), "Array (1 3 5 9)");
+    let v = eval_in(
+        &mut w,
+        "| c | c := OrderedCollection new. c add: 'pear'; add: 'apple'; add: 'fig'. (c asSortedArray at: 1)",
+    );
+    assert_eq!(as_string(&w, v), "apple");
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 7; add: 8; add: 9. c indexOf: 8").as_int(),
+        Some(2)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 7. c indexOf: 99").as_int(),
+        Some(0)
+    );
+}
+
+#[test]
+fn subset_test_reads_naturally() {
+    // §5.2: "stipulating one set is the subset of another set requires two
+    // quantifiers in relational calculus" — here it is one message.
+    assert_eq!(
+        eval(
+            "| kids all | kids := Set new. kids add: 'Olivia'; add: 'Dale'; add: 'Paul'.
+             all := Set new. all add: 'Olivia'; add: 'Dale'; add: 'Paul'; add: 'Sam'.
+             all includesAll: kids"
+        )
+        .as_bool(),
+        Some(true)
+    );
+}
+
+#[test]
+fn dictionaries() {
+    assert_eq!(
+        eval("| d | d := Dictionary new. d at: #name put: 'Ellen'. (d at: #name) size").as_int(),
+        Some(5)
+    );
+    assert_eq!(
+        eval("| d | d := Dictionary new. d at: 'Acme Corp' put: 42. d at: 'Acme Corp'").as_int(),
+        Some(42),
+        "string keys intern to the same element names"
+    );
+    assert_eq!(eval("| d | d := Dictionary new. d at: #x").kind(), OopKind::Nil);
+    assert_eq!(
+        eval("| d | d := Dictionary new. d at: #x ifAbsent: [99]").as_int(),
+        Some(99)
+    );
+    assert_eq!(
+        eval("| d | d := Dictionary new. d at: 1 put: 'a'. d at: #b put: 2. d keys size").as_int(),
+        Some(2)
+    );
+    assert_eq!(
+        eval("| d | d := Dictionary new. d at: #x put: 5. d removeKey: #x. d includesKey: #x")
+            .as_bool(),
+        Some(false)
+    );
+}
+
+#[test]
+fn class_definition_from_opal() {
+    // §4.1's Employee/Manager, entirely from OPAL source.
+    let mut w = BasicWorld::new();
+    eval_in(
+        &mut w,
+        "Object subclass: 'Employee' instVarNames: #('name' 'salary' 'depts').
+         Employee subclass: 'Manager' instVarNames: #('departmentManaged').
+         Employee compile: 'raiseBy: pct salary := salary + (salary * pct / 100) asInteger. ^salary'",
+    );
+    let v = eval_in(
+        &mut w,
+        "| m | m := Manager new. m salary: 24000. m raiseBy: 10",
+    );
+    assert_eq!(v.as_int(), Some(26400), "Manager inherits Employee's method");
+    let v = eval_in(&mut w, "Manager new isKindOf: Employee");
+    assert_eq!(v.as_bool(), Some(true));
+    let v = eval_in(&mut w, "Employee new isKindOf: Manager");
+    assert_eq!(v.as_bool(), Some(false));
+}
+
+#[test]
+fn accessors_fall_out_of_element_semantics() {
+    let mut w = BasicWorld::new();
+    eval_in(&mut w, "Object subclass: 'Pt' instVarNames: #('x' 'y')");
+    let v = eval_in(&mut w, "| p | p := Pt new. p x: 3. p y: 4. (p x * p x) + (p y * p y)");
+    assert_eq!(v.as_int(), Some(25), "declared instvars read/write without boilerplate");
+}
+
+#[test]
+fn optional_instvars_cost_nothing_and_schema_evolves() {
+    let mut w = BasicWorld::new();
+    eval_in(&mut w, "Object subclass: 'Emp' instVarNames: #('name')");
+    let v = eval_in(&mut w, "| e | e := Emp new. e size");
+    assert_eq!(v.as_int(), Some(0), "unset optional variables occupy no elements");
+    // Add a variable to the class; existing instances simply lack it (§2C).
+    eval_in(&mut w, "Emp addInstVarName: 'phone'");
+    let v = eval_in(&mut w, "| e | e := Emp new. e phone: 3949. e phone");
+    assert_eq!(v.as_int(), Some(3949));
+    let v = eval_in(&mut w, "| e | e := Emp new. e phone");
+    assert_eq!(v.kind(), OopKind::Nil);
+}
+
+#[test]
+fn undefined_selector_is_dnu() {
+    let mut w = BasicWorld::new();
+    eval_in(&mut w, "Object subclass: 'Emp' instVarNames: #('name')");
+    match run_block(&mut w, "Emp new launchRockets").unwrap_err() {
+        GemError::DoesNotUnderstand { class, selector } => {
+            assert_eq!(class, "Emp");
+            assert_eq!(selector, "launchRockets");
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn paths_navigate_dictionaries() {
+    // The §5.1 database fragment built and navigated with ! paths.
+    let v = eval(
+        "| acme dept | acme := Dictionary new.
+         dept := Dictionary new.
+         dept at: #Name put: 'Sales'. dept at: #Budget put: 142000.
+         acme at: #Departments put: Dictionary new.
+         acme ! Departments ! A12 := dept.
+         acme ! Departments ! A12 ! Budget",
+    );
+    assert_eq!(v.as_int(), Some(142_000));
+}
+
+#[test]
+fn path_through_nil_is_an_error() {
+    assert!(matches!(
+        eval_err("| d | d := Dictionary new. d ! missing ! deeper"),
+        GemError::PathThroughNil(_)
+    ));
+}
+
+#[test]
+fn temporal_path_needs_a_database() {
+    // BasicWorld keeps no history: the @ operator parses and compiles but
+    // reports the missing substrate (the core crate supplies it).
+    assert!(matches!(
+        eval_err("| d | d := Dictionary new. d at: #x put: 1. d ! x @ 3"),
+        GemError::RuntimeError(_)
+    ));
+}
+
+#[test]
+fn cascades_return_last_message_value() {
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 1; add: 2; size").as_int(),
+        Some(2)
+    );
+}
+
+#[test]
+fn printing() {
+    let mut w = BasicWorld::new();
+    let v = eval_in(&mut w, "42 printString");
+    assert_eq!(as_string(&w, v), "42");
+    let v = eval_in(&mut w, "3.5 printString");
+    assert_eq!(as_string(&w, v), "3.5");
+    let v = eval_in(&mut w, "'hi' printString");
+    assert_eq!(as_string(&w, v), "'hi'");
+    let v = eval_in(&mut w, "#sym printString");
+    assert_eq!(as_string(&w, v), "#sym");
+    let v = eval_in(&mut w, "nil printString");
+    assert_eq!(as_string(&w, v), "nil");
+    let v = eval_in(&mut w, "| c | c := OrderedCollection new. c add: 1; add: 2. c printString");
+    assert_eq!(as_string(&w, v), "OrderedCollection (1 2)");
+    let v = eval_in(&mut w, "Employee := nil. Object printString");
+    assert_eq!(as_string(&w, v), "Object");
+}
+
+#[test]
+fn globals_persist_across_doits_in_a_session() {
+    let mut w = BasicWorld::new();
+    eval_in(&mut w, "Counter := 10");
+    assert_eq!(eval_in(&mut w, "Counter + 5").as_int(), Some(15));
+}
+
+#[test]
+fn array_literals() {
+    assert_eq!(eval("#(10 20 30) size").as_int(), Some(3));
+    assert_eq!(eval("#(10 20 30) at: 2").as_int(), Some(20));
+    assert_eq!(eval("#('a' 'bb' 'ccc') last size").as_int(), Some(3));
+}
+
+#[test]
+fn to_do_inside_block() {
+    // Inlined to:do: inside a real block exercises frame-local slots.
+    assert_eq!(
+        eval("| f | f := [:n | | s | s := 0. 1 to: n do: [:i | s := s + i]. s]. f value: 4")
+            .as_int(),
+        Some(10)
+    );
+}
+
+#[test]
+fn deep_recursion_is_guarded() {
+    let mut w = BasicWorld::new();
+    eval_in(&mut w, "Object subclass: 'R' instVarNames: #(). R compile: 'go ^self go'");
+    assert!(matches!(
+        run_block(&mut w, "R new go").unwrap_err(),
+        GemError::ResourceExhausted(_)
+    ));
+}
+
+#[test]
+fn error_raises() {
+    match eval_err("3 error: 'boom'") {
+        GemError::RuntimeError(m) => assert_eq!(m, "boom"),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn assignment_is_an_expression() {
+    assert_eq!(eval("| a b | a := b := 4. a + b").as_int(), Some(8));
+}
+
+#[test]
+fn associations() {
+    assert_eq!(eval("(#k -> 42) value").as_int(), Some(42));
+    assert_eq!(eval("(#k -> 42) key = #k").as_bool(), Some(true));
+}
+
+#[test]
+fn comments_are_skipped() {
+    assert_eq!(eval("\"the answer\" 6 * 7 \"trailing\"").as_int(), Some(42));
+}

@@ -1,0 +1,378 @@
+//! Relations, operators and indexes.
+
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::fmt;
+
+/// An atomic relational value. Exactly the "fixed set of simple types —
+/// integer, real and character string" of §2A, plus null.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Rval {
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Null,
+}
+
+impl Rval {
+    /// Index/join key. Strictly typed, mirroring `PartialEq` on `Rval`, so
+    /// index probes and scans always agree (`3` and `3.0` are different
+    /// relational values).
+    fn key(&self) -> Option<RvalKey> {
+        match self {
+            Rval::Int(i) => Some(RvalKey::Int(*i)),
+            Rval::Float(f) => Some(RvalKey::Float(if *f == 0.0 { 0 } else { f.to_bits() })),
+            Rval::Str(s) => Some(RvalKey::Str(s.clone())),
+            Rval::Null => None, // null joins with nothing
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum RvalKey {
+    Int(i64),
+    Float(u64),
+    Str(String),
+}
+
+impl From<i64> for Rval {
+    fn from(v: i64) -> Rval {
+        Rval::Int(v)
+    }
+}
+impl From<f64> for Rval {
+    fn from(v: f64) -> Rval {
+        Rval::Float(v)
+    }
+}
+impl From<&str> for Rval {
+    fn from(v: &str) -> Rval {
+        Rval::Str(v.to_string())
+    }
+}
+
+/// Row identifier within a relation.
+pub type RowId = usize;
+
+/// A predicate over a row, by attribute position.
+pub enum Pred<'a> {
+    /// attribute = constant
+    Eq(usize, Rval),
+    /// attribute > constant (numeric)
+    Gt(usize, f64),
+    /// arbitrary test
+    Fn(Box<dyn Fn(&[Rval]) -> bool + 'a>),
+}
+
+impl Pred<'_> {
+    fn test(&self, row: &[Rval]) -> bool {
+        match self {
+            Pred::Eq(i, v) => &row[*i] == v,
+            Pred::Gt(i, x) => match &row[*i] {
+                Rval::Int(n) => (*n as f64) > *x,
+                Rval::Float(f) => *f > *x,
+                _ => false,
+            },
+            Pred::Fn(f) => f(row),
+        }
+    }
+}
+
+/// Execution counters, for the scan-vs-index comparisons of experiment C8.
+#[derive(Debug, Default, Clone)]
+pub struct Stats {
+    pub rows_examined: u64,
+    pub index_probes: u64,
+}
+
+/// A relation: a schema (attribute names) and rows of atomic values.
+pub struct Relation {
+    pub name: String,
+    attrs: Vec<String>,
+    rows: Vec<Vec<Rval>>,
+    indexes: HashMap<usize, HashMap<RvalKey, Vec<RowId>>>,
+    stats: Cell<(u64, u64)>, // (rows_examined, index_probes)
+}
+
+impl fmt::Debug for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Relation({}, {} rows)", self.name, self.rows.len())
+    }
+}
+
+impl Relation {
+    /// An empty relation over the given attributes.
+    pub fn new(name: &str, attrs: &[&str]) -> Relation {
+        Relation {
+            name: name.to_string(),
+            attrs: attrs.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+            indexes: HashMap::new(),
+            stats: Cell::new((0, 0)),
+        }
+    }
+
+    /// Attribute position by name.
+    pub fn attr(&self, name: &str) -> usize {
+        self.attrs
+            .iter()
+            .position(|a| a == name)
+            .unwrap_or_else(|| panic!("{} has no attribute {name}", self.name))
+    }
+
+    /// Attribute names.
+    pub fn attrs(&self) -> &[String] {
+        &self.attrs
+    }
+
+    /// Insert a row; maintains any indexes.
+    pub fn insert(&mut self, row: Vec<Rval>) -> RowId {
+        assert_eq!(row.len(), self.attrs.len(), "arity mismatch");
+        let id = self.rows.len();
+        for (&attr, index) in &mut self.indexes {
+            if let Some(k) = row[attr].key() {
+                index.entry(k).or_default().push(id);
+            }
+        }
+        self.rows.push(row);
+        id
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when no rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// All rows.
+    pub fn rows(&self) -> &[Vec<Rval>] {
+        &self.rows
+    }
+
+    /// Build a hash index on an attribute (the relational answer to the
+    /// Directory Manager).
+    pub fn create_index(&mut self, attr: usize) {
+        let mut index: HashMap<RvalKey, Vec<RowId>> = HashMap::new();
+        for (id, row) in self.rows.iter().enumerate() {
+            if let Some(k) = row[attr].key() {
+                index.entry(k).or_default().push(id);
+            }
+        }
+        self.indexes.insert(attr, index);
+    }
+
+    /// Selection. Uses an index for `Eq` predicates when one exists,
+    /// otherwise scans.
+    pub fn select(&self, pred: &Pred) -> Vec<&Vec<Rval>> {
+        if let Pred::Eq(attr, v) = pred {
+            if let (Some(index), Some(k)) = (self.indexes.get(attr), v.key()) {
+                self.bump(0, 1);
+                return index
+                    .get(&k)
+                    .map(|ids| ids.iter().map(|&i| &self.rows[i]).collect())
+                    .unwrap_or_default();
+            }
+        }
+        self.bump(self.rows.len() as u64, 0);
+        self.rows.iter().filter(|r| pred.test(r)).collect()
+    }
+
+    /// Projection (with duplicate elimination, per the relational model).
+    pub fn project(&self, attrs: &[usize]) -> Vec<Vec<Rval>> {
+        let mut seen = Vec::new();
+        for row in &self.rows {
+            let proj: Vec<Rval> = attrs.iter().map(|&i| row[i].clone()).collect();
+            if !seen.contains(&proj) {
+                seen.push(proj);
+            }
+        }
+        self.bump(self.rows.len() as u64, 0);
+        seen
+    }
+
+    /// Read execution counters.
+    pub fn stats(&self) -> Stats {
+        let (rows_examined, index_probes) = self.stats.get();
+        Stats { rows_examined, index_probes }
+    }
+
+    /// Reset counters between benchmark runs.
+    pub fn reset_stats(&self) {
+        self.stats.set((0, 0));
+    }
+
+    fn bump(&self, rows: u64, probes: u64) {
+        let (r, p) = self.stats.get();
+        self.stats.set((r + rows, p + probes));
+    }
+}
+
+/// Equi-join by nested loops: O(|L|·|R|) row examinations.
+pub fn nested_loop_join(
+    left: &Relation,
+    lattr: usize,
+    right: &Relation,
+    rattr: usize,
+) -> Vec<Vec<Rval>> {
+    let mut out = Vec::new();
+    for l in left.rows() {
+        for r in right.rows() {
+            if l[lattr] != Rval::Null && l[lattr] == r[rattr] {
+                let mut row = l.clone();
+                row.extend(r.iter().cloned());
+                out.push(row);
+            }
+        }
+    }
+    left.bump(left.len() as u64 * right.len() as u64, 0);
+    out
+}
+
+/// Equi-join by hashing the right side: O(|L| + |R|).
+pub fn hash_join(
+    left: &Relation,
+    lattr: usize,
+    right: &Relation,
+    rattr: usize,
+) -> Vec<Vec<Rval>> {
+    let mut table: HashMap<RvalKey, Vec<&Vec<Rval>>> = HashMap::new();
+    for r in right.rows() {
+        if let Some(k) = r[rattr].key() {
+            table.entry(k).or_default().push(r);
+        }
+    }
+    let mut out = Vec::new();
+    for l in left.rows() {
+        if let Some(k) = l[lattr].key() {
+            if let Some(matches) = table.get(&k) {
+                for r in matches {
+                    let mut row = l.clone();
+                    row.extend(r.iter().cloned());
+                    out.push(row);
+                }
+            }
+        }
+    }
+    left.bump(left.len() as u64 + right.len() as u64, 0);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn employees() -> Relation {
+        let mut r = Relation::new("Emp", &["name", "dept", "salary"]);
+        r.insert(vec!["Burns".into(), "Marketing".into(), 24_650i64.into()]);
+        r.insert(vec!["Peters".into(), "Sales".into(), 24_000i64.into()]);
+        r.insert(vec!["Ng".into(), "Sales".into(), 31_000i64.into()]);
+        r
+    }
+
+    fn departments() -> Relation {
+        let mut r = Relation::new("Dept", &["dname", "budget"]);
+        r.insert(vec!["Sales".into(), 142_000i64.into()]);
+        r.insert(vec!["Research".into(), 256_500i64.into()]);
+        r
+    }
+
+    #[test]
+    fn select_scan_and_index_agree() {
+        let mut r = employees();
+        let dept = r.attr("dept");
+        let scanned: Vec<_> =
+            r.select(&Pred::Eq(dept, "Sales".into())).into_iter().cloned().collect();
+        r.create_index(dept);
+        let probed: Vec<_> =
+            r.select(&Pred::Eq(dept, "Sales".into())).into_iter().cloned().collect();
+        assert_eq!(scanned, probed);
+        assert_eq!(scanned.len(), 2);
+    }
+
+    #[test]
+    fn index_avoids_row_examination() {
+        let mut r = employees();
+        let dept = r.attr("dept");
+        r.create_index(dept);
+        r.reset_stats();
+        r.select(&Pred::Eq(dept, "Sales".into()));
+        let s = r.stats();
+        assert_eq!(s.rows_examined, 0);
+        assert_eq!(s.index_probes, 1);
+    }
+
+    #[test]
+    fn select_gt_and_fn() {
+        let r = employees();
+        let salary = r.attr("salary");
+        assert_eq!(r.select(&Pred::Gt(salary, 24_500.0)).len(), 2);
+        let pred = Pred::Fn(Box::new(move |row| {
+            matches!(&row[salary], Rval::Int(s) if *s % 1000 == 0)
+        }));
+        assert_eq!(r.select(&pred).len(), 2);
+    }
+
+    #[test]
+    fn project_eliminates_duplicates() {
+        let r = employees();
+        let dept = r.attr("dept");
+        let depts = r.project(&[dept]);
+        assert_eq!(depts.len(), 2, "Sales appears once");
+    }
+
+    #[test]
+    fn joins_agree() {
+        let e = employees();
+        let d = departments();
+        let nl = nested_loop_join(&e, e.attr("dept"), &d, d.attr("dname"));
+        let h = hash_join(&e, e.attr("dept"), &d, d.attr("dname"));
+        assert_eq!(nl.len(), 2, "Burns' Marketing has no dept row — lost by the join");
+        let mut nl_sorted = nl.clone();
+        let mut h_sorted = h.clone();
+        let key = |r: &Vec<Rval>| format!("{r:?}");
+        nl_sorted.sort_by_key(key);
+        h_sorted.sort_by_key(key);
+        assert_eq!(nl_sorted, h_sorted);
+    }
+
+    #[test]
+    fn dangling_logical_pointer_drops_rows_silently() {
+        // §2D's update-anomaly argument: rename the department and the
+        // employees' logical pointers dangle.
+        let e = employees();
+        let mut d = Relation::new("Dept", &["dname", "budget"]);
+        d.insert(vec!["Retail".into(), 142_000i64.into()]); // renamed!
+        let joined = hash_join(&e, e.attr("dept"), &d, d.attr("dname"));
+        assert!(joined.is_empty(), "all Sales employees silently disappear");
+    }
+
+    #[test]
+    fn null_never_joins() {
+        let mut e = Relation::new("E", &["dept"]);
+        e.insert(vec![Rval::Null]);
+        let mut d = Relation::new("D", &["dname"]);
+        d.insert(vec![Rval::Null]);
+        assert!(nested_loop_join(&e, 0, &d, 0).is_empty());
+        assert!(hash_join(&e, 0, &d, 0).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_is_enforced() {
+        let mut r = Relation::new("R", &["a", "b"]);
+        r.insert(vec![Rval::Int(1)]);
+    }
+
+    #[test]
+    fn numeric_keys_coerce_in_index() {
+        let mut r = Relation::new("R", &["x"]);
+        r.insert(vec![Rval::Int(3)]);
+        r.create_index(0);
+        assert_eq!(r.select(&Pred::Eq(0, Rval::Float(3.0))).len(), 0, "strict typing: 3 ≠ 3.0 under Rval eq");
+        assert_eq!(r.select(&Pred::Eq(0, Rval::Int(3))).len(), 1);
+    }
+}

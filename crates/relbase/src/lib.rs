@@ -1,0 +1,16 @@
+//! A minimal relational engine: the baseline GemStone is measured against.
+//!
+//! §2 and §5.2 of the paper argue against the relational model's flat
+//! records, logical-pointer joins and flattened set-valued attributes. To
+//! *quantify* those arguments (experiments T1, T2, C8 in DESIGN.md) we need
+//! an actual relational executor: schemas, tuples, select / project / join,
+//! key indexes, and row-examination accounting.
+//!
+//! It is intentionally classic: flat rows of atomic values, no entity
+//! identity (§2D: "two tuples for employees assigned to the same department
+//! must represent that commonality through logical pointers"), nulls for
+//! missing data (§2C "At best there is an allowance for null values").
+
+mod engine;
+
+pub use engine::{hash_join, nested_loop_join, Pred, Relation, RowId, Rval, Stats};

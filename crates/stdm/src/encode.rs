@@ -1,0 +1,218 @@
+//! The §5.2 encodings: how standard data structures map into STDM, and what
+//! the relational model forces instead.
+//!
+//! These functions back experiments T1 (relation as a set of tuples), T2
+//! (flattening a set-valued attribute) and T3 (arrays as integer-labeled
+//! sets) from DESIGN.md.
+
+use crate::value::{Label, LabeledSet, SValue};
+
+/// Encode a relation as a set of tuples: "A relation is represented as a set
+/// of tuples, where each tuple is a set with element names corresponding to
+/// attributes of the relation" (§5.2). Tuples get `T1`, `T2`, … labels as in
+/// the paper's example.
+pub fn relation_to_set(attrs: &[&str], rows: &[Vec<SValue>]) -> LabeledSet {
+    let mut rel = LabeledSet::new();
+    for (i, row) in rows.iter().enumerate() {
+        assert_eq!(row.len(), attrs.len(), "row arity must match attributes");
+        let mut tuple = LabeledSet::new();
+        for (attr, v) in attrs.iter().zip(row) {
+            tuple.put(Label::name(*attr), v.clone());
+        }
+        rel.put(Label::name(format!("T{}", i + 1)), tuple);
+    }
+    rel
+}
+
+/// Decode a set of tuples back into rows, in tuple-label order. Attributes
+/// absent from a tuple come back as nil (STDM tolerates optional elements;
+/// the relation does not).
+pub fn set_to_relation(attrs: &[&str], rel: &LabeledSet) -> Vec<Vec<SValue>> {
+    rel.iter()
+        .map(|(_, tuple)| {
+            let t = tuple.as_set().expect("tuple must be a set");
+            attrs
+                .iter()
+                .map(|a| t.get(&Label::name(*a)).cloned().unwrap_or(SValue::Nil))
+                .collect()
+        })
+        .collect()
+}
+
+/// Encode an array: "Arrays may be represented by sets with numbers as
+/// element names" (§5.2). 1-based, as in the paper's example.
+pub fn array_to_set<V: Into<SValue>>(items: impl IntoIterator<Item = V>) -> LabeledSet {
+    let mut s = LabeledSet::new();
+    for (i, v) in items.into_iter().enumerate() {
+        s.put(Label::Int(i as i64 + 1), v);
+    }
+    s
+}
+
+/// Read an array encoding back out in index order.
+pub fn set_to_array(s: &LabeledSet) -> Vec<SValue> {
+    s.iter()
+        .filter(|(l, _)| matches!(l, Label::Int(_)))
+        .map(|(_, v)| v.clone())
+        .collect()
+}
+
+/// The §5.2 flattening: an employee with a set of children becomes one
+/// relational row *per child*, repeating the employee's name in every row.
+///
+/// Input shape: `{Name: {First: …, Last: …}, Children: {…}}`.
+/// Output rows: `(FirstName, LastName, Child)`.
+pub fn flatten_children(employee: &LabeledSet) -> Vec<(String, String, String)> {
+    let name = employee
+        .get(&Label::name("Name"))
+        .and_then(SValue::as_set)
+        .expect("employee must have a Name set");
+    let first = string_at(name, "First");
+    let last = string_at(name, "Last");
+    let children = employee
+        .get(&Label::name("Children"))
+        .and_then(SValue::as_set)
+        .expect("employee must have a Children set");
+    children
+        .iter()
+        .map(|(_, c)| match c {
+            SValue::Str(s) => (first.clone(), last.clone(), s.clone()),
+            v => panic!("child must be a string, got {v:?}"),
+        })
+        .collect()
+}
+
+fn string_at(s: &LabeledSet, label: &str) -> String {
+    match s.get(&Label::name(label)) {
+        Some(SValue::Str(v)) => v.clone(),
+        other => panic!("expected string at {label}, got {other:?}"),
+    }
+}
+
+/// Bytes of payload data in a nested employee record (strings only): the
+/// denominator for the redundancy measurement of experiment T2.
+pub fn payload_bytes(v: &SValue) -> usize {
+    match v {
+        SValue::Str(s) => s.len(),
+        SValue::Set(s) => s.iter().map(|(_, v)| payload_bytes(v)).sum(),
+        SValue::Int(_) | SValue::Float(_) => 8,
+        SValue::Bool(_) => 1,
+        SValue::Nil => 0,
+    }
+}
+
+/// Bytes of payload data in the flattened relational rows — the repeated
+/// name bytes are the "unavoidable redundancy" §5.2 identifies.
+pub fn flattened_bytes(rows: &[(String, String, String)]) -> usize {
+    rows.iter().map(|(a, b, c)| a.len() + b.len() + c.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// §5.2's inline relation:
+    /// ```text
+    /// A B C
+    /// 1 3 4
+    /// 1 5 4
+    /// ```
+    #[test]
+    fn t1_relation_roundtrip() {
+        let attrs = ["A", "B", "C"];
+        let rows = vec![
+            vec![SValue::Int(1), SValue::Int(3), SValue::Int(4)],
+            vec![SValue::Int(1), SValue::Int(5), SValue::Int(4)],
+        ];
+        let rel = relation_to_set(&attrs, &rows);
+        assert_eq!(
+            rel.to_string(),
+            "{T1: {A: 1, B: 3, C: 4}, T2: {A: 1, B: 5, C: 4}}",
+            "matches the paper's printed encoding"
+        );
+        assert_eq!(set_to_relation(&attrs, &rel), rows);
+    }
+
+    /// §5.2's inline array example.
+    #[test]
+    fn t3_array_encoding() {
+        let arr = array_to_set([
+            SValue::Set(LabeledSet::values(["Anders", "Roberts"])),
+            SValue::Set(LabeledSet::values(["Roberts", "Ching"])),
+            SValue::Set(LabeledSet::values(["Albrecht", "Ching"])),
+        ]);
+        assert_eq!(arr.len(), 3);
+        let back = set_to_array(&arr);
+        assert_eq!(back.len(), 3);
+        assert!(back[0].as_set().unwrap().contains_value(&SValue::from("Anders")));
+        // "The index set for an array need not be positive integers" — other
+        // labels coexist:
+        let mut arr2 = arr.clone();
+        arr2.put(Label::name("rowCount"), 3i64);
+        assert_eq!(set_to_array(&arr2).len(), 3, "named elements don't disturb the array view");
+    }
+
+    /// §5.2's flattening table:
+    /// ```text
+    /// FirstName LastName Child
+    /// Robert    Peters   Olivia
+    /// Robert    Peters   Dale
+    /// Robert    Peters   Paul
+    /// ```
+    #[test]
+    fn t2_flattening_matches_paper() {
+        let emp = LabeledSet::of([
+            ("Name", SValue::Set(LabeledSet::of([("First", "Robert"), ("Last", "Peters")]))),
+            ("Children", SValue::Set(LabeledSet::values(["Olivia", "Dale", "Paul"]))),
+        ]);
+        let mut rows = flatten_children(&emp);
+        rows.sort_by(|a, b| a.2.cmp(&b.2));
+        assert_eq!(
+            rows,
+            vec![
+                ("Robert".into(), "Peters".into(), "Dale".into()),
+                ("Robert".into(), "Peters".into(), "Olivia".into()),
+                ("Robert".into(), "Peters".into(), "Paul".into()),
+            ]
+        );
+    }
+
+    /// "Some value is going to be repeated three times": quantify it.
+    #[test]
+    fn t2_redundancy_is_measurable() {
+        let emp = LabeledSet::of([
+            ("Name", SValue::Set(LabeledSet::of([("First", "Robert"), ("Last", "Peters")]))),
+            ("Children", SValue::Set(LabeledSet::values(["Olivia", "Dale", "Paul"]))),
+        ]);
+        let nested = payload_bytes(&SValue::Set(emp.clone()));
+        let flat = flattened_bytes(&flatten_children(&emp));
+        // nested: Robert+Peters once + 3 children = 6+6+6+4+4 = 26
+        // flat:   (Robert+Peters) × 3 + children  = 36 + 14   = 50
+        assert_eq!(nested, 26);
+        assert_eq!(flat, 50);
+        assert!(flat > nested, "flattening repeats the name per child");
+    }
+
+    /// "the set of children does not exist anywhere as a single object" in
+    /// the flat form — but in STDM the subset test is one operation.
+    #[test]
+    fn t2_set_operations_stay_expressible() {
+        let peters_kids = LabeledSet::values(["Olivia", "Dale", "Paul"]);
+        let all_kids = LabeledSet::values(["Olivia", "Dale", "Paul", "Sam"]);
+        assert!(peters_kids.subset_of(&all_kids));
+    }
+
+    #[test]
+    #[should_panic(expected = "row arity")]
+    fn relation_rows_must_match_arity() {
+        relation_to_set(&["A", "B"], &[vec![SValue::Int(1)]]);
+    }
+
+    #[test]
+    fn optional_elements_come_back_nil() {
+        let mut rel = LabeledSet::new();
+        rel.put(Label::name("T1"), LabeledSet::of([("A", 1i64)]));
+        let rows = set_to_relation(&["A", "B"], &rel);
+        assert_eq!(rows, vec![vec![SValue::Int(1), SValue::Nil]]);
+    }
+}

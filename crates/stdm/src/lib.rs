@@ -1,0 +1,33 @@
+//! The Set-Theoretic Data Model (STDM) of §5.1–§5.3.
+//!
+//! STDM is the data model Servio Logic designed *before* choosing
+//! Smalltalk-80: "labeled sets of heterogeneous values, which themselves can
+//! be sets or simple values", building on Childs [Chi]. This crate implements
+//! STDM exactly as the paper presents it, pre-merger:
+//!
+//! * [`LabeledSet`] — sets of (element name, value) pairs, unlimited nesting,
+//!   optional elements, generated aliases for unlabeled sets;
+//! * [`Path`] — the `X!Departments!A16!Managers` path syntax, including
+//!   `@T` temporal access and assignment-to-path;
+//! * [`Query`] — the set calculus with range variables that "can be bound to
+//!   functions of other variables", and its nested-loop evaluator;
+//! * [`encode`] — the §5.2 encodings: relations, arrays and records as
+//!   labeled sets, and the flattening that the relational model forces.
+//!
+//! Deliberate STDM limitations the paper calls out in §5.4 — no entity
+//! identity (a set instance is an element of at most one other set), no type
+//! hierarchy, no operations on types — are *kept*: ownership of child sets
+//! is by value, which is exactly "an element in at most one other set". The
+//! merged GemStone Data Model that fixes these lives in the `gemstone` core
+//! crate.
+
+pub mod encode;
+mod path;
+mod query;
+mod value;
+
+pub use path::{parse_path, Path, PathStep};
+pub use query::{CmpOp, Pred, Query, Range, Term};
+pub use value::{Label, LabeledSet, SValue};
+
+pub use gemstone_temporal::TxnTime;

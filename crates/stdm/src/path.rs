@@ -1,0 +1,340 @@
+//! STDM path expressions (§5.1, §5.3.2).
+//!
+//! "STDM uses a path syntax for accessing subparts of a set. If X is a
+//! variable whose value is the set above, then sample path expressions are
+//! `X!Departments!A16!Managers` and `X!Employees!E62!Name`."
+//!
+//! The temporal extension adds `@T` per component: `E!Salary@T` is the value
+//! `E!Salary` had in the database state at time T. An `@` binds to the
+//! component it follows; later components read the current state unless they
+//! carry their own `@` or a time dial is in force. §5.3.2's example
+//! `World!'Acme Corp'!'president'@7!city` answers the *previous* president's
+//! *current* city.
+
+use crate::value::{Label, LabeledSet, SValue};
+use gemstone_temporal::TxnTime;
+use std::fmt;
+
+/// One step of a path: an element label, optionally time-qualified.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PathStep {
+    pub label: Label,
+    pub at: Option<TxnTime>,
+}
+
+/// A parsed path: the root variable name and the steps from it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Path {
+    pub root: String,
+    pub steps: Vec<PathStep>,
+}
+
+/// Errors from path parsing and evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PathError {
+    Parse(String),
+    NoSuchElement(String),
+    NotASet(String),
+}
+
+impl fmt::Display for PathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PathError::Parse(m) => write!(f, "path parse error: {m}"),
+            PathError::NoSuchElement(p) => write!(f, "no element at {p}"),
+            PathError::NotASet(p) => write!(f, "value at {p} is not a set"),
+        }
+    }
+}
+
+impl std::error::Error for PathError {}
+
+/// Parse a textual path: components separated by `!`; a component is an
+/// identifier, a `'quoted name'`, or an integer; each may be followed by
+/// `@<time>`.
+pub fn parse_path(src: &str) -> Result<Path, PathError> {
+    let mut parts = split_components(src)?;
+    if parts.is_empty() {
+        return Err(PathError::Parse("empty path".into()));
+    }
+    let (root, root_at) = parts.remove(0);
+    if root_at.is_some() {
+        return Err(PathError::Parse("root variable cannot be time-qualified".into()));
+    }
+    let root = match root {
+        Label::Name(s) => s,
+        other => return Err(PathError::Parse(format!("root must be a name, got {other}"))),
+    };
+    let steps = parts.into_iter().map(|(label, at)| PathStep { label, at }).collect();
+    Ok(Path { root, steps })
+}
+
+fn split_components(src: &str) -> Result<Vec<(Label, Option<TxnTime>)>, PathError> {
+    let mut out = Vec::new();
+    let mut chars = src.chars().peekable();
+    loop {
+        // skip whitespace
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        let label = match chars.peek() {
+            None => return Err(PathError::Parse("expected component".into())),
+            Some('\'') => {
+                chars.next();
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => break,
+                        Some(c) => s.push(c),
+                        None => return Err(PathError::Parse("unterminated quote".into())),
+                    }
+                }
+                Label::Name(s)
+            }
+            Some(c) if c.is_ascii_digit() || *c == '-' => {
+                let mut s = String::new();
+                if *c == '-' {
+                    s.push(chars.next().unwrap());
+                }
+                while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                    s.push(chars.next().unwrap());
+                }
+                Label::Int(
+                    s.parse().map_err(|_| PathError::Parse(format!("bad integer {s}")))?,
+                )
+            }
+            Some(c) if c.is_alphanumeric() || *c == '_' => {
+                let mut s = String::new();
+                while chars.peek().is_some_and(|c| c.is_alphanumeric() || *c == '_') {
+                    s.push(chars.next().unwrap());
+                }
+                Label::Name(s)
+            }
+            Some(c) => return Err(PathError::Parse(format!("unexpected character {c:?}"))),
+        };
+        // optional @time
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        let at = if chars.peek() == Some(&'@') {
+            chars.next();
+            let mut s = String::new();
+            while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
+                s.push(chars.next().unwrap());
+            }
+            let ticks: u64 =
+                s.parse().map_err(|_| PathError::Parse(format!("bad time @{s}")))?;
+            Some(TxnTime::from_ticks(ticks))
+        } else {
+            None
+        };
+        out.push((label, at));
+        while chars.peek().is_some_and(|c| c.is_whitespace()) {
+            chars.next();
+        }
+        match chars.next() {
+            None => break,
+            Some('!') => continue,
+            Some(c) => return Err(PathError::Parse(format!("expected '!', got {c:?}"))),
+        }
+    }
+    Ok(out)
+}
+
+impl Path {
+    /// Evaluate the steps against `root`, with an optional time dial (§5.4:
+    /// "Setting the time dial to time T is the same as appending @T to each
+    /// component"). Explicit `@` on a step overrides the dial.
+    pub fn eval<'a>(
+        &self,
+        root: &'a LabeledSet,
+        dial: Option<TxnTime>,
+    ) -> Result<&'a SValue, PathError> {
+        let mut cur_set = root;
+        let mut cur_val: Option<&'a SValue> = None;
+        for (i, step) in self.steps.iter().enumerate() {
+            if i > 0 {
+                cur_set = cur_val
+                    .unwrap()
+                    .as_set()
+                    .ok_or_else(|| PathError::NotASet(self.prefix(i)))?;
+            }
+            let when = step.at.or(dial);
+            let v = match when {
+                Some(t) => cur_set.get_at(&step.label, t),
+                None => cur_set.get(&step.label),
+            };
+            cur_val = Some(v.ok_or_else(|| PathError::NoSuchElement(self.prefix(i + 1)))?);
+        }
+        cur_val.ok_or_else(|| PathError::Parse("path has no steps".into()))
+    }
+
+    /// Assign through the path at transaction time `t` — "to allow
+    /// assignments to path expressions" (§4.3). Navigation steps before the
+    /// last use current state (one cannot write into the past).
+    pub fn assign(
+        &self,
+        root: &mut LabeledSet,
+        value: impl Into<SValue>,
+        t: TxnTime,
+    ) -> Result<(), PathError> {
+        let (last, prefix) =
+            self.steps.split_last().ok_or_else(|| PathError::Parse("empty path".into()))?;
+        if last.at.is_some() || prefix.iter().any(|s| s.at.is_some()) {
+            return Err(PathError::Parse("cannot assign into a past state".into()));
+        }
+        let mut cur = root;
+        for (i, step) in prefix.iter().enumerate() {
+            cur = cur
+                .get_mut_set(&step.label)
+                .ok_or_else(|| PathError::NoSuchElement(self.prefix(i + 1)))?;
+        }
+        cur.put_at(last.label.clone(), value, t);
+        Ok(())
+    }
+
+    fn prefix(&self, n: usize) -> String {
+        let mut s = self.root.clone();
+        for step in &self.steps[..n] {
+            s.push('!');
+            s.push_str(&step.label.to_string());
+        }
+        s
+    }
+}
+
+impl LabeledSet {
+    /// Mutable access to a child set (helper for path assignment).
+    pub fn get_mut_set(&mut self, label: &Label) -> Option<&mut LabeledSet> {
+        // History is append-only; mutating "the current value" means the
+        // current association's value is updated in place. We reach it via
+        // a pending-aware trick: take the current value out, mutate, rebind.
+        // Instead, expose interior mutability through the history's last
+        // entry. Simplest correct form: re-put is wrong (it would advance
+        // history), so we mutate the existing current association directly.
+        self.current_value_mut(label)?.as_set_mut()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    /// Build the Figure 1 world (slightly reduced): Acme Corp with a
+    /// president history and Milton's city history.
+    fn figure1_world() -> LabeledSet {
+        let mut milton = LabeledSet::new();
+        milton.put_at(Label::name("name"), "Milton Friedman", t(3));
+        milton.put_at(Label::name("city"), "Seattle", t(3));
+        milton.put_at(Label::name("city"), "Portland", t(8));
+
+        let mut ayn = LabeledSet::new();
+        ayn.put_at(Label::name("name"), "Ayn Rand", t(2));
+        ayn.put_at(Label::name("city"), "Portland", t(2));
+        ayn.put_at(Label::name("city"), "San Diego", t(12));
+
+        let mut acme = LabeledSet::new();
+        acme.put_at(Label::name("president"), ayn, t(5));
+        // NOTE: pure STDM has no entity identity, so "the president" is a
+        // copy, not a shared object. The GemStone core reproduces Figure 1
+        // with true identity; this test exercises the path/temporal syntax.
+        acme.put_at(Label::name("president"), milton, t(8));
+
+        let mut world = LabeledSet::new();
+        world.put_at(Label::name("Acme Corp"), acme, t(1));
+        world
+    }
+
+    #[test]
+    fn parse_simple() {
+        let p = parse_path("X!Departments!A16!Managers").unwrap();
+        assert_eq!(p.root, "X");
+        assert_eq!(p.steps.len(), 3);
+        assert_eq!(p.steps[0].label, Label::name("Departments"));
+        assert_eq!(p.steps[2].label, Label::name("Managers"));
+    }
+
+    #[test]
+    fn parse_quoted_and_times() {
+        let p = parse_path("World!'Acme Corp'!president@10").unwrap();
+        assert_eq!(p.root, "World");
+        assert_eq!(p.steps[0].label, Label::name("Acme Corp"));
+        assert_eq!(p.steps[1].at, Some(t(10)));
+    }
+
+    #[test]
+    fn parse_integer_labels() {
+        let p = parse_path("Employees!1821!name").unwrap();
+        assert_eq!(p.steps[0].label, Label::Int(1821));
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse_path("").is_err());
+        assert!(parse_path("X!").is_err());
+        assert!(parse_path("X@3!y").is_err(), "root cannot be time-qualified");
+        assert!(parse_path("X!'unterminated").is_err());
+        assert!(parse_path("X!!y").is_err());
+    }
+
+    #[test]
+    fn figure1_path_queries() {
+        let world = figure1_world();
+        // Current president: Milton.
+        let p = parse_path("World!'Acme Corp'!president!name").unwrap();
+        assert_eq!(p.eval(&world, None).unwrap(), &SValue::from("Milton Friedman"));
+        // At time 10, still Milton (appointed at 8).
+        let p = parse_path("World!'Acme Corp'!president@10!name").unwrap();
+        assert_eq!(p.eval(&world, None).unwrap(), &SValue::from("Milton Friedman"));
+        // At time 7, the previous president.
+        let p = parse_path("World!'Acme Corp'!president@7!name").unwrap();
+        assert_eq!(p.eval(&world, None).unwrap(), &SValue::from("Ayn Rand"));
+        // The previous president's *current* city: San Diego (§5.3.2).
+        let p = parse_path("World!'Acme Corp'!president@7!city").unwrap();
+        assert_eq!(p.eval(&world, None).unwrap(), &SValue::from("San Diego"));
+    }
+
+    #[test]
+    fn time_dial_applies_to_every_component() {
+        let world = figure1_world();
+        // Dial at 7: president is Ayn, and her city *at 7* was Portland.
+        let p = parse_path("World!'Acme Corp'!president!city").unwrap();
+        assert_eq!(p.eval(&world, Some(t(7))).unwrap(), &SValue::from("Portland"));
+        // Explicit @ overrides the dial.
+        let p = parse_path("World!'Acme Corp'!president@10!city").unwrap();
+        assert_eq!(p.eval(&world, Some(t(7))).unwrap(), &SValue::from("Seattle"));
+    }
+
+    #[test]
+    fn missing_elements_are_reported_with_position() {
+        let world = figure1_world();
+        let p = parse_path("World!'Acme Corp'!chairman").unwrap();
+        match p.eval(&world, None) {
+            Err(PathError::NoSuchElement(at)) => assert!(at.ends_with("chairman"), "{at}"),
+            other => panic!("expected NoSuchElement, got {other:?}"),
+        }
+        let p = parse_path("World!'Acme Corp'!president!name!x").unwrap();
+        assert!(matches!(p.eval(&world, None), Err(PathError::NotASet(_))));
+    }
+
+    #[test]
+    fn assignment_through_path() {
+        let mut world = figure1_world();
+        let p = parse_path("World!'Acme Corp'!president!city").unwrap();
+        p.assign(&mut world, "Chicago", t(20)).unwrap();
+        assert_eq!(p.eval(&world, None).unwrap(), &SValue::from("Chicago"));
+        // History preserved: at t9 Milton was in Portland.
+        assert_eq!(p.eval(&world, Some(t(9))).unwrap(), &SValue::from("Portland"));
+    }
+
+    #[test]
+    fn cannot_assign_into_the_past() {
+        let mut world = figure1_world();
+        let p = parse_path("World!'Acme Corp'!president@7!city").unwrap();
+        assert!(p.assign(&mut world, "Nowhere", t(20)).is_err());
+    }
+}

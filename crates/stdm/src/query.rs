@@ -1,0 +1,421 @@
+//! The STDM set calculus (§5.1).
+//!
+//! "We have developed a set-calculus query system for the STDM. … A
+//! distinguishing feature of our calculus, as compared to relational
+//! calculus, is that variables can be bound to functions of other variables,
+//! rather than only to fixed database objects."
+//!
+//! A [`Query`] has range variables (each ranging over the element values of
+//! a set-valued term, which may mention earlier variables), a predicate, and
+//! a result template. Evaluation is the calculus' *semantics* — a nested
+//! loop in range order; the optimizing algebra translation lives in the
+//! `gemstone-calculus` crate, which operates over the merged data model.
+
+use crate::value::{Label, LabeledSet, SValue};
+use std::collections::HashMap;
+use std::fmt;
+
+/// A term of the calculus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    /// A bound range variable.
+    Var(String),
+    /// `v!a!b` — path from a bound variable.
+    Path(String, Vec<Label>),
+    /// A constant.
+    Const(SValue),
+    /// Arithmetic (the example query multiplies: `0.10 * d!Budget`).
+    Mul(Box<Term>, Box<Term>),
+    Add(Box<Term>, Box<Term>),
+    Sub(Box<Term>, Box<Term>),
+    Div(Box<Term>, Box<Term>),
+}
+
+impl Term {
+    /// `Term::path("d", ["Budget"])`.
+    pub fn path(var: &str, labels: impl IntoIterator<Item = &'static str>) -> Term {
+        Term::Path(var.to_string(), labels.into_iter().map(Label::name).collect())
+    }
+
+    /// `Term::var("e")`.
+    pub fn var(v: &str) -> Term {
+        Term::Var(v.to_string())
+    }
+
+    /// A numeric constant.
+    pub fn num(x: f64) -> Term {
+        Term::Const(SValue::Float(x))
+    }
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// A predicate of the calculus.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Pred {
+    True,
+    And(Box<Pred>, Box<Pred>),
+    Or(Box<Pred>, Box<Pred>),
+    Not(Box<Pred>),
+    Cmp(Term, CmpOp, Term),
+    /// `x ∈ S` — membership of a value in a set's element values
+    /// (`d!Name ∈ e!Depts`).
+    In(Term, Term),
+    /// `S ⊆ T` — the subset condition §5.2 contrasts with its two-quantifier
+    /// relational encoding.
+    Subset(Term, Term),
+}
+
+impl Pred {
+    /// Conjunction helper.
+    pub fn and(self, other: Pred) -> Pred {
+        Pred::And(Box::new(self), Box::new(other))
+    }
+}
+
+/// A range declaration: `var ∈ domain`, the domain being any set-valued
+/// term (possibly mentioning earlier variables — `m ∈ d!Managers`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Range {
+    pub var: String,
+    pub domain: Term,
+}
+
+/// A calculus query: result template, ranges, predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// `{Emp: e, Mgr: m}` — each output tuple labels these terms.
+    pub result: Vec<(String, Term)>,
+    pub ranges: Vec<Range>,
+    pub pred: Pred,
+}
+
+/// Errors during query evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryError {
+    UnboundVariable(String),
+    NotASet(String),
+    NoSuchElement(String),
+    NotANumber(String),
+}
+
+impl fmt::Display for QueryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QueryError::UnboundVariable(v) => write!(f, "unbound variable {v}"),
+            QueryError::NotASet(t) => write!(f, "term {t} is not a set"),
+            QueryError::NoSuchElement(p) => write!(f, "no element at {p}"),
+            QueryError::NotANumber(t) => write!(f, "term {t} is not a number"),
+        }
+    }
+}
+
+impl std::error::Error for QueryError {}
+
+type Bindings = HashMap<String, SValue>;
+
+fn eval_term(term: &Term, env: &Bindings) -> Result<SValue, QueryError> {
+    match term {
+        Term::Var(v) => {
+            env.get(v).cloned().ok_or_else(|| QueryError::UnboundVariable(v.clone()))
+        }
+        Term::Const(c) => Ok(c.clone()),
+        Term::Path(v, labels) => {
+            let mut cur =
+                env.get(v).cloned().ok_or_else(|| QueryError::UnboundVariable(v.clone()))?;
+            for l in labels {
+                let set = cur
+                    .as_set()
+                    .ok_or_else(|| QueryError::NotASet(format!("{v}!{l}")))?;
+                cur = set
+                    .get(l)
+                    .cloned()
+                    .ok_or_else(|| QueryError::NoSuchElement(format!("{v}!…!{l}")))?;
+            }
+            Ok(cur)
+        }
+        Term::Mul(a, b) => arith(a, b, env, |x, y| x * y),
+        Term::Add(a, b) => arith(a, b, env, |x, y| x + y),
+        Term::Sub(a, b) => arith(a, b, env, |x, y| x - y),
+        Term::Div(a, b) => arith(a, b, env, |x, y| x / y),
+    }
+}
+
+fn arith(
+    a: &Term,
+    b: &Term,
+    env: &Bindings,
+    f: fn(f64, f64) -> f64,
+) -> Result<SValue, QueryError> {
+    let av = eval_term(a, env)?;
+    let bv = eval_term(b, env)?;
+    let x = av.as_number().ok_or_else(|| QueryError::NotANumber(format!("{a:?}")))?;
+    let y = bv.as_number().ok_or_else(|| QueryError::NotANumber(format!("{b:?}")))?;
+    Ok(SValue::Float(f(x, y)))
+}
+
+fn eval_pred(pred: &Pred, env: &Bindings) -> Result<bool, QueryError> {
+    match pred {
+        Pred::True => Ok(true),
+        Pred::And(a, b) => Ok(eval_pred(a, env)? && eval_pred(b, env)?),
+        Pred::Or(a, b) => Ok(eval_pred(a, env)? || eval_pred(b, env)?),
+        Pred::Not(a) => Ok(!eval_pred(a, env)?),
+        Pred::Cmp(a, op, b) => {
+            let av = eval_term(a, env)?;
+            let bv = eval_term(b, env)?;
+            Ok(compare(&av, *op, &bv))
+        }
+        Pred::In(x, s) => {
+            let xv = eval_term(x, env)?;
+            let sv = eval_term(s, env)?;
+            let set = sv.as_set().ok_or_else(|| QueryError::NotASet(format!("{s:?}")))?;
+            Ok(set.contains_value(&xv))
+        }
+        Pred::Subset(a, b) => {
+            let av = eval_term(a, env)?;
+            let bv = eval_term(b, env)?;
+            let sa = av.as_set().ok_or_else(|| QueryError::NotASet(format!("{a:?}")))?;
+            let sb = bv.as_set().ok_or_else(|| QueryError::NotASet(format!("{b:?}")))?;
+            Ok(sa.subset_of(sb))
+        }
+    }
+}
+
+fn compare(a: &SValue, op: CmpOp, b: &SValue) -> bool {
+    use std::cmp::Ordering;
+    let ord: Option<Ordering> = match (a.as_number(), b.as_number()) {
+        (Some(x), Some(y)) => x.partial_cmp(&y),
+        _ => match (a, b) {
+            (SValue::Str(x), SValue::Str(y)) => Some(x.cmp(y)),
+            _ => None,
+        },
+    };
+    match op {
+        CmpOp::Eq => a.equals(b),
+        CmpOp::Ne => !a.equals(b),
+        CmpOp::Lt => ord == Some(std::cmp::Ordering::Less),
+        CmpOp::Le => matches!(ord, Some(std::cmp::Ordering::Less | std::cmp::Ordering::Equal)),
+        CmpOp::Gt => ord == Some(std::cmp::Ordering::Greater),
+        CmpOp::Ge => {
+            matches!(ord, Some(std::cmp::Ordering::Greater | std::cmp::Ordering::Equal))
+        }
+    }
+}
+
+impl Query {
+    /// Evaluate against root bindings (the `X` of the paper's examples),
+    /// producing a set of result tuples under fresh aliases.
+    pub fn eval(&self, roots: &Bindings) -> Result<LabeledSet, QueryError> {
+        let mut out = LabeledSet::new();
+        let mut env = roots.clone();
+        self.eval_ranges(0, &mut env, &mut out)?;
+        Ok(out)
+    }
+
+    fn eval_ranges(
+        &self,
+        depth: usize,
+        env: &mut Bindings,
+        out: &mut LabeledSet,
+    ) -> Result<(), QueryError> {
+        if depth == self.ranges.len() {
+            if eval_pred(&self.pred, env)? {
+                let mut tuple = LabeledSet::new();
+                for (label, term) in &self.result {
+                    tuple.put(Label::name(label.clone()), eval_term(term, env)?);
+                }
+                out.add(tuple);
+            }
+            return Ok(());
+        }
+        let range = &self.ranges[depth];
+        let domain = eval_term(&range.domain, env)?;
+        let set = domain
+            .as_set()
+            .ok_or_else(|| QueryError::NotASet(format!("{:?}", range.domain)))?;
+        let values: Vec<SValue> = set.iter().map(|(_, v)| v.clone()).collect();
+        for v in values {
+            env.insert(range.var.clone(), v);
+            self.eval_ranges(depth + 1, env, out)?;
+        }
+        env.remove(&range.var);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The §5.1 example database, exactly as printed (plus enough managers
+    /// to make the query's answer interesting).
+    pub fn acme() -> SValue {
+        let mut departments = LabeledSet::new();
+        departments.put(
+            Label::name("A12"),
+            LabeledSet::of([
+                ("Name", SValue::from("Sales")),
+                ("Managers", LabeledSet::values(["Nathen", "Roberts"]).into()),
+                ("Budget", SValue::Int(142_000)),
+            ]),
+        );
+        departments.put(
+            Label::name("A16"),
+            LabeledSet::of([
+                ("Name", SValue::from("Research")),
+                ("Managers", LabeledSet::values(["Carter"]).into()),
+                ("Budget", SValue::Int(256_500)),
+            ]),
+        );
+
+        let mut employees = LabeledSet::new();
+        employees.put(
+            Label::name("E62"),
+            LabeledSet::of([
+                ("Name", LabeledSet::of([("First", "Ellen"), ("Last", "Burns")]).into()),
+                ("Salary", SValue::Int(24_650)),
+                ("Depts", LabeledSet::values(["Marketing"]).into()),
+            ]),
+        );
+        employees.put(
+            Label::name("E83"),
+            LabeledSet::of([
+                ("Name", LabeledSet::of([("First", "Robert"), ("Last", "Peters")]).into()),
+                ("Salary", SValue::Int(24_000)),
+                ("Depts", LabeledSet::values(["Sales", "Planning"]).into()),
+                ("Phones", LabeledSet::values([3949i64, 3862]).into()),
+            ]),
+        );
+
+        SValue::Set(LabeledSet::of([
+            ("Departments", SValue::Set(departments)),
+            ("Employees", SValue::Set(employees)),
+        ]))
+    }
+
+    /// The §5.1 query:
+    /// ```text
+    /// {{Emp: e, Mgr: m} where (e ∈ X!Employees) and (d ∈ X!Departments)
+    ///   [(m ∈ d!Managers) and (d!Name ∈ e!Depts)
+    ///    and (e!Salary > 0.10 * d!Budget)]}
+    /// ```
+    pub fn section51_query() -> Query {
+        Query {
+            result: vec![
+                ("Emp".to_string(), Term::path("e", ["Name", "Last"])),
+                ("Mgr".to_string(), Term::var("m")),
+            ],
+            ranges: vec![
+                Range { var: "e".into(), domain: Term::path("X", ["Employees"]) },
+                Range { var: "d".into(), domain: Term::path("X", ["Departments"]) },
+                Range { var: "m".into(), domain: Term::path("d", ["Managers"]) },
+            ],
+            pred: Pred::In(Term::path("d", ["Name"]), Term::path("e", ["Depts"])).and(
+                Pred::Cmp(
+                    Term::path("e", ["Salary"]),
+                    CmpOp::Gt,
+                    Term::Mul(Box::new(Term::num(0.10)), Box::new(Term::path("d", ["Budget"]))),
+                ),
+            ),
+        }
+    }
+
+    #[test]
+    fn section51_query_answer() {
+        // Robert Peters (salary 24000) is in Sales (budget 142000);
+        // 24000 > 14200, so he pairs with both Sales managers.
+        // Ellen is in Marketing, which has no department entry — no pair.
+        let mut roots = HashMap::new();
+        roots.insert("X".to_string(), acme());
+        let result = section51_query().eval(&roots).unwrap();
+        let mut pairs: Vec<(String, String)> = result
+            .iter()
+            .map(|(_, tuple)| {
+                let t = tuple.as_set().unwrap();
+                let emp = match t.get(&Label::name("Emp")).unwrap() {
+                    SValue::Str(s) => s.clone(),
+                    v => panic!("{v:?}"),
+                };
+                let mgr = match t.get(&Label::name("Mgr")).unwrap() {
+                    SValue::Str(s) => s.clone(),
+                    v => panic!("{v:?}"),
+                };
+                (emp, mgr)
+            })
+            .collect();
+        pairs.sort();
+        assert_eq!(
+            pairs,
+            vec![
+                ("Peters".to_string(), "Nathen".to_string()),
+                ("Peters".to_string(), "Roberts".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn range_over_function_of_other_variable() {
+        // m ∈ d!Managers is itself the distinguishing feature; check the
+        // domain re-evaluates per d.
+        let mut roots = HashMap::new();
+        roots.insert("X".to_string(), acme());
+        let q = Query {
+            result: vec![("Mgr".into(), Term::var("m"))],
+            ranges: vec![
+                Range { var: "d".into(), domain: Term::path("X", ["Departments"]) },
+                Range { var: "m".into(), domain: Term::path("d", ["Managers"]) },
+            ],
+            pred: Pred::True,
+        };
+        let result = q.eval(&roots).unwrap();
+        assert_eq!(result.len(), 3, "Nathen, Roberts, Carter");
+    }
+
+    #[test]
+    fn comparison_and_arithmetic() {
+        let env: Bindings = HashMap::new();
+        let p = Pred::Cmp(
+            Term::num(5.0),
+            CmpOp::Gt,
+            Term::Mul(Box::new(Term::num(2.0)), Box::new(Term::num(2.0))),
+        );
+        assert!(eval_pred(&p, &env).unwrap());
+        let p = Pred::Cmp(Term::Const(SValue::from("abc")), CmpOp::Lt, Term::Const(SValue::from("abd")));
+        assert!(eval_pred(&p, &env).unwrap());
+    }
+
+    #[test]
+    fn subset_predicate() {
+        let mut roots: Bindings = HashMap::new();
+        roots.insert("A".into(), LabeledSet::values(["x", "y"]).into());
+        roots.insert("B".into(), LabeledSet::values(["x", "y", "z"]).into());
+        let q = Query {
+            result: vec![("ok".into(), Term::Const(SValue::Bool(true)))],
+            ranges: vec![],
+            pred: Pred::Subset(Term::var("A"), Term::var("B")),
+        };
+        assert_eq!(q.eval(&roots).unwrap().len(), 1);
+        let q2 = Query { pred: Pred::Subset(Term::var("B"), Term::var("A")), ..q };
+        assert_eq!(q2.eval(&roots).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unbound_variable_is_reported() {
+        let roots: Bindings = HashMap::new();
+        let q = Query {
+            result: vec![("v".into(), Term::var("zzz"))],
+            ranges: vec![],
+            pred: Pred::True,
+        };
+        assert!(matches!(q.eval(&roots), Err(QueryError::UnboundVariable(_))));
+    }
+}

@@ -1,0 +1,417 @@
+//! Labeled sets and simple values (§5.1).
+//!
+//! "STDM has simple types, generally subsets of number or character types,
+//! and sets. A set (denoted with {...}) has elements, each of which has an
+//! element name that labels the element and a value, which can be from a
+//! simple type or a set. … No two elements in a set may have the same
+//! element name."
+
+use gemstone_temporal::{History, TxnTime};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An element name: a symbolic label, a number (arrays), or a generated
+/// alias for unlabeled sets.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Label {
+    Int(i64),
+    Name(String),
+    Alias(u64),
+}
+
+impl Label {
+    /// Convenience constructor from anything string-like.
+    pub fn name(s: impl Into<String>) -> Label {
+        Label::Name(s.into())
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Int(i) => write!(f, "{i}"),
+            Label::Name(s) => write!(f, "{s}"),
+            Label::Alias(a) => write!(f, "@a{a}"),
+        }
+    }
+}
+
+/// An STDM value: a simple value or a set. Child sets are owned by value —
+/// §5.4: "STDM sets are unlike mathematical sets, in that any set instance
+/// can be an element in at most one other set."
+#[derive(Debug, Clone, PartialEq)]
+pub enum SValue {
+    Nil,
+    Int(i64),
+    Float(f64),
+    Str(String),
+    Bool(bool),
+    Set(LabeledSet),
+}
+
+impl SValue {
+    /// Numeric view for comparisons.
+    pub fn as_number(&self) -> Option<f64> {
+        match self {
+            SValue::Int(i) => Some(*i as f64),
+            SValue::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The set, if this is one.
+    pub fn as_set(&self) -> Option<&LabeledSet> {
+        match self {
+            SValue::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The set, mutably.
+    pub fn as_set_mut(&mut self) -> Option<&mut LabeledSet> {
+        match self {
+            SValue::Set(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Structural equality with numeric coercion (`24000 = 24000.0`).
+    pub fn equals(&self, other: &SValue) -> bool {
+        if let (Some(a), Some(b)) = (self.as_number(), other.as_number()) {
+            return a == b;
+        }
+        self == other
+    }
+
+    /// True for nil.
+    pub fn is_nil(&self) -> bool {
+        matches!(self, SValue::Nil)
+    }
+}
+
+impl From<i64> for SValue {
+    fn from(v: i64) -> SValue {
+        SValue::Int(v)
+    }
+}
+impl From<f64> for SValue {
+    fn from(v: f64) -> SValue {
+        SValue::Float(v)
+    }
+}
+impl From<&str> for SValue {
+    fn from(v: &str) -> SValue {
+        SValue::Str(v.to_string())
+    }
+}
+impl From<String> for SValue {
+    fn from(v: String) -> SValue {
+        SValue::Str(v)
+    }
+}
+impl From<bool> for SValue {
+    fn from(v: bool) -> SValue {
+        SValue::Bool(v)
+    }
+}
+impl From<LabeledSet> for SValue {
+    fn from(v: LabeledSet) -> SValue {
+        SValue::Set(v)
+    }
+}
+
+/// A labeled set with per-element history (§5.3.2: "We represent history in
+/// STDM by replacing an element's single value with a set of values … The
+/// binding between an element name and its associated value is indexed by
+/// time. Objects themselves do not have time.").
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LabeledSet {
+    elems: BTreeMap<Label, History<SValue>>,
+    alias_next: u64,
+}
+
+impl LabeledSet {
+    /// An empty set.
+    pub fn new() -> LabeledSet {
+        LabeledSet::default()
+    }
+
+    /// Bind `label` to `value` at transaction time `t`.
+    pub fn put_at(&mut self, label: Label, value: impl Into<SValue>, t: TxnTime) {
+        self.elems.entry(label).or_insert_with(History::new).write_committed(t, value.into());
+    }
+
+    /// Bind at `EPOCH` (for building non-temporal example databases).
+    pub fn put(&mut self, label: Label, value: impl Into<SValue>) {
+        self.put_at(label, value, TxnTime::EPOCH);
+    }
+
+    /// Add a value under a fresh alias at time `t`, returning the alias.
+    pub fn add_at(&mut self, value: impl Into<SValue>, t: TxnTime) -> Label {
+        let label = Label::Alias(self.alias_next);
+        self.alias_next += 1;
+        self.put_at(label.clone(), value, t);
+        label
+    }
+
+    /// Add under a fresh alias at `EPOCH`.
+    pub fn add(&mut self, value: impl Into<SValue>) -> Label {
+        self.add_at(value, TxnTime::EPOCH)
+    }
+
+    /// Remove an element at time `t` — which, per the temporal model, binds
+    /// it to nil rather than erasing it (Figure 1's employee 1821).
+    pub fn remove_at(&mut self, label: Label, t: TxnTime) {
+        self.put_at(label, SValue::Nil, t);
+    }
+
+    /// Current value of an element. Nil/absent are indistinguishable.
+    pub fn get(&self, label: &Label) -> Option<&SValue> {
+        self.elems.get(label).and_then(|h| h.current()).filter(|v| !v.is_nil())
+    }
+
+    /// Value of an element in the database state at time `t`.
+    pub fn get_at(&self, label: &Label, t: TxnTime) -> Option<&SValue> {
+        self.elems.get(label).and_then(|h| h.as_of(t)).filter(|v| !v.is_nil())
+    }
+
+    /// The full history of an element.
+    pub fn history(&self, label: &Label) -> Option<&History<SValue>> {
+        self.elems.get(label)
+    }
+
+    /// Present elements (non-nil current values), in label order.
+    pub fn iter(&self) -> impl Iterator<Item = (&Label, &SValue)> {
+        self.elems
+            .iter()
+            .filter_map(|(l, h)| h.current().filter(|v| !v.is_nil()).map(|v| (l, v)))
+    }
+
+    /// Elements present at time `t`.
+    pub fn iter_at(&self, t: TxnTime) -> impl Iterator<Item = (&Label, &SValue)> {
+        self.elems
+            .iter()
+            .filter_map(move |(l, h)| h.as_of(t).filter(|v| !v.is_nil()).map(|v| (l, v)))
+    }
+
+    /// Number of present elements.
+    pub fn len(&self) -> usize {
+        self.iter().count()
+    }
+
+    /// True when no element is present.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// True if any present element's value equals `v` (set membership —
+    /// the `∈` of the calculus: `d!Name ∈ e!Depts`).
+    pub fn contains_value(&self, v: &SValue) -> bool {
+        self.iter().any(|(_, e)| e.equals(v))
+    }
+
+    /// True if every value of `self` is a value of `other` — the subset test
+    /// that §5.2 notes "requires two quantifiers in relational calculus" but
+    /// is a single operation on a set entity.
+    pub fn subset_of(&self, other: &LabeledSet) -> bool {
+        self.iter().all(|(_, v)| other.contains_value(v))
+    }
+
+    /// Mutable access to an element's current value without advancing its
+    /// history (the value keeps evolving internally; the *relationship*
+    /// between this set and the value is unchanged).
+    pub fn current_value_mut(&mut self, label: &Label) -> Option<&mut SValue> {
+        self.elems.get_mut(label).and_then(|h| h.current_mut()).filter(|v| !v.is_nil())
+    }
+
+    /// Builder sugar: `LabeledSet::of([("Name", v), …])`.
+    pub fn of<I, V>(pairs: I) -> LabeledSet
+    where
+        I: IntoIterator<Item = (&'static str, V)>,
+        V: Into<SValue>,
+    {
+        let mut s = LabeledSet::new();
+        for (k, v) in pairs {
+            s.put(Label::name(k), v);
+        }
+        s
+    }
+
+    /// Builder sugar for unlabeled sets: `LabeledSet::values(["a", "b"])`.
+    pub fn values<I, V>(vals: I) -> LabeledSet
+    where
+        I: IntoIterator<Item = V>,
+        V: Into<SValue>,
+    {
+        let mut s = LabeledSet::new();
+        for v in vals {
+            s.add(v);
+        }
+        s
+    }
+}
+
+impl fmt::Display for LabeledSet {
+    /// Prints in the paper's `{Name: value, …}` notation, eliding alias
+    /// labels exactly as §5.1 does ("we have elided element names for sets
+    /// of simple values").
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, (l, v)) in self.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            if !matches!(l, Label::Alias(_)) {
+                write!(f, "{l}: ")?;
+            }
+            match v {
+                SValue::Str(s) => write!(f, "'{s}'")?,
+                SValue::Set(s) => write!(f, "{s}")?,
+                SValue::Int(n) => write!(f, "{n}")?,
+                SValue::Float(x) => write!(f, "{x}")?,
+                SValue::Bool(b) => write!(f, "{b}")?,
+                SValue::Nil => write!(f, "nil")?,
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    #[test]
+    fn section51_database_fragment() {
+        // The Acme fragment from §5.1.
+        let mut acme = LabeledSet::new();
+        let mut departments = LabeledSet::new();
+        departments.add(LabeledSet::of([
+            ("Name", SValue::from("Sales")),
+            ("Managers", LabeledSet::values(["Nathen", "Roberts"]).into()),
+            ("Budget", SValue::Int(142_000)),
+        ]));
+        departments.add(LabeledSet::of([
+            ("Name", SValue::from("Research")),
+            ("Managers", LabeledSet::values(["Carter"]).into()),
+            ("Budget", SValue::Int(256_500)),
+        ]));
+        acme.put(Label::name("Departments"), departments);
+
+        let depts = acme.get(&Label::name("Departments")).unwrap().as_set().unwrap();
+        assert_eq!(depts.len(), 2);
+        let research = depts
+            .iter()
+            .find(|(_, d)| {
+                d.as_set().unwrap().get(&Label::name("Name"))
+                    == Some(&SValue::from("Research"))
+            })
+            .unwrap()
+            .1
+            .as_set()
+            .unwrap();
+        assert!(research
+            .get(&Label::name("Managers"))
+            .unwrap()
+            .as_set()
+            .unwrap()
+            .contains_value(&SValue::from("Carter")));
+    }
+
+    #[test]
+    fn no_two_elements_share_a_name() {
+        let mut s = LabeledSet::new();
+        s.put(Label::name("x"), 1);
+        s.put_at(Label::name("x"), 2, t(1));
+        // Re-binding replaced the value (advanced history), not added a peer.
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get(&Label::name("x")), Some(&SValue::Int(2)));
+    }
+
+    #[test]
+    fn heterogeneous_values_for_one_label_over_time() {
+        // §5.2: "the element name AssignedTo could have a value that is an
+        // employee, a department or a set of departments."
+        let mut car = LabeledSet::new();
+        car.put_at(Label::name("AssignedTo"), "Milton", t(1));
+        car.put_at(Label::name("AssignedTo"), LabeledSet::values(["Sales", "Planning"]), t(5));
+        assert_eq!(car.get_at(&Label::name("AssignedTo"), t(2)), Some(&SValue::from("Milton")));
+        assert!(car.get(&Label::name("AssignedTo")).unwrap().as_set().is_some());
+    }
+
+    #[test]
+    fn removal_is_nil_binding_with_history() {
+        let mut employees = LabeledSet::new();
+        employees.put_at(Label::Int(1821), "Ayn Rand", t(2));
+        employees.remove_at(Label::Int(1821), t(8));
+        assert_eq!(employees.get(&Label::Int(1821)), None, "gone from current state");
+        assert_eq!(
+            employees.get_at(&Label::Int(1821), t(7)),
+            Some(&SValue::from("Ayn Rand")),
+            "still employed at t7"
+        );
+        assert_eq!(employees.len(), 0);
+    }
+
+    #[test]
+    fn membership_and_subset() {
+        let depts = LabeledSet::values(["Sales", "Planning"]);
+        assert!(depts.contains_value(&SValue::from("Sales")));
+        assert!(!depts.contains_value(&SValue::from("Research")));
+        let sub = LabeledSet::values(["Planning"]);
+        assert!(sub.subset_of(&depts));
+        assert!(!depts.subset_of(&sub));
+        let empty = LabeledSet::new();
+        assert!(empty.subset_of(&sub), "∅ ⊆ anything");
+    }
+
+    #[test]
+    fn aliases_are_fresh() {
+        let mut s = LabeledSet::new();
+        let a = s.add(1);
+        let b = s.add(2);
+        assert_ne!(a, b);
+        assert_eq!(s.len(), 2);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        let name = LabeledSet::of([("First", "Ellen"), ("Last", "Burns")]);
+        assert_eq!(name.to_string(), "{First: 'Ellen', Last: 'Burns'}");
+        let phones = LabeledSet::values([3949i64, 3862]);
+        assert_eq!(phones.to_string(), "{3949, 3862}");
+    }
+
+    #[test]
+    fn numeric_equality_coerces() {
+        assert!(SValue::Int(3).equals(&SValue::Float(3.0)));
+        assert!(!SValue::Int(3).equals(&SValue::from("3")));
+    }
+
+    #[test]
+    fn unlimited_nesting() {
+        // §5.2: "There is unlimited nesting of sets."
+        let mut v = SValue::Set(LabeledSet::new());
+        for i in 0..64 {
+            let mut outer = LabeledSet::new();
+            outer.put(Label::Int(i), v);
+            v = SValue::Set(outer);
+        }
+        let mut depth = 0;
+        let mut cur = &v;
+        while let Some(s) = cur.as_set() {
+            match s.iter().next() {
+                Some((_, inner)) => {
+                    depth += 1;
+                    cur = inner;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(depth, 64);
+    }
+}

@@ -1,0 +1,145 @@
+//! The Track Manager's cache.
+//!
+//! §6: "The Track Manager schedules reads and writes of tracks." Reads are
+//! served through an LRU cache of track payloads; hit/miss counters feed the
+//! clustering experiments (C7).
+
+use crate::disk::TrackId;
+use std::collections::HashMap;
+
+/// Cache statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// An LRU cache of track payloads (checksum already stripped).
+#[derive(Debug)]
+pub struct TrackCache {
+    capacity: usize,
+    entries: HashMap<TrackId, (u64, Vec<u8>)>,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl TrackCache {
+    /// A cache holding up to `capacity` tracks.
+    pub fn new(capacity: usize) -> TrackCache {
+        TrackCache { capacity, entries: HashMap::new(), tick: 0, stats: CacheStats::default() }
+    }
+
+    /// Look up a track, refreshing its recency.
+    pub fn get(&mut self, id: TrackId) -> Option<&[u8]> {
+        self.tick += 1;
+        let tick = self.tick;
+        match self.entries.get_mut(&id) {
+            Some((last, data)) => {
+                *last = tick;
+                self.stats.hits += 1;
+                Some(&*data)
+            }
+            None => {
+                self.stats.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) a track payload, evicting the least recently used
+    /// entry if full.
+    pub fn put(&mut self, id: TrackId, data: Vec<u8>) {
+        self.tick += 1;
+        if self.capacity == 0 {
+            return;
+        }
+        if !self.entries.contains_key(&id) && self.entries.len() >= self.capacity {
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (last, _))| *last) {
+                self.entries.remove(&victim);
+            }
+        }
+        self.entries.insert(id, (self.tick, data));
+    }
+
+    /// Drop a track (it has been superseded by a shadow copy).
+    pub fn invalidate(&mut self, id: TrackId) {
+        self.entries.remove(&id);
+    }
+
+    /// Drop everything (recovery).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+
+    /// Hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Reset counters.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Number of cached tracks.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_and_miss_accounting() {
+        let mut c = TrackCache::new(2);
+        assert!(c.get(TrackId(1)).is_none());
+        c.put(TrackId(1), vec![1]);
+        assert_eq!(c.get(TrackId(1)), Some(&[1u8][..]));
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses), (1, 1));
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = TrackCache::new(2);
+        c.put(TrackId(1), vec![1]);
+        c.put(TrackId(2), vec![2]);
+        let _ = c.get(TrackId(1)); // 1 is now most recent
+        c.put(TrackId(3), vec![3]); // evicts 2
+        assert!(c.get(TrackId(1)).is_some());
+        assert!(c.get(TrackId(2)).is_none());
+        assert!(c.get(TrackId(3)).is_some());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn refresh_does_not_grow() {
+        let mut c = TrackCache::new(2);
+        c.put(TrackId(1), vec![1]);
+        c.put(TrackId(1), vec![9]);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(TrackId(1)), Some(&[9u8][..]));
+    }
+
+    #[test]
+    fn zero_capacity_never_stores() {
+        let mut c = TrackCache::new(0);
+        c.put(TrackId(1), vec![1]);
+        assert!(c.get(TrackId(1)).is_none());
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = TrackCache::new(4);
+        c.put(TrackId(1), vec![1]);
+        c.invalidate(TrackId(1));
+        assert!(c.get(TrackId(1)).is_none());
+    }
+}

@@ -1,0 +1,248 @@
+//! The Directory Manager's index structure.
+//!
+//! §6: "The Directory Manager creates and maintains directories. Directories
+//! use standard techniques modified to handle object histories. … Another
+//! problem is using a nested element as a discriminator. Since that element
+//! may be different in different states of the database, its object may need
+//! to appear along two branches of the directory."
+//!
+//! A [`Directory`] maps key values to entries carrying **validity
+//! intervals** `[from, to)`. When an indexed object's discriminator changes
+//! at time `t`, its entry under the old key closes at `t` and a new entry
+//! opens under the new key — the object then genuinely appears "along two
+//! branches", each valid in disjoint states. Lookups can be current or
+//! as-of any past time.
+
+use gemstone_object::{ClassId, ElemName, Goop};
+use gemstone_temporal::TxnTime;
+use std::collections::{BTreeMap, HashMap};
+use std::ops::Bound;
+
+/// An orderable, hashable index key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DirKey {
+    /// Numbers under a total-order transform of their f64 bits.
+    Num(u64),
+    /// Strings/symbols by content.
+    Text(Vec<u8>),
+    /// References, by identity.
+    Ref(u64),
+}
+
+impl DirKey {
+    /// Key for a number (the transform makes u64 ordering match f64
+    /// ordering, including negatives).
+    pub fn num(x: f64) -> DirKey {
+        let bits = x.to_bits();
+        DirKey::Num(if bits >> 63 == 1 { !bits } else { bits | (1 << 63) })
+    }
+
+    /// Key for text.
+    pub fn text(s: &str) -> DirKey {
+        DirKey::Text(s.as_bytes().to_vec())
+    }
+}
+
+/// What a directory indexes: instances of a class, discriminated by an
+/// element (possibly nested — the *path* of elements to follow).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DirectorySpec {
+    pub class: ClassId,
+    /// The discriminator path: usually one element; nested discriminators
+    /// list the elements to traverse (§6's "nested element" case).
+    pub path: Vec<ElemName>,
+}
+
+/// One directory entry: `goop` had this key from `from` until `to`
+/// (`TxnTime::PENDING` = still current).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirEntry {
+    pub goop: Goop,
+    pub from: TxnTime,
+    pub to: TxnTime,
+}
+
+impl DirEntry {
+    fn valid_at(&self, t: TxnTime) -> bool {
+        self.from <= t && t < self.to
+    }
+
+    fn is_open(&self) -> bool {
+        self.to == TxnTime::PENDING
+    }
+}
+
+/// A history-aware secondary index.
+#[derive(Debug, Clone)]
+pub struct Directory {
+    spec: DirectorySpec,
+    tree: BTreeMap<DirKey, Vec<DirEntry>>,
+    current_key: HashMap<Goop, DirKey>,
+}
+
+impl Directory {
+    /// An empty directory for `spec`.
+    pub fn new(spec: DirectorySpec) -> Directory {
+        Directory { spec, tree: BTreeMap::new(), current_key: HashMap::new() }
+    }
+
+    /// The spec this directory serves.
+    pub fn spec(&self) -> &DirectorySpec {
+        &self.spec
+    }
+
+    /// Record that `goop`'s discriminator became `new_key` at time `t`
+    /// (`None` = the object left the index: element went nil). Idempotent
+    /// for unchanged keys.
+    pub fn update(&mut self, goop: Goop, new_key: Option<DirKey>, t: TxnTime) {
+        if self.current_key.get(&goop) == new_key.as_ref() {
+            return;
+        }
+        if let Some(old) = self.current_key.remove(&goop) {
+            if let Some(entries) = self.tree.get_mut(&old) {
+                for e in entries.iter_mut() {
+                    if e.goop == goop && e.is_open() {
+                        e.to = t;
+                    }
+                }
+            }
+        }
+        if let Some(key) = new_key {
+            self.tree
+                .entry(key.clone())
+                .or_default()
+                .push(DirEntry { goop, from: t, to: TxnTime::PENDING });
+            self.current_key.insert(goop, key);
+        }
+    }
+
+    /// Objects whose discriminator currently equals `key`.
+    pub fn lookup_current(&self, key: &DirKey) -> Vec<Goop> {
+        self.tree
+            .get(key)
+            .map(|es| es.iter().filter(|e| e.is_open()).map(|e| e.goop).collect())
+            .unwrap_or_default()
+    }
+
+    /// Objects whose discriminator equalled `key` in the state at `t`.
+    pub fn lookup_as_of(&self, key: &DirKey, t: TxnTime) -> Vec<Goop> {
+        self.tree
+            .get(key)
+            .map(|es| es.iter().filter(|e| e.valid_at(t)).map(|e| e.goop).collect())
+            .unwrap_or_default()
+    }
+
+    /// Range scan over current entries: keys in `[lo, hi)`.
+    pub fn range_current(&self, lo: Bound<&DirKey>, hi: Bound<&DirKey>) -> Vec<Goop> {
+        self.tree
+            .range((lo, hi))
+            .flat_map(|(_, es)| es.iter().filter(|e| e.is_open()).map(|e| e.goop))
+            .collect()
+    }
+
+    /// Range scan in the state at `t`.
+    pub fn range_as_of(&self, lo: Bound<&DirKey>, hi: Bound<&DirKey>, t: TxnTime) -> Vec<Goop> {
+        self.tree
+            .range((lo, hi))
+            .flat_map(|(_, es)| es.iter().filter(move |e| e.valid_at(t)).map(|e| e.goop))
+            .collect()
+    }
+
+    /// Number of distinct keys.
+    pub fn key_count(&self) -> usize {
+        self.tree.len()
+    }
+
+    /// Number of entries (including closed historical ones).
+    pub fn entry_count(&self) -> usize {
+        self.tree.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    fn dir() -> Directory {
+        Directory::new(DirectorySpec { class: ClassId(7), path: vec![ElemName::Sym(gemstone_object::SymbolId(1))] })
+    }
+
+    #[test]
+    fn num_key_ordering_matches_f64() {
+        let xs = [-1e9, -2.5, -0.0, 0.0, 1.0, 2.5, 1e9];
+        for w in xs.windows(2) {
+            assert!(DirKey::num(w[0]) <= DirKey::num(w[1]), "{} vs {}", w[0], w[1]);
+        }
+        assert_eq!(DirKey::num(0.0), DirKey::num(0.0));
+    }
+
+    #[test]
+    fn current_lookup() {
+        let mut d = dir();
+        d.update(Goop(1), Some(DirKey::text("Sales")), t(1));
+        d.update(Goop(2), Some(DirKey::text("Sales")), t(2));
+        d.update(Goop(3), Some(DirKey::text("Research")), t(2));
+        let mut sales = d.lookup_current(&DirKey::text("Sales"));
+        sales.sort();
+        assert_eq!(sales, vec![Goop(1), Goop(2)]);
+        assert!(d.lookup_current(&DirKey::text("Planning")).is_empty());
+    }
+
+    #[test]
+    fn key_change_appears_on_two_branches() {
+        let mut d = dir();
+        d.update(Goop(1), Some(DirKey::text("Seattle")), t(3));
+        d.update(Goop(1), Some(DirKey::text("Portland")), t(8));
+        // Current: Portland only.
+        assert_eq!(d.lookup_current(&DirKey::text("Portland")), vec![Goop(1)]);
+        assert!(d.lookup_current(&DirKey::text("Seattle")).is_empty());
+        // As of t5: Seattle.
+        assert_eq!(d.lookup_as_of(&DirKey::text("Seattle"), t(5)), vec![Goop(1)]);
+        assert!(d.lookup_as_of(&DirKey::text("Portland"), t(5)).is_empty());
+        // Boundary semantics: the change is visible *at* its commit time.
+        assert_eq!(d.lookup_as_of(&DirKey::text("Portland"), t(8)), vec![Goop(1)]);
+        assert!(d.lookup_as_of(&DirKey::text("Seattle"), t(8)).is_empty());
+        // Both branches exist physically.
+        assert_eq!(d.key_count(), 2);
+        assert_eq!(d.entry_count(), 2);
+    }
+
+    #[test]
+    fn leaving_the_index() {
+        let mut d = dir();
+        d.update(Goop(1), Some(DirKey::num(24_000.0)), t(2));
+        d.update(Goop(1), None, t(8)); // element went nil
+        assert!(d.lookup_current(&DirKey::num(24_000.0)).is_empty());
+        assert_eq!(d.lookup_as_of(&DirKey::num(24_000.0), t(7)), vec![Goop(1)]);
+    }
+
+    #[test]
+    fn unchanged_key_is_idempotent() {
+        let mut d = dir();
+        d.update(Goop(1), Some(DirKey::num(5.0)), t(1));
+        d.update(Goop(1), Some(DirKey::num(5.0)), t(9));
+        assert_eq!(d.entry_count(), 1, "no churn on unchanged keys");
+        assert_eq!(d.lookup_as_of(&DirKey::num(5.0), t(4)), vec![Goop(1)]);
+    }
+
+    #[test]
+    fn range_scans_current_and_past() {
+        let mut d = dir();
+        d.update(Goop(1), Some(DirKey::num(10.0)), t(1));
+        d.update(Goop(2), Some(DirKey::num(20.0)), t(1));
+        d.update(Goop(3), Some(DirKey::num(30.0)), t(1));
+        d.update(Goop(2), Some(DirKey::num(35.0)), t(5));
+        let lo = DirKey::num(15.0);
+        let hi = DirKey::num(32.0);
+        let mut cur = d.range_current(Bound::Included(&lo), Bound::Excluded(&hi));
+        cur.sort();
+        assert_eq!(cur, vec![Goop(3)], "g2 moved out of range at t5");
+        let mut past = d.range_as_of(Bound::Included(&lo), Bound::Excluded(&hi), t(3));
+        past.sort();
+        assert_eq!(past, vec![Goop(2), Goop(3)]);
+    }
+}

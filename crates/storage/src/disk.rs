@@ -1,0 +1,318 @@
+//! The simulated disk: whole-track access, accounting, failure injection.
+//!
+//! The paper's GemStone ran on special-purpose hardware with the database
+//! controlling the disk directly; "disk access will always be by entire
+//! tracks". [`SimDisk`] reproduces exactly that interface — `read_track` /
+//! `write_track`, nothing smaller — and counts every access, because the
+//! storage experiments (C5, C7, C9, C10 in DESIGN.md) are about access
+//! *counts and atomicity*, not device physics.
+//!
+//! Crash injection: a disk can be armed to fail after N more writes. The
+//! N+1st write is *torn* (first half written, rest old/garbage) and every
+//! subsequent operation fails — modeling power loss mid-commit. Recovery
+//! code must detect the tear via checksums.
+
+use gemstone_object::{GemError, GemResult};
+
+/// Index of a track on a disk.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct TrackId(pub u32);
+
+/// Bytes reserved at the start of every track by the Commit Manager:
+/// a little-endian u32 payload length followed by a u64 FNV-1a checksum.
+pub const TRACK_HEADER: usize = 12;
+
+/// Disk access counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct DiskStats {
+    pub track_reads: u64,
+    pub track_writes: u64,
+    pub bytes_written: u64,
+}
+
+/// A simulated disk of fixed-size tracks.
+#[derive(Debug)]
+pub struct SimDisk {
+    track_size: usize,
+    tracks: Vec<Option<Box<[u8]>>>,
+    stats: DiskStats,
+    /// `Some(n)`: n more writes succeed; the next tears and the disk dies.
+    fail_after_writes: Option<u64>,
+    dead: bool,
+}
+
+impl SimDisk {
+    /// A fresh disk. `track_size` includes the [`TRACK_HEADER`].
+    pub fn new(track_size: usize) -> SimDisk {
+        assert!(track_size > TRACK_HEADER * 2, "track size too small");
+        SimDisk {
+            track_size,
+            tracks: Vec::new(),
+            stats: DiskStats::default(),
+            fail_after_writes: None,
+            dead: false,
+        }
+    }
+
+    /// Track size in bytes.
+    pub fn track_size(&self) -> usize {
+        self.track_size
+    }
+
+    /// Number of tracks ever written.
+    pub fn tracks_in_use(&self) -> usize {
+        self.tracks.iter().filter(|t| t.is_some()).count()
+    }
+
+    /// Access counters so far.
+    pub fn stats(&self) -> DiskStats {
+        self.stats
+    }
+
+    /// Reset counters (benchmark hygiene).
+    pub fn reset_stats(&mut self) {
+        self.stats = DiskStats::default();
+    }
+
+    /// Arm crash injection: `n` more writes succeed, the next one tears.
+    pub fn fail_after_writes(&mut self, n: u64) {
+        self.fail_after_writes = Some(n);
+        self.dead = false;
+    }
+
+    /// Disarm crash injection and revive the disk (simulates power-up after
+    /// the crash; the torn data remains).
+    pub fn revive(&mut self) {
+        self.fail_after_writes = None;
+        self.dead = false;
+    }
+
+    /// True once a crash has been triggered.
+    pub fn is_dead(&self) -> bool {
+        self.dead
+    }
+
+    /// Write an entire track. `data` must fit in the track; short data is
+    /// zero-padded (a track is always written whole).
+    pub fn write_track(&mut self, id: TrackId, data: &[u8]) -> GemResult<()> {
+        if self.dead {
+            return Err(GemError::DiskFailure("disk is down".into()));
+        }
+        if data.len() > self.track_size {
+            return Err(GemError::DiskFailure(format!(
+                "data ({} bytes) exceeds track size ({})",
+                data.len(),
+                self.track_size
+            )));
+        }
+        let idx = id.0 as usize;
+        if idx >= self.tracks.len() {
+            self.tracks.resize_with(idx + 1, || None);
+        }
+        let mut buf = vec![0u8; self.track_size].into_boxed_slice();
+        buf[..data.len()].copy_from_slice(data);
+
+        if let Some(n) = self.fail_after_writes {
+            if n == 0 {
+                // Torn write: only the first half of the *record* reaches the
+                // platter (a record smaller than the track still tears — the
+                // head lost power mid-record, not mid-padding).
+                let half = (data.len() / 2).max(1).min(self.track_size);
+                let old = self.tracks[idx].take();
+                let mut torn = old.unwrap_or_else(|| vec![0u8; self.track_size].into_boxed_slice());
+                torn[..half].copy_from_slice(&buf[..half]);
+                self.tracks[idx] = Some(torn);
+                self.dead = true;
+                self.stats.track_writes += 1;
+                return Err(GemError::DiskFailure("power lost mid-write (torn track)".into()));
+            }
+            self.fail_after_writes = Some(n - 1);
+        }
+
+        self.stats.track_writes += 1;
+        self.stats.bytes_written += self.track_size as u64;
+        self.tracks[idx] = Some(buf);
+        Ok(())
+    }
+
+    /// Read an entire track.
+    pub fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]> {
+        if self.dead {
+            return Err(GemError::DiskFailure("disk is down".into()));
+        }
+        self.stats.track_reads += 1;
+        self.tracks
+            .get(id.0 as usize)
+            .and_then(|t| t.as_deref())
+            .ok_or_else(|| GemError::DiskFailure(format!("track {id:?} never written")))
+    }
+
+    /// True if the track has ever been written.
+    pub fn track_exists(&self, id: TrackId) -> bool {
+        self.tracks.get(id.0 as usize).is_some_and(|t| t.is_some())
+    }
+}
+
+/// A replicated set of disks (§6: the Object Manager handles "requests for
+/// replication of data"). Writes go to every live replica; reads are served
+/// by the first replica that can deliver the track, so data survives the
+/// loss of any proper subset of replicas.
+#[derive(Debug)]
+pub struct DiskArray {
+    replicas: Vec<SimDisk>,
+}
+
+impl DiskArray {
+    /// `n` mirrored replicas of `track_size` tracks.
+    pub fn new(track_size: usize, n: usize) -> DiskArray {
+        assert!(n >= 1);
+        DiskArray { replicas: (0..n).map(|_| SimDisk::new(track_size)).collect() }
+    }
+
+    /// Wrap an existing disk as a single-replica array (recovery path).
+    pub fn from_disk(disk: SimDisk) -> DiskArray {
+        DiskArray { replicas: vec![disk] }
+    }
+
+    /// Track size.
+    pub fn track_size(&self) -> usize {
+        self.replicas[0].track_size()
+    }
+
+    /// Number of replicas.
+    pub fn replica_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    /// Access a replica (crash injection in tests).
+    pub fn replica_mut(&mut self, i: usize) -> &mut SimDisk {
+        &mut self.replicas[i]
+    }
+
+    /// Write to all live replicas. Succeeds if *any* replica took the write;
+    /// the caller learns of degraded redundancy via [`Self::live_replicas`].
+    pub fn write_track(&mut self, id: TrackId, data: &[u8]) -> GemResult<()> {
+        let mut wrote = 0;
+        let mut last_err = None;
+        for d in &mut self.replicas {
+            match d.write_track(id, data) {
+                Ok(()) => wrote += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if wrote > 0 {
+            Ok(())
+        } else {
+            Err(last_err.unwrap_or_else(|| GemError::DiskFailure("no replicas".into())))
+        }
+    }
+
+    /// Read from the first replica able to serve the track.
+    pub fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]> {
+        let n = self.replicas.len();
+        let mut last_err = None;
+        for i in 0..n {
+            // Two-phase to satisfy the borrow checker: probe, then borrow.
+            match self.replicas[i].read_track(id) {
+                Ok(_) => return self.replicas[i].read_track(id),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| GemError::DiskFailure("no replicas".into())))
+    }
+
+    /// How many replicas are currently serving I/O.
+    pub fn live_replicas(&self) -> usize {
+        self.replicas.iter().filter(|d| !d.is_dead()).count()
+    }
+
+    /// Combined stats of replica 0 (the primary), for benchmarks.
+    pub fn stats(&self) -> DiskStats {
+        self.replicas[0].stats()
+    }
+
+    /// Reset all replica counters.
+    pub fn reset_stats(&mut self) {
+        for d in &mut self.replicas {
+            d.reset_stats();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_then_read_roundtrip() {
+        let mut d = SimDisk::new(256);
+        d.write_track(TrackId(3), b"hello tracks").unwrap();
+        let back = d.read_track(TrackId(3)).unwrap();
+        assert_eq!(&back[..12], b"hello tracks");
+        assert_eq!(back.len(), 256, "tracks are read whole");
+        assert!(back[12..].iter().all(|&b| b == 0), "zero padded");
+    }
+
+    #[test]
+    fn stats_count_accesses() {
+        let mut d = SimDisk::new(256);
+        d.write_track(TrackId(0), b"x").unwrap();
+        d.write_track(TrackId(1), b"y").unwrap();
+        let _ = d.read_track(TrackId(0)).unwrap();
+        let s = d.stats();
+        assert_eq!(s.track_writes, 2);
+        assert_eq!(s.track_reads, 1);
+        assert_eq!(s.bytes_written, 512);
+    }
+
+    #[test]
+    fn oversized_write_rejected() {
+        let mut d = SimDisk::new(64);
+        assert!(d.write_track(TrackId(0), &[0u8; 65]).is_err());
+        assert!(d.write_track(TrackId(0), &[0u8; 64]).is_ok());
+    }
+
+    #[test]
+    fn unwritten_track_read_fails() {
+        let mut d = SimDisk::new(256);
+        assert!(d.read_track(TrackId(9)).is_err());
+        assert!(!d.track_exists(TrackId(9)));
+    }
+
+    #[test]
+    fn crash_injection_tears_and_kills() {
+        let mut d = SimDisk::new(64);
+        d.write_track(TrackId(0), &[0xAA; 64]).unwrap();
+        d.fail_after_writes(1);
+        d.write_track(TrackId(1), &[0xBB; 64]).unwrap(); // the 1 allowed write
+        let err = d.write_track(TrackId(0), &[0xCC; 64]); // tears
+        assert!(err.is_err());
+        assert!(d.is_dead());
+        assert!(d.read_track(TrackId(0)).is_err(), "disk down");
+        d.revive();
+        let t0 = d.read_track(TrackId(0)).unwrap().to_vec();
+        assert_eq!(&t0[..32], &[0xCC; 32], "first half of torn write landed");
+        assert_eq!(&t0[32..], &[0xAA; 32], "second half is the old data");
+    }
+
+    #[test]
+    fn disk_array_survives_replica_loss() {
+        let mut a = DiskArray::new(128, 2);
+        a.write_track(TrackId(5), b"replicated").unwrap();
+        // Primary dies.
+        a.replica_mut(0).fail_after_writes(0);
+        let _ = a.replica_mut(0).write_track(TrackId(6), b"boom");
+        assert_eq!(a.live_replicas(), 1);
+        let back = a.read_track(TrackId(5)).unwrap();
+        assert_eq!(&back[..10], b"replicated", "mirror serves the read");
+    }
+
+    #[test]
+    fn disk_array_write_degrades_but_succeeds() {
+        let mut a = DiskArray::new(128, 2);
+        a.replica_mut(1).fail_after_writes(0);
+        let _ = a.replica_mut(1).write_track(TrackId(0), b"kill");
+        assert!(a.write_track(TrackId(1), b"still ok").is_ok());
+        assert_eq!(a.live_replicas(), 1);
+    }
+}

@@ -1,0 +1,452 @@
+//! The on-disk serialization format.
+//!
+//! Everything the store persists — object images ("elements and
+//! associations", §6), the GOOP table pages, the catalog, and the root
+//! record — round-trips through the functions here. The format is little
+//! endian and versioned by a magic word in the root.
+
+use crate::disk::TrackId;
+use crate::pobj::PersistentObject;
+use bytes::{Buf, BufMut};
+use gemstone_object::{ClassId, ElemName, GemError, GemResult, Goop, PRef, SegmentId, SymbolId};
+use gemstone_temporal::{History, TxnTime};
+use std::collections::BTreeMap;
+
+/// Root magic: identifies a formatted GemStone volume.
+pub const ROOT_MAGIC: u32 = 0x4753_1984; // "GS" 1984
+
+/// Where a serialized blob lives: a byte range within an *extent* — the run
+/// of consecutive fresh tracks a commit batch was boxed into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Location {
+    pub extent_first: TrackId,
+    pub extent_len: u32,
+    pub offset: u32,
+    pub len: u32,
+}
+
+/// The root record, written last in every safe-write group. Two root tracks
+/// alternate; the one with the highest valid epoch wins at recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Root {
+    pub epoch: u64,
+    pub commit_time: TxnTime,
+    pub next_goop: u64,
+    pub next_track: u32,
+    pub catalog: Location,
+}
+
+/// The catalog: locations of every GOOP-table page and metadata blob
+/// (symbol table, class table, globals — serialized by the core crate).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Catalog {
+    pub goop_pages: BTreeMap<u32, Location>,
+    pub metas: BTreeMap<u8, Location>,
+}
+
+/// Number of GOOPs covered by one GOOP-table page.
+pub const GOOP_PAGE_SPAN: u64 = 512;
+
+/// A GOOP-table page: goop → object image location.
+pub type GoopPage = BTreeMap<u64, Location>;
+
+// ---------------------------------------------------------------- helpers
+
+fn need(buf: &[u8], n: usize) -> GemResult<()> {
+    if buf.remaining() < n {
+        Err(GemError::Corrupt(format!("truncated record: need {n}, have {}", buf.remaining())))
+    } else {
+        Ok(())
+    }
+}
+
+pub fn put_location(buf: &mut Vec<u8>, loc: &Location) {
+    buf.put_u32_le(loc.extent_first.0);
+    buf.put_u32_le(loc.extent_len);
+    buf.put_u32_le(loc.offset);
+    buf.put_u32_le(loc.len);
+}
+
+pub fn get_location(buf: &mut &[u8]) -> GemResult<Location> {
+    need(buf, 16)?;
+    Ok(Location {
+        extent_first: TrackId(buf.get_u32_le()),
+        extent_len: buf.get_u32_le(),
+        offset: buf.get_u32_le(),
+        len: buf.get_u32_le(),
+    })
+}
+
+// ------------------------------------------------------------------ root
+
+pub fn put_root(root: &Root) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64);
+    buf.put_u32_le(ROOT_MAGIC);
+    buf.put_u64_le(root.epoch);
+    buf.put_u64_le(root.commit_time.ticks());
+    buf.put_u64_le(root.next_goop);
+    buf.put_u32_le(root.next_track);
+    put_location(&mut buf, &root.catalog);
+    buf
+}
+
+pub fn get_root(mut buf: &[u8]) -> GemResult<Root> {
+    let b = &mut buf;
+    need(b, 4)?;
+    if b.get_u32_le() != ROOT_MAGIC {
+        return Err(GemError::Corrupt("bad root magic".into()));
+    }
+    need(b, 28)?;
+    Ok(Root {
+        epoch: b.get_u64_le(),
+        commit_time: TxnTime::from_ticks(b.get_u64_le()),
+        next_goop: b.get_u64_le(),
+        next_track: b.get_u32_le(),
+        catalog: get_location(b)?,
+    })
+}
+
+// --------------------------------------------------------------- catalog
+
+pub fn put_catalog(cat: &Catalog) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.put_u32_le(cat.goop_pages.len() as u32);
+    for (page, loc) in &cat.goop_pages {
+        buf.put_u32_le(*page);
+        put_location(&mut buf, loc);
+    }
+    buf.put_u32_le(cat.metas.len() as u32);
+    for (key, loc) in &cat.metas {
+        buf.put_u8(*key);
+        put_location(&mut buf, loc);
+    }
+    buf
+}
+
+pub fn get_catalog(mut buf: &[u8]) -> GemResult<Catalog> {
+    let b = &mut buf;
+    let mut cat = Catalog::default();
+    need(b, 4)?;
+    let n = b.get_u32_le();
+    for _ in 0..n {
+        need(b, 4)?;
+        let page = b.get_u32_le();
+        cat.goop_pages.insert(page, get_location(b)?);
+    }
+    need(b, 4)?;
+    let m = b.get_u32_le();
+    for _ in 0..m {
+        need(b, 1)?;
+        let key = b.get_u8();
+        cat.metas.insert(key, get_location(b)?);
+    }
+    Ok(cat)
+}
+
+// -------------------------------------------------------------- goop page
+
+pub fn put_goop_page(page: &GoopPage) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(4 + page.len() * 24);
+    buf.put_u32_le(page.len() as u32);
+    for (goop, loc) in page {
+        buf.put_u64_le(*goop);
+        put_location(&mut buf, loc);
+    }
+    buf
+}
+
+pub fn get_goop_page(mut buf: &[u8]) -> GemResult<GoopPage> {
+    let b = &mut buf;
+    need(b, 4)?;
+    let n = b.get_u32_le();
+    let mut page = GoopPage::new();
+    for _ in 0..n {
+        need(b, 8)?;
+        let goop = b.get_u64_le();
+        page.insert(goop, get_location(b)?);
+    }
+    Ok(page)
+}
+
+// ----------------------------------------------------------- element name
+
+const NAME_INT: u8 = 0;
+const NAME_SYM: u8 = 1;
+const NAME_ALIAS: u8 = 2;
+
+pub fn put_elem_name(buf: &mut Vec<u8>, name: ElemName) {
+    match name {
+        ElemName::Int(i) => {
+            buf.put_u8(NAME_INT);
+            buf.put_i64_le(i);
+        }
+        ElemName::Sym(s) => {
+            buf.put_u8(NAME_SYM);
+            buf.put_u64_le(s.0 as u64);
+        }
+        ElemName::Alias(a) => {
+            buf.put_u8(NAME_ALIAS);
+            buf.put_u64_le(a);
+        }
+    }
+}
+
+pub fn get_elem_name(buf: &mut &[u8]) -> GemResult<ElemName> {
+    need(buf, 9)?;
+    let tag = buf.get_u8();
+    let payload = buf.get_u64_le();
+    match tag {
+        NAME_INT => Ok(ElemName::Int(payload as i64)),
+        NAME_SYM => Ok(ElemName::Sym(SymbolId(payload as u32))),
+        NAME_ALIAS => Ok(ElemName::Alias(payload)),
+        t => Err(GemError::Corrupt(format!("bad element-name tag {t}"))),
+    }
+}
+
+// ----------------------------------------------------------------- object
+
+const FLAG_HAS_BYTES: u8 = 1;
+
+/// Serialize a persistent object: header, then per element its name and
+/// association table, then the byte-body history.
+pub fn put_object(obj: &PersistentObject) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(64 + obj.elements.len() * 32);
+    buf.put_u64_le(obj.goop.0);
+    buf.put_u32_le(obj.class.0);
+    buf.put_u16_le(obj.segment.0);
+    buf.put_u8(if obj.bytes.is_some() { FLAG_HAS_BYTES } else { 0 });
+    buf.put_u64_le(obj.alias_next);
+    buf.put_u32_le(obj.elements.len() as u32);
+    for (name, hist) in &obj.elements {
+        put_elem_name(&mut buf, *name);
+        buf.put_u32_le(hist.committed_len() as u32);
+        for e in hist.entries().iter().take(hist.committed_len()) {
+            buf.put_u64_le(e.time.ticks());
+            buf.put_u64_le(e.value.bits());
+        }
+    }
+    if let Some(bh) = &obj.bytes {
+        buf.put_u32_le(bh.committed_len() as u32);
+        for e in bh.entries().iter().take(bh.committed_len()) {
+            buf.put_u64_le(e.time.ticks());
+            buf.put_u32_le(e.value.len() as u32);
+            buf.put_slice(&e.value);
+        }
+    }
+    buf
+}
+
+/// Deserialize an object image.
+pub fn get_object(mut buf: &[u8]) -> GemResult<PersistentObject> {
+    let b = &mut buf;
+    need(b, 8 + 4 + 2 + 1 + 8 + 4)?;
+    let goop = Goop(b.get_u64_le());
+    let class = ClassId(b.get_u32_le());
+    let segment = SegmentId(b.get_u16_le());
+    let flags = b.get_u8();
+    let alias_next = b.get_u64_le();
+    let n_elems = b.get_u32_le();
+    let mut obj = PersistentObject::new(goop, class, segment);
+    obj.alias_next = alias_next;
+    for _ in 0..n_elems {
+        let name = get_elem_name(b)?;
+        need(b, 4)?;
+        let n_assoc = b.get_u32_le();
+        let mut hist = History::new();
+        for _ in 0..n_assoc {
+            need(b, 16)?;
+            let time = TxnTime::from_ticks(b.get_u64_le());
+            let value = PRef::from_bits(b.get_u64_le());
+            hist.write_committed(time, value);
+        }
+        obj.elements.insert(name, hist);
+    }
+    if flags & FLAG_HAS_BYTES != 0 {
+        need(b, 4)?;
+        let n_assoc = b.get_u32_le();
+        let mut hist: History<Box<[u8]>> = History::new();
+        for _ in 0..n_assoc {
+            need(b, 12)?;
+            let time = TxnTime::from_ticks(b.get_u64_le());
+            let len = b.get_u32_le() as usize;
+            need(b, len)?;
+            let mut data = vec![0u8; len];
+            b.copy_to_slice(&mut data);
+            hist.write_committed(time, data.into_boxed_slice());
+        }
+        obj.bytes = Some(hist);
+    }
+    Ok(obj)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pobj::ObjectDelta;
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    fn loc(a: u32, b: u32, c: u32, d: u32) -> Location {
+        Location { extent_first: TrackId(a), extent_len: b, offset: c, len: d }
+    }
+
+    #[test]
+    fn root_roundtrip() {
+        let root = Root {
+            epoch: 42,
+            commit_time: t(99),
+            next_goop: 1000,
+            next_track: 77,
+            catalog: loc(3, 2, 100, 500),
+        };
+        assert_eq!(get_root(&put_root(&root)).unwrap(), root);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut bytes = put_root(&Root {
+            epoch: 1,
+            commit_time: t(1),
+            next_goop: 1,
+            next_track: 1,
+            catalog: loc(0, 0, 0, 0),
+        });
+        bytes[0] ^= 0xFF;
+        assert!(matches!(get_root(&bytes), Err(GemError::Corrupt(_))));
+    }
+
+    #[test]
+    fn catalog_roundtrip() {
+        let mut cat = Catalog::default();
+        cat.goop_pages.insert(0, loc(5, 1, 0, 100));
+        cat.goop_pages.insert(3, loc(9, 2, 50, 200));
+        cat.metas.insert(1, loc(11, 1, 0, 64));
+        assert_eq!(get_catalog(&put_catalog(&cat)).unwrap(), cat);
+        assert_eq!(get_catalog(&put_catalog(&Catalog::default())).unwrap(), Catalog::default());
+    }
+
+    #[test]
+    fn goop_page_roundtrip() {
+        let mut page = GoopPage::new();
+        page.insert(7, loc(1, 1, 0, 10));
+        page.insert(519, loc(2, 1, 10, 20));
+        assert_eq!(get_goop_page(&put_goop_page(&page)).unwrap(), page);
+    }
+
+    #[test]
+    fn elem_names_roundtrip() {
+        for name in [
+            ElemName::Int(-5),
+            ElemName::Int(i64::MAX),
+            ElemName::Sym(SymbolId(12)),
+            ElemName::Alias(u64::MAX / 2),
+        ] {
+            let mut buf = Vec::new();
+            put_elem_name(&mut buf, name);
+            assert_eq!(get_elem_name(&mut &buf[..]).unwrap(), name);
+        }
+    }
+
+    #[test]
+    fn object_roundtrip_with_histories() {
+        let mut obj = PersistentObject::new(Goop(9), ClassId(3), SegmentId(2));
+        obj.apply_delta(
+            &ObjectDelta {
+                goop: Goop(9),
+                class: ClassId(3),
+                segment: SegmentId(2),
+                alias_next: 4,
+                elem_writes: vec![
+                    (ElemName::Sym(SymbolId(1)), PRef::int(24_650)),
+                    (ElemName::Alias(0), PRef::goop(Goop(55))),
+                ],
+                bytes_write: None,
+                is_new: true,
+            },
+            t(2),
+        );
+        obj.apply_delta(
+            &ObjectDelta {
+                goop: Goop(9),
+                class: ClassId(3),
+                segment: SegmentId(2),
+                alias_next: 4,
+                elem_writes: vec![(ElemName::Sym(SymbolId(1)), PRef::int(30_000))],
+                bytes_write: None,
+                is_new: false,
+            },
+            t(8),
+        );
+        let back = get_object(&put_object(&obj)).unwrap();
+        assert_eq!(back, obj);
+        assert_eq!(back.elem_at(ElemName::Sym(SymbolId(1)), t(5)), Some(PRef::int(24_650)));
+    }
+
+    #[test]
+    fn byte_object_roundtrip() {
+        let mut obj = PersistentObject::new(Goop(2), ClassId(11), SegmentId(0));
+        let mut hist: History<Box<[u8]>> = History::new();
+        hist.write_committed(t(3), b"Seattle".to_vec().into_boxed_slice());
+        hist.write_committed(t(8), b"Portland".to_vec().into_boxed_slice());
+        obj.bytes = Some(hist);
+        let back = get_object(&put_object(&obj)).unwrap();
+        assert_eq!(back, obj);
+        assert_eq!(back.bytes_at(t(4)), Some(&b"Seattle"[..]));
+    }
+
+    #[test]
+    fn pending_writes_are_not_persisted() {
+        let mut obj = PersistentObject::new(Goop(2), ClassId(1), SegmentId(0));
+        let mut hist = History::with_initial(t(1), PRef::int(1));
+        hist.write_pending(PRef::int(99));
+        obj.elements.insert(ElemName::Int(0), hist);
+        let back = get_object(&put_object(&obj)).unwrap();
+        assert_eq!(back.elem_current(ElemName::Int(0)), Some(PRef::int(1)));
+    }
+
+    #[test]
+    fn truncated_object_is_detected() {
+        let mut obj = PersistentObject::new(Goop(9), ClassId(3), SegmentId(2));
+        obj.elements.insert(ElemName::Int(1), History::with_initial(t(1), PRef::int(5)));
+        let bytes = put_object(&obj);
+        for cut in [0, 10, bytes.len() - 1] {
+            assert!(get_object(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic_the_readers() {
+        // Corrupt tracks must surface as GemError::Corrupt, not panics or
+        // giant allocations.
+        let mut rng_state = 0x12345678u64;
+        let mut next = move || {
+            rng_state = rng_state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (rng_state >> 33) as u8
+        };
+        for len in [0usize, 1, 8, 33, 257] {
+            for _ in 0..50 {
+                let junk: Vec<u8> = (0..len).map(|_| next()).collect();
+                let _ = get_object(&junk);
+                let _ = get_root(&junk);
+                let _ = get_catalog(&junk);
+                let _ = get_goop_page(&junk);
+            }
+        }
+    }
+
+    #[test]
+    fn large_object_roundtrip() {
+        // §4.3: objects beyond ST80's 64KB cap.
+        let mut obj = PersistentObject::new(Goop(3), ClassId(11), SegmentId(0));
+        let big = vec![0x5Au8; 300_000];
+        let mut hist: History<Box<[u8]>> = History::new();
+        hist.write_committed(t(1), big.clone().into_boxed_slice());
+        obj.bytes = Some(hist);
+        let img = put_object(&obj);
+        assert!(img.len() > 300_000);
+        let back = get_object(&img).unwrap();
+        assert_eq!(back.bytes_current().unwrap(), &big[..]);
+    }
+}

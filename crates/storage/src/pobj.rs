@@ -1,0 +1,223 @@
+//! The permanent representation of an object.
+//!
+//! §6: "Since GemStone objects retain history, they grow with time, and a
+//! fixed block of memory is not a feasible representation. In the GemStone
+//! Object Manager, the implementation of objects is based upon associations.
+//! An element is represented as an element name and a table of associations."
+
+use gemstone_object::{ClassId, ElemName, Goop, PRef, SegmentId};
+use gemstone_temporal::{History, TxnTime};
+use std::collections::BTreeMap;
+
+/// A committed object with full element histories.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PersistentObject {
+    pub goop: Goop,
+    pub class: ClassId,
+    pub segment: SegmentId,
+    /// Alias counter, persisted so aliases remain unique forever.
+    pub alias_next: u64,
+    /// Element name → association table.
+    pub elements: BTreeMap<ElemName, History<PRef>>,
+    /// Byte bodies carry whole-value histories (strings are small; large
+    /// byte objects are re-versioned per commit, measured by bench C9).
+    pub bytes: Option<History<Box<[u8]>>>,
+}
+
+impl PersistentObject {
+    /// A new, empty persistent object.
+    pub fn new(goop: Goop, class: ClassId, segment: SegmentId) -> PersistentObject {
+        PersistentObject {
+            goop,
+            class,
+            segment,
+            alias_next: 0,
+            elements: BTreeMap::new(),
+            bytes: None,
+        }
+    }
+
+    /// Current value of an element (nil-tombstones filtered).
+    pub fn elem_current(&self, name: ElemName) -> Option<PRef> {
+        self.elements
+            .get(&name)
+            .and_then(|h| h.current())
+            .copied()
+            .filter(|v| !v.is_nil())
+    }
+
+    /// Element value in the state at `t`.
+    pub fn elem_at(&self, name: ElemName, t: TxnTime) -> Option<PRef> {
+        self.elements.get(&name).and_then(|h| h.as_of(t)).copied().filter(|v| !v.is_nil())
+    }
+
+    /// All elements present in the current state.
+    pub fn current_elements(&self) -> impl Iterator<Item = (ElemName, PRef)> + '_ {
+        self.elements.iter().filter_map(|(n, h)| {
+            h.current().copied().filter(|v| !v.is_nil()).map(|v| (*n, v))
+        })
+    }
+
+    /// All elements present in the state at `t`.
+    pub fn elements_at(&self, t: TxnTime) -> impl Iterator<Item = (ElemName, PRef)> + '_ {
+        self.elements.iter().filter_map(move |(n, h)| {
+            h.as_of(t).copied().filter(|v| !v.is_nil()).map(|v| (*n, v))
+        })
+    }
+
+    /// Current byte body.
+    pub fn bytes_current(&self) -> Option<&[u8]> {
+        self.bytes.as_ref().and_then(|h| h.current()).map(|b| &**b)
+    }
+
+    /// Byte body at `t`.
+    pub fn bytes_at(&self, t: TxnTime) -> Option<&[u8]> {
+        self.bytes.as_ref().and_then(|h| h.as_of(t)).map(|b| &**b)
+    }
+
+    /// Apply a validated transaction's writes at commit time `time` — the
+    /// Linker's job ("incorporates updates made by a transaction in the
+    /// permanent database at commit time").
+    pub fn apply_delta(&mut self, delta: &ObjectDelta, time: TxnTime) {
+        debug_assert_eq!(delta.goop, self.goop);
+        self.alias_next = self.alias_next.max(delta.alias_next);
+        self.segment = delta.segment;
+        for (name, value) in &delta.elem_writes {
+            self.elements.entry(*name).or_default().write_committed(time, *value);
+        }
+        if let Some(b) = &delta.bytes_write {
+            self.bytes
+                .get_or_insert_with(History::new)
+                .write_committed(time, b.clone().into_boxed_slice());
+        }
+    }
+
+    /// Total committed associations across all elements (history growth,
+    /// bench C9).
+    pub fn association_count(&self) -> usize {
+        self.elements.values().map(|h| h.committed_len()).sum::<usize>()
+            + self.bytes.as_ref().map_or(0, |h| h.committed_len())
+    }
+}
+
+/// One object's writes from a committing transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectDelta {
+    pub goop: Goop,
+    pub class: ClassId,
+    pub segment: SegmentId,
+    pub alias_next: u64,
+    /// Element writes, nil meaning removal-with-history.
+    pub elem_writes: Vec<(ElemName, PRef)>,
+    /// Whole-value byte body write, if any.
+    pub bytes_write: Option<Vec<u8>>,
+    /// True if this commit creates the object.
+    pub is_new: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    fn sample() -> PersistentObject {
+        PersistentObject::new(Goop(1), ClassId(5), SegmentId(0))
+    }
+
+    #[test]
+    fn apply_delta_builds_history() {
+        let mut o = sample();
+        let name = ElemName::Int(1821);
+        o.apply_delta(
+            &ObjectDelta {
+                goop: Goop(1),
+                class: ClassId(5),
+                segment: SegmentId(0),
+                alias_next: 0,
+                elem_writes: vec![(name, PRef::int(10))],
+                bytes_write: None,
+                is_new: true,
+            },
+            t(2),
+        );
+        o.apply_delta(
+            &ObjectDelta {
+                goop: Goop(1),
+                class: ClassId(5),
+                segment: SegmentId(0),
+                alias_next: 0,
+                elem_writes: vec![(name, PRef::NIL)],
+                bytes_write: None,
+                is_new: false,
+            },
+            t(8),
+        );
+        assert_eq!(o.elem_current(name), None, "tombstoned");
+        assert_eq!(o.elem_at(name, t(7)), Some(PRef::int(10)));
+        assert_eq!(o.association_count(), 2);
+    }
+
+    #[test]
+    fn element_iterators_respect_time() {
+        let mut o = sample();
+        let a = ElemName::Alias(0);
+        let b = ElemName::Alias(1);
+        o.elements.insert(a, History::with_initial(t(1), PRef::int(1)));
+        o.elements.insert(b, History::with_initial(t(5), PRef::int(2)));
+        assert_eq!(o.current_elements().count(), 2);
+        assert_eq!(o.elements_at(t(3)).count(), 1);
+        assert_eq!(o.elements_at(t(0)).count(), 0);
+    }
+
+    #[test]
+    fn byte_history() {
+        let mut o = sample();
+        o.apply_delta(
+            &ObjectDelta {
+                goop: Goop(1),
+                class: ClassId(5),
+                segment: SegmentId(0),
+                alias_next: 0,
+                elem_writes: vec![],
+                bytes_write: Some(b"Seattle".to_vec()),
+                is_new: true,
+            },
+            t(3),
+        );
+        o.apply_delta(
+            &ObjectDelta {
+                goop: Goop(1),
+                class: ClassId(5),
+                segment: SegmentId(0),
+                alias_next: 0,
+                elem_writes: vec![],
+                bytes_write: Some(b"Portland".to_vec()),
+                is_new: false,
+            },
+            t(8),
+        );
+        assert_eq!(o.bytes_current(), Some(&b"Portland"[..]));
+        assert_eq!(o.bytes_at(t(5)), Some(&b"Seattle"[..]));
+        assert_eq!(o.bytes_at(t(2)), None);
+    }
+
+    #[test]
+    fn alias_counter_only_advances() {
+        let mut o = sample();
+        let d = |an| ObjectDelta {
+            goop: Goop(1),
+            class: ClassId(5),
+            segment: SegmentId(0),
+            alias_next: an,
+            elem_writes: vec![],
+            bytes_write: None,
+            is_new: false,
+        };
+        o.apply_delta(&d(5), t(1));
+        o.apply_delta(&d(3), t(2));
+        assert_eq!(o.alias_next, 5);
+    }
+}

@@ -1,0 +1,708 @@
+//! The permanent store: the disk side of the Object Manager.
+//!
+//! Plays the §6 roles end to end: the **Linker** ("incorporates updates made
+//! by a transaction in the permanent database at commit time"), the
+//! **Boxer**, the **GOOP table** ("The GOOP is resolved through a global
+//! object table"), and drives the **Commit Manager**. Committed objects are
+//! faulted in from tracks on demand and cached; the object cache can be
+//! bounded to force faulting for the LOOM comparison (C7).
+
+use crate::boxer;
+use crate::cache::{CacheStats, TrackCache};
+use crate::commit::{self, FIRST_DATA_TRACK};
+use crate::disk::{DiskArray, DiskStats, TrackId, TRACK_HEADER};
+use crate::format::{self, Catalog, GoopPage, Location, Root, GOOP_PAGE_SPAN};
+use crate::pobj::{ObjectDelta, PersistentObject};
+use gemstone_object::{GemError, GemResult, Goop};
+use gemstone_temporal::TxnTime;
+use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+
+/// Store construction parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct StoreConfig {
+    /// Track size in bytes (includes the [`TRACK_HEADER`]).
+    pub track_size: usize,
+    /// Track-cache capacity, in tracks.
+    pub cache_tracks: usize,
+    /// Number of disk replicas (§6 replication).
+    pub replicas: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> StoreConfig {
+        StoreConfig { track_size: 8192, cache_tracks: 256, replicas: 1 }
+    }
+}
+
+/// Store-level counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StoreStats {
+    /// Commits applied.
+    pub commits: u64,
+    /// Objects faulted in from tracks.
+    pub object_faults: u64,
+    /// Object images written.
+    pub objects_written: u64,
+}
+
+/// The permanent database.
+pub struct PermanentStore {
+    disk: DiskArray,
+    cache: TrackCache,
+    /// Committed objects currently in memory (clean copies of disk state).
+    objects: HashMap<Goop, PersistentObject>,
+    /// FIFO of residents, used when `object_cache_limit` is set.
+    resident_order: VecDeque<Goop>,
+    /// The GOOP table.
+    locations: HashMap<Goop, Location>,
+    /// Metadata blobs staged since the last commit (key → bytes).
+    staged_metas: BTreeMap<u8, Vec<u8>>,
+    catalog: Catalog,
+    root: Root,
+    next_goop: u64,
+    next_track: u32,
+    object_cache_limit: Option<usize>,
+    stats: StoreStats,
+}
+
+impl PermanentStore {
+    /// Format a fresh database volume.
+    pub fn create(cfg: StoreConfig) -> GemResult<PermanentStore> {
+        let mut disk = DiskArray::new(cfg.track_size, cfg.replicas.max(1));
+        // Write an initial empty commit so a valid root always exists.
+        let root = Root {
+            epoch: 1,
+            commit_time: TxnTime::EPOCH,
+            next_goop: 1,
+            next_track: FIRST_DATA_TRACK + 1,
+            catalog: Location {
+                extent_first: TrackId(FIRST_DATA_TRACK),
+                extent_len: 1,
+                offset: 0,
+                len: format::put_catalog(&Catalog::default()).len() as u32,
+            },
+        };
+        let cat_blob = format::put_catalog(&Catalog::default());
+        commit::safe_write_group(&mut disk, &[(TrackId(FIRST_DATA_TRACK), cat_blob)], &root)?;
+        Ok(PermanentStore {
+            disk,
+            cache: TrackCache::new(cfg.cache_tracks),
+            objects: HashMap::new(),
+            resident_order: VecDeque::new(),
+            locations: HashMap::new(),
+            staged_metas: BTreeMap::new(),
+            catalog: Catalog::default(),
+            root,
+            next_goop: 1,
+            next_track: FIRST_DATA_TRACK + 1,
+            object_cache_limit: None,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Open an existing volume: recovery. Reads the newest valid root,
+    /// loads the catalog and the GOOP table; objects fault in lazily.
+    pub fn open(mut disk: DiskArray, cache_tracks: usize) -> GemResult<PermanentStore> {
+        let root = commit::recover_root(&mut disk)?;
+        let mut cache = TrackCache::new(cache_tracks);
+        let payload = disk.track_size() - TRACK_HEADER;
+        let cat_bytes = read_blob(&mut disk, &mut cache, &root.catalog, payload)?;
+        let catalog = format::get_catalog(&cat_bytes)?;
+        let mut locations = HashMap::new();
+        for loc in catalog.goop_pages.values() {
+            let page_bytes = read_blob(&mut disk, &mut cache, loc, payload)?;
+            for (goop, l) in format::get_goop_page(&page_bytes)? {
+                locations.insert(Goop(goop), l);
+            }
+        }
+        Ok(PermanentStore {
+            disk,
+            cache,
+            objects: HashMap::new(),
+            resident_order: VecDeque::new(),
+            locations,
+            staged_metas: BTreeMap::new(),
+            catalog,
+            next_goop: root.next_goop,
+            next_track: root.next_track,
+            root,
+            object_cache_limit: None,
+            stats: StoreStats::default(),
+        })
+    }
+
+    /// Tear down to the raw disk (crash/recovery tests re-open it).
+    pub fn into_disk(self) -> DiskArray {
+        self.disk
+    }
+
+    /// Direct access to the disk (crash injection in tests/benches).
+    pub fn disk_mut(&mut self) -> &mut DiskArray {
+        &mut self.disk
+    }
+
+    /// Bound the in-memory object cache (evicting clean residents FIFO);
+    /// `None` = unbounded.
+    pub fn set_object_cache_limit(&mut self, limit: Option<usize>) {
+        self.object_cache_limit = limit;
+        self.enforce_cache_limit();
+    }
+
+    /// Allocate a fresh permanent identity.
+    pub fn alloc_goop(&mut self) -> Goop {
+        let g = Goop(self.next_goop);
+        self.next_goop += 1;
+        g
+    }
+
+    /// True if the identity exists in the committed database.
+    pub fn contains(&self, goop: Goop) -> bool {
+        self.locations.contains_key(&goop) || self.objects.contains_key(&goop)
+    }
+
+    /// Number of committed objects.
+    pub fn object_count(&self) -> usize {
+        self.locations.len()
+    }
+
+    /// Fetch a committed object, faulting it from tracks if necessary.
+    pub fn get(&mut self, goop: Goop) -> GemResult<&PersistentObject> {
+        if !self.objects.contains_key(&goop) {
+            let loc = *self
+                .locations
+                .get(&goop)
+                .ok_or_else(|| GemError::Corrupt(format!("unknown {goop:?}")))?;
+            let payload = self.disk.track_size() - TRACK_HEADER;
+            let bytes = read_blob(&mut self.disk, &mut self.cache, &loc, payload)?;
+            let obj = format::get_object(&bytes)?;
+            self.stats.object_faults += 1;
+            self.objects.insert(goop, obj);
+            self.resident_order.push_back(goop);
+            self.enforce_cache_limit_except(goop);
+        }
+        Ok(&self.objects[&goop])
+    }
+
+    /// Stage a metadata blob (symbol table, class table, globals…) to be
+    /// persisted with the next commit.
+    pub fn set_meta(&mut self, key: u8, bytes: Vec<u8>) {
+        self.staged_metas.insert(key, bytes);
+    }
+
+    /// Read a metadata blob (staged value wins over the committed one).
+    pub fn get_meta(&mut self, key: u8) -> GemResult<Option<Vec<u8>>> {
+        if let Some(b) = self.staged_metas.get(&key) {
+            return Ok(Some(b.clone()));
+        }
+        match self.catalog.metas.get(&key).copied() {
+            None => Ok(None),
+            Some(loc) => {
+                let payload = self.disk.track_size() - TRACK_HEADER;
+                Ok(Some(read_blob(&mut self.disk, &mut self.cache, &loc, payload)?))
+            }
+        }
+    }
+
+    /// Apply a validated transaction's writes at commit time `time`:
+    /// Linker → Boxer → Commit Manager. All-or-nothing: on any disk error
+    /// the in-memory state is rolled back and the old root still rules.
+    pub fn commit_batch(&mut self, time: TxnTime, deltas: &[ObjectDelta]) -> GemResult<()> {
+        // Snapshot for rollback.
+        let touched: Vec<Goop> = deltas.iter().map(|d| d.goop).collect();
+        let mut snapshot: HashMap<Goop, Option<PersistentObject>> = HashMap::new();
+        for d in deltas {
+            if !snapshot.contains_key(&d.goop) {
+                let prev = if self.contains(d.goop) && !d.is_new {
+                    Some(self.get(d.goop)?.clone())
+                } else {
+                    self.objects.get(&d.goop).cloned()
+                };
+                snapshot.insert(d.goop, prev);
+            }
+        }
+        let saved_locations: HashMap<Goop, Option<Location>> =
+            touched.iter().map(|g| (*g, self.locations.get(g).copied())).collect();
+
+        let result = self.commit_inner(time, deltas);
+        if result.is_err() {
+            for (g, prev) in snapshot {
+                match prev {
+                    Some(o) => {
+                        self.objects.insert(g, o);
+                    }
+                    None => {
+                        self.objects.remove(&g);
+                    }
+                }
+            }
+            for (g, prev) in saved_locations {
+                match prev {
+                    Some(l) => {
+                        self.locations.insert(g, l);
+                    }
+                    None => {
+                        self.locations.remove(&g);
+                    }
+                }
+            }
+        }
+        result
+    }
+
+    fn commit_inner(&mut self, time: TxnTime, deltas: &[ObjectDelta]) -> GemResult<()> {
+        let payload = self.disk.track_size() - TRACK_HEADER;
+
+        // 1. Linker: apply deltas to the permanent objects.
+        let mut touched: Vec<Goop> = Vec::with_capacity(deltas.len());
+        for d in deltas {
+            if d.is_new {
+                self.objects
+                    .entry(d.goop)
+                    .or_insert_with(|| PersistentObject::new(d.goop, d.class, d.segment));
+            } else if !self.objects.contains_key(&d.goop) {
+                self.get(d.goop)?; // fault in before updating
+            }
+            let obj = self
+                .objects
+                .get_mut(&d.goop)
+                .ok_or_else(|| GemError::Corrupt(format!("missing {:?}", d.goop)))?;
+            obj.apply_delta(d, time);
+            if !touched.contains(&d.goop) {
+                touched.push(d.goop);
+            }
+        }
+
+        // 2. Boxer: serialize touched objects into extent A.
+        let blobs: Vec<Vec<u8>> =
+            touched.iter().map(|g| format::put_object(&self.objects[g])).collect();
+        let (obj_locs, writes_a) = boxer::pack(&blobs, self.next_track, payload);
+        let track_after_a = self.next_track + writes_a.len() as u32;
+        for (g, loc) in touched.iter().zip(&obj_locs) {
+            self.locations.insert(*g, *loc);
+        }
+        self.stats.objects_written += touched.len() as u64;
+
+        // 3. Rewrite dirty GOOP-table pages into extent B (with staged
+        //    metadata blobs).
+        let dirty_pages: HashSet<u32> =
+            touched.iter().map(|g| (g.0 / GOOP_PAGE_SPAN) as u32).collect();
+        let mut page_blobs: Vec<(u32, Vec<u8>)> = Vec::new();
+        for page_no in dirty_pages {
+            let lo = page_no as u64 * GOOP_PAGE_SPAN;
+            let hi = lo + GOOP_PAGE_SPAN;
+            let page: GoopPage = self
+                .locations
+                .iter()
+                .filter(|(g, _)| (lo..hi).contains(&g.0))
+                .map(|(g, l)| (g.0, *l))
+                .collect();
+            page_blobs.push((page_no, format::put_goop_page(&page)));
+        }
+        let metas: Vec<(u8, Vec<u8>)> = std::mem::take(&mut self.staged_metas).into_iter().collect();
+        let b_blobs: Vec<Vec<u8>> = page_blobs
+            .iter()
+            .map(|(_, b)| b.clone())
+            .chain(metas.iter().map(|(_, b)| b.clone()))
+            .collect();
+        let (b_locs, writes_b) = boxer::pack(&b_blobs, track_after_a, payload);
+        let track_after_b = track_after_a + writes_b.len() as u32;
+        let mut new_catalog = self.catalog.clone();
+        for ((page_no, _), loc) in page_blobs.iter().zip(&b_locs) {
+            new_catalog.goop_pages.insert(*page_no, *loc);
+        }
+        for ((key, _), loc) in metas.iter().zip(&b_locs[page_blobs.len()..]) {
+            new_catalog.metas.insert(*key, *loc);
+        }
+
+        // 4. Catalog into extent C.
+        let cat_blob = format::put_catalog(&new_catalog);
+        let (cat_locs, writes_c) = boxer::pack(&[cat_blob], track_after_b, payload);
+        let track_after_c = track_after_b + writes_c.len() as u32;
+
+        // 5. Commit Manager: safe-write the whole group, then flip the root.
+        let new_root = Root {
+            epoch: self.root.epoch + 1,
+            commit_time: time,
+            next_goop: self.next_goop,
+            next_track: track_after_c,
+            catalog: cat_locs[0],
+        };
+        let mut group = writes_a;
+        group.extend(writes_b);
+        group.extend(writes_c);
+        commit::safe_write_group(&mut self.disk, &group, &new_root)?;
+
+        // 6. Success: adopt the new state.
+        self.root = new_root;
+        self.catalog = new_catalog;
+        self.next_track = track_after_c;
+        self.stats.commits += 1;
+        self.enforce_cache_limit();
+        Ok(())
+    }
+
+    /// The database-administrator archive operation (§6: "A database
+    /// administrator can explicitly move objects to other media … some
+    /// objects in it may become temporarily or permanently inaccessible").
+    /// Prunes committed associations strictly older than the state in force
+    /// at `keep_from` across every object, returns the number of archived
+    /// associations, and checkpoints the pruned image as one commit group at
+    /// `time`. States at or after `keep_from` remain fully queryable.
+    pub fn archive_history_before(
+        &mut self,
+        keep_from: TxnTime,
+        time: TxnTime,
+    ) -> GemResult<usize> {
+        let goops = self.all_goops();
+        let mut archived = 0usize;
+        let mut touched = Vec::new();
+        for g in goops {
+            self.get(g)?; // fault in
+            let obj = self.objects.get_mut(&g).expect("just faulted");
+            let mut pruned = 0;
+            let names: Vec<_> = obj.elements.keys().copied().collect();
+            for n in names {
+                pruned += obj.elements.get_mut(&n).unwrap().prune_before(keep_from).len();
+            }
+            if let Some(bh) = &mut obj.bytes {
+                pruned += bh.prune_before(keep_from).len();
+            }
+            if pruned > 0 {
+                archived += pruned;
+                touched.push(g);
+            }
+        }
+        if archived == 0 {
+            return Ok(0);
+        }
+        // Checkpoint: rewrite the pruned objects with empty deltas so their
+        // shrunken images land on fresh tracks under a new root.
+        let deltas: Vec<ObjectDelta> = touched
+            .iter()
+            .map(|g| {
+                let obj = &self.objects[g];
+                ObjectDelta {
+                    goop: *g,
+                    class: obj.class,
+                    segment: obj.segment,
+                    alias_next: obj.alias_next,
+                    elem_writes: vec![],
+                    bytes_write: None,
+                    is_new: false,
+                }
+            })
+            .collect();
+        self.commit_batch(time, &deltas)?;
+        Ok(archived)
+    }
+
+    /// Last committed root (epoch, time).
+    pub fn root(&self) -> Root {
+        self.root
+    }
+
+    /// Store counters.
+    pub fn stats(&self) -> StoreStats {
+        self.stats
+    }
+
+    /// Disk counters.
+    pub fn disk_stats(&self) -> DiskStats {
+        self.disk.stats()
+    }
+
+    /// Track-cache counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Reset all counters (benchmark hygiene).
+    pub fn reset_stats(&mut self) {
+        self.stats = StoreStats::default();
+        self.disk.reset_stats();
+        self.cache.reset_stats();
+    }
+
+    /// Iterate every committed identity (directory rebuild at recovery).
+    pub fn all_goops(&self) -> Vec<Goop> {
+        let mut v: Vec<Goop> = self.locations.keys().copied().collect();
+        v.sort();
+        v
+    }
+
+    fn enforce_cache_limit(&mut self) {
+        self.enforce_cache_limit_except(Goop(u64::MAX));
+    }
+
+    fn enforce_cache_limit_except(&mut self, keep: Goop) {
+        let Some(limit) = self.object_cache_limit else { return };
+        while self.objects.len() > limit {
+            // FIFO victim search, skipping `keep` and stale entries (an
+            // entry goes stale when its object was already evicted or the
+            // goop was re-queued by a later fault).
+            let mut victim = None;
+            let mut kept_back = false;
+            while let Some(candidate) = self.resident_order.pop_front() {
+                if candidate == keep {
+                    kept_back = true; // re-queue once, below
+                    continue;
+                }
+                if self.objects.contains_key(&candidate) {
+                    victim = Some(candidate);
+                    break;
+                }
+            }
+            if kept_back {
+                self.resident_order.push_back(keep);
+            }
+            // Residents not tracked in order (e.g. installed by a commit):
+            // evict arbitrarily.
+            let victim =
+                victim.or_else(|| self.objects.keys().find(|g| **g != keep).copied());
+            match victim {
+                Some(v) => {
+                    self.objects.remove(&v);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// Read a blob at `loc` through the track cache.
+fn read_blob(
+    disk: &mut DiskArray,
+    cache: &mut TrackCache,
+    loc: &Location,
+    track_payload: usize,
+) -> GemResult<Vec<u8>> {
+    let mut out = Vec::with_capacity(loc.len as usize);
+    for (track, skip, take) in boxer::covering_tracks(loc, track_payload) {
+        if let Some(data) = cache.get(track) {
+            out.extend_from_slice(&data[skip..skip + take]);
+            continue;
+        }
+        let data = commit::read_checked(disk, track)?;
+        out.extend_from_slice(&data[skip..skip + take]);
+        cache.put(track, data);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_object::{ClassId, ElemName, PRef, SegmentId, SymbolId};
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    fn delta(goop: Goop, writes: Vec<(ElemName, PRef)>, is_new: bool) -> ObjectDelta {
+        ObjectDelta {
+            goop,
+            class: ClassId(3),
+            segment: SegmentId(0),
+            alias_next: 0,
+            elem_writes: writes,
+            bytes_write: None,
+            is_new,
+        }
+    }
+
+    fn small_cfg() -> StoreConfig {
+        StoreConfig { track_size: 256, cache_tracks: 16, replicas: 1 }
+    }
+
+    #[test]
+    fn create_commit_get() {
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let g = store.alloc_goop();
+        store
+            .commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(42))], true)])
+            .unwrap();
+        let obj = store.get(g).unwrap();
+        assert_eq!(obj.elem_current(ElemName::Int(1)), Some(PRef::int(42)));
+        assert_eq!(store.object_count(), 1);
+    }
+
+    #[test]
+    fn reopen_recovers_everything() {
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let g1 = store.alloc_goop();
+        let g2 = store.alloc_goop();
+        store
+            .commit_batch(
+                t(1),
+                &[
+                    delta(g1, vec![(ElemName::Int(1), PRef::int(10))], true),
+                    delta(g2, vec![(ElemName::Int(1), PRef::goop(g1))], true),
+                ],
+            )
+            .unwrap();
+        store.commit_batch(t(2), &[delta(g1, vec![(ElemName::Int(1), PRef::int(20))], false)]).unwrap();
+        store.set_meta(7, b"symbols!".to_vec());
+        store.commit_batch(t(3), &[]).unwrap();
+
+        let disk = store.into_disk();
+        let mut store2 = PermanentStore::open(disk, 16).unwrap();
+        assert_eq!(store2.object_count(), 2);
+        let o1 = store2.get(g1).unwrap();
+        assert_eq!(o1.elem_current(ElemName::Int(1)), Some(PRef::int(20)));
+        assert_eq!(o1.elem_at(ElemName::Int(1), t(1)), Some(PRef::int(10)), "history survives");
+        assert_eq!(store2.get(g2).unwrap().elem_current(ElemName::Int(1)), Some(PRef::goop(g1)));
+        assert_eq!(store2.get_meta(7).unwrap().unwrap(), b"symbols!");
+        assert_eq!(store2.root().commit_time, t(3));
+        // Goop allocation resumes without collision.
+        let g3 = store2.alloc_goop();
+        assert!(g3 > g2);
+    }
+
+    #[test]
+    fn crash_mid_commit_preserves_previous_state() {
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let g = store.alloc_goop();
+        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)]).unwrap();
+        // Crash after two writes of the second commit's group.
+        store.disk_mut().replica_mut(0).fail_after_writes(2);
+        let err =
+            store.commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(2))], false)]);
+        assert!(err.is_err());
+        let mut disk = store.into_disk();
+        disk.replica_mut(0).revive();
+        let mut store2 = PermanentStore::open(disk, 16).unwrap();
+        assert_eq!(
+            store2.get(g).unwrap().elem_current(ElemName::Int(1)),
+            Some(PRef::int(1)),
+            "aborted commit invisible"
+        );
+        assert_eq!(store2.root().commit_time, t(1));
+    }
+
+    #[test]
+    fn failed_commit_rolls_back_memory_state() {
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let g = store.alloc_goop();
+        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)]).unwrap();
+        store.disk_mut().replica_mut(0).fail_after_writes(0);
+        assert!(store
+            .commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(2))], false)])
+            .is_err());
+        store.disk_mut().replica_mut(0).revive();
+        assert_eq!(
+            store.get(g).unwrap().elem_current(ElemName::Int(1)),
+            Some(PRef::int(1)),
+            "in-memory object rolled back"
+        );
+        // And the store remains usable:
+        store.commit_batch(t(3), &[delta(g, vec![(ElemName::Int(1), PRef::int(3))], false)]).unwrap();
+        assert_eq!(store.get(g).unwrap().elem_current(ElemName::Int(1)), Some(PRef::int(3)));
+    }
+
+    #[test]
+    fn object_cache_limit_forces_faults() {
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let goops: Vec<Goop> = (0..8).map(|_| store.alloc_goop()).collect();
+        let deltas: Vec<ObjectDelta> = goops
+            .iter()
+            .map(|g| delta(*g, vec![(ElemName::Int(1), PRef::int(g.0 as i64))], true))
+            .collect();
+        store.commit_batch(t(1), &deltas).unwrap();
+        store.set_object_cache_limit(Some(2));
+        store.reset_stats();
+        for g in &goops {
+            let o = store.get(*g).unwrap();
+            assert_eq!(o.elem_current(ElemName::Int(1)), Some(PRef::int(g.0 as i64)));
+        }
+        assert!(store.stats().object_faults >= 6, "bounded cache must fault");
+        store.set_object_cache_limit(None);
+    }
+
+    #[test]
+    fn large_object_spans_many_tracks() {
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let g = store.alloc_goop();
+        let big = vec![0xEEu8; 10_000]; // 40 × 244-byte track payloads
+        store
+            .commit_batch(
+                t(1),
+                &[ObjectDelta {
+                    goop: g,
+                    class: ClassId(11),
+                    segment: SegmentId(0),
+                    alias_next: 0,
+                    elem_writes: vec![],
+                    bytes_write: Some(big.clone()),
+                    is_new: true,
+                }],
+            )
+            .unwrap();
+        let disk = store.into_disk();
+        let mut store2 = PermanentStore::open(disk, 64).unwrap();
+        assert_eq!(store2.get(g).unwrap().bytes_current().unwrap(), &big[..]);
+    }
+
+    #[test]
+    fn old_states_remain_on_disk() {
+        // Shadow writing never overwrites: total tracks only grow, and a
+        // re-opened store sees all history.
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let g = store.alloc_goop();
+        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)]).unwrap();
+        let used_before = store.disk_mut().replica_mut(0).tracks_in_use();
+        store.commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(2))], false)]).unwrap();
+        let used_after = store.disk_mut().replica_mut(0).tracks_in_use();
+        assert!(used_after > used_before, "shadow tracks accumulate");
+        let obj = store.get(g).unwrap();
+        assert_eq!(obj.elem_at(ElemName::Int(1), t(1)), Some(PRef::int(1)));
+    }
+
+    #[test]
+    fn many_objects_across_pages() {
+        // Exercise multiple GOOP-table pages (span = 512).
+        let mut store = PermanentStore::create(StoreConfig {
+            track_size: 4096,
+            cache_tracks: 64,
+            replicas: 1,
+        })
+        .unwrap();
+        let goops: Vec<Goop> = (0..1200).map(|_| store.alloc_goop()).collect();
+        for chunk in goops.chunks(300) {
+            let time = store.root().commit_time.ticks() + 1;
+            let deltas: Vec<ObjectDelta> = chunk
+                .iter()
+                .map(|g| delta(*g, vec![(ElemName::Int(0), PRef::int(g.0 as i64 * 3))], true))
+                .collect();
+            store.commit_batch(t(time), &deltas).unwrap();
+        }
+        let disk = store.into_disk();
+        let mut store2 = PermanentStore::open(disk, 64).unwrap();
+        assert_eq!(store2.object_count(), 1200);
+        for g in [goops[0], goops[599], goops[1199]] {
+            assert_eq!(
+                store2.get(g).unwrap().elem_current(ElemName::Int(0)),
+                Some(PRef::int(g.0 as i64 * 3))
+            );
+        }
+    }
+
+    #[test]
+    fn replicated_store_survives_primary_loss() {
+        let mut store = PermanentStore::create(StoreConfig {
+            track_size: 256,
+            cache_tracks: 0, // no cache: force disk reads
+            replicas: 2,
+        })
+        .unwrap();
+        let g = store.alloc_goop();
+        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(7))], true)]).unwrap();
+        // Kill the primary replica.
+        store.disk_mut().replica_mut(0).fail_after_writes(0);
+        let _ = store.disk_mut().replica_mut(0).write_track(TrackId(99), b"x");
+        assert_eq!(store.disk_mut().live_replicas(), 1);
+        // Evict from memory, force re-fault from the mirror.
+        store.set_object_cache_limit(Some(0));
+        store.set_object_cache_limit(None);
+        assert_eq!(store.get(g).unwrap().elem_current(ElemName::Int(1)), Some(PRef::int(7)));
+    }
+}

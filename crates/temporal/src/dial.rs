@@ -1,0 +1,98 @@
+//! The OPAL time dial (§5.4).
+//!
+//! "In OPAL, we have eschewed the !-notation for navigating through object
+//! histories in favor of a time dial. … Setting the time dial to time T is
+//! the same as appending @T to each component in a path expression. A useful
+//! feature of the time dial is the system variable SafeTime."
+
+use crate::time::TxnTime;
+
+/// A session's time dial. When set, every fetch the Object Manager performs
+/// on behalf of the session is conducted in the database state at the dialed
+/// time; when unset, fetches see the current state (plus the session's own
+/// uncommitted writes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TimeDial {
+    setting: Option<TxnTime>,
+}
+
+impl TimeDial {
+    /// A dial reading the present.
+    pub const fn now() -> TimeDial {
+        TimeDial { setting: None }
+    }
+
+    /// A dial fixed at `t`.
+    pub const fn at(t: TxnTime) -> TimeDial {
+        TimeDial { setting: Some(t) }
+    }
+
+    /// Set the dial to `t`. Pending is not a database state.
+    pub fn set(&mut self, t: TxnTime) {
+        assert!(!t.is_pending());
+        self.setting = Some(t);
+    }
+
+    /// Return the dial to the present.
+    pub fn reset(&mut self) {
+        self.setting = None;
+    }
+
+    /// The dialed time, or `None` when reading the present.
+    pub fn setting(&self) -> Option<TxnTime> {
+        self.setting
+    }
+
+    /// True when the dial is set to a past state. A session whose dial is in
+    /// the past is read-only: past states are immutable.
+    pub fn in_past(&self) -> bool {
+        self.setting.is_some()
+    }
+
+    /// Resolve an explicit `@T` against this dial: an explicit time on a path
+    /// component overrides the dial for that component (§5.3.2 examples mix
+    /// both).
+    pub fn resolve(&self, explicit: Option<TxnTime>) -> Option<TxnTime> {
+        explicit.or(self.setting)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    #[test]
+    fn defaults_to_now() {
+        let d = TimeDial::default();
+        assert!(!d.in_past());
+        assert_eq!(d.resolve(None), None);
+    }
+
+    #[test]
+    fn set_and_reset() {
+        let mut d = TimeDial::now();
+        d.set(t(7));
+        assert!(d.in_past());
+        assert_eq!(d.setting(), Some(t(7)));
+        d.reset();
+        assert!(!d.in_past());
+    }
+
+    #[test]
+    fn explicit_time_overrides_dial() {
+        let d = TimeDial::at(t(7));
+        assert_eq!(d.resolve(Some(t(10))), Some(t(10)));
+        assert_eq!(d.resolve(None), Some(t(7)));
+    }
+
+    #[test]
+    #[should_panic]
+    fn cannot_dial_pending() {
+        let mut d = TimeDial::now();
+        d.set(TxnTime::PENDING);
+    }
+}

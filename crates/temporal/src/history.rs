@@ -1,0 +1,332 @@
+//! The per-element association table.
+//!
+//! §6 of the paper: "An element is represented as an element name and a table
+//! of associations. The associations are pairs of transaction times and
+//! object pointers, each representing that the element acquired the object as
+//! its value at the time given by the transaction time. The mapping from
+//! arbitrary times to value for an element can easily be realized from this
+//! table."
+
+use crate::time::TxnTime;
+
+/// One association: the element acquired `value` at `time`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistoryEntry<V> {
+    pub time: TxnTime,
+    pub value: V,
+}
+
+/// Threshold beyond which as-of lookups use binary search instead of a
+/// backwards linear scan. §6 notes that "a directory may be interposed
+/// between the object header and the participating elements … useful when an
+/// object has a long history"; the sorted association table *is* that
+/// directory, and short histories avoid its overhead. Benchmark C3 shows the
+/// knee.
+const BSEARCH_THRESHOLD: usize = 8;
+
+/// The history of a single element: an association table ordered by
+/// transaction time, with at most one trailing *pending* (uncommitted) entry.
+///
+/// Invariants:
+/// * committed entries are strictly increasing in time;
+/// * at most one entry has `TxnTime::PENDING`, and it is last;
+/// * a history is never empty once written to.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct History<V> {
+    entries: Vec<HistoryEntry<V>>,
+}
+
+impl<V> History<V> {
+    /// An empty history (an element that has never existed).
+    pub const fn new() -> History<V> {
+        History { entries: Vec::new() }
+    }
+
+    /// A history born with one committed value at `time`.
+    pub fn with_initial(time: TxnTime, value: V) -> History<V> {
+        assert!(!time.is_pending());
+        History { entries: vec![HistoryEntry { time, value }] }
+    }
+
+    /// Record an uncommitted write. If an uncommitted write is already
+    /// pending, it is *replaced*: within one transaction only the final value
+    /// is recorded, because transaction time stamps the commit, not each
+    /// store (§5.3.1).
+    pub fn write_pending(&mut self, value: V) {
+        match self.entries.last_mut() {
+            Some(last) if last.time.is_pending() => last.value = value,
+            _ => self.entries.push(HistoryEntry { time: TxnTime::PENDING, value }),
+        }
+    }
+
+    /// Install a committed value directly at `time` (used by the Linker when
+    /// applying a validated transaction's write set, and by bootstrap).
+    ///
+    /// Panics if `time` does not advance the history or a pending entry is in
+    /// the way — the Transaction Manager's validation must prevent both.
+    pub fn write_committed(&mut self, time: TxnTime, value: V) {
+        assert!(!time.is_pending());
+        if let Some(last) = self.entries.last() {
+            assert!(!last.time.is_pending(), "commit over a pending entry");
+            assert!(
+                last.time <= time,
+                "history must advance: last {:?}, new {:?}",
+                last.time,
+                time
+            );
+            // Two writers in the same transaction group: last write wins.
+            if last.time == time {
+                self.entries.last_mut().unwrap().value = value;
+                return;
+            }
+        }
+        self.entries.push(HistoryEntry { time, value });
+    }
+
+    /// Stamp the pending entry (if any) with the commit time `time`.
+    pub fn commit_pending(&mut self, time: TxnTime) {
+        assert!(!time.is_pending());
+        if let Some(last) = self.entries.last_mut() {
+            if last.time.is_pending() {
+                debug_assert!(
+                    self.entries.len() < 2 || self.entries[self.entries.len() - 2].time < time
+                );
+                self.entries.last_mut().unwrap().time = time;
+            }
+        }
+    }
+
+    /// Discard the pending entry, if any (transaction abort).
+    pub fn rollback_pending(&mut self) {
+        if self.entries.last().is_some_and(|e| e.time.is_pending()) {
+            self.entries.pop();
+        }
+    }
+
+    /// The current value: the pending value if one exists, else the most
+    /// recently committed value.
+    pub fn current(&self) -> Option<&V> {
+        self.entries.last().map(|e| &e.value)
+    }
+
+    /// Mutable access to the current value. This does **not** advance
+    /// history: it is for values that are themselves containers with their
+    /// own histories ("Objects themselves do not have time. Only their
+    /// relationships with their elements are indexed by time", §5.3.2).
+    pub fn current_mut(&mut self) -> Option<&mut V> {
+        self.entries.last_mut().map(|e| &mut e.value)
+    }
+
+    /// The most recently committed value, ignoring any pending write.
+    pub fn committed_current(&self) -> Option<&V> {
+        let mut it = self.entries.iter().rev();
+        match it.next() {
+            Some(e) if e.time.is_pending() => it.next().map(|e| &e.value),
+            Some(e) => Some(&e.value),
+            None => None,
+        }
+    }
+
+    /// The value the element had in the database state at time `t`: the value
+    /// of the association with the greatest time `<= t`. Pending entries are
+    /// invisible to as-of reads. `None` means the element did not yet exist.
+    ///
+    /// This is `E!Salary@T` from §5.3.2.
+    pub fn as_of(&self, t: TxnTime) -> Option<&V> {
+        let committed = match self.entries.last() {
+            Some(e) if e.time.is_pending() => &self.entries[..self.entries.len() - 1],
+            _ => &self.entries[..],
+        };
+        if committed.len() <= BSEARCH_THRESHOLD {
+            return committed.iter().rev().find(|e| e.time <= t).map(|e| &e.value);
+        }
+        // partition_point: first index with time > t; the entry before it is
+        // the association in force at t.
+        let idx = committed.partition_point(|e| e.time <= t);
+        if idx == 0 {
+            None
+        } else {
+            Some(&committed[idx - 1].value)
+        }
+    }
+
+    /// The time the current committed association began, if any.
+    pub fn committed_since(&self) -> Option<TxnTime> {
+        self.entries.iter().rev().find(|e| !e.time.is_pending()).map(|e| e.time)
+    }
+
+    /// True if an uncommitted write is pending.
+    pub fn is_dirty(&self) -> bool {
+        self.entries.last().is_some_and(|e| e.time.is_pending())
+    }
+
+    /// Number of committed associations.
+    pub fn committed_len(&self) -> usize {
+        let n = self.entries.len();
+        if self.is_dirty() {
+            n - 1
+        } else {
+            n
+        }
+    }
+
+    /// True if the history holds no associations at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All associations, oldest first (pending last if present).
+    pub fn entries(&self) -> &[HistoryEntry<V>] {
+        &self.entries
+    }
+
+    /// Drop committed associations strictly older than the one in force at
+    /// `keep_from`. This is the database-administrator operation of §6:
+    /// "A database administrator can explicitly move objects to other media
+    /// … some objects in it may become temporarily or permanently
+    /// inaccessible." Returns the pruned associations, oldest first, so the
+    /// caller can archive them.
+    pub fn prune_before(&mut self, keep_from: TxnTime) -> Vec<HistoryEntry<V>> {
+        // Find the entry in force at keep_from; everything before it goes.
+        let committed_len = self.committed_len();
+        let idx = self.entries[..committed_len].partition_point(|e| e.time <= keep_from);
+        let cut = idx.saturating_sub(1);
+        self.entries.drain(..cut).collect()
+    }
+}
+
+impl<V> FromIterator<(TxnTime, V)> for History<V> {
+    /// Build a history from committed `(time, value)` pairs, oldest first.
+    fn from_iter<I: IntoIterator<Item = (TxnTime, V)>>(iter: I) -> Self {
+        let mut h = History::new();
+        for (t, v) in iter {
+            h.write_committed(t, v);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(n: u64) -> TxnTime {
+        TxnTime::from_ticks(n)
+    }
+
+    #[test]
+    fn empty_history() {
+        let h: History<u32> = History::new();
+        assert!(h.is_empty());
+        assert_eq!(h.current(), None);
+        assert_eq!(h.as_of(t(100)), None);
+        assert_eq!(h.committed_len(), 0);
+    }
+
+    #[test]
+    fn pending_write_then_commit() {
+        let mut h = History::new();
+        h.write_pending(10);
+        assert!(h.is_dirty());
+        assert_eq!(h.current(), Some(&10));
+        assert_eq!(h.committed_current(), None);
+        assert_eq!(h.as_of(t(99)), None, "pending invisible to as-of");
+        h.commit_pending(t(5));
+        assert!(!h.is_dirty());
+        assert_eq!(h.as_of(t(5)), Some(&10));
+        assert_eq!(h.as_of(t(4)), None);
+    }
+
+    #[test]
+    fn two_writes_in_one_txn_collapse() {
+        let mut h = History::new();
+        h.write_pending(1);
+        h.write_pending(2);
+        h.commit_pending(t(3));
+        assert_eq!(h.committed_len(), 1);
+        assert_eq!(h.current(), Some(&2));
+    }
+
+    #[test]
+    fn rollback_discards_pending_only() {
+        let mut h = History::with_initial(t(1), 7);
+        h.write_pending(8);
+        h.rollback_pending();
+        assert_eq!(h.current(), Some(&7));
+        assert_eq!(h.committed_len(), 1);
+        // rollback on a clean history is a no-op
+        h.rollback_pending();
+        assert_eq!(h.committed_len(), 1);
+    }
+
+    #[test]
+    fn figure1_president_history() {
+        // Figure 1: president is 'Ayn Rand' from t5, 'Milton Friedman' from t8.
+        let mut h = History::new();
+        h.write_committed(t(5), "Ayn Rand");
+        h.write_committed(t(8), "Milton Friedman");
+        assert_eq!(h.as_of(t(10)), Some(&"Milton Friedman"));
+        assert_eq!(h.as_of(t(7)), Some(&"Ayn Rand"));
+        assert_eq!(h.as_of(t(5)), Some(&"Ayn Rand"));
+        assert_eq!(h.as_of(t(4)), None, "no president before t5");
+        assert_eq!(h.current(), Some(&"Milton Friedman"));
+        assert_eq!(h.committed_since(), Some(t(8)));
+    }
+
+    #[test]
+    fn same_time_group_commit_last_write_wins() {
+        let mut h = History::new();
+        h.write_committed(t(3), 1);
+        h.write_committed(t(3), 2);
+        assert_eq!(h.committed_len(), 1);
+        assert_eq!(h.current(), Some(&2));
+    }
+
+    #[test]
+    #[should_panic(expected = "history must advance")]
+    fn committed_writes_must_advance() {
+        let mut h = History::new();
+        h.write_committed(t(5), 1);
+        h.write_committed(t(4), 2);
+    }
+
+    #[test]
+    fn long_history_binary_search() {
+        let mut h = History::new();
+        for i in 1..=1000u64 {
+            h.write_committed(t(i * 2), i);
+        }
+        assert_eq!(h.as_of(t(1)), None);
+        assert_eq!(h.as_of(t(2)), Some(&1));
+        assert_eq!(h.as_of(t(3)), Some(&1));
+        assert_eq!(h.as_of(t(2000)), Some(&1000));
+        assert_eq!(h.as_of(t(1999)), Some(&999));
+        assert_eq!(h.as_of(t(777)), Some(&388)); // 777/2 = 388.5 -> time 776
+    }
+
+    #[test]
+    fn as_of_sees_through_pending() {
+        let mut h = History::with_initial(t(1), 10);
+        h.write_pending(99);
+        assert_eq!(h.as_of(t(1)), Some(&10));
+        assert_eq!(h.committed_current(), Some(&10));
+        assert_eq!(h.current(), Some(&99));
+    }
+
+    #[test]
+    fn prune_keeps_state_at_cut() {
+        let mut h: History<u64> = (1..=10u64).map(|i| (t(i * 10), i)).collect();
+        let archived = h.prune_before(t(55)); // in force at 55: entry at t50
+        assert_eq!(archived.len(), 4); // t10..t40 archived
+        assert_eq!(h.as_of(t(55)), Some(&5));
+        assert_eq!(h.as_of(t(100)), Some(&10));
+        assert_eq!(h.as_of(t(15)), None, "archived past no longer visible");
+    }
+
+    #[test]
+    fn from_iter_builds_committed() {
+        let h: History<&str> = vec![(t(2), "a"), (t(8), "b")].into_iter().collect();
+        assert_eq!(h.committed_len(), 2);
+        assert_eq!(h.as_of(t(5)), Some(&"a"));
+    }
+}

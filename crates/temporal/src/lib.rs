@@ -1,0 +1,25 @@
+//! Transaction-time support for the GemStone data model (§5.3 of Copeland &
+//! Maier, SIGMOD 1984).
+//!
+//! The paper replaces deletion with *object history*: every element of an
+//! object maps its element name to a **table of associations** — pairs of
+//! transaction times and values — rather than to a single value. This crate
+//! provides the building blocks for that temporal extension:
+//!
+//! * [`TxnTime`] — a system-generated transaction timestamp. The paper argues
+//!   (§5.3.1) for transaction time over event time because its semantics are
+//!   application independent and it cannot be forged by users.
+//! * [`Clock`] — the monotonic source of transaction times.
+//! * [`History`] — the per-element association table, supporting writes that
+//!   are *pending* until a transaction commits, current reads, and as-of
+//!   reads (`E!Salary@T` in the paper's path syntax).
+//! * [`TimeDial`] — the OPAL "time dial": setting it to `T` is the same as
+//!   appending `@T` to each component of a path expression (§5.4).
+
+mod dial;
+mod history;
+mod time;
+
+pub use dial::TimeDial;
+pub use history::{History, HistoryEntry};
+pub use time::{Clock, TxnTime};

@@ -1,0 +1,167 @@
+//! Transaction timestamps and the clock that issues them.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A transaction time: the moment an update was recorded in the database.
+///
+/// Transaction times are totally ordered and issued by the system at commit
+/// (§5.3.1: "transaction time is system-generated, and cannot be modified by
+/// users, [so] it provides high integrity"). The value `u64::MAX` is reserved
+/// internally for the *pending* sentinel used by uncommitted writes inside a
+/// session workspace.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TxnTime(u64);
+
+impl TxnTime {
+    /// The time before any transaction has committed. The bootstrap image is
+    /// stamped with this time.
+    pub const EPOCH: TxnTime = TxnTime(0);
+
+    /// Sentinel stamped on writes whose transaction has not yet committed.
+    /// Greater than every real time, so a pending entry always sorts last in
+    /// a history.
+    pub const PENDING: TxnTime = TxnTime(u64::MAX);
+
+    /// Construct a transaction time from its raw tick count.
+    pub const fn from_ticks(t: u64) -> TxnTime {
+        TxnTime(t)
+    }
+
+    /// The raw tick count.
+    pub const fn ticks(self) -> u64 {
+        self.0
+    }
+
+    /// True for the `PENDING` sentinel.
+    pub const fn is_pending(self) -> bool {
+        self.0 == u64::MAX
+    }
+
+    /// The latest time strictly before this one. Saturates at `EPOCH`.
+    pub const fn pred(self) -> TxnTime {
+        TxnTime(self.0.saturating_sub(1))
+    }
+
+    /// The earliest time strictly after this one. Panics on `PENDING`.
+    pub fn succ(self) -> TxnTime {
+        assert!(!self.is_pending(), "PENDING has no successor");
+        TxnTime(self.0 + 1)
+    }
+}
+
+impl fmt::Debug for TxnTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_pending() {
+            write!(f, "t<pending>")
+        } else {
+            write!(f, "t{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for TxnTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// The monotonic transaction clock.
+///
+/// One clock is shared by the whole system (it lives in the Transaction
+/// Manager, which §6 says "is shared by all invocations of the Object
+/// Manager"). Ticks are dense integers rather than wall-clock readings; the
+/// paper's Figure 1 uses exactly such small dense times (2, 5, 8, 10, 12).
+#[derive(Debug)]
+pub struct Clock {
+    next: AtomicU64,
+}
+
+impl Clock {
+    /// A clock whose first issued time is `t1`.
+    pub fn new() -> Clock {
+        Clock { next: AtomicU64::new(1) }
+    }
+
+    /// A clock whose first issued time follows `last` (used at recovery).
+    pub fn resume_after(last: TxnTime) -> Clock {
+        assert!(!last.is_pending());
+        Clock { next: AtomicU64::new(last.ticks() + 1) }
+    }
+
+    /// Issue the next transaction time.
+    pub fn tick(&self) -> TxnTime {
+        let t = self.next.fetch_add(1, Ordering::SeqCst);
+        assert!(t != u64::MAX, "transaction clock exhausted");
+        TxnTime(t)
+    }
+
+    /// The most recently issued time, or `EPOCH` if none has been issued.
+    pub fn last_issued(&self) -> TxnTime {
+        TxnTime(self.next.load(Ordering::SeqCst) - 1)
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_sentinel() {
+        assert!(TxnTime::EPOCH < TxnTime::from_ticks(1));
+        assert!(TxnTime::from_ticks(7) < TxnTime::from_ticks(8));
+        assert!(TxnTime::from_ticks(u64::MAX - 1) < TxnTime::PENDING);
+        assert!(TxnTime::PENDING.is_pending());
+        assert!(!TxnTime::EPOCH.is_pending());
+    }
+
+    #[test]
+    fn pred_and_succ() {
+        assert_eq!(TxnTime::from_ticks(8).pred(), TxnTime::from_ticks(7));
+        assert_eq!(TxnTime::EPOCH.pred(), TxnTime::EPOCH);
+        assert_eq!(TxnTime::from_ticks(8).succ(), TxnTime::from_ticks(9));
+    }
+
+    #[test]
+    #[should_panic(expected = "no successor")]
+    fn pending_has_no_successor() {
+        let _ = TxnTime::PENDING.succ();
+    }
+
+    #[test]
+    fn clock_is_monotonic() {
+        let c = Clock::new();
+        let a = c.tick();
+        let b = c.tick();
+        assert!(a < b);
+        assert_eq!(c.last_issued(), b);
+    }
+
+    #[test]
+    fn clock_resumes_after_recovery() {
+        let c = Clock::resume_after(TxnTime::from_ticks(41));
+        assert_eq!(c.tick(), TxnTime::from_ticks(42));
+    }
+
+    #[test]
+    fn clock_is_threadsafe() {
+        let c = std::sync::Arc::new(Clock::new());
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                (0..1000).map(|_| c.tick().ticks()).collect::<Vec<_>>()
+            }));
+        }
+        let mut all: Vec<u64> = handles.into_iter().flat_map(|h| h.join().unwrap()).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 8000, "ticks must be unique across threads");
+    }
+}

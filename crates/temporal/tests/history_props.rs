@@ -1,0 +1,87 @@
+//! Property tests for the association-table invariants of §6.
+
+use gemstone_temporal::{History, TxnTime};
+use proptest::prelude::*;
+
+fn t(n: u64) -> TxnTime {
+    TxnTime::from_ticks(n)
+}
+
+/// An arbitrary committed history: strictly increasing times with values.
+fn committed_history() -> impl Strategy<Value = History<u64>> {
+    prop::collection::vec(1u64..50, 0..40).prop_map(|gaps| {
+        let mut time = 0u64;
+        gaps.iter()
+            .enumerate()
+            .map(|(i, g)| {
+                time += g;
+                (t(time), i as u64)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// as-of returns the association with the greatest time <= t — i.e. the
+    /// same answer a naive backwards scan gives, for every probe time.
+    #[test]
+    fn as_of_matches_naive_scan(h in committed_history(), probe in 0u64..3000) {
+        let naive = h
+            .entries()
+            .iter()
+            .rev()
+            .find(|e| e.time <= t(probe))
+            .map(|e| e.value);
+        prop_assert_eq!(h.as_of(t(probe)).copied(), naive);
+    }
+
+    /// Committing a pending write makes it visible exactly from the commit
+    /// time onwards and never perturbs older states.
+    #[test]
+    fn commit_changes_only_the_future(h in committed_history(), v in 0u64..1000, probe in 0u64..3000) {
+        let last = h.entries().last().map(|e| e.time.ticks()).unwrap_or(0);
+        let commit_at = t(last + 1);
+        let before = h.as_of(t(probe)).copied();
+        let mut h2 = h.clone();
+        h2.write_pending(v);
+        h2.commit_pending(commit_at);
+        let after = h2.as_of(t(probe)).copied();
+        if t(probe) < commit_at {
+            prop_assert_eq!(after, before, "past states are immutable");
+        } else {
+            prop_assert_eq!(after, Some(v));
+        }
+    }
+
+    /// write_pending + rollback is the identity on observable state.
+    #[test]
+    fn rollback_is_identity(h in committed_history(), v in 0u64..1000, probe in 0u64..3000) {
+        let mut h2 = h.clone();
+        h2.write_pending(v);
+        h2.rollback_pending();
+        prop_assert_eq!(h2.as_of(t(probe)), h.as_of(t(probe)));
+        prop_assert_eq!(h2.current(), h.current());
+        prop_assert_eq!(h2.committed_len(), h.committed_len());
+    }
+
+    /// Pruning at time k preserves every state at or after k.
+    #[test]
+    fn prune_preserves_visible_states(h in committed_history(), cut in 0u64..2500, probe in 0u64..3000) {
+        let mut h2 = h.clone();
+        let _ = h2.prune_before(t(cut));
+        if probe >= cut {
+            prop_assert_eq!(h2.as_of(t(probe)), h.as_of(t(probe)));
+        }
+    }
+
+    /// committed_len never counts the pending entry; current sees it.
+    #[test]
+    fn pending_bookkeeping(h in committed_history(), v in 0u64..1000) {
+        let mut h2 = h.clone();
+        let before = h2.committed_len();
+        h2.write_pending(v);
+        prop_assert_eq!(h2.committed_len(), before);
+        prop_assert!(h2.is_dirty());
+        prop_assert_eq!(h2.current(), Some(&v));
+    }
+}

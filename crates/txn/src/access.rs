@@ -1,0 +1,150 @@
+//! Read/write set bookkeeping.
+
+use gemstone_object::{ElemName, Goop};
+use std::collections::HashSet;
+
+/// The unit of conflict detection: one element of one object, the object's
+/// byte body, or its existence/shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum SlotId {
+    Elem(Goop, ElemName),
+    Bytes(Goop),
+    /// Whole-object access (coarse grain, or shape reads like size).
+    Object(Goop),
+}
+
+impl SlotId {
+    /// The object this slot belongs to.
+    pub fn goop(&self) -> Goop {
+        match self {
+            SlotId::Elem(g, _) | SlotId::Bytes(g) | SlotId::Object(g) => *g,
+        }
+    }
+}
+
+/// A set of accessed slots.
+#[derive(Debug, Clone, Default)]
+pub struct AccessSet {
+    slots: HashSet<SlotId>,
+}
+
+impl AccessSet {
+    /// An empty set.
+    pub fn new() -> AccessSet {
+        AccessSet::default()
+    }
+
+    /// Record an access.
+    pub fn record(&mut self, slot: SlotId) {
+        self.slots.insert(slot);
+    }
+
+    /// Number of recorded slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when nothing was accessed.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if the sets share a slot, either exactly or through a
+    /// whole-object entry covering an element of the same object.
+    pub fn intersects(&self, other: &AccessSet) -> bool {
+        let (small, large) =
+            if self.slots.len() <= other.slots.len() { (self, other) } else { (other, self) };
+        small.slots.iter().any(|s| large.covers(*s)) || {
+            // Whole-object entries in `small` cover per-element entries in
+            // `large` too; check the reverse direction for Object slots.
+            small
+                .slots
+                .iter()
+                .filter(|s| matches!(s, SlotId::Object(_)))
+                .any(|s| large.slots.iter().any(|o| o.goop() == s.goop()))
+        }
+    }
+
+    fn covers(&self, slot: SlotId) -> bool {
+        self.slots.contains(&slot) || self.slots.contains(&SlotId::Object(slot.goop()))
+    }
+
+    /// Iterate recorded slots.
+    pub fn iter(&self) -> impl Iterator<Item = SlotId> + '_ {
+        self.slots.iter().copied()
+    }
+
+    /// Collapse to whole-object grain (the ablation of DESIGN.md §4.5).
+    pub fn coarsened(&self) -> AccessSet {
+        AccessSet { slots: self.slots.iter().map(|s| SlotId::Object(s.goop())).collect() }
+    }
+
+    /// Clear for reuse.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gemstone_object::SymbolId;
+
+    fn e(g: u64, s: u32) -> SlotId {
+        SlotId::Elem(Goop(g), ElemName::Sym(SymbolId(s)))
+    }
+
+    #[test]
+    fn exact_intersection() {
+        let mut a = AccessSet::new();
+        a.record(e(1, 1));
+        let mut b = AccessSet::new();
+        b.record(e(1, 2));
+        assert!(!a.intersects(&b), "different elements of one object don't conflict");
+        b.record(e(1, 1));
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+    }
+
+    #[test]
+    fn object_grain_covers_elements() {
+        let mut a = AccessSet::new();
+        a.record(SlotId::Object(Goop(1)));
+        let mut b = AccessSet::new();
+        b.record(e(1, 5));
+        assert!(a.intersects(&b), "whole-object covers any element");
+        assert!(b.intersects(&a), "symmetric");
+        let mut c = AccessSet::new();
+        c.record(e(2, 5));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn bytes_and_elements_are_distinct() {
+        let mut a = AccessSet::new();
+        a.record(SlotId::Bytes(Goop(1)));
+        let mut b = AccessSet::new();
+        b.record(e(1, 1));
+        assert!(!a.intersects(&b));
+    }
+
+    #[test]
+    fn coarsening_creates_false_conflicts() {
+        let mut a = AccessSet::new();
+        a.record(e(1, 1));
+        let mut b = AccessSet::new();
+        b.record(e(1, 2));
+        assert!(!a.intersects(&b));
+        assert!(a.coarsened().intersects(&b.coarsened()), "the ablation's false conflict");
+    }
+
+    #[test]
+    fn empty_sets_never_intersect() {
+        let a = AccessSet::new();
+        let mut b = AccessSet::new();
+        b.record(e(1, 1));
+        assert!(!a.intersects(&b));
+        assert!(!b.intersects(&a));
+        assert!(a.is_empty());
+    }
+}

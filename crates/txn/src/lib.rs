@@ -1,0 +1,25 @@
+//! The Transaction Manager (§6).
+//!
+//! "The Transaction Manager is shared by all invocations of the Object
+//! Manager, and handles concurrent use of the permanent database in an
+//! optimistic manner. It records accesses to the database for each session,
+//! and validates them for consistency when a transaction commits."
+//!
+//! The scheme is Kung–Robinson backward validation at **(object, element)**
+//! granularity: a committing transaction T conflicts iff some transaction
+//! that committed after T began wrote an item T read. Commit times double as
+//! the transaction times that stamp object histories — the paper cites Reed
+//! for exactly this sharing: "storing transaction time is useful for
+//! synchronizing concurrent transactions … sharing the overhead of
+//! generating and storing the transaction time over both functions"
+//! (§5.3.1).
+//!
+//! `SafeTime` (§5.4) is also computed here: the most recent time no running
+//! transaction can disturb, i.e. just before the oldest active transaction's
+//! snapshot end.
+
+mod access;
+mod manager;
+
+pub use access::{AccessSet, SlotId};
+pub use manager::{TransactionManager, TxnId, TxnToken, ValidationGrain};

@@ -1,0 +1,103 @@
+//! A realistic temporal workload: bank accounts with a full audit trail —
+//! the §2E motivation ("accounting, legal, financial … applications keep
+//! and use history for auditing"). No explicit audit table exists: the
+//! *database itself* is the audit trail.
+//!
+//! Demonstrates: concurrent transfers with optimistic retry, as-of balance
+//! statements, SafeTime reporting, and crash-free recovery of the history.
+//!
+//! ```sh
+//! cargo run --example bank_audit
+//! ```
+
+use gemstone::{GemError, GemStone};
+
+fn main() -> gemstone::GemResult<()> {
+    let gs = GemStone::in_memory();
+    let mut teller = gs.login("system")?;
+
+    // Accounts are plain objects; balances are just elements with history.
+    teller.run(
+        "Accounts := Dictionary new.
+         #('alice' 'bob' 'carol') do: [:n | | a |
+             a := Dictionary new.
+             a at: #owner put: n.
+             a at: #balance put: 1000.
+             Accounts at: n put: a]",
+    )?;
+    let opened = teller.commit()?;
+    println!("accounts opened at t{}", opened.ticks());
+
+    // ---- Concurrent transfers from two tellers, retry on conflict. ------
+    let transfer = |s: &mut gemstone::Session, from: &str, to: &str, amount: i64| loop {
+        s.run(&format!(
+            "| a b | a := Accounts at: '{from}'. b := Accounts at: '{to}'.
+             (a at: #balance) >= {amount}
+                 ifTrue: [a at: #balance put: (a at: #balance) - {amount}.
+                          b at: #balance put: (b at: #balance) + {amount}]
+                 ifFalse: [System error: 'insufficient funds']"
+        ))
+        .unwrap();
+        match s.commit() {
+            Ok(t) => return t,
+            Err(GemError::TransactionConflict { .. }) => continue,
+            Err(e) => panic!("{e}"),
+        }
+    };
+
+    let mut teller2 = gs.login("system")?;
+    let mut times = Vec::new();
+    times.push(transfer(&mut teller, "alice", "bob", 300));
+    times.push(transfer(&mut teller2, "bob", "carol", 150));
+    times.push(transfer(&mut teller, "carol", "alice", 75));
+    times.push(transfer(&mut teller2, "alice", "carol", 40));
+    for (i, t) in times.iter().enumerate() {
+        println!("transfer #{} committed at t{}", i + 1, t.ticks());
+    }
+
+    // ---- Invariant: money is conserved in every state. -------------------
+    let total_src = "Accounts __elements inject: 0 into: [:sum :a | sum + (a at: #balance)]";
+    let now_total = teller.run(total_src)?.as_int().unwrap();
+    println!("\ntotal money now: {now_total}");
+    for t in opened.ticks()..=times.last().unwrap().ticks() {
+        teller.run(&format!("System timeDial: {t}"))?;
+        let total = teller.run(total_src)?.as_int().unwrap();
+        assert_eq!(total, 3000, "conservation violated at t{t}");
+    }
+    teller.run("System timeDialNow")?;
+    println!("money conserved in every past state (t{}..t{})", opened.ticks(), times.last().unwrap().ticks());
+
+    // ---- The audit: alice's balance through time. ------------------------
+    println!("\nalice's statement (from element history, no audit table):");
+    for t in opened.ticks()..=times.last().unwrap().ticks() {
+        let v = teller
+            .run(&format!("(Accounts at: 'alice') ! balance @ {t}"))?
+            .as_int()
+            .unwrap();
+        println!("  t{t:>2}: {v}");
+    }
+
+    // ---- A consistent report at SafeTime while writers run. --------------
+    let mut auditor = gs.login("system")?;
+    let safe = auditor.run("System safeTime")?.as_int().unwrap();
+    auditor.run(&format!("System timeDial: {safe}"))?;
+    let report = auditor.run_display(
+        "Accounts __elements collect: [:a | (a at: #owner), ': ', (a at: #balance) printString]",
+    )?;
+    println!("\nauditor's SafeTime (t{safe}) report: {report}");
+
+    // ---- Restart: the audit trail is durable. -----------------------------
+    drop(teller);
+    drop(teller2);
+    drop(auditor);
+    let disk = gs.shutdown()?;
+    let gs = GemStone::open(disk, 128)?;
+    let mut s = gs.login("system")?;
+    let v = s.run(&format!("(Accounts at: 'alice') ! balance @ {}", opened.ticks()))?;
+    println!(
+        "\nafter restart, alice's opening balance (t{}) is still {}",
+        opened.ticks(),
+        v.as_int().unwrap()
+    );
+    Ok(())
+}

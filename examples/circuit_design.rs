@@ -1,0 +1,74 @@
+//! The paper's circuit example (§4.2): "we can distinguish, say, two gates
+//! in a circuit that have all the same characteristics, but are not
+//! physically the same gate."
+//!
+//! An engineering database: gates with identity, nets that share them,
+//! design revisions captured by transaction time, and an audit of when each
+//! change landed — the §2E engineering/patent-application use case.
+//!
+//! ```sh
+//! cargo run --example circuit_design
+//! ```
+
+use gemstone::GemStone;
+
+fn main() -> gemstone::GemResult<()> {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system")?;
+
+    // Gate and Net as classes with behaviour (§2A: operations on types).
+    s.run(
+        "Object subclass: 'Gate' instVarNames: #('kind' 'delay' 'label').
+         Object subclass: 'Net' instVarNames: #('name' 'gates').
+         Gate compile: 'printString ^label , '': '' , kind asString , ''/'' , delay printString'.
+         Net compile: 'totalDelay ^gates inject: 0 into: [:sum :g | sum + g delay]'.
+         Net compile: 'slowest ^gates inject: gates first into:
+             [:worst :g | g delay > worst delay ifTrue: [g] ifFalse: [worst]]'",
+    )?;
+
+    // Two NAND gates with identical characteristics — equivalent, never
+    // identical.
+    s.run(
+        "| n |
+         G1 := Gate new. G1 kind: #nand. G1 delay: 2. G1 label: 'U1'.
+         G2 := Gate new. G2 kind: #nand. G2 delay: 2. G2 label: 'U2'.
+         Clk := Net new. Clk name: 'clk'.
+         n := Set new. n add: G1; add: G2. Clk gates: n.
+         Data := Net new. Data name: 'data'.
+         n := Set new. n add: G2. Data gates: n",
+    )?;
+    let placed = s.commit()?;
+    println!("netlist committed at t{}", placed.ticks());
+
+    let v = s.run("(G1 kind = G2 kind) & (G1 delay = G2 delay)")?;
+    println!("U1 and U2 equivalent characteristics? {}", v.as_bool().unwrap());
+    let v = s.run("G1 == G2")?;
+    println!("U1 and U2 the same physical gate?    {}", v.as_bool().unwrap());
+
+    // G2 is shared between both nets — one entity, two containers (§5.4).
+    let v = s.run("(Clk gates detect: [:g | g label = 'U2']) == (Data gates detect: [:g | g label = 'U2'])")?;
+    println!("the U2 in clk IS the U2 in data?     {}", v.as_bool().unwrap());
+
+    // Engineering change order: retime U2. Visible through every net at
+    // once, and the old revision stays queryable.
+    s.run("G2 delay: 5")?;
+    let eco = s.commit()?;
+    println!("\nECO at t{}: U2 retimed 2 → 5", eco.ticks());
+    let now = s.run("Clk totalDelay")?.as_int().unwrap();
+    println!("clk path delay now: {now}");
+    s.run(&format!("System timeDial: {}", placed.ticks()))?;
+    let then = s.run("Clk totalDelay")?.as_int().unwrap();
+    println!("clk path delay in revision t{}: {then}", placed.ticks());
+    s.run("System timeDialNow")?;
+
+    let slowest = s.run_display("Clk slowest")?;
+    println!("slowest gate on clk: {slowest}");
+
+    // The audit: when did U2's delay change? Walk the history.
+    println!("\nU2 delay audit trail:");
+    for t in placed.ticks()..=eco.ticks() {
+        let v = s.run(&format!("G2 ! delay @ {t}"))?.as_int().unwrap();
+        println!("  t{t}: {v}ns");
+    }
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! An interactive OPAL session — the paper's host-machine interface in
+//! miniature (§6: "Communication with GemStone is done in blocks of OPAL
+//! source code. Compilation and execution of those blocks is done entirely
+//! in the GemStone system").
+//!
+//! ```sh
+//! cargo run --example opal_repl
+//! ```
+//!
+//! Try:
+//! ```text
+//! Object subclass: 'Employee' instVarNames: #('name' 'salary')
+//! | e | Staff := Set new. e := Employee new. e name: 'Ellen'. e salary: 24650. Staff add: e
+//! System commitTransaction
+//! (Staff select: [:e | e salary > 20000]) collect: [:e | e name]
+//! System timeDial: 1
+//! Staff size
+//! System timeDialNow
+//! ```
+
+use gemstone::GemStone;
+use std::io::{BufRead, Write};
+
+fn main() {
+    let gs = GemStone::in_memory();
+    let mut session = gs.login("system").expect("login");
+    println!("GemStone/OPAL — SIGMOD 1984 reproduction.");
+    println!("Each line is a doIt. `System commitTransaction` to commit; ctrl-D to exit.\n");
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("opal> ");
+        out.flush().ok();
+        let mut line = String::new();
+        match stdin.lock().read_line(&mut line) {
+            Ok(0) => break,
+            Ok(_) => {}
+            Err(_) => break,
+        }
+        let src = line.trim();
+        if src.is_empty() {
+            continue;
+        }
+        match session.run_display(src) {
+            Ok(shown) => println!("  {shown}"),
+            Err(e) => println!("  !! {e}"),
+        }
+    }
+    println!("\nbye — aborting uncommitted work (the workspace is discarded, §6).");
+}

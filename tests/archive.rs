@@ -1,0 +1,74 @@
+//! Experiment C9's administrator side: "while conceptually the entire
+//! history of the database exists, some objects in it may become temporarily
+//! or permanently inaccessible" (§6) — the DBA archive operation prunes old
+//! associations while preserving every state at or after the cut.
+
+use gemstone::{GemError, GemStone, StoreConfig};
+
+#[test]
+fn archive_prunes_old_states_and_keeps_recent_ones() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("A := Dictionary new. A at: #v put: 0").unwrap();
+    s.commit().unwrap();
+    let mut times = Vec::new();
+    for i in 1..=10 {
+        s.run(&format!("A at: #v put: {}", i * 100)).unwrap();
+        times.push(s.commit().unwrap().ticks());
+    }
+    let cut = times[5]; // keep the state in force at times[5] and later
+    let archived = s.run(&format!("System archiveHistoryBefore: {cut}")).unwrap();
+    assert!(archived.as_int().unwrap() > 0, "associations were archived");
+
+    // Recent history intact.
+    for (i, t) in times.iter().enumerate().skip(5) {
+        let v = s.run(&format!("A ! v @ {t}")).unwrap();
+        assert_eq!(v.as_int(), Some((i as i64 + 1) * 100), "state at t{t}");
+    }
+    // Probes before the cut: the archived past is gone — "some objects in
+    // it may become temporarily or permanently inaccessible" (§6).
+    let v = s.run(&format!("A ! v @ {}", times[0])).unwrap();
+    assert!(v.is_nil(), "archived states read as nonexistent");
+    // The oldest retained association is the state at the cut.
+    let v = s.run(&format!("A ! v @ {cut}")).unwrap();
+    assert_eq!(v.as_int(), Some(600));
+    assert_eq!(s.run("A at: #v").unwrap().as_int(), Some(1000));
+}
+
+#[test]
+fn archive_shrinks_the_recovered_image() {
+    let cfg = StoreConfig { track_size: 1024, cache_tracks: 16, replicas: 1 };
+    let gs = GemStone::create(cfg).unwrap();
+    let mut s = gs.login("system").unwrap();
+    s.run("A := Dictionary new").unwrap();
+    s.commit().unwrap();
+    for i in 0..100 {
+        s.run(&format!("A at: #v put: {i}")).unwrap();
+        s.commit().unwrap();
+    }
+    let now = s.run("System currentTime").unwrap().as_int().unwrap();
+    let archived = s.run(&format!("System archiveHistoryBefore: {now}")).unwrap();
+    assert!(archived.as_int().unwrap() >= 99);
+    // The pruned image survives restart, with only the retained state.
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+    let gs2 = GemStone::open(disk, 16).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    assert_eq!(s.run("A at: #v").unwrap().as_int(), Some(99));
+    assert!(
+        s.run("A ! v @ 3").unwrap().is_nil(),
+        "the archived past is inaccessible after recovery too"
+    );
+}
+
+#[test]
+fn only_the_dba_may_archive() {
+    let gs = GemStone::in_memory();
+    gs.create_user("ellen");
+    let mut dba = gs.login("system").unwrap();
+    dba.run("A := Dictionary new. A at: #v put: 1").unwrap();
+    dba.commit().unwrap();
+    let mut ellen = gs.login("ellen").unwrap();
+    let err = ellen.run("System archiveHistoryBefore: 1");
+    assert!(matches!(err, Err(GemError::AuthorizationDenied { .. })), "{err:?}");
+}

@@ -1,0 +1,130 @@
+//! The Executor interface (§6): blocks of OPAL source in, results and error
+//! messages out; a Compiler and Interpreter per session; programmatic sends.
+
+use gemstone::{GemError, GemStone};
+
+#[test]
+fn results_and_error_messages_come_back() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    assert_eq!(s.run_display("3 + 4").unwrap(), "7");
+    assert_eq!(s.run_display("'Gem', 'Stone'").unwrap(), "'GemStone'");
+    // Parse errors carry positions.
+    match s.run("3 +") {
+        Err(GemError::ParseError { line, .. }) => assert_eq!(line, 1),
+        other => panic!("{other:?}"),
+    }
+    // Runtime errors name class and selector.
+    match s.run("3 fly") {
+        Err(GemError::DoesNotUnderstand { class, selector }) => {
+            assert_eq!(class, "SmallInteger");
+            assert_eq!(selector, "fly");
+        }
+        other => panic!("{other:?}"),
+    }
+    // The session survives errors: state is intact.
+    s.run("K := 41").unwrap();
+    let _ = s.run("K zork");
+    assert_eq!(s.run("K + 1").unwrap().as_int(), Some(42));
+}
+
+#[test]
+fn programmatic_sends_from_rust() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("Object subclass: 'Acc' instVarNames: #('total')").unwrap();
+    s.run("Acc compile: 'add: n total := (total ifNil: [0]) + n. ^total'").unwrap();
+    let acc = s.run("A := Acc new. A").unwrap();
+    let v = s.send(acc, "add:", &[gemstone::Oop::int(30)]).unwrap();
+    assert_eq!(v.as_int(), Some(30));
+    let v = s.send(acc, "add:", &[gemstone::Oop::int(12)]).unwrap();
+    assert_eq!(v.as_int(), Some(42));
+    // Mixed OPAL / Rust views of the same object agree.
+    assert_eq!(s.run("A total").unwrap().as_int(), Some(42));
+}
+
+#[test]
+fn each_session_compiles_independently_but_shares_schema() {
+    let gs = GemStone::in_memory();
+    let mut a = gs.login("system").unwrap();
+    let mut b = gs.login("system").unwrap();
+    a.run("Object subclass: 'Shared' instVarNames: #('x')").unwrap();
+    // Schema is shared immediately (class definitions are not transactional).
+    let v = b.run("Shared new class name").unwrap();
+    assert_eq!(b.display(v).unwrap(), "'Shared'");
+    // Methods compiled in one session dispatch in the other.
+    a.run("Shared compile: 'answer ^42'").unwrap();
+    assert_eq!(b.run("Shared new answer").unwrap().as_int(), Some(42));
+}
+
+#[test]
+fn user_print_string_overrides_dispatch() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "Object subclass: 'Money' instVarNames: #('amount').
+         Money compile: 'printString ^amount printString, '' USD'''",
+    )
+    .unwrap();
+    let shown = s.run_display("| m | m := Money new. m amount: 125. m").unwrap();
+    assert_eq!(shown, "125 USD");
+}
+
+#[test]
+fn class_side_methods() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "Object subclass: 'Point2' instVarNames: #('x' 'y').
+         Point2 compileClassMethod: 'x: ax y: ay | p | p := self new. p x: ax. p y: ay. ^p'",
+    )
+    .unwrap();
+    let v = s.run("(Point2 x: 3 y: 4) y").unwrap();
+    assert_eq!(v.as_int(), Some(4));
+}
+
+#[test]
+fn commit_mid_doit_keeps_the_execution_alive() {
+    // §4.2: system commands are ordinary messages, so a doIt can commit in
+    // the middle and keep working on the same objects.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    let v = s
+        .run(
+            "D := Dictionary new.
+             D at: #x put: 1.
+             System commitTransaction.
+             D at: #x put: 2.
+             D at: #x",
+        )
+        .unwrap();
+    assert_eq!(v.as_int(), Some(2));
+    // The first commit made x=1 durable; the second write is still pending.
+    let mut other = gs.login("system").unwrap();
+    assert_eq!(other.run("D at: #x").unwrap().as_int(), Some(1));
+    s.commit().unwrap();
+    other.abort();
+    assert_eq!(other.run("D at: #x").unwrap().as_int(), Some(2));
+}
+
+#[test]
+fn abort_mid_doit_discards_pending_writes() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("K := Dictionary new. K at: #v put: 10").unwrap();
+    s.commit().unwrap();
+    let v = s
+        .run("K at: #v put: 99. System abortTransaction. K at: #v")
+        .unwrap();
+    assert_eq!(v.as_int(), Some(10), "the abort rolled back within the doIt");
+}
+
+#[test]
+fn step_budget_guards_runaway_blocks() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    let err = s.run("[true] whileTrue: [1]");
+    assert!(matches!(err, Err(GemError::ResourceExhausted(_))), "{err:?}");
+    // And the session is still usable afterwards.
+    assert_eq!(s.run("2 + 2").unwrap().as_int(), Some(4));
+}

@@ -1,0 +1,204 @@
+//! Experiment F1: the paper's **Figure 1 — "A Database with History"** —
+//! reproduced end to end through OPAL, with the exact transaction times the
+//! figure prints (2, 3, 5, 8, 10, 12) and the §5.3.2 path queries.
+//!
+//! The narrative encoded in the figure:
+//! * t2 — Ayn Rand is hired (employee 1821), living in Portland;
+//! * t3 — Milton Friedman is hired (employee 1372), living in Seattle;
+//! * t5 — Ayn becomes president; the company car is assigned to her;
+//! * t8 — the presidency changes to Milton, who moves to Portland; Ayn
+//!   leaves the company (employee 1821 ↦ nil);
+//! * t12 — Ayn moves to San Diego and gives up the company car.
+
+use gemstone::{GemStone, Session};
+
+/// Commit filler transactions until the *next* commit will land at `target`.
+fn pad_to(session: &mut Session, target: u64) {
+    loop {
+        let now = session.run("System currentTime").unwrap().as_int().unwrap() as u64;
+        assert!(now < target, "already past t{target} (at t{now})");
+        if now + 1 == target {
+            return;
+        }
+        session.run("Filler := Object new").unwrap();
+        session.commit().unwrap();
+    }
+}
+
+fn build_figure1(session: &mut Session) {
+    // t1: the world, the company, its employees set and the car.
+    session
+        .run(
+            "World := Dictionary new.
+             Acme := Dictionary new.
+             Employees := Dictionary new.
+             Car := Dictionary new.
+             World at: 'Acme Corp' put: Acme.
+             Acme at: #employees put: Employees.
+             Acme at: #companyCar put: Car",
+        )
+        .unwrap();
+    assert_eq!(session.commit().unwrap().ticks(), 1);
+
+    // t2: Ayn Rand hired, lives in Portland.
+    session
+        .run(
+            "Ayn := Dictionary new.
+             Ayn at: #name put: 'Ayn Rand'. Ayn at: #city put: 'Portland'.
+             Employees at: 1821 put: Ayn",
+        )
+        .unwrap();
+    assert_eq!(session.commit().unwrap().ticks(), 2);
+
+    // t3: Milton Friedman hired, lives in Seattle.
+    session
+        .run(
+            "Milton := Dictionary new.
+             Milton at: #name put: 'Milton Friedman'. Milton at: #city put: 'Seattle'.
+             Employees at: 1372 put: Milton",
+        )
+        .unwrap();
+    assert_eq!(session.commit().unwrap().ticks(), 3);
+
+    // t5: Ayn becomes president; the car is hers.
+    pad_to(session, 5);
+    session.run("Acme at: #president put: Ayn. Car at: #assignedTo put: Ayn").unwrap();
+    assert_eq!(session.commit().unwrap().ticks(), 5);
+
+    // t8: Milton takes over and moves to Portland; Ayn leaves.
+    pad_to(session, 8);
+    session
+        .run(
+            "Acme at: #president put: Milton.
+             Milton at: #city put: 'Portland'.
+             Employees removeKey: 1821",
+        )
+        .unwrap();
+    assert_eq!(session.commit().unwrap().ticks(), 8);
+
+    // t12: Ayn moves to San Diego and returns the car.
+    pad_to(session, 12);
+    session.run("Ayn at: #city put: 'San Diego'. Car removeKey: #assignedTo").unwrap();
+    assert_eq!(session.commit().unwrap().ticks(), 12);
+}
+
+#[test]
+fn figure1_paths_and_history() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_figure1(&mut s);
+
+    // "A current transaction can access the new company president by the
+    // path expression World!'Acme Corp'!'president'"
+    let v = s.run_display("World ! 'Acme Corp' ! president ! name").unwrap();
+    assert_eq!(v, "'Milton Friedman'");
+
+    // "or at a time in the recent past with … @10."
+    let v = s.run_display("World ! 'Acme Corp' ! president @ 10 ! name").unwrap();
+    assert_eq!(v, "'Milton Friedman'");
+
+    // "If the argument of @ were 7, then the previous president would be
+    // accessed."
+    let v = s.run_display("World ! 'Acme Corp' ! president @ 7 ! name").unwrap();
+    assert_eq!(v, "'Ayn Rand'");
+
+    // "the previous president's current city, San Diego, can be accessed by
+    // the path World!'Acme Corp'!'president'@7!city."
+    let v = s.run_display("World ! 'Acme Corp' ! president @ 7 ! city").unwrap();
+    assert_eq!(v, "'San Diego'");
+}
+
+#[test]
+fn figure1_time_dial() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_figure1(&mut s);
+
+    // §5.4: "Setting the time dial to time T is the same as appending @T to
+    // each component in a path expression." At t7: Ayn is president AND her
+    // city reads as of t7 — Portland.
+    s.run("System timeDial: 7").unwrap();
+    let v = s.run_display("World ! 'Acme Corp' ! president ! city").unwrap();
+    assert_eq!(v, "'Portland'");
+    // Explicit @ overrides the dial: Milton's city at 10 was Portland too,
+    // so probe his t3 Seattle instead.
+    let v = s.run_display("World ! 'Acme Corp' ! president @ 8 ! city @ 4").unwrap();
+    assert_eq!(v, "'Seattle'");
+    // Writes are refused while dialed into the past.
+    let err = s.run("World at: #x put: 1");
+    assert!(matches!(err, Err(gemstone::GemError::WriteInPast)), "{err:?}");
+    s.run("System timeDialNow").unwrap();
+    let v = s.run_display("World ! 'Acme Corp' ! president ! city").unwrap();
+    assert_eq!(v, "'Portland'", "current: Milton in Portland");
+}
+
+#[test]
+fn figure1_deletion_is_history() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_figure1(&mut s);
+
+    // "The fact that Ayn left as an employee is indicated by the
+    // relationship in the employees object with her employee number 1821 as
+    // an element name … whose value is the object nil."
+    let v = s.run("(World ! 'Acme Corp' ! employees at: 1821) isNil").unwrap();
+    assert_eq!(v.as_bool(), Some(true), "gone from the current state");
+    let v = s.run_display("World ! 'Acme Corp' ! employees ! 1821 @ 7 ! name").unwrap();
+    assert_eq!(v, "'Ayn Rand'", "but fully present in past states");
+
+    // Employee count: 2 at t7, 1 now.
+    s.run("System timeDial: 7").unwrap();
+    assert_eq!(s.run("(World ! 'Acme Corp' ! employees) size").unwrap().as_int(), Some(2));
+    s.run("System timeDialNow").unwrap();
+    assert_eq!(s.run("(World ! 'Acme Corp' ! employees) size").unwrap().as_int(), Some(1));
+}
+
+#[test]
+fn figure1_car_assignment_history() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_figure1(&mut s);
+
+    // "She was allowed to continue to use her company car until her move at 12."
+    let v = s.run_display("World ! 'Acme Corp' ! companyCar ! assignedTo @ 11 ! name").unwrap();
+    assert_eq!(v, "'Ayn Rand'");
+    let v = s.run("(World ! 'Acme Corp' ! companyCar at: #assignedTo) isNil").unwrap();
+    assert_eq!(v.as_bool(), Some(true));
+    // Before t5 the car was unassigned: the path traverses nil.
+    let err = s.run("World ! 'Acme Corp' ! companyCar ! assignedTo @ 4 ! name");
+    assert!(matches!(err, Err(gemstone::GemError::PathThroughNil(_))), "{err:?}");
+}
+
+#[test]
+fn figure1_identity_spans_time() {
+    // §5.4: "Identity is a property of an object that spans time." The Ayn
+    // object reached as president@7 and as employee-1821@5 is the SAME
+    // object, and its current state shows San Diego either way.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_figure1(&mut s);
+    let v = s
+        .run(
+            "| p e | p := World ! 'Acme Corp' ! president @ 7.
+             e := World ! 'Acme Corp' ! employees ! 1821 @ 5.
+             p == e",
+        )
+        .unwrap();
+    assert_eq!(v.as_bool(), Some(true));
+}
+
+#[test]
+fn figure1_survives_restart() {
+    // The full history must be recoverable from disk.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_figure1(&mut s);
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+    let gs2 = GemStone::open(disk, 128).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    let v = s.run_display("World ! 'Acme Corp' ! president @ 7 ! city").unwrap();
+    assert_eq!(v, "'San Diego'");
+    let v = s.run_display("World ! 'Acme Corp' ! president ! name").unwrap();
+    assert_eq!(v, "'Milton Friedman'");
+}

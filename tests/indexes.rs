@@ -1,0 +1,195 @@
+//! Experiment C6 through the full system: directories created by the OPAL
+//! hint, maintained across commits, serving current and as-of lookups,
+//! nested discriminators, and correctness against scans.
+
+use gemstone::{GemStone, Session};
+
+fn setup_staff(s: &mut Session, n: usize) {
+    s.run("Staff := Set new").unwrap();
+    let mut src = String::from("| e |\n");
+    for i in 0..n {
+        src.push_str(&format!(
+            "e := Dictionary new. e at: #salary put: {}. e at: #id put: {i}. Staff add: e.\n",
+            20_000 + (i % 10) * 1000
+        ));
+    }
+    s.run(&src).unwrap();
+    s.commit().unwrap();
+}
+
+fn select_count(s: &mut Session, salary: i64) -> i64 {
+    s.run(&format!("(Staff select: [:e | e salary = {salary}]) size"))
+        .unwrap()
+        .as_int()
+        .unwrap()
+}
+
+#[test]
+fn indexed_and_scanned_answers_agree() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    setup_staff(&mut s, 200);
+    let before: Vec<i64> = (0..10).map(|k| select_count(&mut s, 20_000 + k * 1000)).collect();
+    s.run("System createIndexOn: Staff path: #salary").unwrap();
+    s.commit().unwrap();
+    let after: Vec<i64> = (0..10).map(|k| select_count(&mut s, 20_000 + k * 1000)).collect();
+    assert_eq!(before, after);
+    assert_eq!(after.iter().sum::<i64>(), 200);
+    assert_eq!(gs.database().directory_count(), 1);
+}
+
+#[test]
+fn directory_tracks_updates_inserts_and_removals() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    setup_staff(&mut s, 50);
+    s.run("System createIndexOn: Staff path: #salary").unwrap();
+    s.commit().unwrap();
+    let base = select_count(&mut s, 25_000);
+    // Update: one employee moves to 25000.
+    s.run("(Staff detect: [:e | (e at: #salary) = 20000]) at: #salary put: 25000").unwrap();
+    s.commit().unwrap();
+    assert_eq!(select_count(&mut s, 25_000), base + 1);
+    // Insert a new member.
+    s.run("| e | e := Dictionary new. e at: #salary put: 25000. Staff add: e").unwrap();
+    s.commit().unwrap();
+    assert_eq!(select_count(&mut s, 25_000), base + 2);
+    // Remove a member entirely.
+    s.run("Staff remove: (Staff detect: [:e | (e at: #salary) = 25000])").unwrap();
+    s.commit().unwrap();
+    assert_eq!(select_count(&mut s, 25_000), base + 1);
+}
+
+#[test]
+fn as_of_lookups_after_index_creation() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    setup_staff(&mut s, 30);
+    s.run("System createIndexOn: Staff path: #salary").unwrap();
+    s.commit().unwrap();
+    let t_before = s.run("System currentTime").unwrap().as_int().unwrap();
+    let was = select_count(&mut s, 21_000);
+    s.run("Staff do: [:e | ((e at: #salary) = 21000) ifTrue: [e at: #salary put: 50000]]")
+        .unwrap();
+    s.commit().unwrap();
+    assert_eq!(select_count(&mut s, 21_000), 0);
+    s.run(&format!("System timeDial: {t_before}")).unwrap();
+    assert_eq!(select_count(&mut s, 21_000), was, "the directory answers in past states");
+    s.run("System timeDialNow").unwrap();
+}
+
+#[test]
+fn nested_discriminator_rekeys_on_inner_change() {
+    // §6's headache: "using a nested element as a discriminator. Since that
+    // element may be different in different states of the database, its
+    // object may need to appear along two branches of the directory."
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "| e d |
+         Staff := Set new.
+         d := Dictionary new. d at: #name put: 'Sales'.
+         e := Dictionary new. e at: #dept put: d. Staff add: e.
+         d := Dictionary new. d at: #name put: 'Research'.
+         e := Dictionary new. e at: #dept put: d. Staff add: e",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    s.run("System createIndexOn: Staff path: #(dept name)").unwrap();
+    s.commit().unwrap();
+    let by_dept = |s: &mut Session, name: &str| {
+        s.run(&format!("(Staff select: [:e | (e ! dept ! name) = '{name}']) size"))
+            .unwrap()
+            .as_int()
+            .unwrap()
+    };
+    assert_eq!(by_dept(&mut s, "Sales"), 1);
+    assert_eq!(by_dept(&mut s, "Research"), 1);
+    let t_before = s.run("System currentTime").unwrap().as_int().unwrap();
+    // Rename the INNER object: the member must re-key.
+    s.run("((Staff detect: [:e | (e ! dept ! name) = 'Sales']) at: #dept) at: #name put: 'Retail'")
+        .unwrap();
+    s.commit().unwrap();
+    assert_eq!(by_dept(&mut s, "Sales"), 0);
+    assert_eq!(by_dept(&mut s, "Retail"), 1);
+    // Both branches exist across time.
+    s.run(&format!("System timeDial: {t_before}")).unwrap();
+    assert_eq!(by_dept(&mut s, "Sales"), 1, "the old branch still answers for old states");
+    assert_eq!(by_dept(&mut s, "Retail"), 0);
+    s.run("System timeDialNow").unwrap();
+}
+
+#[test]
+fn range_selections_use_the_directory_and_agree_with_scans() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    setup_staff(&mut s, 300);
+    let range_count = |s: &mut Session| {
+        s.run("(Staff select: [:e | (e salary > 22500) & (e salary <= 26000)]) size")
+            .unwrap()
+            .as_int()
+            .unwrap()
+    };
+    let gt_count = |s: &mut Session| {
+        s.run("(Staff select: [:e | e salary >= 27000]) size").unwrap().as_int().unwrap()
+    };
+    let scanned = (range_count(&mut s), gt_count(&mut s));
+    s.run("System createIndexOn: Staff path: #salary").unwrap();
+    s.commit().unwrap();
+    let indexed = (range_count(&mut s), gt_count(&mut s));
+    assert_eq!(scanned, indexed, "range scans through the directory agree");
+    // Sanity on the distribution: salaries 20000..29000 × 30 each.
+    assert_eq!(indexed.0, 120, "23000, 24000, 25000, 26000 qualify, 30 each");
+    assert_eq!(indexed.1, 90, "27000, 28000, 29000");
+}
+
+#[test]
+fn between_and_compiles_to_a_range_plan() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    setup_staff(&mut s, 100);
+    s.run("System createIndexOn: Staff path: #salary").unwrap();
+    s.commit().unwrap();
+    let n = s
+        .run("(Staff select: [:e | e salary between: 21000 and: 23000]) size")
+        .unwrap()
+        .as_int()
+        .unwrap();
+    assert_eq!(n, 30, "21000, 22000, 23000 × 10 each");
+}
+
+#[test]
+fn directories_survive_restart() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    setup_staff(&mut s, 40);
+    s.run("System createIndexOn: Staff path: #salary").unwrap();
+    s.commit().unwrap();
+    let was = select_count(&mut s, 23_000);
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+    let gs2 = GemStone::open(disk, 64).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    assert_eq!(select_count(&mut s, 23_000), was, "rebuilt directory answers identically");
+    // And keeps maintaining itself.
+    s.run("| e | e := Dictionary new. e at: #salary put: 23000. Staff add: e").unwrap();
+    s.commit().unwrap();
+    assert_eq!(select_count(&mut s, 23_000), was + 1);
+}
+
+#[test]
+fn dirty_sessions_fall_back_to_scans_correctly() {
+    // A session with uncommitted writes must not trust the (committed-state)
+    // directory; answers still have to reflect its own writes.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    setup_staff(&mut s, 20);
+    s.run("System createIndexOn: Staff path: #salary").unwrap();
+    s.commit().unwrap();
+    let base = select_count(&mut s, 29_000);
+    s.run("(Staff detect: [:e | (e at: #salary) = 20000]) at: #salary put: 29000").unwrap();
+    // NOT committed: the select must see the local write.
+    assert_eq!(select_count(&mut s, 29_000), base + 1);
+    s.abort();
+    assert_eq!(select_count(&mut s, 29_000), base);
+}

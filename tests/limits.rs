@@ -1,0 +1,100 @@
+//! Experiment C1 — §2B/§4.3's "no artificial limits": GemStone must hold
+//! more than ST80's 32K-object cap and objects beyond its 64KB cap, with
+//! everything surviving commit and recovery.
+
+use gemstone::{GemStone, StoreConfig};
+
+#[test]
+fn more_than_32k_committed_objects() {
+    let gs = GemStone::create(StoreConfig {
+        track_size: 8192,
+        cache_tracks: 128,
+        replicas: 1,
+    })
+    .unwrap();
+    let mut s = gs.login("system").unwrap();
+    s.run("Registry := Dictionary new").unwrap();
+    s.commit().unwrap();
+    // 33K objects committed in batches (each one a Dictionary instance).
+    for batch in 0..33 {
+        let src = format!(
+            "| d | 1 to: 1000 do: [:i | d := Dictionary new. d at: #n put: ({batch} * 1000) + i. \
+             Registry at: ({batch} * 1000) + i put: d]"
+        );
+        s.run(&src).unwrap();
+        s.commit().unwrap();
+    }
+    assert_eq!(s.run("Registry size").unwrap().as_int(), Some(33_000));
+    assert_eq!(s.run("(Registry at: 32999) at: #n").unwrap().as_int(), Some(32_999));
+    // And it all recovers.
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+    let gs2 = GemStone::open(disk, 128).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    assert_eq!(s.run("Registry size").unwrap().as_int(), Some(33_000));
+    assert_eq!(s.run("(Registry at: 1) at: #n").unwrap().as_int(), Some(1));
+}
+
+#[test]
+fn object_larger_than_64k() {
+    // §4.3: "the maximum size for an object is 64K bytes. We need to handle
+    // more and larger data items … such as long documents."
+    let gs = GemStone::create(StoreConfig { track_size: 4096, cache_tracks: 64, replicas: 1 })
+        .unwrap();
+    let mut s = gs.login("system").unwrap();
+    // Build a 128KB string by repeated doubling.
+    s.run(
+        "Doc := 'abcdefgh'.
+         1 to: 14 do: [:i | Doc := Doc , Doc]",
+    )
+    .unwrap();
+    let n = s.run("Doc size").unwrap();
+    assert_eq!(n.as_int(), Some(8 << 14), "131072 bytes > 64K");
+    s.commit().unwrap();
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+    let gs2 = GemStone::open(disk, 64).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    assert_eq!(s.run("Doc size").unwrap().as_int(), Some(8 << 14));
+    assert_eq!(s.run("Doc at: 9").unwrap().as_char(), Some('a'));
+}
+
+#[test]
+fn collection_with_many_elements() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("Big := OrderedCollection new. 1 to: 20000 do: [:i | Big add: i * 2]").unwrap();
+    s.commit().unwrap();
+    assert_eq!(s.run("Big size").unwrap().as_int(), Some(20_000));
+    assert_eq!(s.run("Big last").unwrap().as_int(), Some(40_000));
+    let v = s.run("Big inject: 0 into: [:a :e | a max: e]").unwrap();
+    assert_eq!(v.as_int(), Some(40_000));
+}
+
+#[test]
+fn deep_nesting_of_structured_values() {
+    // §5.2: "unlimited nesting … a single value can have arbitrarily
+    // detailed internal structure."
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "| cur next |
+         Nest := Dictionary new.
+         cur := Nest.
+         1 to: 100 do: [:i |
+             next := Dictionary new.
+             cur at: #depth put: i.
+             cur at: #inner put: next.
+             cur := next]",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    let v = s
+        .run(
+            "| cur | cur := Nest.
+             1 to: 99 do: [:i | cur := cur at: #inner].
+             cur at: #depth",
+        )
+        .unwrap();
+    assert_eq!(v.as_int(), Some(100));
+}

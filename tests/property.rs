@@ -1,0 +1,182 @@
+//! Property tests over the full system: random operation sequences checked
+//! against an in-Rust reference model — current reads, as-of reads at every
+//! moment, commit/abort semantics, and restart equivalence.
+
+use gemstone::{GemStone, Session, StoreConfig};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+
+/// A random workload step over one dictionary with keys 0..4.
+#[derive(Debug, Clone)]
+enum Step {
+    Put(u8, i64),
+    Remove(u8),
+    Commit,
+    Abort,
+}
+
+fn step_strategy() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        (0u8..4, -50i64..50).prop_map(|(k, v)| Step::Put(k, v)),
+        (0u8..4).prop_map(Step::Remove),
+        Just(Step::Commit),
+        Just(Step::Abort),
+    ]
+}
+
+/// Reference model: committed value history per key, plus pending state.
+#[derive(Default)]
+struct Model {
+    /// (commit_time, key → value) snapshots.
+    committed: Vec<(u64, BTreeMap<u8, i64>)>,
+    current: BTreeMap<u8, i64>,
+    pending: BTreeMap<u8, Option<i64>>,
+}
+
+impl Model {
+    fn apply(&mut self, step: &Step, session_time: impl Fn() -> u64) {
+        match step {
+            Step::Put(k, v) => {
+                self.pending.insert(*k, Some(*v));
+            }
+            Step::Remove(k) => {
+                self.pending.insert(*k, None);
+            }
+            Step::Commit => {
+                for (k, v) in std::mem::take(&mut self.pending) {
+                    match v {
+                        Some(v) => {
+                            self.current.insert(k, v);
+                        }
+                        None => {
+                            self.current.remove(&k);
+                        }
+                    }
+                }
+                self.committed.push((session_time(), self.current.clone()));
+            }
+            Step::Abort => {
+                self.pending.clear();
+            }
+        }
+    }
+
+    fn visible(&self, k: u8) -> Option<i64> {
+        match self.pending.get(&k) {
+            Some(v) => *v,
+            None => self.current.get(&k).copied(),
+        }
+    }
+
+    fn as_of(&self, t: u64, k: u8) -> Option<i64> {
+        self.committed
+            .iter()
+            .rev()
+            .find(|(ct, _)| *ct <= t)
+            .and_then(|(_, snap)| snap.get(&k).copied())
+    }
+}
+
+fn read(s: &mut Session, k: u8) -> Option<i64> {
+    s.run(&format!("D at: {k}")).unwrap().as_int()
+}
+
+fn read_at(s: &mut Session, t: u64, k: u8) -> Option<i64> {
+    s.run(&format!("D ! {k} @ {t}")).ok().and_then(|v| v.as_int())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every visible state — pending, current, and every past moment —
+    /// matches the reference model throughout a random workload.
+    #[test]
+    fn random_workload_matches_model(steps in prop::collection::vec(step_strategy(), 1..30)) {
+        let gs = GemStone::in_memory();
+        let mut s = gs.login("system").unwrap();
+        s.run("D := Dictionary new").unwrap();
+        s.commit().unwrap();
+        let mut model = Model::default();
+        model.committed.push((1, BTreeMap::new()));
+
+        for step in &steps {
+            match step {
+                Step::Put(k, v) => {
+                    s.run(&format!("D at: {k} put: {v}")).unwrap();
+                }
+                Step::Remove(k) => {
+                    // removeKey: errors when absent — mirror that by guarding.
+                    s.run(&format!(
+                        "(D at: {k}) notNil ifTrue: [D removeKey: {k}]"
+                    ))
+                    .unwrap();
+                }
+                Step::Commit => {
+                    s.commit().unwrap();
+                }
+                Step::Abort => {
+                    s.abort();
+                }
+            }
+            let now = gs.database().txn_counts(); // force no-op; keep timing via session below
+            let _ = now;
+            let time_now = {
+                let t = s.run("System currentTime").unwrap().as_int().unwrap() as u64;
+                t
+            };
+            model.apply(step, || time_now);
+            // Current visibility (pending included).
+            for k in 0..4u8 {
+                prop_assert_eq!(read(&mut s, k), model.visible(k), "key {} after {:?}", k, step);
+            }
+        }
+        // Historical visibility at every committed moment.
+        let final_time = s.run("System currentTime").unwrap().as_int().unwrap() as u64;
+        s.abort(); // discard any pending writes before time travel
+        for t in 1..=final_time {
+            for k in 0..4u8 {
+                let got = read_at(&mut s, t, k);
+                let want = model.as_of(t, k);
+                prop_assert_eq!(got, want, "key {} as of t{}", k, t);
+            }
+        }
+    }
+
+    /// Restarting from disk is observationally equivalent: all current and
+    /// historical reads are unchanged.
+    #[test]
+    fn restart_preserves_all_states(steps in prop::collection::vec(step_strategy(), 1..20)) {
+        let gs = GemStone::create(StoreConfig { track_size: 1024, cache_tracks: 16, replicas: 1 }).unwrap();
+        let mut s = gs.login("system").unwrap();
+        s.run("D := Dictionary new").unwrap();
+        s.commit().unwrap();
+        for step in &steps {
+            match step {
+                Step::Put(k, v) => { s.run(&format!("D at: {k} put: {v}")).unwrap(); }
+                Step::Remove(k) => {
+                    s.run(&format!("(D at: {k}) notNil ifTrue: [D removeKey: {k}]")).unwrap();
+                }
+                Step::Commit | Step::Abort => { s.commit().unwrap(); }
+            }
+        }
+        s.commit().unwrap();
+        let final_time = s.run("System currentTime").unwrap().as_int().unwrap() as u64;
+        let mut expected = Vec::new();
+        for t in 1..=final_time {
+            for k in 0..4u8 {
+                expected.push(read_at(&mut s, t, k));
+            }
+        }
+        drop(s);
+        let disk = gs.shutdown().unwrap();
+        let gs2 = GemStone::open(disk, 16).unwrap();
+        let mut s2 = gs2.login("system").unwrap();
+        let mut actual = Vec::new();
+        for t in 1..=final_time {
+            for k in 0..4u8 {
+                actual.push(read_at(&mut s2, t, k));
+            }
+        }
+        prop_assert_eq!(expected, actual);
+    }
+}

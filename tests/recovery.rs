@@ -1,0 +1,118 @@
+//! Experiments C5 and C10: safe writes and replication through the full
+//! system — a crash anywhere inside a commit group leaves the previous
+//! committed state intact, and mirrored replicas survive single-disk loss.
+
+use gemstone::{Database, GemStone, StoreConfig};
+
+fn small_cfg() -> StoreConfig {
+    StoreConfig { track_size: 1024, cache_tracks: 32, replicas: 1 }
+}
+
+#[test]
+fn schema_and_data_survive_restart() {
+    let gs = GemStone::create(small_cfg()).unwrap();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "| e |
+         Object subclass: 'Employee' instVarNames: #('name' 'salary').
+         Employee compile: 'raise salary := salary + 1000. ^salary'.
+         Staff := Set new.
+         e := Employee new. e name: 'Ellen'. e salary: 24650. Staff add: e",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+
+    let gs2 = GemStone::open(disk, 32).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    // Data, classes AND recompiled methods all work.
+    let v = s.run("(Staff detect: [:e | true]) raise").unwrap();
+    assert_eq!(v.as_int(), Some(25650));
+    let v = s.run("Staff first isKindOf: Employee").unwrap();
+    assert_eq!(v.as_bool(), Some(true));
+}
+
+#[test]
+fn crash_during_commit_is_all_or_nothing() {
+    // Try crashing at every write position inside the second commit's
+    // safe-write group; recovery must always see exactly the first commit.
+    for fail_after in 0..8 {
+        let gs = GemStone::create(small_cfg()).unwrap();
+        let mut s = gs.login("system").unwrap();
+        s.run("D := Dictionary new. D at: #v put: 'first'. D at: #w put: 'keep'").unwrap();
+        s.commit().unwrap();
+
+        s.run("D at: #v put: 'second'. D at: #extra put: 'x'").unwrap();
+        // Arm crash injection directly on the store's disk.
+        arm_crash(gs.database(), fail_after);
+        let res = s.commit();
+        drop(s);
+        let mut disk = gs.shutdown().unwrap();
+        disk.replica_mut(0).revive();
+
+        let gs2 = GemStone::open(disk, 32).unwrap();
+        let mut s2 = gs2.login("system").unwrap();
+        let v = s2.run_display("D at: #v").unwrap();
+        let extra = s2.run("(D at: #extra) isNil").unwrap().as_bool().unwrap();
+        if res.is_ok() {
+            assert_eq!(v, "'second'", "fail_after={fail_after}");
+            assert!(!extra);
+        } else {
+            assert_eq!(v, "'first'", "fail_after={fail_after}: torn commit must vanish");
+            assert!(extra, "fail_after={fail_after}: no partial commit");
+        }
+        assert_eq!(s2.run_display("D at: #w").unwrap(), "'keep'");
+    }
+}
+
+fn arm_crash(db: &std::sync::Arc<Database>, after_writes: u64) {
+    // Reach the disk through the database's test accessor.
+    db.with_disk(|disk| disk.replica_mut(0).fail_after_writes(after_writes));
+}
+
+#[test]
+fn replicated_database_survives_primary_loss() {
+    let cfg = StoreConfig { track_size: 1024, cache_tracks: 0, replicas: 2 };
+    let gs = GemStone::create(cfg).unwrap();
+    let mut s = gs.login("system").unwrap();
+    s.run("D := Dictionary new. D at: #v put: 42").unwrap();
+    s.commit().unwrap();
+    // Kill the primary.
+    gs.database().with_disk(|disk| {
+        disk.replica_mut(0).fail_after_writes(0);
+        let _ = disk.replica_mut(0).write_track(gemstone::TrackId(500), b"x");
+    });
+    // Force refaulting from disk (mirror) by bounding the object cache.
+    gs.database().set_object_cache_limit(Some(0));
+    gs.database().set_object_cache_limit(None);
+    s.commit().unwrap();
+    let v = s.run("D at: #v").unwrap();
+    assert_eq!(v.as_int(), Some(42), "mirror serves reads after primary loss");
+    // Writes still succeed (degraded).
+    s.run("D at: #v put: 43").unwrap();
+    s.commit().unwrap();
+    assert_eq!(s.run("D at: #v").unwrap().as_int(), Some(43));
+}
+
+#[test]
+fn many_commits_then_recover_everything() {
+    let gs = GemStone::create(small_cfg()).unwrap();
+    let mut s = gs.login("system").unwrap();
+    s.run("Ledger := Dictionary new").unwrap();
+    s.commit().unwrap();
+    for i in 0..30 {
+        s.run(&format!("Ledger at: {i} put: {}", i * i)).unwrap();
+        s.commit().unwrap();
+    }
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+    let gs2 = GemStone::open(disk, 32).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    assert_eq!(s.run("Ledger size").unwrap().as_int(), Some(30));
+    assert_eq!(s.run("Ledger at: 17").unwrap().as_int(), Some(289));
+    // Histories intact: entry 5 did not exist before its commit.
+    let t_first = 2; // Ledger creation committed at t1; entry 0 at t2
+    s.run(&format!("System timeDial: {t_first}")).unwrap();
+    assert_eq!(s.run("Ledger size").unwrap().as_int(), Some(1));
+}

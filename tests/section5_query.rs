@@ -1,0 +1,160 @@
+//! Experiment Q1: the §5.1 set-calculus query, run through the full system —
+//! declaratively (compiled select blocks planned through the set algebra)
+//! and procedurally — with identical answers.
+//!
+//! ```text
+//! {{Emp: e, Mgr: m} where (e ∈ X!Employees) and (d ∈ X!Departments)
+//!   [(m ∈ d!Managers) and (d!Name ∈ e!Depts)
+//!    and (e!Salary > 0.10 * d!Budget)]}
+//! ```
+
+use gemstone::{GemStone, Session};
+
+/// The §5.1 example database, exactly as printed.
+fn build_acme(s: &mut Session) {
+    s.run(
+        "| a12 a16 e62 e83 |
+         Departments := Set new.
+         Employees := Set new.
+         a12 := Dictionary new.
+         a12 at: #Name put: 'Sales'.
+         a12 at: #Managers put: Set new.
+         (a12 at: #Managers) add: 'Nathen'; add: 'Roberts'.
+         a12 at: #Budget put: 142000.
+         Departments add: a12.
+         a16 := Dictionary new.
+         a16 at: #Name put: 'Research'.
+         a16 at: #Managers put: Set new.
+         (a16 at: #Managers) add: 'Carter'.
+         a16 at: #Budget put: 256500.
+         Departments add: a16.
+         e62 := Dictionary new.
+         e62 at: #Name put: (Dictionary new).
+         (e62 at: #Name) at: #First put: 'Ellen'. (e62 at: #Name) at: #Last put: 'Burns'.
+         e62 at: #Salary put: 24650.
+         e62 at: #Depts put: Set new.
+         (e62 at: #Depts) add: 'Marketing'.
+         Employees add: e62.
+         e83 := Dictionary new.
+         e83 at: #Name put: (Dictionary new).
+         (e83 at: #Name) at: #First put: 'Robert'. (e83 at: #Name) at: #Last put: 'Peters'.
+         e83 at: #Salary put: 24000.
+         e83 at: #Depts put: Set new.
+         (e83 at: #Depts) add: 'Sales'; add: 'Planning'.
+         e83 at: #Phones put: Set new.
+         (e83 at: #Phones) add: 3949; add: 3862.
+         Employees add: e83",
+    )
+    .unwrap();
+    s.commit().unwrap();
+}
+
+/// The procedural form: nested do: loops.
+const PROCEDURAL: &str = "
+    | result |
+    result := OrderedCollection new.
+    Employees do: [:e |
+        Departments do: [:d |
+            ((d at: #Managers) __elements) do: [:m |
+                (((e at: #Depts) includes: (d at: #Name))
+                  and: [(e at: #Salary) > (0.10 * (d at: #Budget))])
+                    ifTrue: [result add: ((e at: #Name) at: #Last), '/', m]]]].
+    result";
+
+#[test]
+fn procedural_answer_matches_paper() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_acme(&mut s);
+    let shown = s.run_display(PROCEDURAL).unwrap();
+    // Robert Peters (24000 > 14200, in Sales) pairs with both Sales
+    // managers; Ellen pairs with nobody (Marketing has no dept object).
+    assert!(shown.contains("'Peters/Nathen'"), "{shown}");
+    assert!(shown.contains("'Peters/Roberts'"), "{shown}");
+    assert!(!shown.contains("Burns"), "{shown}");
+    let n = s.run(&format!("{PROCEDURAL} size")).unwrap();
+    assert_eq!(n.as_int(), Some(2));
+}
+
+#[test]
+fn declarative_select_agrees_with_procedural() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_acme(&mut s);
+    // Declarative inner selection per department: employees in d with
+    // salary above the threshold. The select block compiles to a calculus
+    // query (captured: dName, threshold).
+    let declarative = "
+        | result |
+        result := OrderedCollection new.
+        Departments do: [:d | | hits |
+            hits := Employees select: [:e | e Salary > (0.10 * (d at: #Budget))].
+            hits do: [:e |
+                ((e at: #Depts) includes: (d at: #Name)) ifTrue: [
+                    ((d at: #Managers) __elements) do: [:m |
+                        result add: ((e at: #Name) at: #Last), '/', m]]]].
+        result size";
+    let n = s.run(declarative).unwrap();
+    assert_eq!(n.as_int(), Some(2));
+}
+
+#[test]
+fn declarative_equality_select_uses_directory() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_acme(&mut s);
+    s.run("System createIndexOn: Employees path: #Salary").unwrap();
+    s.commit().unwrap();
+    let n = s.run("(Employees select: [:e | e Salary = 24000]) size").unwrap();
+    assert_eq!(n.as_int(), Some(1));
+    let n = s.run("(Employees select: [:e | e Salary = 99999]) size").unwrap();
+    assert_eq!(n.as_int(), Some(0));
+}
+
+#[test]
+fn select_with_captured_outer_values() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_acme(&mut s);
+    let n = s
+        .run("| cut | cut := 24500. (Employees select: [:e | e Salary > cut]) size")
+        .unwrap();
+    assert_eq!(n.as_int(), Some(1), "only Ellen above 24500");
+}
+
+#[test]
+fn subset_condition_on_entities() {
+    // §5.2's subset stipulated in one message, against stored sets.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_acme(&mut s);
+    let v = s
+        .run(
+            "| robert all |
+             robert := Employees detect: [:e | ((e at: #Name) at: #Last) = 'Peters'].
+             all := Set new. all add: 'Sales'; add: 'Planning'; add: 'Research'.
+             all includesAll: (robert at: #Depts)",
+        )
+        .unwrap();
+    assert_eq!(v.as_bool(), Some(true));
+}
+
+#[test]
+fn query_against_past_state() {
+    // Temporal + declarative: raise Robert's salary, then query both states.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    build_acme(&mut s);
+    let before = s.run("System currentTime").unwrap().as_int().unwrap();
+    s.run(
+        "| robert | robert := Employees detect: [:e | (e at: #Salary) = 24000].
+         robert at: #Salary put: 30000",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    let n = s.run("(Employees select: [:e | e Salary > 25000]) size").unwrap();
+    assert_eq!(n.as_int(), Some(1), "current state: the raise is visible");
+    s.run(&format!("System timeDial: {before}")).unwrap();
+    let n = s.run("(Employees select: [:e | e Salary > 25000]) size").unwrap();
+    assert_eq!(n.as_int(), Some(0), "past state: no salary above 25000");
+}

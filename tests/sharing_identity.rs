@@ -1,0 +1,119 @@
+//! Experiment C2 — entity identity and shared components (§2D, §4.2):
+//! "a single object can be a component of several other objects … if two
+//! objects share a component, updates to that component through one object
+//! are visible in the other object." Plus the department-rename scenario
+//! that breaks logical-pointer models.
+
+use gemstone::GemStone;
+
+#[test]
+fn shared_component_updates_are_visible_through_both_owners() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    // Two employees share ONE department object.
+    s.run(
+        "Sales := Dictionary new. Sales at: #name put: 'Sales'. Sales at: #budget put: 142000.
+         Ellen := Dictionary new. Ellen at: #dept put: Sales.
+         Robert := Dictionary new. Robert at: #dept put: Sales",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    // Identity, not copies:
+    let v = s.run("(Ellen at: #dept) == (Robert at: #dept)").unwrap();
+    assert_eq!(v.as_bool(), Some(true));
+    // Update through Ellen; visible through Robert.
+    s.run("(Ellen at: #dept) at: #budget put: 150000").unwrap();
+    let v = s.run("(Robert at: #dept) at: #budget").unwrap();
+    assert_eq!(v.as_int(), Some(150_000));
+    s.commit().unwrap();
+    // And after a restart the sharing persists (one GOOP, two references).
+    drop(s);
+    let disk = gs.shutdown().unwrap();
+    let gs2 = GemStone::open(disk, 64).unwrap();
+    let mut s = gs2.login("system").unwrap();
+    let v = s.run("(Ellen at: #dept) == (Robert at: #dept)").unwrap();
+    assert_eq!(v.as_bool(), Some(true), "identity survives the disk");
+    let v = s.run("(Robert at: #dept) at: #budget").unwrap();
+    assert_eq!(v.as_int(), Some(150_000));
+}
+
+#[test]
+fn department_rename_does_not_strand_employees() {
+    // §2D: "What happens when we want to change the department name?" —
+    // with logical pointers (relbase shows this) the join silently breaks;
+    // with entity identity the link is unaffected.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "Dept := Dictionary new. Dept at: #name put: 'Sales'.
+         Emp := Dictionary new. Emp at: #dept put: Dept",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    s.run("Dept at: #name put: 'Retail'").unwrap();
+    s.commit().unwrap();
+    let v = s.run_display("(Emp at: #dept) at: #name").unwrap();
+    assert_eq!(v, "'Retail'", "the employee still reaches the renamed department");
+    // And history keeps the old name reachable.
+    let v = s.run_display("Emp ! dept ! name @ 1").unwrap();
+    assert_eq!(v, "'Sales'");
+}
+
+#[test]
+fn same_set_of_children_shared_by_two_parents() {
+    // §2D: "to reflect that two people have the same set of children
+    // requires either a relation representing named sets of children, or a
+    // rather complicated data dependency" — here it's just sharing.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "Kids := Set new. Kids add: 'Olivia'; add: 'Dale'; add: 'Paul'.
+         Robert := Dictionary new. Robert at: #children put: Kids.
+         Susan := Dictionary new. Susan at: #children put: Kids",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    s.run("(Robert at: #children) add: 'Sam'").unwrap();
+    let v = s.run("(Susan at: #children) size").unwrap();
+    assert_eq!(v.as_int(), Some(4), "one set, two parents");
+    let v = s.run("(Susan at: #children) == (Robert at: #children)").unwrap();
+    assert_eq!(v.as_bool(), Some(true));
+}
+
+#[test]
+fn equivalent_but_not_identical_gates() {
+    // §4.2's circuit gates: same characteristics, different objects.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "G1 := Dictionary new. G1 at: #kind put: #nand. G1 at: #delay put: 2.
+         G2 := Dictionary new. G2 at: #kind put: #nand. G2 at: #delay put: 2",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    assert_eq!(s.run("G1 == G2").unwrap().as_bool(), Some(false));
+    assert_eq!(s.run("(G1 at: #kind) = (G2 at: #kind)").unwrap().as_bool(), Some(true));
+    assert_eq!(s.run("G1 == G1").unwrap().as_bool(), Some(true));
+}
+
+#[test]
+fn objects_in_multiple_collections() {
+    // §5.4: unlike STDM sets, "an element may be a member of several sets".
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "E := Dictionary new. E at: #name put: 'Burns'.
+         Staff := Set new. Staff add: E.
+         Committee := Set new. Committee add: E",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    let v = s
+        .run("(Staff detect: [:x | true]) == (Committee detect: [:x | true])")
+        .unwrap();
+    assert_eq!(v.as_bool(), Some(true));
+    // Mutate through one path, observe through the other.
+    s.run("(Staff detect: [:x | true]) at: #name put: 'Burns-Smith'").unwrap();
+    let v = s.run_display("(Committee detect: [:x | true]) at: #name").unwrap();
+    assert_eq!(v, "'Burns-Smith'");
+}

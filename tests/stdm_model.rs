@@ -1,0 +1,105 @@
+//! Cross-crate checks that the pre-merger STDM (gemstone-stdm) and the full
+//! GemStone Data Model agree wherever the paper says they should — and
+//! differ exactly where §5.4 says STDM falls short.
+
+use gemstone::GemStone;
+use gemstone_stdm::{parse_path, Label, LabeledSet, SValue, TxnTime};
+
+#[test]
+fn same_database_fragment_same_answers() {
+    // §5.1's fragment in pure STDM…
+    let mut acme = LabeledSet::new();
+    let mut departments = LabeledSet::new();
+    departments.put(
+        Label::name("A12"),
+        LabeledSet::of([
+            ("Name", SValue::from("Sales")),
+            ("Budget", SValue::Int(142_000)),
+        ]),
+    );
+    acme.put(Label::name("Departments"), departments);
+    let mut world = LabeledSet::new();
+    world.put(Label::name("X"), acme);
+    let p = parse_path("X!Departments!A12!Budget").unwrap();
+    let stdm_answer = match p.eval(world.get(&Label::name("X")).unwrap().as_set().unwrap(), None) {
+        Ok(SValue::Int(i)) => *i,
+        other => panic!("{other:?}"),
+    };
+
+    // …and in the full system through OPAL paths.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "| deps a12 |
+         X := Dictionary new.
+         deps := Dictionary new.
+         a12 := Dictionary new.
+         a12 at: #Name put: 'Sales'. a12 at: #Budget put: 142000.
+         deps at: #A12 put: a12.
+         X at: #Departments put: deps",
+    )
+    .unwrap();
+    let gsdm_answer = s.run("X ! Departments ! A12 ! Budget").unwrap().as_int().unwrap();
+    assert_eq!(stdm_answer, gsdm_answer);
+}
+
+#[test]
+fn stdm_lacks_identity_gsdm_has_it() {
+    // §5.4: "STDM sets are unlike mathematical sets, in that any set
+    // instance can be an element in at most one other set" — child sets are
+    // owned by value, so "sharing" in STDM is copying.
+    let dept = LabeledSet::of([("name", "Sales")]);
+    let mut e1 = LabeledSet::new();
+    e1.put(Label::name("dept"), dept.clone()); // forced to copy
+    let mut e2 = LabeledSet::new();
+    e2.put(Label::name("dept"), dept);
+    // Mutate through e1; e2 is unaffected — the update anomaly.
+    e1.get_mut_set(&Label::name("dept"))
+        .unwrap()
+        .put_at(Label::name("name"), "Retail", TxnTime::from_ticks(1));
+    let e1_name = parse_path("e!dept!name").unwrap();
+    assert_eq!(e1_name.eval(&e1, None).unwrap(), &SValue::from("Retail"));
+    assert_eq!(e1_name.eval(&e2, None).unwrap(), &SValue::from("Sales"), "the copy diverged");
+
+    // GSDM: one object, two owners, no divergence possible
+    // (tests/sharing_identity.rs proves the positive case).
+}
+
+#[test]
+fn temporal_semantics_agree_between_models() {
+    // The §5.3.2 rules hold identically in STDM and GSDM: per-component @,
+    // dial distribution, removal-as-nil.
+    let mut s_stdm = LabeledSet::new();
+    s_stdm.put_at(Label::name("v"), 1i64, TxnTime::from_ticks(2));
+    s_stdm.put_at(Label::name("v"), 2i64, TxnTime::from_ticks(5));
+    s_stdm.remove_at(Label::name("v"), TxnTime::from_ticks(8));
+
+    let gs = GemStone::in_memory();
+    let mut sess = gs.login("system").unwrap();
+    sess.run("D := Dictionary new").unwrap();
+    sess.commit().unwrap(); // t1
+    sess.run("D at: #v put: 1").unwrap();
+    sess.commit().unwrap(); // t2
+    for _ in 0..2 {
+        sess.run("Pad := Object new").unwrap();
+        sess.commit().unwrap(); // t3, t4
+    }
+    sess.run("D at: #v put: 2").unwrap();
+    sess.commit().unwrap(); // t5
+    for _ in 0..2 {
+        sess.run("Pad := Object new").unwrap();
+        sess.commit().unwrap(); // t6, t7
+    }
+    sess.run("D removeKey: #v").unwrap();
+    sess.commit().unwrap(); // t8
+
+    for t in 1..=9u64 {
+        let stdm_v = s_stdm.get_at(&Label::name("v"), TxnTime::from_ticks(t)).cloned();
+        let gsdm_v = sess.run(&format!("D ! v @ {t}")).unwrap().as_int();
+        let expected = match stdm_v {
+            Some(SValue::Int(i)) => Some(i),
+            _ => None,
+        };
+        assert_eq!(gsdm_v, expected, "at t{t}");
+    }
+}

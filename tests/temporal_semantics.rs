@@ -1,0 +1,145 @@
+//! Deeper temporal semantics through the full system: §5.3's transaction
+//! time model, heterogeneous values over time, views over history, and the
+//! "database as its own audit trail" behavior.
+
+use gemstone::{GemError, GemStone};
+
+#[test]
+fn all_updates_in_one_transaction_share_one_time() {
+    // §5.3.1: transaction time stamps the *commit*, not each store. A
+    // real-world change touching many objects is one instant.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("A := Dictionary new. B := Dictionary new").unwrap();
+    s.commit().unwrap();
+    s.run("A at: #x put: 1. B at: #y put: 2. A at: #x put: 3").unwrap();
+    let t = s.commit().unwrap().ticks();
+    // Immediately before t: neither write visible. At t: both, and only the
+    // final value of the doubly-written element.
+    s.run(&format!("System timeDial: {}", t - 1)).unwrap();
+    assert!(s.run("(A at: #x) isNil").unwrap().as_bool().unwrap());
+    assert!(s.run("(B at: #y) isNil").unwrap().as_bool().unwrap());
+    s.run(&format!("System timeDial: {t}")).unwrap();
+    assert_eq!(s.run("A at: #x").unwrap().as_int(), Some(3), "intra-txn writes collapse");
+    assert_eq!(s.run("B at: #y").unwrap().as_int(), Some(2));
+}
+
+#[test]
+fn heterogeneous_values_for_one_element_over_time() {
+    // §5.2: AssignedTo "could have a value that is an employee, a
+    // department or a set of departments" — and §5.3 indexes that by time.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("Car := Dictionary new").unwrap();
+    s.commit().unwrap();
+    s.run("Car at: #assignedTo put: 'Milton'").unwrap();
+    let t1 = s.commit().unwrap().ticks();
+    s.run("| d | d := Set new. d add: 'Sales'; add: 'Planning'. Car at: #assignedTo put: d")
+        .unwrap();
+    s.commit().unwrap();
+    assert_eq!(
+        s.run_display(&format!("Car ! assignedTo @ {t1}")).unwrap(),
+        "'Milton'",
+        "a string then"
+    );
+    assert_eq!(s.run("(Car at: #assignedTo) size").unwrap().as_int(), Some(2), "a set now");
+}
+
+#[test]
+fn event_time_is_user_data() {
+    // §5.3.1: "the extendibility of classes that OPAL provides allows any
+    // semantics for time to easily be added by users" — event time is just
+    // an element; transaction time is the system's.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "Object subclass: 'Hire' instVarNames: #('who' 'eventDate').
+         H := Hire new. H who: 'Ayn'. H eventDate: 19840615",
+    )
+    .unwrap();
+    let txn_time = s.commit().unwrap().ticks();
+    assert_eq!(s.run("H eventDate").unwrap().as_int(), Some(19_840_615));
+    // Users can rewrite event time (a discovered discrepancy)…
+    s.run("H eventDate: 19840616").unwrap();
+    s.commit().unwrap();
+    // …but transaction time keeps the unforgeable record of the correction.
+    assert_eq!(
+        s.run(&format!("H ! eventDate @ {txn_time}")).unwrap().as_int(),
+        Some(19_840_615)
+    );
+}
+
+#[test]
+fn views_over_history_drop_out_for_free() {
+    // §5.4: "Support for views drops out almost for free. We can construct
+    // an object that provides a view" — here: a method computing headcount
+    // works unchanged at any dial setting.
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "Object subclass: 'CompanyView' instVarNames: #('employees').
+         CompanyView compile: 'headcount ^employees size'.
+         Emps := Dictionary new.
+         V := CompanyView new. V employees: Emps",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    let mut times = Vec::new();
+    for i in 0..4 {
+        s.run(&format!("Emps at: {i} put: 'e{i}'")).unwrap();
+        times.push(s.commit().unwrap().ticks());
+    }
+    assert_eq!(s.run("V headcount").unwrap().as_int(), Some(4));
+    for (i, t) in times.iter().enumerate() {
+        s.run(&format!("System timeDial: {t}")).unwrap();
+        assert_eq!(
+            s.run("V headcount").unwrap().as_int(),
+            Some(i as i64 + 1),
+            "the same view method answers in any state"
+        );
+    }
+}
+
+#[test]
+fn future_times_read_as_current() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("D := Dictionary new. D at: #x put: 1").unwrap();
+    s.commit().unwrap();
+    let v = s.run("D ! x @ 999999").unwrap();
+    assert_eq!(v.as_int(), Some(1), "a future time sees the latest state");
+}
+
+#[test]
+fn negative_or_bad_dial_arguments_error() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    assert!(matches!(
+        s.run("System timeDial: -3"),
+        Err(GemError::TypeMismatch { .. })
+    ));
+    s.run("D := Dictionary new. D at: #x put: 1").unwrap();
+    s.commit().unwrap();
+    assert!(s.run("D ! x @ 'yesterday'").is_err());
+}
+
+#[test]
+fn uncommitted_writes_are_invisible_to_as_of_reads() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("D := Dictionary new. D at: #x put: 1").unwrap();
+    let t = s.commit().unwrap().ticks();
+    s.run("D at: #x put: 99").unwrap(); // pending
+    assert_eq!(s.run(&format!("D ! x @ {t}")).unwrap().as_int(), Some(1));
+    assert_eq!(s.run("D at: #x").unwrap().as_int(), Some(99), "current read sees pending");
+    s.abort();
+    assert_eq!(s.run("D at: #x").unwrap().as_int(), Some(1));
+}
+
+#[test]
+fn transient_objects_have_no_past() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    let v = s.run("| d | d := Dictionary new. d at: #x put: 5. d ! x @ 1").unwrap();
+    assert!(v.is_nil(), "an uncommitted object did not exist at t1");
+}
