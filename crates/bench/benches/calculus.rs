@@ -7,7 +7,8 @@
 //! a directory, equality selections stop scaling with collection size.
 
 use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
-use gemstone_bench::{build_employees, fresh};
+use gemstone_bench::{build_employees, build_join_collections, fresh, join_query};
+use gemstone_calculus::{eval_algebra_stats, translate_with, IndexCatalog, PlanOptions, PlanStats};
 
 fn selection(c: &mut Criterion) {
     let mut group = c.benchmark_group("C8_selection");
@@ -32,9 +33,8 @@ fn selection(c: &mut Criterion) {
         // Declarative, no directory: planned scan.
         group.bench_function(BenchmarkId::new("declarative_scan", n), |b| {
             b.iter(|| {
-                let v = s
-                    .run(&format!("(Employees select: [:e | e Salary = {probe}]) size"))
-                    .unwrap();
+                let v =
+                    s.run(&format!("(Employees select: [:e | e Salary = {probe}]) size")).unwrap();
                 black_box(v)
             })
         });
@@ -43,9 +43,8 @@ fn selection(c: &mut Criterion) {
         s.commit().unwrap();
         group.bench_function(BenchmarkId::new("declarative_indexed", n), |b| {
             b.iter(|| {
-                let v = s
-                    .run(&format!("(Employees select: [:e | e Salary = {probe}]) size"))
-                    .unwrap();
+                let v =
+                    s.run(&format!("(Employees select: [:e | e Salary = {probe}]) size")).unwrap();
                 black_box(v)
             })
         });
@@ -114,5 +113,69 @@ fn section51_query(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, selection, section51_query);
+fn equi_join(c: &mut Criterion) {
+    // Experiment C-join: two independent 1k-element sets linked by an
+    // equality. The hash plan must visit O(n + m) rows, the nested-loop
+    // plan O(n·m), and both must produce the same tuples.
+    let mut group = c.benchmark_group("Cjoin_equi_join");
+    group.sample_size(10);
+    let (n, m) = (1000usize, 1000usize);
+    let (_gs, mut s) = fresh();
+    build_join_collections(&mut s, n, m);
+    let q = join_query(&mut s);
+    let catalog = IndexCatalog::new();
+    let hash_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: true });
+    let nested_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: false });
+    assert!(
+        hash_plan.uses_hash_join(),
+        "planner must pick the hash join: {}",
+        hash_plan.describe()
+    );
+    assert!(!nested_plan.uses_hash_join(), "control plan must stay nested");
+
+    // Counter-verified complexity: O(n + m) row visits vs O(n·m), with
+    // identical result sets.
+    let mut hash_stats = PlanStats::default();
+    let mut hash_rows = eval_algebra_stats(&mut s, &hash_plan, &q, &mut hash_stats).unwrap();
+    let mut nested_stats = PlanStats::default();
+    let mut nested_rows = eval_algebra_stats(&mut s, &nested_plan, &q, &mut nested_stats).unwrap();
+    assert_eq!(hash_stats.row_visits(), (n + m) as u64, "hash join must visit each set once");
+    assert_eq!(
+        nested_stats.row_visits(),
+        (n + n * m) as u64,
+        "nested loop rescans the inner set per outer row"
+    );
+    let key = |r: &Vec<gemstone::Oop>| r.iter().map(|o| o.bits()).collect::<Vec<_>>();
+    hash_rows.sort_by_key(key);
+    nested_rows.sort_by_key(key);
+    assert_eq!(hash_rows, nested_rows, "plans must agree on the result");
+    assert_eq!(hash_rows.len(), n, "each order joins exactly one part");
+
+    group.bench_function(BenchmarkId::new("hash_join", n), |b| {
+        b.iter(|| {
+            let mut stats = PlanStats::default();
+            let rows = eval_algebra_stats(&mut s, &hash_plan, &q, &mut stats).unwrap();
+            black_box(rows)
+        })
+    });
+    group.bench_function(BenchmarkId::new("nested_loop", n), |b| {
+        b.iter(|| {
+            let mut stats = PlanStats::default();
+            let rows = eval_algebra_stats(&mut s, &nested_plan, &q, &mut stats).unwrap();
+            black_box(rows)
+        })
+    });
+    // End-to-end through the session (plans, evaluates, records explain()).
+    group.bench_function(BenchmarkId::new("session_query", n), |b| {
+        b.iter(|| {
+            let rows = s.query(&q).unwrap();
+            black_box(rows)
+        })
+    });
+    let explain = s.explain().expect("session ran a query");
+    assert!(explain.contains("hash-join"), "explain must show the hash join:\n{explain}");
+    group.finish();
+}
+
+criterion_group!(benches, selection, section51_query, equi_join);
 criterion_main!(benches);

@@ -7,7 +7,12 @@ use gemstone_object::{ClassId, ElemName, PRef, SegmentId};
 use gemstone_storage::{ObjectDelta, PermanentStore, StoreConfig};
 use gemstone_temporal::TxnTime;
 
-fn delta(store: &mut PermanentStore, value: i64, is_new: bool, goop: gemstone_object::Goop) -> ObjectDelta {
+fn delta(
+    store: &mut PermanentStore,
+    value: i64,
+    is_new: bool,
+    goop: gemstone_object::Goop,
+) -> ObjectDelta {
     let _ = store;
     ObjectDelta {
         goop,

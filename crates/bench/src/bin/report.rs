@@ -8,7 +8,8 @@
 //! ```
 
 use gemstone::{GemError, GemStone, StoreConfig};
-use gemstone_bench::{build_employees, fresh, rng};
+use gemstone_bench::{build_employees, build_join_collections, fresh, join_query, rng};
+use gemstone_calculus::{eval_algebra_stats, translate_with, IndexCatalog, PlanOptions, PlanStats};
 use gemstone_loom::LoomMemory;
 use gemstone_stdm::encode::{flatten_children, flattened_bytes, payload_bytes};
 use gemstone_stdm::{LabeledSet, SValue};
@@ -21,13 +22,16 @@ fn main() {
     c7_loom_vs_object_manager();
     c9_history_growth();
     t2_redundancy();
+    c_join_plans();
 }
 
 /// C4: abort rate vs contention (uniform vs hot-key writes).
 fn c4_abort_rate() {
     println!("── C4: optimistic concurrency — abort rate vs contention ──");
     println!("{:<22} {:>10} {:>10} {:>12}", "workload", "commits", "aborts", "abort rate");
-    for (label, n_keys) in [("hot (1 key)", 1usize), ("skewed (4 keys)", 4), ("uniform (256 keys)", 256)] {
+    for (label, n_keys) in
+        [("hot (1 key)", 1usize), ("skewed (4 keys)", 4), ("uniform (256 keys)", 256)]
+    {
         let gs = GemStone::in_memory();
         let mut setup = gs.login("system").unwrap();
         setup.run("Accounts := Dictionary new").unwrap();
@@ -74,10 +78,7 @@ fn c4_abort_rate() {
 /// C6: directory lookup vs scan — crossover on collection size.
 fn c6_directory_crossover() {
     println!("── C6: equality selection — scan vs directory (median of runs) ──");
-    println!(
-        "{:>8} {:>14} {:>14} {:>9}",
-        "size", "scan µs", "directory µs", "speedup"
-    );
+    println!("{:>8} {:>14} {:>14} {:>9}", "size", "scan µs", "directory µs", "speedup");
     for &n in &[100usize, 500, 2000, 8000] {
         let (_gs, mut s) = fresh();
         let salaries = build_employees(&mut s, n);
@@ -140,12 +141,9 @@ fn c7_loom_vs_object_manager() {
         // GemStone OM: the same graph committed in batches of 100 — the
         // Boxer clusters each batch onto shared tracks — with the object
         // cache bounded to the same resident count.
-        let mut store = PermanentStore::create(StoreConfig {
-            track_size: 8192,
-            cache_tracks: 8,
-            replicas: 1,
-        })
-        .unwrap();
+        let mut store =
+            PermanentStore::create(StoreConfig { track_size: 8192, cache_tracks: 8, replicas: 1 })
+                .unwrap();
         let goops: Vec<Goop> = (0..N).map(|_| store.alloc_goop()).collect();
         for (batch_no, chunk) in goops.chunks(100).enumerate() {
             let deltas: Vec<ObjectDelta> = chunk
@@ -183,8 +181,8 @@ fn c7_loom_vs_object_manager() {
 fn c9_history_growth() {
     println!("── C9: history growth — bytes written per commit as history accumulates ──");
     println!("{:>12} {:>16} {:>18}", "updates", "object assoc.", "bytes/commit");
-    let gs = GemStone::create(StoreConfig { track_size: 2048, cache_tracks: 64, replicas: 1 })
-        .unwrap();
+    let gs =
+        GemStone::create(StoreConfig { track_size: 2048, cache_tracks: 64, replicas: 1 }).unwrap();
     let mut s = gs.login("system").unwrap();
     s.run("A := Dictionary new. A at: #v put: 0").unwrap();
     s.commit().unwrap();
@@ -207,18 +205,103 @@ fn c9_history_growth() {
     println!("  (each commit rewrites the object's full association table — the\n   growth the paper's DBA archive operation exists to bound)\n");
 }
 
+/// C-join: hash join vs nested loop on the equi-join workload — the plan
+/// text, the operator counters, and median wall time per evaluation. Also
+/// captures the run as machine-readable JSON in `BENCH_report.json`.
+fn c_join_plans() {
+    println!("── C-join: equi-join — hash plan vs nested loop ──");
+    println!(
+        "{:>6} {:>6} {:>13} {:>15} {:>12} {:>12}",
+        "n", "m", "hash visits", "nested visits", "hash µs", "nested µs"
+    );
+    let mut runs = Vec::new();
+    for &(n, m) in &[(200usize, 200usize), (1000, 1000)] {
+        let (_gs, mut s) = fresh();
+        build_join_collections(&mut s, n, m);
+        let q = join_query(&mut s);
+        let catalog = IndexCatalog::new();
+        let hash_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: true });
+        let nested_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: false });
+        let mut hash_stats = PlanStats::default();
+        eval_algebra_stats(&mut s, &hash_plan, &q, &mut hash_stats).unwrap();
+        let mut nested_stats = PlanStats::default();
+        eval_algebra_stats(&mut s, &nested_plan, &q, &mut nested_stats).unwrap();
+        let hash_us = median_us(5, || {
+            let mut st = PlanStats::default();
+            eval_algebra_stats(&mut s, &hash_plan, &q, &mut st).unwrap();
+        });
+        let nested_us = median_us(5, || {
+            let mut st = PlanStats::default();
+            eval_algebra_stats(&mut s, &nested_plan, &q, &mut st).unwrap();
+        });
+        println!(
+            "{n:>6} {m:>6} {:>13} {:>15} {hash_us:>12.1} {nested_us:>12.1}",
+            hash_stats.row_visits(),
+            nested_stats.row_visits()
+        );
+        if (n, m) == (1000, 1000) {
+            // The end-to-end path: plan through the session and show what
+            // `explain` reports.
+            s.query(&q).unwrap();
+            for line in s.explain().expect("explain after query").lines() {
+                println!("    {line}");
+            }
+        }
+        runs.push(format!(
+            "    {{\"n\": {n}, \"m\": {m}, \"plan\": \"{}\",\n     \"hash\": {}, \"hash_median_us\": {hash_us:.1},\n     \"nested\": {}, \"nested_median_us\": {nested_us:.1}}}",
+            json_escape(&hash_plan.describe()),
+            stats_json(&hash_stats),
+            stats_json(&nested_stats),
+        ));
+    }
+    let json = format!(
+        "{{\n  \"experiment\": \"c_join\",\n  \"runs\": [\n{}\n  ]\n}}\n",
+        runs.join(",\n")
+    );
+    match std::fs::write("BENCH_report.json", &json) {
+        Ok(()) => println!("  (counters written to BENCH_report.json)\n"),
+        Err(e) => println!("  (could not write BENCH_report.json: {e})\n"),
+    }
+}
+
+/// Hand-rolled JSON for [`PlanStats`] (the harness has no serde).
+fn stats_json(s: &PlanStats) -> String {
+    format!(
+        "{{\"row_visits\": {}, \"rows_scanned\": {}, \"index_rows\": {}, \
+         \"index_hits\": {}, \"index_fallbacks\": {}, \"select_in\": {}, \
+         \"select_out\": {}, \"nest_loops\": {}, \"hash_builds\": {}, \
+         \"hash_probes\": {}, \"hash_matches\": {}, \"rows_out\": {}}}",
+        s.row_visits(),
+        s.rows_scanned,
+        s.index_rows,
+        s.index_hits,
+        s.index_fallbacks,
+        s.select_in,
+        s.select_out,
+        s.nest_loops,
+        s.hash_builds,
+        s.hash_probes,
+        s.hash_matches,
+        s.rows_out,
+    )
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
 /// T2: the flattening redundancy of §5.2, swept over family size.
 fn t2_redundancy() {
     println!("── T2: §5.2 flattening — repeated bytes vs number of children ──");
-    println!("{:>10} {:>14} {:>16} {:>12}", "children", "nested bytes", "flattened bytes", "overhead");
+    println!(
+        "{:>10} {:>14} {:>16} {:>12}",
+        "children", "nested bytes", "flattened bytes", "overhead"
+    );
     for n in [1usize, 3, 10, 50] {
         let children: Vec<String> = (0..n).map(|i| format!("child{i:02}")).collect();
         let emp = LabeledSet::of([
             ("Name", SValue::Set(LabeledSet::of([("First", "Robert"), ("Last", "Peters")]))),
-            (
-                "Children",
-                SValue::Set(LabeledSet::values(children.iter().map(|c| c.as_str()))),
-            ),
+            ("Children", SValue::Set(LabeledSet::values(children.iter().map(|c| c.as_str())))),
         ]);
         let nested = payload_bytes(&SValue::Set(emp.clone()));
         let flat = flattened_bytes(&flatten_children(&emp));

@@ -5,7 +5,9 @@
 //! `src/bin/report.rs` (fault counts, abort rates, disk traffic — the
 //! quantities the paper's architectural claims are about).
 
-use gemstone::{GemStone, Session, StoreConfig};
+use gemstone::{ElemName, GemStone, Session, StoreConfig};
+use gemstone_calculus::{CmpOp, Pred, Query, Range, Term, VarId};
+use gemstone_opal::OpalWorld;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -43,6 +45,64 @@ pub fn build_employees(s: &mut Session, n: usize) -> Vec<i64> {
         s.commit().expect("commit");
     }
     salaries
+}
+
+/// Populate two independent committed sets for the join experiments:
+/// `Orders` (`n` elements, each with `#Part`/`#Qty`) and `Parts` (`m`
+/// elements with distinct `#PartNo` plus `#Weight`). Order `i` references
+/// part `i % m`, so every order joins with exactly one part.
+pub fn build_join_collections(s: &mut Session, n: usize, m: usize) {
+    s.run("Orders := Set new. Parts := Set new").expect("create");
+    for chunk in (0..n).collect::<Vec<_>>().chunks(500) {
+        let mut src = String::from("| o |\n");
+        for &i in chunk {
+            src.push_str(&format!(
+                "o := Dictionary new. o at: #Part put: {}. o at: #Qty put: {}. Orders add: o.\n",
+                i % m,
+                1 + (i % 9)
+            ));
+        }
+        s.run(&src).expect("orders");
+        s.commit().expect("commit");
+    }
+    for chunk in (0..m).collect::<Vec<_>>().chunks(500) {
+        let mut src = String::from("| p |\n");
+        for &i in chunk {
+            src.push_str(&format!(
+                "p := Dictionary new. p at: #PartNo put: {i}. p at: #Weight put: {}. Parts add: p.\n",
+                10 + (i % 90)
+            ));
+        }
+        s.run(&src).expect("parts");
+        s.commit().expect("commit");
+    }
+}
+
+/// The calculus equi-join over [`build_join_collections`]'s sets:
+/// `{(o!Qty, p!Weight) | o ∈ Orders, p ∈ Parts, o!Part = p!PartNo}`.
+/// The two ranges are independent and linked only by the equality, so the
+/// planner is free to choose a hash join.
+pub fn join_query(s: &mut Session) -> Query {
+    let orders_sym = s.intern("Orders");
+    let parts_sym = s.intern("Parts");
+    let orders = s.get_global(orders_sym).expect("Orders global");
+    let parts = s.get_global(parts_sym).expect("Parts global");
+    let part = ElemName::Sym(s.intern("Part"));
+    let part_no = ElemName::Sym(s.intern("PartNo"));
+    let qty = s.intern("Qty");
+    let weight = s.intern("Weight");
+    let (v0, v1) = (VarId(0), VarId(1));
+    Query {
+        result: vec![
+            (qty, Term::Path(v0, vec![ElemName::Sym(qty)])),
+            (weight, Term::Path(v1, vec![ElemName::Sym(weight)])),
+        ],
+        ranges: vec![
+            Range { var: v0, domain: Term::Const(orders) },
+            Range { var: v1, domain: Term::Const(parts) },
+        ],
+        pred: Pred::Cmp(Term::Path(v0, vec![part]), CmpOp::Eq, Term::Path(v1, vec![part_no])),
+    }
 }
 
 /// Build an `Accounts` dictionary of `n` accounts for contention workloads.

@@ -8,6 +8,27 @@ use std::cmp::Ordering;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct VarId(pub u16);
 
+/// Read access to variable bindings during evaluation. Implemented by the
+/// naive evaluator's dense rows (`[Oop]`) and by the streaming algebra's
+/// persistent [`crate::Env`] chains — term/predicate evaluation is generic
+/// over both.
+pub trait EnvRead {
+    /// The value bound to `var` (nil when unbound).
+    fn read(&self, var: VarId) -> Oop;
+}
+
+impl EnvRead for [Oop] {
+    fn read(&self, var: VarId) -> Oop {
+        self.get(var.0 as usize).copied().unwrap_or(Oop::NIL)
+    }
+}
+
+impl EnvRead for Vec<Oop> {
+    fn read(&self, var: VarId) -> Oop {
+        self.as_slice().read(var)
+    }
+}
+
 /// A term.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Term {
@@ -126,12 +147,16 @@ impl Query {
 }
 
 /// Evaluate a term under an environment of variable bindings.
-pub fn eval_term<C: QueryContext>(ctx: &mut C, term: &Term, env: &[Oop]) -> GemResult<Oop> {
+pub fn eval_term<C: QueryContext, E: EnvRead + ?Sized>(
+    ctx: &mut C,
+    term: &Term,
+    env: &E,
+) -> GemResult<Oop> {
     match term {
-        Term::Var(v) => Ok(env[v.0 as usize]),
+        Term::Var(v) => Ok(env.read(*v)),
         Term::Const(c) => Ok(*c),
         Term::Path(v, names) => {
-            let mut cur = env[v.0 as usize];
+            let mut cur = env.read(*v);
             for n in names {
                 cur = ctx.elem(cur, *n)?;
             }
@@ -144,23 +169,21 @@ pub fn eval_term<C: QueryContext>(ctx: &mut C, term: &Term, env: &[Oop]) -> GemR
     }
 }
 
-fn arith<C: QueryContext>(
+fn arith<C: QueryContext, E: EnvRead + ?Sized>(
     ctx: &mut C,
     a: &Term,
     b: &Term,
-    env: &[Oop],
+    env: &E,
     f: fn(f64, f64) -> f64,
 ) -> GemResult<Oop> {
     let av = eval_term(ctx, a, env)?;
     let bv = eval_term(ctx, b, env)?;
-    let x = av.as_number().ok_or_else(|| GemError::TypeMismatch {
-        expected: "number",
-        got: format!("{av:?}"),
-    })?;
-    let y = bv.as_number().ok_or_else(|| GemError::TypeMismatch {
-        expected: "number",
-        got: format!("{bv:?}"),
-    })?;
+    let x = av
+        .as_number()
+        .ok_or_else(|| GemError::TypeMismatch { expected: "number", got: format!("{av:?}") })?;
+    let y = bv
+        .as_number()
+        .ok_or_else(|| GemError::TypeMismatch { expected: "number", got: format!("{bv:?}") })?;
     // Integral results of integer operands stay SmallIntegers.
     let r = f(x, y);
     if av.as_int().is_some() && bv.as_int().is_some() && r.fract() == 0.0 && r.abs() < 2e17 {
@@ -171,7 +194,11 @@ fn arith<C: QueryContext>(
 }
 
 /// Evaluate a predicate under an environment.
-pub fn eval_pred<C: QueryContext>(ctx: &mut C, pred: &Pred, env: &[Oop]) -> GemResult<bool> {
+pub fn eval_pred<C: QueryContext, E: EnvRead + ?Sized>(
+    ctx: &mut C,
+    pred: &Pred,
+    env: &E,
+) -> GemResult<bool> {
     match pred {
         Pred::True => Ok(true),
         Pred::And(a, b) => Ok(eval_pred(ctx, a, env)? && eval_pred(ctx, b, env)?),
@@ -234,10 +261,7 @@ mod tests {
 
     #[test]
     fn var_collection() {
-        let t = Term::Mul(
-            Box::new(Term::Path(VarId(1), vec![])),
-            Box::new(Term::Var(VarId(0))),
-        );
+        let t = Term::Mul(Box::new(Term::Path(VarId(1), vec![])), Box::new(Term::Var(VarId(0))));
         let mut vs = Vec::new();
         t.vars(&mut vs);
         assert_eq!(vs.len(), 2);

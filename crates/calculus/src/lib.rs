@@ -27,11 +27,17 @@ mod algebra;
 mod ast;
 mod translate;
 
-pub use algebra::{eval_algebra, AlgExpr, Binding};
-pub use ast::{CmpOp, Pred, Query, Range, Term, VarId};
-pub use translate::{translate, IndexCatalog};
+pub use algebra::{eval_algebra, eval_algebra_stats, AlgExpr, Binding, Env, PlanStats};
+pub use ast::{CmpOp, EnvRead, Pred, Query, Range, Term, VarId};
+pub use translate::{translate, translate_with, IndexCatalog, PlanOptions};
 
-use gemstone_object::{ElemName, GemResult, Oop};
+use gemstone_object::{ElemName, GemResult, Oop, ValueKey};
+
+/// The key a value hashes under in a [`AlgExpr::HashJoin`] table. Reuses
+/// the Object Manager's structural key ([`ValueKey`]): `structurally_equal`
+/// is *defined* as value-key equality, so hashing by it is exactly
+/// consistent with the evaluator's `equals`.
+pub type JoinKey = ValueKey;
 
 /// The object-graph view a query evaluates against. Implementations decide
 /// how elements are fetched (workspace, permanent store, past state via the
@@ -72,6 +78,34 @@ pub trait QueryContext {
     ) -> GemResult<Option<Vec<Oop>>> {
         Ok(None)
     }
+
+    /// The hash key of `v` for equi-join tables, or `None` when `v` has no
+    /// stable hashable image (such rows join by pairwise `equals` instead,
+    /// so `None` is always safe — just slower).
+    ///
+    /// Contract, for any two values whose keys are both `Some`: the keys
+    /// are equal **iff** [`Self::equals`] holds. Matched buckets emit
+    /// without re-checking `equals`, so a too-coarse key produces wrong
+    /// answers, not just wrong speed. The default covers immediates whose
+    /// equality every context shares (numbers with `1 = 1.0` folding,
+    /// characters, booleans, nil); NaN maps to `None` because `NaN = NaN`
+    /// is false while its bits collide.
+    fn join_key(&mut self, v: Oop) -> GemResult<Option<JoinKey>> {
+        use gemstone_object::OopKind;
+        Ok(match v.kind() {
+            OopKind::Int(i) => Some(ValueKey::num(i as f64)),
+            OopKind::Float(f) => {
+                if f.is_nan() {
+                    None
+                } else {
+                    Some(ValueKey::num(f))
+                }
+            }
+            OopKind::Char(c) => Some(ValueKey::Char(c)),
+            OopKind::Nil | OopKind::True | OopKind::False => Some(ValueKey::Imm(v.bits())),
+            _ => None,
+        })
+    }
 }
 
 /// Evaluate a calculus query: translate to algebra (using `indexes` to spot
@@ -82,8 +116,21 @@ pub fn eval_query<C: QueryContext>(
     query: &Query,
     indexes: &IndexCatalog,
 ) -> GemResult<Vec<Vec<Oop>>> {
+    let (rows, _, _) = eval_query_explained(ctx, query, indexes)?;
+    Ok(rows)
+}
+
+/// [`eval_query`], additionally returning the chosen plan and the operator
+/// counters it accumulated — the payload behind `Session::explain()`.
+pub fn eval_query_explained<C: QueryContext>(
+    ctx: &mut C,
+    query: &Query,
+    indexes: &IndexCatalog,
+) -> GemResult<(Vec<Vec<Oop>>, AlgExpr, PlanStats)> {
     let alg = translate(query, indexes);
-    eval_algebra(ctx, &alg, query)
+    let mut stats = PlanStats::default();
+    let rows = eval_algebra_stats(ctx, &alg, query, &mut stats)?;
+    Ok((rows, alg, stats))
 }
 
 /// Evaluate by the calculus' direct semantics (pure nested loops, no

@@ -12,7 +12,13 @@
 //! 4. when the conjunct being pushed is an equality between the newly
 //!    scanned variable's path and an already-computable key, and a
 //!    directory plausibly covers that path, fuse scan + selection into an
-//!    [`AlgExpr::IndexScan`].
+//!    [`AlgExpr::IndexScan`];
+//! 5. when a new range is *independent* of everything bound so far (its
+//!    domain and scan terms mention no earlier variable) and an equality
+//!    conjunct links it to the bound side (`l!path = r!path`), replace the
+//!    nested loop with an [`AlgExpr::HashJoin`] — conjuncts over the new
+//!    variable alone are pushed onto its scan *before* the join, so the
+//!    build side hashes only surviving rows.
 
 use crate::algebra::AlgExpr;
 use crate::ast::{CmpOp, Pred, Query, Term, VarId};
@@ -44,8 +50,28 @@ impl IndexCatalog {
     }
 }
 
-/// Translate a calculus query into an algebra plan.
+/// Options steering plan selection.
+#[derive(Debug, Clone)]
+pub struct PlanOptions {
+    /// Rewrite independent, equality-linked range pairs into hash joins.
+    /// Off forces the pure nested-loop shape (used by benchmarks to measure
+    /// the plans against each other on identical queries).
+    pub hash_joins: bool,
+}
+
+impl Default for PlanOptions {
+    fn default() -> Self {
+        PlanOptions { hash_joins: true }
+    }
+}
+
+/// Translate a calculus query into an algebra plan with default options.
 pub fn translate(query: &Query, indexes: &IndexCatalog) -> AlgExpr {
+    translate_with(query, indexes, &PlanOptions::default())
+}
+
+/// Translate a calculus query into an algebra plan.
+pub fn translate_with(query: &Query, indexes: &IndexCatalog, options: &PlanOptions) -> AlgExpr {
     let mut remaining: Vec<Pred> = query.pred.clone().conjuncts();
     let mut bound: Vec<VarId> = Vec::new();
     let mut plan = AlgExpr::Unit;
@@ -54,19 +80,16 @@ pub fn translate(query: &Query, indexes: &IndexCatalog) -> AlgExpr {
         // Try to find an indexable equality conjunct for this range's var,
         // then fall back to range-bound conjuncts.
         let mut fused: Option<(Vec<ElemName>, Term)> = None;
-        if let Some(pos) = remaining.iter().position(|c| {
-            indexable_key(c, range.var, &bound, indexes).is_some()
-        }) {
+        if let Some(pos) =
+            remaining.iter().position(|c| indexable_key(c, range.var, &bound, indexes).is_some())
+        {
             let c = remaining.remove(pos);
             fused = indexable_key(&c, range.var, &bound, indexes);
         }
-        let scan = match fused {
-            Some((path, key)) => AlgExpr::IndexScan {
-                var: range.var,
-                domain: range.domain.clone(),
-                path,
-                key,
-            },
+        let mut scan = match fused {
+            Some((path, key)) => {
+                AlgExpr::IndexScan { var: range.var, domain: range.domain.clone(), path, key }
+            }
             None => match extract_range_bounds(&mut remaining, range.var, &bound, indexes) {
                 Some((path, lo, hi)) => AlgExpr::IndexRangeScan {
                     var: range.var,
@@ -78,20 +101,44 @@ pub fn translate(query: &Query, indexes: &IndexCatalog) -> AlgExpr {
                 None => AlgExpr::Scan { var: range.var, domain: range.domain.clone() },
             },
         };
+
+        // Pre-join pushdown: conjuncts over the new variable alone filter
+        // the scan before any join sees the row (so a hash join's build
+        // side hashes only survivors).
+        let (early, rest): (Vec<Pred>, Vec<Pred>) = remaining.into_iter().partition(|c| {
+            let mut vs = Vec::new();
+            c.vars(&mut vs);
+            !vs.is_empty() && vs.iter().all(|v| *v == range.var)
+        });
+        remaining = rest;
+        if !early.is_empty() {
+            let pred = early.into_iter().reduce(Pred::and).unwrap();
+            scan = AlgExpr::Select { input: Box::new(scan), pred };
+        }
+
         plan = if matches!(plan, AlgExpr::Unit) {
             scan
+        } else if options.hash_joins && is_independent(&scan, range.var) {
+            match take_join_keys(&mut remaining, &bound, range.var) {
+                Some((left_key, right_key)) => AlgExpr::HashJoin {
+                    left: Box::new(plan),
+                    right: Box::new(scan),
+                    left_key,
+                    right_key,
+                },
+                None => AlgExpr::NestJoin { left: Box::new(plan), right: Box::new(scan) },
+            }
         } else {
             AlgExpr::NestJoin { left: Box::new(plan), right: Box::new(scan) }
         };
         bound.push(range.var);
 
         // Push down every conjunct now fully bound.
-        let (ready, rest): (Vec<Pred>, Vec<Pred>) =
-            remaining.into_iter().partition(|c| {
-                let mut vs = Vec::new();
-                c.vars(&mut vs);
-                vs.iter().all(|v| bound.contains(v))
-            });
+        let (ready, rest): (Vec<Pred>, Vec<Pred>) = remaining.into_iter().partition(|c| {
+            let mut vs = Vec::new();
+            c.vars(&mut vs);
+            vs.iter().all(|v| bound.contains(v))
+        });
         remaining = rest;
         if !ready.is_empty() {
             let pred = ready.into_iter().reduce(Pred::and).unwrap();
@@ -107,6 +154,76 @@ pub fn translate(query: &Query, indexes: &IndexCatalog) -> AlgExpr {
     plan
 }
 
+/// True when every term inside `expr` mentions no variable other than
+/// `var` — i.e. the subplan can be evaluated once, independent of rows
+/// produced to its left. Required for the hash-join build side.
+fn is_independent(expr: &AlgExpr, var: VarId) -> bool {
+    let mut vs = Vec::new();
+    match expr {
+        AlgExpr::Unit => {}
+        AlgExpr::Scan { domain, .. } => domain.vars(&mut vs),
+        AlgExpr::IndexScan { domain, key, .. } => {
+            domain.vars(&mut vs);
+            key.vars(&mut vs);
+        }
+        AlgExpr::IndexRangeScan { domain, lo, hi, .. } => {
+            domain.vars(&mut vs);
+            if let Some((t, _)) = lo {
+                t.vars(&mut vs);
+            }
+            if let Some((t, _)) = hi {
+                t.vars(&mut vs);
+            }
+        }
+        AlgExpr::Select { input, pred } => {
+            if !is_independent(input, var) {
+                return false;
+            }
+            pred.vars(&mut vs);
+        }
+        AlgExpr::NestJoin { left, right } => {
+            return is_independent(left, var) && is_independent(right, var);
+        }
+        AlgExpr::HashJoin { left, right, left_key, right_key } => {
+            if !is_independent(left, var) || !is_independent(right, var) {
+                return false;
+            }
+            left_key.vars(&mut vs);
+            right_key.vars(&mut vs);
+        }
+    }
+    vs.iter().all(|v| *v == var)
+}
+
+/// Find (and remove) an equality conjunct linking the bound side to the new
+/// variable: one side computable from `bound` alone (nonempty), the other
+/// mentioning exactly the new variable. Returns `(left_key, right_key)` as
+/// (bound-side, new-side) probe/build keys.
+fn take_join_keys(remaining: &mut Vec<Pred>, bound: &[VarId], var: VarId) -> Option<(Term, Term)> {
+    for i in 0..remaining.len() {
+        let Pred::Cmp(a, CmpOp::Eq, b) = &remaining[i] else { continue };
+        let (mut av, mut bv) = (Vec::new(), Vec::new());
+        a.vars(&mut av);
+        b.vars(&mut bv);
+        let a_bound = !av.is_empty() && av.iter().all(|v| bound.contains(v));
+        let b_bound = !bv.is_empty() && bv.iter().all(|v| bound.contains(v));
+        let a_new = !av.is_empty() && av.iter().all(|v| *v == var);
+        let b_new = !bv.is_empty() && bv.iter().all(|v| *v == var);
+        let keys = if a_bound && b_new {
+            Some((a.clone(), b.clone()))
+        } else if b_bound && a_new {
+            Some((b.clone(), a.clone()))
+        } else {
+            None
+        };
+        if let Some(k) = keys {
+            remaining.remove(i);
+            return Some(k);
+        }
+    }
+    None
+}
+
 type Bound = Option<(Term, bool)>;
 
 /// Collect `var!path </<=/>/>= key` conjuncts over ONE indexed path into an
@@ -119,9 +236,7 @@ fn extract_range_bounds(
     indexes: &IndexCatalog,
 ) -> Option<(Vec<ElemName>, Bound, Bound)> {
     // Find the first range-shaped conjunct to fix the path.
-    let first = remaining
-        .iter()
-        .position(|c| range_bound(c, var, bound, indexes).is_some())?;
+    let first = remaining.iter().position(|c| range_bound(c, var, bound, indexes).is_some())?;
     let (path, _, _) = range_bound(&remaining[first], var, bound, indexes).unwrap();
     let mut lo: Bound = None;
     let mut hi: Bound = None;
@@ -259,11 +374,8 @@ mod tests {
         let mut idx = IndexCatalog::new();
         idx.add_path(vec![sym(1)]);
         let mut q = salary_query();
-        q.pred = Pred::Cmp(
-            Term::Path(VarId(0), vec![sym(1)]),
-            CmpOp::Gt,
-            Term::Const(Oop::int(100)),
-        );
+        q.pred =
+            Pred::Cmp(Term::Path(VarId(0), vec![sym(1)]), CmpOp::Gt, Term::Const(Oop::int(100)));
         let plan = translate(&q, &idx);
         match plan {
             AlgExpr::IndexRangeScan { lo: Some((_, false)), hi: None, .. } => {}
@@ -277,16 +389,13 @@ mod tests {
         let mut idx = IndexCatalog::new();
         idx.add_path(vec![sym(1)]);
         let mut q = salary_query();
-        q.pred = Pred::Cmp(
-            Term::Path(VarId(0), vec![sym(1)]),
-            CmpOp::Gt,
-            Term::Const(Oop::int(100)),
-        )
-        .and(Pred::Cmp(
-            Term::Path(VarId(0), vec![sym(1)]),
-            CmpOp::Le,
-            Term::Const(Oop::int(200)),
-        ));
+        q.pred =
+            Pred::Cmp(Term::Path(VarId(0), vec![sym(1)]), CmpOp::Gt, Term::Const(Oop::int(100)))
+                .and(Pred::Cmp(
+                    Term::Path(VarId(0), vec![sym(1)]),
+                    CmpOp::Le,
+                    Term::Const(Oop::int(200)),
+                ));
         let plan = translate(&q, &idx);
         match plan {
             AlgExpr::IndexRangeScan { lo: Some((_, false)), hi: Some((_, true)), .. } => {}
@@ -300,11 +409,8 @@ mod tests {
         let mut idx = IndexCatalog::new();
         idx.add_path(vec![sym(1)]);
         let mut q = salary_query();
-        q.pred = Pred::Cmp(
-            Term::Const(Oop::int(100)),
-            CmpOp::Lt,
-            Term::Path(VarId(0), vec![sym(1)]),
-        );
+        q.pred =
+            Pred::Cmp(Term::Const(Oop::int(100)), CmpOp::Lt, Term::Path(VarId(0), vec![sym(1)]));
         let plan = translate(&q, &idx);
         assert!(
             matches!(plan, AlgExpr::IndexRangeScan { lo: Some((_, false)), hi: None, .. }),
@@ -367,6 +473,111 @@ mod tests {
             }
             other => panic!("unexpected plan {other:?}"),
         }
+    }
+
+    /// e ∈ X, d ∈ Y (independent domains), pred: e!a = d!b.
+    fn equi_join_query() -> Query {
+        Query {
+            result: vec![],
+            ranges: vec![
+                crate::Range { var: VarId(0), domain: Term::Const(Oop::NIL) },
+                crate::Range { var: VarId(1), domain: Term::Const(Oop::TRUE) },
+            ],
+            pred: Pred::Cmp(
+                Term::Path(VarId(0), vec![sym(1)]),
+                CmpOp::Eq,
+                Term::Path(VarId(1), vec![sym(2)]),
+            ),
+        }
+    }
+
+    #[test]
+    fn independent_equality_ranges_become_hash_join() {
+        let plan = translate(&equi_join_query(), &IndexCatalog::new());
+        match &plan {
+            AlgExpr::HashJoin { left, right, left_key, right_key } => {
+                assert!(matches!(**left, AlgExpr::Scan { var: VarId(0), .. }));
+                assert!(matches!(**right, AlgExpr::Scan { var: VarId(1), .. }));
+                assert!(matches!(left_key, Term::Path(VarId(0), _)));
+                assert!(matches!(right_key, Term::Path(VarId(1), _)));
+            }
+            other => panic!("expected HashJoin, got {other:?}"),
+        }
+        assert!(plan.uses_hash_join());
+        assert!(plan.describe().contains("hash-join"), "{}", plan.describe());
+    }
+
+    #[test]
+    fn flipped_equality_still_becomes_hash_join() {
+        // d!b = e!a (new var on the left) normalizes to the same join.
+        let mut q = equi_join_query();
+        q.pred = Pred::Cmp(
+            Term::Path(VarId(1), vec![sym(2)]),
+            CmpOp::Eq,
+            Term::Path(VarId(0), vec![sym(1)]),
+        );
+        let plan = translate(&q, &IndexCatalog::new());
+        match &plan {
+            AlgExpr::HashJoin { left_key, right_key, .. } => {
+                assert!(matches!(left_key, Term::Path(VarId(0), _)), "probe key is bound side");
+                assert!(matches!(right_key, Term::Path(VarId(1), _)), "build key is new side");
+            }
+            other => panic!("expected HashJoin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dependent_domain_falls_back_to_nest_join() {
+        // m ∈ d!Managers depends on d: no hash join possible.
+        let mut q = equi_join_query();
+        q.ranges[1].domain = Term::Path(VarId(0), vec![sym(3)]);
+        let plan = translate(&q, &IndexCatalog::new());
+        assert!(!plan.uses_hash_join(), "{}", plan.describe());
+    }
+
+    #[test]
+    fn hash_join_disabled_by_options() {
+        let plan = translate_with(
+            &equi_join_query(),
+            &IndexCatalog::new(),
+            &PlanOptions { hash_joins: false },
+        );
+        assert!(!plan.uses_hash_join(), "{}", plan.describe());
+    }
+
+    #[test]
+    fn new_var_conjuncts_push_below_the_hash_join_build() {
+        // d!b = e!a AND d!c > 5: the d-only filter must wrap d's scan
+        // *inside* the join build side, not sit above the join.
+        let mut q = equi_join_query();
+        q.pred = q.pred.clone().and(Pred::Cmp(
+            Term::Path(VarId(1), vec![sym(4)]),
+            CmpOp::Gt,
+            Term::Const(Oop::int(5)),
+        ));
+        let plan = translate(&q, &IndexCatalog::new());
+        match &plan {
+            AlgExpr::HashJoin { right, .. } => {
+                assert!(
+                    matches!(**right, AlgExpr::Select { .. }),
+                    "build side filtered pre-join: {}",
+                    plan.describe()
+                );
+            }
+            other => panic!("expected HashJoin, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_equality_link_is_not_a_hash_join() {
+        let mut q = equi_join_query();
+        q.pred = Pred::Cmp(
+            Term::Path(VarId(0), vec![sym(1)]),
+            CmpOp::Lt,
+            Term::Path(VarId(1), vec![sym(2)]),
+        );
+        let plan = translate(&q, &IndexCatalog::new());
+        assert!(!plan.uses_hash_join(), "{}", plan.describe());
     }
 
     #[test]

@@ -45,8 +45,7 @@ impl DbInner {
         self.store.set_meta(meta::META_SYMBOLS, meta::put_symbols(&self.symbols));
         self.store.set_meta(meta::META_CLASSES, meta::put_classes(&self.classes));
         self.store.set_meta(meta::META_GLOBALS, meta::put_globals(&self.globals));
-        self.store
-            .set_meta(meta::META_METHODS, meta::put_method_sources(&self.method_sources));
+        self.store.set_meta(meta::META_METHODS, meta::put_method_sources(&self.method_sources));
         self.store.set_meta(meta::META_DIRS, meta::put_dir_specs(&self.dirs.spec_records()));
         self.schema_dirty = false;
     }
@@ -178,10 +177,8 @@ impl Database {
             auth: AuthTable::new(),
             schema_dirty: false,
         };
-        let db = Arc::new(Database {
-            inner: Mutex::new(inner),
-            txns: TransactionManager::new(last),
-        });
+        let db =
+            Arc::new(Database { inner: Mutex::new(inner), txns: TransactionManager::new(last) });
         // Rebuild method dictionaries: kernel first, then user sources in
         // their original order.
         let mut boot = Session::internal_login(db.clone());

@@ -125,11 +125,8 @@ impl DirRegistry {
         };
         let idx = self.entries.len();
         let mut directory = Directory::new(spec);
-        let members: Vec<Goop> = store
-            .get(collection)?
-            .current_elements()
-            .filter_map(|(_, v)| v.as_goop())
-            .collect();
+        let members: Vec<Goop> =
+            store.get(collection)?.current_elements().filter_map(|(_, v)| v.as_goop()).collect();
         for member in members {
             let (key, touched) = key_of(store, symbols, member, &path)?;
             directory.update(member, key, now);
@@ -195,9 +192,7 @@ impl DirRegistry {
                 };
                 return match at {
                     None => Some(e.directory.range_current(lo_b, hi_b)),
-                    Some(t) if t >= e.created_at => {
-                        Some(e.directory.range_as_of(lo_b, hi_b, t))
-                    }
+                    Some(t) if t >= e.created_at => Some(e.directory.range_as_of(lo_b, hi_b, t)),
                     Some(_) => None,
                 };
             }

@@ -6,10 +6,10 @@
 //! kernel is reinstalled), so bytecode and primitive numbers can evolve
 //! without a disk-format migration.
 
+use gemstone_object::GemError;
 use gemstone_object::{
     BodyFormat, ClassDef, ClassId, ClassKind, ClassTable, GemResult, PRef, SymbolId, SymbolTable,
 };
-use gemstone_object::GemError;
 use std::collections::HashMap;
 
 /// Metadata blob keys in the store catalog.
@@ -268,9 +268,8 @@ mod tests {
     fn classes_roundtrip_preserves_ids() {
         let mut s = SymbolTable::new();
         let (mut classes, k) = ClassTable::bootstrap(&mut s);
-        let emp = classes
-            .subclass(s.intern("Employee"), k.object, vec![s.intern("salary")])
-            .unwrap();
+        let emp =
+            classes.subclass(s.intern("Employee"), k.object, vec![s.intern("salary")]).unwrap();
         let back = get_classes(&put_classes(&classes)).unwrap();
         assert_eq!(back.len(), classes.len());
         assert_eq!(back.by_name(s.lookup("Employee").unwrap()), Some(emp));

@@ -18,10 +18,10 @@
 use crate::auth::{Access, DBA};
 use crate::db::{Database, DbInner};
 use crate::meta::MethodSource;
-use gemstone_calculus::{QueryContext, Term, VarId};
+use gemstone_calculus::{AlgExpr, JoinKey, PlanStats, Query, QueryContext, Term, VarId};
 use gemstone_object::{
-    structurally_equal, BodyFormat, ClassId, ElemName, GemError, GemResult, Goop, HeapObject,
-    Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId, SymbolId, Workspace,
+    structurally_equal, value_key, BodyFormat, ClassId, ElemName, GemError, GemResult, Goop,
+    HeapObject, Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId, SymbolId, Workspace,
 };
 use gemstone_opal::{compile_doit, CompiledMethod, Interpreter, OpalWorld, QueryTemplate};
 use gemstone_storage::{DirKey, ObjectDelta};
@@ -46,6 +46,10 @@ pub struct Session {
     wrote_committed: bool,
     kernel: Kernel,
     block_class: ClassId,
+    /// The plan and operator counters of the most recent query this session
+    /// evaluated (select block or [`Session::query`]) — what `explain()`
+    /// renders.
+    last_plan: Option<(AlgExpr, PlanStats)>,
 }
 
 impl Session {
@@ -65,6 +69,7 @@ impl Session {
             wrote_committed: false,
             kernel,
             block_class,
+            last_plan: None,
         }
     }
 
@@ -190,9 +195,9 @@ impl Session {
             }
             for (sym, v) in pending {
                 let p = match v.kind() {
-                    OopKind::Heap(_) => {
-                        PRef::goop(self.ws.get(v)?.goop.expect("globals commit after goop assignment"))
-                    }
+                    OopKind::Heap(_) => PRef::goop(
+                        self.ws.get(v)?.goop.expect("globals commit after goop assignment"),
+                    ),
                     OopKind::Ref(g) => PRef::goop(g),
                     _ => v.to_pref_immediate().expect("immediate"),
                 };
@@ -294,9 +299,10 @@ impl Session {
         match oop.kind() {
             OopKind::Ref(g) => Ok(PRef::goop(g)),
             OopKind::Heap(_) => {
-                let g = self.ws.get(oop)?.goop.ok_or_else(|| {
-                    GemError::Corrupt("uncommitted object escaped commit".into())
-                })?;
+                let g =
+                    self.ws.get(oop)?.goop.ok_or_else(|| {
+                        GemError::Corrupt("uncommitted object escaped commit".into())
+                    })?;
                 Ok(PRef::goop(g))
             }
             _ => Ok(oop.to_pref_immediate().expect("immediate")),
@@ -344,6 +350,32 @@ impl Session {
         let method = compile_doit(self, source)?;
         let id = self.add_method_code(method);
         Interpreter::new(self).run_doit(id)
+    }
+
+    /// Evaluate a multi-range calculus [`Query`] directly (OPAL select
+    /// blocks compile to single-range queries; joins across collections
+    /// enter here). Plans against the Directory Manager's catalog, records
+    /// the chosen plan and its counters for [`Session::explain`], and
+    /// returns one tuple per result-template row.
+    pub fn query(&mut self, query: &Query) -> GemResult<Vec<Vec<Oop>>> {
+        self.ensure_txn();
+        let catalog = { self.db.inner.lock().dirs.catalog().clone() };
+        let (rows, plan, stats) = gemstone_calculus::eval_query_explained(self, query, &catalog)?;
+        self.last_plan = Some((plan, stats));
+        Ok(rows)
+    }
+
+    /// Render the most recent query's plan and operator counters, or `None`
+    /// when the session has not evaluated a query yet.
+    pub fn explain(&self) -> Option<String> {
+        self.last_plan
+            .as_ref()
+            .map(|(plan, stats)| format!("plan: {}\n{}", plan.describe(), stats.summary()))
+    }
+
+    /// The operator counters of the most recent query (for reports/tests).
+    pub fn last_plan_stats(&self) -> Option<PlanStats> {
+        self.last_plan.as_ref().map(|(_, s)| *s)
     }
 
     /// Run a block and render its result (the host-side display of §6's
@@ -548,11 +580,7 @@ impl OpalWorld for Session {
 
     fn note_method_source(&mut self, class: ClassId, source: &str, class_side: bool) {
         let mut inner = self.db.inner.lock();
-        inner.method_sources.push(MethodSource {
-            class,
-            source: source.to_string(),
-            class_side,
-        });
+        inner.method_sources.push(MethodSource { class, source: source.to_string(), class_side });
         inner.schema_dirty = true;
     }
 
@@ -756,12 +784,11 @@ impl OpalWorld for Session {
                 Ok(Oop::TRUE)
             }
             "timeDial:" => {
-                let t = args[0].as_int().filter(|t| *t >= 0).ok_or_else(|| {
-                    GemError::TypeMismatch {
+                let t =
+                    args[0].as_int().filter(|t| *t >= 0).ok_or_else(|| GemError::TypeMismatch {
                         expected: "non-negative integer time",
                         got: format!("{:?}", args[0]),
-                    }
-                })?;
+                    })?;
                 self.set_time_dial(TxnTime::from_ticks(t as u64));
                 Ok(args[0])
             }
@@ -778,12 +805,11 @@ impl OpalWorld for Session {
                         detail: "only the DBA may archive history".into(),
                     });
                 }
-                let t = args[0].as_int().filter(|t| *t >= 0).ok_or_else(|| {
-                    GemError::TypeMismatch {
+                let t =
+                    args[0].as_int().filter(|t| *t >= 0).ok_or_else(|| GemError::TypeMismatch {
                         expected: "non-negative integer time",
                         got: format!("{:?}", args[0]),
-                    }
-                })?;
+                    })?;
                 let n = self.db.archive_history_before(TxnTime::from_ticks(t as u64))?;
                 Ok(Oop::int(n as i64))
             }
@@ -803,9 +829,7 @@ impl OpalWorld for Session {
                 Ok(Oop::TRUE)
             }
             "error:" => {
-                let msg = self
-                    .string_value(args[0])
-                    .unwrap_or_else(|| format!("{:?}", args[0]));
+                let msg = self.string_value(args[0]).unwrap_or_else(|| format!("{:?}", args[0]));
                 Err(GemError::RuntimeError(msg))
             }
             other => Err(GemError::DoesNotUnderstand {
@@ -832,7 +856,8 @@ impl OpalWorld for Session {
         }
         substitute(&mut query.pred, &env_consts);
         let catalog = { self.db.inner.lock().dirs.catalog().clone() };
-        let rows = gemstone_calculus::eval_query(self, &query, &catalog)?;
+        let (rows, plan, stats) = gemstone_calculus::eval_query_explained(self, &query, &catalog)?;
+        self.last_plan = Some((plan, stats));
         Ok(rows.into_iter().map(|mut r| r.remove(0)).collect())
     }
 }
@@ -943,6 +968,19 @@ impl QueryContext for Session {
             out.push(self.swizzle(Oop::unswizzled(g))?);
         }
         Ok(Some(out))
+    }
+
+    fn join_key(&mut self, v: Oop) -> GemResult<Option<JoinKey>> {
+        // The Object Manager's structural key is exactly the hash image of
+        // `=` (structural equivalence IS value-key equality), so it can key
+        // hash-join buckets directly. NaN is the one exception: its bits
+        // collide while `NaN = NaN` is false, so it joins via `equals`.
+        let v = self.swizzle(v)?;
+        if v.as_float().is_some_and(f64::is_nan) {
+            return Ok(None);
+        }
+        let inner = self.db.inner.lock();
+        Ok(Some(value_key(&self.ws, &inner.symbols, v)))
     }
 
     fn index_lookup(

@@ -180,8 +180,7 @@ impl LoomMemory {
             self.stats.hits += 1;
             return Ok(());
         }
-        let slot =
-            *self.on_disk.get(&oop).ok_or(LoomError::UnknownObject(oop))?;
+        let slot = *self.on_disk.get(&oop).ok_or(LoomError::UnknownObject(oop))?;
         // Fault: read the object's own tracks (no clustering: nothing else
         // comes in with it).
         let payload = self.disk.track_size() - TRACK_HEADER;
@@ -240,12 +239,8 @@ impl LoomMemory {
 
     /// Flush every dirty resident to disk (checkpoint).
     pub fn flush(&mut self) -> Result<(), LoomError> {
-        let dirty: Vec<LoomOop> = self
-            .resident
-            .iter()
-            .filter(|(_, (_, d, _))| *d)
-            .map(|(o, _)| *o)
-            .collect();
+        let dirty: Vec<LoomOop> =
+            self.resident.iter().filter(|(_, (_, d, _))| *d).map(|(o, _)| *o).collect();
         for oop in dirty {
             let obj = self.resident[&oop].2.clone();
             self.write_out(oop, &obj)?;
@@ -288,10 +283,7 @@ mod tests {
         m.write_field(a, 1, 99).unwrap();
         assert_eq!(m.read_field(a, 1).unwrap(), 99);
         assert_eq!(m.field_count(a).unwrap(), 3);
-        assert!(matches!(
-            m.read_field(a, 9),
-            Err(LoomError::FieldOutOfRange { .. })
-        ));
+        assert!(matches!(m.read_field(a, 9), Err(LoomError::FieldOutOfRange { .. })));
     }
 
     #[test]
@@ -341,10 +333,7 @@ mod tests {
         let s = m.stats();
         let d = m.disk_stats();
         assert!(s.faults >= 60);
-        assert!(
-            d.track_reads >= s.faults,
-            "every fault reads at least one track: {d:?} vs {s:?}"
-        );
+        assert!(d.track_reads >= s.faults, "every fault reads at least one track: {d:?} vs {s:?}");
     }
 
     #[test]

@@ -138,10 +138,10 @@ impl ClassTable {
     pub fn bootstrap(symbols: &mut SymbolTable) -> (ClassTable, Kernel) {
         let mut t = ClassTable::default();
         let def = |t: &mut ClassTable,
-                       symbols: &mut SymbolTable,
-                       name: &str,
-                       sup: Option<ClassId>,
-                       format: BodyFormat| {
+                   symbols: &mut SymbolTable,
+                   name: &str,
+                   sup: Option<ClassId>,
+                   format: BodyFormat| {
             let name = symbols.intern(name);
             t.define(ClassDef {
                 name,
@@ -331,7 +331,11 @@ impl ClassTable {
 
     /// Look up `selector` starting at `class` and walking up the hierarchy.
     /// Returns the defining class and the method.
-    pub fn lookup_method(&self, class: ClassId, selector: SymbolId) -> Option<(ClassId, MethodRef)> {
+    pub fn lookup_method(
+        &self,
+        class: ClassId,
+        selector: SymbolId,
+    ) -> Option<(ClassId, MethodRef)> {
         let mut cur = Some(class);
         while let Some(c) = cur {
             if let Some(&m) = self.get(c).methods.get(&selector) {
@@ -434,10 +438,7 @@ mod tests {
         let v = symbols.intern("x");
         let emp = classes.subclass(n, k.object, vec![v]).unwrap();
         let n2 = symbols.intern("Emp2");
-        assert!(matches!(
-            classes.subclass(n2, emp, vec![v]),
-            Err(GemError::DuplicateInstVar(_))
-        ));
+        assert!(matches!(classes.subclass(n2, emp, vec![v]), Err(GemError::DuplicateInstVar(_))));
         let n3 = symbols.intern("Emp3");
         let w = symbols.intern("w");
         assert!(matches!(

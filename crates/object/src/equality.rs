@@ -37,6 +37,16 @@ pub enum ValueKey {
     Committed(u64),
 }
 
+impl ValueKey {
+    /// The key of a plain number, without workspace context — identical to
+    /// what [`value_key`] assigns integer and float [`Oop`]s (so `1` and
+    /// `1.0` land in the same hash bucket). Callers must exclude NaN
+    /// themselves: NaN keys collide while `NaN = NaN` is false.
+    pub fn num(f: f64) -> ValueKey {
+        ValueKey::Num(canonical_f64_bits(f))
+    }
+}
+
 /// Compute the structural key of a value.
 pub fn value_key(ws: &Workspace, symbols: &crate::SymbolTable, oop: Oop) -> ValueKey {
     match oop.kind() {
@@ -68,12 +78,7 @@ fn canonical_f64_bits(f: f64) -> u64 {
 }
 
 /// Structural equivalence: the `=` of OPAL.
-pub fn structurally_equal(
-    ws: &Workspace,
-    symbols: &crate::SymbolTable,
-    a: Oop,
-    b: Oop,
-) -> bool {
+pub fn structurally_equal(ws: &Workspace, symbols: &crate::SymbolTable, a: Oop, b: Oop) -> bool {
     if a == b {
         // Identical objects are trivially equivalent — except NaN, which is
         // not equal to itself numerically.

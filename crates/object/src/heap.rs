@@ -180,10 +180,7 @@ impl HeapObject {
 
     /// Greatest integer element name, if any (OrderedCollection append).
     pub fn max_int_name(&self) -> Option<i64> {
-        self.elements
-            .range(..=ElemName::Int(i64::MAX))
-            .next_back()
-            .and_then(|(n, _)| n.as_int())
+        self.elements.range(..=ElemName::Int(i64::MAX)).next_back().and_then(|(n, _)| n.as_int())
     }
 
     /// Append under the next integer name (1-based, Smalltalk indexing).
@@ -201,10 +198,10 @@ impl HeapObject {
 
     /// Byte body as UTF-8 text.
     pub fn as_str(&self) -> GemResult<&str> {
-        let b = self
-            .bytes
-            .as_deref()
-            .ok_or(GemError::TypeMismatch { expected: "byte object", got: "element object".into() })?;
+        let b = self.bytes.as_deref().ok_or(GemError::TypeMismatch {
+            expected: "byte object",
+            got: "element object".into(),
+        })?;
         std::str::from_utf8(b)
             .map_err(|_| GemError::TypeMismatch { expected: "utf-8 string", got: "bytes".into() })
     }
@@ -396,8 +393,7 @@ mod tests {
         let x = ElemName::Sym(s.intern("x"));
         let mut elements = BTreeMap::new();
         elements.insert(x, Oop::int(1));
-        let mut obj =
-            HeapObject::faulted(k.object, Goop(7), SegmentId::SYSTEM, elements, None, 0);
+        let mut obj = HeapObject::faulted(k.object, Goop(7), SegmentId::SYSTEM, elements, None, 0);
         obj.set_elem(x, Oop::NIL);
         assert_eq!(obj.raw_elements().count(), 1, "tombstone preserved for history");
         assert_eq!(obj.present_elements().count(), 0);
@@ -413,7 +409,8 @@ mod tests {
         assert_ne!(a, b);
         assert_eq!(obj.alias_next(), 2);
         // A faulted copy continues the alias sequence.
-        let mut copy = HeapObject::faulted(k.set, Goop(1), SegmentId::SYSTEM, BTreeMap::new(), None, 2);
+        let mut copy =
+            HeapObject::faulted(k.set, Goop(1), SegmentId::SYSTEM, BTreeMap::new(), None, 2);
         let c = copy.add_aliased(Oop::int(3));
         assert_eq!(c, ElemName::Alias(2));
     }
@@ -424,8 +421,7 @@ mod tests {
         let mut obj = HeapObject::new_elements(k.ordered_collection, SegmentId::SYSTEM);
         assert_eq!(obj.push_indexed(Oop::int(10)), ElemName::Int(1));
         assert_eq!(obj.push_indexed(Oop::int(20)), ElemName::Int(2));
-        let vals: Vec<i64> =
-            obj.present_elements().map(|(_, v)| v.as_int().unwrap()).collect();
+        let vals: Vec<i64> = obj.present_elements().map(|(_, v)| v.as_int().unwrap()).collect();
         assert_eq!(vals, vec![10, 20]);
         assert_eq!(obj.max_int_name(), Some(2));
     }
@@ -469,14 +465,8 @@ mod tests {
         let mut ws = Workspace::new();
         let g = Goop(42);
         assert_eq!(ws.lookup_goop(g), None);
-        let o = ws.alloc(HeapObject::faulted(
-            k.object,
-            g,
-            SegmentId::SYSTEM,
-            BTreeMap::new(),
-            None,
-            0,
-        ));
+        let o =
+            ws.alloc(HeapObject::faulted(k.object, g, SegmentId::SYSTEM, BTreeMap::new(), None, 0));
         assert_eq!(ws.lookup_goop(g), Some(o));
     }
 

@@ -32,7 +32,9 @@ mod heap;
 mod oop;
 mod symbol;
 
-pub use class::{BodyFormat, ClassDef, ClassId, ClassKind, ClassTable, Kernel, MethodId, MethodRef};
+pub use class::{
+    BodyFormat, ClassDef, ClassId, ClassKind, ClassTable, Kernel, MethodId, MethodRef,
+};
 pub use elem::ElemName;
 pub use equality::{class_name, class_of, structurally_equal, value_key, ValueKey};
 pub use error::{GemError, GemResult};

@@ -175,9 +175,9 @@ macro_rules! tagged_impl {
                 match self.0 & TAG_MASK {
                     TAG_HEAP => OopKind::Heap(payload),
                     TAG_INT => OopKind::Int((self.0 as i64) >> TAG_BITS),
-                    TAG_CHAR => OopKind::Char(
-                        char::from_u32(payload as u32).expect("invalid char payload"),
-                    ),
+                    TAG_CHAR => {
+                        OopKind::Char(char::from_u32(payload as u32).expect("invalid char payload"))
+                    }
                     TAG_SYM => OopKind::Sym(SymbolId(payload as u32)),
                     TAG_FLOAT => OopKind::Float(f64::from_bits(self.0 & !TAG_MASK)),
                     TAG_CLASS => OopKind::Class(ClassId(payload as u32)),

@@ -45,16 +45,30 @@ pub enum Expr {
     /// `x := expr`.
     Assign(String, Box<Expr>),
     /// A message send (unary, binary or keyword — the selector tells).
-    Send { recv: Box<Expr>, selector: String, args: Vec<Expr> },
+    Send {
+        recv: Box<Expr>,
+        selector: String,
+        args: Vec<Expr>,
+    },
     /// `recv sel1; sel2: x; …` — cascades send each message to `recv`.
-    Cascade { recv: Box<Expr>, sends: Vec<(String, Vec<Expr>)> },
+    Cascade {
+        recv: Box<Expr>,
+        sends: Vec<(String, Vec<Expr>)>,
+    },
     /// `[:a :b | stmts]`.
     Block(Block),
     /// `root ! a ! b@7 ! c` — OPAL path navigation.
-    Path { root: Box<Expr>, steps: Vec<PathStep> },
+    Path {
+        root: Box<Expr>,
+        steps: Vec<PathStep>,
+    },
     /// `root ! a ! b := v` — assignment through a path (§4.3: "allow
     /// assignments to path expressions").
-    PathAssign { root: Box<Expr>, steps: Vec<PathStep>, value: Box<Expr> },
+    PathAssign {
+        root: Box<Expr>,
+        steps: Vec<PathStep>,
+        value: Box<Expr>,
+    },
 }
 
 /// A block literal.

@@ -47,8 +47,14 @@ pub enum Bc {
     StoreHome(u8),
     /// Temp of the `up`-th lexically enclosing block activation (nested
     /// closures over outer block variables — `do:` inside `do:`).
-    PushOuter { up: u8, idx: u8 },
-    StoreOuter { up: u8, idx: u8 },
+    PushOuter {
+        up: u8,
+        idx: u8,
+    },
+    StoreOuter {
+        up: u8,
+        idx: u8,
+    },
     /// Instance variable of the receiver, by pooled symbol.
     PushInstVar(u16),
     StoreInstVar(u16),
@@ -58,7 +64,10 @@ pub enum Bc {
     Pop,
     Dup,
     /// Send the pooled selector with `argc` arguments.
-    Send { sel: u16, argc: u8 },
+    Send {
+        sel: u16,
+        argc: u8,
+    },
     /// Unconditional relative jump (offset from the *next* instruction).
     Jump(i32),
     /// Pop; jump if false.
@@ -69,7 +78,9 @@ pub enum Bc {
     PushBlock(u16),
     /// Path step: pops [time?] and name and receiver, pushes the element
     /// value. The flag says whether a time operand was pushed.
-    PathStep { has_time: bool },
+    PathStep {
+        has_time: bool,
+    },
     /// Path store: pops value, name, receiver; stores the element; pushes
     /// the value (assignment yields its value).
     PathStore,
@@ -79,7 +90,10 @@ pub enum Bc {
     ReturnSelf,
     /// Declarative selection: pops `argc` captured values and the receiver
     /// collection; pushes the result array.
-    SelectQuery { lit: u16, argc: u8 },
+    SelectQuery {
+        lit: u16,
+        argc: u8,
+    },
 }
 
 /// A block compiled within a method. Blocks share the method's literal pool.

@@ -24,7 +24,13 @@ pub fn compile_method<W: OpalWorld>(
     source: &str,
 ) -> GemResult<CompiledMethod> {
     let ast = parser::parse_method(source)?;
-    Compiler::new(world, Some(class)).compile(&ast.selector, &ast.params, &ast.temps, &ast.body, false)
+    Compiler::new(world, Some(class)).compile(
+        &ast.selector,
+        &ast.params,
+        &ast.temps,
+        &ast.body,
+        false,
+    )
 }
 
 /// Compile a "doIt": a block of OPAL source whose last statement's value is
@@ -539,7 +545,13 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         Ok(())
     }
 
-    fn compile_and_or(&mut self, ctx: &mut Ctx, recv: &Expr, b: &Block, is_and: bool) -> GemResult<()> {
+    fn compile_and_or(
+        &mut self,
+        ctx: &mut Ctx,
+        recv: &Expr,
+        b: &Block,
+        is_and: bool,
+    ) -> GemResult<()> {
         self.compile_expr(ctx, recv)?;
         if is_and {
             let jf = ctx.emit_jump(Bc::JumpIfFalse);
@@ -568,8 +580,7 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
     ) -> GemResult<()> {
         let loop_start = ctx.code.len();
         self.inline_block(ctx, cond)?;
-        let jexit =
-            ctx.emit_jump(if until_false { Bc::JumpIfFalse } else { Bc::JumpIfTrue });
+        let jexit = ctx.emit_jump(if until_false { Bc::JumpIfFalse } else { Bc::JumpIfTrue });
         self.inline_block(ctx, body)?;
         ctx.emit(Bc::Pop);
         let back = -((ctx.code.len() + 1 - loop_start) as i32);
@@ -983,12 +994,10 @@ mod tests {
     #[test]
     fn select_with_analyzable_block_emits_query() {
         let mut w = BasicWorld::new();
-        let m = compile_doit(&mut w, "| c | c := Set new. c select: [:e | e salary > 100]").unwrap();
+        let m =
+            compile_doit(&mut w, "| c | c := Set new. c select: [:e | e salary > 100]").unwrap();
         assert!(m.code.iter().any(|b| matches!(b, Bc::SelectQuery { .. })));
-        let Some(Literal::Query(t)) = m
-            .literals
-            .iter()
-            .find(|l| matches!(l, Literal::Query(_)))
+        let Some(Literal::Query(t)) = m.literals.iter().find(|l| matches!(l, Literal::Query(_)))
         else {
             panic!()
         };
@@ -1015,8 +1024,8 @@ mod tests {
     fn unanalyzable_select_falls_back_to_send() {
         let mut w = BasicWorld::new();
         // printString is not a calculus operation.
-        let m = compile_doit(&mut w, "| c | c := Set new. c select: [:e | e printString = e]")
-            .unwrap();
+        let m =
+            compile_doit(&mut w, "| c | c := Set new. c select: [:e | e printString = e]").unwrap();
         assert!(!m.code.iter().any(|b| matches!(b, Bc::SelectQuery { .. })));
         assert_eq!(m.blocks.len(), 1, "procedural block retained");
     }

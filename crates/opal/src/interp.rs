@@ -5,11 +5,9 @@
 //! Manager" (§6) — here, through the [`OpalWorld`] trait.
 
 use crate::bytecode::{Bc, CompiledMethod, Literal};
-use crate::world::{compare_values, print_oop, prims, OpalWorld, PrintDepth};
 use crate::compiler;
-use gemstone_object::{
-    ElemName, GemError, GemResult, MethodId, MethodRef, Oop, OopKind, SymbolId,
-};
+use crate::world::{compare_values, prims, print_oop, OpalWorld, PrintDepth};
+use gemstone_object::{ElemName, GemError, GemResult, MethodId, MethodRef, Oop, OopKind, SymbolId};
 use gemstone_temporal::TxnTime;
 use std::cell::RefCell;
 use std::cmp::Ordering;
@@ -558,9 +556,10 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                         return Err(GemError::RuntimeError("bad block arity".into()));
                     }
                     let idx = self.world.get_elem(recv, self.closure_elem)?;
-                    let idx = idx.as_int().ok_or_else(|| {
-                        GemError::RuntimeError("stale block closure".into())
-                    })? as usize;
+                    let idx = idx
+                        .as_int()
+                        .ok_or_else(|| GemError::RuntimeError("stale block closure".into()))?
+                        as usize;
                     let closure = self
                         .closures
                         .get(idx)
@@ -637,7 +636,9 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     self.top().stack.push(v);
                     return Ok(());
                 }
-            } else if args.len() == 1 && name.ends_with(':') && !name[..name.len() - 1].contains(':')
+            } else if args.len() == 1
+                && name.ends_with(':')
+                && !name[..name.len() - 1].contains(':')
             {
                 let base = self.world.intern(&name[..name.len() - 1]);
                 if self.world.declares_instvar(class, base) {
@@ -656,13 +657,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
 
     // ------------------------------------------------------ primitives
 
-    fn primitive(
-        &mut self,
-        p: u32,
-        recv: Oop,
-        args: &[Oop],
-        selector: SymbolId,
-    ) -> GemResult<Oop> {
+    fn primitive(&mut self, p: u32, recv: Oop, args: &[Oop], selector: SymbolId) -> GemResult<Oop> {
         use prims::*;
         Ok(match p {
             IDENTICAL => Oop::bool(recv == args[0]),
@@ -677,10 +672,8 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
             EQUAL => Oop::bool(self.world.equals(recv, args[0])?),
             NOT_EQUAL => Oop::bool(!self.world.equals(recv, args[0])?),
             ERROR => {
-                let msg = self
-                    .world
-                    .string_value(args[0])
-                    .unwrap_or_else(|| format!("{:?}", args[0]));
+                let msg =
+                    self.world.string_value(args[0]).unwrap_or_else(|| format!("{:?}", args[0]));
                 return Err(GemError::RuntimeError(msg));
             }
             YOURSELF => recv,
@@ -757,9 +750,8 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 _ => return Err(self.num_mismatch(recv)),
             },
             MIN | MAX => {
-                let ord = compare_values(self.world, recv, args[0])?.ok_or_else(|| {
-                    self.num_mismatch(recv)
-                })?;
+                let ord = compare_values(self.world, recv, args[0])?
+                    .ok_or_else(|| self.num_mismatch(recv))?;
                 if (p == MIN) == (ord == Ordering::Less) {
                     recv
                 } else {

@@ -490,7 +490,10 @@ mod tests {
         assert_eq!(kinds("#at:put:"), vec![Tok::Sym("at:put:".into()), Tok::Eof]);
         assert_eq!(kinds("#+"), vec![Tok::Sym("+".into()), Tok::Eof]);
         assert_eq!(kinds("#'Acme Corp'"), vec![Tok::Sym("Acme Corp".into()), Tok::Eof]);
-        assert_eq!(kinds("#(1 2)"), vec![Tok::HashParen, Tok::Int(1), Tok::Int(2), Tok::RParen, Tok::Eof]);
+        assert_eq!(
+            kinds("#(1 2)"),
+            vec![Tok::HashParen, Tok::Int(1), Tok::Int(2), Tok::RParen, Tok::Eof]
+        );
     }
 
     #[test]
@@ -529,12 +532,15 @@ mod tests {
 
     #[test]
     fn binary_selectors() {
-        assert_eq!(kinds("a <= b"), vec![
-            Tok::Ident("a".into()),
-            Tok::BinSel("<=".into()),
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            kinds("a <= b"),
+            vec![
+                Tok::Ident("a".into()),
+                Tok::BinSel("<=".into()),
+                Tok::Ident("b".into()),
+                Tok::Eof
+            ]
+        );
         assert_eq!(kinds("a ~= b")[1], Tok::BinSel("~=".into()));
         assert_eq!(kinds("a , b")[1], Tok::BinSel(",".into()));
     }

@@ -38,7 +38,10 @@ pub use world::{install_kernel_methods, BasicWorld, OpalWorld, PrintDepth};
 
 /// Convenience: parse, compile and run a source block against a world,
 /// returning the value of its last statement.
-pub fn run_block<W: OpalWorld>(world: &mut W, source: &str) -> gemstone_object::GemResult<gemstone_object::Oop> {
+pub fn run_block<W: OpalWorld>(
+    world: &mut W,
+    source: &str,
+) -> gemstone_object::GemResult<gemstone_object::Oop> {
     let method = compile_doit(world, source)?;
     let id = world.add_method_code(method);
     Interpreter::new(world).run_doit(id)

@@ -80,7 +80,9 @@ impl Parser {
             Tok::Ident(name) => Ok((name, vec![])),
             Tok::BinSel(op) => match self.next() {
                 Tok::Ident(p) => Ok((op, vec![p])),
-                t => Err(self.error(format!("expected parameter after binary selector, found {t}"))),
+                t => {
+                    Err(self.error(format!("expected parameter after binary selector, found {t}")))
+                }
             },
             Tok::Keyword(first) => {
                 let mut selector = format!("{first}:");

@@ -114,7 +114,11 @@ pub trait OpalWorld {
 }
 
 /// Human-readable rendering of any value, used by `printString`.
-pub fn print_oop<W: OpalWorld + ?Sized>(world: &mut W, oop: Oop, depth: PrintDepth) -> GemResult<String> {
+pub fn print_oop<W: OpalWorld + ?Sized>(
+    world: &mut W,
+    oop: Oop,
+    depth: PrintDepth,
+) -> GemResult<String> {
     Ok(match oop.kind() {
         OopKind::Nil => "nil".into(),
         OopKind::True => "true".into(),
@@ -153,11 +157,8 @@ pub fn print_oop<W: OpalWorld + ?Sized>(world: &mut W, oop: Oop, depth: PrintDep
                 s.push(')');
                 s
             } else {
-                let article = if "AEIOU".contains(cname.chars().next().unwrap_or('X')) {
-                    "an"
-                } else {
-                    "a"
-                };
+                let article =
+                    if "AEIOU".contains(cname.chars().next().unwrap_or('X')) { "an" } else { "a" };
                 format!("{article} {cname}")
             }
         }

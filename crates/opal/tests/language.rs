@@ -72,7 +72,7 @@ fn strings_and_symbols() {
     assert_eq!(as_string(&w, v), "GemStone");
     assert_eq!(eval("'abc' size").as_int(), Some(3));
     assert_eq!(eval("'abc' at: 2").as_char(), Some('b'));
-    assert!(matches!(eval("#name") .kind(), OopKind::Sym(_)));
+    assert!(matches!(eval("#name").kind(), OopKind::Sym(_)));
     assert_eq!(eval("'name' asSymbol = #name").as_bool(), Some(true));
     assert!(matches!(eval_err("'abc' at: 4"), GemError::IndexOutOfRange { .. }));
 }
@@ -162,8 +162,14 @@ fn non_local_return_from_block() {
 
 #[test]
 fn collections_protocols() {
-    assert_eq!(eval("| c | c := OrderedCollection new. c add: 3; add: 1. c size").as_int(), Some(2));
-    assert_eq!(eval("| c | c := OrderedCollection new. c add: 3; add: 1. c first").as_int(), Some(3));
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 3; add: 1. c size").as_int(),
+        Some(2)
+    );
+    assert_eq!(
+        eval("| c | c := OrderedCollection new. c add: 3; add: 1. c first").as_int(),
+        Some(3)
+    );
     assert_eq!(eval("| s | s := Set new. s add: 5; add: 5; add: 6. s size").as_int(), Some(2));
     assert_eq!(eval("| b | b := Bag new. b add: 5; add: 5. b size").as_int(), Some(2));
     assert_eq!(
@@ -218,8 +224,10 @@ fn collection_arithmetic_protocols() {
         Some(3)
     );
     assert_eq!(
-        eval("| c | c := OrderedCollection new. 1 to: 10 do: [:i | c add: i]. c count: [:e | e > 7]")
-            .as_int(),
+        eval(
+            "| c | c := OrderedCollection new. 1 to: 10 do: [:i | c add: i]. c count: [:e | e > 7]"
+        )
+        .as_int(),
         Some(3)
     );
     assert_eq!(
@@ -249,10 +257,7 @@ fn sorting_and_searching() {
         eval("| c | c := OrderedCollection new. c add: 7; add: 8; add: 9. c indexOf: 8").as_int(),
         Some(2)
     );
-    assert_eq!(
-        eval("| c | c := OrderedCollection new. c add: 7. c indexOf: 99").as_int(),
-        Some(0)
-    );
+    assert_eq!(eval("| c | c := OrderedCollection new. c add: 7. c indexOf: 99").as_int(), Some(0));
 }
 
 #[test]
@@ -282,10 +287,7 @@ fn dictionaries() {
         "string keys intern to the same element names"
     );
     assert_eq!(eval("| d | d := Dictionary new. d at: #x").kind(), OopKind::Nil);
-    assert_eq!(
-        eval("| d | d := Dictionary new. d at: #x ifAbsent: [99]").as_int(),
-        Some(99)
-    );
+    assert_eq!(eval("| d | d := Dictionary new. d at: #x ifAbsent: [99]").as_int(), Some(99));
     assert_eq!(
         eval("| d | d := Dictionary new. d at: 1 put: 'a'. d at: #b put: 2. d keys size").as_int(),
         Some(2)
@@ -307,10 +309,7 @@ fn class_definition_from_opal() {
          Employee subclass: 'Manager' instVarNames: #('departmentManaged').
          Employee compile: 'raiseBy: pct salary := salary + (salary * pct / 100) asInteger. ^salary'",
     );
-    let v = eval_in(
-        &mut w,
-        "| m | m := Manager new. m salary: 24000. m raiseBy: 10",
-    );
+    let v = eval_in(&mut w, "| m | m := Manager new. m salary: 24000. m raiseBy: 10");
     assert_eq!(v.as_int(), Some(26400), "Manager inherits Employee's method");
     let v = eval_in(&mut w, "Manager new isKindOf: Employee");
     assert_eq!(v.as_bool(), Some(true));
@@ -387,10 +386,7 @@ fn temporal_path_needs_a_database() {
 
 #[test]
 fn cascades_return_last_message_value() {
-    assert_eq!(
-        eval("| c | c := OrderedCollection new. c add: 1; add: 2; size").as_int(),
-        Some(2)
-    );
+    assert_eq!(eval("| c | c := OrderedCollection new. c add: 1; add: 2; size").as_int(), Some(2));
 }
 
 #[test]
@@ -440,10 +436,7 @@ fn to_do_inside_block() {
 fn deep_recursion_is_guarded() {
     let mut w = BasicWorld::new();
     eval_in(&mut w, "Object subclass: 'R' instVarNames: #(). R compile: 'go ^self go'");
-    assert!(matches!(
-        run_block(&mut w, "R new go").unwrap_err(),
-        GemError::ResourceExhausted(_)
-    ));
+    assert!(matches!(run_block(&mut w, "R new go").unwrap_err(), GemError::ResourceExhausted(_)));
 }
 
 #[test]

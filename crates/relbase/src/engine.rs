@@ -233,12 +233,7 @@ pub fn nested_loop_join(
 }
 
 /// Equi-join by hashing the right side: O(|L| + |R|).
-pub fn hash_join(
-    left: &Relation,
-    lattr: usize,
-    right: &Relation,
-    rattr: usize,
-) -> Vec<Vec<Rval>> {
+pub fn hash_join(left: &Relation, lattr: usize, right: &Relation, rattr: usize) -> Vec<Vec<Rval>> {
     let mut table: HashMap<RvalKey, Vec<&Vec<Rval>>> = HashMap::new();
     for r in right.rows() {
         if let Some(k) = r[rattr].key() {
@@ -310,9 +305,8 @@ mod tests {
         let r = employees();
         let salary = r.attr("salary");
         assert_eq!(r.select(&Pred::Gt(salary, 24_500.0)).len(), 2);
-        let pred = Pred::Fn(Box::new(move |row| {
-            matches!(&row[salary], Rval::Int(s) if *s % 1000 == 0)
-        }));
+        let pred =
+            Pred::Fn(Box::new(move |row| matches!(&row[salary], Rval::Int(s) if *s % 1000 == 0)));
         assert_eq!(r.select(&pred).len(), 2);
     }
 
@@ -372,7 +366,11 @@ mod tests {
         let mut r = Relation::new("R", &["x"]);
         r.insert(vec![Rval::Int(3)]);
         r.create_index(0);
-        assert_eq!(r.select(&Pred::Eq(0, Rval::Float(3.0))).len(), 0, "strict typing: 3 ≠ 3.0 under Rval eq");
+        assert_eq!(
+            r.select(&Pred::Eq(0, Rval::Float(3.0))).len(),
+            0,
+            "strict typing: 3 ≠ 3.0 under Rval eq"
+        );
         assert_eq!(r.select(&Pred::Eq(0, Rval::Int(3))).len(), 1);
     }
 }

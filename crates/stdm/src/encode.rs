@@ -31,10 +31,7 @@ pub fn set_to_relation(attrs: &[&str], rel: &LabeledSet) -> Vec<Vec<SValue>> {
     rel.iter()
         .map(|(_, tuple)| {
             let t = tuple.as_set().expect("tuple must be a set");
-            attrs
-                .iter()
-                .map(|a| t.get(&Label::name(*a)).cloned().unwrap_or(SValue::Nil))
-                .collect()
+            attrs.iter().map(|a| t.get(&Label::name(*a)).cloned().unwrap_or(SValue::Nil)).collect()
         })
         .collect()
 }
@@ -51,10 +48,7 @@ pub fn array_to_set<V: Into<SValue>>(items: impl IntoIterator<Item = V>) -> Labe
 
 /// Read an array encoding back out in index order.
 pub fn set_to_array(s: &LabeledSet) -> Vec<SValue> {
-    s.iter()
-        .filter(|(l, _)| matches!(l, Label::Int(_)))
-        .map(|(_, v)| v.clone())
-        .collect()
+    s.iter().filter(|(l, _)| matches!(l, Label::Int(_))).map(|(_, v)| v.clone()).collect()
 }
 
 /// The §5.2 flattening: an employee with a set of children becomes one

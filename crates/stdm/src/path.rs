@@ -99,9 +99,7 @@ fn split_components(src: &str) -> Result<Vec<(Label, Option<TxnTime>)>, PathErro
                 while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
                     s.push(chars.next().unwrap());
                 }
-                Label::Int(
-                    s.parse().map_err(|_| PathError::Parse(format!("bad integer {s}")))?,
-                )
+                Label::Int(s.parse().map_err(|_| PathError::Parse(format!("bad integer {s}")))?)
             }
             Some(c) if c.is_alphanumeric() || *c == '_' => {
                 let mut s = String::new();
@@ -122,8 +120,7 @@ fn split_components(src: &str) -> Result<Vec<(Label, Option<TxnTime>)>, PathErro
             while chars.peek().is_some_and(|c| c.is_ascii_digit()) {
                 s.push(chars.next().unwrap());
             }
-            let ticks: u64 =
-                s.parse().map_err(|_| PathError::Parse(format!("bad time @{s}")))?;
+            let ticks: u64 = s.parse().map_err(|_| PathError::Parse(format!("bad time @{s}")))?;
             Some(TxnTime::from_ticks(ticks))
         } else {
             None
@@ -154,10 +151,8 @@ impl Path {
         let mut cur_val: Option<&'a SValue> = None;
         for (i, step) in self.steps.iter().enumerate() {
             if i > 0 {
-                cur_set = cur_val
-                    .unwrap()
-                    .as_set()
-                    .ok_or_else(|| PathError::NotASet(self.prefix(i)))?;
+                cur_set =
+                    cur_val.unwrap().as_set().ok_or_else(|| PathError::NotASet(self.prefix(i)))?;
             }
             let when = step.at.or(dial);
             let v = match when {

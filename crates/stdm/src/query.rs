@@ -125,17 +125,13 @@ type Bindings = HashMap<String, SValue>;
 
 fn eval_term(term: &Term, env: &Bindings) -> Result<SValue, QueryError> {
     match term {
-        Term::Var(v) => {
-            env.get(v).cloned().ok_or_else(|| QueryError::UnboundVariable(v.clone()))
-        }
+        Term::Var(v) => env.get(v).cloned().ok_or_else(|| QueryError::UnboundVariable(v.clone())),
         Term::Const(c) => Ok(c.clone()),
         Term::Path(v, labels) => {
             let mut cur =
                 env.get(v).cloned().ok_or_else(|| QueryError::UnboundVariable(v.clone()))?;
             for l in labels {
-                let set = cur
-                    .as_set()
-                    .ok_or_else(|| QueryError::NotASet(format!("{v}!{l}")))?;
+                let set = cur.as_set().ok_or_else(|| QueryError::NotASet(format!("{v}!{l}")))?;
                 cur = set
                     .get(l)
                     .cloned()
@@ -150,12 +146,7 @@ fn eval_term(term: &Term, env: &Bindings) -> Result<SValue, QueryError> {
     }
 }
 
-fn arith(
-    a: &Term,
-    b: &Term,
-    env: &Bindings,
-    f: fn(f64, f64) -> f64,
-) -> Result<SValue, QueryError> {
+fn arith(a: &Term, b: &Term, env: &Bindings, f: fn(f64, f64) -> f64) -> Result<SValue, QueryError> {
     let av = eval_term(a, env)?;
     let bv = eval_term(b, env)?;
     let x = av.as_number().ok_or_else(|| QueryError::NotANumber(format!("{a:?}")))?;
@@ -239,9 +230,8 @@ impl Query {
         }
         let range = &self.ranges[depth];
         let domain = eval_term(&range.domain, env)?;
-        let set = domain
-            .as_set()
-            .ok_or_else(|| QueryError::NotASet(format!("{:?}", range.domain)))?;
+        let set =
+            domain.as_set().ok_or_else(|| QueryError::NotASet(format!("{:?}", range.domain)))?;
         let values: Vec<SValue> = set.iter().map(|(_, v)| v.clone()).collect();
         for v in values {
             env.insert(range.var.clone(), v);
@@ -319,13 +309,11 @@ mod tests {
                 Range { var: "d".into(), domain: Term::path("X", ["Departments"]) },
                 Range { var: "m".into(), domain: Term::path("d", ["Managers"]) },
             ],
-            pred: Pred::In(Term::path("d", ["Name"]), Term::path("e", ["Depts"])).and(
-                Pred::Cmp(
-                    Term::path("e", ["Salary"]),
-                    CmpOp::Gt,
-                    Term::Mul(Box::new(Term::num(0.10)), Box::new(Term::path("d", ["Budget"]))),
-                ),
-            ),
+            pred: Pred::In(Term::path("d", ["Name"]), Term::path("e", ["Depts"])).and(Pred::Cmp(
+                Term::path("e", ["Salary"]),
+                CmpOp::Gt,
+                Term::Mul(Box::new(Term::num(0.10)), Box::new(Term::path("d", ["Budget"]))),
+            )),
         }
     }
 
@@ -389,7 +377,11 @@ mod tests {
             Term::Mul(Box::new(Term::num(2.0)), Box::new(Term::num(2.0))),
         );
         assert!(eval_pred(&p, &env).unwrap());
-        let p = Pred::Cmp(Term::Const(SValue::from("abc")), CmpOp::Lt, Term::Const(SValue::from("abd")));
+        let p = Pred::Cmp(
+            Term::Const(SValue::from("abc")),
+            CmpOp::Lt,
+            Term::Const(SValue::from("abd")),
+        );
         assert!(eval_pred(&p, &env).unwrap());
     }
 

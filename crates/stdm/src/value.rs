@@ -182,9 +182,7 @@ impl LabeledSet {
 
     /// Present elements (non-nil current values), in label order.
     pub fn iter(&self) -> impl Iterator<Item = (&Label, &SValue)> {
-        self.elems
-            .iter()
-            .filter_map(|(l, h)| h.current().filter(|v| !v.is_nil()).map(|v| (l, v)))
+        self.elems.iter().filter_map(|(l, h)| h.current().filter(|v| !v.is_nil()).map(|v| (l, v)))
     }
 
     /// Elements present at time `t`.
@@ -307,8 +305,7 @@ mod tests {
         let research = depts
             .iter()
             .find(|(_, d)| {
-                d.as_set().unwrap().get(&Label::name("Name"))
-                    == Some(&SValue::from("Research"))
+                d.as_set().unwrap().get(&Label::name("Name")) == Some(&SValue::from("Research"))
             })
             .unwrap()
             .1

@@ -93,10 +93,7 @@ mod tests {
         assert_eq!(writes.len(), 3, "150 bytes need 3×64-byte tracks");
         assert_eq!(locs[0].extent_len, 3);
         let cover = covering_tracks(&locs[0], 64);
-        assert_eq!(
-            cover,
-            vec![(TrackId(5), 0, 64), (TrackId(6), 0, 64), (TrackId(7), 0, 22)]
-        );
+        assert_eq!(cover, vec![(TrackId(5), 0, 64), (TrackId(6), 0, 64), (TrackId(7), 0, 22)]);
     }
 
     #[test]
@@ -110,8 +107,7 @@ mod tests {
 
     #[test]
     fn reassembly_matches_original() {
-        let blobs: Vec<Vec<u8>> =
-            (0..5).map(|i| vec![i as u8; 37 * (i + 1)]).collect();
+        let blobs: Vec<Vec<u8>> = (0..5).map(|i| vec![i as u8; 37 * (i + 1)]).collect();
         let payload = 64;
         let (locs, writes) = pack(&blobs, 10, payload);
         // Simulate the disk: track -> data.

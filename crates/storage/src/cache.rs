@@ -5,7 +5,7 @@
 //! clustering experiments (C7).
 
 use crate::disk::TrackId;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 /// Cache statistics.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -15,10 +15,18 @@ pub struct CacheStats {
 }
 
 /// An LRU cache of track payloads (checksum already stripped).
+///
+/// Recency is an append-only queue of `(track, stamp)` touch records; each
+/// entry stores its latest stamp, and queue records with stale stamps are
+/// tombstones skipped during eviction. Every operation — including eviction
+/// — is amortized O(1): a touch record is pushed once and popped at most
+/// once, where a `min_by_key` sweep would make each insert O(len).
 #[derive(Debug)]
 pub struct TrackCache {
     capacity: usize,
     entries: HashMap<TrackId, (u64, Vec<u8>)>,
+    /// Touch order, oldest first; stale stamps are tombstones.
+    recency: VecDeque<(TrackId, u64)>,
     tick: u64,
     stats: CacheStats,
 }
@@ -26,42 +34,80 @@ pub struct TrackCache {
 impl TrackCache {
     /// A cache holding up to `capacity` tracks.
     pub fn new(capacity: usize) -> TrackCache {
-        TrackCache { capacity, entries: HashMap::new(), tick: 0, stats: CacheStats::default() }
+        TrackCache {
+            capacity,
+            entries: HashMap::new(),
+            recency: VecDeque::new(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Record a touch of `id` now, returning the stamp. The caller must
+    /// store the stamp into the entry before the next [`Self::compact`].
+    fn touch(&mut self, id: TrackId) -> u64 {
+        self.tick += 1;
+        self.recency.push_back((id, self.tick));
+        self.tick
+    }
+
+    /// Keep tombstones from accumulating without bound under hit-heavy
+    /// workloads; the sweep cost amortizes over the pushes that grew it.
+    fn compact(&mut self) {
+        if self.recency.len() > self.entries.len() * 2 + 16 {
+            let entries = &self.entries;
+            self.recency.retain(|(t, stamp)| entries.get(t).is_some_and(|(s, _)| s == stamp));
+        }
+    }
+
+    /// Remove the least recently used entry (assumes one exists).
+    fn evict_lru(&mut self) {
+        while let Some((victim, stamp)) = self.recency.pop_front() {
+            match self.entries.get(&victim) {
+                // Live head record: this is the true LRU entry.
+                Some((s, _)) if *s == stamp => {
+                    self.entries.remove(&victim);
+                    return;
+                }
+                // Tombstone (entry re-touched later, or invalidated).
+                _ => {}
+            }
+        }
     }
 
     /// Look up a track, refreshing its recency.
     pub fn get(&mut self, id: TrackId) -> Option<&[u8]> {
-        self.tick += 1;
-        let tick = self.tick;
-        match self.entries.get_mut(&id) {
-            Some((last, data)) => {
-                *last = tick;
-                self.stats.hits += 1;
-                Some(&*data)
-            }
-            None => {
-                self.stats.misses += 1;
-                None
-            }
+        if !self.entries.contains_key(&id) {
+            self.stats.misses += 1;
+            return None;
         }
+        let stamp = self.touch(id);
+        {
+            let (last, _) = self.entries.get_mut(&id).expect("checked above");
+            *last = stamp;
+        }
+        self.compact();
+        self.stats.hits += 1;
+        let (_, data) = self.entries.get(&id).expect("checked above");
+        Some(&*data)
     }
 
     /// Insert (or refresh) a track payload, evicting the least recently used
     /// entry if full.
     pub fn put(&mut self, id: TrackId, data: Vec<u8>) {
-        self.tick += 1;
         if self.capacity == 0 {
             return;
         }
         if !self.entries.contains_key(&id) && self.entries.len() >= self.capacity {
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (last, _))| *last) {
-                self.entries.remove(&victim);
-            }
+            self.evict_lru();
         }
-        self.entries.insert(id, (self.tick, data));
+        let stamp = self.touch(id);
+        self.entries.insert(id, (stamp, data));
+        self.compact();
     }
 
-    /// Drop a track (it has been superseded by a shadow copy).
+    /// Drop a track (it has been superseded by a shadow copy). Its queue
+    /// records become tombstones.
     pub fn invalidate(&mut self, id: TrackId) {
         self.entries.remove(&id);
     }
@@ -69,6 +115,7 @@ impl TrackCache {
     /// Drop everything (recovery).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.recency.clear();
     }
 
     /// Hit/miss counters.
@@ -141,5 +188,93 @@ mod tests {
         c.put(TrackId(1), vec![1]);
         c.invalidate(TrackId(1));
         assert!(c.get(TrackId(1)).is_none());
+    }
+
+    #[test]
+    fn eviction_order_survives_interleaved_gets_and_puts() {
+        // Heavy interleaving of refreshes, re-puts, and invalidations: the
+        // tombstoned queue must still evict in exact LRU order.
+        let mut c = TrackCache::new(3);
+        c.put(TrackId(1), vec![1]);
+        c.put(TrackId(2), vec![2]);
+        c.put(TrackId(3), vec![3]);
+        // Touch order now 1, 2, 3. Refresh 1 twice, 2 once (stale records
+        // for both pile up in the queue).
+        let _ = c.get(TrackId(1));
+        let _ = c.get(TrackId(2));
+        let _ = c.get(TrackId(1));
+        // LRU order: 3, 2, 1. Insert 4 → evicts 3.
+        c.put(TrackId(4), vec![4]);
+        assert!(c.get(TrackId(3)).is_none(), "3 was LRU");
+        assert_eq!(c.len(), 3);
+        // Re-put of 2 refreshes it. LRU order: 1, 4, 2. Insert 5 → evicts 1.
+        c.put(TrackId(2), vec![22]);
+        c.put(TrackId(5), vec![5]);
+        assert!(c.get(TrackId(1)).is_none(), "1 was LRU");
+        assert_eq!(c.get(TrackId(2)), Some(&[22u8][..]), "re-put payload survives");
+        // That get refreshed 2: LRU order is now 4, 5, 2. Invalidate the
+        // current LRU (4); its queue records become tombstones eviction must
+        // skip over.
+        c.invalidate(TrackId(4));
+        c.put(TrackId(6), vec![6]); // room after the invalidate — no eviction
+        assert_eq!(c.len(), 3);
+        c.put(TrackId(7), vec![7]); // evicts 5 (oldest live touch; 4 skipped)
+        assert!(c.get(TrackId(5)).is_none(), "5 evicted after invalidated 4 skipped");
+        assert!(c.get(TrackId(2)).is_some());
+        assert!(c.get(TrackId(6)).is_some());
+        assert!(c.get(TrackId(7)).is_some());
+    }
+
+    #[test]
+    fn long_interleaving_matches_reference_lru() {
+        // Pseudo-random get/put stream checked against an O(n²) reference
+        // implementation.
+        #[derive(Default)]
+        struct RefLru {
+            order: Vec<(u32, Vec<u8>)>, // oldest first
+        }
+        impl RefLru {
+            fn get(&mut self, id: u32) -> Option<Vec<u8>> {
+                let pos = self.order.iter().position(|(t, _)| *t == id)?;
+                let e = self.order.remove(pos);
+                let v = e.1.clone();
+                self.order.push(e);
+                Some(v)
+            }
+            fn put(&mut self, id: u32, data: Vec<u8>, cap: usize) {
+                if let Some(pos) = self.order.iter().position(|(t, _)| *t == id) {
+                    self.order.remove(pos);
+                } else if self.order.len() >= cap {
+                    self.order.remove(0);
+                }
+                self.order.push((id, data));
+            }
+        }
+
+        let mut c = TrackCache::new(4);
+        let mut r = RefLru::default();
+        let mut state = 0x2545F491u64;
+        for step in 0..2000u64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let id = ((state >> 33) % 10) as u32;
+            match (state >> 13) % 3 {
+                0 => {
+                    let got = c.get(TrackId(id)).map(|b| b.to_vec());
+                    assert_eq!(got, r.get(id), "step {step}: get({id}) diverged");
+                }
+                1 => {
+                    let payload = vec![(step % 251) as u8];
+                    c.put(TrackId(id), payload.clone());
+                    r.put(id, payload, 4);
+                }
+                _ => {
+                    c.invalidate(TrackId(id));
+                    if let Some(pos) = r.order.iter().position(|(t, _)| *t == id) {
+                        r.order.remove(pos);
+                    }
+                }
+            }
+            assert_eq!(c.len(), r.order.len(), "step {step}: size diverged");
+        }
     }
 }

@@ -154,8 +154,7 @@ mod tests {
         safe_write_group(&mut d, &[(TrackId(2), b"v1".to_vec())], &root(1)).unwrap();
         // Crash after 1 data write of the next group — root never lands.
         d.replica_mut(0).fail_after_writes(1);
-        let data =
-            vec![(TrackId(3), b"v2a".to_vec()), (TrackId(4), b"v2b".to_vec())];
+        let data = vec![(TrackId(3), b"v2a".to_vec()), (TrackId(4), b"v2b".to_vec())];
         assert!(safe_write_group(&mut d, &data, &root(2)).is_err());
         d.replica_mut(0).revive();
         let r = recover_root(&mut d).unwrap();
@@ -168,9 +167,7 @@ mod tests {
         safe_write_group(&mut d, &[], &root(1)).unwrap();
         // Next group: 1 data write succeeds, the root write tears.
         d.replica_mut(0).fail_after_writes(1);
-        assert!(
-            safe_write_group(&mut d, &[(TrackId(2), b"x".to_vec())], &root(2)).is_err()
-        );
+        assert!(safe_write_group(&mut d, &[(TrackId(2), b"x".to_vec())], &root(2)).is_err());
         d.replica_mut(0).revive();
         let r = recover_root(&mut d).unwrap();
         assert_eq!(r.epoch, 1, "torn root fails checksum; epoch 1 survives");

@@ -108,10 +108,11 @@ impl Directory {
             }
         }
         if let Some(key) = new_key {
-            self.tree
-                .entry(key.clone())
-                .or_default()
-                .push(DirEntry { goop, from: t, to: TxnTime::PENDING });
+            self.tree.entry(key.clone()).or_default().push(DirEntry {
+                goop,
+                from: t,
+                to: TxnTime::PENDING,
+            });
             self.current_key.insert(goop, key);
         }
     }
@@ -168,7 +169,10 @@ mod tests {
     }
 
     fn dir() -> Directory {
-        Directory::new(DirectorySpec { class: ClassId(7), path: vec![ElemName::Sym(gemstone_object::SymbolId(1))] })
+        Directory::new(DirectorySpec {
+            class: ClassId(7),
+            path: vec![ElemName::Sym(gemstone_object::SymbolId(1))],
+        })
     }
 
     #[test]

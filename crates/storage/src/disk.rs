@@ -207,18 +207,18 @@ impl DiskArray {
         }
     }
 
-    /// Read from the first replica able to serve the track.
+    /// Read from the first replica able to serve the track. Exactly one
+    /// replica performs (and counts) one read per logical call: the serving
+    /// replica is chosen by side-effect-free probes first, so no replica's
+    /// counters double-count and dead replicas aren't touched.
     pub fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]> {
-        let n = self.replicas.len();
-        let mut last_err = None;
-        for i in 0..n {
-            // Two-phase to satisfy the borrow checker: probe, then borrow.
-            match self.replicas[i].read_track(id) {
-                Ok(_) => return self.replicas[i].read_track(id),
-                Err(e) => last_err = Some(e),
-            }
+        match (0..self.replicas.len())
+            .find(|&i| !self.replicas[i].is_dead() && self.replicas[i].track_exists(id))
+        {
+            Some(i) => self.replicas[i].read_track(id),
+            None if self.live_replicas() == 0 => Err(GemError::DiskFailure("disk is down".into())),
+            None => Err(GemError::DiskFailure(format!("track {id:?} never written"))),
         }
-        Err(last_err.unwrap_or_else(|| GemError::DiskFailure("no replicas".into())))
     }
 
     /// How many replicas are currently serving I/O.
@@ -305,6 +305,32 @@ mod tests {
         assert_eq!(a.live_replicas(), 1);
         let back = a.read_track(TrackId(5)).unwrap();
         assert_eq!(&back[..10], b"replicated", "mirror serves the read");
+    }
+
+    #[test]
+    fn array_read_counts_exactly_one_replica_read() {
+        // One logical read = one physical read on the serving replica; the
+        // mirror is untouched (an earlier probe-then-reborrow version read
+        // — and counted — the same track twice).
+        let mut a = DiskArray::new(128, 2);
+        a.write_track(TrackId(0), b"counted once").unwrap();
+        a.reset_stats();
+        for _ in 0..5 {
+            a.read_track(TrackId(0)).unwrap();
+        }
+        assert_eq!(a.stats().track_reads, 5, "primary serves and counts each read once");
+        assert_eq!(a.replica_mut(1).stats().track_reads, 0, "mirror untouched");
+
+        // Failed lookups (missing track) charge no replica either.
+        assert!(a.read_track(TrackId(7)).is_err());
+        assert_eq!(a.stats().track_reads, 5);
+        assert_eq!(a.replica_mut(1).stats().track_reads, 0);
+
+        // After the primary dies, the mirror serves — again one read each.
+        a.replica_mut(0).fail_after_writes(0);
+        let _ = a.replica_mut(0).write_track(TrackId(1), b"boom");
+        a.read_track(TrackId(0)).unwrap();
+        assert_eq!(a.replica_mut(1).stats().track_reads, 1);
     }
 
     #[test]

@@ -34,8 +34,8 @@
 //! … no garbage collection need be done on database objects" (§6).
 
 pub mod boxer;
-pub mod commit;
 mod cache;
+pub mod commit;
 mod directory;
 mod disk;
 mod format;

@@ -39,11 +39,7 @@ impl PersistentObject {
 
     /// Current value of an element (nil-tombstones filtered).
     pub fn elem_current(&self, name: ElemName) -> Option<PRef> {
-        self.elements
-            .get(&name)
-            .and_then(|h| h.current())
-            .copied()
-            .filter(|v| !v.is_nil())
+        self.elements.get(&name).and_then(|h| h.current()).copied().filter(|v| !v.is_nil())
     }
 
     /// Element value in the state at `t`.
@@ -53,16 +49,16 @@ impl PersistentObject {
 
     /// All elements present in the current state.
     pub fn current_elements(&self) -> impl Iterator<Item = (ElemName, PRef)> + '_ {
-        self.elements.iter().filter_map(|(n, h)| {
-            h.current().copied().filter(|v| !v.is_nil()).map(|v| (*n, v))
-        })
+        self.elements
+            .iter()
+            .filter_map(|(n, h)| h.current().copied().filter(|v| !v.is_nil()).map(|v| (*n, v)))
     }
 
     /// All elements present in the state at `t`.
     pub fn elements_at(&self, t: TxnTime) -> impl Iterator<Item = (ElemName, PRef)> + '_ {
-        self.elements.iter().filter_map(move |(n, h)| {
-            h.as_of(t).copied().filter(|v| !v.is_nil()).map(|v| (*n, v))
-        })
+        self.elements
+            .iter()
+            .filter_map(move |(n, h)| h.as_of(t).copied().filter(|v| !v.is_nil()).map(|v| (*n, v)))
     }
 
     /// Current byte body.

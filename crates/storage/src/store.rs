@@ -298,7 +298,8 @@ impl PermanentStore {
                 .collect();
             page_blobs.push((page_no, format::put_goop_page(&page)));
         }
-        let metas: Vec<(u8, Vec<u8>)> = std::mem::take(&mut self.staged_metas).into_iter().collect();
+        let metas: Vec<(u8, Vec<u8>)> =
+            std::mem::take(&mut self.staged_metas).into_iter().collect();
         let b_blobs: Vec<Vec<u8>> = page_blobs
             .iter()
             .map(|(_, b)| b.clone())
@@ -457,8 +458,7 @@ impl PermanentStore {
             }
             // Residents not tracked in order (e.g. installed by a commit):
             // evict arbitrarily.
-            let victim =
-                victim.or_else(|| self.objects.keys().find(|g| **g != keep).copied());
+            let victim = victim.or_else(|| self.objects.keys().find(|g| **g != keep).copied());
             match victim {
                 Some(v) => {
                     self.objects.remove(&v);
@@ -540,7 +540,9 @@ mod tests {
                 ],
             )
             .unwrap();
-        store.commit_batch(t(2), &[delta(g1, vec![(ElemName::Int(1), PRef::int(20))], false)]).unwrap();
+        store
+            .commit_batch(t(2), &[delta(g1, vec![(ElemName::Int(1), PRef::int(20))], false)])
+            .unwrap();
         store.set_meta(7, b"symbols!".to_vec());
         store.commit_batch(t(3), &[]).unwrap();
 
@@ -562,7 +564,9 @@ mod tests {
     fn crash_mid_commit_preserves_previous_state() {
         let mut store = PermanentStore::create(small_cfg()).unwrap();
         let g = store.alloc_goop();
-        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)]).unwrap();
+        store
+            .commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)])
+            .unwrap();
         // Crash after two writes of the second commit's group.
         store.disk_mut().replica_mut(0).fail_after_writes(2);
         let err =
@@ -583,7 +587,9 @@ mod tests {
     fn failed_commit_rolls_back_memory_state() {
         let mut store = PermanentStore::create(small_cfg()).unwrap();
         let g = store.alloc_goop();
-        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)]).unwrap();
+        store
+            .commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)])
+            .unwrap();
         store.disk_mut().replica_mut(0).fail_after_writes(0);
         assert!(store
             .commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(2))], false)])
@@ -595,7 +601,9 @@ mod tests {
             "in-memory object rolled back"
         );
         // And the store remains usable:
-        store.commit_batch(t(3), &[delta(g, vec![(ElemName::Int(1), PRef::int(3))], false)]).unwrap();
+        store
+            .commit_batch(t(3), &[delta(g, vec![(ElemName::Int(1), PRef::int(3))], false)])
+            .unwrap();
         assert_eq!(store.get(g).unwrap().elem_current(ElemName::Int(1)), Some(PRef::int(3)));
     }
 
@@ -648,9 +656,13 @@ mod tests {
         // re-opened store sees all history.
         let mut store = PermanentStore::create(small_cfg()).unwrap();
         let g = store.alloc_goop();
-        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)]).unwrap();
+        store
+            .commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)])
+            .unwrap();
         let used_before = store.disk_mut().replica_mut(0).tracks_in_use();
-        store.commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(2))], false)]).unwrap();
+        store
+            .commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(2))], false)])
+            .unwrap();
         let used_after = store.disk_mut().replica_mut(0).tracks_in_use();
         assert!(used_after > used_before, "shadow tracks accumulate");
         let obj = store.get(g).unwrap();
@@ -660,12 +672,9 @@ mod tests {
     #[test]
     fn many_objects_across_pages() {
         // Exercise multiple GOOP-table pages (span = 512).
-        let mut store = PermanentStore::create(StoreConfig {
-            track_size: 4096,
-            cache_tracks: 64,
-            replicas: 1,
-        })
-        .unwrap();
+        let mut store =
+            PermanentStore::create(StoreConfig { track_size: 4096, cache_tracks: 64, replicas: 1 })
+                .unwrap();
         let goops: Vec<Goop> = (0..1200).map(|_| store.alloc_goop()).collect();
         for chunk in goops.chunks(300) {
             let time = store.root().commit_time.ticks() + 1;
@@ -695,7 +704,9 @@ mod tests {
         })
         .unwrap();
         let g = store.alloc_goop();
-        store.commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(7))], true)]).unwrap();
+        store
+            .commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(7))], true)])
+            .unwrap();
         // Kill the primary replica.
         store.disk_mut().replica_mut(0).fail_after_writes(0);
         let _ = store.disk_mut().replica_mut(0).write_track(TrackId(99), b"x");

@@ -13,10 +13,7 @@ fn delta(goop: Goop, writes: Vec<(i64, i64)>, is_new: bool) -> ObjectDelta {
         class: ClassId(1),
         segment: SegmentId(0),
         alias_next: 0,
-        elem_writes: writes
-            .into_iter()
-            .map(|(k, v)| (ElemName::Int(k), PRef::int(v)))
-            .collect(),
+        elem_writes: writes.into_iter().map(|(k, v)| (ElemName::Int(k), PRef::int(v))).collect(),
         bytes_write: None,
         is_new,
     }

@@ -142,12 +142,7 @@ impl TransactionManager {
     /// transaction's start.
     pub fn safe_time(&self) -> TxnTime {
         let inner = self.inner.lock();
-        inner
-            .active
-            .values()
-            .copied()
-            .min()
-            .unwrap_or_else(|| self.clock.last_issued())
+        inner.active.values().copied().min().unwrap_or_else(|| self.clock.last_issued())
     }
 
     /// The most recent commit time.

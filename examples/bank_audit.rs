@@ -65,15 +65,16 @@ fn main() -> gemstone::GemResult<()> {
         assert_eq!(total, 3000, "conservation violated at t{t}");
     }
     teller.run("System timeDialNow")?;
-    println!("money conserved in every past state (t{}..t{})", opened.ticks(), times.last().unwrap().ticks());
+    println!(
+        "money conserved in every past state (t{}..t{})",
+        opened.ticks(),
+        times.last().unwrap().ticks()
+    );
 
     // ---- The audit: alice's balance through time. ------------------------
     println!("\nalice's statement (from element history, no audit table):");
     for t in opened.ticks()..=times.last().unwrap().ticks() {
-        let v = teller
-            .run(&format!("(Accounts at: 'alice') ! balance @ {t}"))?
-            .as_int()
-            .unwrap();
+        let v = teller.run(&format!("(Accounts at: 'alice') ! balance @ {t}"))?.as_int().unwrap();
         println!("  t{t:>2}: {v}");
     }
 

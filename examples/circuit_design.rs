@@ -46,7 +46,9 @@ fn main() -> gemstone::GemResult<()> {
     println!("U1 and U2 the same physical gate?    {}", v.as_bool().unwrap());
 
     // G2 is shared between both nets — one entity, two containers (§5.4).
-    let v = s.run("(Clk gates detect: [:g | g label = 'U2']) == (Data gates detect: [:g | g label = 'U2'])")?;
+    let v = s.run(
+        "(Clk gates detect: [:g | g label = 'U2']) == (Data gates detect: [:g | g label = 'U2'])",
+    )?;
     println!("the U2 in clk IS the U2 in data?     {}", v.as_bool().unwrap());
 
     // Engineering change order: retime U2. Visible through every net at

@@ -70,14 +70,9 @@ fn main() -> gemstone::GemResult<()> {
     // ---- Equality selections with a directory (§6's hint). ---------------
     s.run("System createIndexOn: Employees path: #Salary")?;
     s.commit()?;
-    let probe = s
-        .run("(Employees detect: [:e | true]) at: #Salary")?
-        .as_int()
-        .unwrap();
-    let hits = s
-        .run(&format!("(Employees select: [:e | e Salary = {probe}]) size"))?
-        .as_int()
-        .unwrap();
+    let probe = s.run("(Employees detect: [:e | true]) at: #Salary")?.as_int().unwrap();
+    let hits =
+        s.run(&format!("(Employees select: [:e | e Salary = {probe}]) size"))?.as_int().unwrap();
     println!("\ndirectory-served equality select: {hits} employee(s) at exactly {probe}");
     let sample = s.run_display(&format!(
         "(Employees select: [:e | e Salary = {probe}]) collect: [:e | e at: #Name]"

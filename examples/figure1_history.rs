@@ -75,10 +75,7 @@ fn main() -> gemstone::GemResult<()> {
         ("World ! 'Acme Corp' ! president ! name", "the current president"),
         ("World ! 'Acme Corp' ! president @ 10 ! name", "the president at time 10"),
         ("World ! 'Acme Corp' ! president @ 7 ! name", "the president at time 7"),
-        (
-            "World ! 'Acme Corp' ! president @ 7 ! city",
-            "the previous president's *current* city",
-        ),
+        ("World ! 'Acme Corp' ! president @ 7 ! city", "the previous president's *current* city"),
     ];
     for (q, caption) in queries {
         println!("{q}\n  → {}   ({caption})", s.run_display(q)?);

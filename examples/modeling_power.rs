@@ -66,9 +66,7 @@ fn main() {
     // ---- §2D: the department-rename anomaly, quantified. -----------------
     println!("§2D — logical pointers break under renames (relational baseline):");
     let mut emps = Relation::new("Emp", &["name", "dept"]);
-    for (n, d) in
-        [("Burns", "Sales"), ("Peters", "Sales"), ("Ng", "Research"), ("Ito", "Sales")]
-    {
+    for (n, d) in [("Burns", "Sales"), ("Peters", "Sales"), ("Ng", "Research"), ("Ito", "Sales")] {
         emps.insert(vec![n.into(), d.into()]);
     }
     let mut depts = Relation::new("Dept", &["dname", "budget"]);

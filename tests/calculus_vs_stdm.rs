@@ -1,0 +1,211 @@
+//! The optimized join pipeline checked against the STDM calculus semantics.
+//!
+//! `gemstone_stdm::Query` evaluates the §5.1 set calculus by its *defining*
+//! nested loop; the `gemstone_calculus` planner is supposed to be a pure
+//! optimization of those semantics. These tests run the same randomized
+//! equi-joins through both — the full Session pipeline (OPAL data, planner,
+//! hash join) and the STDM oracle — and require identical answers.
+
+use gemstone::{GemStone, Session};
+use gemstone_calculus::{CmpOp, Pred, Query, Range, Term, VarId};
+use gemstone_object::ElemName;
+use gemstone_opal::OpalWorld;
+use gemstone_stdm::{
+    CmpOp as SCmpOp, LabeledSet, Pred as SPred, Query as SQuery, Range as SRange, SValue,
+    Term as STerm,
+};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// One row of a randomized input set: a (possibly repeated) join key plus a
+/// payload distinguishing the row.
+type Row = (i64, i64);
+
+/// The STDM oracle answer: the multiset of (left payload, right payload)
+/// pairs whose keys match, by the calculus' nested-loop semantics.
+fn stdm_oracle(lefts: &[Row], rights: &[Row]) -> Vec<(i64, i64)> {
+    let l_set = LabeledSet::values(
+        lefts.iter().map(|&(k, v)| SValue::Set(LabeledSet::of([("K", k), ("V", v)]))),
+    );
+    let r_set = LabeledSet::values(
+        rights.iter().map(|&(k, w)| SValue::Set(LabeledSet::of([("K", k), ("W", w)]))),
+    );
+    let query = SQuery {
+        result: vec![
+            ("A".to_string(), STerm::path("l", ["V"])),
+            ("B".to_string(), STerm::path("r", ["W"])),
+        ],
+        ranges: vec![
+            SRange { var: "l".to_string(), domain: STerm::Const(SValue::Set(l_set)) },
+            SRange { var: "r".to_string(), domain: STerm::Const(SValue::Set(r_set)) },
+        ],
+        pred: SPred::Cmp(STerm::path("l", ["K"]), SCmpOp::Eq, STerm::path("r", ["K"])),
+    };
+    let out = query.eval(&HashMap::new()).expect("oracle eval");
+    let mut pairs: Vec<(i64, i64)> = out
+        .iter()
+        .map(|(_, tuple)| {
+            let t = tuple.as_set().expect("tuple");
+            let get = |name: &str| {
+                t.iter()
+                    .find(|(l, _)| format!("{l}") == name)
+                    .and_then(|(_, v)| v.as_number())
+                    .expect("field") as i64
+            };
+            (get("A"), get("B"))
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+/// Load the same rows as committed GemStone sets and return the equivalent
+/// calculus query `{(l!V, r!W) | l ∈ L, r ∈ R, l!K = r!K}`.
+fn build_session_query(s: &mut Session, lefts: &[Row], rights: &[Row]) -> Query {
+    // Bags, not Sets: `Set add:` dedupes structurally-equal members, while
+    // the STDM LabeledSet keeps every row under a fresh alias. Randomized
+    // inputs repeat rows, so the collection must keep duplicates too.
+    let mut src = String::from("| t | L := Bag new. R := Bag new.\n");
+    for &(k, v) in lefts {
+        src.push_str(&format!(
+            "t := Dictionary new. t at: #K put: {k}. t at: #V put: {v}. L add: t.\n"
+        ));
+    }
+    for &(k, w) in rights {
+        src.push_str(&format!(
+            "t := Dictionary new. t at: #K put: {k}. t at: #W put: {w}. R add: t.\n"
+        ));
+    }
+    s.run(&src).expect("populate");
+    s.commit().expect("commit");
+    let l_sym = s.intern("L");
+    let r_sym = s.intern("R");
+    let l = s.get_global(l_sym).expect("L");
+    let r = s.get_global(r_sym).expect("R");
+    let key = ElemName::Sym(s.intern("K"));
+    let (a, b) = (s.intern("A"), s.intern("B"));
+    let (val, w) = (ElemName::Sym(s.intern("V")), ElemName::Sym(s.intern("W")));
+    let (v0, v1) = (VarId(0), VarId(1));
+    Query {
+        result: vec![(a, Term::Path(v0, vec![val])), (b, Term::Path(v1, vec![w]))],
+        ranges: vec![
+            Range { var: v0, domain: Term::Const(l) },
+            Range { var: v1, domain: Term::Const(r) },
+        ],
+        pred: Pred::Cmp(Term::Path(v0, vec![key]), CmpOp::Eq, Term::Path(v1, vec![key])),
+    }
+}
+
+fn session_pairs(s: &mut Session, q: &Query) -> Vec<(i64, i64)> {
+    let mut pairs: Vec<(i64, i64)> = s
+        .query(q)
+        .expect("session query")
+        .into_iter()
+        .map(|row| {
+            assert_eq!(row.len(), 2);
+            (row[0].as_int().expect("int"), row[1].as_int().expect("int"))
+        })
+        .collect();
+    pairs.sort_unstable();
+    pairs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Randomized equi-joins: the planned (hash-join) pipeline agrees with
+    /// the STDM nested-loop semantics on every input, including duplicate
+    /// keys on both sides and keys that match nothing.
+    #[test]
+    fn planned_join_matches_stdm_semantics(
+        lefts in prop::collection::vec((0i64..5, 0i64..1000), 1..10),
+        rights in prop::collection::vec((0i64..5, 0i64..1000), 1..10),
+    ) {
+        let gs = GemStone::in_memory();
+        let mut s = gs.login("system").unwrap();
+        let q = build_session_query(&mut s, &lefts, &rights);
+        let got = session_pairs(&mut s, &q);
+        let want = stdm_oracle(&lefts, &rights);
+        prop_assert_eq!(&got, &want, "lefts={:?} rights={:?}", lefts, rights);
+        // The planner must have used the hash join for this shape, and its
+        // match counter must equal the oracle's result cardinality.
+        let explain = s.explain().expect("explain");
+        prop_assert!(explain.contains("hash-join"), "plan was not a hash join:\n{}", explain);
+        let stats = s.last_plan_stats().expect("stats");
+        prop_assert_eq!(stats.hash_matches as usize, want.len());
+        prop_assert_eq!(stats.row_visits() as usize, lefts.len() + rights.len());
+    }
+}
+
+/// Acceptance: a §5.1-style query — employees × departments, linked by an
+/// equality on the department name plus the paper's salary/budget residual —
+/// plans as a hash join with the residual selected above it, and `explain`
+/// says so.
+#[test]
+fn section51_style_join_explains_hash_join() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run(
+        "| d e |
+         Departments := Set new.
+         d := Dictionary new. d at: #Name put: 'Sales'. d at: #Budget put: 142000.
+         Departments add: d.
+         d := Dictionary new. d at: #Name put: 'Research'. d at: #Budget put: 256500.
+         Departments add: d.
+         Employees := Set new.
+         e := Dictionary new. e at: #Dept put: 'Sales'. e at: #Salary put: 24000.
+         Employees add: e.
+         e := Dictionary new. e at: #Dept put: 'Sales'. e at: #Salary put: 9000.
+         Employees add: e.
+         e := Dictionary new. e at: #Dept put: 'Research' . e at: #Salary put: 30000.
+         Employees add: e",
+    )
+    .unwrap();
+    s.commit().unwrap();
+    let employees_sym = s.intern("Employees");
+    let departments_sym = s.intern("Departments");
+    let employees = s.get_global(employees_sym).unwrap();
+    let departments = s.get_global(departments_sym).unwrap();
+    let dept = ElemName::Sym(s.intern("Dept"));
+    let name = ElemName::Sym(s.intern("Name"));
+    let salary = s.intern("Salary");
+    let budget = s.intern("Budget");
+    let (v0, v1) = (VarId(0), VarId(1));
+    // {(e!Salary, d!Budget) | e ∈ Employees, d ∈ Departments,
+    //   e!Dept = d!Name and e!Salary > 0.10 * d!Budget}
+    let q = Query {
+        result: vec![
+            (salary, Term::Path(v0, vec![ElemName::Sym(salary)])),
+            (budget, Term::Path(v1, vec![ElemName::Sym(budget)])),
+        ],
+        ranges: vec![
+            Range { var: v0, domain: Term::Const(employees) },
+            Range { var: v1, domain: Term::Const(departments) },
+        ],
+        pred: Pred::Cmp(Term::Path(v0, vec![dept]), CmpOp::Eq, Term::Path(v1, vec![name]))
+            .and(Pred::Cmp(
+                Term::Path(v0, vec![ElemName::Sym(salary)]),
+                CmpOp::Gt,
+                Term::Mul(
+                    Box::new(Term::Const(gemstone::Oop::float(0.10))),
+                    Box::new(Term::Path(v1, vec![ElemName::Sym(budget)])),
+                ),
+            )),
+    };
+    let mut rows: Vec<(i64, i64)> = s
+        .query(&q)
+        .unwrap()
+        .into_iter()
+        .map(|r| (r[0].as_int().unwrap(), r[1].as_int().unwrap()))
+        .collect();
+    rows.sort_unstable();
+    // 24000 > 14200 in Sales; 30000 > 25650 in Research; 9000 fails.
+    assert_eq!(rows, vec![(24000, 142000), (30000, 256500)]);
+    let explain = s.explain().expect("explain after query");
+    assert!(explain.contains("hash-join"), "string-keyed equality must hash-join:\n{explain}");
+    assert!(explain.starts_with("plan: "), "{explain}");
+    let stats = s.last_plan_stats().unwrap();
+    assert_eq!(stats.row_visits(), 5, "three employees + two departments, each visited once");
+    assert_eq!(stats.hash_matches, 3, "every employee's dept exists");
+    assert_eq!(stats.rows_out, 2, "residual salary filter drops one match");
+}

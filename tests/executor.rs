@@ -113,9 +113,7 @@ fn abort_mid_doit_discards_pending_writes() {
     let mut s = gs.login("system").unwrap();
     s.run("K := Dictionary new. K at: #v put: 10").unwrap();
     s.commit().unwrap();
-    let v = s
-        .run("K at: #v put: 99. System abortTransaction. K at: #v")
-        .unwrap();
+    let v = s.run("K at: #v put: 99. System abortTransaction. K at: #v").unwrap();
     assert_eq!(v.as_int(), Some(10), "the abort rolled back within the doIt");
 }
 

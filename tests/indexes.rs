@@ -18,10 +18,7 @@ fn setup_staff(s: &mut Session, n: usize) {
 }
 
 fn select_count(s: &mut Session, salary: i64) -> i64 {
-    s.run(&format!("(Staff select: [:e | e salary = {salary}]) size"))
-        .unwrap()
-        .as_int()
-        .unwrap()
+    s.run(&format!("(Staff select: [:e | e salary = {salary}]) size")).unwrap().as_int().unwrap()
 }
 
 #[test]
@@ -69,8 +66,7 @@ fn as_of_lookups_after_index_creation() {
     s.commit().unwrap();
     let t_before = s.run("System currentTime").unwrap().as_int().unwrap();
     let was = select_count(&mut s, 21_000);
-    s.run("Staff do: [:e | ((e at: #salary) = 21000) ifTrue: [e at: #salary put: 50000]]")
-        .unwrap();
+    s.run("Staff do: [:e | ((e at: #salary) = 21000) ifTrue: [e at: #salary put: 50000]]").unwrap();
     s.commit().unwrap();
     assert_eq!(select_count(&mut s, 21_000), 0);
     s.run(&format!("System timeDial: {t_before}")).unwrap();

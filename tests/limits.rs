@@ -6,12 +6,8 @@ use gemstone::{GemStone, StoreConfig};
 
 #[test]
 fn more_than_32k_committed_objects() {
-    let gs = GemStone::create(StoreConfig {
-        track_size: 8192,
-        cache_tracks: 128,
-        replicas: 1,
-    })
-    .unwrap();
+    let gs =
+        GemStone::create(StoreConfig { track_size: 8192, cache_tracks: 128, replicas: 1 }).unwrap();
     let mut s = gs.login("system").unwrap();
     s.run("Registry := Dictionary new").unwrap();
     s.commit().unwrap();
@@ -39,8 +35,8 @@ fn more_than_32k_committed_objects() {
 fn object_larger_than_64k() {
     // §4.3: "the maximum size for an object is 64K bytes. We need to handle
     // more and larger data items … such as long documents."
-    let gs = GemStone::create(StoreConfig { track_size: 4096, cache_tracks: 64, replicas: 1 })
-        .unwrap();
+    let gs =
+        GemStone::create(StoreConfig { track_size: 4096, cache_tracks: 64, replicas: 1 }).unwrap();
     let mut s = gs.login("system").unwrap();
     // Build a 128KB string by repeated doubling.
     s.run(

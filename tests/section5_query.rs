@@ -116,9 +116,7 @@ fn select_with_captured_outer_values() {
     let gs = GemStone::in_memory();
     let mut s = gs.login("system").unwrap();
     build_acme(&mut s);
-    let n = s
-        .run("| cut | cut := 24500. (Employees select: [:e | e Salary > cut]) size")
-        .unwrap();
+    let n = s.run("| cut | cut := 24500. (Employees select: [:e | e Salary > cut]) size").unwrap();
     assert_eq!(n.as_int(), Some(1), "only Ellen above 24500");
 }
 

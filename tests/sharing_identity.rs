@@ -108,9 +108,7 @@ fn objects_in_multiple_collections() {
     )
     .unwrap();
     s.commit().unwrap();
-    let v = s
-        .run("(Staff detect: [:x | true]) == (Committee detect: [:x | true])")
-        .unwrap();
+    let v = s.run("(Staff detect: [:x | true]) == (Committee detect: [:x | true])").unwrap();
     assert_eq!(v.as_bool(), Some(true));
     // Mutate through one path, observe through the other.
     s.run("(Staff detect: [:x | true]) at: #name put: 'Burns-Smith'").unwrap();

@@ -12,10 +12,7 @@ fn same_database_fragment_same_answers() {
     let mut departments = LabeledSet::new();
     departments.put(
         Label::name("A12"),
-        LabeledSet::of([
-            ("Name", SValue::from("Sales")),
-            ("Budget", SValue::Int(142_000)),
-        ]),
+        LabeledSet::of([("Name", SValue::from("Sales")), ("Budget", SValue::Int(142_000))]),
     );
     acme.put(Label::name("Departments"), departments);
     let mut world = LabeledSet::new();
@@ -54,9 +51,11 @@ fn stdm_lacks_identity_gsdm_has_it() {
     let mut e2 = LabeledSet::new();
     e2.put(Label::name("dept"), dept);
     // Mutate through e1; e2 is unaffected — the update anomaly.
-    e1.get_mut_set(&Label::name("dept"))
-        .unwrap()
-        .put_at(Label::name("name"), "Retail", TxnTime::from_ticks(1));
+    e1.get_mut_set(&Label::name("dept")).unwrap().put_at(
+        Label::name("name"),
+        "Retail",
+        TxnTime::from_ticks(1),
+    );
     let e1_name = parse_path("e!dept!name").unwrap();
     assert_eq!(e1_name.eval(&e1, None).unwrap(), &SValue::from("Retail"));
     assert_eq!(e1_name.eval(&e2, None).unwrap(), &SValue::from("Sales"), "the copy diverged");

@@ -63,10 +63,7 @@ fn event_time_is_user_data() {
     s.run("H eventDate: 19840616").unwrap();
     s.commit().unwrap();
     // …but transaction time keeps the unforgeable record of the correction.
-    assert_eq!(
-        s.run(&format!("H ! eventDate @ {txn_time}")).unwrap().as_int(),
-        Some(19_840_615)
-    );
+    assert_eq!(s.run(&format!("H ! eventDate @ {txn_time}")).unwrap().as_int(), Some(19_840_615));
 }
 
 #[test]
@@ -114,10 +111,7 @@ fn future_times_read_as_current() {
 fn negative_or_bad_dial_arguments_error() {
     let gs = GemStone::in_memory();
     let mut s = gs.login("system").unwrap();
-    assert!(matches!(
-        s.run("System timeDial: -3"),
-        Err(GemError::TypeMismatch { .. })
-    ));
+    assert!(matches!(s.run("System timeDial: -3"), Err(GemError::TypeMismatch { .. })));
     s.run("D := Dictionary new. D at: #x put: 1").unwrap();
     s.commit().unwrap();
     assert!(s.run("D ! x @ 'yesterday'").is_err());
