@@ -1,0 +1,52 @@
+//! Interpreter dispatch cost (EXPERIMENTS: verifier note): install-time
+//! verification lets the dispatch loop replace per-instruction trusting
+//! panics with checked accessors, and this bench pins down what that run
+//! time check discipline costs on bytecode-bound workloads.
+//!
+//! Expected shape: arithmetic/loop-bound doIts are dominated by dispatch
+//! and slot traffic — exactly the opcodes whose bounds the verifier proves
+//! statically — so their throughput measures the residual cost of the
+//! checked accessors. Verification itself is a one-time cost per install,
+//! measured separately.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use gemstone_bench::fresh;
+use gemstone_opal::{compile_doit, verify, BasicWorld};
+
+/// Tight loop: temp slot reads/writes, jumps, sends of primitive arithmetic.
+const LOOP_SRC: &str = "| s i | s := 0. i := 0.
+    [i < 2000] whileTrue: [i := i + 1. s := s + i]. s";
+
+/// Closure-heavy: block creation, outer-slot traffic, non-local returns.
+const BLOCK_SRC: &str = "| acc | acc := 0.
+    1 to: 400 do: [:i | acc := acc + ([:x | x * 2] value: i)]. acc";
+
+fn dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("I1_dispatch");
+    group.sample_size(20);
+    let (_gs, mut s) = fresh();
+    group.bench_function("arith_loop", |b| b.iter(|| black_box(s.run(LOOP_SRC).unwrap())));
+    group.bench_function("block_loop", |b| b.iter(|| black_box(s.run(BLOCK_SRC).unwrap())));
+    group.finish();
+}
+
+fn verification(c: &mut Criterion) {
+    // One-time install cost: full dataflow verification of a compiled doIt.
+    let mut group = c.benchmark_group("I2_verify");
+    group.sample_size(30);
+    let mut w = BasicWorld::new();
+    let small = compile_doit(&mut w, LOOP_SRC).unwrap();
+    let blocks = compile_doit(&mut w, BLOCK_SRC).unwrap();
+    assert!(verify::check(&small).is_ok());
+    assert!(verify::check(&blocks).is_ok());
+    group.bench_function("check_arith_loop", |b| {
+        b.iter(|| black_box(verify::check(&small).is_ok()))
+    });
+    group.bench_function("check_block_loop", |b| {
+        b.iter(|| black_box(verify::check(&blocks).is_ok()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, dispatch, verification);
+criterion_main!(benches);

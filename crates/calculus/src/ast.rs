@@ -144,6 +144,22 @@ impl Query {
     pub fn var_count(&self) -> usize {
         self.ranges.iter().map(|r| r.var.0 as usize + 1).max().unwrap_or(0)
     }
+
+    /// Every variable the query mentions anywhere — result terms, range
+    /// domains, and the predicate — deduplicated, in first-mention order.
+    /// Static validators use this to check that all references stay inside
+    /// the declared range + capture window.
+    pub fn used_vars(&self) -> Vec<VarId> {
+        let mut vs = Vec::new();
+        for (_, t) in &self.result {
+            t.vars(&mut vs);
+        }
+        for r in &self.ranges {
+            r.domain.vars(&mut vs);
+        }
+        self.pred.vars(&mut vs);
+        vs
+    }
 }
 
 /// Evaluate a term under an environment of variable bindings.
@@ -282,5 +298,15 @@ mod tests {
             pred: Pred::True,
         };
         assert_eq!(q.var_count(), 3);
+    }
+
+    #[test]
+    fn used_vars_spans_result_ranges_pred() {
+        let q = Query {
+            result: vec![(SymbolId(0), Term::Var(VarId(0)))],
+            ranges: vec![Range { var: VarId(0), domain: Term::Var(VarId(3)) }],
+            pred: Pred::Cmp(Term::Path(VarId(0), vec![]), CmpOp::Lt, Term::Var(VarId(2))),
+        };
+        assert_eq!(q.used_vars(), vec![VarId(0), VarId(3), VarId(2)]);
     }
 }

@@ -2,7 +2,7 @@
 //!
 //! "We have developed a set algebra, and an algorithm to translate a
 //! set-calculus expression to a set-algebra expression." The declarative
-//! layer is what lets GemStone do "access planning … much more [than] with
+//! layer is what lets GemStone do "access planning … much more \[than\] with
 //! an equivalent query specified procedurally" (§5.2), and §6 notes the
 //! OPAL compiler needed "a large addition … to translate calculus
 //! expressions into procedural form". This crate is that addition:

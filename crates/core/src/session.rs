@@ -23,7 +23,9 @@ use gemstone_object::{
     structurally_equal, value_key, BodyFormat, ClassId, ElemName, GemError, GemResult, Goop,
     HeapObject, Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId, SymbolId, Workspace,
 };
-use gemstone_opal::{compile_doit, CompiledMethod, Interpreter, OpalWorld, QueryTemplate};
+use gemstone_opal::{
+    compile_doit_with_lints, CompiledMethod, Interpreter, Lint, OpalWorld, QueryTemplate,
+};
 use gemstone_storage::{DirKey, ObjectDelta};
 use gemstone_temporal::{TimeDial, TxnTime};
 use gemstone_txn::{AccessSet, SlotId, TxnToken};
@@ -50,6 +52,10 @@ pub struct Session {
     /// evaluated (select block or [`Session::query`]) — what `explain()`
     /// renders.
     last_plan: Option<(AlgExpr, PlanStats)>,
+    /// Compile-time lints from the most recent [`Session::run`] (unused
+    /// temporaries, shadowing, unreachable statements, impure select
+    /// blocks). Advisory: a lint never blocks execution.
+    last_lints: Vec<Lint>,
 }
 
 impl Session {
@@ -70,6 +76,7 @@ impl Session {
             kernel,
             block_class,
             last_plan: None,
+            last_lints: Vec::new(),
         }
     }
 
@@ -347,9 +354,16 @@ impl Session {
     /// is done entirely in the GemStone system").
     pub fn run(&mut self, source: &str) -> GemResult<Oop> {
         self.ensure_txn();
-        let method = compile_doit(self, source)?;
-        let id = self.add_method_code(method);
+        let (method, lints) = compile_doit_with_lints(self, source)?;
+        self.last_lints = lints;
+        let id = self.add_method_code(method)?;
         Interpreter::new(self).run_doit(id)
+    }
+
+    /// Compile-time lints produced by the most recent [`Session::run`].
+    /// Advisory only — lints never prevent execution.
+    pub fn last_lints(&self) -> &[Lint] {
+        &self.last_lints
     }
 
     /// Evaluate a multi-range calculus [`Query`] directly (OPAL select
@@ -408,7 +422,7 @@ impl Session {
     pub(crate) fn recompile_method(&mut self, ms: &MethodSource) -> GemResult<()> {
         let m = gemstone_opal::compile_method(self, ms.class, &ms.source)?;
         let sel = m.selector;
-        let id = self.add_method_code(m);
+        let id = self.add_method_code(m)?;
         self.install_method(ms.class, sel, MethodRef::Compiled(id), ms.class_side);
         Ok(())
     }
@@ -588,10 +602,11 @@ impl OpalWorld for Session {
         self.db.inner.lock().methods[id.0 as usize].clone()
     }
 
-    fn add_method_code(&mut self, m: CompiledMethod) -> MethodId {
+    fn add_method_code(&mut self, m: CompiledMethod) -> GemResult<MethodId> {
+        gemstone_opal::verify::check(&m)?;
         let mut inner = self.db.inner.lock();
         inner.methods.push(Arc::new(m));
-        MethodId(inner.methods.len() as u32 - 1)
+        Ok(MethodId(inner.methods.len() as u32 - 1))
     }
 
     fn new_object(&mut self, class: ClassId) -> GemResult<Oop> {
@@ -848,8 +863,22 @@ impl OpalWorld for Session {
         self.ensure_txn();
         let coll = self.swizzle(coll)?;
         // Substitute the receiver and captured values into the template.
+        // A verified SelectQuery always supplies exactly `n_captured` values
+        // and a single-range template; re-check here because this entry
+        // point is also reachable programmatically.
+        template.validate().map_err(GemError::CorruptMethod)?;
+        if captured.len() != template.n_captured as usize {
+            return Err(GemError::CorruptMethod(format!(
+                "select block captures {} values, got {}",
+                template.n_captured,
+                captured.len()
+            )));
+        }
         let mut query = template.query.clone();
-        query.ranges[0].domain = Term::Const(coll);
+        let Some(range0) = query.ranges.first_mut() else {
+            return Err(GemError::CorruptMethod("select template has no range".into()));
+        };
+        range0.domain = Term::Const(coll);
         let mut env_consts: HashMap<VarId, Oop> = HashMap::new();
         for (i, v) in captured.iter().enumerate() {
             env_consts.insert(VarId(1 + i as u16), *v);
@@ -858,7 +887,7 @@ impl OpalWorld for Session {
         let catalog = { self.db.inner.lock().dirs.catalog().clone() };
         let (rows, plan, stats) = gemstone_calculus::eval_query_explained(self, &query, &catalog)?;
         self.last_plan = Some((plan, stats));
-        Ok(rows.into_iter().map(|mut r| r.remove(0)).collect())
+        Ok(rows.into_iter().filter_map(|mut r| (!r.is_empty()).then(|| r.remove(0))).collect())
     }
 }
 

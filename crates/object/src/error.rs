@@ -34,7 +34,7 @@ pub enum GemError {
     /// A mutation was attempted while the time dial is set to a past state.
     WriteInPast,
     /// Optimistic validation failed: a concurrent transaction committed a
-    /// conflicting write (§6's Transaction Manager "validates [accesses] for
+    /// conflicting write (§6's Transaction Manager "validates \[accesses\] for
     /// consistency when a transaction commits").
     TransactionConflict { detail: String },
     /// No transaction is active for an operation that requires one.
@@ -51,6 +51,11 @@ pub enum GemError {
     CompileError(String),
     /// Generic runtime error raised by OPAL code (`System error:`).
     RuntimeError(String),
+    /// A compiled method failed bytecode verification, or the interpreter
+    /// detected an inconsistency (stack underflow, bad index…) that a
+    /// verified method cannot exhibit. The statement aborts; the session
+    /// survives.
+    CorruptMethod(String),
     /// Interpreter resource guard (runaway recursion / step budget).
     ResourceExhausted(&'static str),
 }
@@ -92,6 +97,7 @@ impl fmt::Display for GemError {
             }
             GemError::CompileError(m) => write!(f, "compile error: {m}"),
             GemError::RuntimeError(m) => write!(f, "error: {m}"),
+            GemError::CorruptMethod(m) => write!(f, "corrupt method: {m}"),
             GemError::ResourceExhausted(w) => write!(f, "resource exhausted: {w}"),
         }
     }

@@ -1,4 +1,51 @@
 //! The OPAL abstract syntax tree.
+//!
+//! Declarations and statements carry [`Span`]s (source line/column from the
+//! lexer) so the compiler's lint pass can point diagnostics back at the
+//! source text instead of at bytecode offsets.
+
+/// A source position: 1-based line and column of the token that introduced
+/// the node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Span {
+    /// Construct a span.
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl std::fmt::Display for Span {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A declared variable (method parameter, temporary, or block parameter)
+/// with the source position of its declaration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VarDecl {
+    pub name: String,
+    pub span: Span,
+}
+
+impl VarDecl {
+    /// A declaration at a known position.
+    pub fn new(name: impl Into<String>, span: Span) -> VarDecl {
+        VarDecl { name: name.into(), span }
+    }
+}
+
+// Lets tests compare `temps == vec!["x", "y"]` without caring about spans.
+impl PartialEq<&str> for VarDecl {
+    fn eq(&self, other: &&str) -> bool {
+        self.name == *other
+    }
+}
 
 /// A literal value appearing in source.
 #[derive(Debug, Clone, PartialEq)]
@@ -74,14 +121,23 @@ pub enum Expr {
 /// A block literal.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Block {
-    pub params: Vec<String>,
-    pub temps: Vec<String>,
+    pub params: Vec<VarDecl>,
+    pub temps: Vec<VarDecl>,
     pub body: Vec<Stmt>,
+    /// Position of the opening `[`.
+    pub span: Span,
 }
 
-/// A statement.
+/// A statement with its source position.
 #[derive(Debug, Clone, PartialEq)]
-pub enum Stmt {
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub span: Span,
+}
+
+/// What a statement does.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
     Expr(Expr),
     /// `^ expr` — method return (non-local from inside a block).
     Return(Expr),
@@ -91,7 +147,7 @@ pub enum Stmt {
 #[derive(Debug, Clone, PartialEq)]
 pub struct MethodAst {
     pub selector: String,
-    pub params: Vec<String>,
-    pub temps: Vec<String>,
+    pub params: Vec<VarDecl>,
+    pub temps: Vec<VarDecl>,
     pub body: Vec<Stmt>,
 }

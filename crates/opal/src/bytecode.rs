@@ -28,6 +28,39 @@ pub struct QueryTemplate {
     pub n_captured: u16,
 }
 
+impl QueryTemplate {
+    /// Static arity check, run at compile/install time rather than trusted
+    /// at substitution time: the template must have exactly one range over
+    /// `VarId(0)` (the select-block's element variable) and every `VarId`
+    /// the query mentions must fall inside the declared window
+    /// `0..1 + n_captured` (range var + captured outer values).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.query.ranges.len() != 1 {
+            return Err(format!(
+                "query template declares {} ranges, expected 1",
+                self.query.ranges.len()
+            ));
+        }
+        if self.query.ranges[0].var != gemstone_calculus::VarId(0) {
+            return Err(format!(
+                "query template range variable is {:?}, expected VarId(0)",
+                self.query.ranges[0].var
+            ));
+        }
+        let limit = 1 + self.n_captured as u32;
+        for v in self.query.used_vars() {
+            if v.0 as u32 >= limit {
+                return Err(format!(
+                    "query template uses {v:?} but only {} captured values are declared \
+                     (valid ids are 0..{limit})",
+                    self.n_captured
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One bytecode.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Bc {

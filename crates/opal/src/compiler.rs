@@ -1,7 +1,7 @@
 //! The OPAL compiler: AST → bytecode.
 //!
 //! Follows the ST80 compiler's shape — literal pool, inlined control-flow
-//! selectors, block compilation — "but a large addition is needed [to]
+//! selectors, block compilation — "but a large addition is needed \[to\]
 //! translate calculus expressions into procedural form" (§6): a `select:`
 //! whose argument block is recognizably a calculus predicate is compiled to
 //! a [`Bc::SelectQuery`] carrying a [`QueryTemplate`], so the session can
@@ -9,36 +9,89 @@
 //! procedurally. Unanalyzable blocks silently fall back to the procedural
 //! `select:` of the kernel library — exactly the latitude §5.2 claims for
 //! declarative syntax.
+//!
+//! The compiler also runs a lint pass over the source (unused temporaries,
+//! shadowing, statements after `^`, impure `select:` blocks) and emits
+//! definite-assignment-friendly code: every declared temporary is
+//! nil-initialized at its declaration point, so [`crate::verify`]'s strict
+//! use-before-store analysis accepts all compiler output.
 
-use crate::ast::{Block, Expr, Lit, PathComponent, PathStep, Stmt};
+use crate::ast::{Block, Expr, Lit, PathComponent, PathStep, Span, Stmt, StmtKind, VarDecl};
 use crate::bytecode::{Bc, CompiledBlock, CompiledMethod, Literal, QueryTemplate};
 use crate::parser;
+use crate::verify::{self, Lint, LintKind, LintSite};
 use crate::world::OpalWorld;
 use gemstone_calculus as calc;
 use gemstone_object::{ClassId, GemError, GemResult, Oop};
 
-/// Compile a method definition for `class`.
+/// Compile a method definition for `class`, discarding lints.
 pub fn compile_method<W: OpalWorld>(
     world: &mut W,
     class: ClassId,
     source: &str,
 ) -> GemResult<CompiledMethod> {
+    compile_method_with_lints(world, class, source).map(|(m, _)| m)
+}
+
+/// Compile a method definition for `class`, returning the compile-time
+/// lints (source-level) merged with the verifier's bytecode-level lints.
+pub fn compile_method_with_lints<W: OpalWorld>(
+    world: &mut W,
+    class: ClassId,
+    source: &str,
+) -> GemResult<(CompiledMethod, Vec<Lint>)> {
     let ast = parser::parse_method(source)?;
-    Compiler::new(world, Some(class)).compile(
+    let (m, mut lints) = Compiler::new(world, Some(class)).compile(
         &ast.selector,
         &ast.params,
         &ast.temps,
         &ast.body,
         false,
-    )
+    )?;
+    lints.extend(verify::code_lints(&m));
+    Ok((m, lints))
 }
 
 /// Compile a "doIt": a block of OPAL source whose last statement's value is
 /// the result (§6: "Communication with GemStone is done in blocks of OPAL
-/// source code").
+/// source code"). Lints are discarded.
 pub fn compile_doit<W: OpalWorld>(world: &mut W, source: &str) -> GemResult<CompiledMethod> {
+    compile_doit_with_lints(world, source).map(|(m, _)| m)
+}
+
+/// Compile a doIt, returning the lint diagnostics alongside.
+pub fn compile_doit_with_lints<W: OpalWorld>(
+    world: &mut W,
+    source: &str,
+) -> GemResult<(CompiledMethod, Vec<Lint>)> {
     let (temps, body) = parser::parse_doit(source)?;
-    Compiler::new(world, None).compile("doIt", &[], &temps, &body, true)
+    let (m, mut lints) = Compiler::new(world, None).compile("doIt", &[], &temps, &body, true)?;
+    lints.extend(verify::code_lints(&m));
+    Ok((m, lints))
+}
+
+/// One declared variable in some frame scope, with usage accounting for the
+/// unused-temp lint. `live` goes false when an inlined block's region ends,
+/// so its temporaries stop being visible (Smalltalk block scoping) even
+/// though their frame slots persist.
+struct ScopeVar {
+    name: String,
+    span: Span,
+    param: bool,
+    live: bool,
+    reads: u32,
+    writes: u32,
+}
+
+/// Where a variable reference resolved, relative to the code body being
+/// compiled.
+enum VarSlot {
+    /// Slot in the current activation's own frame.
+    Local(u8),
+    /// Slot in the `up`-th lexically enclosing block activation.
+    Outer { up: u8, idx: u8 },
+    /// Slot in the home method's frame (from inside a block).
+    Home(u8),
 }
 
 struct Compiler<'w, W: OpalWorld> {
@@ -46,19 +99,22 @@ struct Compiler<'w, W: OpalWorld> {
     class: Option<ClassId>,
     literals: Vec<Literal>,
     blocks: Vec<CompiledBlock>,
-    /// Method-frame variable names (params then temps, growing as inlined
-    /// blocks contribute slots).
-    method_scope: Vec<String>,
+    /// Scope arena. `scopes[0]` is the method frame (params, temps, and
+    /// slots contributed by inlined blocks); each compiled closure gets its
+    /// own entry. Kept flat so usage marks survive closure compilation for
+    /// the final unused-temp pass.
+    scopes: Vec<Vec<ScopeVar>>,
+    lints: Vec<Lint>,
     is_doit: bool,
 }
 
 /// Compilation context for one code body (method or block).
 struct Ctx {
     code: Vec<Bc>,
-    /// Lexical chain of (non-inlined) block scopes, outermost first; empty
-    /// while compiling method-level code. The last entry is the scope of
-    /// the block currently being compiled.
-    block_chain: Vec<Vec<String>>,
+    /// Lexical chain of (non-inlined) block scopes as arena indices,
+    /// outermost first; empty while compiling method-level code. The last
+    /// entry is the scope of the block currently being compiled.
+    block_chain: Vec<usize>,
 }
 
 impl Ctx {
@@ -66,7 +122,7 @@ impl Ctx {
         Ctx { code: Vec::new(), block_chain: Vec::new() }
     }
 
-    fn block(chain: Vec<Vec<String>>) -> Ctx {
+    fn block(chain: Vec<usize>) -> Ctx {
         Ctx { code: Vec::new(), block_chain: chain }
     }
 
@@ -99,7 +155,8 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
             class,
             literals: Vec::new(),
             blocks: Vec::new(),
-            method_scope: Vec::new(),
+            scopes: vec![Vec::new()],
+            lints: Vec::new(),
             is_doit: false,
         }
     }
@@ -107,29 +164,139 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
     fn compile(
         mut self,
         selector: &str,
-        params: &[String],
-        temps: &[String],
+        params: &[VarDecl],
+        temps: &[VarDecl],
         body: &[Stmt],
         is_doit: bool,
-    ) -> GemResult<CompiledMethod> {
+    ) -> GemResult<(CompiledMethod, Vec<Lint>)> {
         self.is_doit = is_doit;
         let n_params = params.len();
-        self.method_scope.extend(params.iter().cloned());
-        self.method_scope.extend(temps.iter().cloned());
         let mut ctx = Ctx::method();
+        for p in params {
+            self.declare(&[], 0, p, true)?;
+        }
+        for t in temps {
+            let slot = self.declare(&[], 0, t, false)?;
+            // Nil-initialize so the verifier's definite-assignment pass can
+            // prove every read is preceded by a store.
+            ctx.emit(Bc::PushNil);
+            ctx.emit(Bc::StoreTemp(slot));
+        }
         self.compile_body(&mut ctx, body, is_doit)?;
         let selector = self.world.intern(selector);
-        Ok(CompiledMethod {
-            selector,
-            n_params: u8::try_from(n_params)
-                .map_err(|_| GemError::CompileError("too many parameters".into()))?,
-            n_temps: u8::try_from(self.method_scope.len() - n_params)
-                .map_err(|_| GemError::CompileError("too many temporaries".into()))?,
-            literals: self.literals,
-            code: ctx.code,
-            blocks: self.blocks,
-        })
+        self.lint_unused();
+        Ok((
+            CompiledMethod {
+                selector,
+                n_params: u8::try_from(n_params)
+                    .map_err(|_| GemError::CompileError("too many parameters".into()))?,
+                n_temps: u8::try_from(self.scopes[0].len() - n_params)
+                    .map_err(|_| GemError::CompileError("too many temporaries".into()))?,
+                literals: self.literals,
+                code: ctx.code,
+                blocks: self.blocks,
+            },
+            self.lints,
+        ))
     }
+
+    // ------------------------------------------------------------ scopes
+
+    /// Declare `v` into scope `target` (an arena index; `chain` is the
+    /// visible block chain, used for the shadowing lint). Returns the slot.
+    fn declare(
+        &mut self,
+        chain: &[usize],
+        target: usize,
+        v: &VarDecl,
+        param: bool,
+    ) -> GemResult<u8> {
+        if !v.name.starts_with("__") {
+            let visible = std::iter::once(0usize).chain(chain.iter().copied());
+            let shadowed = visible
+                .flat_map(|s| self.scopes[s].iter())
+                .any(|sv| sv.live && sv.name == v.name && !sv.name.starts_with("__"));
+            if shadowed {
+                self.lints.push(Lint {
+                    kind: LintKind::Shadowing { name: v.name.clone() },
+                    site: LintSite::Source(v.span),
+                });
+            }
+        }
+        let scope = &mut self.scopes[target];
+        let slot = u8::try_from(scope.len()).map_err(|_| {
+            GemError::CompileError(if target == 0 {
+                "too many temporaries".into()
+            } else {
+                "too many block temps".into()
+            })
+        })?;
+        scope.push(ScopeVar {
+            name: v.name.clone(),
+            span: v.span,
+            param,
+            live: true,
+            reads: 0,
+            writes: 0,
+        });
+        Ok(slot)
+    }
+
+    /// Declare an inlined-block variable into the innermost frame being
+    /// compiled (current block scope, or the method frame).
+    fn push_inline_var(&mut self, ctx: &Ctx, v: &VarDecl, param: bool) -> GemResult<u8> {
+        let target = ctx.block_chain.last().copied().unwrap_or(0);
+        let chain = ctx.block_chain.clone();
+        self.declare(&chain, target, v, param)
+    }
+
+    /// Resolve `name` against the visible scopes, marking usage. Innermost
+    /// declaration wins; dead (inline-expired) variables are skipped.
+    fn lookup(&mut self, ctx: &Ctx, name: &str, write: bool) -> Option<VarSlot> {
+        for (up, &scope_idx) in ctx.block_chain.iter().rev().enumerate() {
+            let scope = &mut self.scopes[scope_idx];
+            if let Some(i) = scope.iter().rposition(|v| v.live && v.name == name) {
+                mark(&mut scope[i], write);
+                let idx = i as u8;
+                return Some(if up == 0 {
+                    VarSlot::Local(idx)
+                } else {
+                    VarSlot::Outer { up: up as u8, idx }
+                });
+            }
+        }
+        let in_block = !ctx.block_chain.is_empty();
+        let scope = &mut self.scopes[0];
+        if let Some(i) = scope.iter().rposition(|v| v.live && v.name == name) {
+            mark(&mut scope[i], write);
+            let idx = i as u8;
+            return Some(if in_block { VarSlot::Home(idx) } else { VarSlot::Local(idx) });
+        }
+        None
+    }
+
+    /// End an inlined block's variable region: slots stay allocated, but
+    /// the names stop resolving.
+    fn kill_from(&mut self, target: usize, first: usize) {
+        for v in &mut self.scopes[target][first..] {
+            v.live = false;
+        }
+    }
+
+    fn lint_unused(&mut self) {
+        for scope in &self.scopes {
+            for v in scope {
+                if !v.param && v.reads == 0 && v.writes == 0 && !v.name.starts_with("__") {
+                    self.lints.push(Lint {
+                        kind: LintKind::UnusedTemp { name: v.name.clone() },
+                        site: LintSite::Source(v.span),
+                    });
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------- statements
 
     /// Compile statements. `value_of_last`: leave/return the last
     /// statement's value (doIt semantics); else return self (methods).
@@ -145,18 +312,16 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         }
         for (i, stmt) in body.iter().enumerate() {
             let last = i == body.len() - 1;
-            match stmt {
-                Stmt::Return(e) => {
+            match &stmt.kind {
+                StmtKind::Return(e) => {
                     self.compile_expr(ctx, e)?;
                     ctx.emit(Bc::ReturnTop);
                     if !last {
-                        return Err(GemError::CompileError(
-                            "statements after ^ are unreachable".into(),
-                        ));
+                        self.lint_after_return(&body[i + 1]);
                     }
                     return Ok(());
                 }
-                Stmt::Expr(e) => {
+                StmtKind::Expr(e) => {
                     self.compile_expr(ctx, e)?;
                     if last {
                         if value_of_last {
@@ -183,18 +348,16 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         }
         for (i, stmt) in body.iter().enumerate() {
             let last = i == body.len() - 1;
-            match stmt {
-                Stmt::Return(e) => {
+            match &stmt.kind {
+                StmtKind::Return(e) => {
                     self.compile_expr(ctx, e)?;
                     ctx.emit(Bc::ReturnTop); // non-local return
                     if !last {
-                        return Err(GemError::CompileError(
-                            "statements after ^ are unreachable".into(),
-                        ));
+                        self.lint_after_return(&body[i + 1]);
                     }
                     return Ok(());
                 }
-                Stmt::Expr(e) => {
+                StmtKind::Expr(e) => {
                     self.compile_expr(ctx, e)?;
                     if !last {
                         ctx.emit(Bc::Pop);
@@ -203,6 +366,13 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
             }
         }
         Ok(())
+    }
+
+    /// Statements after `^` never run: lint (at the first dead statement)
+    /// and stop compiling the rest.
+    fn lint_after_return(&mut self, dead: &Stmt) {
+        self.lints
+            .push(Lint { kind: LintKind::UnreachableCode, site: LintSite::Source(dead.span) });
     }
 
     // -------------------------------------------------------- literals
@@ -349,26 +519,12 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
             }
             _ => {}
         }
-        if !ctx.block_chain.is_empty() {
-            // Own block frame first, then enclosing block activations.
-            let depth = ctx.block_chain.len();
-            for (up, scope) in ctx.block_chain.iter().rev().enumerate() {
-                if let Some(i) = scope.iter().rposition(|n| n == name) {
-                    if up == 0 {
-                        ctx.emit(Bc::PushTemp(i as u8));
-                    } else {
-                        ctx.emit(Bc::PushOuter { up: up as u8, idx: i as u8 });
-                    }
-                    return Ok(());
-                }
-            }
-            let _ = depth;
-            if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
-                ctx.emit(Bc::PushHome(i as u8));
-                return Ok(());
-            }
-        } else if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
-            ctx.emit(Bc::PushTemp(i as u8));
+        if let Some(slot) = self.lookup(ctx, name, false) {
+            ctx.emit(match slot {
+                VarSlot::Local(i) => Bc::PushTemp(i),
+                VarSlot::Outer { up, idx } => Bc::PushOuter { up, idx },
+                VarSlot::Home(i) => Bc::PushHome(i),
+            });
             return Ok(());
         }
         let sym = self.world.intern(name);
@@ -388,23 +544,12 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         if name == "self" || name == "System" {
             return Err(GemError::CompileError(format!("cannot assign to {name}")));
         }
-        if !ctx.block_chain.is_empty() {
-            for (up, scope) in ctx.block_chain.iter().rev().enumerate() {
-                if let Some(i) = scope.iter().rposition(|n| n == name) {
-                    if up == 0 {
-                        ctx.emit(Bc::StoreTemp(i as u8));
-                    } else {
-                        ctx.emit(Bc::StoreOuter { up: up as u8, idx: i as u8 });
-                    }
-                    return Ok(());
-                }
-            }
-            if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
-                ctx.emit(Bc::StoreHome(i as u8));
-                return Ok(());
-            }
-        } else if let Some(i) = self.method_scope.iter().rposition(|n| n == name) {
-            ctx.emit(Bc::StoreTemp(i as u8));
+        if let Some(slot) = self.lookup(ctx, name, true) {
+            ctx.emit(match slot {
+                VarSlot::Local(i) => Bc::StoreTemp(i),
+                VarSlot::Outer { up, idx } => Bc::StoreOuter { up, idx },
+                VarSlot::Home(i) => Bc::StoreHome(i),
+            });
             return Ok(());
         }
         let sym = self.world.intern(name);
@@ -434,6 +579,11 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         selector: &str,
         args: &[Expr],
     ) -> GemResult<()> {
+        if selector == "select:" {
+            if let [Expr::Block(b)] = args {
+                self.lint_select_block(b);
+            }
+        }
         // Inlined control flow (requires literal blocks, as in GemStone).
         match (selector, args) {
             ("ifTrue:", [Expr::Block(b)]) if b.params.is_empty() => {
@@ -471,9 +621,10 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
             ("timesRepeat:", [Expr::Block(body)]) if body.params.is_empty() => {
                 // n timesRepeat: [..] ≡ 1 to: n do: [:i# | ..]
                 let counter = Block {
-                    params: vec!["__i".into()],
+                    params: vec![VarDecl::new("__i", Span::default())],
                     temps: body.temps.clone(),
                     body: body.body.clone(),
+                    span: body.span,
                 };
                 return self.compile_to_do(ctx, &Expr::Lit(Lit::Int(1)), recv, &counter);
             }
@@ -498,28 +649,21 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         Ok(())
     }
 
-    fn push_inline_var(&mut self, ctx: &mut Ctx, name: &str) -> GemResult<u8> {
-        match ctx.block_chain.last_mut() {
-            Some(scope) => {
-                scope.push(name.to_string());
-                u8::try_from(scope.len() - 1)
-                    .map_err(|_| GemError::CompileError("too many block temps".into()))
-            }
-            None => {
-                self.method_scope.push(name.to_string());
-                u8::try_from(self.method_scope.len() - 1)
-                    .map_err(|_| GemError::CompileError("too many temporaries".into()))
-            }
-        }
-    }
-
     /// Inline an argument block's statements, leaving its value on the
-    /// stack. Block temps get fresh slots in the enclosing frame.
+    /// stack. Block temps get fresh slots in the enclosing frame,
+    /// nil-initialized at their declaration point and retired (no longer
+    /// visible) when the block's region ends.
     fn inline_block(&mut self, ctx: &mut Ctx, b: &Block) -> GemResult<()> {
+        let target = ctx.block_chain.last().copied().unwrap_or(0);
+        let first = self.scopes[target].len();
         for t in &b.temps {
-            self.push_inline_var(ctx, t)?;
+            let slot = self.push_inline_var(ctx, t, false)?;
+            ctx.emit(Bc::PushNil);
+            ctx.emit(Bc::StoreTemp(slot));
         }
-        self.compile_block_body(ctx, &b.body)
+        self.compile_block_body(ctx, &b.body)?;
+        self.kill_from(target, first);
+        Ok(())
     }
 
     fn compile_if(
@@ -597,8 +741,12 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         end: &Expr,
         b: &Block,
     ) -> GemResult<()> {
-        let ivar = self.push_inline_var(ctx, &b.params[0])?;
-        let limit = self.push_inline_var(ctx, "__limit")?;
+        let target = ctx.block_chain.last().copied().unwrap_or(0);
+        let first = self.scopes[target].len();
+        // The loop variable and limit are stored before the loop head, so
+        // they need no nil-initialization.
+        let ivar = self.push_inline_var(ctx, &b.params[0], true)?;
+        let limit = self.push_inline_var(ctx, &VarDecl::new("__limit", b.span), false)?;
         let (push, store): (fn(u8) -> Bc, fn(u8) -> Bc) = (Bc::PushTemp, Bc::StoreTemp);
         self.compile_expr(ctx, start)?;
         ctx.emit(store(ivar));
@@ -611,8 +759,12 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         let le = self.add_literal(Literal::Sym(le));
         ctx.emit(Bc::Send { sel: le, argc: 1 });
         let jexit = ctx.emit_jump(Bc::JumpIfFalse);
+        // Body temps re-initialize to nil on every iteration, keeping the
+        // definite-assignment analysis exact across the back edge.
         for t in &b.temps {
-            self.push_inline_var(ctx, t)?;
+            let slot = self.push_inline_var(ctx, t, false)?;
+            ctx.emit(Bc::PushNil);
+            ctx.emit(store(slot));
         }
         self.compile_block_body(ctx, &b.body)?;
         ctx.emit(Bc::Pop);
@@ -627,29 +779,53 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         ctx.emit(Bc::Jump(back));
         ctx.patch_to_here(jexit);
         ctx.emit(Bc::PushNil);
+        self.kill_from(target, first);
         Ok(())
     }
 
     // ----------------------------------------------------------- blocks
 
     fn compile_closure(&mut self, ctx: &Ctx, b: &Block) -> GemResult<u16> {
-        let mut scope = Vec::with_capacity(b.params.len() + b.temps.len());
-        scope.extend(b.params.iter().cloned());
-        scope.extend(b.temps.iter().cloned());
+        let scope_idx = self.scopes.len();
+        self.scopes.push(Vec::new());
         let mut chain = ctx.block_chain.clone();
-        chain.push(scope);
+        chain.push(scope_idx);
+        for p in &b.params {
+            self.declare(&chain, scope_idx, p, true)?;
+        }
         let mut bctx = Ctx::block(chain);
+        for t in &b.temps {
+            let slot = self.declare(&bctx.block_chain, scope_idx, t, false)?;
+            bctx.emit(Bc::PushNil);
+            bctx.emit(Bc::StoreTemp(slot));
+        }
         self.compile_block_body(&mut bctx, &b.body)?;
-        let block_scope = bctx.block_chain.pop().unwrap();
-        self.blocks.push(CompiledBlock {
-            n_params: b.params.len() as u8,
-            n_temps: (block_scope.len() - b.params.len()) as u8,
-            code: bctx.code,
-        });
+        let n_params = u8::try_from(b.params.len())
+            .map_err(|_| GemError::CompileError("too many block parameters".into()))?;
+        let n_temps = u8::try_from(self.scopes[scope_idx].len() - b.params.len())
+            .map_err(|_| GemError::CompileError("too many block temps".into()))?;
+        self.blocks.push(CompiledBlock { n_params, n_temps, code: bctx.code });
         Ok((self.blocks.len() - 1) as u16)
     }
 
     // -------------------------------------- declarative select: blocks
+
+    /// Lint a `select:` argument block for mutating sends, whether or not
+    /// it later compiles declaratively.
+    fn lint_select_block(&mut self, b: &Block) {
+        let mut found: Vec<String> = Vec::new();
+        for stmt in &b.body {
+            match &stmt.kind {
+                StmtKind::Expr(e) | StmtKind::Return(e) => scan_impure(e, &mut found),
+            }
+        }
+        for selector in found {
+            self.lints.push(Lint {
+                kind: LintKind::SelectBlockImpure { selector },
+                site: LintSite::Source(b.span),
+            });
+        }
+    }
 
     /// Try to compile `recv select: [:e | pred]` declaratively. Returns
     /// `Some(())` on success (code emitted), `None` to fall back.
@@ -660,9 +836,10 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         b: &Block,
     ) -> GemResult<Option<()>> {
         // The block body must be a single expression.
-        let [Stmt::Expr(body)] = &b.body[..] else { return Ok(None) };
+        let [stmt] = &b.body[..] else { return Ok(None) };
+        let StmtKind::Expr(body) = &stmt.kind else { return Ok(None) };
         let mut captures: Vec<Expr> = Vec::new();
-        let Some(pred) = self.analyze_pred(body, &b.params[0], &mut captures) else {
+        let Some(pred) = self.analyze_pred(body, &b.params[0].name, &mut captures) else {
             return Ok(None);
         };
         if captures.len() > 200 {
@@ -678,6 +855,7 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
             pred,
         };
         let template = QueryTemplate { query, n_captured: captures.len() as u16 };
+        debug_assert!(template.validate().is_ok(), "compiler built an invalid query template");
         let lit = self.add_literal(Literal::Query(template));
         self.compile_expr(ctx, recv)?;
         let argc = captures.len() as u8;
@@ -722,14 +900,16 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
                     Box::new(self.analyze_pred(a, param, captures)?),
                 )),
                 ("and:", [Expr::Block(b)]) if b.params.is_empty() && b.temps.is_empty() => {
-                    let [Stmt::Expr(inner)] = &b.body[..] else { return None };
+                    let [stmt] = &b.body[..] else { return None };
+                    let StmtKind::Expr(inner) = &stmt.kind else { return None };
                     Some(calc::Pred::And(
                         Box::new(self.analyze_pred(recv, param, captures)?),
                         Box::new(self.analyze_pred(inner, param, captures)?),
                     ))
                 }
                 ("or:", [Expr::Block(b)]) if b.params.is_empty() && b.temps.is_empty() => {
-                    let [Stmt::Expr(inner)] = &b.body[..] else { return None };
+                    let [stmt] = &b.body[..] else { return None };
+                    let StmtKind::Expr(inner) = &stmt.kind else { return None };
                     Some(calc::Pred::Or(
                         Box::new(self.analyze_pred(recv, param, captures)?),
                         Box::new(self.analyze_pred(inner, param, captures)?),
@@ -879,6 +1059,85 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
     }
 }
 
+/// Selectors that mutate their receiver. A `select:` block sending one of
+/// these is not a pure predicate, so the calculus translation (and any
+/// index-assisted plan) could observe or miss its side effects.
+const MUTATING: &[&str] = &[
+    "add:",
+    "addAll:",
+    "remove:",
+    "removeKey:",
+    "at:put:",
+    "removeAll:",
+    "removeFirst",
+    "removeLast",
+];
+
+fn mark(v: &mut ScopeVar, write: bool) {
+    if write {
+        v.writes += 1;
+    } else {
+        v.reads += 1;
+    }
+}
+
+/// Collect selectors of mutating sends (and `:=`-through-path stores)
+/// anywhere in the expression — used by the `select:` purity lint.
+fn scan_impure(e: &Expr, found: &mut Vec<String>) {
+    match e {
+        Expr::Lit(_) | Expr::Ident(_) => {}
+        Expr::Assign(_, v) => scan_impure(v, found),
+        Expr::Send { recv, selector, args } => {
+            if MUTATING.contains(&selector.as_str()) {
+                found.push(selector.clone());
+            }
+            scan_impure(recv, found);
+            for a in args {
+                scan_impure(a, found);
+            }
+        }
+        Expr::Cascade { recv, sends } => {
+            scan_impure(recv, found);
+            for (selector, args) in sends {
+                if MUTATING.contains(&selector.as_str()) {
+                    found.push(selector.clone());
+                }
+                for a in args {
+                    scan_impure(a, found);
+                }
+            }
+        }
+        Expr::Block(b) => {
+            for stmt in &b.body {
+                match &stmt.kind {
+                    StmtKind::Expr(e) | StmtKind::Return(e) => scan_impure(e, found),
+                }
+            }
+        }
+        Expr::Path { root, steps } => {
+            scan_impure(root, found);
+            scan_steps(steps, found);
+        }
+        Expr::PathAssign { root, steps, value } => {
+            found.push(":=".into());
+            scan_impure(root, found);
+            scan_impure(value, found);
+            scan_steps(steps, found);
+        }
+    }
+}
+
+fn scan_steps(steps: &[PathStep], found: &mut Vec<String>) {
+    for s in steps {
+        if let Some(t) = &s.at {
+            scan_impure(t, found);
+        }
+        if let PathComponent::Dynamic(d) = &s.component {
+            scan_impure(d, found);
+        }
+    }
+}
+
 /// Does the expression mention the identifier?
 fn mentions(e: &Expr, name: &str) -> bool {
     match e {
@@ -893,11 +1152,11 @@ fn mentions(e: &Expr, name: &str) -> bool {
                 || sends.iter().any(|(_, args)| args.iter().any(|a| mentions(a, name)))
         }
         Expr::Block(b) => {
-            if b.params.iter().any(|p| p == name) || b.temps.iter().any(|t| t == name) {
+            if b.params.iter().any(|p| p.name == name) || b.temps.iter().any(|t| t.name == name) {
                 return false; // shadowed
             }
-            b.body.iter().any(|s| match s {
-                Stmt::Expr(e) | Stmt::Return(e) => mentions(e, name),
+            b.body.iter().any(|s| match &s.kind {
+                StmtKind::Expr(e) | StmtKind::Return(e) => mentions(e, name),
             })
         }
         Expr::Path { root, steps } => {
@@ -1058,5 +1317,104 @@ mod tests {
         let mut w = BasicWorld::new();
         let err = compile_doit(&mut w, "| d | d := Dictionary new. d ! city @ 3 := 'X'");
         assert!(err.is_err());
+    }
+
+    // -------------------------------------------------------- lint pass
+
+    #[test]
+    fn declared_temps_are_nil_initialized() {
+        let mut w = BasicWorld::new();
+        let m = compile_doit(&mut w, "| x | x := 3. x").unwrap();
+        assert_eq!(&m.code[..2], &[Bc::PushNil, Bc::StoreTemp(0)]);
+        crate::verify::check(&m).unwrap();
+    }
+
+    #[test]
+    fn unused_temp_lints_with_declaration_span() {
+        let mut w = BasicWorld::new();
+        let (_, lints) = compile_doit_with_lints(&mut w, "| x unused | x := 1. x").unwrap();
+        assert!(
+            lints.iter().any(|l| matches!(
+                (&l.kind, &l.site),
+                (LintKind::UnusedTemp { name }, LintSite::Source(s))
+                    if name == "unused" && s.line == 1
+            )),
+            "{lints:?}"
+        );
+        let (_, lints) = compile_doit_with_lints(&mut w, "| x | x := 1. x").unwrap();
+        assert!(!lints.iter().any(|l| matches!(l.kind, LintKind::UnusedTemp { .. })));
+    }
+
+    #[test]
+    fn shadowing_lints() {
+        let mut w = BasicWorld::new();
+        let (_, lints) =
+            compile_doit_with_lints(&mut w, "| x | x := 1. [:x | x + 1] value: x").unwrap();
+        assert!(
+            lints.iter().any(|l| matches!(&l.kind, LintKind::Shadowing { name } if name == "x")),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn statements_after_return_lint_instead_of_error() {
+        let mut w = BasicWorld::new();
+        let k = w.kernel();
+        let (m, lints) = compile_method_with_lints(&mut w, k.object, "m ^1. 2").unwrap();
+        assert!(
+            lints.iter().any(|l| matches!(
+                (&l.kind, &l.site),
+                (LintKind::UnreachableCode, LintSite::Source(_))
+            )),
+            "{lints:?}"
+        );
+        crate::verify::check(&m).unwrap();
+    }
+
+    #[test]
+    fn select_block_mutation_lints() {
+        let mut w = BasicWorld::new();
+        let (_, lints) =
+            compile_doit_with_lints(&mut w, "| c | c := Set new. c select: [:e | c add: e. e > 0]")
+                .unwrap();
+        assert!(
+            lints
+                .iter()
+                .any(|l| matches!(&l.kind, LintKind::SelectBlockImpure { selector } if selector == "add:")),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn inline_block_temps_do_not_leak_into_later_code() {
+        let mut w = BasicWorld::new();
+        // After the ifTrue: region ends, `t` no longer resolves to the
+        // frame slot — in a doIt it degrades to a global reference.
+        let m = compile_doit(&mut w, "3 < 4 ifTrue: [ | t | t := 1. t ]. t").unwrap();
+        assert!(matches!(m.code.last(), Some(Bc::ReturnTop)));
+        let tail = &m.code[m.code.len() - 2];
+        assert!(matches!(tail, Bc::PushGlobal(_)), "leaked slot: {tail:?}");
+        // And in a method body, storing to it is an undeclared-variable error.
+        let k = w.kernel();
+        let err = compile_method(&mut w, k.object, "m 3 < 4 ifTrue: [ | t | t := 1 ]. t := 2");
+        assert!(matches!(err, Err(GemError::CompileError(_))), "{err:?}");
+    }
+
+    #[test]
+    fn compiler_output_passes_verifier() {
+        let mut w = BasicWorld::new();
+        for src in [
+            "| x | x := 3. x + 4",
+            "3 < 4 ifTrue: [1] ifFalse: [2]",
+            "| i | i := 0. [i < 5] whileTrue: [i := i + 1]. i",
+            "| b | b := [:x | x + 1]. b value: 2",
+            "| s | s := 0. 1 to: 5 do: [:i | s := s + i]. s",
+            "| c | c := Set new. c select: [:e | e salary > 100]",
+            "3 timesRepeat: [ 1 + 1 ]",
+            "| xs | xs := OrderedCollection new. xs do: [:x | xs do: [:y | x + y]]",
+        ] {
+            let m = compile_doit(&mut w, src).unwrap();
+            crate::verify::check(&m).unwrap_or_else(|e| panic!("{src}: {e}"));
+        }
     }
 }

@@ -17,6 +17,38 @@ use std::sync::Arc;
 const DEFAULT_STEP_LIMIT: u64 = 200_000_000;
 const MAX_FRAMES: usize = 4_000;
 
+/// A bytecode-level inconsistency. Methods that pass [`crate::verify`] can
+/// never raise one of these; they replace the panics the interpreter had
+/// before verification existed, so the session survives even hand-built or
+/// hostile bytecode.
+fn corrupt(msg: &str) -> GemError {
+    GemError::CorruptMethod(msg.into())
+}
+
+fn underflow() -> GemError {
+    corrupt("operand stack underflow")
+}
+
+fn read_slot(env: &Rc<EnvNode>, i: u8) -> GemResult<Oop> {
+    env.slots.borrow().get(i as usize).copied().ok_or_else(|| corrupt("temp slot out of range"))
+}
+
+fn write_slot(env: &Rc<EnvNode>, i: u8, v: Oop) -> GemResult<()> {
+    *env.slots
+        .borrow_mut()
+        .get_mut(i as usize)
+        .ok_or_else(|| corrupt("temp slot out of range"))? = v;
+    Ok(())
+}
+
+fn jump_target(ip: usize, off: i32) -> GemResult<usize> {
+    let t = ip as i64 + off as i64;
+    if t < 0 {
+        return Err(corrupt("jump before code start"));
+    }
+    Ok(t as usize)
+}
+
 /// One lexical environment: an activation's temp slots plus a link to the
 /// activation it was created in (for nested closures over block variables).
 struct EnvNode {
@@ -25,12 +57,15 @@ struct EnvNode {
 }
 
 impl EnvNode {
-    fn up(self: &Rc<EnvNode>, n: u8) -> Rc<EnvNode> {
+    fn up(self: &Rc<EnvNode>, n: u8) -> GemResult<Rc<EnvNode>> {
         let mut cur = self.clone();
         for _ in 0..n {
-            cur = cur.parent.clone().expect("outer scope exists (compiler-checked)");
+            let Some(parent) = cur.parent.clone() else {
+                return Err(corrupt("outer scope chain exhausted"));
+            };
+            cur = parent;
         }
-        cur
+        Ok(cur)
     }
 }
 
@@ -51,7 +86,9 @@ impl Frame {
     fn code(&self) -> &[Bc] {
         match self.block {
             None => &self.method.code,
-            Some(i) => &self.method.blocks[i as usize].code,
+            // A bad block index cannot occur in a verified method; degrade
+            // to empty code (immediate fall-off) rather than panic.
+            Some(i) => self.method.blocks.get(i as usize).map(|b| b.code.as_slice()).unwrap_or(&[]),
         }
     }
 }
@@ -125,6 +162,10 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
             code,
             blocks: Vec::new(),
         };
+        debug_assert!(
+            crate::verify::check(&method).is_ok(),
+            "synthetic send carrier must pass verification"
+        );
         let mut all_args = Vec::with_capacity(n + 1);
         all_args.push(recv);
         all_args.extend_from_slice(args);
@@ -175,7 +216,9 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
         if self.frames.len() >= MAX_FRAMES {
             return Err(GemError::ResourceExhausted("call stack depth"));
         }
-        let block = &closure.method.blocks[closure.block as usize];
+        let Some(block) = closure.method.blocks.get(closure.block as usize) else {
+            return Err(corrupt("block index out of range"));
+        };
         if args.len() != block.n_params as usize {
             return Err(GemError::RuntimeError(format!(
                 "block expects {} arguments, got {}",
@@ -212,7 +255,9 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
             if self.steps > self.step_limit {
                 return Err(GemError::ResourceExhausted("interpreter step budget"));
             }
-            let frame = self.frames.last_mut().expect("running without a frame");
+            let Some(frame) = self.frames.last_mut() else {
+                return Err(corrupt("running without a frame"));
+            };
             if frame.ip >= frame.code().len() {
                 // Falling off the end: blocks answer their last value;
                 // methods always end in an explicit return.
@@ -227,9 +272,14 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
             frame.ip += 1;
             match bc {
                 Bc::PushLit(i) => {
-                    let lit = frame.method.literals[i as usize].clone();
+                    let lit = frame
+                        .method
+                        .literals
+                        .get(i as usize)
+                        .cloned()
+                        .ok_or_else(|| corrupt("literal index out of range"))?;
                     let v = self.literal_to_oop(&lit)?;
-                    self.top().stack.push(v);
+                    self.top()?.stack.push(v);
                 }
                 Bc::PushNil => frame.stack.push(Oop::NIL),
                 Bc::PushTrue => frame.stack.push(Oop::TRUE),
@@ -240,52 +290,52 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 }
                 Bc::PushSystem => frame.stack.push(Oop::SYSTEM),
                 Bc::PushTemp(i) => {
-                    let v = frame.env.slots.borrow()[i as usize];
+                    let v = read_slot(&frame.env, i)?;
                     frame.stack.push(v);
                 }
                 Bc::StoreTemp(i) => {
-                    let v = frame.stack.pop().expect("stack underflow");
-                    frame.env.slots.borrow_mut()[i as usize] = v;
+                    let v = frame.stack.pop().ok_or_else(underflow)?;
+                    write_slot(&frame.env, i, v)?;
                 }
                 Bc::PushHome(i) => {
-                    let v = frame.home_temps.slots.borrow()[i as usize];
+                    let v = read_slot(&frame.home_temps, i)?;
                     frame.stack.push(v);
                 }
                 Bc::StoreHome(i) => {
-                    let v = frame.stack.pop().expect("stack underflow");
-                    frame.home_temps.slots.borrow_mut()[i as usize] = v;
+                    let v = frame.stack.pop().ok_or_else(underflow)?;
+                    write_slot(&frame.home_temps, i, v)?;
                 }
                 Bc::PushOuter { up, idx } => {
-                    let env = frame.env.up(up);
-                    let v = env.slots.borrow()[idx as usize];
+                    let env = frame.env.up(up)?;
+                    let v = read_slot(&env, idx)?;
                     frame.stack.push(v);
                 }
                 Bc::StoreOuter { up, idx } => {
-                    let v = frame.stack.pop().expect("stack underflow");
-                    let env = frame.env.up(up);
-                    env.slots.borrow_mut()[idx as usize] = v;
+                    let v = frame.stack.pop().ok_or_else(underflow)?;
+                    let env = frame.env.up(up)?;
+                    write_slot(&env, idx, v)?;
                 }
                 Bc::PushInstVar(i) => {
-                    let Literal::Sym(sym) = &frame.method.literals[i as usize] else {
-                        return Err(GemError::Corrupt("instvar literal".into()));
+                    let Some(Literal::Sym(sym)) = frame.method.literals.get(i as usize) else {
+                        return Err(corrupt("instvar literal is not a symbol"));
                     };
                     let sym = *sym;
                     let recv = frame.receiver;
                     let v = self.world.get_elem(recv, ElemName::Sym(sym))?;
-                    self.top().stack.push(v);
+                    self.top()?.stack.push(v);
                 }
                 Bc::StoreInstVar(i) => {
-                    let Literal::Sym(sym) = &frame.method.literals[i as usize] else {
-                        return Err(GemError::Corrupt("instvar literal".into()));
+                    let Some(Literal::Sym(sym)) = frame.method.literals.get(i as usize) else {
+                        return Err(corrupt("instvar literal is not a symbol"));
                     };
                     let sym = *sym;
-                    let v = frame.stack.pop().expect("stack underflow");
+                    let v = frame.stack.pop().ok_or_else(underflow)?;
                     let recv = frame.receiver;
                     self.world.set_elem(recv, ElemName::Sym(sym), v)?;
                 }
                 Bc::PushGlobal(i) => {
-                    let Literal::Sym(sym) = &frame.method.literals[i as usize] else {
-                        return Err(GemError::Corrupt("global literal".into()));
+                    let Some(Literal::Sym(sym)) = frame.method.literals.get(i as usize) else {
+                        return Err(corrupt("global literal is not a symbol"));
                     };
                     let sym = *sym;
                     let v = match self.world.get_global(sym) {
@@ -300,31 +350,30 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                             }
                         },
                     };
-                    self.top().stack.push(v);
+                    self.top()?.stack.push(v);
                 }
                 Bc::StoreGlobal(i) => {
-                    let Literal::Sym(sym) = &frame.method.literals[i as usize] else {
-                        return Err(GemError::Corrupt("global literal".into()));
+                    let Some(Literal::Sym(sym)) = frame.method.literals.get(i as usize) else {
+                        return Err(corrupt("global literal is not a symbol"));
                     };
                     let sym = *sym;
-                    let v = frame.stack.pop().expect("stack underflow");
+                    let v = frame.stack.pop().ok_or_else(underflow)?;
                     self.world.set_global(sym, v)?;
                 }
                 Bc::Pop => {
                     frame.stack.pop();
                 }
                 Bc::Dup => {
-                    let v = *frame.stack.last().expect("stack underflow");
+                    let v = *frame.stack.last().ok_or_else(underflow)?;
                     frame.stack.push(v);
                 }
                 Bc::Jump(off) => {
-                    let ip = frame.ip as i64 + off as i64;
-                    frame.ip = ip as usize;
+                    frame.ip = jump_target(frame.ip, off)?;
                 }
                 Bc::JumpIfFalse(off) => {
-                    let v = frame.stack.pop().expect("stack underflow");
+                    let v = frame.stack.pop().ok_or_else(underflow)?;
                     match v.as_bool() {
-                        Some(false) => frame.ip = (frame.ip as i64 + off as i64) as usize,
+                        Some(false) => frame.ip = jump_target(frame.ip, off)?,
                         Some(true) => {}
                         None => {
                             return Err(GemError::TypeMismatch {
@@ -335,9 +384,9 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     }
                 }
                 Bc::JumpIfTrue(off) => {
-                    let v = frame.stack.pop().expect("stack underflow");
+                    let v = frame.stack.pop().ok_or_else(underflow)?;
                     match v.as_bool() {
-                        Some(true) => frame.ip = (frame.ip as i64 + off as i64) as usize,
+                        Some(true) => frame.ip = jump_target(frame.ip, off)?,
                         Some(false) => {}
                         None => {
                             return Err(GemError::TypeMismatch {
@@ -361,17 +410,17 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     let class = self.world.block_class();
                     let obj = self.world.new_object(class)?;
                     self.world.set_elem(obj, self.closure_elem, Oop::int(cidx as i64))?;
-                    self.top().stack.push(obj);
+                    self.top()?.stack.push(obj);
                 }
                 Bc::PathStep { has_time } => {
                     let time = if has_time {
-                        let t = frame.stack.pop().expect("stack underflow");
+                        let t = frame.stack.pop().ok_or_else(underflow)?;
                         Some(t)
                     } else {
                         None
                     };
-                    let name = frame.stack.pop().expect("stack underflow");
-                    let recv = frame.stack.pop().expect("stack underflow");
+                    let name = frame.stack.pop().ok_or_else(underflow)?;
+                    let recv = frame.stack.pop().ok_or_else(underflow)?;
                     if recv.is_nil() {
                         return Err(GemError::PathThroughNil(self.describe_name(name)));
                     }
@@ -392,18 +441,18 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                             self.world.get_elem_at(recv, elem, TxnTime::from_ticks(ticks as u64))?
                         }
                     };
-                    self.top().stack.push(v);
+                    self.top()?.stack.push(v);
                 }
                 Bc::PathStore => {
-                    let value = frame.stack.pop().expect("stack underflow");
-                    let name = frame.stack.pop().expect("stack underflow");
-                    let recv = frame.stack.pop().expect("stack underflow");
+                    let value = frame.stack.pop().ok_or_else(underflow)?;
+                    let name = frame.stack.pop().ok_or_else(underflow)?;
+                    let recv = frame.stack.pop().ok_or_else(underflow)?;
                     if recv.is_nil() {
                         return Err(GemError::PathThroughNil(self.describe_name(name)));
                     }
                     let elem = self.oop_to_elem_name(name)?;
                     self.world.set_elem(recv, elem, value)?;
-                    self.top().stack.push(value);
+                    self.top()?.stack.push(value);
                 }
                 Bc::ReturnTop => {
                     let value = frame.stack.pop().unwrap_or(Oop::NIL);
@@ -424,42 +473,47 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     }
                 }
                 Bc::Send { sel, argc } => {
-                    let Literal::Sym(selector) = &frame.method.literals[sel as usize] else {
-                        return Err(GemError::Corrupt("selector literal".into()));
+                    let Some(Literal::Sym(selector)) = frame.method.literals.get(sel as usize)
+                    else {
+                        return Err(corrupt("selector literal is not a symbol"));
                     };
                     let selector = *selector;
                     let n = argc as usize;
                     let len = frame.stack.len();
                     if len < n + 1 {
-                        return Err(GemError::Corrupt("operand stack underflow".into()));
+                        return Err(underflow());
                     }
                     let args: Vec<Oop> = frame.stack.split_off(len - n);
-                    let recv = frame.stack.pop().expect("receiver");
+                    let recv = frame.stack.pop().ok_or_else(underflow)?;
                     self.dispatch_send(recv, selector, &args)?;
                 }
                 Bc::SelectQuery { lit, argc } => {
-                    let Literal::Query(template) = frame.method.literals[lit as usize].clone()
+                    let Some(Literal::Query(template)) =
+                        frame.method.literals.get(lit as usize).cloned()
                     else {
-                        return Err(GemError::Corrupt("query literal".into()));
+                        return Err(corrupt("query literal index is not a query"));
                     };
                     let n = argc as usize;
                     let len = frame.stack.len();
+                    if len < n + 1 {
+                        return Err(underflow());
+                    }
                     let captured: Vec<Oop> = frame.stack.split_off(len - n);
-                    let coll = frame.stack.pop().expect("collection");
+                    let coll = frame.stack.pop().ok_or_else(underflow)?;
                     let members = self.world.run_select(coll, &template, &captured)?;
                     let k = self.world.kernel();
                     let out = self.world.new_object(k.ordered_collection)?;
                     for m in members {
                         self.world.push_indexed(out, m)?;
                     }
-                    self.top().stack.push(out);
+                    self.top()?.stack.push(out);
                 }
             }
         }
     }
 
-    fn top(&mut self) -> &mut Frame {
-        self.frames.last_mut().expect("no frame")
+    fn top(&mut self) -> GemResult<&mut Frame> {
+        self.frames.last_mut().ok_or_else(|| corrupt("no active frame"))
     }
 
     /// Pop the current frame, pushing `value` on the caller. `Some(v)` means
@@ -508,9 +562,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 }
                 arr
             }
-            Literal::Query(_) => {
-                return Err(GemError::Corrupt("query literal pushed as value".into()))
-            }
+            Literal::Query(_) => return Err(corrupt("query literal pushed as value")),
         })
     }
 
@@ -584,7 +636,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
         // System pseudo-object.
         if recv.kind() == OopKind::System {
             let v = self.world.system_message(selector, args)?;
-            self.top().stack.push(v);
+            self.top()?.stack.push(v);
             return Ok(());
         }
         let class = self.world.class_of(recv);
@@ -604,7 +656,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
         match m {
             MethodRef::Primitive(p) => {
                 let v = self.primitive(p, recv, args, selector)?;
-                self.top().stack.push(v);
+                self.top()?.stack.push(v);
                 Ok(())
             }
             MethodRef::Compiled(id) => {
@@ -633,7 +685,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 let present = !self.world.get_elem(recv, ElemName::Sym(sym))?.is_nil();
                 if declared || present {
                     let v = self.world.get_elem(recv, ElemName::Sym(sym))?;
-                    self.top().stack.push(v);
+                    self.top()?.stack.push(v);
                     return Ok(());
                 }
             } else if args.len() == 1
@@ -642,8 +694,12 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
             {
                 let base = self.world.intern(&name[..name.len() - 1]);
                 if self.world.declares_instvar(class, base) {
-                    self.world.set_elem(recv, ElemName::Sym(base), args[0])?;
-                    self.top().stack.push(recv);
+                    self.world.set_elem(
+                        recv,
+                        ElemName::Sym(base),
+                        args.first().copied().unwrap_or(Oop::NIL),
+                    )?;
+                    self.top()?.stack.push(recv);
                     return Ok(());
                 }
             }
@@ -659,9 +715,14 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
 
     fn primitive(&mut self, p: u32, recv: Oop, args: &[Oop], selector: SymbolId) -> GemResult<Oop> {
         use prims::*;
+        // A primitive reached with fewer arguments than its selector implies
+        // (possible only from unverified hand-built bytecode) sees nil and
+        // fails with its ordinary type error instead of an index panic.
+        let arg0 = args.first().copied().unwrap_or(Oop::NIL);
+        let arg1 = args.get(1).copied().unwrap_or(Oop::NIL);
         Ok(match p {
-            IDENTICAL => Oop::bool(recv == args[0]),
-            NOT_IDENTICAL => Oop::bool(recv != args[0]),
+            IDENTICAL => Oop::bool(recv == arg0),
+            NOT_IDENTICAL => Oop::bool(recv != arg0),
             CLASS => Oop::class(self.world.class_of(recv)),
             IS_NIL => Oop::bool(recv.is_nil()),
             NOT_NIL => Oop::bool(!recv.is_nil()),
@@ -669,32 +730,31 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 let s = print_oop(self.world, recv, PrintDepth::default())?;
                 self.world.new_string(&s)
             }
-            EQUAL => Oop::bool(self.world.equals(recv, args[0])?),
-            NOT_EQUAL => Oop::bool(!self.world.equals(recv, args[0])?),
+            EQUAL => Oop::bool(self.world.equals(recv, arg0)?),
+            NOT_EQUAL => Oop::bool(!self.world.equals(recv, arg0)?),
             ERROR => {
-                let msg =
-                    self.world.string_value(args[0]).unwrap_or_else(|| format!("{:?}", args[0]));
+                let msg = self.world.string_value(arg0).unwrap_or_else(|| format!("{:?}", arg0));
                 return Err(GemError::RuntimeError(msg));
             }
             YOURSELF => recv,
             IS_KIND_OF => {
-                let target = args[0].as_class().ok_or_else(|| GemError::TypeMismatch {
+                let target = arg0.as_class().ok_or_else(|| GemError::TypeMismatch {
                     expected: "class",
-                    got: format!("{:?}", args[0]),
+                    got: format!("{:?}", arg0),
                 })?;
                 Oop::bool(self.world.is_kind_of(self.world.class_of(recv), target))
             }
-            AT => self.prim_at(recv, args[0])?,
+            AT => self.prim_at(recv, arg0)?,
             AT_PUT => {
-                let name = self.oop_to_elem_name(args[0])?;
-                self.world.set_elem(recv, name, args[1])?;
-                args[1]
+                let name = self.oop_to_elem_name(arg0)?;
+                self.world.set_elem(recv, name, arg1)?;
+                arg1
             }
             SIZE => Oop::int(self.world.obj_size(recv)? as i64),
             INCLUDES => {
                 let mut found = false;
                 for m in self.world.elements(recv)? {
-                    if self.world.equals(m, args[0])? {
+                    if self.world.equals(m, arg0)? {
                         found = true;
                         break;
                     }
@@ -724,12 +784,12 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 }
                 arr
             }
-            ADD_NUM | SUB | MUL | DIV | MOD | IDIV => self.prim_arith(p, recv, args[0])?,
+            ADD_NUM | SUB | MUL | DIV | MOD | IDIV => self.prim_arith(p, recv, arg0)?,
             LT | LE | GT | GE => {
-                let ord = compare_values(self.world, recv, args[0])?.ok_or_else(|| {
+                let ord = compare_values(self.world, recv, arg0)?.ok_or_else(|| {
                     GemError::TypeMismatch {
                         expected: "comparable values",
-                        got: format!("{recv:?} vs {:?}", args[0]),
+                        got: format!("{recv:?} vs {:?}", arg0),
                     }
                 })?;
                 Oop::bool(match p {
@@ -750,12 +810,12 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 _ => return Err(self.num_mismatch(recv)),
             },
             MIN | MAX => {
-                let ord = compare_values(self.world, recv, args[0])?
+                let ord = compare_values(self.world, recv, arg0)?
                     .ok_or_else(|| self.num_mismatch(recv))?;
                 if (p == MIN) == (ord == Ordering::Less) {
                     recv
                 } else {
-                    args[0]
+                    arg0
                 }
             }
             AS_FLOAT => Oop::float(recv.as_number().ok_or_else(|| self.num_mismatch(recv))?),
@@ -772,9 +832,9 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     expected: "Boolean",
                     got: format!("{recv:?}"),
                 })?;
-                let b = args[0].as_bool().ok_or_else(|| GemError::TypeMismatch {
+                let b = arg0.as_bool().ok_or_else(|| GemError::TypeMismatch {
                     expected: "Boolean",
-                    got: format!("{:?}", args[0]),
+                    got: format!("{:?}", arg0),
                 })?;
                 Oop::bool(if p == BOOL_AND { a && b } else { a || b })
             }
@@ -785,9 +845,9 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 })?;
                 let b = self
                     .world
-                    .string_value(args[0])
+                    .string_value(arg0)
                     .map(Ok)
-                    .unwrap_or_else(|| print_oop(self.world, args[0], PrintDepth::default()))?;
+                    .unwrap_or_else(|| print_oop(self.world, arg0, PrintDepth::default()))?;
                 self.world.new_string(&format!("{a}{b}"))
             }
             AS_SYMBOL => {
@@ -811,47 +871,47 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                 }
             },
             ADD_INDEXED => {
-                self.world.push_indexed(recv, args[0])?;
-                args[0]
+                self.world.push_indexed(recv, arg0)?;
+                arg0
             }
             ADD_SET => {
                 let mut present = false;
                 for m in self.world.elements(recv)? {
-                    if self.world.equals(m, args[0])? {
+                    if self.world.equals(m, arg0)? {
                         present = true;
                         break;
                     }
                 }
                 if !present {
-                    self.world.add_aliased(recv, args[0])?;
+                    self.world.add_aliased(recv, arg0)?;
                 }
-                args[0]
+                arg0
             }
             ADD_BAG => {
-                self.world.add_aliased(recv, args[0])?;
-                args[0]
+                self.world.add_aliased(recv, arg0)?;
+                arg0
             }
             REMOVE => {
                 let names = self.world.element_names(recv)?;
                 let mut removed = false;
                 for n in names {
                     let v = self.world.get_elem(recv, n)?;
-                    if self.world.equals(v, args[0])? {
+                    if self.world.equals(v, arg0)? {
                         self.world.set_elem(recv, n, Oop::NIL)?;
                         removed = true;
                         break;
                     }
                 }
                 if !removed {
-                    return Err(GemError::NoSuchElement(self.describe_name(args[0])));
+                    return Err(GemError::NoSuchElement(self.describe_name(arg0)));
                 }
-                args[0]
+                arg0
             }
             REMOVE_KEY => {
-                let name = self.oop_to_elem_name(args[0])?;
+                let name = self.oop_to_elem_name(arg0)?;
                 let old = self.world.get_elem(recv, name)?;
                 if old.is_nil() {
-                    return Err(GemError::NoSuchElement(self.describe_name(args[0])));
+                    return Err(GemError::NoSuchElement(self.describe_name(arg0)));
                 }
                 self.world.set_elem(recv, name, Oop::NIL)?;
                 old
@@ -873,9 +933,9 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     expected: "class",
                     got: format!("{recv:?}"),
                 })?;
-                let name = self.name_arg(args[0])?;
+                let name = self.name_arg(arg0)?;
                 let mut instvars = Vec::new();
-                for v in self.world.elements(args[1])? {
+                for v in self.world.elements(arg1)? {
                     instvars.push(self.name_arg(v)?);
                 }
                 let sub = self.world.define_subclass(class, name, instvars)?;
@@ -894,12 +954,13 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     expected: "class",
                     got: format!("{recv:?}"),
                 })?;
-                let src = self.world.string_value(args[0]).ok_or_else(|| {
-                    GemError::TypeMismatch { expected: "method source string", got: "?".into() }
+                let src = self.world.string_value(arg0).ok_or_else(|| GemError::TypeMismatch {
+                    expected: "method source string",
+                    got: "?".into(),
                 })?;
                 let m = compiler::compile_method(self.world, class, &src)?;
                 let sel = m.selector;
-                let id = self.world.add_method_code(m);
+                let id = self.world.add_method_code(m)?;
                 self.world.install_method(
                     class,
                     sel,
@@ -914,7 +975,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     expected: "class",
                     got: format!("{recv:?}"),
                 })?;
-                let name = self.name_arg(args[0])?;
+                let name = self.name_arg(arg0)?;
                 self.world.add_instvar(class, name)?;
                 recv
             }
@@ -982,7 +1043,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                         }
                         Some(x.div_euclid(y))
                     }
-                    _ => unreachable!(),
+                    _ => return Err(corrupt("bad arithmetic primitive")),
                 };
                 let r = r.ok_or(GemError::IntOverflow)?;
                 Oop::try_int(r).ok_or(GemError::IntOverflow)
@@ -1005,7 +1066,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                         expected: "integers for // and \\\\",
                         got: format!("{a:?}, {b:?}"),
                     }),
-                    _ => unreachable!(),
+                    _ => Err(corrupt("bad arithmetic primitive")),
                 }
             }
         }

@@ -1,6 +1,6 @@
 //! OPAL: the GemStone data language (§4–§5 of Copeland & Maier, SIGMOD 1984).
 //!
-//! "We scrapped the Pascal-based version of OPAL, and [began] anew with an
+//! "We scrapped the Pascal-based version of OPAL, and \[began\] anew with an
 //! object-oriented language, Smalltalk-80, as a basis." OPAL keeps ST80's
 //! object/message/class model and syntax, and adds what the paper's §4.3
 //! found missing: `!` path expressions (with assignment), `@` temporal
@@ -12,11 +12,15 @@
 //! consisting of sequences of bytecodes, much the same as the ST80
 //! interpreter … The Compiler requires some modifications from the ST80
 //! compiler. Most are small changes in syntax …, but a large addition is
-//! needed [to] translate calculus expressions into procedural form."
+//! needed \[to\] translate calculus expressions into procedural form."
 //!
 //! * [`lexer`] / [`parser`] — OPAL surface syntax;
 //! * [`compiler`] — AST → [`bytecode`], including the select-block →
 //!   calculus translation;
+//! * [`verify`] — the bytecode verifier: install-time abstract
+//!   interpretation (stack depth, jump targets, slot bounds,
+//!   definite assignment, query-template arity) that makes the
+//!   interpreter's fast path sound without per-instruction checks;
 //! * [`interp`] — the stack machine and its ~90 primitive methods;
 //! * [`OpalWorld`] — the object-system interface the machine runs against:
 //!   the core crate implements it with persistence, transactions and the
@@ -29,11 +33,15 @@ pub mod compiler;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
+pub mod verify;
 pub mod world;
 
 pub use bytecode::{Bc, CompiledBlock, CompiledMethod, Literal, QueryTemplate};
-pub use compiler::{compile_doit, compile_method};
+pub use compiler::{
+    compile_doit, compile_doit_with_lints, compile_method, compile_method_with_lints,
+};
 pub use interp::Interpreter;
+pub use verify::{Lint, LintKind, LintSite, Verified, VerifyError, VerifyErrorKind};
 pub use world::{install_kernel_methods, BasicWorld, OpalWorld, PrintDepth};
 
 /// Convenience: parse, compile and run a source block against a world,
@@ -43,6 +51,6 @@ pub fn run_block<W: OpalWorld>(
     source: &str,
 ) -> gemstone_object::GemResult<gemstone_object::Oop> {
     let method = compile_doit(world, source)?;
-    let id = world.add_method_code(method);
+    let id = world.add_method_code(method)?;
     Interpreter::new(world).run_doit(id)
 }

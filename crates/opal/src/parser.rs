@@ -13,7 +13,9 @@
 //! primary     := literal | IDENT | '(' expr ')' | block | '#(' literals ')'
 //! ```
 
-use crate::ast::{Block, Expr, Lit, MethodAst, PathComponent, PathStep, Stmt};
+use crate::ast::{
+    Block, Expr, Lit, MethodAst, PathComponent, PathStep, Span, Stmt, StmtKind, VarDecl,
+};
 use crate::lexer::{lex, Tok, Token};
 use gemstone_object::{GemError, GemResult};
 
@@ -24,7 +26,7 @@ struct Parser {
 
 /// Parse a "doIt" — temporaries plus statements, as sent to GemStone in
 /// "blocks of OPAL source code" (§6).
-pub fn parse_doit(src: &str) -> GemResult<(Vec<String>, Vec<Stmt>)> {
+pub fn parse_doit(src: &str) -> GemResult<(Vec<VarDecl>, Vec<Stmt>)> {
     let mut p = Parser { toks: lex(src)?, pos: 0 };
     let temps = p.parse_temps()?;
     let body = p.parse_statements(&Tok::Eof)?;
@@ -45,6 +47,12 @@ pub fn parse_method(src: &str) -> GemResult<MethodAst> {
 impl Parser {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].kind
+    }
+
+    /// Source position of the token about to be consumed.
+    fn here(&self) -> Span {
+        let t = &self.toks[self.pos];
+        Span::new(t.line, t.col)
     }
 
     fn peek2(&self) -> &Tok {
@@ -75,28 +83,34 @@ impl Parser {
 
     // -------------------------------------------------------- structure
 
-    fn parse_pattern(&mut self) -> GemResult<(String, Vec<String>)> {
+    fn parse_pattern(&mut self) -> GemResult<(String, Vec<VarDecl>)> {
         match self.next() {
             Tok::Ident(name) => Ok((name, vec![])),
-            Tok::BinSel(op) => match self.next() {
-                Tok::Ident(p) => Ok((op, vec![p])),
-                t => {
-                    Err(self.error(format!("expected parameter after binary selector, found {t}")))
+            Tok::BinSel(op) => {
+                let span = self.here();
+                match self.next() {
+                    Tok::Ident(p) => Ok((op, vec![VarDecl::new(p, span)])),
+                    t => {
+                        Err(self
+                            .error(format!("expected parameter after binary selector, found {t}")))
+                    }
                 }
-            },
+            }
             Tok::Keyword(first) => {
                 let mut selector = format!("{first}:");
                 let mut params = Vec::new();
+                let span = self.here();
                 match self.next() {
-                    Tok::Ident(p) => params.push(p),
+                    Tok::Ident(p) => params.push(VarDecl::new(p, span)),
                     t => return Err(self.error(format!("expected parameter, found {t}"))),
                 }
                 while let Tok::Keyword(k) = self.peek().clone() {
                     self.next();
                     selector.push_str(&k);
                     selector.push(':');
+                    let span = self.here();
                     match self.next() {
-                        Tok::Ident(p) => params.push(p),
+                        Tok::Ident(p) => params.push(VarDecl::new(p, span)),
                         t => return Err(self.error(format!("expected parameter, found {t}"))),
                     }
                 }
@@ -106,15 +120,16 @@ impl Parser {
         }
     }
 
-    fn parse_temps(&mut self) -> GemResult<Vec<String>> {
+    fn parse_temps(&mut self) -> GemResult<Vec<VarDecl>> {
         if self.peek() != &Tok::VBar {
             return Ok(vec![]);
         }
         self.next();
         let mut temps = Vec::new();
         loop {
+            let span = self.here();
             match self.next() {
-                Tok::Ident(n) => temps.push(n),
+                Tok::Ident(n) => temps.push(VarDecl::new(n, span)),
                 Tok::VBar => return Ok(temps),
                 t => return Err(self.error(format!("expected temporary name or '|', found {t}"))),
             }
@@ -127,11 +142,12 @@ impl Parser {
             if self.peek() == end {
                 return Ok(stmts);
             }
+            let span = self.here();
             if self.peek() == &Tok::Caret {
                 self.next();
-                stmts.push(Stmt::Return(self.parse_expr()?));
+                stmts.push(Stmt { kind: StmtKind::Return(self.parse_expr()?), span });
             } else {
-                stmts.push(Stmt::Expr(self.parse_expr()?));
+                stmts.push(Stmt { kind: StmtKind::Expr(self.parse_expr()?), span });
             }
             if self.peek() == &Tok::Period {
                 self.next();
@@ -385,11 +401,13 @@ impl Parser {
     }
 
     fn parse_block(&mut self) -> GemResult<Expr> {
+        let span = self.here();
         self.expect(&Tok::LBracket)?;
         let mut params = Vec::new();
         while let Tok::BlockParam(p) = self.peek().clone() {
+            let pspan = self.here();
             self.next();
-            params.push(p);
+            params.push(VarDecl::new(p, pspan));
         }
         if !params.is_empty() {
             self.expect(&Tok::VBar)?;
@@ -397,7 +415,7 @@ impl Parser {
         let temps = self.parse_temps()?;
         let body = self.parse_statements(&Tok::RBracket)?;
         self.expect(&Tok::RBracket)?;
-        Ok(Expr::Block(Block { params, temps, body }))
+        Ok(Expr::Block(Block { params, temps, body, span }))
     }
 }
 
@@ -405,15 +423,15 @@ impl Parser {
 mod tests {
     use super::*;
 
-    fn doit(src: &str) -> (Vec<String>, Vec<Stmt>) {
+    fn doit(src: &str) -> (Vec<VarDecl>, Vec<Stmt>) {
         parse_doit(src).unwrap()
     }
 
     fn expr(src: &str) -> Expr {
         let (_, mut stmts) = doit(src);
         assert_eq!(stmts.len(), 1);
-        match stmts.remove(0) {
-            Stmt::Expr(e) => e,
+        match stmts.remove(0).kind {
+            StmtKind::Expr(e) => e,
             s => panic!("{s:?}"),
         }
     }
@@ -451,8 +469,11 @@ mod tests {
         let (temps, stmts) = doit("| x y | x := 3. y := x + 1. ^y");
         assert_eq!(temps, vec!["x", "y"]);
         assert_eq!(stmts.len(), 3);
-        assert!(matches!(&stmts[0], Stmt::Expr(Expr::Assign(n, _)) if n == "x"));
-        assert!(matches!(&stmts[2], Stmt::Return(_)));
+        assert!(matches!(&stmts[0].kind, StmtKind::Expr(Expr::Assign(n, _)) if n == "x"));
+        assert!(matches!(&stmts[2].kind, StmtKind::Return(_)));
+        // Spans point at the statement's first token.
+        assert_eq!(stmts[0].span, Span::new(1, 9));
+        assert_eq!(temps[0].span, Span::new(1, 3));
     }
 
     #[test]
@@ -492,7 +513,7 @@ mod tests {
     #[test]
     fn plain_assign_beats_path_assign_confusion() {
         let (_, stmts) = doit("x := w ! a");
-        assert!(matches!(&stmts[0], Stmt::Expr(Expr::Assign(_, _))));
+        assert!(matches!(&stmts[0].kind, StmtKind::Expr(Expr::Assign(_, _))));
     }
 
     #[test]

@@ -1,0 +1,872 @@
+//! Bytecode verification: static analysis of compiled methods at install
+//! time.
+//!
+//! §6 makes compiledMethods the trust boundary of the whole system — the
+//! interpreter "executes compiledMethods consisting of sequences of
+//! bytecodes" and historically trusted them blindly, so one malformed or
+//! miscompiled method could panic the entire session. Following the
+//! definition-time-checking discipline Postgres credits for its longevity,
+//! [`check`] abstractly interprets every method *before* it can ever
+//! execute:
+//!
+//! * **Stack discipline** — a worklist dataflow over the bytecode CFG
+//!   tracks the *exact* operand-stack depth at every pc. The abstract
+//!   domain per pc is `⊥` (unreached) or a single depth; the merge rule is
+//!   equality (two predecessors carrying different depths is
+//!   [`VerifyErrorKind::UnbalancedMerge`] — the ST80 compiler never emits
+//!   such code, and accepting it would make depth unknowable). Underflow
+//!   and overflow (> [`MAX_STACK_DEPTH`]) are rejected.
+//! * **Jump validity** — every `Jump`/`JumpIfFalse`/`JumpIfTrue` target
+//!   must land on an instruction boundary in `0..=len` (`len` is the
+//!   virtual fall-off exit). Negative or past-the-end targets are
+//!   rejected; the interpreter's `ip` arithmetic can then never wrap.
+//! * **Index bounds** — `PushTemp`/`StoreTemp` against the body's frame
+//!   size, `PushHome`/`StoreHome` against the *method's* frame size,
+//!   `PushLit`/`PushInstVar`/`Send` against the literal pool (with kind
+//!   checks: selectors and instvar names must be `Literal::Sym`, and a
+//!   `Query` literal can never be pushed as a value), `PushBlock` against
+//!   the block table.
+//! * **Lexical chains** — `PushOuter { up, idx }` walks `up` environment
+//!   links at run time. The verifier reconstructs the possible chains
+//!   statically: block *b*'s parent frame is whichever body contains
+//!   `PushBlock(b)`, so iterating that "pushers" relation `up` times
+//!   yields every frame the instruction could read; `idx` is checked
+//!   against each one, and a chain that reaches the method body early is
+//!   rejected (the method frame has no parent).
+//! * **Query templates** — `SelectQuery` literals must be valid
+//!   [`QueryTemplate`](crate::QueryTemplate)s
+//!   ([`QueryTemplate::validate`](crate::QueryTemplate::validate)) whose `n_captured`
+//!   matches the instruction's `argc`, so run-time capture substitution
+//!   can never read out of range.
+//! * **Definite assignment** — a bitset per pc (intersected at merges)
+//!   tracks which temp slots have been stored; reading an unstored,
+//!   non-parameter temp is [`VerifyErrorKind::UseBeforeStore`]. The
+//!   compiler nil-initialises declared temps explicitly, so its output
+//!   always satisfies the strict rule while hand-built bytecode cannot
+//!   smuggle reads of stale slots.
+//!
+//! A method that passes earns a [`Verified`] token — the proof that lets
+//! the interpreter's release-mode fast path replace its panicking
+//! `expect`s with debug asserts. Methods are checked once, at
+//! [`crate::OpalWorld::add_method_code`] time, not per execution.
+//!
+//! [`code_lints`] reuses the same dataflow for the non-fatal layer:
+//! instructions whose state stays `⊥` at fixpoint are unreachable code.
+
+use crate::bytecode::{Bc, CompiledMethod, Literal};
+use gemstone_object::GemError;
+
+/// Operand-stack depth cap per activation. The compiler never gets close
+/// (depth grows only with expression nesting); hand-built methods past
+/// this are rejected rather than allowed to balloon frame allocations.
+pub const MAX_STACK_DEPTH: u32 = 1024;
+
+/// Where in a compiled method a diagnostic points: `block` is `None` for
+/// the method's main code, `Some(i)` for block `i`; `pc` indexes the
+/// instruction (or equals the code length for the virtual fall-off exit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodeLoc {
+    pub block: Option<u16>,
+    pub pc: usize,
+}
+
+impl std::fmt::Display for CodeLoc {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.block {
+            None => write!(f, "pc {}", self.pc),
+            Some(b) => write!(f, "block {b} pc {}", self.pc),
+        }
+    }
+}
+
+/// What the verifier rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyErrorKind {
+    /// An instruction pops more values than the stack holds.
+    StackUnderflow,
+    /// Stack depth would exceed [`MAX_STACK_DEPTH`].
+    StackOverflow { depth: u32 },
+    /// Two control-flow paths reach the same pc with different depths.
+    UnbalancedMerge { left: u32, right: u32 },
+    /// Jump target outside `0..=len`.
+    BadJumpTarget { target: i64, len: usize },
+    /// Temp slot index past the activation's frame.
+    TempOutOfBounds { idx: u8, frame: usize },
+    /// Home (method-frame) slot index past the method's frame.
+    HomeOutOfBounds { idx: u8, frame: usize },
+    /// Outer-scope slot index past some possible enclosing frame.
+    OuterOutOfBounds { up: u8, idx: u8, frame: usize },
+    /// `PushOuter`/`StoreOuter` walks past the method frame.
+    NoOuterScope { up: u8 },
+    /// Literal pool index out of range.
+    LiteralOutOfBounds { idx: u16, len: usize },
+    /// Literal exists but has the wrong kind for the instruction.
+    WrongLiteralKind { idx: u16, expected: &'static str },
+    /// Block table index out of range.
+    BlockOutOfBounds { idx: u16, len: usize },
+    /// `SelectQuery` argc disagrees with the template's `n_captured`.
+    BadQueryArity { declared: u16, argc: u8 },
+    /// The query template itself fails [`crate::QueryTemplate::validate`].
+    BadQueryTemplate { idx: u16, reason: String },
+    /// A non-parameter temp is read before any store reaches it.
+    UseBeforeStore { idx: u8 },
+    /// Method code can fall off the end (blocks may; methods must return).
+    MissingReturn,
+}
+
+/// A verification failure with the location it was detected at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyError {
+    pub kind: VerifyErrorKind,
+    pub loc: CodeLoc,
+}
+
+impl std::fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use VerifyErrorKind::*;
+        match &self.kind {
+            StackUnderflow => write!(f, "stack underflow")?,
+            StackOverflow { depth } => write!(f, "stack overflow (depth {depth})")?,
+            UnbalancedMerge { left, right } => {
+                write!(f, "unbalanced stack depths at merge ({left} vs {right})")?
+            }
+            BadJumpTarget { target, len } => write!(f, "jump target {target} outside 0..={len}")?,
+            TempOutOfBounds { idx, frame } => {
+                write!(f, "temp index {idx} out of frame (size {frame})")?
+            }
+            HomeOutOfBounds { idx, frame } => {
+                write!(f, "home temp index {idx} out of frame (size {frame})")?
+            }
+            OuterOutOfBounds { up, idx, frame } => {
+                write!(f, "outer temp index {idx} (up {up}) out of frame (size {frame})")?
+            }
+            NoOuterScope { up } => write!(f, "no lexically enclosing scope {up} levels up")?,
+            LiteralOutOfBounds { idx, len } => {
+                write!(f, "literal index {idx} out of pool (size {len})")?
+            }
+            WrongLiteralKind { idx, expected } => write!(f, "literal {idx} is not a {expected}")?,
+            BlockOutOfBounds { idx, len } => {
+                write!(f, "block index {idx} out of table (size {len})")?
+            }
+            BadQueryArity { declared, argc } => {
+                write!(f, "query captures {declared} values but {argc} are pushed")?
+            }
+            BadQueryTemplate { idx, reason } => {
+                write!(f, "invalid query template at literal {idx}: {reason}")?
+            }
+            UseBeforeStore { idx } => write!(f, "temp {idx} read before any store")?,
+            MissingReturn => write!(f, "method code can fall off the end without returning")?,
+        }
+        write!(f, " at {}", self.loc)
+    }
+}
+
+impl From<VerifyError> for GemError {
+    fn from(e: VerifyError) -> GemError {
+        GemError::CorruptMethod(e.to_string())
+    }
+}
+
+/// Proof that a method passed [`check`]. Cannot be constructed outside
+/// this module; holding one is what makes the interpreter's release-mode
+/// elision of stack checks sound.
+#[derive(Debug, Clone, Copy)]
+pub struct Verified(());
+
+/// A non-fatal diagnostic: the method is legal but suspicious.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Lint {
+    pub kind: LintKind,
+    pub site: LintSite,
+}
+
+/// Lint categories, produced by the compiler (source-level) and the
+/// verifier (bytecode-level).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintKind {
+    /// A declared temp is never read or written.
+    UnusedTemp { name: String },
+    /// An inner declaration hides an outer variable of the same name.
+    Shadowing { name: String },
+    /// Statements after `^`, or bytecode no path reaches.
+    UnreachableCode,
+    /// A `select:` block sends a known-mutating message — the calculus
+    /// translation assumes selection blocks are pure predicates.
+    SelectBlockImpure { selector: String },
+}
+
+/// Where a lint points: a source position (compiler lints) or a bytecode
+/// location (verifier lints).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LintSite {
+    Source(crate::ast::Span),
+    Code(CodeLoc),
+}
+
+impl std::fmt::Display for Lint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.kind {
+            LintKind::UnusedTemp { name } => write!(f, "unused variable '{name}'")?,
+            LintKind::Shadowing { name } => {
+                write!(f, "'{name}' shadows an outer variable of the same name")?
+            }
+            LintKind::UnreachableCode => write!(f, "unreachable code")?,
+            LintKind::SelectBlockImpure { selector } => {
+                write!(f, "select: block sends mutating message #{selector}")?
+            }
+        }
+        match &self.site {
+            LintSite::Source(s) => write!(f, " at {s}"),
+            LintSite::Code(l) => write!(f, " at {l}"),
+        }
+    }
+}
+
+// ------------------------------------------------------------------ domain
+
+/// Definite-assignment bitset over frame slots. `n_params`/`n_temps` are
+/// both `u8`, so 512 bits cover any frame.
+#[derive(Clone, Copy, PartialEq, Eq)]
+struct Bits([u64; 8]);
+
+impl Bits {
+    fn none() -> Bits {
+        Bits([0; 8])
+    }
+
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Intersect in place; true when anything changed.
+    fn intersect(&mut self, o: &Bits) -> bool {
+        let mut changed = false;
+        for (a, b) in self.0.iter_mut().zip(o.0.iter()) {
+            let n = *a & *b;
+            changed |= n != *a;
+            *a = n;
+        }
+        changed
+    }
+}
+
+/// Abstract state at a pc: exact stack depth + definitely-assigned slots.
+#[derive(Clone, Copy)]
+struct State {
+    depth: u32,
+    assigned: Bits,
+}
+
+/// Body identifier: 0 is the method's main code, `i + 1` is block `i`.
+type BodyId = usize;
+
+fn body_code(m: &CompiledMethod, body: BodyId) -> &[Bc] {
+    if body == 0 {
+        &m.code
+    } else {
+        &m.blocks[body - 1].code
+    }
+}
+
+fn body_frame_size(m: &CompiledMethod, body: BodyId) -> usize {
+    if body == 0 {
+        m.frame_size()
+    } else {
+        let b = &m.blocks[body - 1];
+        b.n_params as usize + b.n_temps as usize
+    }
+}
+
+fn body_params(m: &CompiledMethod, body: BodyId) -> usize {
+    if body == 0 {
+        m.n_params as usize
+    } else {
+        m.blocks[body - 1].n_params as usize
+    }
+}
+
+fn body_loc(body: BodyId, pc: usize) -> CodeLoc {
+    CodeLoc { block: if body == 0 { None } else { Some((body - 1) as u16) }, pc }
+}
+
+/// `pushers[b]` = bodies whose code contains `PushBlock` of body `b`
+/// (block index `b - 1`). A block frame's parent environment is the frame
+/// of whichever body pushed it, so this relation *is* the static
+/// approximation of the run-time environment chain.
+fn pusher_map(m: &CompiledMethod) -> Vec<Vec<BodyId>> {
+    let n = m.blocks.len() + 1;
+    let mut pushers: Vec<Vec<BodyId>> = vec![Vec::new(); n];
+    for body in 0..n {
+        for bc in body_code(m, body) {
+            if let Bc::PushBlock(b) = bc {
+                let target = *b as usize + 1;
+                if target < n && !pushers[target].contains(&body) {
+                    pushers[target].push(body);
+                }
+            }
+        }
+    }
+    pushers
+}
+
+/// Every body whose frame could sit `up` environment links above `body`'s
+/// frame. Errors if a chain reaches the method frame too early (its env
+/// has no parent).
+fn frames_at(
+    body: BodyId,
+    up: u8,
+    pushers: &[Vec<BodyId>],
+    loc: CodeLoc,
+) -> Result<Vec<BodyId>, VerifyError> {
+    let mut cur = vec![body];
+    for _ in 0..up {
+        let mut next = Vec::new();
+        for b in &cur {
+            if *b == 0 {
+                return Err(VerifyError { kind: VerifyErrorKind::NoOuterScope { up }, loc });
+            }
+            for p in &pushers[*b] {
+                if !next.contains(p) {
+                    next.push(*p);
+                }
+            }
+        }
+        cur = next;
+    }
+    Ok(cur)
+}
+
+// ---------------------------------------------------------------- dataflow
+
+/// Worklist dataflow over one body. Returns the per-pc states (length
+/// `len + 1`; the last entry is the virtual fall-off exit), or the first
+/// verification error encountered.
+fn flow(
+    m: &CompiledMethod,
+    body: BodyId,
+    pushers: &[Vec<BodyId>],
+) -> Result<Vec<Option<State>>, VerifyError> {
+    let code = body_code(m, body);
+    let frame = body_frame_size(m, body);
+    let n_params = body_params(m, body);
+    let len = code.len();
+
+    let mut init = Bits::none();
+    for i in 0..n_params {
+        init.set(i);
+    }
+    let mut states: Vec<Option<State>> = vec![None; len + 1];
+    states[0] = Some(State { depth: 0, assigned: init });
+    let mut worklist: Vec<usize> = if len > 0 { vec![0] } else { Vec::new() };
+
+    while let Some(pc) = worklist.pop() {
+        let mut st = states[pc].expect("worklist entries are reached");
+        let loc = body_loc(body, pc);
+        let err = |kind: VerifyErrorKind| VerifyError { kind, loc };
+
+        // Stack-effect helpers over the abstract depth.
+        let pop = |st: &mut State, n: u32| {
+            if st.depth < n {
+                Err(err(VerifyErrorKind::StackUnderflow))
+            } else {
+                st.depth -= n;
+                Ok(())
+            }
+        };
+        let push = |st: &mut State, n: u32| {
+            st.depth += n;
+            if st.depth > MAX_STACK_DEPTH {
+                Err(err(VerifyErrorKind::StackOverflow { depth: st.depth }))
+            } else {
+                Ok(())
+            }
+        };
+        let lit = |idx: u16| {
+            m.literals.get(idx as usize).ok_or_else(|| {
+                err(VerifyErrorKind::LiteralOutOfBounds { idx, len: m.literals.len() })
+            })
+        };
+        let sym_lit = |idx: u16| match lit(idx)? {
+            Literal::Sym(_) => Ok(()),
+            _ => Err(err(VerifyErrorKind::WrongLiteralKind { idx, expected: "symbol" })),
+        };
+        let temp_in_frame = |idx: u8| {
+            if (idx as usize) < frame {
+                Ok(())
+            } else {
+                Err(err(VerifyErrorKind::TempOutOfBounds { idx, frame }))
+            }
+        };
+        let home_in_frame = |idx: u8| {
+            // `home_temps` is the method activation's frame — both from
+            // block code and (trivially) from the method's own code.
+            if (idx as usize) < m.frame_size() {
+                Ok(())
+            } else {
+                Err(err(VerifyErrorKind::HomeOutOfBounds { idx, frame: m.frame_size() }))
+            }
+        };
+        let outer_in_frames = |up: u8, idx: u8| {
+            if up == 0 {
+                return temp_in_frame(idx);
+            }
+            for b in frames_at(body, up, pushers, loc)? {
+                let f = body_frame_size(m, b);
+                if idx as usize >= f {
+                    return Err(err(VerifyErrorKind::OuterOutOfBounds { up, idx, frame: f }));
+                }
+            }
+            Ok(())
+        };
+        let jump_target = |off: i32| {
+            let target = pc as i64 + 1 + off as i64;
+            if (0..=len as i64).contains(&target) {
+                Ok(target as usize)
+            } else {
+                Err(err(VerifyErrorKind::BadJumpTarget { target, len }))
+            }
+        };
+
+        // Successors this instruction can fall or jump to.
+        let mut succs: Vec<usize> = Vec::with_capacity(2);
+        match code[pc] {
+            Bc::PushLit(i) => {
+                if matches!(lit(i)?, Literal::Query(_)) {
+                    return Err(err(VerifyErrorKind::WrongLiteralKind {
+                        idx: i,
+                        expected: "pushable literal",
+                    }));
+                }
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::PushNil | Bc::PushTrue | Bc::PushFalse | Bc::PushSelf | Bc::PushSystem => {
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::PushTemp(i) => {
+                temp_in_frame(i)?;
+                if (i as usize) >= n_params && !st.assigned.get(i as usize) {
+                    return Err(err(VerifyErrorKind::UseBeforeStore { idx: i }));
+                }
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::StoreTemp(i) => {
+                temp_in_frame(i)?;
+                pop(&mut st, 1)?;
+                st.assigned.set(i as usize);
+                succs.push(pc + 1);
+            }
+            Bc::PushHome(i) => {
+                home_in_frame(i)?;
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::StoreHome(i) => {
+                home_in_frame(i)?;
+                pop(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::PushOuter { up, idx } => {
+                outer_in_frames(up, idx)?;
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::StoreOuter { up, idx } => {
+                outer_in_frames(up, idx)?;
+                pop(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::PushInstVar(i) | Bc::PushGlobal(i) => {
+                sym_lit(i)?;
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::StoreInstVar(i) | Bc::StoreGlobal(i) => {
+                sym_lit(i)?;
+                pop(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::Pop => {
+                pop(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::Dup => {
+                pop(&mut st, 1)?;
+                push(&mut st, 2)?;
+                succs.push(pc + 1);
+            }
+            Bc::Send { sel, argc } => {
+                sym_lit(sel)?;
+                pop(&mut st, argc as u32 + 1)?;
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::Jump(off) => {
+                succs.push(jump_target(off)?);
+            }
+            Bc::JumpIfFalse(off) | Bc::JumpIfTrue(off) => {
+                pop(&mut st, 1)?;
+                succs.push(jump_target(off)?);
+                succs.push(pc + 1);
+            }
+            Bc::PushBlock(i) => {
+                if (i as usize) >= m.blocks.len() {
+                    return Err(err(VerifyErrorKind::BlockOutOfBounds {
+                        idx: i,
+                        len: m.blocks.len(),
+                    }));
+                }
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::PathStep { has_time } => {
+                pop(&mut st, if has_time { 3 } else { 2 })?;
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::PathStore => {
+                pop(&mut st, 3)?;
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+            Bc::ReturnTop => {
+                pop(&mut st, 1)?;
+            }
+            Bc::ReturnSelf => {}
+            Bc::SelectQuery { lit: li, argc } => {
+                let Literal::Query(t) = lit(li)? else {
+                    return Err(err(VerifyErrorKind::WrongLiteralKind {
+                        idx: li,
+                        expected: "query template",
+                    }));
+                };
+                t.validate()
+                    .map_err(|reason| err(VerifyErrorKind::BadQueryTemplate { idx: li, reason }))?;
+                if t.n_captured != argc as u16 {
+                    return Err(err(VerifyErrorKind::BadQueryArity {
+                        declared: t.n_captured,
+                        argc,
+                    }));
+                }
+                pop(&mut st, argc as u32 + 1)?;
+                push(&mut st, 1)?;
+                succs.push(pc + 1);
+            }
+        }
+
+        for s in succs {
+            match &mut states[s] {
+                slot @ None => {
+                    *slot = Some(st);
+                    if s < len {
+                        worklist.push(s);
+                    }
+                }
+                Some(old) => {
+                    if old.depth != st.depth {
+                        return Err(VerifyError {
+                            kind: VerifyErrorKind::UnbalancedMerge {
+                                left: old.depth,
+                                right: st.depth,
+                            },
+                            loc: body_loc(body, s),
+                        });
+                    }
+                    if old.assigned.intersect(&st.assigned) && s < len {
+                        worklist.push(s);
+                    }
+                }
+            }
+        }
+    }
+
+    // Methods must end in an explicit return; blocks answer their last
+    // value when they run off the end, so a reachable fall-off is fine
+    // there (the interpreter defaults an empty stack to nil).
+    if body == 0 && (len == 0 || states[len].is_some()) {
+        return Err(VerifyError { kind: VerifyErrorKind::MissingReturn, loc: body_loc(0, len) });
+    }
+    Ok(states)
+}
+
+// ------------------------------------------------------------- public API
+
+/// Verify a compiled method: the method's main code and every block.
+/// `Ok(Verified)` proves the method can never underflow the operand
+/// stack, jump out of its code, index outside its frame / literal pool /
+/// block table / lexical chain, read an unstored temp, or run a query
+/// template with the wrong capture arity.
+pub fn check(m: &CompiledMethod) -> Result<Verified, VerifyError> {
+    let pushers = pusher_map(m);
+    for body in 0..=m.blocks.len() {
+        flow(m, body, &pushers)?;
+    }
+    Ok(Verified(()))
+}
+
+/// Bytecode-level lints for a method that passes [`check`]: instructions
+/// the dataflow proves unreachable. Unconditional `Jump`s are exempt —
+/// the compiler emits a dead scaffold jump after a branch arm that ends
+/// in `^` (`ifTrue: [^x]`), and flagging those would lint every such
+/// kernel method. Returns nothing for unverifiable methods (verification
+/// errors, not lints, are the diagnostic there).
+pub fn code_lints(m: &CompiledMethod) -> Vec<Lint> {
+    let pushers = pusher_map(m);
+    let mut lints = Vec::new();
+    for body in 0..=m.blocks.len() {
+        let Ok(states) = flow(m, body, &pushers) else { return Vec::new() };
+        let code = body_code(m, body);
+        for (pc, bc) in code.iter().enumerate() {
+            if states[pc].is_none() && !matches!(bc, Bc::Jump(_)) {
+                lints.push(Lint {
+                    kind: LintKind::UnreachableCode,
+                    site: LintSite::Code(body_loc(body, pc)),
+                });
+            }
+        }
+    }
+    lints
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bytecode::{CompiledBlock, QueryTemplate};
+    use gemstone_calculus::{Pred, Query, Range, Term, VarId};
+    use gemstone_object::{Oop, SymbolId};
+
+    fn method(code: Vec<Bc>) -> CompiledMethod {
+        CompiledMethod {
+            selector: SymbolId(0),
+            n_params: 0,
+            n_temps: 0,
+            literals: Vec::new(),
+            code,
+            blocks: Vec::new(),
+        }
+    }
+
+    fn kind_of(m: &CompiledMethod) -> VerifyErrorKind {
+        check(m).unwrap_err().kind
+    }
+
+    #[test]
+    fn accepts_minimal_method() {
+        assert!(check(&method(vec![Bc::PushNil, Bc::ReturnTop])).is_ok());
+        assert!(check(&method(vec![Bc::ReturnSelf])).is_ok());
+    }
+
+    #[test]
+    fn rejects_underflow() {
+        let m = method(vec![Bc::Pop, Bc::ReturnSelf]);
+        assert_eq!(kind_of(&m), VerifyErrorKind::StackUnderflow);
+        assert_eq!(check(&m).unwrap_err().loc, CodeLoc { block: None, pc: 0 });
+        // ReturnTop with nothing on the stack is an underflow too.
+        assert_eq!(kind_of(&method(vec![Bc::ReturnTop])), VerifyErrorKind::StackUnderflow);
+        assert_eq!(kind_of(&method(vec![Bc::Dup, Bc::ReturnTop])), VerifyErrorKind::StackUnderflow);
+    }
+
+    #[test]
+    fn rejects_overflow() {
+        let mut code = vec![Bc::PushNil; MAX_STACK_DEPTH as usize + 1];
+        code.push(Bc::ReturnTop);
+        assert!(matches!(kind_of(&method(code)), VerifyErrorKind::StackOverflow { .. }));
+    }
+
+    #[test]
+    fn rejects_bad_jump_targets() {
+        assert!(matches!(
+            kind_of(&method(vec![Bc::Jump(5), Bc::ReturnSelf])),
+            VerifyErrorKind::BadJumpTarget { target: 6, .. }
+        ));
+        assert!(matches!(
+            kind_of(&method(vec![Bc::Jump(-3), Bc::ReturnSelf])),
+            VerifyErrorKind::BadJumpTarget { target: -2, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_unbalanced_merge() {
+        // True branch jumps to pc 3 with depth 0; fall-through pushes nil
+        // and reaches pc 3 with depth 1.
+        let m = method(vec![Bc::PushTrue, Bc::JumpIfTrue(1), Bc::PushNil, Bc::ReturnSelf]);
+        assert!(matches!(kind_of(&m), VerifyErrorKind::UnbalancedMerge { .. }));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_temp() {
+        assert!(matches!(
+            kind_of(&method(vec![Bc::PushTemp(0), Bc::ReturnTop])),
+            VerifyErrorKind::TempOutOfBounds { idx: 0, frame: 0 }
+        ));
+        assert!(matches!(
+            kind_of(&method(vec![Bc::PushNil, Bc::StoreTemp(3), Bc::ReturnSelf])),
+            VerifyErrorKind::TempOutOfBounds { idx: 3, .. }
+        ));
+    }
+
+    #[test]
+    fn rejects_use_before_store() {
+        let mut m = method(vec![Bc::PushTemp(0), Bc::ReturnTop]);
+        m.n_temps = 1;
+        assert_eq!(kind_of(&m), VerifyErrorKind::UseBeforeStore { idx: 0 });
+        // A store on only one branch is not definite assignment.
+        let mut m = method(vec![
+            Bc::PushTrue,
+            Bc::JumpIfTrue(2),
+            Bc::PushNil,
+            Bc::StoreTemp(0),
+            Bc::PushTemp(0),
+            Bc::ReturnTop,
+        ]);
+        m.n_temps = 1;
+        assert_eq!(kind_of(&m), VerifyErrorKind::UseBeforeStore { idx: 0 });
+        // Parameters are always assigned; stored temps may be read.
+        let mut ok =
+            method(vec![Bc::PushTemp(0), Bc::StoreTemp(1), Bc::PushTemp(1), Bc::ReturnTop]);
+        ok.n_params = 1;
+        ok.n_temps = 1;
+        assert!(check(&ok).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_literals() {
+        assert!(matches!(
+            kind_of(&method(vec![Bc::PushLit(0), Bc::ReturnTop])),
+            VerifyErrorKind::LiteralOutOfBounds { idx: 0, len: 0 }
+        ));
+        // A Send whose selector literal is an integer, not a symbol.
+        let mut m = method(vec![Bc::PushNil, Bc::Send { sel: 0, argc: 0 }, Bc::ReturnTop]);
+        m.literals = vec![Literal::Int(7)];
+        assert!(matches!(kind_of(&m), VerifyErrorKind::WrongLiteralKind { idx: 0, .. }));
+        // A query template cannot be pushed as a plain value.
+        let mut m = method(vec![Bc::PushLit(0), Bc::ReturnTop]);
+        m.literals = vec![Literal::Query(QueryTemplate {
+            query: Query { result: vec![], ranges: vec![], pred: Pred::True },
+            n_captured: 0,
+        })];
+        assert!(matches!(kind_of(&m), VerifyErrorKind::WrongLiteralKind { idx: 0, .. }));
+    }
+
+    #[test]
+    fn rejects_bad_block_index() {
+        assert!(matches!(
+            kind_of(&method(vec![Bc::PushBlock(2), Bc::ReturnTop])),
+            VerifyErrorKind::BlockOutOfBounds { idx: 2, len: 0 }
+        ));
+    }
+
+    fn one_var_query(n_captured: u16, extra_var: Option<u16>) -> QueryTemplate {
+        let pred = match extra_var {
+            None => Pred::True,
+            Some(v) => {
+                Pred::Cmp(Term::Var(VarId(0)), gemstone_calculus::CmpOp::Eq, Term::Var(VarId(v)))
+            }
+        };
+        QueryTemplate {
+            query: Query {
+                result: vec![(SymbolId(0), Term::Var(VarId(0)))],
+                ranges: vec![Range { var: VarId(0), domain: Term::Const(Oop::NIL) }],
+                pred,
+            },
+            n_captured,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_query_arity() {
+        // Template says one capture; instruction pushes none.
+        let mut m = method(vec![Bc::PushNil, Bc::SelectQuery { lit: 0, argc: 0 }, Bc::ReturnTop]);
+        m.literals = vec![Literal::Query(one_var_query(1, None))];
+        assert!(matches!(kind_of(&m), VerifyErrorKind::BadQueryArity { declared: 1, argc: 0 }));
+        // Template mentions VarId(5) with no captures declared.
+        let mut m = method(vec![Bc::PushNil, Bc::SelectQuery { lit: 0, argc: 0 }, Bc::ReturnTop]);
+        m.literals = vec![Literal::Query(one_var_query(0, Some(5)))];
+        assert!(matches!(kind_of(&m), VerifyErrorKind::BadQueryTemplate { idx: 0, .. }));
+        // Matching arity passes.
+        let mut m = method(vec![
+            Bc::PushNil,
+            Bc::PushNil,
+            Bc::SelectQuery { lit: 0, argc: 1 },
+            Bc::ReturnTop,
+        ]);
+        m.literals = vec![Literal::Query(one_var_query(1, Some(1)))];
+        assert!(check(&m).is_ok());
+    }
+
+    #[test]
+    fn rejects_bad_outer_chain() {
+        // Method code has no enclosing activation.
+        assert!(matches!(
+            kind_of(&method(vec![Bc::PushOuter { up: 1, idx: 0 }, Bc::ReturnTop])),
+            VerifyErrorKind::NoOuterScope { up: 1 }
+        ));
+        // Block pushed from method code: up=1 reaches the method frame,
+        // whose size is 1 — idx 5 is out.
+        let mut m = method(vec![Bc::PushNil, Bc::StoreTemp(0), Bc::PushBlock(0), Bc::ReturnTop]);
+        m.n_temps = 1;
+        m.blocks = vec![CompiledBlock {
+            n_params: 0,
+            n_temps: 0,
+            code: vec![Bc::PushOuter { up: 1, idx: 5 }],
+        }];
+        assert!(matches!(
+            kind_of(&m),
+            VerifyErrorKind::OuterOutOfBounds { up: 1, idx: 5, frame: 1 }
+        ));
+        // idx 0 is fine; and up=2 from that same block walks past the
+        // method frame.
+        m.blocks[0].code = vec![Bc::PushOuter { up: 1, idx: 0 }];
+        assert!(check(&m).is_ok());
+        m.blocks[0].code = vec![Bc::PushOuter { up: 2, idx: 0 }];
+        assert!(matches!(kind_of(&m), VerifyErrorKind::NoOuterScope { up: 2 }));
+    }
+
+    #[test]
+    fn rejects_method_fall_off() {
+        assert_eq!(kind_of(&method(vec![Bc::PushNil])), VerifyErrorKind::MissingReturn);
+        assert_eq!(kind_of(&method(vec![])), VerifyErrorKind::MissingReturn);
+        // Jumping exactly to the end is a fall-off for a method…
+        assert_eq!(kind_of(&method(vec![Bc::Jump(0)])), VerifyErrorKind::MissingReturn);
+        // …but fine for a block.
+        let mut m = method(vec![Bc::PushBlock(0), Bc::ReturnTop]);
+        m.blocks = vec![CompiledBlock { n_params: 0, n_temps: 0, code: vec![Bc::PushNil] }];
+        assert!(check(&m).is_ok());
+    }
+
+    #[test]
+    fn errors_are_deterministic_with_stable_positions() {
+        let m = method(vec![Bc::PushTrue, Bc::JumpIfTrue(1), Bc::PushNil, Bc::ReturnSelf]);
+        let a = check(&m).unwrap_err();
+        let b = check(&m).unwrap_err();
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        assert_eq!(a.loc, CodeLoc { block: None, pc: 3 });
+    }
+
+    #[test]
+    fn unreachable_code_lints() {
+        // pc 2 is unreachable (both paths return before it).
+        let m = method(vec![Bc::PushNil, Bc::ReturnTop, Bc::PushTrue, Bc::ReturnTop]);
+        let lints = code_lints(&m);
+        assert!(lints.iter().any(|l| l.kind == LintKind::UnreachableCode
+            && l.site == LintSite::Code(CodeLoc { block: None, pc: 2 })));
+        // Dead scaffold jumps are exempt.
+        let m = method(vec![Bc::PushNil, Bc::ReturnTop, Bc::Jump(-3)]);
+        assert!(code_lints(&m).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let e = check(&method(vec![Bc::Pop, Bc::ReturnSelf])).unwrap_err();
+        assert_eq!(e.to_string(), "stack underflow at pc 0");
+        let g: GemError = e.into();
+        assert_eq!(g.to_string(), "corrupt method: stack underflow at pc 0");
+    }
+}

@@ -73,7 +73,12 @@ pub trait OpalWorld {
 
     // ---- compiled code
     fn method(&self, id: MethodId) -> Arc<CompiledMethod>;
-    fn add_method_code(&mut self, m: CompiledMethod) -> MethodId;
+    /// Register compiled code, *verifying it first* ([`crate::verify`]).
+    /// This is the single choke point through which bytecode reaches the
+    /// interpreter: any method that installs here has passed the static
+    /// stack/jump/slot analysis, so the interpreter's fast path need not
+    /// re-check per instruction.
+    fn add_method_code(&mut self, m: CompiledMethod) -> GemResult<MethodId>;
 
     // ---- objects
     fn new_object(&mut self, class: ClassId) -> GemResult<Oop>;
@@ -196,6 +201,13 @@ impl BasicWorld {
         install_kernel_methods(&mut w).expect("kernel methods");
         w
     }
+
+    /// Every compiled method registered in this world (kernel methods plus
+    /// anything installed since). All of them passed verification at
+    /// registration; corpus tests re-run the verifier over this set.
+    pub fn installed_methods(&self) -> impl Iterator<Item = &Arc<CompiledMethod>> {
+        self.methods.iter()
+    }
 }
 
 impl Default for BasicWorld {
@@ -294,9 +306,10 @@ impl OpalWorld for BasicWorld {
         self.methods[id.0 as usize].clone()
     }
 
-    fn add_method_code(&mut self, m: CompiledMethod) -> MethodId {
+    fn add_method_code(&mut self, m: CompiledMethod) -> GemResult<MethodId> {
+        crate::verify::check(&m)?;
         self.methods.push(Arc::new(m));
-        MethodId(self.methods.len() as u32 - 1)
+        Ok(MethodId(self.methods.len() as u32 - 1))
     }
 
     fn new_object(&mut self, class: ClassId) -> GemResult<Oop> {
@@ -354,7 +367,11 @@ impl OpalWorld for BasicWorld {
     }
 
     fn push_indexed(&mut self, obj: Oop, v: Oop) -> GemResult<i64> {
-        Ok(self.workspace.get_mut(obj)?.push_indexed(v).as_int().unwrap())
+        let n = self.workspace.get_mut(obj)?.push_indexed(v);
+        n.as_int().ok_or_else(|| GemError::TypeMismatch {
+            expected: "integer index",
+            got: format!("{n:?}"),
+        })
     }
 
     fn obj_size(&mut self, obj: Oop) -> GemResult<usize> {
@@ -632,7 +649,7 @@ pub fn install_kernel_methods<W: OpalWorld>(world: &mut W) -> GemResult<()> {
     for src in collection_methods {
         let m = compiler::compile_method(world, k.collection, src)?;
         let sel = m.selector;
-        let id = world.add_method_code(m);
+        let id = world.add_method_code(m)?;
         world.install_method(k.collection, sel, MethodRef::Compiled(id), false);
     }
 
@@ -641,7 +658,7 @@ pub fn install_kernel_methods<W: OpalWorld>(world: &mut W) -> GemResult<()> {
     for src in number_methods {
         let m = compiler::compile_method(world, k.number, src)?;
         let sel = m.selector;
-        let id = world.add_method_code(m);
+        let id = world.add_method_code(m)?;
         world.install_method(k.number, sel, MethodRef::Compiled(id), false);
     }
 
@@ -652,7 +669,7 @@ pub fn install_kernel_methods<W: OpalWorld>(world: &mut W) -> GemResult<()> {
     for src in dictionary_methods {
         let m = compiler::compile_method(world, k.dictionary, src)?;
         let sel = m.selector;
-        let id = world.add_method_code(m);
+        let id = world.add_method_code(m)?;
         world.install_method(k.dictionary, sel, MethodRef::Compiled(id), false);
     }
 
@@ -663,7 +680,7 @@ pub fn install_kernel_methods<W: OpalWorld>(world: &mut W) -> GemResult<()> {
     for src in object_methods {
         let m = compiler::compile_method(world, k.object, src)?;
         let sel = m.selector;
-        let id = world.add_method_code(m);
+        let id = world.add_method_code(m)?;
         world.install_method(k.object, sel, MethodRef::Compiled(id), false);
     }
 
@@ -671,7 +688,7 @@ pub fn install_kernel_methods<W: OpalWorld>(world: &mut W) -> GemResult<()> {
     for src in association_methods {
         let m = compiler::compile_method(world, k.association, src)?;
         let sel = m.selector;
-        let id = world.add_method_code(m);
+        let id = world.add_method_code(m)?;
         world.install_method(k.association, sel, MethodRef::Compiled(id), false);
     }
 

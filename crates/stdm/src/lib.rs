@@ -2,7 +2,7 @@
 //!
 //! STDM is the data model Servio Logic designed *before* choosing
 //! Smalltalk-80: "labeled sets of heterogeneous values, which themselves can
-//! be sets or simple values", building on Childs [Chi]. This crate implements
+//! be sets or simple values", building on Childs \[Chi\]. This crate implements
 //! STDM exactly as the paper presents it, pre-merger:
 //!
 //! * [`LabeledSet`] — sets of (element name, value) pairs, unlimited nesting,

@@ -7,7 +7,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 ///
 /// Transaction times are totally ordered and issued by the system at commit
 /// (§5.3.1: "transaction time is system-generated, and cannot be modified by
-/// users, [so] it provides high integrity"). The value `u64::MAX` is reserved
+/// users, \[so\] it provides high integrity"). The value `u64::MAX` is reserved
 /// internally for the *pending* sentinel used by uncommitted writes inside a
 /// session workspace.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]

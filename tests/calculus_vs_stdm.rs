@@ -182,15 +182,16 @@ fn section51_style_join_explains_hash_join() {
             Range { var: v0, domain: Term::Const(employees) },
             Range { var: v1, domain: Term::Const(departments) },
         ],
-        pred: Pred::Cmp(Term::Path(v0, vec![dept]), CmpOp::Eq, Term::Path(v1, vec![name]))
-            .and(Pred::Cmp(
+        pred: Pred::Cmp(Term::Path(v0, vec![dept]), CmpOp::Eq, Term::Path(v1, vec![name])).and(
+            Pred::Cmp(
                 Term::Path(v0, vec![ElemName::Sym(salary)]),
                 CmpOp::Gt,
                 Term::Mul(
                     Box::new(Term::Const(gemstone::Oop::float(0.10))),
                     Box::new(Term::Path(v1, vec![ElemName::Sym(budget)])),
                 ),
-            )),
+            ),
+        ),
     };
     let mut rows: Vec<(i64, i64)> = s
         .query(&q)

@@ -1,0 +1,103 @@
+//! Verification at the session boundary: methods install through the single
+//! verified choke point, corrupt bytecode surfaces as a structured error the
+//! session survives, and compile-time lints ride along with `run`.
+
+use gemstone::{GemError, GemStone};
+use gemstone_opal::verify;
+use gemstone_opal::{Bc, CompiledMethod, Interpreter, LintKind, LintSite, OpalWorld};
+
+#[test]
+fn select_blocks_compile_verified_through_full_stack() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("Object subclass: 'Emp' instVarNames: #('name' 'salary')").unwrap();
+    s.run(
+        "Emps := OrderedCollection new.
+         Emps add: (Emp new name: 'a'; salary: 10; yourself).
+         Emps add: (Emp new name: 'b'; salary: 30; yourself)",
+    )
+    .unwrap();
+    let n = s.run("(Emps select: [:e | e salary > 20]) size").unwrap();
+    assert_eq!(n.as_int(), Some(1));
+    // Captured outer values substitute correctly (arity was verified).
+    let n = s.run("| cut | cut := 5. (Emps select: [:e | e salary > cut]) size").unwrap();
+    assert_eq!(n.as_int(), Some(2));
+}
+
+#[test]
+fn corrupt_bytecode_is_refused_and_session_survives() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    s.run("K := 41").unwrap();
+    let bad = CompiledMethod {
+        selector: s.intern("zork"),
+        n_params: 0,
+        n_temps: 0,
+        literals: Vec::new(),
+        code: vec![Bc::Pop, Bc::PushNil, Bc::ReturnTop],
+        blocks: Vec::new(),
+    };
+    match s.add_method_code(bad) {
+        Err(GemError::CorruptMethod(msg)) => {
+            assert!(msg.contains("underflow"), "got {msg:?}");
+            assert!(msg.contains("pc 0"), "got {msg:?}");
+        }
+        other => panic!("expected CorruptMethod, got {other:?}"),
+    }
+    // The refusal left the session fully usable.
+    assert_eq!(s.run("K + 1").unwrap().as_int(), Some(42));
+}
+
+#[test]
+fn verified_methods_carry_token_and_run() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    let ok = CompiledMethod {
+        selector: s.intern("fortyTwo"),
+        n_params: 0,
+        n_temps: 0,
+        literals: vec![gemstone_opal::Literal::Int(42)],
+        code: vec![Bc::PushLit(0), Bc::ReturnTop],
+        blocks: Vec::new(),
+    };
+    let _token: verify::Verified = verify::check(&ok).unwrap();
+    let id = s.add_method_code(ok).unwrap();
+    let v = Interpreter::new(&mut s).run_doit(id).unwrap();
+    assert_eq!(v.as_int(), Some(42));
+}
+
+#[test]
+fn lints_accumulate_on_run_and_never_block() {
+    let gs = GemStone::in_memory();
+    let mut s = gs.login("system").unwrap();
+    // Unused temp: runs fine, lint recorded with the declaration's span.
+    let v = s.run("| unused x | x := 4. x + 1").unwrap();
+    assert_eq!(v.as_int(), Some(5));
+    let lints = s.last_lints();
+    assert!(
+        lints.iter().any(|l| matches!(
+            &l.kind,
+            LintKind::UnusedTemp { name } if name == "unused"
+        )),
+        "expected UnusedTemp lint, got {lints:?}"
+    );
+    let Some(lint) = lints.first() else { panic!("no lints") };
+    match &lint.site {
+        LintSite::Source(span) => assert_eq!((span.line, span.col), (1, 3)),
+        other => panic!("expected source span, got {other:?}"),
+    }
+    // Unreachable code after ^ inside a later run replaces the lint set.
+    s.run("D := OrderedCollection new. D add: 3. D add: 9").unwrap();
+    let v = s.run("(D select: [:e | D add: e. e > 1]) size").unwrap();
+    assert!(v.as_int().is_some());
+    assert!(
+        s.last_lints().iter().any(
+            |l| matches!(&l.kind, LintKind::SelectBlockImpure { selector } if selector == "add:")
+        ),
+        "expected SelectBlockImpure lint, got {:?}",
+        s.last_lints()
+    );
+    // A clean program clears the lint list.
+    s.run("3 + 4").unwrap();
+    assert!(s.last_lints().is_empty());
+}
