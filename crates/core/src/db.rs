@@ -223,6 +223,14 @@ impl Database {
         }
     }
 
+    /// What the reopening that produced this database saw and decided:
+    /// roots probed/valid/torn, the winning epoch, tracks salvaged and
+    /// discarded, physical reads. All-default for a freshly created
+    /// database, which performed no recovery.
+    pub fn recovery_report(&self) -> gemstone_storage::RecoveryReport {
+        self.inner.lock().store.recovery_report()
+    }
+
     /// Storage/disk statistics snapshot (benchmark instrumentation).
     pub fn storage_stats(&self) -> (gemstone_storage::StoreStats, gemstone_storage::DiskStats) {
         let inner = self.inner.lock();

@@ -33,7 +33,9 @@ pub use session::Session;
 
 // Re-exports for downstream users of the public API.
 pub use gemstone_object::{ElemName, GemError, GemResult, Goop, Oop, OopKind, SegmentId};
-pub use gemstone_storage::{DiskArray, StoreConfig, TrackId};
+pub use gemstone_storage::{
+    DiskArray, FaultPlan, ReadFault, RecoveryReport, StoreConfig, TearClass, TrackId,
+};
 pub use gemstone_temporal::TxnTime;
 
 use std::sync::Arc;

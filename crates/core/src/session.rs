@@ -266,6 +266,13 @@ impl Session {
         self.db.txns.safe_time()
     }
 
+    /// The recovery report of the reopening that produced this session's
+    /// database (all-default if the database was freshly created). Lets a
+    /// session observe and assert what crash recovery saw.
+    pub fn recovery_report(&self) -> gemstone_storage::RecoveryReport {
+        self.db.recovery_report()
+    }
+
     // ------------------------------------------------- faulting & refs
 
     /// Resolve a value to a usable session pointer, faulting committed

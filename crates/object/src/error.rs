@@ -43,6 +43,11 @@ pub enum GemError {
     AuthorizationDenied { segment: u16, detail: String },
     /// Simulated disk failure or crash injection.
     DiskFailure(String),
+    /// The disk is down (a crash was triggered and power has not returned):
+    /// every operation fails until the disk is revived. Distinct from
+    /// [`GemError::DiskFailure`] so recovery code can tell "this device is
+    /// gone until power-up" from per-operation I/O errors.
+    DiskDead,
     /// On-disk data failed validation.
     Corrupt(String),
     /// OPAL source failed to parse.
@@ -91,6 +96,7 @@ impl fmt::Display for GemError {
                 write!(f, "authorization denied on segment {segment}: {detail}")
             }
             GemError::DiskFailure(d) => write!(f, "disk failure: {d}"),
+            GemError::DiskDead => write!(f, "disk is down"),
             GemError::Corrupt(d) => write!(f, "corrupt database: {d}"),
             GemError::ParseError { line, col, msg } => {
                 write!(f, "parse error at {line}:{col}: {msg}")

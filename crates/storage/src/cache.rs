@@ -12,6 +12,8 @@ use std::collections::{HashMap, VecDeque};
 pub struct CacheStats {
     pub hits: u64,
     pub misses: u64,
+    /// Entries pushed out by capacity pressure (invalidations not counted).
+    pub evictions: u64,
 }
 
 /// An LRU cache of track payloads (checksum already stripped).
@@ -67,6 +69,7 @@ impl TrackCache {
                 // Live head record: this is the true LRU entry.
                 Some((s, _)) if *s == stamp => {
                     self.entries.remove(&victim);
+                    self.stats.evictions += 1;
                     return;
                 }
                 // Tombstone (entry re-touched later, or invalidated).
@@ -150,7 +153,7 @@ mod tests {
         c.put(TrackId(1), vec![1]);
         assert_eq!(c.get(TrackId(1)), Some(&[1u8][..]));
         let s = c.stats();
-        assert_eq!((s.hits, s.misses), (1, 1));
+        assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
     }
 
     #[test]
@@ -164,6 +167,7 @@ mod tests {
         assert!(c.get(TrackId(2)).is_none());
         assert!(c.get(TrackId(3)).is_some());
         assert_eq!(c.len(), 2);
+        assert_eq!(c.stats().evictions, 1);
     }
 
     #[test]

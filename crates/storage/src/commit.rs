@@ -87,21 +87,81 @@ pub fn safe_write_group(
     Ok(root_track)
 }
 
+/// What recovery saw and decided: which root slots were probed, how many
+/// were valid or torn, the epoch that won, and — once
+/// [`PermanentStore::open`](crate::PermanentStore::open) finishes — how many
+/// tracks were salvaged (read and checksum-verified) versus discarded
+/// (orphan shadow tracks of a torn commit), and how many physical reads the
+/// reopening cost. Surfaced through `Db`/`Session` so recovery behaviour is
+/// observable and assertable.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Root slots probed (always the two alternating root tracks).
+    pub roots_considered: u32,
+    /// Root slots holding a valid checksummed root record.
+    pub roots_valid: u32,
+    /// Root slots holding data that failed the checksum or magic (torn).
+    pub roots_torn: u32,
+    /// The epoch of the root that won.
+    pub recovered_epoch: u64,
+    /// Tracks read and checksum-verified while loading catalog + GOOP table.
+    pub tracks_salvaged: u32,
+    /// Orphan tracks past the recovered root's allocation frontier —
+    /// shadow writes of a commit that never became visible.
+    pub tracks_discarded: u32,
+    /// Physical track reads performed by the reopening.
+    pub reopen_reads: u64,
+}
+
 /// Recovery: read both root tracks, keep the valid one with the highest
 /// epoch. A database must have at least one valid root (written at format
 /// time), otherwise the volume is corrupt.
+///
+/// Error discipline matters here. A root slot that was **never written**
+/// (track absent) or that holds a **torn** record (checksum/magic failure)
+/// is skipped — that is exactly the crash the alternating-root scheme
+/// defends against. But a slot that exists and fails to **read** (transient
+/// I/O error, dead disk) aborts recovery with the error: falling back to
+/// the other root there would silently resurrect an older epoch and
+/// un-commit acknowledged transactions. The caller retries once the device
+/// recovers — recovery itself is read-only, hence re-crashable.
 pub fn recover_root(disk: &mut DiskArray) -> GemResult<Root> {
+    recover_root_report(disk).map(|(root, _)| root)
+}
+
+/// [`recover_root`], also returning the partially-filled [`RecoveryReport`]
+/// (root-slot accounting; the store fills the track/read counters).
+pub fn recover_root_report(disk: &mut DiskArray) -> GemResult<(Root, RecoveryReport)> {
     let mut best: Option<Root> = None;
+    let mut report = RecoveryReport::default();
     for id in ROOT_TRACKS {
-        if let Ok(payload) = read_checked(disk, id) {
-            if let Ok(root) = format::get_root(&payload) {
-                if best.is_none_or(|b| root.epoch > b.epoch) {
-                    best = Some(root);
+        report.roots_considered += 1;
+        if !disk.track_exists(id) {
+            continue; // slot never written (young volume) — not a tear
+        }
+        match read_checked(disk, id) {
+            Ok(payload) => match format::get_root(&payload) {
+                Ok(root) => {
+                    report.roots_valid += 1;
+                    if best.is_none_or(|b| root.epoch > b.epoch) {
+                        best = Some(root);
+                    }
                 }
-            }
+                Err(_) => report.roots_torn += 1,
+            },
+            // Checksum/framing failure: the root write tore. Skip the slot.
+            Err(GemError::Corrupt(_)) => report.roots_torn += 1,
+            // I/O failure: cannot tell which root is newest. Abort, retry.
+            Err(e) => return Err(e),
         }
     }
-    best.ok_or_else(|| GemError::Corrupt("no valid root record".into()))
+    match best {
+        Some(root) => {
+            report.recovered_epoch = root.epoch;
+            Ok((root, report))
+        }
+        None => Err(GemError::Corrupt("no valid root record".into())),
+    }
 }
 
 #[cfg(test)]
@@ -177,6 +237,47 @@ mod tests {
     fn empty_disk_has_no_root() {
         let mut d = DiskArray::new(256, 1);
         assert!(recover_root(&mut d).is_err());
+    }
+
+    #[test]
+    fn recovery_report_counts_roots() {
+        let mut d = DiskArray::new(256, 1);
+        safe_write_group(&mut d, &[], &root(1)).unwrap();
+        let (r, report) = recover_root_report(&mut d).unwrap();
+        assert_eq!(r.epoch, 1);
+        assert_eq!(report.roots_considered, 2);
+        assert_eq!(report.roots_valid, 1, "slot 0 never written at epoch 1");
+        assert_eq!(report.roots_torn, 0);
+        assert_eq!(report.recovered_epoch, 1);
+
+        // Tear the next root mid-write: one valid root + one torn root.
+        d.replica_mut(0).set_fault_plan(crate::disk::FaultPlan {
+            crash_after_writes: Some(0),
+            tear: crate::disk::TearClass::Half,
+            ..Default::default()
+        });
+        assert!(safe_write_group(&mut d, &[], &root(2)).is_err());
+        d.replica_mut(0).revive();
+        let (r, report) = recover_root_report(&mut d).unwrap();
+        assert_eq!(r.epoch, 1, "torn epoch-2 root loses");
+        assert_eq!((report.roots_valid, report.roots_torn), (1, 1));
+    }
+
+    #[test]
+    fn transient_read_error_aborts_recovery_instead_of_losing_commits() {
+        // Both roots valid (epochs 2 and 3). A transient read error on the
+        // newest root's track must NOT silently fall back to epoch 2 — that
+        // would un-commit an acknowledged transaction. Recovery aborts with
+        // the error and succeeds on retry.
+        let mut d = DiskArray::new(256, 1);
+        safe_write_group(&mut d, &[], &root(2)).unwrap();
+        safe_write_group(&mut d, &[], &root(3)).unwrap();
+        d.replica_mut(0).set_fault_plan(crate::disk::FaultPlan {
+            read_fault: Some(crate::disk::ReadFault { after_reads: 1, count: 1 }),
+            ..Default::default()
+        });
+        assert!(recover_root(&mut d).is_err(), "I/O error must abort recovery");
+        assert_eq!(recover_root(&mut d).unwrap().epoch, 3, "retry sees the newest root");
     }
 
     #[test]

@@ -7,10 +7,15 @@
 //! storage experiments (C5, C7, C9, C10 in DESIGN.md) are about access
 //! *counts and atomicity*, not device physics.
 //!
-//! Crash injection: a disk can be armed to fail after N more writes. The
-//! N+1st write is *torn* (first half written, rest old/garbage) and every
-//! subsequent operation fails — modeling power loss mid-commit. Recovery
-//! code must detect the tear via checksums.
+//! Crash injection: a disk carries a pluggable [`FaultPlan`]. The plan can
+//! arm a crash after N more writes — the N+1st write *tears* at a chosen
+//! byte-offset class ([`TearClass`]) or vanishes entirely (a clean crash
+//! between writes) and every subsequent operation fails — and can inject
+//! transient read errors (a window of failing reads that clears on its
+//! own), modeling power loss mid-commit and media hiccups mid-recovery.
+//! A plan can also record a trace of every successful write, which is how
+//! the crash-matrix harness ([`crate::crashpoint`]) learns "commit k
+//! performs w writes" before enumerating every crash point.
 
 use gemstone_object::{GemError, GemResult};
 
@@ -22,22 +27,137 @@ pub struct TrackId(pub u32);
 /// a little-endian u32 payload length followed by a u64 FNV-1a checksum.
 pub const TRACK_HEADER: usize = 12;
 
-/// Disk access counters.
+/// Disk access counters. Successful and failed operations are counted
+/// separately: a torn or refused write never shows up in `track_writes`,
+/// and a read served while the disk is down or inside a transient-error
+/// window lands in `failed_reads` only.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct DiskStats {
     pub track_reads: u64,
     pub track_writes: u64,
     pub bytes_written: u64,
+    /// Reads that returned an error (dead disk, transient fault, absent track).
+    pub failed_reads: u64,
+    /// Writes that returned an error (dead disk, torn write, oversized data).
+    pub failed_writes: u64,
+}
+
+/// Where, within the record being written, a crashing write tears. The
+/// classes are chosen to hit every structurally distinct prefix of a
+/// checksummed track: inside the header's length field, inside its checksum
+/// field, exactly between header and payload, mid-payload, and all-but-one
+/// byte — plus `Clean`, where the doomed write never reaches the platter at
+/// all (power lost between writes).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TearClass {
+    /// The crashing write does not land at all: a clean crash between writes.
+    Clean,
+    /// Tear inside the header's length field (2 of its 4 bytes land).
+    HeaderLen,
+    /// Tear inside the header's checksum field (length + 4 of 8 sum bytes).
+    HeaderSum,
+    /// The full header lands; none of the payload does.
+    AfterHeader,
+    /// Half the record lands (the legacy `fail_after_writes` behaviour).
+    #[default]
+    Half,
+    /// Everything but the final byte lands.
+    Tail,
+}
+
+impl TearClass {
+    /// Every class, in enumeration order.
+    pub const ALL: [TearClass; 6] = [
+        TearClass::Clean,
+        TearClass::HeaderLen,
+        TearClass::HeaderSum,
+        TearClass::AfterHeader,
+        TearClass::Half,
+        TearClass::Tail,
+    ];
+
+    /// How many bytes of an `n`-byte record reach the platter.
+    pub fn prefix_len(self, n: usize) -> usize {
+        match self {
+            TearClass::Clean => 0,
+            TearClass::HeaderLen => 2.min(n),
+            TearClass::HeaderSum => 8.min(n),
+            TearClass::AfterHeader => TRACK_HEADER.min(n),
+            TearClass::Half => (n / 2).max(1).min(n),
+            TearClass::Tail => n.saturating_sub(1),
+        }
+    }
+
+    /// Compact token used inside a printable `CrashSchedule`.
+    pub fn token(self) -> &'static str {
+        match self {
+            TearClass::Clean => "clean",
+            TearClass::HeaderLen => "hlen",
+            TearClass::HeaderSum => "hsum",
+            TearClass::AfterHeader => "hdr",
+            TearClass::Half => "half",
+            TearClass::Tail => "tail",
+        }
+    }
+
+    /// Parse a [`TearClass::token`].
+    pub fn from_token(s: &str) -> Option<TearClass> {
+        TearClass::ALL.into_iter().find(|t| t.token() == s)
+    }
+}
+
+/// A window of transient read errors: `after_reads` reads succeed, then the
+/// next `count` reads fail (without killing the disk), then reads succeed
+/// again. Models media hiccups — including ones that interrupt recovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadFault {
+    pub after_reads: u64,
+    pub count: u64,
+}
+
+/// One successful write, as recorded by a tracing [`FaultPlan`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WriteRecord {
+    pub track: TrackId,
+    pub len: usize,
+}
+
+/// The pluggable fault-injection plan carried by a [`SimDisk`]. The default
+/// plan injects nothing.
+#[derive(Debug, Default, Clone)]
+pub struct FaultPlan {
+    /// `Some(n)`: n more writes succeed; the next one crashes the disk,
+    /// tearing per [`FaultPlan::tear`].
+    pub crash_after_writes: Option<u64>,
+    /// How the crashing write tears ([`TearClass::Clean`] = it never lands).
+    pub tear: TearClass,
+    /// Transient read-error window.
+    pub read_fault: Option<ReadFault>,
+    /// Record every successful write in the trace.
+    pub record_trace: bool,
+}
+
+impl FaultPlan {
+    /// The legacy arm-and-tear plan: `n` writes succeed, the next tears in
+    /// half and the disk dies.
+    pub fn crash_after(n: u64) -> FaultPlan {
+        FaultPlan { crash_after_writes: Some(n), tear: TearClass::Half, ..FaultPlan::default() }
+    }
+
+    /// A tracing plan that injects no faults.
+    pub fn trace() -> FaultPlan {
+        FaultPlan { record_trace: true, ..FaultPlan::default() }
+    }
 }
 
 /// A simulated disk of fixed-size tracks.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct SimDisk {
     track_size: usize,
     tracks: Vec<Option<Box<[u8]>>>,
     stats: DiskStats,
-    /// `Some(n)`: n more writes succeed; the next tears and the disk dies.
-    fail_after_writes: Option<u64>,
+    plan: FaultPlan,
+    trace: Vec<WriteRecord>,
     dead: bool,
 }
 
@@ -49,7 +169,8 @@ impl SimDisk {
             track_size,
             tracks: Vec::new(),
             stats: DiskStats::default(),
-            fail_after_writes: None,
+            plan: FaultPlan::default(),
+            trace: Vec::new(),
             dead: false,
         }
     }
@@ -74,16 +195,32 @@ impl SimDisk {
         self.stats = DiskStats::default();
     }
 
-    /// Arm crash injection: `n` more writes succeed, the next one tears.
+    /// Arm crash injection: `n` more writes succeed, the next one tears in
+    /// half (shorthand for installing [`FaultPlan::crash_after`]).
     pub fn fail_after_writes(&mut self, n: u64) {
-        self.fail_after_writes = Some(n);
+        self.set_fault_plan(FaultPlan::crash_after(n));
+    }
+
+    /// Install a fault plan, reviving the disk if it was dead. The write
+    /// trace is cleared when the new plan records one.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        if plan.record_trace {
+            self.trace.clear();
+        }
+        self.plan = plan;
         self.dead = false;
     }
 
-    /// Disarm crash injection and revive the disk (simulates power-up after
-    /// the crash; the torn data remains).
+    /// The write trace accumulated so far (with `record_trace` armed),
+    /// clearing it.
+    pub fn take_write_trace(&mut self) -> Vec<WriteRecord> {
+        std::mem::take(&mut self.trace)
+    }
+
+    /// Disarm all fault injection and revive the disk (simulates power-up
+    /// after the crash; any torn data remains).
     pub fn revive(&mut self) {
-        self.fail_after_writes = None;
+        self.plan = FaultPlan::default();
         self.dead = false;
     }
 
@@ -96,9 +233,11 @@ impl SimDisk {
     /// zero-padded (a track is always written whole).
     pub fn write_track(&mut self, id: TrackId, data: &[u8]) -> GemResult<()> {
         if self.dead {
-            return Err(GemError::DiskFailure("disk is down".into()));
+            self.stats.failed_writes += 1;
+            return Err(GemError::DiskDead);
         }
         if data.len() > self.track_size {
+            self.stats.failed_writes += 1;
             return Err(GemError::DiskFailure(format!(
                 "data ({} bytes) exceeds track size ({})",
                 data.len(),
@@ -112,25 +251,32 @@ impl SimDisk {
         let mut buf = vec![0u8; self.track_size].into_boxed_slice();
         buf[..data.len()].copy_from_slice(data);
 
-        if let Some(n) = self.fail_after_writes {
+        if let Some(n) = self.plan.crash_after_writes {
             if n == 0 {
-                // Torn write: only the first half of the *record* reaches the
-                // platter (a record smaller than the track still tears — the
-                // head lost power mid-record, not mid-padding).
-                let half = (data.len() / 2).max(1).min(self.track_size);
-                let old = self.tracks[idx].take();
-                let mut torn = old.unwrap_or_else(|| vec![0u8; self.track_size].into_boxed_slice());
-                torn[..half].copy_from_slice(&buf[..half]);
-                self.tracks[idx] = Some(torn);
+                // Crashing write: a prefix of the *record* reaches the
+                // platter (a record smaller than the track still tears —
+                // the head lost power mid-record, not mid-padding). A
+                // `Clean` tear writes nothing: power died between writes.
+                let prefix = self.plan.tear.prefix_len(data.len()).min(self.track_size);
+                if prefix > 0 {
+                    let old = self.tracks[idx].take();
+                    let mut torn =
+                        old.unwrap_or_else(|| vec![0u8; self.track_size].into_boxed_slice());
+                    torn[..prefix].copy_from_slice(&buf[..prefix]);
+                    self.tracks[idx] = Some(torn);
+                }
                 self.dead = true;
-                self.stats.track_writes += 1;
+                self.stats.failed_writes += 1;
                 return Err(GemError::DiskFailure("power lost mid-write (torn track)".into()));
             }
-            self.fail_after_writes = Some(n - 1);
+            self.plan.crash_after_writes = Some(n - 1);
         }
 
         self.stats.track_writes += 1;
         self.stats.bytes_written += self.track_size as u64;
+        if self.plan.record_trace {
+            self.trace.push(WriteRecord { track: id, len: data.len() });
+        }
         self.tracks[idx] = Some(buf);
         Ok(())
     }
@@ -138,18 +284,35 @@ impl SimDisk {
     /// Read an entire track.
     pub fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]> {
         if self.dead {
-            return Err(GemError::DiskFailure("disk is down".into()));
+            self.stats.failed_reads += 1;
+            return Err(GemError::DiskDead);
+        }
+        if let Some(fault) = &mut self.plan.read_fault {
+            if fault.after_reads > 0 {
+                fault.after_reads -= 1;
+            } else if fault.count > 0 {
+                fault.count -= 1;
+                self.stats.failed_reads += 1;
+                return Err(GemError::DiskFailure(format!("transient read error on {id:?}")));
+            }
+        }
+        if self.tracks.get(id.0 as usize).and_then(|t| t.as_ref()).is_none() {
+            self.stats.failed_reads += 1;
+            return Err(GemError::DiskFailure(format!("track {id:?} never written")));
         }
         self.stats.track_reads += 1;
-        self.tracks
-            .get(id.0 as usize)
-            .and_then(|t| t.as_deref())
-            .ok_or_else(|| GemError::DiskFailure(format!("track {id:?} never written")))
+        Ok(self.tracks[id.0 as usize].as_deref().expect("checked above"))
     }
 
     /// True if the track has ever been written.
     pub fn track_exists(&self, id: TrackId) -> bool {
         self.tracks.get(id.0 as usize).is_some_and(|t| t.is_some())
+    }
+
+    /// Number of written tracks at or past `frontier` — the orphans a
+    /// recovered root does not reference (shadow writes of a torn commit).
+    pub fn tracks_beyond(&self, frontier: u32) -> u32 {
+        self.tracks.iter().skip(frontier as usize).filter(|t| t.is_some()).count() as u32
     }
 }
 
@@ -157,7 +320,7 @@ impl SimDisk {
 /// replication of data"). Writes go to every live replica; reads are served
 /// by the first replica that can deliver the track, so data survives the
 /// loss of any proper subset of replicas.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DiskArray {
     replicas: Vec<SimDisk>,
 }
@@ -216,9 +379,19 @@ impl DiskArray {
             .find(|&i| !self.replicas[i].is_dead() && self.replicas[i].track_exists(id))
         {
             Some(i) => self.replicas[i].read_track(id),
-            None if self.live_replicas() == 0 => Err(GemError::DiskFailure("disk is down".into())),
+            None if self.live_replicas() == 0 => Err(GemError::DiskDead),
             None => Err(GemError::DiskFailure(format!("track {id:?} never written"))),
         }
+    }
+
+    /// True if any replica (live or dead) holds the track.
+    pub fn track_exists(&self, id: TrackId) -> bool {
+        self.replicas.iter().any(|d| d.track_exists(id))
+    }
+
+    /// Orphan tracks at or past `frontier` on the primary replica.
+    pub fn tracks_beyond(&self, frontier: u32) -> u32 {
+        self.replicas[0].tracks_beyond(frontier)
     }
 
     /// How many replicas are currently serving I/O.
@@ -288,11 +461,101 @@ mod tests {
         let err = d.write_track(TrackId(0), &[0xCC; 64]); // tears
         assert!(err.is_err());
         assert!(d.is_dead());
-        assert!(d.read_track(TrackId(0)).is_err(), "disk down");
+        assert!(matches!(d.read_track(TrackId(0)), Err(GemError::DiskDead)), "disk down");
         d.revive();
         let t0 = d.read_track(TrackId(0)).unwrap().to_vec();
         assert_eq!(&t0[..32], &[0xCC; 32], "first half of torn write landed");
         assert_eq!(&t0[32..], &[0xAA; 32], "second half is the old data");
+    }
+
+    #[test]
+    fn failed_ops_counted_separately() {
+        let mut d = SimDisk::new(64);
+        d.write_track(TrackId(0), &[0xAA; 64]).unwrap();
+        d.fail_after_writes(0);
+        assert!(d.write_track(TrackId(0), &[0xCC; 64]).is_err()); // torn
+        assert!(d.write_track(TrackId(1), b"x").is_err()); // dead
+        assert!(d.read_track(TrackId(0)).is_err()); // dead
+        let s = d.stats();
+        assert_eq!(s.track_writes, 1, "only the successful write counts");
+        assert_eq!(s.failed_writes, 2, "torn + dead write");
+        assert_eq!(s.track_reads, 0);
+        assert_eq!(s.failed_reads, 1);
+        assert_eq!(s.bytes_written, 64);
+    }
+
+    #[test]
+    fn tear_class_prefixes() {
+        // A 40-byte record on a 64-byte track, torn at each class.
+        for (tear, want_new) in [
+            (TearClass::Clean, 0usize),
+            (TearClass::HeaderLen, 2),
+            (TearClass::HeaderSum, 8),
+            (TearClass::AfterHeader, 12),
+            (TearClass::Half, 20),
+            (TearClass::Tail, 39),
+        ] {
+            let mut d = SimDisk::new(64);
+            d.write_track(TrackId(0), &[0xAA; 64]).unwrap();
+            d.set_fault_plan(FaultPlan {
+                crash_after_writes: Some(0),
+                tear,
+                ..FaultPlan::default()
+            });
+            assert!(d.write_track(TrackId(0), &[0xCC; 40]).is_err());
+            assert!(d.is_dead());
+            d.revive();
+            let t = d.read_track(TrackId(0)).unwrap();
+            assert!(t[..want_new].iter().all(|&b| b == 0xCC), "{tear:?}: new prefix");
+            assert!(t[want_new..40].iter().all(|&b| b == 0xAA), "{tear:?}: old suffix");
+        }
+    }
+
+    #[test]
+    fn transient_read_fault_window() {
+        let mut d = SimDisk::new(64);
+        d.write_track(TrackId(0), b"data").unwrap();
+        d.set_fault_plan(FaultPlan {
+            read_fault: Some(ReadFault { after_reads: 1, count: 2 }),
+            ..FaultPlan::default()
+        });
+        assert!(d.read_track(TrackId(0)).is_ok(), "first read succeeds");
+        assert!(d.read_track(TrackId(0)).is_err(), "window open");
+        assert!(d.read_track(TrackId(0)).is_err(), "window open");
+        assert!(d.read_track(TrackId(0)).is_ok(), "window closed");
+        assert!(!d.is_dead(), "transient faults never kill the disk");
+        let s = d.stats();
+        assert_eq!((s.track_reads, s.failed_reads), (2, 2));
+    }
+
+    #[test]
+    fn write_trace_records_successful_writes() {
+        let mut d = SimDisk::new(64);
+        d.set_fault_plan(FaultPlan { crash_after_writes: Some(2), ..FaultPlan::trace() });
+        d.write_track(TrackId(3), &[1; 10]).unwrap();
+        d.write_track(TrackId(4), &[2; 20]).unwrap();
+        assert!(d.write_track(TrackId(5), &[3; 30]).is_err(), "crash: not traced");
+        let trace = d.take_write_trace();
+        assert_eq!(
+            trace,
+            vec![
+                WriteRecord { track: TrackId(3), len: 10 },
+                WriteRecord { track: TrackId(4), len: 20 },
+            ]
+        );
+        assert!(d.take_write_trace().is_empty(), "trace drained");
+    }
+
+    #[test]
+    fn tracks_beyond_counts_orphans() {
+        let mut d = SimDisk::new(64);
+        d.write_track(TrackId(0), b"a").unwrap();
+        d.write_track(TrackId(4), b"b").unwrap();
+        d.write_track(TrackId(7), b"c").unwrap();
+        assert_eq!(d.tracks_beyond(0), 3);
+        assert_eq!(d.tracks_beyond(4), 2);
+        assert_eq!(d.tracks_beyond(5), 1);
+        assert_eq!(d.tracks_beyond(8), 0);
     }
 
     #[test]

@@ -36,14 +36,20 @@
 pub mod boxer;
 mod cache;
 pub mod commit;
+pub mod crashpoint;
 mod directory;
 mod disk;
 mod format;
 mod pobj;
 mod store;
 
-pub use cache::TrackCache;
+pub use cache::{CacheStats, TrackCache};
+pub use commit::RecoveryReport;
+pub use crashpoint::{CrashSchedule, MatrixReport, Workload};
 pub use directory::{DirKey, Directory, DirectorySpec};
-pub use disk::{DiskArray, DiskStats, SimDisk, TrackId, TRACK_HEADER};
+pub use disk::{
+    DiskArray, DiskStats, FaultPlan, ReadFault, SimDisk, TearClass, TrackId, WriteRecord,
+    TRACK_HEADER,
+};
 pub use pobj::{ObjectDelta, PersistentObject};
 pub use store::{PermanentStore, StoreConfig, StoreStats};

@@ -94,6 +94,22 @@ impl PersistentObject {
         self.elements.values().map(|h| h.committed_len()).sum::<usize>()
             + self.bytes.as_ref().map_or(0, |h| h.committed_len())
     }
+
+    /// Every transaction time at which this object changed, ascending and
+    /// deduplicated. The crash matrix walks these to spot-check temporal `@`
+    /// reads against recovered history.
+    pub fn commit_times(&self) -> Vec<TxnTime> {
+        let mut times: Vec<TxnTime> = self
+            .elements
+            .values()
+            .flat_map(|h| h.entries().iter().map(|e| e.time))
+            .chain(self.bytes.iter().flat_map(|h| h.entries().iter().map(|e| e.time)))
+            .filter(|t| !t.is_pending())
+            .collect();
+        times.sort();
+        times.dedup();
+        times
+    }
 }
 
 /// One object's writes from a committing transaction.
@@ -198,6 +214,37 @@ mod tests {
         assert_eq!(o.bytes_current(), Some(&b"Portland"[..]));
         assert_eq!(o.bytes_at(t(5)), Some(&b"Seattle"[..]));
         assert_eq!(o.bytes_at(t(2)), None);
+    }
+
+    #[test]
+    fn commit_times_collects_all_histories() {
+        let mut o = sample();
+        let name = ElemName::Int(1);
+        o.apply_delta(
+            &ObjectDelta {
+                goop: Goop(1),
+                class: ClassId(5),
+                segment: SegmentId(0),
+                alias_next: 0,
+                elem_writes: vec![(name, PRef::int(10))],
+                bytes_write: Some(b"x".to_vec()),
+                is_new: true,
+            },
+            t(2),
+        );
+        o.apply_delta(
+            &ObjectDelta {
+                goop: Goop(1),
+                class: ClassId(5),
+                segment: SegmentId(0),
+                alias_next: 0,
+                elem_writes: vec![(name, PRef::int(20))],
+                bytes_write: None,
+                is_new: false,
+            },
+            t(7),
+        );
+        assert_eq!(o.commit_times(), vec![t(2), t(7)], "sorted, deduplicated");
     }
 
     #[test]

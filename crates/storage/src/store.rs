@@ -9,13 +9,13 @@
 
 use crate::boxer;
 use crate::cache::{CacheStats, TrackCache};
-use crate::commit::{self, FIRST_DATA_TRACK};
+use crate::commit::{self, RecoveryReport, FIRST_DATA_TRACK};
 use crate::disk::{DiskArray, DiskStats, TrackId, TRACK_HEADER};
 use crate::format::{self, Catalog, GoopPage, Location, Root, GOOP_PAGE_SPAN};
 use crate::pobj::{ObjectDelta, PersistentObject};
 use gemstone_object::{GemError, GemResult, Goop};
 use gemstone_temporal::TxnTime;
-use std::collections::{BTreeMap, HashMap, HashSet, VecDeque};
+use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
 /// Store construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -63,6 +63,9 @@ pub struct PermanentStore {
     next_track: u32,
     object_cache_limit: Option<usize>,
     stats: StoreStats,
+    /// What the last reopening saw ([`RecoveryReport::default`] for a
+    /// freshly created volume, which performed no recovery).
+    recovery_report: RecoveryReport,
 }
 
 impl PermanentStore {
@@ -97,13 +100,19 @@ impl PermanentStore {
             next_track: FIRST_DATA_TRACK + 1,
             object_cache_limit: None,
             stats: StoreStats::default(),
+            recovery_report: RecoveryReport::default(),
         })
     }
 
     /// Open an existing volume: recovery. Reads the newest valid root,
-    /// loads the catalog and the GOOP table; objects fault in lazily.
+    /// loads the catalog and the GOOP table; objects fault in lazily. The
+    /// whole pass is read-only, so a crash *during* recovery leaves the
+    /// volume untouched and a retry sees the identical state. What was
+    /// seen and decided is recorded in [`PermanentStore::recovery_report`].
     pub fn open(mut disk: DiskArray, cache_tracks: usize) -> GemResult<PermanentStore> {
-        let root = commit::recover_root(&mut disk)?;
+        let reads_before = disk.stats().track_reads;
+        let (root, mut report) = commit::recover_root_report(&mut disk)?;
+        let root_reads = disk.stats().track_reads - reads_before;
         let mut cache = TrackCache::new(cache_tracks);
         let payload = disk.track_size() - TRACK_HEADER;
         let cat_bytes = read_blob(&mut disk, &mut cache, &root.catalog, payload)?;
@@ -115,6 +124,9 @@ impl PermanentStore {
                 locations.insert(Goop(goop), l);
             }
         }
+        report.reopen_reads = disk.stats().track_reads - reads_before;
+        report.tracks_salvaged = (report.reopen_reads - root_reads) as u32 + report.roots_valid;
+        report.tracks_discarded = disk.tracks_beyond(root.next_track);
         Ok(PermanentStore {
             disk,
             cache,
@@ -128,6 +140,7 @@ impl PermanentStore {
             root,
             object_cache_limit: None,
             stats: StoreStats::default(),
+            recovery_report: report,
         })
     }
 
@@ -206,6 +219,9 @@ impl PermanentStore {
     /// Apply a validated transaction's writes at commit time `time`:
     /// Linker → Boxer → Commit Manager. All-or-nothing: on any disk error
     /// the in-memory state is rolled back and the old root still rules.
+    /// Staged metadata survives a failed commit too — it stays staged and
+    /// travels with the next successful safe-write group (the crash matrix
+    /// caught the original take-then-fail version silently dropping it).
     pub fn commit_batch(&mut self, time: TxnTime, deltas: &[ObjectDelta]) -> GemResult<()> {
         // Snapshot for rollback.
         let touched: Vec<Goop> = deltas.iter().map(|d| d.goop).collect();
@@ -280,11 +296,12 @@ impl PermanentStore {
         for (g, loc) in touched.iter().zip(&obj_locs) {
             self.locations.insert(*g, *loc);
         }
-        self.stats.objects_written += touched.len() as u64;
 
         // 3. Rewrite dirty GOOP-table pages into extent B (with staged
-        //    metadata blobs).
-        let dirty_pages: HashSet<u32> =
+        //    metadata blobs). The page set is ordered so a replayed commit
+        //    produces a byte-identical group — the crash matrix depends on
+        //    write index k meaning the same write on every run.
+        let dirty_pages: BTreeSet<u32> =
             touched.iter().map(|g| (g.0 / GOOP_PAGE_SPAN) as u32).collect();
         let mut page_blobs: Vec<(u32, Vec<u8>)> = Vec::new();
         for page_no in dirty_pages {
@@ -298,12 +315,13 @@ impl PermanentStore {
                 .collect();
             page_blobs.push((page_no, format::put_goop_page(&page)));
         }
-        let metas: Vec<(u8, Vec<u8>)> =
-            std::mem::take(&mut self.staged_metas).into_iter().collect();
+        // Metadata is *borrowed*, not drained: a failed safe write must
+        // leave it staged for the next attempt.
+        let metas: Vec<(u8, &Vec<u8>)> = self.staged_metas.iter().map(|(k, b)| (*k, b)).collect();
         let b_blobs: Vec<Vec<u8>> = page_blobs
             .iter()
             .map(|(_, b)| b.clone())
-            .chain(metas.iter().map(|(_, b)| b.clone()))
+            .chain(metas.iter().map(|(_, b)| (*b).clone()))
             .collect();
         let (b_locs, writes_b) = boxer::pack(&b_blobs, track_after_a, payload);
         let track_after_b = track_after_a + writes_b.len() as u32;
@@ -333,11 +351,14 @@ impl PermanentStore {
         group.extend(writes_c);
         commit::safe_write_group(&mut self.disk, &group, &new_root)?;
 
-        // 6. Success: adopt the new state.
+        // 6. Success: adopt the new state. Only now is the staged metadata
+        //    consumed and the counters advanced.
         self.root = new_root;
         self.catalog = new_catalog;
         self.next_track = track_after_c;
+        self.staged_metas.clear();
         self.stats.commits += 1;
+        self.stats.objects_written += touched.len() as u64;
         self.enforce_cache_limit();
         Ok(())
     }
@@ -400,6 +421,12 @@ impl PermanentStore {
     /// Last committed root (epoch, time).
     pub fn root(&self) -> Root {
         self.root
+    }
+
+    /// What the reopening that produced this store saw and decided
+    /// (all-default for a freshly created volume).
+    pub fn recovery_report(&self) -> RecoveryReport {
+        self.recovery_report
     }
 
     /// Store counters.
@@ -492,7 +519,7 @@ fn read_blob(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use gemstone_object::{ClassId, ElemName, PRef, SegmentId, SymbolId};
+    use gemstone_object::{ClassId, ElemName, PRef, SegmentId};
 
     fn t(n: u64) -> TxnTime {
         TxnTime::from_ticks(n)
@@ -605,6 +632,56 @@ mod tests {
             .commit_batch(t(3), &[delta(g, vec![(ElemName::Int(1), PRef::int(3))], false)])
             .unwrap();
         assert_eq!(store.get(g).unwrap().elem_current(ElemName::Int(1)), Some(PRef::int(3)));
+    }
+
+    #[test]
+    fn staged_meta_survives_failed_commit() {
+        // The crash matrix flushed this out: a failed safe write used to
+        // consume the staged metadata, so the *next* commit persisted data
+        // without the schema that belonged with it.
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        let g = store.alloc_goop();
+        store.set_meta(7, b"schema".to_vec());
+        store.disk_mut().replica_mut(0).fail_after_writes(0);
+        assert!(store
+            .commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)])
+            .is_err());
+        store.disk_mut().replica_mut(0).revive();
+        store
+            .commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)])
+            .unwrap();
+        let disk = store.into_disk();
+        let mut store2 = PermanentStore::open(disk, 16).unwrap();
+        assert_eq!(
+            store2.get_meta(7).unwrap().as_deref(),
+            Some(&b"schema"[..]),
+            "metadata staged before the crash reaches disk with the retry"
+        );
+    }
+
+    #[test]
+    fn recovery_report_after_reopen() {
+        let mut store = PermanentStore::create(small_cfg()).unwrap();
+        assert_eq!(store.recovery_report(), RecoveryReport::default(), "create = no recovery");
+        let g = store.alloc_goop();
+        store
+            .commit_batch(t(1), &[delta(g, vec![(ElemName::Int(1), PRef::int(1))], true)])
+            .unwrap();
+        // Crash the next commit after one data write: orphan shadow tracks.
+        store.disk_mut().replica_mut(0).fail_after_writes(1);
+        assert!(store
+            .commit_batch(t(2), &[delta(g, vec![(ElemName::Int(1), PRef::int(2))], false)])
+            .is_err());
+        let mut disk = store.into_disk();
+        disk.replica_mut(0).revive();
+        let store2 = PermanentStore::open(disk, 16).unwrap();
+        let r = store2.recovery_report();
+        assert_eq!(r.roots_considered, 2);
+        assert!(r.roots_valid >= 1);
+        assert_eq!(r.recovered_epoch, store2.root().epoch);
+        assert!(r.reopen_reads > 0);
+        assert!(r.tracks_salvaged > 0);
+        assert!(r.tracks_discarded > 0, "the torn commit's shadow track is an orphan");
     }
 
     #[test]

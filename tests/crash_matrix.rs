@@ -1,0 +1,207 @@
+//! C-crash: the exhaustive crash-point matrix for the safe-write commit
+//! protocol (§7), at two levels.
+//!
+//! The storage-level matrix enumerates every write of every commit of a
+//! scripted ≥25-commit workload, torn at all six byte-offset classes, plus
+//! a crash at every read of the recovery pass itself; each point reopens
+//! the volume through `PermanentStore::open` and checks all-or-nothing
+//! visibility, byte-identical committed history (including temporal
+//! reads), newest-root recovery, report accuracy, and that the recovered
+//! store accepts the retried commit. The full-system sweep drives the same
+//! protocol through `Database::open` — OPAL sessions, schema metadata,
+//! recompiled methods — for every write of a smaller workload.
+//!
+//! Any failing point is reported as a compact `CrashSchedule` token
+//! (e.g. `c7.w3.hsum`) that `run_schedule` replays standalone, and the
+//! full token list lands in `target/crash_matrix_failures.txt` so CI can
+//! upload it as an artifact.
+
+use gemstone::{FaultPlan, GemStone, StoreConfig, TearClass};
+use gemstone_storage::crashpoint::{enumerate_matrix, run_schedule, CrashSchedule, Workload};
+
+/// Workload size; the nightly workflow raises it via CRASH_MATRIX_COMMITS.
+fn matrix_commits() -> usize {
+    std::env::var("CRASH_MATRIX_COMMITS").ok().and_then(|v| v.parse().ok()).unwrap_or(25)
+}
+
+#[test]
+fn exhaustive_storage_crash_matrix() {
+    let commits = matrix_commits();
+    let w = Workload::standard(commits);
+    let report = enumerate_matrix(&w, &TearClass::ALL).expect("harness ran");
+    eprintln!(
+        "crash matrix: {} commits, {} writes -> {} commit crash points, \
+         {} recovery crash points, {} reopenings, {} violations",
+        report.commits,
+        report.total_writes,
+        report.commit_crash_points,
+        report.recovery_crash_points,
+        report.reopenings,
+        report.violations.len(),
+    );
+    if !report.is_clean() {
+        let lines: Vec<String> =
+            report.violations.iter().map(|(tok, why)| format!("{tok}  {why}")).collect();
+        let body = lines.join("\n");
+        let _ = std::fs::create_dir_all("target");
+        let _ = std::fs::write("target/crash_matrix_failures.txt", &body);
+        panic!(
+            "safe-write invariant violated at {} crash point(s); \
+             repro each token with crashpoint::run_schedule:\n{body}",
+            lines.len()
+        );
+    }
+    assert_eq!(report.commits as usize, commits);
+    assert!(
+        report.total_writes >= 2 * report.commits as u64,
+        "every commit writes at least one data track and the root"
+    );
+    assert_eq!(
+        report.commit_crash_points,
+        report.total_writes * TearClass::ALL.len() as u64,
+        "every write torn at every class"
+    );
+    assert!(
+        report.recovery_crash_points >= 2 * report.commits as u64,
+        "recovery performs at least two reads per reopening, all interrupted"
+    );
+    assert!(report.reopenings > report.commit_crash_points, "each point recovers at least once");
+}
+
+#[test]
+fn schedule_token_is_a_one_line_repro() {
+    // The token printed on failure replays the identical crash standalone.
+    let w = Workload::standard(6);
+    for token in ["c2.w0.clean", "c4.w2.hsum", "c5.w1.tail", "c3.w2.half.r1"] {
+        let s: CrashSchedule = token.parse().expect(token);
+        assert_eq!(s.to_string(), token, "token roundtrip");
+        run_schedule(&w, &s).unwrap_or_else(|e| panic!("{token}: {e}"));
+    }
+}
+
+/// The full-system sweep: every write of every commit of an OPAL workload
+/// (globals, schema changes, object graphs) torn at two classes, recovered
+/// through `Database::open` with its schema reload and method recompile.
+#[test]
+fn full_system_crash_sweep() {
+    let cfg = StoreConfig { track_size: 1024, cache_tracks: 32, replicas: 1 };
+    // Commit k's script; each leaves `Ledger` with k entries, so recovered
+    // state is identifiable by a single query.
+    let scripts = [
+        "Ledger := Dictionary new",
+        "Ledger at: 1 put: 100",
+        "Object subclass: 'Acct' instVarNames: #('bal'). Ledger at: 2 put: 'two'",
+        "| a | a := Acct new. a bal: 7. Ledger at: 3 put: a",
+        "Ledger at: 1 put: 200. Ledger at: 4 put: 'four'",
+    ];
+
+    // Profile pass: run the workload once, tracing each commit's write
+    // count and checkpointing the platter before each commit.
+    let gs = GemStone::create(cfg).unwrap();
+    let mut s = gs.login("system").unwrap();
+    let mut checkpoints = Vec::new();
+    let mut times = Vec::new();
+    for script in &scripts {
+        checkpoints.push(gs.database().with_disk(|d| d.clone()));
+        s.run(script).unwrap();
+        times.push(s.commit().unwrap());
+    }
+    drop(s);
+    drop(gs);
+
+    // Sweep: crash commit k at every write index, two tear classes each.
+    // The write count is measured in the sweep's own context — a reopened
+    // database replaying commit k with a tracing plan — so index i below
+    // names exactly the i+1st write of the group being torn.
+    let mut points = 0u64;
+    for k in 1..scripts.len() {
+        let writes = {
+            let mut disk = checkpoints[k].clone();
+            disk.replica_mut(0).revive();
+            disk.replica_mut(0).set_fault_plan(FaultPlan::trace());
+            let gs = GemStone::open(disk, 32).unwrap();
+            let mut s = gs.login("system").unwrap();
+            gs.database().with_disk(|d| {
+                d.replica_mut(0).take_write_trace();
+            });
+            s.run(scripts[k]).unwrap();
+            s.commit().unwrap();
+            gs.database().with_disk(|d| d.replica_mut(0).take_write_trace().len() as u64)
+        };
+        assert!(writes >= 2, "commit {k} safe-writes data and a root");
+        for write in 0..writes {
+            for tear in [TearClass::Half, TearClass::HeaderSum] {
+                points += 1;
+                let ctx = format!("commit {k}, write {write}, {tear:?}");
+                let mut disk = checkpoints[k].clone();
+                disk.replica_mut(0).revive();
+                let gs = GemStone::open(disk, 32).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                let mut s = gs.login("system").unwrap();
+                s.run(scripts[k]).unwrap();
+                gs.database().with_disk(|d| {
+                    d.replica_mut(0).set_fault_plan(FaultPlan {
+                        crash_after_writes: Some(write),
+                        tear,
+                        ..FaultPlan::default()
+                    })
+                });
+                assert!(s.commit().is_err(), "{ctx}: commit must not survive the crash");
+                drop(s);
+                let mut disk = gs.shutdown().unwrap();
+                disk.replica_mut(0).revive();
+
+                let gs2 = GemStone::open(disk, 32).unwrap_or_else(|e| panic!("{ctx}: {e}"));
+                let mut s2 = gs2.login("system").unwrap();
+                // All-or-nothing: k entries before the crash; the commit may
+                // only have landed if its final (root) write was the torn one.
+                let size = s2.run("Ledger size").unwrap().as_int().unwrap() as u64;
+                let committed = if size == k as u64 - 1 {
+                    false
+                } else if size == k as u64 && write == writes - 1 {
+                    true
+                } else {
+                    panic!("{ctx}: recovered {size} entries, expected {}", k - 1);
+                };
+                let c = if committed { k + 1 } else { k };
+                if c >= 3 {
+                    assert_eq!(s2.run_display("Ledger at: 2").unwrap(), "'two'", "{ctx}");
+                    assert!(
+                        s2.run("Acct new").is_ok(),
+                        "{ctx}: recovered schema instantiates Acct"
+                    );
+                }
+                if c >= 4 {
+                    assert_eq!(s2.run("(Ledger at: 3) bal").unwrap().as_int(), Some(7), "{ctx}");
+                }
+                let want_v1 = if c >= 5 { 200 } else { 100 };
+                if c >= 2 {
+                    assert_eq!(s2.run("Ledger at: 1").unwrap().as_int(), Some(want_v1), "{ctx}");
+                }
+                // Temporal reads over recovered history.
+                for (j, &t) in times.iter().enumerate().take(c - 1).skip(1) {
+                    s2.set_time_dial(t);
+                    assert_eq!(
+                        s2.run("Ledger size").unwrap().as_int(),
+                        Some(j as i64),
+                        "{ctx}: state at commit {j}"
+                    );
+                }
+                s2.time_dial_now();
+                // The recovery report is observable at session level and
+                // consistent with what the crash left behind.
+                let rep = s2.recovery_report();
+                assert_eq!(rep.roots_considered, 2, "{ctx}");
+                assert!(rep.roots_valid >= 1, "{ctx}");
+                assert!(rep.reopen_reads > 0, "{ctx}");
+                if !committed && write >= 1 {
+                    assert!(
+                        rep.tracks_discarded >= 1,
+                        "{ctx}: the torn commit's shadow tracks are orphans"
+                    );
+                }
+            }
+        }
+    }
+    eprintln!("full-system sweep: {points} crash points across {} commits", scripts.len() - 1);
+    assert!(points >= 2 * (scripts.len() as u64 - 1) * 2, "swept every write, two tears each");
+}

@@ -2,7 +2,7 @@
 //! system — a crash anywhere inside a commit group leaves the previous
 //! committed state intact, and mirrored replicas survive single-disk loss.
 
-use gemstone::{Database, GemStone, StoreConfig};
+use gemstone::{Database, FaultPlan, GemStone, ReadFault, StoreConfig, TearClass};
 
 fn small_cfg() -> StoreConfig {
     StoreConfig { track_size: 1024, cache_tracks: 32, replicas: 1 }
@@ -69,6 +69,95 @@ fn crash_during_commit_is_all_or_nothing() {
 fn arm_crash(db: &std::sync::Arc<Database>, after_writes: u64) {
     // Reach the disk through the database's test accessor.
     db.with_disk(|disk| disk.replica_mut(0).fail_after_writes(after_writes));
+}
+
+#[test]
+fn crash_during_recovery_double_fault() {
+    // Power loss mid-commit, then recovery itself is interrupted — twice,
+    // at different reads — before being allowed through. Recovery is
+    // read-only, so each interrupted attempt must fail cleanly (never fall
+    // back to a stale root) and leave the platter untouched for the retry.
+    let gs = GemStone::create(small_cfg()).unwrap();
+    let mut s = gs.login("system").unwrap();
+    s.run("D := Dictionary new. D at: #v put: 'first'").unwrap();
+    s.commit().unwrap();
+    s.run("D at: #v put: 'second'").unwrap();
+    arm_crash(gs.database(), 2);
+    assert!(s.commit().is_err());
+    drop(s);
+    let mut disk = gs.shutdown().unwrap();
+    disk.replica_mut(0).revive();
+
+    for fault_at_read in [0u64, 2] {
+        let mut d = disk.clone();
+        d.replica_mut(0).set_fault_plan(FaultPlan {
+            read_fault: Some(ReadFault { after_reads: fault_at_read, count: 1 }),
+            ..FaultPlan::default()
+        });
+        assert!(
+            GemStone::open(d, 32).is_err(),
+            "recovery interrupted at read {fault_at_read} must abort, not improvise"
+        );
+    }
+
+    // Third attempt, no faults: identical platter, full recovery.
+    let gs2 = GemStone::open(disk, 32).unwrap();
+    let mut s2 = gs2.login("system").unwrap();
+    assert_eq!(s2.run_display("D at: #v").unwrap(), "'first'", "torn commit stays invisible");
+    let rep = s2.recovery_report();
+    assert_eq!(rep.roots_considered, 2);
+    assert!(rep.roots_valid >= 1);
+    assert!(rep.tracks_discarded >= 1, "the torn commit's shadow tracks are orphans");
+}
+
+#[test]
+fn torn_write_inside_track_header() {
+    // Tear the commit group's final write — the root itself — inside the
+    // TRACK_HEADER: once within the 4-byte length field, once within the
+    // 8-byte checksum field. Both must leave the previous root ruling.
+    for tear in [TearClass::HeaderLen, TearClass::HeaderSum] {
+        // First pass measures how many writes the commit performs, so the
+        // second pass can tear exactly the last one.
+        let writes = {
+            let gs = GemStone::create(small_cfg()).unwrap();
+            let mut s = gs.login("system").unwrap();
+            s.run("D := Dictionary new. D at: #v put: 'first'").unwrap();
+            s.commit().unwrap();
+            gs.database().with_disk(|d| d.replica_mut(0).set_fault_plan(FaultPlan::trace()));
+            s.run("D at: #v put: 'second'").unwrap();
+            s.commit().unwrap();
+            gs.database().with_disk(|d| d.replica_mut(0).take_write_trace().len() as u64)
+        };
+        assert!(writes >= 2, "commit writes data tracks then the root");
+
+        let gs = GemStone::create(small_cfg()).unwrap();
+        let mut s = gs.login("system").unwrap();
+        s.run("D := Dictionary new. D at: #v put: 'first'").unwrap();
+        s.commit().unwrap();
+        s.run("D at: #v put: 'second'").unwrap();
+        gs.database().with_disk(|d| {
+            d.replica_mut(0).set_fault_plan(FaultPlan {
+                crash_after_writes: Some(writes - 1),
+                tear,
+                ..FaultPlan::default()
+            })
+        });
+        assert!(s.commit().is_err(), "{tear:?}: root write torn");
+        drop(s);
+        let mut disk = gs.shutdown().unwrap();
+        disk.replica_mut(0).revive();
+
+        let gs2 = GemStone::open(disk, 32).unwrap();
+        let mut s2 = gs2.login("system").unwrap();
+        assert_eq!(
+            s2.run_display("D at: #v").unwrap(),
+            "'first'",
+            "{tear:?}: header-torn root must not validate"
+        );
+        let rep = s2.recovery_report();
+        assert_eq!(rep.roots_considered, 2, "{tear:?}");
+        assert!(rep.roots_valid >= 1, "{tear:?}");
+    }
 }
 
 #[test]
