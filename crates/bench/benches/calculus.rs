@@ -174,6 +174,20 @@ fn equi_join(c: &mut Criterion) {
     });
     let explain = s.explain().expect("session ran a query");
     assert!(explain.contains("hash-join"), "explain must show the hash join:\n{explain}");
+    // Telemetry satellite: one session query moves the registry by exactly
+    // its plan counters, and the collections' commit reached the disk via
+    // commit-path cache fills (read-through fills would mean re-reading
+    // tracks this very session just wrote).
+    let before = s.metrics();
+    let rows = s.query(&q).unwrap();
+    let d = s.metrics().diff(&before);
+    assert_eq!(d.counter("calculus.hash_probes"), n as u64, "one probe per left row");
+    assert_eq!(d.counter("calculus.hash_builds"), m as u64, "right side is the build side");
+    assert_eq!(d.counter("calculus.hash_matches"), rows.len() as u64);
+    assert!(
+        s.metrics().counter("storage.cache.fills_commit") > 0,
+        "the workload committed through the cache's commit path"
+    );
     group.finish();
 }
 

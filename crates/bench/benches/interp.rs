@@ -30,6 +30,29 @@ fn dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+fn telemetry_overhead(c: &mut Criterion) {
+    // E-obs: the same dispatch-bound workloads with telemetry fully off
+    // (default: tracer disabled, counters still plain atomics) vs fully on
+    // (span per statement, sampling 1). The instrument lives outside the
+    // bytecode loop — interpreter counters are accumulated in locals and
+    // flushed once per doIt — so on/off should be within noise; the
+    // counter-based gate for the same claim lives in tests/telemetry.rs
+    // (`telemetry_overhead_gate`), immune to wall-clock flake.
+    let mut group = c.benchmark_group("I3_telemetry_overhead");
+    group.sample_size(20);
+    let (_gs_off, mut s_off) = fresh();
+    group.bench_function("dispatch_telemetry_off", |b| {
+        b.iter(|| black_box(s_off.run(LOOP_SRC).unwrap()))
+    });
+    let (_gs_on, mut s_on) = fresh();
+    s_on.set_tracing(true);
+    s_on.set_trace_sampling(1);
+    group.bench_function("dispatch_telemetry_on", |b| {
+        b.iter(|| black_box(s_on.run(LOOP_SRC).unwrap()))
+    });
+    group.finish();
+}
+
 fn verification(c: &mut Criterion) {
     // One-time install cost: full dataflow verification of a compiled doIt.
     let mut group = c.benchmark_group("I2_verify");
@@ -48,5 +71,5 @@ fn verification(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, dispatch, verification);
+criterion_group!(benches, dispatch, verification, telemetry_overhead);
 criterion_main!(benches);

@@ -215,6 +215,7 @@ fn c_join_plans() {
         "n", "m", "hash visits", "nested visits", "hash µs", "nested µs"
     );
     let mut runs = Vec::new();
+    let mut metrics_json = String::from("[]");
     for &(n, m) in &[(200usize, 200usize), (1000, 1000)] {
         let (_gs, mut s) = fresh();
         build_join_collections(&mut s, n, m);
@@ -246,6 +247,12 @@ fn c_join_plans() {
             for line in s.explain().expect("explain after query").lines() {
                 println!("    {line}");
             }
+            // Full registry snapshot for the run — every layer's counters
+            // (storage, txn, interpreter, planner) in one scrape, one JSON
+            // object per metric.
+            let lines: Vec<String> =
+                s.metrics().to_json_lines().lines().map(|l| format!("    {l}")).collect();
+            metrics_json = format!("[\n{}\n  ]", lines.join(",\n"));
         }
         runs.push(format!(
             "    {{\"n\": {n}, \"m\": {m}, \"plan\": \"{}\",\n     \"hash\": {}, \"hash_median_us\": {hash_us:.1},\n     \"nested\": {}, \"nested_median_us\": {nested_us:.1}}}",
@@ -255,8 +262,9 @@ fn c_join_plans() {
         ));
     }
     let json = format!(
-        "{{\n  \"experiment\": \"c_join\",\n  \"runs\": [\n{}\n  ]\n}}\n",
-        runs.join(",\n")
+        "{{\n  \"experiment\": \"c_join\",\n  \"runs\": [\n{}\n  ],\n  \"metrics\": {}\n}}\n",
+        runs.join(",\n"),
+        metrics_json
     );
     match std::fs::write("BENCH_report.json", &json) {
         Ok(()) => println!("  (counters written to BENCH_report.json)\n"),

@@ -265,31 +265,93 @@ impl AlgExpr {
 }
 
 /// The binding consumer threaded through streaming evaluation. The context
-/// and stats ride along so sinks can evaluate dependent subplans.
-type Sink<'a, C> = &'a mut dyn FnMut(&mut C, &mut PlanStats, Env) -> GemResult<()>;
+/// and meter ride along so sinks can evaluate dependent subplans.
+type Sink<'a, C> = &'a mut dyn FnMut(&mut C, &mut Meter<'_>, Env) -> GemResult<()>;
+
+/// Per-operator accumulators for one profiled run (parallel to the
+/// pre-order node list the profiler built from the plan).
+#[derive(Debug, Default, Clone, Copy)]
+struct OpAcc {
+    rows_out: u64,
+    wall_ns: u64,
+}
+
+/// Profiling context: a pointer-identity map from plan nodes to pre-order
+/// indices, the per-node accumulators, and the caller's clock. The plan is
+/// borrowed for the whole evaluation, so node addresses are stable.
+struct Prof<'p> {
+    ids: &'p HashMap<usize, usize>,
+    accs: &'p mut Vec<OpAcc>,
+    clock: &'p dyn Fn() -> u64,
+}
+
+/// What every operator threads along: the aggregate [`PlanStats`] plus an
+/// optional per-operator profiler. The unprofiled path pays one `None`
+/// check per operator entry, nothing per row.
+struct Meter<'p> {
+    stats: &'p mut PlanStats,
+    prof: Option<Prof<'p>>,
+}
+
+/// A build-side row: its join-key value plus the env delta to replay when
+/// it matches a probe row.
+type BuildRow = (Oop, Vec<(u16, Oop)>);
 
 /// One side of a hash-join table: rows that hashed, and "loose" rows whose
 /// key has no hashable image (compared pairwise by `equals`).
 struct JoinTable {
-    buckets: HashMap<ValueKey, Vec<(Oop, Vec<(u16, Oop)>)>>,
-    loose: Vec<(Oop, Vec<(u16, Oop)>)>,
+    buckets: HashMap<ValueKey, Vec<BuildRow>>,
+    loose: Vec<BuildRow>,
 }
 
-/// Evaluate an algebra expression, pushing each produced binding into `out`.
+/// Evaluate an algebra expression, pushing each produced binding into
+/// `out`. When profiling, wrap the sink to count this node's output rows
+/// and charge it the inclusive wall time of the invocation. Wall time is
+/// *inclusive of downstream consumption* — evaluation streams by pushing,
+/// so a parent's sink runs inside the child's loop; with the strictly
+/// monotonic telemetry clock every invocation still costs ≥ 1 ns, making
+/// "nonzero wall time per operator" deterministic.
 fn eval_stream<C: QueryContext>(
     ctx: &mut C,
     expr: &AlgExpr,
     env: &Env,
-    stats: &mut PlanStats,
+    meter: &mut Meter<'_>,
+    out: Sink<'_, C>,
+) -> GemResult<()> {
+    let node =
+        meter.prof.as_ref().and_then(|p| p.ids.get(&(expr as *const AlgExpr as usize)).copied());
+    let Some(id) = node else {
+        return eval_node(ctx, expr, env, meter, out);
+    };
+    let t0 = (meter.prof.as_ref().expect("profiled").clock)();
+    let result = eval_node(ctx, expr, env, meter, &mut |ctx, m, e| {
+        if let Some(p) = m.prof.as_mut() {
+            p.accs[id].rows_out += 1;
+        }
+        out(ctx, m, e)
+    });
+    let p = meter.prof.as_mut().expect("profiled");
+    let t1 = (p.clock)();
+    p.accs[id].wall_ns += t1.saturating_sub(t0);
+    result
+}
+
+/// The operator bodies (recursing through [`eval_stream`] so children are
+/// profiled too).
+fn eval_node<C: QueryContext>(
+    ctx: &mut C,
+    expr: &AlgExpr,
+    env: &Env,
+    meter: &mut Meter<'_>,
     out: Sink<'_, C>,
 ) -> GemResult<()> {
     match expr {
-        AlgExpr::Unit => out(ctx, stats, env.clone()),
+        AlgExpr::Unit => out(ctx, meter, env.clone()),
         AlgExpr::Scan { var, domain } => {
             let d = ast::eval_term(ctx, domain, env)?;
             for m in ctx.elements(d)? {
-                stats.rows_scanned += 1;
-                out(ctx, stats, env.bind(*var, m))?;
+                meter.stats.rows_scanned += 1;
+                out(ctx, meter, env.bind(*var, m))?;
             }
             Ok(())
         }
@@ -298,23 +360,23 @@ fn eval_stream<C: QueryContext>(
             let k = ast::eval_term(ctx, key, env)?;
             match ctx.index_lookup(d, path, k)? {
                 Some(members) => {
-                    stats.index_hits += 1;
+                    meter.stats.index_hits += 1;
                     for m in members {
-                        stats.index_rows += 1;
-                        out(ctx, stats, env.bind(*var, m))?;
+                        meter.stats.index_rows += 1;
+                        out(ctx, meter, env.bind(*var, m))?;
                     }
                 }
                 None => {
                     // No directory after all: scan and filter on the path.
-                    stats.index_fallbacks += 1;
+                    meter.stats.index_fallbacks += 1;
                     for m in ctx.elements(d)? {
-                        stats.rows_scanned += 1;
+                        meter.stats.rows_scanned += 1;
                         let mut v = m;
                         for n in path {
                             v = ctx.elem(v, *n)?;
                         }
                         if ctx.equals(v, k)? {
-                            out(ctx, stats, env.bind(*var, m))?;
+                            out(ctx, meter, env.bind(*var, m))?;
                         }
                     }
                 }
@@ -333,17 +395,17 @@ fn eval_stream<C: QueryContext>(
             };
             match ctx.index_range(d, path, lo_v, hi_v)? {
                 Some(members) => {
-                    stats.index_hits += 1;
+                    meter.stats.index_hits += 1;
                     for m in members {
-                        stats.index_rows += 1;
-                        out(ctx, stats, env.bind(*var, m))?;
+                        meter.stats.index_rows += 1;
+                        out(ctx, meter, env.bind(*var, m))?;
                     }
                 }
                 None => {
                     // No directory: scan and test the bounds.
-                    stats.index_fallbacks += 1;
+                    meter.stats.index_fallbacks += 1;
                     for m in ctx.elements(d)? {
-                        stats.rows_scanned += 1;
+                        meter.stats.rows_scanned += 1;
                         let mut v = m;
                         for n in path {
                             v = ctx.elem(v, *n)?;
@@ -366,7 +428,7 @@ fn eval_stream<C: QueryContext>(
                             }
                         }
                         if ok {
-                            out(ctx, stats, env.bind(*var, m))?;
+                            out(ctx, meter, env.bind(*var, m))?;
                         }
                     }
                 }
@@ -374,20 +436,20 @@ fn eval_stream<C: QueryContext>(
             Ok(())
         }
         AlgExpr::Select { input, pred } => {
-            eval_stream(ctx, input, env, stats, &mut |ctx, stats, e| {
-                stats.select_in += 1;
+            eval_stream(ctx, input, env, meter, &mut |ctx, meter, e| {
+                meter.stats.select_in += 1;
                 if ast::eval_pred(ctx, pred, &e)? {
-                    stats.select_out += 1;
-                    out(ctx, stats, e)
+                    meter.stats.select_out += 1;
+                    out(ctx, meter, e)
                 } else {
                     Ok(())
                 }
             })
         }
         AlgExpr::NestJoin { left, right } => {
-            eval_stream(ctx, left, env, stats, &mut |ctx, stats, lenv| {
-                stats.nest_loops += 1;
-                eval_stream(ctx, right, &lenv, stats, &mut *out)
+            eval_stream(ctx, left, env, meter, &mut |ctx, meter, lenv| {
+                meter.stats.nest_loops += 1;
+                eval_stream(ctx, right, &lenv, meter, &mut *out)
             })
         }
         AlgExpr::HashJoin { left, right, left_key, right_key } => {
@@ -396,8 +458,8 @@ fn eval_stream<C: QueryContext>(
             // whose key has no hashable image go to the loose list and are
             // probed pairwise by `equals`.
             let mut table = JoinTable { buckets: HashMap::new(), loose: Vec::new() };
-            eval_stream(ctx, right, env, stats, &mut |ctx, stats, renv| {
-                stats.hash_builds += 1;
+            eval_stream(ctx, right, env, meter, &mut |ctx, meter, renv| {
+                meter.stats.hash_builds += 1;
                 let kv = ast::eval_term(ctx, right_key, &renv)?;
                 let delta = renv.delta_since(env);
                 match ctx.join_key(kv)? {
@@ -407,21 +469,21 @@ fn eval_stream<C: QueryContext>(
                 Ok(())
             })?;
             // Probe: stream the left side through the table.
-            eval_stream(ctx, left, env, stats, &mut |ctx, stats, lenv| {
-                stats.hash_probes += 1;
+            eval_stream(ctx, left, env, meter, &mut |ctx, meter, lenv| {
+                meter.stats.hash_probes += 1;
                 let kv = ast::eval_term(ctx, left_key, &lenv)?;
                 match ctx.join_key(kv)? {
                     Some(k) => {
                         if let Some(bucket) = table.buckets.get(&k) {
                             for (_, delta) in bucket {
-                                stats.hash_matches += 1;
-                                out(ctx, stats, lenv.bind_delta(delta))?;
+                                meter.stats.hash_matches += 1;
+                                out(ctx, meter, lenv.bind_delta(delta))?;
                             }
                         }
                         for (rkv, delta) in &table.loose {
                             if ctx.equals(kv, *rkv)? {
-                                stats.hash_matches += 1;
-                                out(ctx, stats, lenv.bind_delta(delta))?;
+                                meter.stats.hash_matches += 1;
+                                out(ctx, meter, lenv.bind_delta(delta))?;
                             }
                         }
                     }
@@ -431,15 +493,15 @@ fn eval_stream<C: QueryContext>(
                         for bucket in table.buckets.values() {
                             for (rkv, delta) in bucket {
                                 if ctx.equals(kv, *rkv)? {
-                                    stats.hash_matches += 1;
-                                    out(ctx, stats, lenv.bind_delta(delta))?;
+                                    meter.stats.hash_matches += 1;
+                                    out(ctx, meter, lenv.bind_delta(delta))?;
                                 }
                             }
                         }
                         for (rkv, delta) in &table.loose {
                             if ctx.equals(kv, *rkv)? {
-                                stats.hash_matches += 1;
-                                out(ctx, stats, lenv.bind_delta(delta))?;
+                                meter.stats.hash_matches += 1;
+                                out(ctx, meter, lenv.bind_delta(delta))?;
                             }
                         }
                     }
@@ -450,6 +512,124 @@ fn eval_stream<C: QueryContext>(
     }
 }
 
+// ------------------------------------------------- per-operator profiles
+
+/// One operator of a profiled plan, in pre-order.
+#[derive(Debug, Clone)]
+pub struct OpNode {
+    /// Shallow operator label (`scan v0`, `hash-join[…]`, …).
+    pub label: String,
+    /// Tree depth (root = 0); with pre-order, enough to render the tree.
+    pub depth: usize,
+    /// Pre-order indices of the children.
+    pub children: Vec<usize>,
+    /// Rows this operator consumed: sum of children `rows_out` (leaves
+    /// consume what they emit).
+    pub rows_in: u64,
+    /// Bindings this operator emitted to its consumer.
+    pub rows_out: u64,
+    /// Hash joins: rows hashed into the build table (the right child's
+    /// output). `None` for every other operator.
+    pub build_rows: Option<u64>,
+    /// Inclusive wall time of this operator's evaluation, in nanoseconds.
+    /// Streaming pushes rows *through* the consumer, so a node's time
+    /// includes downstream work on its rows.
+    pub wall_ns: u64,
+}
+
+/// Per-operator counters for one evaluated plan (the EXPLAIN ANALYZE
+/// payload), in pre-order of the algebra tree.
+#[derive(Debug, Clone, Default)]
+pub struct OpProfile {
+    pub nodes: Vec<OpNode>,
+}
+
+impl OpProfile {
+    /// The root operator (none for an empty profile).
+    pub fn root(&self) -> Option<&OpNode> {
+        self.nodes.first()
+    }
+
+    /// Rows the whole plan produced.
+    pub fn rows_out(&self) -> u64 {
+        self.root().map(|n| n.rows_out).unwrap_or(0)
+    }
+
+    /// Indented tree rendering with per-operator annotations.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = self.nodes.iter().map(|n| n.depth * 2 + n.label.len()).max().unwrap_or(0);
+        for n in &self.nodes {
+            let pad = "  ".repeat(n.depth);
+            let build = match n.build_rows {
+                Some(b) => format!(" build={b}"),
+                None => String::new(),
+            };
+            let _ = writeln!(
+                out,
+                "{pad}{label:<w$}  rows_in={ri} rows_out={ro}{build} wall={ns}ns",
+                label = n.label,
+                w = width.saturating_sub(n.depth * 2),
+                ri = n.rows_in,
+                ro = n.rows_out,
+                ns = n.wall_ns,
+            );
+        }
+        out
+    }
+}
+
+/// Shallow (single-node) operator label.
+fn node_label(e: &AlgExpr) -> String {
+    match e {
+        AlgExpr::Unit => "unit".into(),
+        AlgExpr::Scan { var, .. } => format!("scan v{}", var.0),
+        AlgExpr::IndexScan { var, path, .. } => {
+            format!("index-scan v{} on path({} names)", var.0, path.len())
+        }
+        AlgExpr::IndexRangeScan { var, path, .. } => {
+            format!("index-range-scan v{} on path({} names)", var.0, path.len())
+        }
+        AlgExpr::Select { .. } => "select".into(),
+        AlgExpr::NestJoin { .. } => "nest-join".into(),
+        AlgExpr::HashJoin { left_key, right_key, .. } => {
+            format!("hash-join[{} = {}]", term_label(left_key), term_label(right_key))
+        }
+    }
+}
+
+/// Pre-order walk: assign indices by node address, record label/depth and
+/// child indices. Returns this subtree's root index.
+fn index_plan(
+    expr: &AlgExpr,
+    depth: usize,
+    ids: &mut HashMap<usize, usize>,
+    skeleton: &mut Vec<(String, usize, Vec<usize>, bool)>,
+) -> usize {
+    let id = skeleton.len();
+    ids.insert(expr as *const AlgExpr as usize, id);
+    let is_hash = matches!(expr, AlgExpr::HashJoin { .. });
+    skeleton.push((node_label(expr), depth, Vec::new(), is_hash));
+    let children: Vec<usize> = match expr {
+        AlgExpr::Unit
+        | AlgExpr::Scan { .. }
+        | AlgExpr::IndexScan { .. }
+        | AlgExpr::IndexRangeScan { .. } => Vec::new(),
+        AlgExpr::Select { input, .. } => {
+            vec![index_plan(input, depth + 1, ids, skeleton)]
+        }
+        AlgExpr::NestJoin { left, right } | AlgExpr::HashJoin { left, right, .. } => {
+            vec![
+                index_plan(left, depth + 1, ids, skeleton),
+                index_plan(right, depth + 1, ids, skeleton),
+            ]
+        }
+    };
+    skeleton[id].2 = children;
+    id
+}
+
 /// Run a plan and project each surviving binding through the query's result
 /// template, counting operator work into `stats`.
 pub fn eval_algebra_stats<C: QueryContext>(
@@ -458,10 +638,64 @@ pub fn eval_algebra_stats<C: QueryContext>(
     query: &Query,
     stats: &mut PlanStats,
 ) -> GemResult<Vec<Vec<Oop>>> {
+    let mut meter = Meter { stats, prof: None };
+    eval_projected(ctx, plan, query, &mut meter)
+}
+
+/// Run a plan with per-operator profiling: same results and aggregate
+/// stats as [`eval_algebra_stats`], plus an [`OpProfile`] with per-node
+/// rows-in/out, hash-build sizes, and inclusive wall time read from
+/// `clock` (nanoseconds; inject a deterministic clock in tests).
+pub fn eval_algebra_profiled<C: QueryContext>(
+    ctx: &mut C,
+    plan: &AlgExpr,
+    query: &Query,
+    stats: &mut PlanStats,
+    clock: &dyn Fn() -> u64,
+) -> GemResult<(Vec<Vec<Oop>>, OpProfile)> {
+    let mut ids = HashMap::new();
+    let mut skeleton = Vec::new();
+    index_plan(plan, 0, &mut ids, &mut skeleton);
+    let mut accs = vec![OpAcc::default(); skeleton.len()];
+    let rows = {
+        let mut meter = Meter { stats, prof: Some(Prof { ids: &ids, accs: &mut accs, clock }) };
+        eval_projected(ctx, plan, query, &mut meter)?
+    };
+    let nodes = skeleton
+        .into_iter()
+        .enumerate()
+        .map(|(i, (label, depth, children, is_hash))| {
+            let rows_in = if children.is_empty() {
+                accs[i].rows_out
+            } else {
+                children.iter().map(|&c| accs[c].rows_out).sum()
+            };
+            let build_rows =
+                if is_hash { children.get(1).map(|&c| accs[c].rows_out) } else { None };
+            OpNode {
+                label,
+                depth,
+                rows_in,
+                rows_out: accs[i].rows_out,
+                build_rows,
+                wall_ns: accs[i].wall_ns,
+                children,
+            }
+        })
+        .collect();
+    Ok((rows, OpProfile { nodes }))
+}
+
+fn eval_projected<C: QueryContext>(
+    ctx: &mut C,
+    plan: &AlgExpr,
+    query: &Query,
+    meter: &mut Meter<'_>,
+) -> GemResult<Vec<Vec<Oop>>> {
     let base = Env::empty();
     let mut out: Vec<Vec<Oop>> = Vec::new();
-    eval_stream(ctx, plan, &base, stats, &mut |ctx, stats, env| {
-        stats.rows_out += 1;
+    eval_stream(ctx, plan, &base, meter, &mut |ctx, meter, env| {
+        meter.stats.rows_out += 1;
         let mut tuple = Vec::with_capacity(query.result.len());
         for (_, term) in &query.result {
             tuple.push(ast::eval_term(ctx, term, &env)?);

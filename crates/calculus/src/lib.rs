@@ -27,7 +27,10 @@ mod algebra;
 mod ast;
 mod translate;
 
-pub use algebra::{eval_algebra, eval_algebra_stats, AlgExpr, Binding, Env, PlanStats};
+pub use algebra::{
+    eval_algebra, eval_algebra_profiled, eval_algebra_stats, AlgExpr, Binding, Env, OpNode,
+    OpProfile, PlanStats,
+};
 pub use ast::{CmpOp, EnvRead, Pred, Query, Range, Term, VarId};
 pub use translate::{translate, translate_with, IndexCatalog, PlanOptions};
 
@@ -131,6 +134,22 @@ pub fn eval_query_explained<C: QueryContext>(
     let mut stats = PlanStats::default();
     let rows = eval_algebra_stats(ctx, &alg, query, &mut stats)?;
     Ok((rows, alg, stats))
+}
+
+/// [`eval_query_explained`] with per-operator profiling: also returns an
+/// [`OpProfile`] annotating every algebra node with rows-in/rows-out,
+/// hash-build sizes, and inclusive wall time read from `clock`
+/// (nanoseconds) — the payload behind `Session::explain_analyze`.
+pub fn eval_query_profiled<C: QueryContext>(
+    ctx: &mut C,
+    query: &Query,
+    indexes: &IndexCatalog,
+    clock: &dyn Fn() -> u64,
+) -> GemResult<(Vec<Vec<Oop>>, AlgExpr, PlanStats, OpProfile)> {
+    let alg = translate(query, indexes);
+    let mut stats = PlanStats::default();
+    let (rows, profile) = eval_algebra_profiled(ctx, &alg, query, &mut stats, clock)?;
+    Ok((rows, alg, stats, profile))
 }
 
 /// Evaluate by the calculus' direct semantics (pure nested loops, no

@@ -15,6 +15,7 @@ use gemstone_object::{
 };
 use gemstone_opal::{install_kernel_methods, CompiledMethod};
 use gemstone_storage::{DiskArray, PermanentStore, StoreConfig};
+use gemstone_telemetry::{MetricsSnapshot, Telemetry};
 use gemstone_temporal::TxnTime;
 use gemstone_txn::TransactionManager;
 use parking_lot::Mutex;
@@ -55,6 +56,45 @@ impl DbInner {
 pub struct Database {
     pub(crate) inner: Mutex<DbInner>,
     pub(crate) txns: TransactionManager,
+    pub(crate) telemetry: Telemetry,
+}
+
+/// Bind every layer's instrument handles into the registry under the
+/// canonical names (see DESIGN.md §Telemetry). The layers keep owning
+/// their cells; the registry shares the same atomics, which is what makes
+/// the pre-existing stats accessors thin views over the registry.
+fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &TransactionManager) {
+    let r = &telemetry.registry;
+    let d = store.disk_counters();
+    r.register_counter("storage.disk.reads", &d.track_reads);
+    r.register_counter("storage.disk.writes", &d.track_writes);
+    r.register_counter("storage.disk.bytes_written", &d.bytes_written);
+    r.register_counter("storage.disk.failed_reads", &d.failed_reads);
+    r.register_counter("storage.disk.failed_writes", &d.failed_writes);
+    let c = store.cache_counters();
+    r.register_counter("storage.cache.hits", &c.hits);
+    r.register_counter("storage.cache.misses", &c.misses);
+    r.register_counter("storage.cache.evictions", &c.evictions);
+    r.register_counter("storage.cache.fills_read", &c.fills_read);
+    r.register_counter("storage.cache.fills_commit", &c.fills_commit);
+    let s = store.counters();
+    r.register_counter("storage.store.commits", &s.commits);
+    r.register_counter("storage.store.object_faults", &s.object_faults);
+    r.register_counter("storage.store.objects_written", &s.objects_written);
+    r.register_histogram("storage.commit.group_tracks", &store.disk().group_size_histogram());
+    let t = txns.counters();
+    r.register_counter("txn.begins", &t.begins);
+    r.register_counter("txn.commits", &t.commits);
+    r.register_counter("txn.aborts", &t.aborts);
+    r.register_counter("txn.conflicts", &t.conflicts);
+    let rep = store.recovery_report();
+    r.gauge("storage.recovery.roots_considered").set(rep.roots_considered as i64);
+    r.gauge("storage.recovery.roots_valid").set(rep.roots_valid as i64);
+    r.gauge("storage.recovery.roots_torn").set(rep.roots_torn as i64);
+    r.gauge("storage.recovery.epoch").set(rep.recovered_epoch as i64);
+    r.gauge("storage.recovery.tracks_salvaged").set(rep.tracks_salvaged as i64);
+    r.gauge("storage.recovery.tracks_discarded").set(rep.tracks_discarded as i64);
+    r.gauge("storage.recovery.reopen_reads").set(rep.reopen_reads as i64);
 }
 
 fn kernel_from(classes: &ClassTable, symbols: &SymbolTable) -> GemResult<Kernel> {
@@ -92,7 +132,14 @@ fn kernel_from(classes: &ClassTable, symbols: &SymbolTable) -> GemResult<Kernel>
 impl Database {
     /// Format a fresh database on a simulated disk.
     pub fn create(cfg: StoreConfig) -> GemResult<Arc<Database>> {
-        let store = PermanentStore::create(cfg)?;
+        Database::create_with(cfg, Telemetry::new())
+    }
+
+    /// [`Database::create`] over an explicit telemetry bundle (tests inject
+    /// a manual clock here for deterministic span durations).
+    pub fn create_with(cfg: StoreConfig, telemetry: Telemetry) -> GemResult<Arc<Database>> {
+        let mut store = PermanentStore::create(cfg)?;
+        store.attach_tracer(telemetry.tracer.clone());
         let mut symbols = SymbolTable::new();
         let (mut classes, kernel) = ClassTable::bootstrap(&mut symbols);
         let block_class =
@@ -110,10 +157,9 @@ impl Database {
             auth: AuthTable::new(),
             schema_dirty: true,
         };
-        let db = Arc::new(Database {
-            inner: Mutex::new(inner),
-            txns: TransactionManager::new(TxnTime::EPOCH),
-        });
+        let txns = TransactionManager::new(TxnTime::EPOCH);
+        bind_layer_metrics(&telemetry, &inner.store, &txns);
+        let db = Arc::new(Database { inner: Mutex::new(inner), txns, telemetry });
         // Kernel methods install through a bootstrap session.
         let mut boot = Session::internal_login(db.clone());
         install_kernel_methods(&mut boot)?;
@@ -136,7 +182,17 @@ impl Database {
     /// reloaded, user methods are recompiled from source, directories are
     /// rebuilt.
     pub fn open(disk: DiskArray, cache_tracks: usize) -> GemResult<Arc<Database>> {
+        Database::open_with(disk, cache_tracks, Telemetry::new())
+    }
+
+    /// [`Database::open`] over an explicit telemetry bundle.
+    pub fn open_with(
+        disk: DiskArray,
+        cache_tracks: usize,
+        telemetry: Telemetry,
+    ) -> GemResult<Arc<Database>> {
         let mut store = PermanentStore::open(disk, cache_tracks)?;
+        store.attach_tracer(telemetry.tracer.clone());
         let symbols = match store.get_meta(meta::META_SYMBOLS)? {
             Some(b) => meta::get_symbols(&b)?,
             None => return Err(GemError::Corrupt("no symbol metadata".into())),
@@ -177,8 +233,9 @@ impl Database {
             auth: AuthTable::new(),
             schema_dirty: false,
         };
-        let db =
-            Arc::new(Database { inner: Mutex::new(inner), txns: TransactionManager::new(last) });
+        let txns = TransactionManager::new(last);
+        bind_layer_metrics(&telemetry, &inner.store, &txns);
+        let db = Arc::new(Database { inner: Mutex::new(inner), txns, telemetry });
         // Rebuild method dictionaries: kernel first, then user sources in
         // their original order.
         let mut boot = Session::internal_login(db.clone());
@@ -229,6 +286,18 @@ impl Database {
     /// database, which performed no recovery.
     pub fn recovery_report(&self) -> gemstone_storage::RecoveryReport {
         self.inner.lock().store.recovery_report()
+    }
+
+    /// The database-wide telemetry bundle: metrics registry, span tracer,
+    /// clock. Clones share all state with the database's own handles.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// A point-in-time copy of every registered metric. Diffable:
+    /// `after.diff(&before)` isolates one workload's deltas.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.telemetry.registry.snapshot()
     }
 
     /// Storage/disk statistics snapshot (benchmark instrumentation).

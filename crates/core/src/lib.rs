@@ -29,12 +29,18 @@ mod session;
 
 pub use auth::{Access, AuthTable, DBA};
 pub use db::Database;
-pub use session::Session;
+pub use session::{Session, SlowStatement};
 
 // Re-exports for downstream users of the public API.
+pub use gemstone_calculus::{OpNode, OpProfile, PlanStats};
 pub use gemstone_object::{ElemName, GemError, GemResult, Goop, Oop, OopKind, SegmentId};
 pub use gemstone_storage::{
-    DiskArray, FaultPlan, ReadFault, RecoveryReport, StoreConfig, TearClass, TrackId,
+    CacheStats, DiskArray, DiskStats, FaultPlan, ReadFault, RecoveryReport, StoreConfig,
+    StoreStats, TearClass, TrackId,
+};
+pub use gemstone_telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, ManualTime, MetricsRegistry, MetricsSnapshot,
+    SpanEvent, SpanKind, Telemetry, TelemetryClock, Tracer,
 };
 pub use gemstone_temporal::TxnTime;
 
@@ -57,9 +63,20 @@ impl GemStone {
         Ok(GemStone { db: Database::create(cfg)? })
     }
 
+    /// A fresh database over an explicit telemetry bundle (tests inject a
+    /// manual clock for deterministic span durations).
+    pub fn create_with(cfg: StoreConfig, telemetry: Telemetry) -> GemResult<GemStone> {
+        Ok(GemStone { db: Database::create_with(cfg, telemetry)? })
+    }
+
     /// Recover from a disk (crash recovery / restart).
     pub fn open(disk: DiskArray, cache_tracks: usize) -> GemResult<GemStone> {
         Ok(GemStone { db: Database::open(disk, cache_tracks)? })
+    }
+
+    /// The database-wide telemetry bundle.
+    pub fn telemetry(&self) -> &Telemetry {
+        self.db.telemetry()
     }
 
     /// Log a user in.

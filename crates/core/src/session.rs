@@ -18,7 +18,9 @@
 use crate::auth::{Access, DBA};
 use crate::db::{Database, DbInner};
 use crate::meta::MethodSource;
-use gemstone_calculus::{AlgExpr, JoinKey, PlanStats, Query, QueryContext, Term, VarId};
+use gemstone_calculus::{
+    AlgExpr, IndexCatalog, JoinKey, OpProfile, PlanStats, Query, QueryContext, Term, VarId,
+};
 use gemstone_object::{
     structurally_equal, value_key, BodyFormat, ClassId, ElemName, GemError, GemResult, Goop,
     HeapObject, Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId, SymbolId, Workspace,
@@ -27,6 +29,9 @@ use gemstone_opal::{
     compile_doit_with_lints, CompiledMethod, Interpreter, Lint, OpalWorld, QueryTemplate,
 };
 use gemstone_storage::{DirKey, ObjectDelta};
+use gemstone_telemetry::{
+    Counter, Histogram, MetricsRegistry, MetricsSnapshot, OpenSpan, SpanEvent, SpanKind, Telemetry,
+};
 use gemstone_temporal::{TimeDial, TxnTime};
 use gemstone_txn::{AccessSet, SlotId, TxnToken};
 use std::cmp::Ordering;
@@ -56,6 +61,107 @@ pub struct Session {
     /// temporaries, shadowing, unreachable statements, impure select
     /// blocks). Advisory: a lint never blocks execution.
     last_lints: Vec<Lint>,
+    /// Telemetry bundle shared with the database (clones share state).
+    telemetry: Telemetry,
+    /// Nonzero id attributing this session's spans in the shared tracer.
+    session_id: u64,
+    /// Lazily recorded session marker span (0 until tracing records one).
+    session_span: u64,
+    /// The open transaction span, when tracing captured the txn begin.
+    txn_span: Option<OpenSpan>,
+    /// Current statement span id — the parent of plan-operator and
+    /// track-I/O spans (0 outside a statement or when unsampled).
+    stmt_span: u64,
+    /// True while [`Session::run`] is on the stack (distinguishes an
+    /// unsampled statement from no statement at all).
+    stmt_active: bool,
+    /// Cached registry handles this session bumps (shared atomics).
+    m: SessionMetrics,
+    /// Profile the next query evaluation (set by `explain_analyze`).
+    profile_next: bool,
+    /// Per-operator profile of the most recent profiled query.
+    last_profile: Option<OpProfile>,
+    /// True when the current statement evaluated a select block / query.
+    plan_this_stmt: bool,
+    /// Statements at least this slow land in the slow log. `None` = off.
+    slow_threshold_ns: Option<u64>,
+    slow_log: Vec<SlowStatement>,
+}
+
+/// One slow-log entry: a statement that exceeded the session's threshold.
+#[derive(Clone, Debug)]
+pub struct SlowStatement {
+    /// The OPAL source text as submitted.
+    pub source: String,
+    /// The plan of the query the statement evaluated, or a placeholder
+    /// when it ran no select block.
+    pub plan_summary: String,
+    pub wall_ns: u64,
+}
+
+/// Slow-log entries kept per session before new ones are dropped.
+const SLOW_LOG_CAP: usize = 128;
+
+/// The registry handles a session increments on its hot paths, resolved
+/// once at login (get-or-create) so steady-state updates are lock-free
+/// atomic adds on cells shared database-wide.
+struct SessionMetrics {
+    statements: Counter,
+    statement_ns: Histogram,
+    dispatches: Counter,
+    sends: Counter,
+    verify_checks: Counter,
+    verify_rejects: Counter,
+    rows_scanned: Counter,
+    index_rows: Counter,
+    index_hits: Counter,
+    index_fallbacks: Counter,
+    select_in: Counter,
+    select_out: Counter,
+    nest_loops: Counter,
+    hash_builds: Counter,
+    hash_probes: Counter,
+    hash_matches: Counter,
+    rows_out: Counter,
+}
+
+impl SessionMetrics {
+    fn bind(r: &MetricsRegistry) -> SessionMetrics {
+        SessionMetrics {
+            statements: r.counter("session.statements"),
+            statement_ns: r.histogram("session.statement_ns"),
+            dispatches: r.counter("opal.interp.dispatches"),
+            sends: r.counter("opal.interp.sends"),
+            verify_checks: r.counter("opal.verify.checks"),
+            verify_rejects: r.counter("opal.verify.rejects"),
+            rows_scanned: r.counter("calculus.rows_scanned"),
+            index_rows: r.counter("calculus.index_rows"),
+            index_hits: r.counter("calculus.index_hits"),
+            index_fallbacks: r.counter("calculus.index_fallbacks"),
+            select_in: r.counter("calculus.select_in"),
+            select_out: r.counter("calculus.select_out"),
+            nest_loops: r.counter("calculus.nest_loops"),
+            hash_builds: r.counter("calculus.hash_builds"),
+            hash_probes: r.counter("calculus.hash_probes"),
+            hash_matches: r.counter("calculus.hash_matches"),
+            rows_out: r.counter("calculus.rows_out"),
+        }
+    }
+
+    /// Fold one query's operator counters into the registry.
+    fn note_plan(&self, s: &PlanStats) {
+        self.rows_scanned.add(s.rows_scanned);
+        self.index_rows.add(s.index_rows);
+        self.index_hits.add(s.index_hits);
+        self.index_fallbacks.add(s.index_fallbacks);
+        self.select_in.add(s.select_in);
+        self.select_out.add(s.select_out);
+        self.nest_loops.add(s.nest_loops);
+        self.hash_builds.add(s.hash_builds);
+        self.hash_probes.add(s.hash_probes);
+        self.hash_matches.add(s.hash_matches);
+        self.rows_out.add(s.rows_out);
+    }
 }
 
 impl Session {
@@ -64,6 +170,9 @@ impl Session {
             let inner = db.inner.lock();
             (inner.kernel, inner.block_class)
         };
+        let telemetry = db.telemetry().clone();
+        let session_id = telemetry.new_session_id();
+        let m = SessionMetrics::bind(&telemetry.registry);
         Session {
             db,
             ws: Workspace::new(),
@@ -77,6 +186,18 @@ impl Session {
             block_class,
             last_plan: None,
             last_lints: Vec::new(),
+            telemetry,
+            session_id,
+            session_span: 0,
+            txn_span: None,
+            stmt_span: 0,
+            stmt_active: false,
+            m,
+            profile_next: false,
+            last_profile: None,
+            plan_this_stmt: false,
+            slow_threshold_ns: None,
+            slow_log: Vec::new(),
         }
     }
 
@@ -99,8 +220,51 @@ impl Session {
     fn ensure_txn(&mut self) {
         if self.txn.is_none() {
             self.txn = Some(self.db.txns.begin());
+            if self.telemetry.tracer.enabled() {
+                let parent = self.ensure_session_span();
+                self.txn_span = Some(self.telemetry.tracer.begin(
+                    SpanKind::Transaction,
+                    self.session_id,
+                    parent,
+                    "txn",
+                ));
+            }
             self.reads.clear();
             self.refresh_workspace();
+        }
+    }
+
+    /// Record the session's marker span on first use while tracing is on,
+    /// so transaction and statement spans have a per-session root.
+    fn ensure_session_span(&mut self) -> u64 {
+        if self.session_span == 0 {
+            let start = self.telemetry.clock().now_ns();
+            let end = self.telemetry.clock().now_ns();
+            self.session_span = self.telemetry.tracer.record(
+                SpanKind::Session,
+                self.session_id,
+                0,
+                &format!("session {}", self.user),
+                start,
+                end,
+            );
+        }
+        self.session_span
+    }
+
+    fn end_txn_span(&mut self) {
+        if let Some(sp) = self.txn_span.take() {
+            self.telemetry.tracer.end(sp);
+        }
+    }
+
+    /// The innermost live span id — what store-level track-I/O spans and
+    /// plan-operator spans attach to.
+    fn io_parent(&self) -> u64 {
+        if self.stmt_span != 0 {
+            self.stmt_span
+        } else {
+            self.txn_span.as_ref().map(|s| s.id()).unwrap_or(self.session_span)
         }
     }
 
@@ -110,7 +274,10 @@ impl Session {
     fn refresh_workspace(&mut self) {
         let targets: Vec<(Oop, Goop)> =
             self.ws.iter().filter_map(|(oop, o)| o.goop.map(|g| (oop, g))).collect();
+        let session_id = self.session_id;
+        let io_parent = self.io_parent();
         let mut inner = self.db.inner.lock();
+        inner.store.set_trace_context(session_id, io_parent);
         for (oop, goop) in targets {
             let Ok(pobj) = inner.store.get(goop) else { continue };
             let class = pobj.class;
@@ -189,6 +356,7 @@ impl Session {
             Ok(t) => t,
             Err(e) => {
                 // Conflict: the transaction is dead; discard its workspace.
+                self.end_txn_span();
                 self.discard_workspace();
                 return Err(e);
             }
@@ -196,6 +364,7 @@ impl Session {
         // 4. Persist (metadata travels in the same safe-write group).
         {
             let mut inner = self.db.inner.lock();
+            inner.store.set_trace_context(self.session_id, self.io_parent());
             let pending: Vec<(SymbolId, Oop)> = self.pending_globals.drain().collect();
             if !pending.is_empty() {
                 inner.schema_dirty = true;
@@ -227,6 +396,7 @@ impl Session {
         self.reads.clear();
         self.txn = None;
         self.wrote_committed = false;
+        self.end_txn_span();
         Ok(time)
     }
 
@@ -236,6 +406,7 @@ impl Session {
         if let Some(token) = self.txn.take() {
             self.db.txns.abort(token);
         }
+        self.end_txn_span();
         self.discard_workspace();
     }
 
@@ -291,7 +462,10 @@ impl Session {
     }
 
     fn fault(&mut self, goop: Goop) -> GemResult<Oop> {
+        let session_id = self.session_id;
+        let io_parent = self.io_parent();
         let mut inner = self.db.inner.lock();
+        inner.store.set_trace_context(session_id, io_parent);
         let DbInner { store, auth, .. } = &mut *inner;
         let pobj = store.get(goop)?;
         auth.check(&self.user, pobj.segment, Access::Read)?;
@@ -360,7 +534,50 @@ impl Session {
     /// blocks of OPAL source code. Compilation and execution of those blocks
     /// is done entirely in the GemStone system").
     pub fn run(&mut self, source: &str) -> GemResult<Oop> {
+        let t0 = self.telemetry.clock().now_ns();
         self.ensure_txn();
+        let parent = if self.telemetry.tracer.enabled() {
+            match self.txn_span.as_ref() {
+                Some(s) => s.id(),
+                None => self.ensure_session_span(),
+            }
+        } else {
+            0
+        };
+        let label: String = source.chars().take(60).collect();
+        let span =
+            self.telemetry.tracer.begin(SpanKind::Statement, self.session_id, parent, &label);
+        self.stmt_span = span.id();
+        self.stmt_active = true;
+        self.plan_this_stmt = false;
+        let result = self.run_compiled(source);
+        self.stmt_span = 0;
+        self.stmt_active = false;
+        self.telemetry.tracer.end(span);
+        let wall = self.telemetry.clock().now_ns().saturating_sub(t0);
+        self.m.statements.inc();
+        self.m.statement_ns.record(wall);
+        if let Some(threshold) = self.slow_threshold_ns {
+            if wall >= threshold && self.slow_log.len() < SLOW_LOG_CAP {
+                let plan_summary = if self.plan_this_stmt {
+                    self.last_plan
+                        .as_ref()
+                        .map(|(p, _)| p.describe())
+                        .unwrap_or_else(|| "(no plan)".into())
+                } else {
+                    "(no select block)".into()
+                };
+                self.slow_log.push(SlowStatement {
+                    source: source.to_string(),
+                    plan_summary,
+                    wall_ns: wall,
+                });
+            }
+        }
+        result
+    }
+
+    fn run_compiled(&mut self, source: &str) -> GemResult<Oop> {
         let (method, lints) = compile_doit_with_lints(self, source)?;
         self.last_lints = lints;
         let id = self.add_method_code(method)?;
@@ -381,9 +598,158 @@ impl Session {
     pub fn query(&mut self, query: &Query) -> GemResult<Vec<Vec<Oop>>> {
         self.ensure_txn();
         let catalog = { self.db.inner.lock().dirs.catalog().clone() };
-        let (rows, plan, stats) = gemstone_calculus::eval_query_explained(self, query, &catalog)?;
-        self.last_plan = Some((plan, stats));
-        Ok(rows)
+        self.eval_with_catalog(query, &catalog)
+    }
+
+    /// Evaluate against a catalog, honoring the profile-next flag: the
+    /// single evaluation entry behind [`Session::query`] and select
+    /// blocks. Folds the plan counters into the registry either way.
+    fn eval_with_catalog(
+        &mut self,
+        query: &Query,
+        catalog: &IndexCatalog,
+    ) -> GemResult<Vec<Vec<Oop>>> {
+        self.plan_this_stmt = true;
+        if self.profile_next {
+            let clock = self.telemetry.clock().clone();
+            let now = move || clock.now_ns();
+            let (rows, plan, stats, profile) =
+                gemstone_calculus::eval_query_profiled(self, query, catalog, &now)?;
+            self.record_plan_spans(&profile);
+            self.m.note_plan(&stats);
+            self.last_profile = Some(profile);
+            self.last_plan = Some((plan, stats));
+            Ok(rows)
+        } else {
+            let (rows, plan, stats) =
+                gemstone_calculus::eval_query_explained(self, query, catalog)?;
+            self.m.note_plan(&stats);
+            self.last_plan = Some((plan, stats));
+            Ok(rows)
+        }
+    }
+
+    /// Replay a per-operator profile into the tracer as plan-operator
+    /// spans under the current statement (or session when profiling ran
+    /// outside a statement). Times are reconstructed: every operator
+    /// starts at the replay instant and lasts its measured inclusive wall
+    /// time, so the tree nests plausibly without per-operator timestamps.
+    fn record_plan_spans(&mut self, profile: &OpProfile) {
+        if !self.telemetry.tracer.enabled() {
+            return;
+        }
+        if self.stmt_active && self.stmt_span == 0 {
+            return; // unsampled statement: suppress its whole subtree
+        }
+        let root_parent =
+            if self.stmt_span != 0 { self.stmt_span } else { self.ensure_session_span() };
+        let n = profile.nodes.len();
+        let mut parent_of = vec![usize::MAX; n];
+        for (i, node) in profile.nodes.iter().enumerate() {
+            for &c in &node.children {
+                parent_of[c] = i;
+            }
+        }
+        let base = self.telemetry.clock().now_ns();
+        let mut span_ids = vec![0u64; n];
+        for (i, node) in profile.nodes.iter().enumerate() {
+            // Pre-order guarantees the parent's span id is already known.
+            let parent =
+                if parent_of[i] == usize::MAX { root_parent } else { span_ids[parent_of[i]] };
+            span_ids[i] = self.telemetry.tracer.record(
+                SpanKind::PlanOperator,
+                self.session_id,
+                parent,
+                &node.label,
+                base,
+                base + node.wall_ns.max(1),
+            );
+        }
+    }
+
+    /// EXPLAIN ANALYZE: run a block of OPAL source with per-operator
+    /// profiling and render the algebra tree of the query it evaluated,
+    /// annotated with rows-in/rows-out, hash-build sizes, and per-operator
+    /// wall time, followed by the aggregate operator counters. Returns a
+    /// placeholder when the statement evaluated no select block.
+    pub fn explain_analyze(&mut self, source: &str) -> GemResult<String> {
+        self.profile_next = true;
+        self.last_profile = None;
+        let result = self.run(source);
+        self.profile_next = false;
+        result?;
+        Ok(self.render_analysis().unwrap_or_else(|| "(no select block evaluated)".into()))
+    }
+
+    /// [`Session::query`] with per-operator profiling: the profile lands
+    /// in [`Session::last_profile`] / [`Session::render_analysis`].
+    pub fn query_analyzed(&mut self, query: &Query) -> GemResult<Vec<Vec<Oop>>> {
+        self.profile_next = true;
+        self.last_profile = None;
+        let result = self.query(query);
+        self.profile_next = false;
+        result
+    }
+
+    /// The per-operator profile of the most recent profiled query.
+    pub fn last_profile(&self) -> Option<&OpProfile> {
+        self.last_profile.as_ref()
+    }
+
+    /// Render the most recent profiled query (plan, per-operator
+    /// annotations, aggregate counters), or `None` when nothing was
+    /// profiled yet.
+    pub fn render_analysis(&self) -> Option<String> {
+        let profile = self.last_profile.as_ref()?;
+        let (plan, stats) = self.last_plan.as_ref()?;
+        Some(format!("plan: {}\n{}{}", plan.describe(), profile.render(), stats.summary()))
+    }
+
+    // ------------------------------------------------------- telemetry
+
+    /// A diffable point-in-time copy of every database-wide metric.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.telemetry.registry.snapshot()
+    }
+
+    /// This session's buffered spans, oldest first.
+    pub fn trace(&self) -> Vec<SpanEvent> {
+        self.telemetry.tracer.events(Some(self.session_id))
+    }
+
+    /// Enable/disable span tracing (database-wide; affects all sessions).
+    pub fn set_tracing(&self, on: bool) {
+        self.telemetry.tracer.set_enabled(on);
+    }
+
+    /// Record 1 in `n` statement spans (with their subtrees).
+    pub fn set_trace_sampling(&self, n: u64) {
+        self.telemetry.tracer.set_sampling(n);
+    }
+
+    /// This session's span-attribution id (nonzero, unique per login).
+    pub fn session_id(&self) -> u64 {
+        self.session_id
+    }
+
+    /// The shared telemetry bundle (registry + tracer + clock).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Statements at least this slow are recorded in the slow log
+    /// (`None` disables — the default).
+    pub fn set_slow_threshold(&mut self, ns: Option<u64>) {
+        self.slow_threshold_ns = ns;
+    }
+
+    /// Recorded slow statements, oldest first (capped at 128).
+    pub fn slow_log(&self) -> &[SlowStatement] {
+        &self.slow_log
+    }
+
+    pub fn clear_slow_log(&mut self) {
+        self.slow_log.clear();
     }
 
     /// Render the most recent query's plan and operator counters, or `None`
@@ -609,8 +975,17 @@ impl OpalWorld for Session {
         self.db.inner.lock().methods[id.0 as usize].clone()
     }
 
+    fn note_interp_stats(&mut self, dispatches: u64, sends: u64) {
+        self.m.dispatches.add(dispatches);
+        self.m.sends.add(sends);
+    }
+
     fn add_method_code(&mut self, m: CompiledMethod) -> GemResult<MethodId> {
-        gemstone_opal::verify::check(&m)?;
+        self.m.verify_checks.inc();
+        if let Err(e) = gemstone_opal::verify::check(&m) {
+            self.m.verify_rejects.inc();
+            return Err(e.into());
+        }
         let mut inner = self.db.inner.lock();
         inner.methods.push(Arc::new(m));
         Ok(MethodId(inner.methods.len() as u32 - 1))
@@ -892,8 +1267,7 @@ impl OpalWorld for Session {
         }
         substitute(&mut query.pred, &env_consts);
         let catalog = { self.db.inner.lock().dirs.catalog().clone() };
-        let (rows, plan, stats) = gemstone_calculus::eval_query_explained(self, &query, &catalog)?;
-        self.last_plan = Some((plan, stats));
+        let rows = self.eval_with_catalog(&query, &catalog)?;
         Ok(rows.into_iter().filter_map(|mut r| (!r.is_empty()).then(|| r.remove(0))).collect())
     }
 }

@@ -747,7 +747,8 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         // they need no nil-initialization.
         let ivar = self.push_inline_var(ctx, &b.params[0], true)?;
         let limit = self.push_inline_var(ctx, &VarDecl::new("__limit", b.span), false)?;
-        let (push, store): (fn(u8) -> Bc, fn(u8) -> Bc) = (Bc::PushTemp, Bc::StoreTemp);
+        type SlotOp = fn(u8) -> Bc;
+        let (push, store): (SlotOp, SlotOp) = (Bc::PushTemp, Bc::StoreTemp);
         self.compile_expr(ctx, start)?;
         ctx.emit(store(ivar));
         self.compile_expr(ctx, end)?;

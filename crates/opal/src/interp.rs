@@ -112,6 +112,7 @@ pub struct Interpreter<'w, W: OpalWorld> {
     closures: Vec<ClosureData>,
     next_token: u64,
     steps: u64,
+    sends: u64,
     step_limit: u64,
     closure_elem: ElemName,
 }
@@ -126,6 +127,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
             closures: Vec::new(),
             next_token: 0,
             steps: 0,
+            sends: 0,
             step_limit: DEFAULT_STEP_LIMIT,
             closure_elem,
         }
@@ -249,7 +251,16 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
 
     // ------------------------------------------------------- main loop
 
+    /// Drive the bytecode loop to completion, then flush the dispatch and
+    /// send counts to the world exactly once (success or failure) — so
+    /// telemetry costs nothing per bytecode, only per run.
     fn run(mut self) -> GemResult<Oop> {
+        let result = self.run_loop();
+        self.world.note_interp_stats(self.steps, self.sends);
+        result
+    }
+
+    fn run_loop(&mut self) -> GemResult<Oop> {
         loop {
             self.steps += 1;
             if self.steps > self.step_limit {
@@ -591,6 +602,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
     // ---------------------------------------------------------- sends
 
     fn dispatch_send(&mut self, recv: Oop, selector: SymbolId, args: &[Oop]) -> GemResult<()> {
+        self.sends += 1;
         // Block invocation.
         if recv.is_heap() {
             let class = self.world.class_of(recv);
@@ -919,7 +931,7 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
             FIRST | LAST => {
                 let vals = self.world.elements(recv)?;
                 let v = if p == FIRST { vals.first() } else { vals.last() };
-                *v.ok_or_else(|| GemError::IndexOutOfRange { index: 1, size: 0 })?
+                *v.ok_or(GemError::IndexOutOfRange { index: 1, size: 0 })?
             }
             NEW => {
                 let class = recv.as_class().ok_or_else(|| GemError::TypeMismatch {

@@ -70,6 +70,11 @@ pub trait OpalWorld {
     /// Called when user source is compiled into a class (`compile:`), so a
     /// persistent world can record it for recompilation at recovery.
     fn note_method_source(&mut self, _class: ClassId, _source: &str, _class_side: bool) {}
+    /// Called once per interpreter run with the bytecode-dispatch and
+    /// message-send counts of that run. The interpreter accumulates both in
+    /// plain locals and flushes here, so a telemetry-aware world pays two
+    /// atomic adds per *run*, never per bytecode.
+    fn note_interp_stats(&mut self, _dispatches: u64, _sends: u64) {}
 
     // ---- compiled code
     fn method(&self, id: MethodId) -> Arc<CompiledMethod>;

@@ -5,6 +5,7 @@
 //! clustering experiments (C7).
 
 use crate::disk::TrackId;
+use gemstone_telemetry::Counter;
 use std::collections::{HashMap, VecDeque};
 
 /// Cache statistics.
@@ -14,6 +15,60 @@ pub struct CacheStats {
     pub misses: u64,
     /// Entries pushed out by capacity pressure (invalidations not counted).
     pub evictions: u64,
+    /// Entries filled on the read path (a miss pulled the track from disk).
+    pub fills_read: u64,
+    /// Entries filled on the commit path (a safe-write group populated the
+    /// cache with the tracks it just wrote).
+    pub fills_commit: u64,
+}
+
+/// Why a track payload is entering the cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FillSource {
+    /// A read miss pulled the track from disk.
+    ReadThrough,
+    /// A commit wrote the track and populates the cache write-through.
+    CommitWrite,
+}
+
+/// Live counters behind [`CacheStats`]; shared cells for registry binding.
+#[derive(Debug, Default)]
+pub struct CacheCounters {
+    pub hits: Counter,
+    pub misses: Counter,
+    pub evictions: Counter,
+    pub fills_read: Counter,
+    pub fills_commit: Counter,
+}
+
+impl CacheCounters {
+    fn snapshot(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            evictions: self.evictions.get(),
+            fills_read: self.fills_read.get(),
+            fills_commit: self.fills_commit.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.hits.reset();
+        self.misses.reset();
+        self.evictions.reset();
+        self.fills_read.reset();
+        self.fills_commit.reset();
+    }
+
+    fn share(&self) -> CacheCounters {
+        CacheCounters {
+            hits: self.hits.clone(),
+            misses: self.misses.clone(),
+            evictions: self.evictions.clone(),
+            fills_read: self.fills_read.clone(),
+            fills_commit: self.fills_commit.clone(),
+        }
+    }
 }
 
 /// An LRU cache of track payloads (checksum already stripped).
@@ -30,7 +85,7 @@ pub struct TrackCache {
     /// Touch order, oldest first; stale stamps are tombstones.
     recency: VecDeque<(TrackId, u64)>,
     tick: u64,
-    stats: CacheStats,
+    stats: CacheCounters,
 }
 
 impl TrackCache {
@@ -41,7 +96,7 @@ impl TrackCache {
             entries: HashMap::new(),
             recency: VecDeque::new(),
             tick: 0,
-            stats: CacheStats::default(),
+            stats: CacheCounters::default(),
         }
     }
 
@@ -69,7 +124,7 @@ impl TrackCache {
                 // Live head record: this is the true LRU entry.
                 Some((s, _)) if *s == stamp => {
                     self.entries.remove(&victim);
-                    self.stats.evictions += 1;
+                    self.stats.evictions.inc();
                     return;
                 }
                 // Tombstone (entry re-touched later, or invalidated).
@@ -81,7 +136,7 @@ impl TrackCache {
     /// Look up a track, refreshing its recency.
     pub fn get(&mut self, id: TrackId) -> Option<&[u8]> {
         if !self.entries.contains_key(&id) {
-            self.stats.misses += 1;
+            self.stats.misses.inc();
             return None;
         }
         let stamp = self.touch(id);
@@ -90,14 +145,20 @@ impl TrackCache {
             *last = stamp;
         }
         self.compact();
-        self.stats.hits += 1;
+        self.stats.hits.inc();
         let (_, data) = self.entries.get(&id).expect("checked above");
-        Some(&*data)
+        Some(data.as_slice())
     }
 
-    /// Insert (or refresh) a track payload, evicting the least recently used
-    /// entry if full.
+    /// Insert (or refresh) a track payload on the read path, evicting the
+    /// least recently used entry if full.
     pub fn put(&mut self, id: TrackId, data: Vec<u8>) {
+        self.put_from(id, data, FillSource::ReadThrough);
+    }
+
+    /// Insert (or refresh) a track payload, attributing the fill to
+    /// `source` (read-through miss vs. commit-path write-through).
+    pub fn put_from(&mut self, id: TrackId, data: Vec<u8>, source: FillSource) {
         if self.capacity == 0 {
             return;
         }
@@ -107,6 +168,10 @@ impl TrackCache {
         let stamp = self.touch(id);
         self.entries.insert(id, (stamp, data));
         self.compact();
+        match source {
+            FillSource::ReadThrough => self.stats.fills_read.inc(),
+            FillSource::CommitWrite => self.stats.fills_commit.inc(),
+        }
     }
 
     /// Drop a track (it has been superseded by a shadow copy). Its queue
@@ -123,12 +188,17 @@ impl TrackCache {
 
     /// Hit/miss counters.
     pub fn stats(&self) -> CacheStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The live counter cells (for registry binding).
+    pub fn counters(&self) -> CacheCounters {
+        self.stats.share()
     }
 
     /// Reset counters.
     pub fn reset_stats(&mut self) {
-        self.stats = CacheStats::default();
+        self.stats.reset();
     }
 
     /// Number of cached tracks.
@@ -154,6 +224,16 @@ mod tests {
         assert_eq!(c.get(TrackId(1)), Some(&[1u8][..]));
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.evictions), (1, 1, 0));
+    }
+
+    #[test]
+    fn fill_sources_counted_separately() {
+        let mut c = TrackCache::new(2);
+        c.put(TrackId(1), vec![1]); // read-through
+        c.put_from(TrackId(2), vec![2], FillSource::CommitWrite);
+        c.put_from(TrackId(2), vec![9], FillSource::CommitWrite); // refresh counts too
+        let s = c.stats();
+        assert_eq!((s.fills_read, s.fills_commit), (1, 2));
     }
 
     #[test]

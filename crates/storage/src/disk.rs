@@ -18,6 +18,7 @@
 //! performs w writes" before enumerating every crash point.
 
 use gemstone_object::{GemError, GemResult};
+use gemstone_telemetry::{Counter, Histogram, HistogramSnapshot};
 
 /// Index of a track on a disk.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -40,6 +41,65 @@ pub struct DiskStats {
     pub failed_reads: u64,
     /// Writes that returned an error (dead disk, torn write, oversized data).
     pub failed_writes: u64,
+}
+
+/// The live telemetry counters behind [`DiskStats`].  Handles are shared
+/// atomics so a [`gemstone_telemetry::MetricsRegistry`] can bind the very
+/// cells the disk increments; `Clone` deliberately *detaches* (fresh cells
+/// holding the current values) because cloning a [`SimDisk`] means taking
+/// a checkpoint, and a checkpoint's counters must not keep ticking with
+/// the original.
+#[derive(Debug, Default)]
+pub struct DiskCounters {
+    pub track_reads: Counter,
+    pub track_writes: Counter,
+    pub bytes_written: Counter,
+    pub failed_reads: Counter,
+    pub failed_writes: Counter,
+}
+
+impl Clone for DiskCounters {
+    fn clone(&self) -> DiskCounters {
+        DiskCounters {
+            track_reads: self.track_reads.detached_copy(),
+            track_writes: self.track_writes.detached_copy(),
+            bytes_written: self.bytes_written.detached_copy(),
+            failed_reads: self.failed_reads.detached_copy(),
+            failed_writes: self.failed_writes.detached_copy(),
+        }
+    }
+}
+
+impl DiskCounters {
+    /// Freeze into the legacy value struct.
+    pub fn snapshot(&self) -> DiskStats {
+        DiskStats {
+            track_reads: self.track_reads.get(),
+            track_writes: self.track_writes.get(),
+            bytes_written: self.bytes_written.get(),
+            failed_reads: self.failed_reads.get(),
+            failed_writes: self.failed_writes.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.track_reads.reset();
+        self.track_writes.reset();
+        self.bytes_written.reset();
+        self.failed_reads.reset();
+        self.failed_writes.reset();
+    }
+
+    /// Shared handles (non-detaching, for registry binding).
+    pub fn share(&self) -> DiskCounters {
+        DiskCounters {
+            track_reads: self.track_reads.clone(),
+            track_writes: self.track_writes.clone(),
+            bytes_written: self.bytes_written.clone(),
+            failed_reads: self.failed_reads.clone(),
+            failed_writes: self.failed_writes.clone(),
+        }
+    }
 }
 
 /// Where, within the record being written, a crashing write tears. The
@@ -155,7 +215,7 @@ impl FaultPlan {
 pub struct SimDisk {
     track_size: usize,
     tracks: Vec<Option<Box<[u8]>>>,
-    stats: DiskStats,
+    stats: DiskCounters,
     plan: FaultPlan,
     trace: Vec<WriteRecord>,
     dead: bool,
@@ -168,7 +228,7 @@ impl SimDisk {
         SimDisk {
             track_size,
             tracks: Vec::new(),
-            stats: DiskStats::default(),
+            stats: DiskCounters::default(),
             plan: FaultPlan::default(),
             trace: Vec::new(),
             dead: false,
@@ -187,12 +247,17 @@ impl SimDisk {
 
     /// Access counters so far.
     pub fn stats(&self) -> DiskStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// The live counter cells (for registry binding).
+    pub fn counters(&self) -> DiskCounters {
+        self.stats.share()
     }
 
     /// Reset counters (benchmark hygiene).
     pub fn reset_stats(&mut self) {
-        self.stats = DiskStats::default();
+        self.stats.reset();
     }
 
     /// Arm crash injection: `n` more writes succeed, the next one tears in
@@ -233,11 +298,11 @@ impl SimDisk {
     /// zero-padded (a track is always written whole).
     pub fn write_track(&mut self, id: TrackId, data: &[u8]) -> GemResult<()> {
         if self.dead {
-            self.stats.failed_writes += 1;
+            self.stats.failed_writes.inc();
             return Err(GemError::DiskDead);
         }
         if data.len() > self.track_size {
-            self.stats.failed_writes += 1;
+            self.stats.failed_writes.inc();
             return Err(GemError::DiskFailure(format!(
                 "data ({} bytes) exceeds track size ({})",
                 data.len(),
@@ -266,14 +331,14 @@ impl SimDisk {
                     self.tracks[idx] = Some(torn);
                 }
                 self.dead = true;
-                self.stats.failed_writes += 1;
+                self.stats.failed_writes.inc();
                 return Err(GemError::DiskFailure("power lost mid-write (torn track)".into()));
             }
             self.plan.crash_after_writes = Some(n - 1);
         }
 
-        self.stats.track_writes += 1;
-        self.stats.bytes_written += self.track_size as u64;
+        self.stats.track_writes.inc();
+        self.stats.bytes_written.add(self.track_size as u64);
         if self.plan.record_trace {
             self.trace.push(WriteRecord { track: id, len: data.len() });
         }
@@ -284,7 +349,7 @@ impl SimDisk {
     /// Read an entire track.
     pub fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]> {
         if self.dead {
-            self.stats.failed_reads += 1;
+            self.stats.failed_reads.inc();
             return Err(GemError::DiskDead);
         }
         if let Some(fault) = &mut self.plan.read_fault {
@@ -292,15 +357,15 @@ impl SimDisk {
                 fault.after_reads -= 1;
             } else if fault.count > 0 {
                 fault.count -= 1;
-                self.stats.failed_reads += 1;
+                self.stats.failed_reads.inc();
                 return Err(GemError::DiskFailure(format!("transient read error on {id:?}")));
             }
         }
         if self.tracks.get(id.0 as usize).and_then(|t| t.as_ref()).is_none() {
-            self.stats.failed_reads += 1;
+            self.stats.failed_reads.inc();
             return Err(GemError::DiskFailure(format!("track {id:?} never written")));
         }
-        self.stats.track_reads += 1;
+        self.stats.track_reads.inc();
         Ok(self.tracks[id.0 as usize].as_deref().expect("checked above"))
     }
 
@@ -320,21 +385,51 @@ impl SimDisk {
 /// replication of data"). Writes go to every live replica; reads are served
 /// by the first replica that can deliver the track, so data survives the
 /// loss of any proper subset of replicas.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct DiskArray {
     replicas: Vec<SimDisk>,
+    /// Tracks per safe-write group (root write included), recorded by the
+    /// Commit Manager via [`DiskArray::note_safe_write_group`].
+    group_sizes: Histogram,
+}
+
+impl Clone for DiskArray {
+    fn clone(&self) -> DiskArray {
+        // A cloned array is a checkpoint: its histogram detaches, matching
+        // `DiskCounters` semantics.
+        DiskArray { replicas: self.replicas.clone(), group_sizes: self.group_sizes.detached_copy() }
+    }
 }
 
 impl DiskArray {
     /// `n` mirrored replicas of `track_size` tracks.
     pub fn new(track_size: usize, n: usize) -> DiskArray {
         assert!(n >= 1);
-        DiskArray { replicas: (0..n).map(|_| SimDisk::new(track_size)).collect() }
+        DiskArray {
+            replicas: (0..n).map(|_| SimDisk::new(track_size)).collect(),
+            group_sizes: Histogram::new(),
+        }
     }
 
     /// Wrap an existing disk as a single-replica array (recovery path).
     pub fn from_disk(disk: SimDisk) -> DiskArray {
-        DiskArray { replicas: vec![disk] }
+        DiskArray { replicas: vec![disk], group_sizes: Histogram::new() }
+    }
+
+    /// Record that a safe-write group of `tracks` tracks (root included)
+    /// committed against this array.
+    pub fn note_safe_write_group(&self, tracks: u64) {
+        self.group_sizes.record(tracks);
+    }
+
+    /// Distribution of tracks per committed safe-write group.
+    pub fn write_group_sizes(&self) -> HistogramSnapshot {
+        self.group_sizes.snapshot()
+    }
+
+    /// The live histogram cell (for registry binding).
+    pub fn group_size_histogram(&self) -> Histogram {
+        self.group_sizes.clone()
     }
 
     /// Track size.
@@ -404,11 +499,17 @@ impl DiskArray {
         self.replicas[0].stats()
     }
 
-    /// Reset all replica counters.
+    /// The primary replica's live counter cells (for registry binding).
+    pub fn counters(&self) -> DiskCounters {
+        self.replicas[0].counters()
+    }
+
+    /// Reset all replica counters and the group-size histogram.
     pub fn reset_stats(&mut self) {
         for d in &mut self.replicas {
             d.reset_stats();
         }
+        self.group_sizes.reset();
     }
 }
 

@@ -43,13 +43,13 @@ mod format;
 mod pobj;
 mod store;
 
-pub use cache::{CacheStats, TrackCache};
+pub use cache::{CacheCounters, CacheStats, FillSource, TrackCache};
 pub use commit::RecoveryReport;
 pub use crashpoint::{CrashSchedule, MatrixReport, Workload};
 pub use directory::{DirKey, Directory, DirectorySpec};
 pub use disk::{
-    DiskArray, DiskStats, FaultPlan, ReadFault, SimDisk, TearClass, TrackId, WriteRecord,
-    TRACK_HEADER,
+    DiskArray, DiskCounters, DiskStats, FaultPlan, ReadFault, SimDisk, TearClass, TrackId,
+    WriteRecord, TRACK_HEADER,
 };
 pub use pobj::{ObjectDelta, PersistentObject};
-pub use store::{PermanentStore, StoreConfig, StoreStats};
+pub use store::{PermanentStore, StoreConfig, StoreCounters, StoreStats};

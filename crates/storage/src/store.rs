@@ -8,12 +8,13 @@
 //! bounded to force faulting for the LOOM comparison (C7).
 
 use crate::boxer;
-use crate::cache::{CacheStats, TrackCache};
+use crate::cache::{CacheCounters, CacheStats, FillSource, TrackCache};
 use crate::commit::{self, RecoveryReport, FIRST_DATA_TRACK};
-use crate::disk::{DiskArray, DiskStats, TrackId, TRACK_HEADER};
+use crate::disk::{DiskArray, DiskCounters, DiskStats, TrackId, TRACK_HEADER};
 use crate::format::{self, Catalog, GoopPage, Location, Root, GOOP_PAGE_SPAN};
 use crate::pobj::{ObjectDelta, PersistentObject};
 use gemstone_object::{GemError, GemResult, Goop};
+use gemstone_telemetry::{Counter, SpanKind, Tracer};
 use gemstone_temporal::TxnTime;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
@@ -45,6 +46,38 @@ pub struct StoreStats {
     pub objects_written: u64,
 }
 
+/// Live counters behind [`StoreStats`]; shared cells for registry binding.
+#[derive(Debug, Default)]
+pub struct StoreCounters {
+    pub commits: Counter,
+    pub object_faults: Counter,
+    pub objects_written: Counter,
+}
+
+impl StoreCounters {
+    fn snapshot(&self) -> StoreStats {
+        StoreStats {
+            commits: self.commits.get(),
+            object_faults: self.object_faults.get(),
+            objects_written: self.objects_written.get(),
+        }
+    }
+
+    fn reset(&self) {
+        self.commits.reset();
+        self.object_faults.reset();
+        self.objects_written.reset();
+    }
+
+    fn share(&self) -> StoreCounters {
+        StoreCounters {
+            commits: self.commits.clone(),
+            object_faults: self.object_faults.clone(),
+            objects_written: self.objects_written.clone(),
+        }
+    }
+}
+
 /// The permanent database.
 pub struct PermanentStore {
     disk: DiskArray,
@@ -62,10 +95,16 @@ pub struct PermanentStore {
     next_goop: u64,
     next_track: u32,
     object_cache_limit: Option<usize>,
-    stats: StoreStats,
+    stats: StoreCounters,
     /// What the last reopening saw ([`RecoveryReport::default`] for a
     /// freshly created volume, which performed no recovery).
     recovery_report: RecoveryReport,
+    /// Span recorder for track-I/O, if the owning database traces.
+    tracer: Option<Tracer>,
+    /// Session / parent-span attribution for the next I/O spans (set by the
+    /// session driving the current operation, under the database lock).
+    trace_session: u64,
+    trace_parent: u64,
 }
 
 impl PermanentStore {
@@ -99,8 +138,11 @@ impl PermanentStore {
             next_goop: 1,
             next_track: FIRST_DATA_TRACK + 1,
             object_cache_limit: None,
-            stats: StoreStats::default(),
+            stats: StoreCounters::default(),
             recovery_report: RecoveryReport::default(),
+            tracer: None,
+            trace_session: 0,
+            trace_parent: 0,
         })
     }
 
@@ -139,8 +181,11 @@ impl PermanentStore {
             next_track: root.next_track,
             root,
             object_cache_limit: None,
-            stats: StoreStats::default(),
+            stats: StoreCounters::default(),
             recovery_report: report,
+            tracer: None,
+            trace_session: 0,
+            trace_parent: 0,
         })
     }
 
@@ -186,9 +231,15 @@ impl PermanentStore {
                 .get(&goop)
                 .ok_or_else(|| GemError::Corrupt(format!("unknown {goop:?}")))?;
             let payload = self.disk.track_size() - TRACK_HEADER;
+            let span = self.tracer.as_ref().map(|t| {
+                t.begin(SpanKind::TrackIo, self.trace_session, self.trace_parent, "track-read")
+            });
             let bytes = read_blob(&mut self.disk, &mut self.cache, &loc, payload)?;
+            if let (Some(t), Some(sp)) = (&self.tracer, span) {
+                t.end(sp);
+            }
             let obj = format::get_object(&bytes)?;
-            self.stats.object_faults += 1;
+            self.stats.object_faults.inc();
             self.objects.insert(goop, obj);
             self.resident_order.push_back(goop);
             self.enforce_cache_limit_except(goop);
@@ -227,14 +278,15 @@ impl PermanentStore {
         let touched: Vec<Goop> = deltas.iter().map(|d| d.goop).collect();
         let mut snapshot: HashMap<Goop, Option<PersistentObject>> = HashMap::new();
         for d in deltas {
-            if !snapshot.contains_key(&d.goop) {
-                let prev = if self.contains(d.goop) && !d.is_new {
-                    Some(self.get(d.goop)?.clone())
-                } else {
-                    self.objects.get(&d.goop).cloned()
-                };
-                snapshot.insert(d.goop, prev);
+            if snapshot.contains_key(&d.goop) {
+                continue;
             }
+            let prev = if self.contains(d.goop) && !d.is_new {
+                Some(self.get(d.goop)?.clone())
+            } else {
+                self.objects.get(&d.goop).cloned()
+            };
+            snapshot.insert(d.goop, prev);
         }
         let saved_locations: HashMap<Goop, Option<Location>> =
             touched.iter().map(|g| (*g, self.locations.get(g).copied())).collect();
@@ -349,7 +401,21 @@ impl PermanentStore {
         let mut group = writes_a;
         group.extend(writes_b);
         group.extend(writes_c);
-        commit::safe_write_group(&mut self.disk, &group, &new_root)?;
+        let span = self.tracer.as_ref().map(|t| {
+            t.begin(SpanKind::TrackIo, self.trace_session, self.trace_parent, "safe-write-group")
+        });
+        let wrote = commit::safe_write_group(&mut self.disk, &group, &new_root);
+        if let (Some(t), Some(sp)) = (&self.tracer, span) {
+            t.end(sp);
+        }
+        wrote?;
+        self.disk.note_safe_write_group(group.len() as u64 + 1);
+        // Write-through: the tracks just committed are the hottest candidates
+        // for the next read — populate the cache from the group payloads
+        // (counted apart from read-through fills).
+        for (track, payload_bytes) in group {
+            self.cache.put_from(track, payload_bytes, FillSource::CommitWrite);
+        }
 
         // 6. Success: adopt the new state. Only now is the staged metadata
         //    consumed and the counters advanced.
@@ -357,8 +423,8 @@ impl PermanentStore {
         self.catalog = new_catalog;
         self.next_track = track_after_c;
         self.staged_metas.clear();
-        self.stats.commits += 1;
-        self.stats.objects_written += touched.len() as u64;
+        self.stats.commits.inc();
+        self.stats.objects_written.add(touched.len() as u64);
         self.enforce_cache_limit();
         Ok(())
     }
@@ -431,7 +497,39 @@ impl PermanentStore {
 
     /// Store counters.
     pub fn stats(&self) -> StoreStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Live store counter cells (for registry binding).
+    pub fn counters(&self) -> StoreCounters {
+        self.stats.share()
+    }
+
+    /// Live track-cache counter cells (for registry binding).
+    pub fn cache_counters(&self) -> CacheCounters {
+        self.cache.counters()
+    }
+
+    /// Live primary-disk counter cells (for registry binding).
+    pub fn disk_counters(&self) -> DiskCounters {
+        self.disk.counters()
+    }
+
+    /// Shared access to the disk (histogram binding / group-size reads).
+    pub fn disk(&self) -> &DiskArray {
+        &self.disk
+    }
+
+    /// Attach a span recorder for track-I/O spans.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.tracer = Some(tracer);
+    }
+
+    /// Attribute subsequent I/O spans to `session` under parent span
+    /// `parent` (0 clears the attribution).
+    pub fn set_trace_context(&mut self, session: u64, parent: u64) {
+        self.trace_session = session;
+        self.trace_parent = parent;
     }
 
     /// Disk counters.
@@ -446,7 +544,7 @@ impl PermanentStore {
 
     /// Reset all counters (benchmark hygiene).
     pub fn reset_stats(&mut self) {
-        self.stats = StoreStats::default();
+        self.stats.reset();
         self.disk.reset_stats();
         self.cache.reset_stats();
     }

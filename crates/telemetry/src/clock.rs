@@ -1,0 +1,118 @@
+//! Injectable, strictly monotonic nanosecond clock.
+//!
+//! Every duration measured through [`TelemetryClock`] is guaranteed to be
+//! nonzero: `now_ns` never returns the same value twice.  Under a
+//! [`ManualTime`] source this makes span and histogram tests fully
+//! deterministic — two successive reads one statement apart differ by at
+//! least 1 ns even if the test never advances the clock.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A hand-cranked time source for deterministic tests.
+#[derive(Clone, Debug, Default)]
+pub struct ManualTime(Arc<AtomicU64>);
+
+impl ManualTime {
+    /// A new source at t = 0 ns.
+    pub fn new() -> ManualTime {
+        ManualTime::default()
+    }
+
+    /// Advance the source by `ns` nanoseconds.
+    pub fn advance(&self, ns: u64) {
+        self.0.fetch_add(ns, Ordering::Relaxed);
+    }
+
+    /// Jump the source to an absolute nanosecond value.
+    pub fn set(&self, ns: u64) {
+        self.0.store(ns, Ordering::Relaxed);
+    }
+
+    /// The current raw value (before monotonic correction).
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Source {
+    Wall(Instant),
+    Manual(ManualTime),
+}
+
+/// A shared clock handle; clones observe the same timeline.
+#[derive(Clone, Debug)]
+pub struct TelemetryClock {
+    source: Source,
+    last: Arc<AtomicU64>,
+}
+
+impl TelemetryClock {
+    /// A wall clock anchored at construction time (t = 0 at creation).
+    pub fn wall() -> TelemetryClock {
+        TelemetryClock { source: Source::Wall(Instant::now()), last: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// A clock driven by a [`ManualTime`] source.
+    pub fn manual(source: ManualTime) -> TelemetryClock {
+        TelemetryClock { source: Source::Manual(source), last: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// Nanoseconds since the clock epoch, strictly increasing across every
+    /// clone of this clock.
+    pub fn now_ns(&self) -> u64 {
+        let raw = match &self.source {
+            Source::Wall(base) => base.elapsed().as_nanos() as u64,
+            Source::Manual(m) => m.get(),
+        };
+        let mut prev = self.last.load(Ordering::Relaxed);
+        loop {
+            let next = raw.max(prev + 1);
+            match self.last.compare_exchange_weak(prev, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return next,
+                Err(seen) => prev = seen,
+            }
+        }
+    }
+}
+
+impl Default for TelemetryClock {
+    fn default() -> TelemetryClock {
+        TelemetryClock::wall()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strictly_monotonic_under_manual_source() {
+        let src = ManualTime::new();
+        let clock = TelemetryClock::manual(src.clone());
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b > a, "stalled source still yields distinct stamps");
+        src.advance(1_000);
+        let c = clock.now_ns();
+        assert!(c >= 1_000 && c > b);
+    }
+
+    #[test]
+    fn clones_share_the_timeline() {
+        let clock = TelemetryClock::manual(ManualTime::new());
+        let other = clock.clone();
+        let a = clock.now_ns();
+        let b = other.now_ns();
+        assert!(b > a);
+    }
+
+    #[test]
+    fn wall_clock_advances() {
+        let clock = TelemetryClock::wall();
+        assert!(clock.now_ns() < clock.now_ns());
+    }
+}

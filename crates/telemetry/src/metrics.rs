@@ -1,0 +1,475 @@
+//! Named counters, gauges, and log-scale histograms.
+//!
+//! The hot path is lock-free: a [`Counter`] is one relaxed atomic add, a
+//! [`Histogram`] record is three.  The registry mutex is touched only when
+//! looking up or registering instruments by name and when snapshotting —
+//! layers cache their handles once and never hit it again.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing event count.  Clones share the same cell;
+/// use [`Counter::detached_copy`] for value-copy semantics (e.g. when a
+/// simulated disk is checkpoint-cloned).
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::Relaxed);
+    }
+
+    /// A brand-new counter holding the current value — subsequent updates
+    /// to either copy are independent.
+    pub fn detached_copy(&self) -> Counter {
+        Counter(Arc::new(AtomicU64::new(self.get())))
+    }
+}
+
+/// A point-in-time signed value (sizes, epochs, configuration knobs).
+#[derive(Clone, Debug, Default)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge::default()
+    }
+
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, d: i64) {
+        self.0.fetch_add(d, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+const BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for HistInner {
+    fn default() -> HistInner {
+        HistInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A log₂-bucketed histogram of `u64` samples (latencies in ns, group
+/// sizes in tracks, …).  Bucket 0 holds the value 0; bucket *i* ≥ 1 covers
+/// `[2^(i-1), 2^i)`.  Clones share the same cells.
+#[derive(Clone, Debug, Default)]
+pub struct Histogram(Arc<HistInner>);
+
+#[inline]
+fn bucket_of(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(BUCKETS - 1)
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let h = &*self.0;
+        h.buckets[bucket_of(v)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum.fetch_add(v, Ordering::Relaxed);
+        h.min.fetch_min(v, Ordering::Relaxed);
+        h.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let h = &*self.0;
+        let count = h.count.load(Ordering::Relaxed);
+        HistogramSnapshot {
+            count,
+            sum: h.sum.load(Ordering::Relaxed),
+            min: if count == 0 { 0 } else { h.min.load(Ordering::Relaxed) },
+            max: h.max.load(Ordering::Relaxed),
+            buckets: std::array::from_fn(|i| h.buckets[i].load(Ordering::Relaxed)),
+        }
+    }
+
+    pub fn reset(&self) {
+        let h = &*self.0;
+        for b in &h.buckets {
+            b.store(0, Ordering::Relaxed);
+        }
+        h.count.store(0, Ordering::Relaxed);
+        h.sum.store(0, Ordering::Relaxed);
+        h.min.store(u64::MAX, Ordering::Relaxed);
+        h.max.store(0, Ordering::Relaxed);
+    }
+
+    /// A brand-new histogram holding a copy of the current contents.
+    pub fn detached_copy(&self) -> Histogram {
+        let src = &*self.0;
+        let dst = HistInner {
+            buckets: std::array::from_fn(|i| {
+                AtomicU64::new(src.buckets[i].load(Ordering::Relaxed))
+            }),
+            count: AtomicU64::new(src.count.load(Ordering::Relaxed)),
+            sum: AtomicU64::new(src.sum.load(Ordering::Relaxed)),
+            min: AtomicU64::new(src.min.load(Ordering::Relaxed)),
+            max: AtomicU64::new(src.max.load(Ordering::Relaxed)),
+        };
+        Histogram(Arc::new(dst))
+    }
+}
+
+/// Frozen histogram contents.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Smallest recorded sample (0 when empty); carried as-is through
+    /// [`HistogramSnapshot::diff`].
+    pub min: u64,
+    /// Largest recorded sample; carried as-is through `diff`.
+    pub max: u64,
+    pub buckets: [u64; BUCKETS],
+}
+
+impl HistogramSnapshot {
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `p`-quantile (p in 0..=1).
+    pub fn quantile(&self, p: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return if i == 0 { 0 } else { 1u64.checked_shl(i as u32).unwrap_or(u64::MAX) };
+            }
+        }
+        self.max
+    }
+
+    /// Samples recorded since `earlier` (count/sum/buckets subtract;
+    /// min/max keep this snapshot's values).
+    pub fn diff(&self, earlier: &HistogramSnapshot) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.count.saturating_sub(earlier.count),
+            sum: self.sum.saturating_sub(earlier.sum),
+            min: self.min,
+            max: self.max,
+            buckets: std::array::from_fn(|i| self.buckets[i].saturating_sub(earlier.buckets[i])),
+        }
+    }
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    counters: BTreeMap<String, Counter>,
+    gauges: BTreeMap<String, Gauge>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+/// The process-wide instrument namespace.  Handles returned by the
+/// `counter`/`gauge`/`histogram` lookups are shared: updating a handle
+/// updates what `snapshot` reports.  Layers that already own their
+/// instruments bind them with the `register_*` methods instead.
+#[derive(Clone, Default)]
+pub struct MetricsRegistry {
+    inner: Arc<Mutex<RegistryInner>>,
+}
+
+impl MetricsRegistry {
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Get or create the counter named `name`.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the gauge named `name`.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Get or create the histogram named `name`.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.entry(name.to_string()).or_default().clone()
+    }
+
+    /// Bind an existing counter under `name` (replacing any previous
+    /// binding) so the owner's handle and the registry share one cell.
+    pub fn register_counter(&self, name: &str, c: &Counter) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.counters.insert(name.to_string(), c.clone());
+    }
+
+    /// Bind an existing gauge under `name`.
+    pub fn register_gauge(&self, name: &str, g: &Gauge) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.gauges.insert(name.to_string(), g.clone());
+    }
+
+    /// Bind an existing histogram under `name`.
+    pub fn register_histogram(&self, name: &str, h: &Histogram) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.histograms.insert(name.to_string(), h.clone());
+    }
+
+    /// Freeze every instrument into a diffable snapshot.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let inner = self.inner.lock().unwrap();
+        MetricsSnapshot {
+            counters: inner.counters.iter().map(|(k, c)| (k.clone(), c.get())).collect(),
+            gauges: inner.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
+            histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
+        }
+    }
+}
+
+/// A frozen view of every registered instrument.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl MetricsSnapshot {
+    /// Activity since `earlier`: counters and histograms subtract, gauges
+    /// keep their current values.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self
+                .counters
+                .iter()
+                .map(|(k, &v)| {
+                    (k.clone(), v.saturating_sub(earlier.counters.get(k).copied().unwrap_or(0)))
+                })
+                .collect(),
+            gauges: self.gauges.clone(),
+            histograms: self
+                .histograms
+                .iter()
+                .map(|(k, h)| match earlier.histograms.get(k) {
+                    Some(e) => (k.clone(), h.diff(e)),
+                    None => (k.clone(), h.clone()),
+                })
+                .collect(),
+        }
+    }
+
+    /// Counter value by name, 0 when absent.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Gauge value by name, 0 when absent.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Histogram snapshot by name, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms.get(name)
+    }
+
+    /// Human-readable aligned table of every instrument.
+    pub fn render_table(&self) -> String {
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0);
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(out, "{k:<width$}  {v}");
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(out, "{k:<width$}  {v}");
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{k:<width$}  count={} sum={} min={} max={} mean={:.1} p50<={} p99<={}",
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(0.5),
+                h.quantile(0.99),
+            );
+        }
+        out
+    }
+
+    /// One JSON object per line per instrument (no external deps; metric
+    /// names are plain ASCII so escaping is restricted to `"` and `\`).
+    pub fn to_json_lines(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":\"{}\",\"type\":\"counter\",\"value\":{v}}}",
+                json_escape(k)
+            );
+        }
+        for (k, v) in &self.gauges {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":\"{}\",\"type\":\"gauge\",\"value\":{v}}}",
+                json_escape(k)
+            );
+        }
+        for (k, h) in &self.histograms {
+            let _ = writeln!(
+                out,
+                "{{\"metric\":\"{}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.quantile(0.5),
+                h.quantile(0.99),
+            );
+        }
+        out
+    }
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_handles_share_and_detach() {
+        let reg = MetricsRegistry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.snapshot().counter("x"), 4);
+        let d = a.detached_copy();
+        d.add(10);
+        assert_eq!(a.get(), 4, "detached copy is independent");
+        assert_eq!(d.get(), 14);
+    }
+
+    #[test]
+    fn register_binds_existing_handle() {
+        let reg = MetricsRegistry::new();
+        let owned = Counter::new();
+        owned.add(7);
+        reg.register_counter("layer.events", &owned);
+        owned.inc();
+        assert_eq!(reg.snapshot().counter("layer.events"), 8);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        for v in [0u64, 1, 1, 3, 100, 1000] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 6);
+        assert_eq!(s.sum, 1105);
+        assert_eq!((s.min, s.max), (0, 1000));
+        assert_eq!(s.buckets[0], 1, "zero bucket");
+        assert_eq!(s.buckets[1], 2, "[1,2)");
+        assert_eq!(s.buckets[2], 1, "[2,4)");
+        assert_eq!(s.buckets[7], 1, "[64,128)");
+        assert_eq!(s.buckets[10], 1, "[512,1024)");
+        assert!(s.quantile(0.5) <= 4);
+        assert!(s.quantile(1.0) >= 1000 || s.quantile(1.0) == 1024);
+    }
+
+    #[test]
+    fn snapshot_diff_subtracts() {
+        let reg = MetricsRegistry::new();
+        let c = reg.counter("n");
+        let h = reg.histogram("lat");
+        c.add(5);
+        h.record(10);
+        let s0 = reg.snapshot();
+        c.add(2);
+        h.record(20);
+        h.record(30);
+        let d = reg.snapshot().diff(&s0);
+        assert_eq!(d.counter("n"), 2);
+        assert_eq!(d.histogram("lat").unwrap().count, 2);
+        assert_eq!(d.histogram("lat").unwrap().sum, 50);
+    }
+
+    #[test]
+    fn exporters_mention_every_metric() {
+        let reg = MetricsRegistry::new();
+        reg.counter("a.b").inc();
+        reg.gauge("g").set(-3);
+        reg.histogram("h").record(9);
+        let snap = reg.snapshot();
+        let table = snap.render_table();
+        assert!(table.contains("a.b") && table.contains("g") && table.contains("h"));
+        let json = snap.to_json_lines();
+        assert!(json.lines().count() == 3);
+        assert!(json.contains("\"metric\":\"a.b\"") && json.contains("\"type\":\"histogram\""));
+    }
+}

@@ -22,4 +22,4 @@ mod access;
 mod manager;
 
 pub use access::{AccessSet, SlotId};
-pub use manager::{TransactionManager, TxnId, TxnToken, ValidationGrain};
+pub use manager::{TransactionManager, TxnCounters, TxnId, TxnToken, ValidationGrain};

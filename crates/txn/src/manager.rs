@@ -2,6 +2,7 @@
 
 use crate::access::AccessSet;
 use gemstone_object::{GemError, GemResult};
+use gemstone_telemetry::Counter;
 use gemstone_temporal::{Clock, TxnTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -37,14 +38,35 @@ struct Inner {
     active: HashMap<TxnId, TxnTime>,
     log: Vec<CommitRecord>,
     next_id: u64,
-    commits: u64,
-    aborts: u64,
+}
+
+/// Live outcome counters; shared cells for registry binding.
+#[derive(Debug, Default)]
+pub struct TxnCounters {
+    pub begins: Counter,
+    pub commits: Counter,
+    pub aborts: Counter,
+    /// Aborts caused by failed backward validation specifically (explicit
+    /// `abort` calls count in `aborts` only).
+    pub conflicts: Counter,
+}
+
+impl TxnCounters {
+    fn share(&self) -> TxnCounters {
+        TxnCounters {
+            begins: self.begins.clone(),
+            commits: self.commits.clone(),
+            aborts: self.aborts.clone(),
+            conflicts: self.conflicts.clone(),
+        }
+    }
 }
 
 /// The shared Transaction Manager.
 pub struct TransactionManager {
     clock: Clock,
     grain: ValidationGrain,
+    counters: TxnCounters,
     inner: Mutex<Inner>,
 }
 
@@ -60,13 +82,8 @@ impl TransactionManager {
         TransactionManager {
             clock: Clock::resume_after(last_committed),
             grain,
-            inner: Mutex::new(Inner {
-                active: HashMap::new(),
-                log: Vec::new(),
-                next_id: 1,
-                commits: 0,
-                aborts: 0,
-            }),
+            counters: TxnCounters::default(),
+            inner: Mutex::new(Inner { active: HashMap::new(), log: Vec::new(), next_id: 1 }),
         }
     }
 
@@ -77,6 +94,7 @@ impl TransactionManager {
         inner.next_id += 1;
         let start = self.clock.last_issued();
         inner.active.insert(id, start);
+        self.counters.begins.inc();
         TxnToken { id, start }
     }
 
@@ -109,7 +127,8 @@ impl TransactionManager {
             .find(|rec| rec.writes.intersects(&reads_g))
             .map(|rec| rec.time);
         if let Some(time) = conflict {
-            inner.aborts += 1;
+            self.counters.aborts.inc();
+            self.counters.conflicts.inc();
             return Err(GemError::TransactionConflict {
                 detail: format!(
                     "a transaction committed at {} wrote data read since {}",
@@ -118,12 +137,12 @@ impl TransactionManager {
             });
         }
         if writes.is_empty() {
-            inner.commits += 1;
+            self.counters.commits.inc();
             return Ok(self.clock.last_issued());
         }
         let time = self.clock.tick();
         inner.log.push(CommitRecord { time, writes: writes_g });
-        inner.commits += 1;
+        self.counters.commits.inc();
         self.prune_log(&mut inner);
         Ok(time)
     }
@@ -132,7 +151,7 @@ impl TransactionManager {
     pub fn abort(&self, token: TxnToken) {
         let mut inner = self.inner.lock();
         if inner.active.remove(&token.id).is_some() {
-            inner.aborts += 1;
+            self.counters.aborts.inc();
         }
     }
 
@@ -152,8 +171,12 @@ impl TransactionManager {
 
     /// (commits, aborts) so far.
     pub fn outcome_counts(&self) -> (u64, u64) {
-        let inner = self.inner.lock();
-        (inner.commits, inner.aborts)
+        (self.counters.commits.get(), self.counters.aborts.get())
+    }
+
+    /// Live counter cells (for registry binding).
+    pub fn counters(&self) -> TxnCounters {
+        self.counters.share()
     }
 
     /// Drop log records no active transaction can conflict with.

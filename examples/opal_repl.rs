@@ -17,6 +17,12 @@
 //! Staff size
 //! System timeDialNow
 //! ```
+//!
+//! Telemetry escapes (handled by the REPL, not the compiler):
+//! ```text
+//! :metrics                 — dump the metrics registry as a table
+//! :explain+ <doIt>         — run the doIt and render its profiled plan
+//! ```
 
 use gemstone::GemStone;
 use std::io::{BufRead, Write};
@@ -40,6 +46,26 @@ fn main() {
         }
         let src = line.trim();
         if src.is_empty() {
+            continue;
+        }
+        if src == ":metrics" {
+            print!("{}", session.metrics().render_table());
+            continue;
+        }
+        if let Some(doit) = src.strip_prefix(":explain+") {
+            let doit = doit.trim();
+            if doit.is_empty() {
+                println!("  usage: :explain+ <doIt containing a select block>");
+                continue;
+            }
+            match session.explain_analyze(doit) {
+                Ok(analysis) => {
+                    for l in analysis.lines() {
+                        println!("  {l}");
+                    }
+                }
+                Err(e) => println!("  !! {e}"),
+            }
             continue;
         }
         match session.run_display(src) {

@@ -106,6 +106,12 @@ fn full_system_crash_sweep() {
         s.run(script).unwrap();
         times.push(s.commit().unwrap());
     }
+    // Telemetry satellite: every commit records its safe-write group size
+    // (data tracks + root — always at least two tracks) in the histogram.
+    let snap = gs.database().metrics_snapshot();
+    let groups = snap.histogram("storage.commit.group_tracks").expect("group histogram");
+    assert!(groups.count >= scripts.len() as u64, "one group recorded per commit");
+    assert!(groups.min >= 2, "each safe-write group spans data and root tracks");
     drop(s);
     drop(gs);
 
@@ -199,6 +205,28 @@ fn full_system_crash_sweep() {
                         "{ctx}: the torn commit's shadow tracks are orphans"
                     );
                 }
+                // The registry gauges are a thin view over the same report,
+                // and the post-recovery faults filled the cache read-through.
+                let snap = s2.metrics();
+                assert_eq!(
+                    snap.gauge("storage.recovery.roots_considered"),
+                    rep.roots_considered as i64,
+                    "{ctx}"
+                );
+                assert_eq!(
+                    snap.gauge("storage.recovery.roots_torn"),
+                    rep.roots_torn as i64,
+                    "{ctx}"
+                );
+                assert_eq!(
+                    snap.gauge("storage.recovery.tracks_discarded"),
+                    rep.tracks_discarded as i64,
+                    "{ctx}"
+                );
+                assert!(
+                    snap.counter("storage.cache.fills_read") > 0,
+                    "{ctx}: recovered reads are read-through fills"
+                );
             }
         }
     }
