@@ -1,0 +1,82 @@
+//! The diagnostic doctor: turn a flight-recorder journal directory into a
+//! rendered diagnostic bundle — track heat map with the clustering-locality
+//! score, the cache hit-rate-vs-size replay sweep, the slow-statement log,
+//! and the recovery report if one was journaled.
+//!
+//! ```sh
+//! cargo run -p gemstone-bench --bin doctor --release -- <journal-dir>
+//! cargo run -p gemstone-bench --bin doctor --release -- <journal-dir> --out bundle.json
+//! ```
+//!
+//! The same analysis runs automatically inside the database on structured
+//! failures (`Database::capture_bundle`); this binary is the offline path —
+//! point it at the segments a crashed or remote process left behind.
+
+use gemstone_telemetry::{DiagnosticBundle, Journal};
+use std::path::Path;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut dir: Option<&str> = None;
+    let mut out: Option<&str> = None;
+    let mut reason = "doctor";
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => match it.next() {
+                Some(p) => out = Some(p),
+                None => return usage("--out needs a file path"),
+            },
+            "--reason" => match it.next() {
+                Some(r) => reason = r,
+                None => return usage("--reason needs a value"),
+            },
+            "--help" | "-h" => return usage(""),
+            other if dir.is_none() => dir = Some(other),
+            other => return usage(&format!("unexpected argument {other:?}")),
+        }
+    }
+    let Some(dir) = dir else {
+        return usage("missing journal directory");
+    };
+
+    let readout = match Journal::read_from(Path::new(dir)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("doctor: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // No live registry offline: the bundle's "replayed" section IS the
+    // authoritative reconstruction (replay determinism is CI-enforced).
+    let bundle = DiagnosticBundle::build(&readout, None, reason);
+    print!("{}", bundle.render());
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(path, bundle.to_json()) {
+            eprintln!("doctor: could not write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("bundle JSON written to {path}");
+    }
+    if bundle.complete {
+        ExitCode::SUCCESS
+    } else {
+        // Rotation dropped the oldest segments: the numbers are a suffix of
+        // history, not the whole run. Signal it for scripted callers.
+        eprintln!("doctor: journal incomplete (rotation dropped early segments)");
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    if !err.is_empty() {
+        eprintln!("doctor: {err}");
+    }
+    eprintln!("usage: doctor <journal-dir> [--out <bundle.json>] [--reason <label>]");
+    if err.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,128 @@
+//! The perf-trajectory gate: diff a freshly generated `BENCH_PR5.json`
+//! against the committed snapshot and fail CI when the counted performance
+//! model drifts.
+//!
+//! ```sh
+//! cargo run -p gemstone-bench --bin report --release -- --trajectory-only
+//! cargo run -p gemstone-bench --bin perf_gate --release -- BENCH_PR5.committed.json BENCH_PR5.json
+//! ```
+//!
+//! Gate rules (counts are deterministic; wall time is not):
+//! - every record in the committed file must exist in the fresh file
+//!   (matched by `"id"`) — a missing record fails;
+//! - string fields (plan shapes) must match exactly;
+//! - numeric fields must agree within `max(8, 10%)` of the committed
+//!   value — headroom for environmental jitter, tight enough to catch a
+//!   plan regression or a counter leak;
+//! - fields ending in `_us` / `_ns` are wall-clock and informational only;
+//! - records only in the fresh file are reported but do not fail (new
+//!   experiments land before their snapshot is re-committed).
+
+use gemstone_telemetry::{parse_flat, FlatObject, JsonValue};
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [committed_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: perf_gate <committed.json> <fresh.json>");
+        return ExitCode::FAILURE;
+    };
+    let committed = match load_trajectory(committed_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_gate: {committed_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh = match load_trajectory(fresh_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("perf_gate: {fresh_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut failures = 0usize;
+    let mut checks = 0usize;
+    for (id, want) in &committed {
+        let Some(got) = fresh.get(id) else {
+            println!("FAIL {id}: record missing from fresh run");
+            failures += 1;
+            continue;
+        };
+        for key in want.keys() {
+            if key == "id" || is_wall_clock(key) {
+                continue;
+            }
+            checks += 1;
+            match (want.get(key), got.get(key)) {
+                (Some(w), Some(g)) => {
+                    if let Some(msg) = field_drift(key, w, g) {
+                        println!("FAIL {id}: {msg}");
+                        failures += 1;
+                    }
+                }
+                (_, None) => {
+                    println!("FAIL {id}: field {key:?} missing from fresh record");
+                    failures += 1;
+                }
+                (None, _) => unreachable!("key came from this record"),
+            }
+        }
+    }
+    for id in fresh.keys() {
+        if !committed.contains_key(id) {
+            println!("note {id}: new record not yet in the committed trajectory");
+        }
+    }
+
+    println!("perf gate: {} records, {checks} gated fields, {failures} failures", committed.len());
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// Wall-clock fields ride along for humans; only counts are gated.
+fn is_wall_clock(key: &str) -> bool {
+    key.ends_with("_us") || key.ends_with("_ns") || key.ends_with("_ms")
+}
+
+/// `Some(message)` when the fresh value drifts outside the gate.
+fn field_drift(key: &str, want: &JsonValue, got: &JsonValue) -> Option<String> {
+    match (want, got) {
+        (JsonValue::Num(w), JsonValue::Num(g)) => {
+            let tolerance = (w.abs() / 10).max(8);
+            let delta = (g - w).abs();
+            (delta > tolerance).then(|| {
+                format!("{key} = {g}, committed {w} (|Δ|={delta} > max(8, 10%)={tolerance})")
+            })
+        }
+        (w, g) if w == g => None,
+        (w, g) => Some(format!("{key} = {g:?}, committed {w:?}")),
+    }
+}
+
+/// Parse a trajectory file: a JSON array with one flat object per line
+/// (exactly what `report --trajectory-only` writes).
+fn load_trajectory(path: &str) -> Result<BTreeMap<String, FlatObject>, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| e.to_string())?;
+    let mut records = BTreeMap::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim().trim_end_matches(',');
+        if line.is_empty() || line == "[" || line == "]" {
+            continue;
+        }
+        let obj = parse_flat(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let id = obj.str("id").map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        if records.insert(id.clone(), obj).is_some() {
+            return Err(format!("duplicate record id {id:?}"));
+        }
+    }
+    if records.is_empty() {
+        return Err("no records found".into());
+    }
+    Ok(records)
+}

@@ -15,7 +15,9 @@ use gemstone_object::{
 };
 use gemstone_opal::{install_kernel_methods, CompiledMethod};
 use gemstone_storage::{DiskArray, PermanentStore, StoreConfig};
-use gemstone_telemetry::{MetricsSnapshot, Telemetry};
+use gemstone_telemetry::{
+    DiagnosticBundle, Journal, JournalConfig, JournalEvent, MetricsSnapshot, Telemetry,
+};
 use gemstone_temporal::TxnTime;
 use gemstone_txn::TransactionManager;
 use parking_lot::Mutex;
@@ -95,6 +97,31 @@ fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &Tran
     r.gauge("storage.recovery.tracks_salvaged").set(rep.tracks_salvaged as i64);
     r.gauge("storage.recovery.tracks_discarded").set(rep.tracks_discarded as i64);
     r.gauge("storage.recovery.reopen_reads").set(rep.reopen_reads as i64);
+    // Pre-create the session-level instruments (sessions bind the same
+    // cells at login), so a journal baseline emitted at construction time
+    // covers the full canonical name set and replay reproduces the live
+    // snapshot name-for-name.
+    for name in [
+        "session.statements",
+        "opal.interp.dispatches",
+        "opal.interp.sends",
+        "opal.verify.checks",
+        "opal.verify.rejects",
+        "calculus.rows_scanned",
+        "calculus.index_rows",
+        "calculus.index_hits",
+        "calculus.index_fallbacks",
+        "calculus.select_in",
+        "calculus.select_out",
+        "calculus.nest_loops",
+        "calculus.hash_builds",
+        "calculus.hash_probes",
+        "calculus.hash_matches",
+        "calculus.rows_out",
+    ] {
+        let _ = r.counter(name);
+    }
+    let _ = r.histogram("session.statement_ns");
 }
 
 fn kernel_from(classes: &ClassTable, symbols: &SymbolTable) -> GemResult<Kernel> {
@@ -144,7 +171,7 @@ impl Database {
         let (mut classes, kernel) = ClassTable::bootstrap(&mut symbols);
         let block_class =
             classes.subclass(symbols.intern("BlockClosure"), kernel.object, vec![])?;
-        let inner = DbInner {
+        let mut inner = DbInner {
             store,
             symbols,
             classes,
@@ -157,8 +184,20 @@ impl Database {
             auth: AuthTable::new(),
             schema_dirty: true,
         };
-        let txns = TransactionManager::new(TxnTime::EPOCH);
+        let mut txns = TransactionManager::new(TxnTime::EPOCH);
         bind_layer_metrics(&telemetry, &inner.store, &txns);
+        // If the flight recorder was started before creation, baseline the
+        // registry *before* attaching the emission sites: the volume
+        // formatting above already moved counters, and the baseline events
+        // carry those values exactly once.
+        if telemetry.journal.enabled() {
+            telemetry.journal.emit_baseline(&telemetry.registry.snapshot());
+            telemetry.journal.emit(&JournalEvent::CacheConfigured {
+                tracks: inner.store.cache_capacity() as u64,
+            });
+        }
+        inner.store.attach_journal(telemetry.journal.clone());
+        txns.attach_journal(telemetry.journal.clone());
         let db = Arc::new(Database { inner: Mutex::new(inner), txns, telemetry });
         // Kernel methods install through a bootstrap session.
         let mut boot = Session::internal_login(db.clone());
@@ -220,7 +259,7 @@ impl Database {
             .ok_or_else(|| GemError::Corrupt("BlockClosure class missing".into()))?;
         let last = store.root().commit_time;
         let dirs = DirRegistry::rebuild(&mut store, &symbols, &dir_specs, last)?;
-        let inner = DbInner {
+        let mut inner = DbInner {
             store,
             symbols,
             classes,
@@ -233,8 +272,26 @@ impl Database {
             auth: AuthTable::new(),
             schema_dirty: false,
         };
-        let txns = TransactionManager::new(last);
+        let mut txns = TransactionManager::new(last);
         bind_layer_metrics(&telemetry, &inner.store, &txns);
+        if telemetry.journal.enabled() {
+            let rep = inner.store.recovery_report();
+            telemetry.journal.emit(&JournalEvent::Recovery {
+                roots_considered: rep.roots_considered as u64,
+                roots_valid: rep.roots_valid as u64,
+                roots_torn: rep.roots_torn as u64,
+                epoch: rep.recovered_epoch,
+                tracks_salvaged: rep.tracks_salvaged as u64,
+                tracks_discarded: rep.tracks_discarded as u64,
+                reopen_reads: rep.reopen_reads,
+            });
+            telemetry.journal.emit_baseline(&telemetry.registry.snapshot());
+            telemetry.journal.emit(&JournalEvent::CacheConfigured {
+                tracks: inner.store.cache_capacity() as u64,
+            });
+        }
+        inner.store.attach_journal(telemetry.journal.clone());
+        txns.attach_journal(telemetry.journal.clone());
         let db = Arc::new(Database { inner: Mutex::new(inner), txns, telemetry });
         // Rebuild method dictionaries: kernel first, then user sources in
         // their original order.
@@ -298,6 +355,61 @@ impl Database {
     /// `after.diff(&before)` isolates one workload's deltas.
     pub fn metrics_snapshot(&self) -> MetricsSnapshot {
         self.telemetry.registry.snapshot()
+    }
+
+    /// Start the flight recorder: events stream to segment files in
+    /// `cfg.dir`. Every layer already holds a handle on the shared
+    /// recorder, so this needs no re-attachment — it flips one shared
+    /// flag and writes the baseline (the absolute registry state, so
+    /// replaying the journal reproduces cumulative totals exactly).
+    /// Start it while the database is otherwise idle: events from a
+    /// session racing the baseline would replay twice.
+    pub fn start_journal(&self, cfg: JournalConfig) -> GemResult<()> {
+        let j = &self.telemetry.journal;
+        j.start(cfg).map_err(|e| GemError::RuntimeError(format!("journal start: {e}")))?;
+        j.emit_baseline(&self.telemetry.registry.snapshot());
+        let tracks = self.inner.lock().store.cache_capacity() as u64;
+        j.emit(&JournalEvent::CacheConfigured { tracks });
+        Ok(())
+    }
+
+    /// Stop the flight recorder (segment files stay on disk).
+    pub fn stop_journal(&self) {
+        self.telemetry.journal.stop();
+    }
+
+    /// Build a diagnostic bundle from the live journal + metrics: track
+    /// heat map, cache replay sweep, slow statements, recovery summary,
+    /// and the replay-determinism verdict. Fails when the recorder is not
+    /// running.
+    pub fn diagnostic_bundle(&self, reason: &str) -> GemResult<DiagnosticBundle> {
+        let j = &self.telemetry.journal;
+        let dir = j.dir().ok_or_else(|| {
+            GemError::RuntimeError("flight recorder not running (start_journal first)".into())
+        })?;
+        j.flush();
+        let readout = Journal::read_from(&dir).map_err(GemError::RuntimeError)?;
+        let live = self.telemetry.registry.snapshot();
+        Ok(DiagnosticBundle::build(&readout, Some(&live), reason))
+    }
+
+    /// Auto-capture: write a diagnostic bundle beside the journal segments
+    /// as `bundle-<reason>-<seq>.json`. A no-op returning `None` when the
+    /// recorder is off (structured-failure paths call this untested for
+    /// enablement). Returns the bundle path on success.
+    pub fn capture_bundle(&self, reason: &str) -> Option<std::path::PathBuf> {
+        let j = &self.telemetry.journal;
+        if !j.enabled() {
+            return None;
+        }
+        let dir = j.dir()?;
+        j.flush();
+        let readout = Journal::read_from(&dir).ok()?;
+        let live = self.telemetry.registry.snapshot();
+        let bundle = DiagnosticBundle::build(&readout, Some(&live), reason);
+        let path = dir.join(format!("bundle-{}-{:04}.json", reason, j.next_bundle_seq()));
+        std::fs::write(&path, bundle.to_json()).ok()?;
+        Some(path)
     }
 
     /// Storage/disk statistics snapshot (benchmark instrumentation).

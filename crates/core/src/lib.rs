@@ -39,8 +39,10 @@ pub use gemstone_storage::{
     StoreStats, TearClass, TrackId,
 };
 pub use gemstone_telemetry::{
-    Counter, Gauge, Histogram, HistogramSnapshot, ManualTime, MetricsRegistry, MetricsSnapshot,
-    SpanEvent, SpanKind, Telemetry, TelemetryClock, Tracer,
+    replay, CacheSweepPoint, Counter, DiagnosticBundle, Gauge, Histogram, HistogramSnapshot,
+    Journal, JournalConfig, JournalEvent, JournalReadout, ManualTime, MetricsRegistry,
+    MetricsSnapshot, RecoverySummary, SlowEntry, SpanEvent, SpanKind, Telemetry, TelemetryClock,
+    Tracer, TrackHeat, JOURNAL_SCHEMA,
 };
 pub use gemstone_temporal::TxnTime;
 
@@ -72,6 +74,16 @@ impl GemStone {
     /// Recover from a disk (crash recovery / restart).
     pub fn open(disk: DiskArray, cache_tracks: usize) -> GemResult<GemStone> {
         Ok(GemStone { db: Database::open(disk, cache_tracks)? })
+    }
+
+    /// [`GemStone::open`] over an explicit telemetry bundle (e.g. with the
+    /// flight recorder already started, so the recovery pass is recorded).
+    pub fn open_with(
+        disk: DiskArray,
+        cache_tracks: usize,
+        telemetry: Telemetry,
+    ) -> GemResult<GemStone> {
+        Ok(GemStone { db: Database::open_with(disk, cache_tracks, telemetry)? })
     }
 
     /// The database-wide telemetry bundle.

@@ -30,7 +30,8 @@ use gemstone_opal::{
 };
 use gemstone_storage::{DirKey, ObjectDelta};
 use gemstone_telemetry::{
-    Counter, Histogram, MetricsRegistry, MetricsSnapshot, OpenSpan, SpanEvent, SpanKind, Telemetry,
+    Counter, Histogram, JournalEvent, MetricsRegistry, MetricsSnapshot, OpenSpan, SpanEvent,
+    SpanKind, Telemetry,
 };
 use gemstone_temporal::{TimeDial, TxnTime};
 use gemstone_txn::{AccessSet, SlotId, TxnToken};
@@ -86,7 +87,13 @@ pub struct Session {
     /// Statements at least this slow land in the slow log. `None` = off.
     slow_threshold_ns: Option<u64>,
     slow_log: Vec<SlowStatement>,
+    /// Consecutive commit conflicts; a storm (≥ 8) auto-captures a
+    /// diagnostic bundle when the flight recorder is running.
+    consecutive_conflicts: u32,
 }
+
+/// Consecutive conflicts that count as a storm (bundle auto-capture).
+const CONFLICT_STORM_THRESHOLD: u32 = 8;
 
 /// One slow-log entry: a statement that exceeded the session's threshold.
 #[derive(Clone, Debug)]
@@ -198,6 +205,7 @@ impl Session {
             plan_this_stmt: false,
             slow_threshold_ns: None,
             slow_log: Vec::new(),
+            consecutive_conflicts: 0,
         }
     }
 
@@ -358,9 +366,16 @@ impl Session {
                 // Conflict: the transaction is dead; discard its workspace.
                 self.end_txn_span();
                 self.discard_workspace();
+                if matches!(e, GemError::TransactionConflict { .. }) {
+                    self.consecutive_conflicts += 1;
+                    if self.consecutive_conflicts == CONFLICT_STORM_THRESHOLD {
+                        self.db.capture_bundle("conflict-storm");
+                    }
+                }
                 return Err(e);
             }
         };
+        self.consecutive_conflicts = 0;
         // 4. Persist (metadata travels in the same safe-write group).
         {
             let mut inner = self.db.inner.lock();
@@ -557,6 +572,13 @@ impl Session {
         let wall = self.telemetry.clock().now_ns().saturating_sub(t0);
         self.m.statements.inc();
         self.m.statement_ns.record(wall);
+        if self.telemetry.journal.enabled() {
+            self.telemetry.journal.emit(&JournalEvent::Statement {
+                session: self.session_id,
+                wall_ns: wall,
+                label: label.clone(),
+            });
+        }
         if let Some(threshold) = self.slow_threshold_ns {
             if wall >= threshold && self.slow_log.len() < SLOW_LOG_CAP {
                 let plan_summary = if self.plan_this_stmt {
@@ -573,6 +595,17 @@ impl Session {
                     wall_ns: wall,
                 });
             }
+        }
+        // Structured failures auto-capture a diagnostic bundle while the
+        // flight recorder is running.
+        match &result {
+            Err(GemError::DiskDead) => {
+                self.db.capture_bundle("disk-dead");
+            }
+            Err(GemError::CorruptMethod(_)) => {
+                self.db.capture_bundle("corrupt-method");
+            }
+            _ => {}
         }
         result
     }
@@ -617,6 +650,7 @@ impl Session {
                 gemstone_calculus::eval_query_profiled(self, query, catalog, &now)?;
             self.record_plan_spans(&profile);
             self.m.note_plan(&stats);
+            self.journal_plan(&stats);
             self.last_profile = Some(profile);
             self.last_plan = Some((plan, stats));
             Ok(rows)
@@ -624,9 +658,31 @@ impl Session {
             let (rows, plan, stats) =
                 gemstone_calculus::eval_query_explained(self, query, catalog)?;
             self.m.note_plan(&stats);
+            self.journal_plan(&stats);
             self.last_plan = Some((plan, stats));
             Ok(rows)
         }
+    }
+
+    /// Mirror one query's operator counters into the flight recorder (the
+    /// journal twin of [`SessionMetrics::note_plan`]).
+    fn journal_plan(&self, s: &PlanStats) {
+        if !self.telemetry.journal.enabled() {
+            return;
+        }
+        self.telemetry.journal.emit(&JournalEvent::Plan {
+            rows_scanned: s.rows_scanned,
+            index_rows: s.index_rows,
+            index_hits: s.index_hits,
+            index_fallbacks: s.index_fallbacks,
+            select_in: s.select_in,
+            select_out: s.select_out,
+            nest_loops: s.nest_loops,
+            hash_builds: s.hash_builds,
+            hash_probes: s.hash_probes,
+            hash_matches: s.hash_matches,
+            rows_out: s.rows_out,
+        });
     }
 
     /// Replay a per-operator profile into the tracer as plan-operator
@@ -978,13 +1034,22 @@ impl OpalWorld for Session {
     fn note_interp_stats(&mut self, dispatches: u64, sends: u64) {
         self.m.dispatches.add(dispatches);
         self.m.sends.add(sends);
+        if self.telemetry.journal.enabled() {
+            self.telemetry.journal.emit(&JournalEvent::Interp { dispatches, sends });
+        }
     }
 
     fn add_method_code(&mut self, m: CompiledMethod) -> GemResult<MethodId> {
         self.m.verify_checks.inc();
         if let Err(e) = gemstone_opal::verify::check(&m) {
             self.m.verify_rejects.inc();
+            if self.telemetry.journal.enabled() {
+                self.telemetry.journal.emit(&JournalEvent::VerifyCheck { rejected: true });
+            }
             return Err(e.into());
+        }
+        if self.telemetry.journal.enabled() {
+            self.telemetry.journal.emit(&JournalEvent::VerifyCheck { rejected: false });
         }
         let mut inner = self.db.inner.lock();
         inner.methods.push(Arc::new(m));

@@ -5,7 +5,7 @@
 //! clustering experiments (C7).
 
 use crate::disk::TrackId;
-use gemstone_telemetry::Counter;
+use gemstone_telemetry::{Counter, Journal, JournalEvent};
 use std::collections::{HashMap, VecDeque};
 
 /// Cache statistics.
@@ -86,6 +86,7 @@ pub struct TrackCache {
     recency: VecDeque<(TrackId, u64)>,
     tick: u64,
     stats: CacheCounters,
+    journal: Option<Journal>,
 }
 
 impl TrackCache {
@@ -97,6 +98,26 @@ impl TrackCache {
             recency: VecDeque::new(),
             tick: 0,
             stats: CacheCounters::default(),
+            journal: None,
+        }
+    }
+
+    /// Capacity in tracks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Attach the flight recorder; every counter move below also emits a
+    /// journal event.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    #[inline]
+    fn journal_on(&self) -> Option<&Journal> {
+        match &self.journal {
+            Some(j) if j.enabled() => Some(j),
+            _ => None,
         }
     }
 
@@ -125,6 +146,9 @@ impl TrackCache {
                 Some((s, _)) if *s == stamp => {
                     self.entries.remove(&victim);
                     self.stats.evictions.inc();
+                    if let Some(j) = self.journal_on() {
+                        j.emit(&JournalEvent::CacheEvict { track: victim.0 as u64 });
+                    }
                     return;
                 }
                 // Tombstone (entry re-touched later, or invalidated).
@@ -137,6 +161,9 @@ impl TrackCache {
     pub fn get(&mut self, id: TrackId) -> Option<&[u8]> {
         if !self.entries.contains_key(&id) {
             self.stats.misses.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::CacheAccess { track: id.0 as u64, hit: false });
+            }
             return None;
         }
         let stamp = self.touch(id);
@@ -146,6 +173,9 @@ impl TrackCache {
         }
         self.compact();
         self.stats.hits.inc();
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::CacheAccess { track: id.0 as u64, hit: true });
+        }
         let (_, data) = self.entries.get(&id).expect("checked above");
         Some(data.as_slice())
     }
@@ -171,6 +201,12 @@ impl TrackCache {
         match source {
             FillSource::ReadThrough => self.stats.fills_read.inc(),
             FillSource::CommitWrite => self.stats.fills_commit.inc(),
+        }
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::CacheFill {
+                track: id.0 as u64,
+                commit: matches!(source, FillSource::CommitWrite),
+            });
         }
     }
 

@@ -18,7 +18,7 @@
 //! performs w writes" before enumerating every crash point.
 
 use gemstone_object::{GemError, GemResult};
-use gemstone_telemetry::{Counter, Histogram, HistogramSnapshot};
+use gemstone_telemetry::{Counter, Histogram, HistogramSnapshot, Journal, JournalEvent};
 
 /// Index of a track on a disk.
 #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
@@ -211,7 +211,7 @@ impl FaultPlan {
 }
 
 /// A simulated disk of fixed-size tracks.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SimDisk {
     track_size: usize,
     tracks: Vec<Option<Box<[u8]>>>,
@@ -219,6 +219,24 @@ pub struct SimDisk {
     plan: FaultPlan,
     trace: Vec<WriteRecord>,
     dead: bool,
+    /// Flight recorder, attached to the primary replica only (the one
+    /// whose counters the registry binds).  Not derivable: cloning a disk
+    /// takes a checkpoint, and a checkpoint must not keep emitting.
+    journal: Option<Journal>,
+}
+
+impl Clone for SimDisk {
+    fn clone(&self) -> SimDisk {
+        SimDisk {
+            track_size: self.track_size,
+            tracks: self.tracks.clone(),
+            stats: self.stats.clone(), // detaches, like the journal below
+            plan: self.plan.clone(),
+            trace: self.trace.clone(),
+            dead: self.dead,
+            journal: None,
+        }
+    }
 }
 
 impl SimDisk {
@@ -232,6 +250,21 @@ impl SimDisk {
             plan: FaultPlan::default(),
             trace: Vec::new(),
             dead: false,
+            journal: None,
+        }
+    }
+
+    /// Attach the flight recorder; every counter move below also emits a
+    /// journal event, so replaying the journal reproduces the counters.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    #[inline]
+    fn journal_on(&self) -> Option<&Journal> {
+        match &self.journal {
+            Some(j) if j.enabled() => Some(j),
+            _ => None,
         }
     }
 
@@ -299,10 +332,16 @@ impl SimDisk {
     pub fn write_track(&mut self, id: TrackId, data: &[u8]) -> GemResult<()> {
         if self.dead {
             self.stats.failed_writes.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TrackWrite { track: id.0 as u64, ok: false, bytes: 0 });
+            }
             return Err(GemError::DiskDead);
         }
         if data.len() > self.track_size {
             self.stats.failed_writes.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TrackWrite { track: id.0 as u64, ok: false, bytes: 0 });
+            }
             return Err(GemError::DiskFailure(format!(
                 "data ({} bytes) exceeds track size ({})",
                 data.len(),
@@ -332,6 +371,9 @@ impl SimDisk {
                 }
                 self.dead = true;
                 self.stats.failed_writes.inc();
+                if let Some(j) = self.journal_on() {
+                    j.emit(&JournalEvent::TrackWrite { track: id.0 as u64, ok: false, bytes: 0 });
+                }
                 return Err(GemError::DiskFailure("power lost mid-write (torn track)".into()));
             }
             self.plan.crash_after_writes = Some(n - 1);
@@ -339,6 +381,13 @@ impl SimDisk {
 
         self.stats.track_writes.inc();
         self.stats.bytes_written.add(self.track_size as u64);
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::TrackWrite {
+                track: id.0 as u64,
+                ok: true,
+                bytes: self.track_size as u64,
+            });
+        }
         if self.plan.record_trace {
             self.trace.push(WriteRecord { track: id, len: data.len() });
         }
@@ -350,6 +399,9 @@ impl SimDisk {
     pub fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]> {
         if self.dead {
             self.stats.failed_reads.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: false });
+            }
             return Err(GemError::DiskDead);
         }
         if let Some(fault) = &mut self.plan.read_fault {
@@ -358,14 +410,23 @@ impl SimDisk {
             } else if fault.count > 0 {
                 fault.count -= 1;
                 self.stats.failed_reads.inc();
+                if let Some(j) = self.journal_on() {
+                    j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: false });
+                }
                 return Err(GemError::DiskFailure(format!("transient read error on {id:?}")));
             }
         }
         if self.tracks.get(id.0 as usize).and_then(|t| t.as_ref()).is_none() {
             self.stats.failed_reads.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: false });
+            }
             return Err(GemError::DiskFailure(format!("track {id:?} never written")));
         }
         self.stats.track_reads.inc();
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: true });
+        }
         Ok(self.tracks[id.0 as usize].as_deref().expect("checked above"))
     }
 
@@ -502,6 +563,13 @@ impl DiskArray {
     /// The primary replica's live counter cells (for registry binding).
     pub fn counters(&self) -> DiskCounters {
         self.replicas[0].counters()
+    }
+
+    /// Attach the flight recorder to the primary replica — the one whose
+    /// counters the registry binds, so journal events stay 1:1 with
+    /// registry moves even when a mirror serves reads.
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.replicas[0].attach_journal(journal);
     }
 
     /// Reset all replica counters and the group-size histogram.

@@ -14,7 +14,7 @@ use crate::disk::{DiskArray, DiskCounters, DiskStats, TrackId, TRACK_HEADER};
 use crate::format::{self, Catalog, GoopPage, Location, Root, GOOP_PAGE_SPAN};
 use crate::pobj::{ObjectDelta, PersistentObject};
 use gemstone_object::{GemError, GemResult, Goop};
-use gemstone_telemetry::{Counter, SpanKind, Tracer};
+use gemstone_telemetry::{Counter, Journal, JournalEvent, SpanKind, Tracer};
 use gemstone_temporal::TxnTime;
 use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 
@@ -101,6 +101,9 @@ pub struct PermanentStore {
     recovery_report: RecoveryReport,
     /// Span recorder for track-I/O, if the owning database traces.
     tracer: Option<Tracer>,
+    /// Flight-recorder handle for store-level events (faults, commit
+    /// groups). Checked with one atomic load; `None` until attached.
+    journal: Option<Journal>,
     /// Session / parent-span attribution for the next I/O spans (set by the
     /// session driving the current operation, under the database lock).
     trace_session: u64,
@@ -141,6 +144,7 @@ impl PermanentStore {
             stats: StoreCounters::default(),
             recovery_report: RecoveryReport::default(),
             tracer: None,
+            journal: None,
             trace_session: 0,
             trace_parent: 0,
         })
@@ -184,6 +188,7 @@ impl PermanentStore {
             stats: StoreCounters::default(),
             recovery_report: report,
             tracer: None,
+            journal: None,
             trace_session: 0,
             trace_parent: 0,
         })
@@ -240,6 +245,9 @@ impl PermanentStore {
             }
             let obj = format::get_object(&bytes)?;
             self.stats.object_faults.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::ObjectFault { goop: goop.0 });
+            }
             self.objects.insert(goop, obj);
             self.resident_order.push_back(goop);
             self.enforce_cache_limit_except(goop);
@@ -409,7 +417,8 @@ impl PermanentStore {
             t.end(sp);
         }
         wrote?;
-        self.disk.note_safe_write_group(group.len() as u64 + 1);
+        let group_len = group.len() as u64;
+        self.disk.note_safe_write_group(group_len + 1);
         // Write-through: the tracks just committed are the hottest candidates
         // for the next read — populate the cache from the group payloads
         // (counted apart from read-through fills).
@@ -425,6 +434,12 @@ impl PermanentStore {
         self.staged_metas.clear();
         self.stats.commits.inc();
         self.stats.objects_written.add(touched.len() as u64);
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::SafeWriteGroup {
+                tracks: group_len + 1,
+                objects: touched.len() as u64,
+            });
+        }
         self.enforce_cache_limit();
         Ok(())
     }
@@ -523,6 +538,29 @@ impl PermanentStore {
     /// Attach a span recorder for track-I/O spans.
     pub fn attach_tracer(&mut self, tracer: Tracer) {
         self.tracer = Some(tracer);
+    }
+
+    /// Attach the flight recorder to the whole storage stack: the store's
+    /// own event sites plus the track cache and the *primary* disk replica
+    /// (the only replica whose counters are registry-bound, so journal
+    /// replay stays 1:1 with the live metrics).
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.cache.attach_journal(journal.clone());
+        self.disk.attach_journal(journal.clone());
+        self.journal = Some(journal);
+    }
+
+    #[inline]
+    fn journal_on(&self) -> Option<&Journal> {
+        match &self.journal {
+            Some(j) if j.enabled() => Some(j),
+            _ => None,
+        }
+    }
+
+    /// Track-cache capacity in tracks (journal `cache_configured` events).
+    pub fn cache_capacity(&self) -> usize {
+        self.cache.capacity()
     }
 
     /// Attribute subsequent I/O spans to `session` under parent span

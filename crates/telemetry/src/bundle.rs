@@ -1,0 +1,592 @@
+//! Diagnostic bundles: a journal readout distilled into the artefacts an
+//! operator wants when something goes wrong.
+//!
+//! A bundle contains (a) the **track heat map** — reads/writes per track
+//! plus a clustering-locality score grounding the paper's clustering
+//! claim (§5: objects clustered onto whole tracks mean repeated reads
+//! land on few distinct tracks); (b) a **cache hit-rate-vs-size sweep**
+//! replaying the recorded access sequence through a standalone LRU model
+//! at counterfactual capacities; (c) the **slow-statement log** mined
+//! from the recorded statements; (d) the last **recovery pass**; and (e)
+//! the **replayed metrics snapshot** with a verdict on whether it matches
+//! the live registry — the determinism contract, checked on every bundle.
+//!
+//! Built here (not in the bench crate) so the `doctor` binary, the REPL's
+//! `:doctor`, and `Database`'s auto-capture on structured failures all
+//! share one implementation.
+
+use crate::journal::{replay, JournalEvent, JournalReadout, JOURNAL_SCHEMA};
+use crate::metrics::MetricsSnapshot;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Per-track I/O totals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TrackHeat {
+    pub track: u64,
+    pub reads: u64,
+    pub writes: u64,
+}
+
+/// One point of the cache replay sweep.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CacheSweepPoint {
+    pub capacity: u64,
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheSweepPoint {
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// One mined slow statement.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SlowEntry {
+    pub session: u64,
+    pub wall_ns: u64,
+    pub label: String,
+}
+
+/// The last recorded recovery pass.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RecoverySummary {
+    pub roots_considered: u64,
+    pub roots_valid: u64,
+    pub roots_torn: u64,
+    pub epoch: u64,
+    pub tracks_salvaged: u64,
+    pub tracks_discarded: u64,
+    pub reopen_reads: u64,
+}
+
+/// A journal distilled for diagnosis.
+#[derive(Clone, Debug)]
+pub struct DiagnosticBundle {
+    /// Why the bundle was captured (`"disk-dead"`, `"repl"`, …).
+    pub reason: String,
+    pub schema: u64,
+    /// False when rotation deleted the journal's head: all absolute
+    /// numbers below are then lower bounds.
+    pub complete: bool,
+    pub events: usize,
+    /// Tracks sorted hottest-first by total I/O.
+    pub heat: Vec<TrackHeat>,
+    /// `1 − unique_tracks_read / reads`: 0 when every read visits a new
+    /// track, approaching 1 when clustering concentrates reads on few
+    /// tracks.
+    pub locality_score: f64,
+    /// Hit rate at counterfactual LRU capacities, replayed from the
+    /// recorded access sequence.
+    pub sweep: Vec<CacheSweepPoint>,
+    /// The live cache capacity the journal recorded, if any.
+    pub live_capacity: Option<u64>,
+    /// True when the model at the live capacity reproduces the recorded
+    /// hit/miss counts exactly (sanity for the whole sweep).
+    pub sweep_validated: Option<bool>,
+    /// Top statements by wall time, slowest first.
+    pub slow_statements: Vec<SlowEntry>,
+    pub recovery: Option<RecoverySummary>,
+    /// The journal replayed through a fresh registry.
+    pub replayed: MetricsSnapshot,
+    /// Whether `replayed` is byte-identical to the live snapshot
+    /// (`None` when no live snapshot was supplied).  Expected true for a
+    /// journal recorded from birth with span tracing off.
+    pub replay_matches_live: Option<bool>,
+}
+
+const SLOW_TOP_N: usize = 10;
+
+impl DiagnosticBundle {
+    /// Distill `readout` into a bundle; `live` enables the determinism
+    /// verdict.
+    pub fn build(
+        readout: &JournalReadout,
+        live: Option<&MetricsSnapshot>,
+        reason: &str,
+    ) -> DiagnosticBundle {
+        let events = &readout.events;
+        let (heat, locality_score) = heat_map(events);
+        let live_capacity = events.iter().rev().find_map(|e| match e {
+            JournalEvent::CacheConfigured { tracks } => Some(*tracks),
+            _ => None,
+        });
+        let (sweep, sweep_validated) = cache_sweep(events, live_capacity);
+        let mut slow: Vec<SlowEntry> = events
+            .iter()
+            .filter_map(|e| match e {
+                JournalEvent::Statement { session, wall_ns, label } => {
+                    Some(SlowEntry { session: *session, wall_ns: *wall_ns, label: label.clone() })
+                }
+                _ => None,
+            })
+            .collect();
+        slow.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns));
+        slow.truncate(SLOW_TOP_N);
+        let recovery = events.iter().rev().find_map(|e| match e {
+            JournalEvent::Recovery {
+                roots_considered,
+                roots_valid,
+                roots_torn,
+                epoch,
+                tracks_salvaged,
+                tracks_discarded,
+                reopen_reads,
+            } => Some(RecoverySummary {
+                roots_considered: *roots_considered,
+                roots_valid: *roots_valid,
+                roots_torn: *roots_torn,
+                epoch: *epoch,
+                tracks_salvaged: *tracks_salvaged,
+                tracks_discarded: *tracks_discarded,
+                reopen_reads: *reopen_reads,
+            }),
+            _ => None,
+        });
+        let replayed = replay(events).snapshot();
+        let replay_matches_live = live.map(|l| replayed == *l);
+        DiagnosticBundle {
+            reason: reason.to_string(),
+            schema: JOURNAL_SCHEMA,
+            complete: readout.complete,
+            events: events.len(),
+            heat,
+            locality_score,
+            sweep,
+            live_capacity,
+            sweep_validated,
+            slow_statements: slow,
+            recovery,
+            replayed,
+            replay_matches_live,
+        }
+    }
+
+    /// Human-readable report.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ =
+            writeln!(out, "diagnostic bundle · reason={} · schema=v{}", self.reason, self.schema);
+        let _ = writeln!(
+            out,
+            "journal: {} events, {}",
+            self.events,
+            if self.complete { "complete" } else { "TRUNCATED (rotation dropped the head)" }
+        );
+        match self.replay_matches_live {
+            Some(true) => {
+                let _ = writeln!(out, "replay: reproduces the live MetricsSnapshot exactly");
+            }
+            Some(false) => {
+                let _ = writeln!(out, "replay: DIVERGES from the live MetricsSnapshot");
+            }
+            None => {
+                let _ = writeln!(out, "replay: no live snapshot supplied for comparison");
+            }
+        }
+        let _ = writeln!(out, "\ntrack heat map (locality score {:.3}):", self.locality_score);
+        let _ = writeln!(out, "  {:>8}  {:>8}  {:>8}", "track", "reads", "writes");
+        for h in self.heat.iter().take(20) {
+            let _ = writeln!(out, "  {:>8}  {:>8}  {:>8}", h.track, h.reads, h.writes);
+        }
+        if self.heat.len() > 20 {
+            let _ = writeln!(out, "  … {} more tracks", self.heat.len() - 20);
+        }
+        let _ = writeln!(out, "\ncache hit-rate vs size (replayed from the recorded I/O):");
+        for p in &self.sweep {
+            let marker = match self.live_capacity {
+                Some(c) if c == p.capacity => "  <- live capacity",
+                _ => "",
+            };
+            let _ = writeln!(
+                out,
+                "  cap {:>6}: {:>6} hits / {:>6} misses  ({:>5.1}%){}",
+                p.capacity,
+                p.hits,
+                p.misses,
+                p.hit_rate() * 100.0,
+                marker
+            );
+        }
+        if let Some(ok) = self.sweep_validated {
+            let _ = writeln!(
+                out,
+                "  model check at live capacity: {}",
+                if ok { "matches recorded hits/misses" } else { "DIVERGES from recorded counts" }
+            );
+        }
+        if !self.slow_statements.is_empty() {
+            let _ = writeln!(out, "\nslowest statements:");
+            for s in &self.slow_statements {
+                let _ = writeln!(
+                    out,
+                    "  {:>12} ns  [session {}] {}",
+                    s.wall_ns,
+                    s.session,
+                    s.label.replace('\n', "⏎")
+                );
+            }
+        }
+        if let Some(r) = &self.recovery {
+            let _ = writeln!(
+                out,
+                "\nlast recovery pass: roots {}/{} valid ({} torn), epoch {}, \
+                 {} tracks salvaged, {} discarded, {} reopen reads",
+                r.roots_valid,
+                r.roots_considered,
+                r.roots_torn,
+                r.epoch,
+                r.tracks_salvaged,
+                r.tracks_discarded,
+                r.reopen_reads
+            );
+        }
+        out
+    }
+
+    /// The bundle as one JSON document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        let _ = writeln!(out, "  \"reason\": \"{}\",", esc(&self.reason));
+        let _ = writeln!(out, "  \"schema\": {},", self.schema);
+        let _ = writeln!(out, "  \"complete\": {},", self.complete);
+        let _ = writeln!(out, "  \"events\": {},", self.events);
+        let _ = writeln!(out, "  \"locality_score\": {:.6},", self.locality_score);
+        out.push_str("  \"heat\": [\n");
+        for (i, h) in self.heat.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"track\":{},\"reads\":{},\"writes\":{}}}",
+                h.track, h.reads, h.writes
+            );
+            out.push_str(if i + 1 < self.heat.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"sweep\": [\n");
+        for (i, p) in self.sweep.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"capacity\":{},\"hits\":{},\"misses\":{},\"hit_rate\":{:.6}}}",
+                p.capacity,
+                p.hits,
+                p.misses,
+                p.hit_rate()
+            );
+            out.push_str(if i + 1 < self.sweep.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        match self.live_capacity {
+            Some(c) => {
+                let _ = writeln!(out, "  \"live_capacity\": {c},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"live_capacity\": null,");
+            }
+        }
+        match self.sweep_validated {
+            Some(v) => {
+                let _ = writeln!(out, "  \"sweep_validated\": {v},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"sweep_validated\": null,");
+            }
+        }
+        out.push_str("  \"slow_statements\": [\n");
+        for (i, s) in self.slow_statements.iter().enumerate() {
+            let _ = write!(
+                out,
+                "    {{\"session\":{},\"wall_ns\":{},\"label\":\"{}\"}}",
+                s.session,
+                s.wall_ns,
+                esc(&s.label)
+            );
+            out.push_str(if i + 1 < self.slow_statements.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n");
+        match &self.recovery {
+            Some(r) => {
+                let _ = writeln!(
+                    out,
+                    "  \"recovery\": {{\"roots_considered\":{},\"roots_valid\":{},\
+                     \"roots_torn\":{},\"epoch\":{},\"tracks_salvaged\":{},\
+                     \"tracks_discarded\":{},\"reopen_reads\":{}}},",
+                    r.roots_considered,
+                    r.roots_valid,
+                    r.roots_torn,
+                    r.epoch,
+                    r.tracks_salvaged,
+                    r.tracks_discarded,
+                    r.reopen_reads
+                );
+            }
+            None => {
+                let _ = writeln!(out, "  \"recovery\": null,");
+            }
+        }
+        match self.replay_matches_live {
+            Some(v) => {
+                let _ = writeln!(out, "  \"replay_matches_live\": {v},");
+            }
+            None => {
+                let _ = writeln!(out, "  \"replay_matches_live\": null,");
+            }
+        }
+        out.push_str("  \"replayed_metrics\": [\n");
+        let json_lines = self.replayed.to_json_lines();
+        let all: Vec<&str> = json_lines.lines().collect();
+        for (i, line) in all.iter().enumerate() {
+            let _ = write!(out, "    {line}");
+            out.push_str(if i + 1 < all.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ]\n");
+        out.push_str("}\n");
+        out
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Per-track reads/writes plus the locality score over successful reads.
+fn heat_map(events: &[JournalEvent]) -> (Vec<TrackHeat>, f64) {
+    let mut per: HashMap<u64, (u64, u64)> = HashMap::new();
+    let mut reads_total = 0u64;
+    for e in events {
+        match e {
+            JournalEvent::TrackRead { track, ok: true } => {
+                per.entry(*track).or_default().0 += 1;
+                reads_total += 1;
+            }
+            JournalEvent::TrackWrite { track, ok: true, .. } => {
+                per.entry(*track).or_default().1 += 1;
+            }
+            _ => {}
+        }
+    }
+    let unique_read = per.values().filter(|(r, _)| *r > 0).count() as u64;
+    let locality =
+        if reads_total == 0 { 0.0 } else { 1.0 - unique_read as f64 / reads_total as f64 };
+    let mut heat: Vec<TrackHeat> = per
+        .into_iter()
+        .map(|(track, (reads, writes))| TrackHeat { track, reads, writes })
+        .collect();
+    heat.sort_by(|a, b| {
+        (b.reads + b.writes).cmp(&(a.reads + a.writes)).then(a.track.cmp(&b.track))
+    });
+    (heat, locality)
+}
+
+/// A standalone LRU mirroring `TrackCache` semantics: recency is updated
+/// on hit and on insert/refresh; eviction removes the least recently
+/// touched entry; capacity 0 caches nothing.
+struct ModelLru {
+    cap: usize,
+    slots: HashMap<u64, u64>,
+    tick: u64,
+}
+
+impl ModelLru {
+    fn new(cap: usize) -> ModelLru {
+        ModelLru { cap, slots: HashMap::new(), tick: 0 }
+    }
+
+    fn contains(&self, track: u64) -> bool {
+        self.slots.contains_key(&track)
+    }
+
+    fn touch(&mut self, track: u64) {
+        self.tick += 1;
+        self.slots.insert(track, self.tick);
+    }
+
+    fn insert(&mut self, track: u64) {
+        if self.cap == 0 {
+            return;
+        }
+        if !self.slots.contains_key(&track) && self.slots.len() >= self.cap {
+            if let Some((&lru, _)) = self.slots.iter().min_by_key(|(_, &t)| t) {
+                self.slots.remove(&lru);
+            }
+        }
+        self.touch(track);
+    }
+}
+
+/// Replay the recorded cache traffic at capacity `cap`.  On an access
+/// miss the live system read through and filled the cache, so the model
+/// inserts; recorded read-through fills are therefore skipped (they are
+/// implied by the model's own misses), while commit-path fills happen at
+/// any capacity and are replayed as inserts.
+fn simulate(events: &[JournalEvent], cap: u64) -> CacheSweepPoint {
+    let mut lru = ModelLru::new(cap as usize);
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    for e in events {
+        match e {
+            JournalEvent::CacheAccess { track, .. } => {
+                if lru.contains(*track) {
+                    hits += 1;
+                    lru.touch(*track);
+                } else {
+                    misses += 1;
+                    lru.insert(*track);
+                }
+            }
+            JournalEvent::CacheFill { track, commit: true } => lru.insert(*track),
+            _ => {}
+        }
+    }
+    CacheSweepPoint { capacity: cap, hits, misses }
+}
+
+fn cache_sweep(
+    events: &[JournalEvent],
+    live_capacity: Option<u64>,
+) -> (Vec<CacheSweepPoint>, Option<bool>) {
+    let mut unique: std::collections::HashSet<u64> = std::collections::HashSet::new();
+    let mut recorded_hits = 0u64;
+    let mut recorded_misses = 0u64;
+    for e in events {
+        match e {
+            JournalEvent::CacheAccess { track, hit } => {
+                unique.insert(*track);
+                if *hit {
+                    recorded_hits += 1;
+                } else {
+                    recorded_misses += 1;
+                }
+            }
+            JournalEvent::CacheFill { track, .. } => {
+                unique.insert(*track);
+            }
+            _ => {}
+        }
+    }
+    if recorded_hits + recorded_misses == 0 {
+        return (Vec::new(), None);
+    }
+    let mut caps: Vec<u64> = Vec::new();
+    let mut c = 1u64;
+    while c < unique.len() as u64 * 2 {
+        caps.push(c);
+        c *= 2;
+    }
+    caps.push(c);
+    if let Some(live) = live_capacity {
+        caps.push(live);
+    }
+    caps.sort_unstable();
+    caps.dedup();
+    let sweep: Vec<CacheSweepPoint> = caps.iter().map(|&cap| simulate(events, cap)).collect();
+    let validated = live_capacity.map(|live| {
+        sweep
+            .iter()
+            .find(|p| p.capacity == live)
+            .map(|p| p.hits == recorded_hits && p.misses == recorded_misses)
+            .unwrap_or(false)
+    });
+    (sweep, validated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn readout(events: Vec<JournalEvent>) -> JournalReadout {
+        JournalReadout { events, complete: true, segments: 1 }
+    }
+
+    #[test]
+    fn heat_map_counts_and_locality() {
+        let events = vec![
+            JournalEvent::TrackRead { track: 1, ok: true },
+            JournalEvent::TrackRead { track: 1, ok: true },
+            JournalEvent::TrackRead { track: 1, ok: true },
+            JournalEvent::TrackRead { track: 2, ok: true },
+            JournalEvent::TrackRead { track: 9, ok: false },
+            JournalEvent::TrackWrite { track: 2, ok: true, bytes: 100 },
+        ];
+        let b = DiagnosticBundle::build(&readout(events), None, "test");
+        assert_eq!(b.heat[0], TrackHeat { track: 1, reads: 3, writes: 0 });
+        assert_eq!(b.heat[1], TrackHeat { track: 2, reads: 1, writes: 1 });
+        assert_eq!(b.heat.len(), 2, "failed reads don't heat tracks");
+        // 4 successful reads over 2 unique tracks → 1 - 2/4 = 0.5.
+        assert!((b.locality_score - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_validates_against_recorded_counts() {
+        // Live capacity 1: access A miss (fill), access A hit, access B
+        // miss (fill, evicts A), access A miss again.
+        let events = vec![
+            JournalEvent::CacheConfigured { tracks: 1 },
+            JournalEvent::CacheAccess { track: 10, hit: false },
+            JournalEvent::CacheFill { track: 10, commit: false },
+            JournalEvent::CacheAccess { track: 10, hit: true },
+            JournalEvent::CacheAccess { track: 20, hit: false },
+            JournalEvent::CacheFill { track: 20, commit: false },
+            JournalEvent::CacheAccess { track: 10, hit: false },
+            JournalEvent::CacheFill { track: 10, commit: false },
+        ];
+        let b = DiagnosticBundle::build(&readout(events), None, "test");
+        assert_eq!(b.live_capacity, Some(1));
+        assert_eq!(b.sweep_validated, Some(true), "model reproduces the live trace");
+        let at2 = b.sweep.iter().find(|p| p.capacity == 2).expect("cap-2 point");
+        assert_eq!((at2.hits, at2.misses), (2, 2), "a larger cache keeps both tracks");
+    }
+
+    #[test]
+    fn slow_statements_ranked_and_bounded() {
+        let mut events = Vec::new();
+        for i in 0..20u64 {
+            events.push(JournalEvent::Statement {
+                session: 1,
+                wall_ns: i * 100,
+                label: format!("stmt {i}"),
+            });
+        }
+        let b = DiagnosticBundle::build(&readout(events), None, "test");
+        assert_eq!(b.slow_statements.len(), 10);
+        assert_eq!(b.slow_statements[0].label, "stmt 19", "slowest first");
+        assert!(b.slow_statements.windows(2).all(|w| w[0].wall_ns >= w[1].wall_ns));
+    }
+
+    #[test]
+    fn replay_verdict_and_renderings() {
+        let events = vec![
+            JournalEvent::TxnBegin,
+            JournalEvent::TxnCommit,
+            JournalEvent::Statement { session: 1, wall_ns: 5000, label: "X := 1".into() },
+        ];
+        let live = replay(&events).snapshot();
+        let b = DiagnosticBundle::build(&readout(events), Some(&live), "test");
+        assert_eq!(b.replay_matches_live, Some(true));
+        let text = b.render();
+        assert!(text.contains("reproduces the live MetricsSnapshot exactly"));
+        assert!(text.contains("track heat map"));
+        let json = b.to_json();
+        assert!(json.contains("\"replay_matches_live\": true"));
+        assert!(json.contains("\"reason\": \"test\""));
+    }
+}

@@ -1,0 +1,1094 @@
+//! The persistent flight recorder: a bounded, schema-versioned,
+//! append-only event journal.
+//!
+//! Events are one JSON object per line (JSONL) across numbered segment
+//! files `journal-NNNNNNNN.jsonl`; segments rotate at a byte budget and
+//! the oldest are deleted past a segment budget, so the journal is
+//! bounded on disk.  Every segment opens with a `{"e":"header","v":1}`
+//! line and readers reject unknown schema versions.
+//!
+//! The journal is the durable twin of the metrics registry: every event
+//! corresponds to exactly the counter/histogram moves the live layer
+//! made, and [`JournalEvent::apply_to`] is the single replay rule-set.
+//! Replaying a journal recorded from birth (or from a
+//! [`Journal::emit_baseline`] point) through a fresh registry reproduces
+//! the live [`MetricsSnapshot`] byte-for-byte — the determinism contract
+//! that keeps the recorder honest.
+//!
+//! Disabled (the default), the journal costs one relaxed atomic load at
+//! each emission site and adds zero interpreter dispatches.
+
+use crate::metrics::{HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+use std::collections::BTreeMap;
+use std::io::{BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Journal schema version accepted by this build's reader.
+pub const JOURNAL_SCHEMA: u64 = 1;
+
+const BUCKETS: usize = 64;
+
+/// Sizing for the on-disk journal.
+#[derive(Clone, Debug)]
+pub struct JournalConfig {
+    /// Directory holding the segment files (created if absent).
+    pub dir: PathBuf,
+    /// Rotate to a new segment once the current one reaches this size.
+    pub max_segment_bytes: u64,
+    /// Keep at most this many segments; the oldest are deleted.
+    pub max_segments: usize,
+}
+
+impl JournalConfig {
+    /// Default sizing (1 MiB segments, 8 segments) in `dir`.
+    pub fn at(dir: impl Into<PathBuf>) -> JournalConfig {
+        JournalConfig { dir: dir.into(), max_segment_bytes: 1 << 20, max_segments: 8 }
+    }
+}
+
+/// One recorded event.  Each variant mirrors exactly one set of counter
+/// or histogram moves in the live system; `apply_to` replays them.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JournalEvent {
+    /// Registry state at recording start: one event per counter.
+    BaselineCounter {
+        name: String,
+        value: u64,
+    },
+    /// Registry state at recording start: one event per gauge.
+    BaselineGauge {
+        name: String,
+        value: i64,
+    },
+    /// Registry state at recording start: one event per histogram.
+    BaselineHistogram {
+        name: String,
+        snap: HistogramSnapshot,
+    },
+    /// Informational: the live track-cache capacity (drives the doctor's
+    /// sweep validation; no counter effect).
+    CacheConfigured {
+        tracks: u64,
+    },
+    /// One executed statement (`session.statements` / `session.statement_ns`).
+    Statement {
+        session: u64,
+        wall_ns: u64,
+        label: String,
+    },
+    /// One interpreter stats flush (`opal.interp.dispatches` / `.sends`).
+    Interp {
+        dispatches: u64,
+        sends: u64,
+    },
+    /// One query-plan execution (the `calculus.*` counters).
+    Plan {
+        rows_scanned: u64,
+        index_rows: u64,
+        index_hits: u64,
+        index_fallbacks: u64,
+        select_in: u64,
+        select_out: u64,
+        nest_loops: u64,
+        hash_builds: u64,
+        hash_probes: u64,
+        hash_matches: u64,
+        rows_out: u64,
+    },
+    TxnBegin,
+    TxnCommit,
+    TxnAbort {
+        conflict: bool,
+    },
+    /// One committed safe-write group (`storage.store.commits`,
+    /// `.objects_written`, `storage.commit.group_tracks`).
+    SafeWriteGroup {
+        tracks: u64,
+        objects: u64,
+    },
+    TrackRead {
+        track: u64,
+        ok: bool,
+    },
+    TrackWrite {
+        track: u64,
+        ok: bool,
+        bytes: u64,
+    },
+    CacheAccess {
+        track: u64,
+        hit: bool,
+    },
+    CacheFill {
+        track: u64,
+        commit: bool,
+    },
+    CacheEvict {
+        track: u64,
+    },
+    ObjectFault {
+        goop: u64,
+    },
+    VerifyCheck {
+        rejected: bool,
+    },
+    /// One recovery pass (the `storage.recovery.*` gauges).
+    Recovery {
+        roots_considered: u64,
+        roots_valid: u64,
+        roots_torn: u64,
+        epoch: u64,
+        tracks_salvaged: u64,
+        tracks_discarded: u64,
+        reopen_reads: u64,
+    },
+}
+
+impl JournalEvent {
+    /// Serialize as one JSON line (no trailing newline).
+    pub fn to_line(&self) -> String {
+        use JournalEvent::*;
+        match self {
+            BaselineCounter { name, value } => {
+                format!("{{\"e\":\"base_counter\",\"name\":\"{}\",\"value\":{value}}}", esc(name))
+            }
+            BaselineGauge { name, value } => {
+                format!("{{\"e\":\"base_gauge\",\"name\":\"{}\",\"value\":{value}}}", esc(name))
+            }
+            BaselineHistogram { name, snap } => format!(
+                "{{\"e\":\"base_hist\",\"name\":\"{}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"buckets\":\"{}\"}}",
+                esc(name),
+                snap.count,
+                snap.sum,
+                snap.min,
+                snap.max,
+                buckets_to_str(&snap.buckets),
+            ),
+            CacheConfigured { tracks } => {
+                format!("{{\"e\":\"cache_configured\",\"tracks\":{tracks}}}")
+            }
+            Statement { session, wall_ns, label } => format!(
+                "{{\"e\":\"statement\",\"session\":{session},\"wall_ns\":{wall_ns},\"label\":\"{}\"}}",
+                esc(label)
+            ),
+            Interp { dispatches, sends } => {
+                format!("{{\"e\":\"interp\",\"dispatches\":{dispatches},\"sends\":{sends}}}")
+            }
+            Plan {
+                rows_scanned,
+                index_rows,
+                index_hits,
+                index_fallbacks,
+                select_in,
+                select_out,
+                nest_loops,
+                hash_builds,
+                hash_probes,
+                hash_matches,
+                rows_out,
+            } => format!(
+                "{{\"e\":\"plan\",\"rows_scanned\":{rows_scanned},\"index_rows\":{index_rows},\
+                 \"index_hits\":{index_hits},\"index_fallbacks\":{index_fallbacks},\
+                 \"select_in\":{select_in},\"select_out\":{select_out},\"nest_loops\":{nest_loops},\
+                 \"hash_builds\":{hash_builds},\"hash_probes\":{hash_probes},\
+                 \"hash_matches\":{hash_matches},\"rows_out\":{rows_out}}}"
+            ),
+            TxnBegin => "{\"e\":\"txn_begin\"}".to_string(),
+            TxnCommit => "{\"e\":\"txn_commit\"}".to_string(),
+            TxnAbort { conflict } => format!("{{\"e\":\"txn_abort\",\"conflict\":{conflict}}}"),
+            SafeWriteGroup { tracks, objects } => format!(
+                "{{\"e\":\"safe_write_group\",\"tracks\":{tracks},\"objects\":{objects}}}"
+            ),
+            TrackRead { track, ok } => {
+                format!("{{\"e\":\"track_read\",\"track\":{track},\"ok\":{ok}}}")
+            }
+            TrackWrite { track, ok, bytes } => {
+                format!("{{\"e\":\"track_write\",\"track\":{track},\"ok\":{ok},\"bytes\":{bytes}}}")
+            }
+            CacheAccess { track, hit } => {
+                format!("{{\"e\":\"cache_access\",\"track\":{track},\"hit\":{hit}}}")
+            }
+            CacheFill { track, commit } => {
+                format!("{{\"e\":\"cache_fill\",\"track\":{track},\"commit\":{commit}}}")
+            }
+            CacheEvict { track } => format!("{{\"e\":\"cache_evict\",\"track\":{track}}}"),
+            ObjectFault { goop } => format!("{{\"e\":\"object_fault\",\"goop\":{goop}}}"),
+            VerifyCheck { rejected } => format!("{{\"e\":\"verify\",\"rejected\":{rejected}}}"),
+            Recovery {
+                roots_considered,
+                roots_valid,
+                roots_torn,
+                epoch,
+                tracks_salvaged,
+                tracks_discarded,
+                reopen_reads,
+            } => format!(
+                "{{\"e\":\"recovery\",\"roots_considered\":{roots_considered},\
+                 \"roots_valid\":{roots_valid},\"roots_torn\":{roots_torn},\"epoch\":{epoch},\
+                 \"tracks_salvaged\":{tracks_salvaged},\"tracks_discarded\":{tracks_discarded},\
+                 \"reopen_reads\":{reopen_reads}}}"
+            ),
+        }
+    }
+
+    /// Parse one JSON line back into an event.  Unknown event names are
+    /// an error: within one schema version the event set is closed.
+    pub fn parse(line: &str) -> Result<JournalEvent, String> {
+        let obj = parse_flat(line)?;
+        let kind = obj.str("e")?;
+        let ev = match kind.as_str() {
+            "base_counter" => {
+                JournalEvent::BaselineCounter { name: obj.str("name")?, value: obj.u64("value")? }
+            }
+            "base_gauge" => {
+                JournalEvent::BaselineGauge { name: obj.str("name")?, value: obj.i64("value")? }
+            }
+            "base_hist" => JournalEvent::BaselineHistogram {
+                name: obj.str("name")?,
+                snap: HistogramSnapshot {
+                    count: obj.u64("count")?,
+                    sum: obj.u64("sum")?,
+                    min: obj.u64("min")?,
+                    max: obj.u64("max")?,
+                    buckets: buckets_from_str(&obj.str("buckets")?)?,
+                },
+            },
+            "cache_configured" => JournalEvent::CacheConfigured { tracks: obj.u64("tracks")? },
+            "statement" => JournalEvent::Statement {
+                session: obj.u64("session")?,
+                wall_ns: obj.u64("wall_ns")?,
+                label: obj.str("label")?,
+            },
+            "interp" => JournalEvent::Interp {
+                dispatches: obj.u64("dispatches")?,
+                sends: obj.u64("sends")?,
+            },
+            "plan" => JournalEvent::Plan {
+                rows_scanned: obj.u64("rows_scanned")?,
+                index_rows: obj.u64("index_rows")?,
+                index_hits: obj.u64("index_hits")?,
+                index_fallbacks: obj.u64("index_fallbacks")?,
+                select_in: obj.u64("select_in")?,
+                select_out: obj.u64("select_out")?,
+                nest_loops: obj.u64("nest_loops")?,
+                hash_builds: obj.u64("hash_builds")?,
+                hash_probes: obj.u64("hash_probes")?,
+                hash_matches: obj.u64("hash_matches")?,
+                rows_out: obj.u64("rows_out")?,
+            },
+            "txn_begin" => JournalEvent::TxnBegin,
+            "txn_commit" => JournalEvent::TxnCommit,
+            "txn_abort" => JournalEvent::TxnAbort { conflict: obj.bool("conflict")? },
+            "safe_write_group" => JournalEvent::SafeWriteGroup {
+                tracks: obj.u64("tracks")?,
+                objects: obj.u64("objects")?,
+            },
+            "track_read" => {
+                JournalEvent::TrackRead { track: obj.u64("track")?, ok: obj.bool("ok")? }
+            }
+            "track_write" => JournalEvent::TrackWrite {
+                track: obj.u64("track")?,
+                ok: obj.bool("ok")?,
+                bytes: obj.u64("bytes")?,
+            },
+            "cache_access" => {
+                JournalEvent::CacheAccess { track: obj.u64("track")?, hit: obj.bool("hit")? }
+            }
+            "cache_fill" => {
+                JournalEvent::CacheFill { track: obj.u64("track")?, commit: obj.bool("commit")? }
+            }
+            "cache_evict" => JournalEvent::CacheEvict { track: obj.u64("track")? },
+            "object_fault" => JournalEvent::ObjectFault { goop: obj.u64("goop")? },
+            "verify" => JournalEvent::VerifyCheck { rejected: obj.bool("rejected")? },
+            "recovery" => JournalEvent::Recovery {
+                roots_considered: obj.u64("roots_considered")?,
+                roots_valid: obj.u64("roots_valid")?,
+                roots_torn: obj.u64("roots_torn")?,
+                epoch: obj.u64("epoch")?,
+                tracks_salvaged: obj.u64("tracks_salvaged")?,
+                tracks_discarded: obj.u64("tracks_discarded")?,
+                reopen_reads: obj.u64("reopen_reads")?,
+            },
+            other => return Err(format!("unknown journal event {other:?}")),
+        };
+        Ok(ev)
+    }
+
+    /// Replay this event's counter/gauge/histogram moves into `r`.  This
+    /// is the single rule-set that makes a journal equivalent to the
+    /// live metric stream.
+    pub fn apply_to(&self, r: &MetricsRegistry) {
+        use JournalEvent::*;
+        match self {
+            BaselineCounter { name, value } => r.counter(name).add(*value),
+            BaselineGauge { name, value } => r.gauge(name).set(*value),
+            BaselineHistogram { name, snap } => r.histogram(name).load(snap),
+            CacheConfigured { .. } => {}
+            Statement { wall_ns, .. } => {
+                r.counter("session.statements").inc();
+                r.histogram("session.statement_ns").record(*wall_ns);
+            }
+            Interp { dispatches, sends } => {
+                r.counter("opal.interp.dispatches").add(*dispatches);
+                r.counter("opal.interp.sends").add(*sends);
+            }
+            Plan {
+                rows_scanned,
+                index_rows,
+                index_hits,
+                index_fallbacks,
+                select_in,
+                select_out,
+                nest_loops,
+                hash_builds,
+                hash_probes,
+                hash_matches,
+                rows_out,
+            } => {
+                r.counter("calculus.rows_scanned").add(*rows_scanned);
+                r.counter("calculus.index_rows").add(*index_rows);
+                r.counter("calculus.index_hits").add(*index_hits);
+                r.counter("calculus.index_fallbacks").add(*index_fallbacks);
+                r.counter("calculus.select_in").add(*select_in);
+                r.counter("calculus.select_out").add(*select_out);
+                r.counter("calculus.nest_loops").add(*nest_loops);
+                r.counter("calculus.hash_builds").add(*hash_builds);
+                r.counter("calculus.hash_probes").add(*hash_probes);
+                r.counter("calculus.hash_matches").add(*hash_matches);
+                r.counter("calculus.rows_out").add(*rows_out);
+            }
+            TxnBegin => r.counter("txn.begins").inc(),
+            TxnCommit => r.counter("txn.commits").inc(),
+            TxnAbort { conflict } => {
+                r.counter("txn.aborts").inc();
+                if *conflict {
+                    r.counter("txn.conflicts").inc();
+                }
+            }
+            SafeWriteGroup { tracks, objects } => {
+                r.counter("storage.store.commits").inc();
+                r.counter("storage.store.objects_written").add(*objects);
+                r.histogram("storage.commit.group_tracks").record(*tracks);
+            }
+            TrackRead { ok, .. } => {
+                if *ok {
+                    r.counter("storage.disk.reads").inc();
+                } else {
+                    r.counter("storage.disk.failed_reads").inc();
+                }
+            }
+            TrackWrite { ok, bytes, .. } => {
+                if *ok {
+                    r.counter("storage.disk.writes").inc();
+                    r.counter("storage.disk.bytes_written").add(*bytes);
+                } else {
+                    r.counter("storage.disk.failed_writes").inc();
+                }
+            }
+            CacheAccess { hit, .. } => {
+                if *hit {
+                    r.counter("storage.cache.hits").inc();
+                } else {
+                    r.counter("storage.cache.misses").inc();
+                }
+            }
+            CacheFill { commit, .. } => {
+                if *commit {
+                    r.counter("storage.cache.fills_commit").inc();
+                } else {
+                    r.counter("storage.cache.fills_read").inc();
+                }
+            }
+            CacheEvict { .. } => r.counter("storage.cache.evictions").inc(),
+            ObjectFault { .. } => r.counter("storage.store.object_faults").inc(),
+            VerifyCheck { rejected } => {
+                r.counter("opal.verify.checks").inc();
+                if *rejected {
+                    r.counter("opal.verify.rejects").inc();
+                }
+            }
+            Recovery {
+                roots_considered,
+                roots_valid,
+                roots_torn,
+                epoch,
+                tracks_salvaged,
+                tracks_discarded,
+                reopen_reads,
+            } => {
+                r.gauge("storage.recovery.roots_considered").set(*roots_considered as i64);
+                r.gauge("storage.recovery.roots_valid").set(*roots_valid as i64);
+                r.gauge("storage.recovery.roots_torn").set(*roots_torn as i64);
+                r.gauge("storage.recovery.epoch").set(*epoch as i64);
+                r.gauge("storage.recovery.tracks_salvaged").set(*tracks_salvaged as i64);
+                r.gauge("storage.recovery.tracks_discarded").set(*tracks_discarded as i64);
+                r.gauge("storage.recovery.reopen_reads").set(*reopen_reads as i64);
+            }
+        }
+    }
+}
+
+/// Replay a journal into a fresh registry.
+pub fn replay(events: &[JournalEvent]) -> MetricsRegistry {
+    let r = MetricsRegistry::new();
+    for e in events {
+        e.apply_to(&r);
+    }
+    r
+}
+
+/// Everything a reader learned from a journal directory.
+#[derive(Debug)]
+pub struct JournalReadout {
+    /// Events across all surviving segments, oldest first.
+    pub events: Vec<JournalEvent>,
+    /// False when rotation deleted the oldest segments, so the stream no
+    /// longer starts at segment 1 and replay is only partial.
+    pub complete: bool,
+    /// Surviving segment count.
+    pub segments: usize,
+}
+
+struct JournalState {
+    cfg: JournalConfig,
+    seq: u64,
+    seg_bytes: u64,
+    writer: BufWriter<std::fs::File>,
+    live_segments: Vec<u64>,
+}
+
+struct JournalShared {
+    enabled: AtomicBool,
+    bundle_seq: AtomicU64,
+    state: Mutex<Option<JournalState>>,
+}
+
+/// A handle on the flight recorder; clones share one recorder.  Disabled
+/// (the default) every emission site pays one relaxed atomic load.
+#[derive(Clone)]
+pub struct Journal(Arc<JournalShared>);
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Journal").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Default for Journal {
+    fn default() -> Journal {
+        Journal::disabled()
+    }
+}
+
+fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("journal-{seq:08}.jsonl"))
+}
+
+fn header_line(seq: u64) -> String {
+    format!("{{\"e\":\"header\",\"v\":{JOURNAL_SCHEMA},\"seq\":{seq}}}\n")
+}
+
+impl Journal {
+    /// A recorder that is off until [`Journal::start`] is called.
+    pub fn disabled() -> Journal {
+        Journal(Arc::new(JournalShared {
+            enabled: AtomicBool::new(false),
+            bundle_seq: AtomicU64::new(1),
+            state: Mutex::new(None),
+        }))
+    }
+
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.0.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Begin recording into `cfg.dir`, replacing any previous recording
+    /// there (stale `journal-*.jsonl` segments are removed so the stream
+    /// restarts at segment 1).
+    pub fn start(&self, cfg: JournalConfig) -> std::io::Result<()> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        for entry in std::fs::read_dir(&cfg.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if name.starts_with("journal-") && name.ends_with(".jsonl") {
+                std::fs::remove_file(entry.path())?;
+            }
+        }
+        let mut writer = BufWriter::new(std::fs::File::create(segment_path(&cfg.dir, 1))?);
+        let header = header_line(1);
+        writer.write_all(header.as_bytes())?;
+        let mut state = self.0.state.lock().unwrap();
+        *state = Some(JournalState {
+            seg_bytes: header.len() as u64,
+            cfg,
+            seq: 1,
+            writer,
+            live_segments: vec![1],
+        });
+        self.0.enabled.store(true, Ordering::Relaxed);
+        Ok(())
+    }
+
+    /// Stop recording and close the current segment.
+    pub fn stop(&self) {
+        self.0.enabled.store(false, Ordering::Relaxed);
+        let mut state = self.0.state.lock().unwrap();
+        if let Some(s) = state.as_mut() {
+            let _ = s.writer.flush();
+        }
+        *state = None;
+    }
+
+    /// The directory being recorded into, while recording.
+    pub fn dir(&self) -> Option<PathBuf> {
+        self.0.state.lock().unwrap().as_ref().map(|s| s.cfg.dir.clone())
+    }
+
+    /// `(current segment seq, live segment count, bytes in current
+    /// segment)`, while recording.
+    pub fn status(&self) -> Option<(u64, usize, u64)> {
+        let state = self.0.state.lock().unwrap();
+        state.as_ref().map(|s| (s.seq, s.live_segments.len(), s.seg_bytes))
+    }
+
+    /// Push buffered lines to disk.
+    pub fn flush(&self) {
+        let mut state = self.0.state.lock().unwrap();
+        if let Some(s) = state.as_mut() {
+            let _ = s.writer.flush();
+        }
+    }
+
+    /// A fresh sequence number for naming captured diagnostic bundles.
+    pub fn next_bundle_seq(&self) -> u64 {
+        self.0.bundle_seq.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Append one event (no-op when disabled).  Write errors are
+    /// swallowed: the recorder must never take the database down.
+    pub fn emit(&self, ev: &JournalEvent) {
+        if !self.enabled() {
+            return;
+        }
+        let mut state = self.0.state.lock().unwrap();
+        let Some(s) = state.as_mut() else { return };
+        let mut line = ev.to_line();
+        line.push('\n');
+        let _ = s.writer.write_all(line.as_bytes());
+        s.seg_bytes += line.len() as u64;
+        if s.seg_bytes >= s.cfg.max_segment_bytes {
+            let _ = rotate(s);
+        }
+    }
+
+    /// Record the full current registry state as baseline events, so a
+    /// replay from this point reconstructs absolute values rather than
+    /// deltas.  Every instrument is emitted (even zero-valued) so the
+    /// replayed registry's name set matches the live one exactly.
+    pub fn emit_baseline(&self, snap: &MetricsSnapshot) {
+        if !self.enabled() {
+            return;
+        }
+        for (name, &value) in &snap.counters {
+            self.emit(&JournalEvent::BaselineCounter { name: name.clone(), value });
+        }
+        for (name, &value) in &snap.gauges {
+            self.emit(&JournalEvent::BaselineGauge { name: name.clone(), value });
+        }
+        for (name, h) in &snap.histograms {
+            self.emit(&JournalEvent::BaselineHistogram { name: name.clone(), snap: h.clone() });
+        }
+    }
+
+    /// Read every surviving segment in `dir`, oldest first.  Rejects
+    /// unknown schema versions and malformed events; tolerates one
+    /// partial trailing line in the newest segment (an in-flight write).
+    pub fn read_from(dir: &Path) -> Result<JournalReadout, String> {
+        let mut seqs: Vec<u64> = Vec::new();
+        let entries =
+            std::fs::read_dir(dir).map_err(|e| format!("journal dir {}: {e}", dir.display()))?;
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy().into_owned();
+            if let Some(num) = name.strip_prefix("journal-").and_then(|n| n.strip_suffix(".jsonl"))
+            {
+                seqs.push(num.parse::<u64>().map_err(|_| format!("bad segment name {name:?}"))?);
+            }
+        }
+        if seqs.is_empty() {
+            return Err(format!("no journal segments in {}", dir.display()));
+        }
+        seqs.sort_unstable();
+        let complete = seqs[0] == 1;
+        let mut events = Vec::new();
+        let last_seq = *seqs.last().unwrap();
+        for &seq in &seqs {
+            let path = segment_path(dir, seq);
+            let text = std::fs::read_to_string(&path)
+                .map_err(|e| format!("segment {}: {e}", path.display()))?;
+            let ends_clean = text.ends_with('\n');
+            let lines: Vec<&str> = text.lines().collect();
+            for (i, line) in lines.iter().enumerate() {
+                if line.is_empty() {
+                    continue;
+                }
+                if i == 0 {
+                    let hdr = parse_flat(line).map_err(|e| format!("segment {seq} header: {e}"))?;
+                    if hdr.str("e").ok().as_deref() != Some("header") {
+                        return Err(format!("segment {seq} does not start with a header"));
+                    }
+                    let v = hdr.u64("v").map_err(|e| format!("segment {seq} header: {e}"))?;
+                    if v != JOURNAL_SCHEMA {
+                        return Err(format!(
+                            "unsupported journal schema v{v} (this reader speaks v{JOURNAL_SCHEMA})"
+                        ));
+                    }
+                    continue;
+                }
+                match JournalEvent::parse(line) {
+                    Ok(ev) => events.push(ev),
+                    Err(_) if seq == last_seq && i == lines.len() - 1 && !ends_clean => {
+                        // In-flight partial write at the live tail.
+                    }
+                    Err(e) => return Err(format!("segment {seq} line {}: {e}", i + 1)),
+                }
+            }
+        }
+        Ok(JournalReadout { events, complete, segments: seqs.len() })
+    }
+}
+
+fn rotate(s: &mut JournalState) -> std::io::Result<()> {
+    s.writer.flush()?;
+    s.seq += 1;
+    let mut writer = BufWriter::new(std::fs::File::create(segment_path(&s.cfg.dir, s.seq))?);
+    let header = header_line(s.seq);
+    writer.write_all(header.as_bytes())?;
+    s.writer = writer;
+    s.seg_bytes = header.len() as u64;
+    s.live_segments.push(s.seq);
+    while s.live_segments.len() > s.cfg.max_segments.max(1) {
+        let old = s.live_segments.remove(0);
+        let _ = std::fs::remove_file(segment_path(&s.cfg.dir, old));
+    }
+    Ok(())
+}
+
+fn buckets_to_str(buckets: &[u64; BUCKETS]) -> String {
+    let mut out = String::new();
+    for (i, &n) in buckets.iter().enumerate() {
+        if n > 0 {
+            if !out.is_empty() {
+                out.push(',');
+            }
+            out.push_str(&format!("{i}:{n}"));
+        }
+    }
+    out
+}
+
+fn buckets_from_str(s: &str) -> Result<[u64; BUCKETS], String> {
+    let mut buckets = [0u64; BUCKETS];
+    if s.is_empty() {
+        return Ok(buckets);
+    }
+    for pair in s.split(',') {
+        let (i, n) = pair.split_once(':').ok_or_else(|| format!("bad bucket pair {pair:?}"))?;
+        let i: usize = i.parse().map_err(|_| format!("bad bucket index {i:?}"))?;
+        if i >= BUCKETS {
+            return Err(format!("bucket index {i} out of range"));
+        }
+        buckets[i] = n.parse().map_err(|_| format!("bad bucket count {n:?}"))?;
+    }
+    Ok(buckets)
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// One value in a flat JSON object.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JsonValue {
+    Str(String),
+    Num(i128),
+    Bool(bool),
+    /// A `[...]` of numbers (bench trajectory files use these).
+    NumArray(Vec<i128>),
+}
+
+/// A parsed flat JSON object (string/number/bool/number-array values
+/// only — exactly the shapes the journal and the bench trajectory emit).
+#[derive(Debug, Default)]
+pub struct FlatObject(BTreeMap<String, JsonValue>);
+
+impl FlatObject {
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        self.0.get(key)
+    }
+
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.0.keys().map(|k| k.as_str())
+    }
+
+    pub fn str(&self, key: &str) -> Result<String, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Str(s)) => Ok(s.clone()),
+            other => Err(format!("field {key:?}: expected string, got {other:?}")),
+        }
+    }
+
+    pub fn u64(&self, key: &str) -> Result<u64, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Num(n)) if *n >= 0 && *n <= u64::MAX as i128 => Ok(*n as u64),
+            other => Err(format!("field {key:?}: expected u64, got {other:?}")),
+        }
+    }
+
+    pub fn i64(&self, key: &str) -> Result<i64, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Num(n)) if *n >= i64::MIN as i128 && *n <= i64::MAX as i128 => {
+                Ok(*n as i64)
+            }
+            other => Err(format!("field {key:?}: expected i64, got {other:?}")),
+        }
+    }
+
+    pub fn bool(&self, key: &str) -> Result<bool, String> {
+        match self.0.get(key) {
+            Some(JsonValue::Bool(b)) => Ok(*b),
+            other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        }
+    }
+}
+
+/// Parse one flat JSON object line (string / integer / bool / number
+/// array values).  Hand-rolled: the toolchain has no JSON dependency.
+pub fn parse_flat(line: &str) -> Result<FlatObject, String> {
+    let mut chars = line.trim().chars().peekable();
+    let mut map = BTreeMap::new();
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek() == Some(&'}') {
+        chars.next();
+        return Ok(FlatObject(map));
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let value = parse_value(&mut chars)?;
+        map.insert(key, value);
+        skip_ws(&mut chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("expected ',' or '}}', got {other:?}")),
+        }
+    }
+    Ok(FlatObject(map))
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::Chars<'a>>;
+
+fn skip_ws(chars: &mut Chars) {
+    while matches!(chars.peek(), Some(' ' | '\t')) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Chars, want: char) -> Result<(), String> {
+    match chars.next() {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("expected {want:?}, got {other:?}")),
+    }
+}
+
+fn parse_value(chars: &mut Chars) -> Result<JsonValue, String> {
+    match chars.peek() {
+        Some('"') => Ok(JsonValue::Str(parse_string(chars)?)),
+        Some('t') | Some('f') => parse_bool(chars).map(JsonValue::Bool),
+        Some('[') => parse_num_array(chars).map(JsonValue::NumArray),
+        Some(c) if c.is_ascii_digit() || *c == '-' => parse_number(chars).map(JsonValue::Num),
+        other => Err(format!("unexpected value start {other:?}")),
+    }
+}
+
+fn parse_bool(chars: &mut Chars) -> Result<bool, String> {
+    let mut word = String::new();
+    while matches!(chars.peek(), Some(c) if c.is_ascii_alphabetic()) {
+        word.push(chars.next().unwrap());
+    }
+    match word.as_str() {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(format!("expected bool, got {other:?}")),
+    }
+}
+
+fn parse_number(chars: &mut Chars) -> Result<i128, String> {
+    let mut text = String::new();
+    if chars.peek() == Some(&'-') {
+        text.push(chars.next().unwrap());
+    }
+    while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+        text.push(chars.next().unwrap());
+    }
+    // Fractional part: the trajectory files carry a few float fields
+    // (timings, scores).  Truncate toward zero — every gated field is
+    // integral, floats are informational.
+    if chars.peek() == Some(&'.') {
+        chars.next();
+        while matches!(chars.peek(), Some(c) if c.is_ascii_digit()) {
+            chars.next();
+        }
+    }
+    text.parse::<i128>().map_err(|_| format!("bad number {text:?}"))
+}
+
+fn parse_num_array(chars: &mut Chars) -> Result<Vec<i128>, String> {
+    expect(chars, '[')?;
+    let mut out = Vec::new();
+    skip_ws(chars);
+    if chars.peek() == Some(&']') {
+        chars.next();
+        return Ok(out);
+    }
+    loop {
+        skip_ws(chars);
+        out.push(parse_number(chars)?);
+        skip_ws(chars);
+        match chars.next() {
+            Some(',') => continue,
+            Some(']') => break,
+            other => return Err(format!("expected ',' or ']', got {other:?}")),
+        }
+    }
+    Ok(out)
+}
+
+fn parse_string(chars: &mut Chars) -> Result<String, String> {
+    expect(chars, '"')?;
+    let mut out = String::new();
+    loop {
+        match chars.next() {
+            Some('"') => return Ok(out),
+            Some('\\') => match chars.next() {
+                Some('"') => out.push('"'),
+                Some('\\') => out.push('\\'),
+                Some('n') => out.push('\n'),
+                Some('r') => out.push('\r'),
+                Some('t') => out.push('\t'),
+                Some('/') => out.push('/'),
+                Some('u') => {
+                    let mut hex = String::new();
+                    for _ in 0..4 {
+                        hex.push(chars.next().ok_or("truncated \\u escape")?);
+                    }
+                    let code =
+                        u32::from_str_radix(&hex, 16).map_err(|_| format!("bad \\u{hex}"))?;
+                    out.push(char::from_u32(code).ok_or(format!("bad codepoint \\u{hex}"))?);
+                }
+                other => return Err(format!("bad escape {other:?}")),
+            },
+            Some(c) => out.push(c),
+            None => return Err("unterminated string".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("gemstone-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample_events() -> Vec<JournalEvent> {
+        vec![
+            JournalEvent::TxnBegin,
+            JournalEvent::Statement { session: 1, wall_ns: 1234, label: "X := 1\n\"q\"".into() },
+            JournalEvent::Interp { dispatches: 42, sends: 7 },
+            JournalEvent::TrackWrite { track: 3, ok: true, bytes: 8192 },
+            JournalEvent::TrackRead { track: 3, ok: false },
+            JournalEvent::CacheAccess { track: 3, hit: true },
+            JournalEvent::CacheFill { track: 9, commit: false },
+            JournalEvent::CacheEvict { track: 2 },
+            JournalEvent::ObjectFault { goop: 77 },
+            JournalEvent::VerifyCheck { rejected: true },
+            JournalEvent::SafeWriteGroup { tracks: 4, objects: 11 },
+            JournalEvent::TxnAbort { conflict: true },
+            JournalEvent::TxnCommit,
+            JournalEvent::Recovery {
+                roots_considered: 2,
+                roots_valid: 1,
+                roots_torn: 1,
+                epoch: 5,
+                tracks_salvaged: 9,
+                tracks_discarded: 1,
+                reopen_reads: 12,
+            },
+            JournalEvent::CacheConfigured { tracks: 16 },
+        ]
+    }
+
+    #[test]
+    fn events_round_trip_through_lines() {
+        for ev in sample_events() {
+            let line = ev.to_line();
+            let back = JournalEvent::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "round trip for {line}");
+        }
+    }
+
+    #[test]
+    fn apply_matches_live_counter_rules() {
+        let r = MetricsRegistry::new();
+        for ev in sample_events() {
+            ev.apply_to(&r);
+        }
+        let s = r.snapshot();
+        assert_eq!(s.counter("txn.begins"), 1);
+        assert_eq!(s.counter("txn.commits"), 1);
+        assert_eq!(s.counter("txn.aborts"), 1);
+        assert_eq!(s.counter("txn.conflicts"), 1);
+        assert_eq!(s.counter("session.statements"), 1);
+        assert_eq!(s.counter("opal.interp.dispatches"), 42);
+        assert_eq!(s.counter("storage.disk.writes"), 1);
+        assert_eq!(s.counter("storage.disk.bytes_written"), 8192);
+        assert_eq!(s.counter("storage.disk.failed_reads"), 1);
+        assert_eq!(s.counter("storage.cache.hits"), 1);
+        assert_eq!(s.counter("storage.cache.fills_read"), 1);
+        assert_eq!(s.counter("storage.cache.evictions"), 1);
+        assert_eq!(s.counter("storage.store.object_faults"), 1);
+        assert_eq!(s.counter("storage.store.commits"), 1);
+        assert_eq!(s.counter("storage.store.objects_written"), 11);
+        assert_eq!(s.counter("opal.verify.checks"), 1);
+        assert_eq!(s.counter("opal.verify.rejects"), 1);
+        assert_eq!(s.gauge("storage.recovery.epoch"), 5);
+        assert_eq!(s.histogram("storage.commit.group_tracks").unwrap().count, 1);
+        assert_eq!(s.histogram("session.statement_ns").unwrap().sum, 1234);
+    }
+
+    #[test]
+    fn baseline_reloads_absolute_state() {
+        let live = MetricsRegistry::new();
+        live.counter("a.b").add(41);
+        live.gauge("g").set(-6);
+        let h = live.histogram("lat");
+        for v in [0u64, 3, 900] {
+            h.record(v);
+        }
+        let snap = live.snapshot();
+
+        let j = Journal::disabled();
+        let dir = temp_dir("baseline");
+        j.start(JournalConfig::at(&dir)).unwrap();
+        j.emit_baseline(&snap);
+        j.stop();
+
+        let readout = Journal::read_from(&dir).unwrap();
+        let replayed = replay(&readout.events).snapshot();
+        assert_eq!(replayed, snap);
+        assert_eq!(replayed.to_json_lines(), snap.to_json_lines());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rotation_bounds_segments_and_marks_incomplete() {
+        let j = Journal::disabled();
+        let dir = temp_dir("rotate");
+        j.start(JournalConfig { dir: dir.clone(), max_segment_bytes: 256, max_segments: 3 })
+            .unwrap();
+        for i in 0..200 {
+            j.emit(&JournalEvent::TrackWrite { track: i, ok: true, bytes: 8192 });
+        }
+        j.flush();
+        let (seq, live, _) = j.status().unwrap();
+        assert!(seq > 3, "many rotations happened: seq={seq}");
+        assert!(live <= 3, "segment budget enforced: {live}");
+        let on_disk = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().starts_with("journal-"))
+            .count();
+        assert!(on_disk <= 3, "old segments deleted from disk: {on_disk}");
+
+        let readout = Journal::read_from(&dir).unwrap();
+        assert!(!readout.complete, "rotated-away head makes the journal incomplete");
+        assert!(readout.events.len() < 200, "oldest events gone");
+        assert!(!readout.events.is_empty());
+        j.stop();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_schema_version_is_rejected() {
+        let dir = temp_dir("schema");
+        std::fs::write(
+            dir.join("journal-00000001.jsonl"),
+            "{\"e\":\"header\",\"v\":99,\"seq\":1}\n{\"e\":\"txn_begin\"}\n",
+        )
+        .unwrap();
+        let err = Journal::read_from(&dir).unwrap_err();
+        assert!(err.contains("unsupported journal schema v99"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_event_is_rejected() {
+        let dir = temp_dir("unknown-event");
+        std::fs::write(
+            dir.join("journal-00000001.jsonl"),
+            "{\"e\":\"header\",\"v\":1,\"seq\":1}\n{\"e\":\"warp_drive\",\"x\":1}\n",
+        )
+        .unwrap();
+        let err = Journal::read_from(&dir).unwrap_err();
+        assert!(err.contains("unknown journal event"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn disabled_journal_emits_nothing() {
+        let j = Journal::disabled();
+        j.emit(&JournalEvent::TxnBegin);
+        assert!(j.dir().is_none());
+        assert!(!j.enabled());
+    }
+
+    #[test]
+    fn partial_trailing_line_is_tolerated() {
+        let dir = temp_dir("partial");
+        std::fs::write(
+            dir.join("journal-00000001.jsonl"),
+            "{\"e\":\"header\",\"v\":1,\"seq\":1}\n{\"e\":\"txn_begin\"}\n{\"e\":\"txn_co",
+        )
+        .unwrap();
+        let readout = Journal::read_from(&dir).unwrap();
+        assert_eq!(readout.events, vec![JournalEvent::TxnBegin]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -20,11 +20,18 @@
 //! assert_eq!(t.registry.snapshot().diff(&before).counter("storage.disk.reads"), 3);
 //! ```
 
+mod bundle;
 mod clock;
+mod journal;
 mod metrics;
 mod trace;
 
+pub use bundle::{CacheSweepPoint, DiagnosticBundle, RecoverySummary, SlowEntry, TrackHeat};
 pub use clock::{ManualTime, TelemetryClock};
+pub use journal::{
+    parse_flat, replay, FlatObject, Journal, JournalConfig, JournalEvent, JournalReadout,
+    JsonValue, JOURNAL_SCHEMA,
+};
 pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
 pub use trace::{OpenSpan, SpanEvent, SpanKind, Tracer};
 
@@ -37,6 +44,8 @@ use std::sync::Arc;
 pub struct Telemetry {
     pub registry: MetricsRegistry,
     pub tracer: Tracer,
+    /// The persistent flight recorder (disabled until started).
+    pub journal: Journal,
     clock: TelemetryClock,
     next_session: Arc<AtomicU64>,
 }
@@ -53,7 +62,13 @@ impl Telemetry {
         let tracer = Tracer::new(clock.clone());
         registry.register_counter("telemetry.spans.recorded", &tracer.recorded_counter());
         registry.register_counter("telemetry.spans.dropped", &tracer.dropped_counter());
-        Telemetry { registry, tracer, clock, next_session: Arc::new(AtomicU64::new(1)) }
+        Telemetry {
+            registry,
+            tracer,
+            journal: Journal::disabled(),
+            clock,
+            next_session: Arc::new(AtomicU64::new(1)),
+        }
     }
 
     /// Deterministic telemetry for tests: a hand-cranked clock plus its

@@ -140,6 +140,25 @@ impl Histogram {
         h.max.store(0, Ordering::Relaxed);
     }
 
+    /// Merge a frozen snapshot into this histogram — journal replay uses
+    /// this to reload a recorded baseline.  No-op for empty snapshots so
+    /// the min sentinel stays untouched.
+    pub fn load(&self, s: &HistogramSnapshot) {
+        if s.count == 0 {
+            return;
+        }
+        let h = &*self.0;
+        for (i, &n) in s.buckets.iter().enumerate() {
+            if n > 0 {
+                h.buckets[i].fetch_add(n, Ordering::Relaxed);
+            }
+        }
+        h.count.fetch_add(s.count, Ordering::Relaxed);
+        h.sum.fetch_add(s.sum, Ordering::Relaxed);
+        h.min.fetch_min(s.min, Ordering::Relaxed);
+        h.max.fetch_max(s.max, Ordering::Relaxed);
+    }
+
     /// A brand-new histogram holding a copy of the current contents.
     pub fn detached_copy(&self) -> Histogram {
         let src = &*self.0;
@@ -343,13 +362,14 @@ impl MetricsSnapshot {
         for (k, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{k:<width$}  count={} sum={} min={} max={} mean={:.1} p50<={} p99<={}",
+                "{k:<width$}  count={} sum={} min={} max={} mean={:.1} p50<={} p95<={} p99<={}",
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
                 h.mean(),
                 h.quantile(0.5),
+                h.quantile(0.95),
                 h.quantile(0.99),
             );
         }
@@ -377,13 +397,14 @@ impl MetricsSnapshot {
         for (k, h) in &self.histograms {
             let _ = writeln!(
                 out,
-                "{{\"metric\":\"{}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p99\":{}}}",
+                "{{\"metric\":\"{}\",\"type\":\"histogram\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p95\":{},\"p99\":{}}}",
                 json_escape(k),
                 h.count,
                 h.sum,
                 h.min,
                 h.max,
                 h.quantile(0.5),
+                h.quantile(0.95),
                 h.quantile(0.99),
             );
         }
@@ -471,5 +492,6 @@ mod tests {
         let json = snap.to_json_lines();
         assert!(json.lines().count() == 3);
         assert!(json.contains("\"metric\":\"a.b\"") && json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"p95\":") && table.contains("p95<="), "quantiles rendered");
     }
 }

@@ -2,7 +2,7 @@
 
 use crate::access::AccessSet;
 use gemstone_object::{GemError, GemResult};
-use gemstone_telemetry::Counter;
+use gemstone_telemetry::{Counter, Journal, JournalEvent};
 use gemstone_temporal::{Clock, TxnTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -67,6 +67,10 @@ pub struct TransactionManager {
     clock: Clock,
     grain: ValidationGrain,
     counters: TxnCounters,
+    /// Flight-recorder handle; events are emitted under the manager lock,
+    /// beside the counter moves, so journal and registry stay 1:1 under
+    /// concurrent sessions.
+    journal: Option<Journal>,
     inner: Mutex<Inner>,
 }
 
@@ -83,7 +87,21 @@ impl TransactionManager {
             clock: Clock::resume_after(last_committed),
             grain,
             counters: TxnCounters::default(),
+            journal: None,
             inner: Mutex::new(Inner { active: HashMap::new(), log: Vec::new(), next_id: 1 }),
+        }
+    }
+
+    /// Attach the flight recorder (before the manager is shared).
+    pub fn attach_journal(&mut self, journal: Journal) {
+        self.journal = Some(journal);
+    }
+
+    #[inline]
+    fn journal_on(&self) -> Option<&Journal> {
+        match &self.journal {
+            Some(j) if j.enabled() => Some(j),
+            _ => None,
         }
     }
 
@@ -95,6 +113,9 @@ impl TransactionManager {
         let start = self.clock.last_issued();
         inner.active.insert(id, start);
         self.counters.begins.inc();
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::TxnBegin);
+        }
         TxnToken { id, start }
     }
 
@@ -129,6 +150,9 @@ impl TransactionManager {
         if let Some(time) = conflict {
             self.counters.aborts.inc();
             self.counters.conflicts.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TxnAbort { conflict: true });
+            }
             return Err(GemError::TransactionConflict {
                 detail: format!(
                     "a transaction committed at {} wrote data read since {}",
@@ -138,11 +162,17 @@ impl TransactionManager {
         }
         if writes.is_empty() {
             self.counters.commits.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TxnCommit);
+            }
             return Ok(self.clock.last_issued());
         }
         let time = self.clock.tick();
         inner.log.push(CommitRecord { time, writes: writes_g });
         self.counters.commits.inc();
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::TxnCommit);
+        }
         self.prune_log(&mut inner);
         Ok(time)
     }
@@ -152,6 +182,9 @@ impl TransactionManager {
         let mut inner = self.inner.lock();
         if inner.active.remove(&token.id).is_some() {
             self.counters.aborts.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TxnAbort { conflict: false });
+            }
         }
     }
 

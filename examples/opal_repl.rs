@@ -20,11 +20,15 @@
 //!
 //! Telemetry escapes (handled by the REPL, not the compiler):
 //! ```text
-//! :metrics                 — dump the metrics registry as a table
+//! :metrics                 — metrics moved since the last :metrics call
+//! :metrics all             — the full cumulative registry
 //! :explain+ <doIt>         — run the doIt and render its profiled plan
+//! :journal <dir>           — start the flight recorder (segments in <dir>)
+//! :journal off             — stop it
+//! :doctor                  — render a diagnostic bundle from the journal
 //! ```
 
-use gemstone::GemStone;
+use gemstone::{GemStone, JournalConfig, MetricsSnapshot};
 use std::io::{BufRead, Write};
 
 fn main() {
@@ -32,6 +36,10 @@ fn main() {
     let mut session = gs.login("system").expect("login");
     println!("GemStone/OPAL — SIGMOD 1984 reproduction.");
     println!("Each line is a doIt. `System commitTransaction` to commit; ctrl-D to exit.\n");
+
+    // `:metrics` prints the movement since the previous call, so each
+    // check shows what the statements in between actually did.
+    let mut metrics_mark: MetricsSnapshot = session.metrics();
 
     let stdin = std::io::stdin();
     let mut out = std::io::stdout();
@@ -49,7 +57,46 @@ fn main() {
             continue;
         }
         if src == ":metrics" {
+            let now = session.metrics();
+            println!("  (moved since the last :metrics — `:metrics all` for totals)");
+            print!("{}", now.diff(&metrics_mark).render_table());
+            metrics_mark = now;
+            continue;
+        }
+        if src == ":metrics all" {
             print!("{}", session.metrics().render_table());
+            continue;
+        }
+        if let Some(arg) = src.strip_prefix(":journal") {
+            let arg = arg.trim();
+            if arg.is_empty() {
+                match gs.telemetry().journal.status() {
+                    Some((seq, live, bytes)) => println!(
+                        "  recording to {:?} — segment {seq}, {live} live, {bytes} bytes",
+                        gs.telemetry().journal.dir().unwrap_or_default()
+                    ),
+                    None => println!("  not recording. usage: :journal <dir> | :journal off"),
+                }
+            } else if arg == "off" {
+                gs.database().stop_journal();
+                println!("  flight recorder stopped (segments kept on disk).");
+            } else {
+                match gs.database().start_journal(JournalConfig::at(arg)) {
+                    Ok(()) => println!("  flight recorder on → {arg}/journal-*.jsonl"),
+                    Err(e) => println!("  !! {e}"),
+                }
+            }
+            continue;
+        }
+        if src == ":doctor" {
+            match gs.database().diagnostic_bundle("repl") {
+                Ok(bundle) => {
+                    for l in bundle.render().lines() {
+                        println!("  {l}");
+                    }
+                }
+                Err(e) => println!("  !! {e}"),
+            }
             continue;
         }
         if let Some(doit) = src.strip_prefix(":explain+") {

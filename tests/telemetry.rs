@@ -275,6 +275,28 @@ fn telemetry_overhead_gate() {
         "telemetry is O(1) per statement, not per bytecode: {spans} spans vs {on} dispatches"
     );
     assert_eq!(d_off.counter("telemetry.spans.recorded"), 0, "disabled records nothing");
+
+    // The flight-recorder leg of the gate: every emission site is
+    // permanently attached (the journal-off path is one relaxed atomic
+    // load), and enabling the journal changes no interpreter work either
+    // — events are emitted beside existing counter moves, never inside
+    // the bytecode loop.
+    let dir = std::path::PathBuf::from("target/diagnostics")
+        .join(format!("overhead-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gs_j = GemStone::in_memory();
+    gs_j.database().start_journal(gemstone::JournalConfig::at(&dir)).unwrap();
+    let mut s_j = gs_j.login("system").unwrap();
+    let before_j = s_j.metrics();
+    workload(&mut s_j);
+    let d_j = s_j.metrics().diff(&before_j);
+    let journaled = d_j.counter("opal.interp.dispatches");
+    assert_eq!(off, journaled, "journaling adds no interpreter dispatches");
+    assert_eq!(
+        d_off.counter("opal.interp.dispatches"),
+        off,
+        "journal disabled (the default above) adds no interpreter dispatches"
+    );
 }
 
 /// Interpreter and verifier counters flow through the registry.
