@@ -41,7 +41,7 @@ fn commit_batch_size(c: &mut Criterion) {
                         .collect();
                     (store, deltas)
                 },
-                |(mut store, deltas)| {
+                |(store, deltas)| {
                     store.commit_batch(TxnTime::from_ticks(1), &deltas).unwrap();
                     black_box(store.disk_stats().track_writes)
                 },
@@ -71,7 +71,7 @@ fn track_size_ablation(c: &mut Criterion) {
                         .collect();
                     (store, deltas)
                 },
-                |(mut store, deltas)| {
+                |(store, deltas)| {
                     store.commit_batch(TxnTime::from_ticks(1), &deltas).unwrap();
                     black_box((store.disk_stats().track_writes, store.disk_stats().bytes_written))
                 },
@@ -99,7 +99,7 @@ fn replication_cost(c: &mut Criterion) {
                         .collect();
                     (store, deltas)
                 },
-                |(mut store, deltas)| {
+                |(store, deltas)| {
                     store.commit_batch(TxnTime::from_ticks(1), &deltas).unwrap();
                     black_box(store.disk_stats().track_writes)
                 },

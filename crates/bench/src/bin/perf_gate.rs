@@ -14,7 +14,12 @@
 //! - numeric fields must agree within `max(8, 10%)` of the committed
 //!   value — headroom for environmental jitter, tight enough to catch a
 //!   plan regression or a counter leak;
-//! - fields ending in `_us` / `_ns` are wall-clock and informational only;
+//! - fields ending in `_us` / `_ns` and fields prefixed `info_` are
+//!   informational only (wall-clock or otherwise nondeterministic);
+//! - a committed field `floor_X` / `ceil_X` bounds the fresh record's
+//!   field `X` from below / above instead of diffing it — how wall-derived
+//!   results (thread-scaling ratios, contended abort rates) get enforced
+//!   without flaking on exact values;
 //! - records only in the fresh file are reported but do not fail (new
 //!   experiments land before their snapshot is re-committed).
 
@@ -52,7 +57,15 @@ fn main() -> ExitCode {
             continue;
         };
         for key in want.keys() {
-            if key == "id" || is_wall_clock(key) {
+            if let Some(target) = key.strip_prefix("floor_").or_else(|| key.strip_prefix("ceil_")) {
+                checks += 1;
+                if let Some(msg) = bound_violation(key, target, want.get(key), got.get(target)) {
+                    println!("FAIL {id}: {msg}");
+                    failures += 1;
+                }
+                continue;
+            }
+            if key == "id" || is_informational(key) {
                 continue;
             }
             checks += 1;
@@ -85,9 +98,34 @@ fn main() -> ExitCode {
     }
 }
 
-/// Wall-clock fields ride along for humans; only counts are gated.
-fn is_wall_clock(key: &str) -> bool {
-    key.ends_with("_us") || key.ends_with("_ns") || key.ends_with("_ms")
+/// Wall-clock and `info_`-prefixed fields ride along for humans; only
+/// counts (and explicit `floor_`/`ceil_` bounds) are gated.
+fn is_informational(key: &str) -> bool {
+    key.ends_with("_us") || key.ends_with("_ns") || key.ends_with("_ms") || key.starts_with("info_")
+}
+
+/// `Some(message)` when the fresh record's `target` field violates the
+/// committed bound named `key` (`floor_X` ⇒ fresh X ≥ bound; `ceil_X` ⇒
+/// fresh X ≤ bound).
+fn bound_violation(
+    key: &str,
+    target: &str,
+    bound: Option<&JsonValue>,
+    fresh: Option<&JsonValue>,
+) -> Option<String> {
+    let Some(JsonValue::Num(b)) = bound else {
+        return Some(format!("bound {key:?} is not numeric"));
+    };
+    let Some(JsonValue::Num(f)) = fresh else {
+        return Some(format!("{key}: fresh record has no numeric field {target:?}"));
+    };
+    if key.starts_with("floor_") && f < b {
+        return Some(format!("{target} = {f}, below committed floor {b}"));
+    }
+    if key.starts_with("ceil_") && f > b {
+        return Some(format!("{target} = {f}, above committed ceiling {b}"));
+    }
+    None
 }
 
 /// `Some(message)` when the fresh value drifts outside the gate.

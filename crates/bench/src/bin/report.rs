@@ -165,7 +165,7 @@ fn c7_loom_vs_object_manager() {
         // GemStone OM: the same graph committed in batches of 100 — the
         // Boxer clusters each batch onto shared tracks — with the object
         // cache bounded to the same resident count.
-        let mut store =
+        let store =
             PermanentStore::create(StoreConfig { track_size: 8192, cache_tracks: 8, replicas: 1 })
                 .unwrap();
         let goops: Vec<Goop> = (0..N).map(|_| store.alloc_goop()).collect();

@@ -25,11 +25,6 @@ impl MockGraph {
         self.objects.push(elems);
         Oop::obj(self.objects.len() as u32 - 1)
     }
-
-    fn set(&mut self, obj: Oop, name: ElemName, v: Oop) {
-        let idx = obj.as_obj().unwrap() as usize;
-        self.objects[idx].insert(name, v);
-    }
 }
 
 impl QueryContext for MockGraph {

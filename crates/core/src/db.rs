@@ -2,9 +2,26 @@
 //!
 //! §6: "Sessions have shared access to the permanent database through
 //! transactions." One [`Database`] is shared (via `Arc`) by any number of
-//! [`Session`](crate::Session)s; the schema (symbols, classes, compiled
-//! methods, globals, directories, users) lives here behind one lock, and
-//! the optimistic [`TransactionManager`] has its own.
+//! [`Session`](crate::Session)s. Since PR 6 the old single `Mutex<DbInner>`
+//! is shattered into independently-locked pieces so sessions read without
+//! contending:
+//!
+//! - the [`PermanentStore`] is internally concurrent (sharded object table,
+//!   sharded track cache, single writer lock) and needs no outer lock;
+//! - the [`CommittedView`] — the committed time plus the committed globals —
+//!   is an immutable `Arc` snapshot swapped atomically at commit-publish.
+//!   Sessions clone the Arc at transaction begin and read it lock-free for
+//!   the rest of the transaction;
+//! - schema (symbols, classes, directories, users, method sources) sits
+//!   behind a `RwLock` that statements only read;
+//! - installed methods have their own `RwLock` (appends are rare, lookups
+//!   constant);
+//! - the `commit_lock` serializes the commit pipeline: validate → stage
+//!   metadata → safe-write → publish. Read-only transactions never take it.
+//!
+//! Lock hierarchy (outermost first): `commit_lock` → txn-manager inner →
+//! `schema` → store writer → store internals → cache shard → disk. See
+//! DESIGN.md §9.
 
 use crate::auth::AuthTable;
 use crate::index::DirRegistry;
@@ -16,22 +33,24 @@ use gemstone_object::{
 use gemstone_opal::{install_kernel_methods, CompiledMethod};
 use gemstone_storage::{DiskArray, PermanentStore, StoreConfig};
 use gemstone_telemetry::{
-    DiagnosticBundle, Journal, JournalConfig, JournalEvent, MetricsSnapshot, Telemetry,
+    DiagnosticBundle, Journal, JournalConfig, JournalEvent, MetricsBatch, MetricsSnapshot,
+    Telemetry,
 };
 use gemstone_temporal::TxnTime;
 use gemstone_txn::TransactionManager;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-pub(crate) struct DbInner {
-    pub store: PermanentStore,
+/// Mutable schema state: everything a statement needs read access to and
+/// DDL needs write access to. Statements take the read lock; only schema
+/// changes (subclassing, method installs, index creation, user admin) take
+/// the write lock.
+pub(crate) struct Schema {
     pub symbols: SymbolTable,
     pub classes: ClassTable,
     pub kernel: Kernel,
     pub block_class: ClassId,
-    pub globals: HashMap<SymbolId, PRef>,
-    pub methods: Vec<Arc<CompiledMethod>>,
     pub method_sources: Vec<MethodSource>,
     pub dirs: DirRegistry,
     pub auth: AuthTable,
@@ -40,23 +59,45 @@ pub(crate) struct DbInner {
     pub schema_dirty: bool,
 }
 
-impl DbInner {
-    /// Stage all metadata blobs in the store (called under the lock just
-    /// before a commit when the schema changed, so the metadata lands in the
-    /// same safe-write group as the data).
-    pub fn flush_meta(&mut self) {
-        self.store.set_meta(meta::META_SYMBOLS, meta::put_symbols(&self.symbols));
-        self.store.set_meta(meta::META_CLASSES, meta::put_classes(&self.classes));
-        self.store.set_meta(meta::META_GLOBALS, meta::put_globals(&self.globals));
-        self.store.set_meta(meta::META_METHODS, meta::put_method_sources(&self.method_sources));
-        self.store.set_meta(meta::META_DIRS, meta::put_dir_specs(&self.dirs.spec_records()));
+impl Schema {
+    /// Stage all metadata blobs in the store (called under the commit lock
+    /// just before a commit when the schema changed, so the metadata lands
+    /// in the same safe-write group as the data).
+    pub fn flush_meta(&mut self, store: &PermanentStore, globals: &HashMap<SymbolId, PRef>) {
+        store.set_meta(meta::META_SYMBOLS, meta::put_symbols(&self.symbols));
+        store.set_meta(meta::META_CLASSES, meta::put_classes(&self.classes));
+        store.set_meta(meta::META_GLOBALS, meta::put_globals(globals));
+        store.set_meta(meta::META_METHODS, meta::put_method_sources(&self.method_sources));
+        store.set_meta(meta::META_DIRS, meta::put_dir_specs(&self.dirs.spec_records()));
         self.schema_dirty = false;
     }
 }
 
+/// An immutable snapshot of committed state, published atomically by each
+/// committing transaction. Sessions hold an `Arc<CommittedView>` for the
+/// duration of a transaction and read it without any lock; the store's
+/// temporal histories answer reads *as of* `time`, so the pair
+/// (view, `elements_at(view.time)`) is a consistent snapshot even while
+/// later commits land.
+pub(crate) struct CommittedView {
+    /// The commit time of the newest transaction visible in this view.
+    pub time: TxnTime,
+    /// Committed global bindings. Shared immutably: a commit that changes
+    /// globals builds a new map and publishes a new Arc.
+    pub globals: Arc<HashMap<SymbolId, PRef>>,
+}
+
 /// The GemStone database: create one, share it, log sessions in.
 pub struct Database {
-    pub(crate) inner: Mutex<DbInner>,
+    pub(crate) store: PermanentStore,
+    pub(crate) schema: RwLock<Schema>,
+    /// Installed compiled methods. `MethodId` indexes this vector; ids with
+    /// the high bit set are session-local doIts and never appear here.
+    pub(crate) methods: RwLock<Vec<Arc<CompiledMethod>>>,
+    pub(crate) committed: RwLock<Arc<CommittedView>>,
+    /// Serializes the commit pipeline (validate → stage → write → publish).
+    /// Never taken by readers or read-only commits.
+    pub(crate) commit_lock: Mutex<()>,
     pub(crate) txns: TransactionManager,
     pub(crate) telemetry: Telemetry,
 }
@@ -64,31 +105,41 @@ pub struct Database {
 /// Bind every layer's instrument handles into the registry under the
 /// canonical names (see DESIGN.md §Telemetry). The layers keep owning
 /// their cells; the registry shares the same atomics, which is what makes
-/// the pre-existing stats accessors thin views over the registry.
+/// the pre-existing stats accessors thin views over the registry. All
+/// bindings are staged in a [`MetricsBatch`] and registered atomically so a
+/// concurrent `snapshot()` never observes a half-bound layer.
 fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &TransactionManager) {
     let r = &telemetry.registry;
     let d = store.disk_counters();
-    r.register_counter("storage.disk.reads", &d.track_reads);
-    r.register_counter("storage.disk.writes", &d.track_writes);
-    r.register_counter("storage.disk.bytes_written", &d.bytes_written);
-    r.register_counter("storage.disk.failed_reads", &d.failed_reads);
-    r.register_counter("storage.disk.failed_writes", &d.failed_writes);
     let c = store.cache_counters();
-    r.register_counter("storage.cache.hits", &c.hits);
-    r.register_counter("storage.cache.misses", &c.misses);
-    r.register_counter("storage.cache.evictions", &c.evictions);
-    r.register_counter("storage.cache.fills_read", &c.fills_read);
-    r.register_counter("storage.cache.fills_commit", &c.fills_commit);
     let s = store.counters();
-    r.register_counter("storage.store.commits", &s.commits);
-    r.register_counter("storage.store.object_faults", &s.object_faults);
-    r.register_counter("storage.store.objects_written", &s.objects_written);
-    r.register_histogram("storage.commit.group_tracks", &store.disk().group_size_histogram());
     let t = txns.counters();
-    r.register_counter("txn.begins", &t.begins);
-    r.register_counter("txn.commits", &t.commits);
-    r.register_counter("txn.aborts", &t.aborts);
-    r.register_counter("txn.conflicts", &t.conflicts);
+    let mut batch = MetricsBatch::new()
+        .counter("storage.disk.reads", &d.track_reads)
+        .counter("storage.disk.writes", &d.track_writes)
+        .counter("storage.disk.bytes_written", &d.bytes_written)
+        .counter("storage.disk.failed_reads", &d.failed_reads)
+        .counter("storage.disk.failed_writes", &d.failed_writes)
+        .counter("storage.cache.hits", &c.hits)
+        .counter("storage.cache.misses", &c.misses)
+        .counter("storage.cache.evictions", &c.evictions)
+        .counter("storage.cache.fills_read", &c.fills_read)
+        .counter("storage.cache.fills_commit", &c.fills_commit)
+        .counter("storage.store.commits", &s.commits)
+        .counter("storage.store.object_faults", &s.object_faults)
+        .counter("storage.store.objects_written", &s.objects_written)
+        .counter("txn.begins", &t.begins)
+        .counter("txn.commits", &t.commits)
+        .counter("txn.aborts", &t.aborts)
+        .counter("txn.conflicts", &t.conflicts)
+        .histogram("storage.commit.group_tracks", &store.group_size_histogram())
+        .histogram("txn.validation_wait_us", &txns.validation_wait_histogram());
+    for (i, (hits, misses)) in store.cache_shard_counters().iter().enumerate() {
+        batch = batch
+            .counter(&format!("storage.cache.shard{i}.hits"), hits)
+            .counter(&format!("storage.cache.shard{i}.misses"), misses);
+    }
+    r.register_batch(batch);
     let rep = store.recovery_report();
     r.gauge("storage.recovery.roots_considered").set(rep.roots_considered as i64);
     r.gauge("storage.recovery.roots_valid").set(rep.roots_valid as i64);
@@ -157,6 +208,12 @@ fn kernel_from(classes: &ClassTable, symbols: &SymbolTable) -> GemResult<Kernel>
 }
 
 impl Database {
+    /// The permanent store (benchmark/diagnostic knobs: cache bounds,
+    /// simulated read latency).
+    pub fn store(&self) -> &PermanentStore {
+        &self.store
+    }
+
     /// Format a fresh database on a simulated disk.
     pub fn create(cfg: StoreConfig) -> GemResult<Arc<Database>> {
         Database::create_with(cfg, Telemetry::new())
@@ -171,43 +228,53 @@ impl Database {
         let (mut classes, kernel) = ClassTable::bootstrap(&mut symbols);
         let block_class =
             classes.subclass(symbols.intern("BlockClosure"), kernel.object, vec![])?;
-        let mut inner = DbInner {
-            store,
+        let schema = Schema {
             symbols,
             classes,
             kernel,
             block_class,
-            globals: HashMap::new(),
-            methods: Vec::new(),
             method_sources: Vec::new(),
             dirs: DirRegistry::default(),
             auth: AuthTable::new(),
             schema_dirty: true,
         };
         let mut txns = TransactionManager::new(TxnTime::EPOCH);
-        bind_layer_metrics(&telemetry, &inner.store, &txns);
+        bind_layer_metrics(&telemetry, &store, &txns);
         // If the flight recorder was started before creation, baseline the
         // registry *before* attaching the emission sites: the volume
         // formatting above already moved counters, and the baseline events
         // carry those values exactly once.
         if telemetry.journal.enabled() {
             telemetry.journal.emit_baseline(&telemetry.registry.snapshot());
-            telemetry.journal.emit(&JournalEvent::CacheConfigured {
-                tracks: inner.store.cache_capacity() as u64,
-            });
+            telemetry
+                .journal
+                .emit(&JournalEvent::CacheConfigured { tracks: store.cache_capacity() as u64 });
         }
-        inner.store.attach_journal(telemetry.journal.clone());
+        store.attach_journal(telemetry.journal.clone());
         txns.attach_journal(telemetry.journal.clone());
-        let db = Arc::new(Database { inner: Mutex::new(inner), txns, telemetry });
+        let db = Arc::new(Database {
+            store,
+            schema: RwLock::new(schema),
+            methods: RwLock::new(Vec::new()),
+            committed: RwLock::new(Arc::new(CommittedView {
+                time: TxnTime::EPOCH,
+                globals: Arc::new(HashMap::new()),
+            })),
+            commit_lock: Mutex::new(()),
+            txns,
+            telemetry,
+        });
         // Kernel methods install through a bootstrap session.
         let mut boot = Session::internal_login(db.clone());
         install_kernel_methods(&mut boot)?;
         // Persist the initial schema.
         {
-            let mut inner = db.inner.lock();
-            inner.flush_meta();
+            let _commit = db.commit_lock.lock();
+            let globals = db.committed.read().globals.clone();
+            db.schema.write().flush_meta(&db.store, &globals);
             let t = db.txns.now();
-            inner.store.commit_batch(t, &[])?;
+            db.store.commit_batch(t, &[])?;
+            *db.committed.write() = Arc::new(CommittedView { time: t, globals });
         }
         Ok(db)
     }
@@ -258,24 +325,21 @@ impl Database {
             .and_then(|s| classes.by_name(s))
             .ok_or_else(|| GemError::Corrupt("BlockClosure class missing".into()))?;
         let last = store.root().commit_time;
-        let dirs = DirRegistry::rebuild(&mut store, &symbols, &dir_specs, last)?;
-        let mut inner = DbInner {
-            store,
+        let dirs = DirRegistry::rebuild(&store, &symbols, &dir_specs, last)?;
+        let schema = Schema {
             symbols,
             classes,
             kernel,
             block_class,
-            globals,
-            methods: Vec::new(),
             method_sources: method_sources.clone(),
             dirs,
             auth: AuthTable::new(),
             schema_dirty: false,
         };
         let mut txns = TransactionManager::new(last);
-        bind_layer_metrics(&telemetry, &inner.store, &txns);
+        bind_layer_metrics(&telemetry, &store, &txns);
         if telemetry.journal.enabled() {
-            let rep = inner.store.recovery_report();
+            let rep = store.recovery_report();
             telemetry.journal.emit(&JournalEvent::Recovery {
                 roots_considered: rep.roots_considered as u64,
                 roots_valid: rep.roots_valid as u64,
@@ -286,13 +350,24 @@ impl Database {
                 reopen_reads: rep.reopen_reads,
             });
             telemetry.journal.emit_baseline(&telemetry.registry.snapshot());
-            telemetry.journal.emit(&JournalEvent::CacheConfigured {
-                tracks: inner.store.cache_capacity() as u64,
-            });
+            telemetry
+                .journal
+                .emit(&JournalEvent::CacheConfigured { tracks: store.cache_capacity() as u64 });
         }
-        inner.store.attach_journal(telemetry.journal.clone());
+        store.attach_journal(telemetry.journal.clone());
         txns.attach_journal(telemetry.journal.clone());
-        let db = Arc::new(Database { inner: Mutex::new(inner), txns, telemetry });
+        let db = Arc::new(Database {
+            store,
+            schema: RwLock::new(schema),
+            methods: RwLock::new(Vec::new()),
+            committed: RwLock::new(Arc::new(CommittedView {
+                time: last,
+                globals: Arc::new(globals),
+            })),
+            commit_lock: Mutex::new(()),
+            txns,
+            telemetry,
+        });
         // Rebuild method dictionaries: kernel first, then user sources in
         // their original order.
         let mut boot = Session::internal_login(db.clone());
@@ -303,16 +378,19 @@ impl Database {
         Ok(db)
     }
 
+    /// The current committed snapshot. Sessions clone this Arc at
+    /// transaction begin and read against it lock-free.
+    pub(crate) fn committed_view(&self) -> Arc<CommittedView> {
+        self.committed.read().clone()
+    }
+
     /// Log a user in, creating a session with its own workspace.
     pub fn login(self: &Arc<Database>, user: &str) -> GemResult<Session> {
-        {
-            let inner = self.inner.lock();
-            if !inner.auth.user_exists(user) {
-                return Err(GemError::AuthorizationDenied {
-                    segment: 0,
-                    detail: format!("no such user {user}"),
-                });
-            }
+        if !self.schema.read().auth.user_exists(user) {
+            return Err(GemError::AuthorizationDenied {
+                segment: 0,
+                detail: format!("no such user {user}"),
+            });
         }
         Ok(Session::login(self.clone(), user))
     }
@@ -324,15 +402,16 @@ impl Database {
 
     /// Register a user (DBA operation).
     pub fn create_user(&self, name: &str) {
-        self.inner.lock().auth.create_user(name);
-        self.inner.lock().schema_dirty = true;
+        let mut schema = self.schema.write();
+        schema.auth.create_user(name);
+        schema.schema_dirty = true;
     }
 
     /// Tear down to the raw disk for crash/recovery tests. Fails if other
     /// sessions still share the database.
     pub fn into_disk(self: Arc<Database>) -> GemResult<DiskArray> {
         match Arc::try_unwrap(self) {
-            Ok(db) => Ok(db.inner.into_inner().store.into_disk()),
+            Ok(db) => Ok(db.store.into_disk()),
             Err(_) => Err(GemError::RuntimeError("database still shared".into())),
         }
     }
@@ -342,7 +421,7 @@ impl Database {
     /// discarded, physical reads. All-default for a freshly created
     /// database, which performed no recovery.
     pub fn recovery_report(&self) -> gemstone_storage::RecoveryReport {
-        self.inner.lock().store.recovery_report()
+        self.store.recovery_report()
     }
 
     /// The database-wide telemetry bundle: metrics registry, span tracer,
@@ -368,7 +447,7 @@ impl Database {
         let j = &self.telemetry.journal;
         j.start(cfg).map_err(|e| GemError::RuntimeError(format!("journal start: {e}")))?;
         j.emit_baseline(&self.telemetry.registry.snapshot());
-        let tracks = self.inner.lock().store.cache_capacity() as u64;
+        let tracks = self.store.cache_capacity() as u64;
         j.emit(&JournalEvent::CacheConfigured { tracks });
         Ok(())
     }
@@ -414,13 +493,12 @@ impl Database {
 
     /// Storage/disk statistics snapshot (benchmark instrumentation).
     pub fn storage_stats(&self) -> (gemstone_storage::StoreStats, gemstone_storage::DiskStats) {
-        let inner = self.inner.lock();
-        (inner.store.stats(), inner.store.disk_stats())
+        (self.store.stats(), self.store.disk_stats())
     }
 
     /// Reset storage counters.
     pub fn reset_storage_stats(&self) {
-        self.inner.lock().store.reset_stats();
+        self.store.reset_stats();
     }
 
     /// (commits, aborts) seen by the Transaction Manager.
@@ -430,18 +508,18 @@ impl Database {
 
     /// Bound the store's object cache (LOOM-comparison benches).
     pub fn set_object_cache_limit(&self, limit: Option<usize>) {
-        self.inner.lock().store.set_object_cache_limit(limit);
+        self.store.set_object_cache_limit(limit);
     }
 
     /// Direct access to the simulated disk (crash injection in tests and
     /// benches).
     pub fn with_disk<R>(&self, f: impl FnOnce(&mut gemstone_storage::DiskArray) -> R) -> R {
-        f(self.inner.lock().store.disk_mut())
+        self.store.with_disk(f)
     }
 
     /// Number of registered directories.
     pub fn directory_count(&self) -> usize {
-        self.inner.lock().dirs.count()
+        self.schema.read().dirs.count()
     }
 
     /// DBA archive: prune element histories older than the state at
@@ -449,14 +527,14 @@ impl Database {
     /// Returns the number of archived associations.
     pub fn archive_history_before(&self, keep_from: TxnTime) -> GemResult<usize> {
         let time = self.txns.now();
-        self.inner.lock().store.archive_history_before(keep_from, time)
+        self.store.archive_history_before(keep_from, time)
     }
 
     /// Administer users and segment privileges.
     pub fn with_auth<R>(&self, f: impl FnOnce(&mut AuthTable) -> R) -> R {
-        let mut inner = self.inner.lock();
-        let r = f(&mut inner.auth);
-        inner.schema_dirty = true;
+        let mut schema = self.schema.write();
+        let r = f(&mut schema.auth);
+        schema.schema_dirty = true;
         r
     }
 }

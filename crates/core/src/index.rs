@@ -40,7 +40,7 @@ pub struct DirRegistry {
 /// Compute a member's directory key by following `path` through the
 /// permanent store's *current* state.
 fn key_of(
-    store: &mut PermanentStore,
+    store: &PermanentStore,
     symbols: &SymbolTable,
     member: Goop,
     path: &[SymbolId],
@@ -66,11 +66,7 @@ fn key_of(
 }
 
 /// The directory key of a value.
-fn pref_key(
-    store: &mut PermanentStore,
-    symbols: &SymbolTable,
-    v: PRef,
-) -> GemResult<Option<DirKey>> {
+fn pref_key(store: &PermanentStore, symbols: &SymbolTable, v: PRef) -> GemResult<Option<DirKey>> {
     Ok(match v.kind() {
         OopKind::Int(i) => Some(DirKey::num(i as f64)),
         OopKind::Float(f) => Some(DirKey::num(f)),
@@ -108,7 +104,7 @@ impl DirRegistry {
     /// state at `now`. As-of lookups are served for times ≥ `now`.
     pub fn create_index(
         &mut self,
-        store: &mut PermanentStore,
+        store: &PermanentStore,
         symbols: &SymbolTable,
         collection: Goop,
         path: Vec<SymbolId>,
@@ -204,7 +200,7 @@ impl DirRegistry {
     /// for restructuring of directories as needed", §6).
     pub fn on_commit(
         &mut self,
-        store: &mut PermanentStore,
+        store: &PermanentStore,
         symbols: &SymbolTable,
         deltas: &[ObjectDelta],
         time: TxnTime,
@@ -274,7 +270,7 @@ impl DirRegistry {
     /// are not replayed (as-of lookups older than recovery fall back to
     /// scans).
     pub fn rebuild(
-        store: &mut PermanentStore,
+        store: &PermanentStore,
         symbols: &SymbolTable,
         specs: &[DirSpecRecord],
         now: TxnTime,

@@ -8,7 +8,13 @@
 //! A [`Session`]:
 //! * faults committed objects into its [`Workspace`] on first touch,
 //!   resolving unswizzled references through the GOOP table (§6);
-//! * tracks reads and writes for optimistic validation;
+//! * holds an immutable `Arc<CommittedView>` snapshot refreshed at
+//!   transaction begin, and reads (faults, directory lookups, query
+//!   evaluation) *as of* that snapshot, lock-free against the concurrent
+//!   store — committers never block readers;
+//! * tracks reads and writes for optimistic validation; mutation stays in
+//!   the session-local workspace until commit, which is the only point
+//!   that touches shared state (under the database's commit lock);
 //! * carries the [`TimeDial`] — when set, every element fetch is conducted
 //!   in that past database state and writes are refused;
 //! * implements [`OpalWorld`] so the OPAL interpreter runs directly against
@@ -16,7 +22,7 @@
 //!   Directory Manager.
 
 use crate::auth::{Access, DBA};
-use crate::db::{Database, DbInner};
+use crate::db::{CommittedView, Database, Schema};
 use crate::meta::MethodSource;
 use gemstone_calculus::{
     AlgExpr, IndexCatalog, JoinKey, OpProfile, PlanStats, Query, QueryContext, Term, VarId,
@@ -39,12 +45,19 @@ use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
+/// High bit of a [`MethodId`] marking a session-local doIt body (lives in
+/// the session's private table, never in the shared method vector).
+const LOCAL_METHOD_BIT: u32 = 1 << 31;
+
 /// A logged-in session.
 pub struct Session {
     db: Arc<Database>,
     ws: Workspace,
     user: String,
     txn: Option<TxnToken>,
+    /// The committed snapshot this session reads against: refreshed at
+    /// transaction begin, immutable (and lock-free to read) afterwards.
+    snap: Arc<CommittedView>,
     reads: AccessSet,
     dial: TimeDial,
     /// Globals assigned this transaction, not yet committed.
@@ -54,6 +67,10 @@ pub struct Session {
     wrote_committed: bool,
     kernel: Kernel,
     block_class: ClassId,
+    /// Session-local doIt bodies (statement code), indexed by
+    /// `MethodId & !LOCAL_METHOD_BIT`. Executing statements therefore
+    /// takes no shared method lock.
+    local_methods: Vec<Arc<CompiledMethod>>,
     /// The plan and operator counters of the most recent query this session
     /// evaluated (select block or [`Session::query`]) — what `explain()`
     /// renders.
@@ -174,9 +191,10 @@ impl SessionMetrics {
 impl Session {
     pub(crate) fn login(db: Arc<Database>, user: &str) -> Session {
         let (kernel, block_class) = {
-            let inner = db.inner.lock();
-            (inner.kernel, inner.block_class)
+            let schema = db.schema.read();
+            (schema.kernel, schema.block_class)
         };
+        let snap = db.committed_view();
         let telemetry = db.telemetry().clone();
         let session_id = telemetry.new_session_id();
         let m = SessionMetrics::bind(&telemetry.registry);
@@ -185,12 +203,14 @@ impl Session {
             ws: Workspace::new(),
             user: user.to_string(),
             txn: None,
+            snap,
             reads: AccessSet::new(),
             dial: TimeDial::now(),
             pending_globals: HashMap::new(),
             wrote_committed: false,
             kernel,
             block_class,
+            local_methods: Vec::new(),
             last_plan: None,
             last_lints: Vec::new(),
             telemetry,
@@ -227,7 +247,21 @@ impl Session {
 
     fn ensure_txn(&mut self) {
         if self.txn.is_none() {
-            self.txn = Some(self.db.txns.begin());
+            // Snapshot refresh, then registration — atomically with
+            // respect to log pruning. `begin_at_checked` refuses a start
+            // the log has been pruned past (a concurrent commit won the
+            // window between our view read and registration); the refusal
+            // means a newer view is already published, so re-reading and
+            // retrying always makes progress. Once registered, pruning
+            // never passes our start, so a writing commit cannot be
+            // conservatively aborted by the watermark.
+            self.txn = Some(loop {
+                self.snap = self.db.committed_view();
+                if let Some(token) = self.db.txns.begin_at_checked(self.snap.time) {
+                    break token;
+                }
+                std::thread::yield_now();
+            });
             if self.telemetry.tracer.enabled() {
                 let parent = self.ensure_session_span();
                 self.txn_span = Some(self.telemetry.tracer.begin(
@@ -276,23 +310,35 @@ impl Session {
         }
     }
 
-    /// Refresh cached committed copies to the current committed state, so a
-    /// new transaction sees a fresh snapshot while session pointers stay
-    /// stable.
+    /// The committed time this session's faults read at: the transaction
+    /// snapshot while one is open, else the latest published commit.
+    fn read_time(&self) -> TxnTime {
+        if self.txn.is_some() {
+            self.snap.time
+        } else {
+            self.db.committed_view().time
+        }
+    }
+
+    /// Refresh cached committed copies to the transaction's snapshot, so a
+    /// new transaction sees a fresh consistent state while session
+    /// pointers stay stable.
     fn refresh_workspace(&mut self) {
         let targets: Vec<(Oop, Goop)> =
             self.ws.iter().filter_map(|(oop, o)| o.goop.map(|g| (oop, g))).collect();
         let session_id = self.session_id;
         let io_parent = self.io_parent();
-        let mut inner = self.db.inner.lock();
-        inner.store.set_trace_context(session_id, io_parent);
+        let t = self.snap.time;
         for (oop, goop) in targets {
-            let Ok(pobj) = inner.store.get(goop) else { continue };
+            let Ok(pobj) = self.db.store.get_traced(goop, session_id, io_parent) else {
+                continue;
+            };
             let class = pobj.class;
             let segment = pobj.segment;
             let alias_next = pobj.alias_next;
-            let elems: Vec<(ElemName, PRef)> = pobj.current_elements().collect();
-            let bytes = pobj.bytes_current().map(|b| b.to_vec());
+            let elems: Vec<(ElemName, PRef)> = pobj.elements_at(t).collect();
+            let bytes = pobj.bytes_at(t).map(|b| b.to_vec());
+            drop(pobj);
             let mut elements = BTreeMap::new();
             for (name, v) in elems {
                 elements.insert(name, pref_to_oop(&self.ws, v));
@@ -304,23 +350,23 @@ impl Session {
     }
 
     /// Commit the current transaction: optimistic validation, then the
-    /// Linker/Boxer/Commit-Manager pipeline, then directory maintenance.
+    /// Linker/Boxer/Commit-Manager pipeline, then directory maintenance,
+    /// then snapshot publication. Writing commits serialize on the
+    /// database's commit lock; read-only commits skip it entirely.
     pub fn commit(&mut self) -> GemResult<TxnTime> {
         let Some(token) = self.txn else {
             // Nothing read or written: trivially committed "at" now.
             return Ok(self.db.txns.now());
         };
-        // 1. Assign identities to new dirty objects.
+        // 1. Assign identities to new dirty objects (the store's GOOP
+        //    allocator is internally synchronized).
         let dirty = self.ws.dirty_objects();
-        {
-            let mut inner = self.db.inner.lock();
-            for &oop in &dirty {
-                let obj = self.ws.get_mut(oop)?;
-                if obj.goop.is_none() {
-                    let g = inner.store.alloc_goop();
-                    obj.goop = Some(g);
-                    self.ws.bind_goop(oop, g);
-                }
+        for &oop in &dirty {
+            let obj = self.ws.get_mut(oop)?;
+            if obj.goop.is_none() {
+                let g = self.db.store.alloc_goop();
+                obj.goop = Some(g);
+                self.ws.bind_goop(oop, g);
             }
         }
         // 2. Build deltas and the write set.
@@ -359,8 +405,29 @@ impl Session {
                 is_new: obj.is_new(),
             });
         }
-        // 3. Validate.
-        let time = match self.db.txns.commit(token, &self.reads, &writes) {
+        // Read-only fast path: nothing to persist, so validation is
+        // trivial (the transaction serializes at its snapshot) and the
+        // commit pipeline — and its lock — is skipped entirely.
+        let schema_write = !self.pending_globals.is_empty() || self.db.schema.read().schema_dirty;
+        if deltas.is_empty() && !schema_write {
+            let time = self.db.txns.commit(token, &self.reads, &writes)?;
+            self.consecutive_conflicts = 0;
+            self.reads.clear();
+            self.txn = None;
+            self.wrote_committed = false;
+            self.end_txn_span();
+            return Ok(time);
+        }
+        // 3. Validate, serialized with every other writing commit so the
+        //    validation order, the storage write order, and the snapshot
+        //    publication order all agree. Two-phase: `prepare` validates
+        //    and assigns the commit time but logs nothing — the commit is
+        //    only recorded (`finalize`) after the safe-write group is on
+        //    disk, so a storage failure leaves no phantom commit in the
+        //    validation log or the prune watermark.
+        let db = self.db.clone();
+        let _commit = db.commit_lock.lock();
+        let time = match self.db.txns.prepare(&token, &self.reads, &writes) {
             Ok(t) => t,
             Err(e) => {
                 // Conflict: the transaction is dead; discard its workspace.
@@ -376,14 +443,15 @@ impl Session {
             }
         };
         self.consecutive_conflicts = 0;
-        // 4. Persist (metadata travels in the same safe-write group).
-        {
-            let mut inner = self.db.inner.lock();
-            inner.store.set_trace_context(self.session_id, self.io_parent());
-            let pending: Vec<(SymbolId, Oop)> = self.pending_globals.drain().collect();
-            if !pending.is_empty() {
-                inner.schema_dirty = true;
-            }
+        // 4. Persist (metadata travels in the same safe-write group). A
+        //    schema-only commit consumed no transaction time: it rewrites
+        //    metadata at the unchanged committed time.
+        let committed = self.db.committed_view();
+        let store_time = if time > committed.time { time } else { committed.time };
+        let pending: Vec<(SymbolId, Oop)> = self.pending_globals.drain().collect();
+        let mut globals = committed.globals.clone();
+        if !pending.is_empty() {
+            let mut next = (*globals).clone();
             for (sym, v) in pending {
                 let p = match v.kind() {
                     OopKind::Heap(_) => PRef::goop(
@@ -392,16 +460,45 @@ impl Session {
                     OopKind::Ref(g) => PRef::goop(g),
                     _ => v.to_pref_immediate().expect("immediate"),
                 };
-                inner.globals.insert(sym, p);
+                next.insert(sym, p);
             }
-            if inner.schema_dirty {
-                inner.flush_meta();
+            globals = Arc::new(next);
+        }
+        {
+            let mut schema = self.db.schema.write();
+            if schema.schema_dirty || !Arc::ptr_eq(&globals, &committed.globals) {
+                schema.flush_meta(&self.db.store, &globals);
             }
-            inner.store.commit_batch(time, &deltas)?;
+            if let Err(e) = self.db.store.commit_batch_traced(
+                store_time,
+                &deltas,
+                self.session_id,
+                self.io_parent(),
+            ) {
+                // Storage failure: the prepared transaction dies with no
+                // trace in the commit log — nothing was published, so
+                // later snapshots validate against a consistent history.
+                drop(schema);
+                self.db.txns.abort(token);
+                self.end_txn_span();
+                self.discard_workspace();
+                return Err(e);
+            }
             // 5. Directory maintenance (§6: the Linker "calling for
             //    restructuring of directories as needed").
-            let DbInner { store, symbols, dirs, .. } = &mut *inner;
-            dirs.on_commit(store, symbols, &deltas, time)?;
+            let Schema { symbols, dirs, .. } = &mut *schema;
+            if let Err(e) = dirs.on_commit(&self.db.store, symbols, &deltas, store_time) {
+                drop(schema);
+                self.db.txns.abort(token);
+                self.end_txn_span();
+                self.discard_workspace();
+                return Err(e);
+            }
+            // The writes are durable: log the commit and publish the view.
+            self.db.txns.finalize(token, time, &writes)?;
+            let view = Arc::new(CommittedView { time: store_time, globals });
+            *self.db.committed.write() = view.clone();
+            self.snap = view;
         }
         // 6. The workspace copies are now clean cached copies.
         for &oop in &dirty {
@@ -412,7 +509,7 @@ impl Session {
         self.txn = None;
         self.wrote_committed = false;
         self.end_txn_span();
-        Ok(time)
+        Ok(store_time)
     }
 
     /// Abort: discard every uncommitted change. "An entire session workspace
@@ -477,19 +574,15 @@ impl Session {
     }
 
     fn fault(&mut self, goop: Goop) -> GemResult<Oop> {
-        let session_id = self.session_id;
-        let io_parent = self.io_parent();
-        let mut inner = self.db.inner.lock();
-        inner.store.set_trace_context(session_id, io_parent);
-        let DbInner { store, auth, .. } = &mut *inner;
-        let pobj = store.get(goop)?;
-        auth.check(&self.user, pobj.segment, Access::Read)?;
+        let t = self.read_time();
+        let pobj = self.db.store.get_traced(goop, self.session_id, self.io_parent())?;
+        self.db.schema.read().auth.check(&self.user, pobj.segment, Access::Read)?;
         let class = pobj.class;
         let segment = pobj.segment;
         let alias_next = pobj.alias_next;
-        let elems: Vec<(ElemName, PRef)> = pobj.current_elements().collect();
-        let bytes = pobj.bytes_current().map(|b| b.to_vec());
-        drop(inner);
+        let elems: Vec<(ElemName, PRef)> = pobj.elements_at(t).collect();
+        let bytes = pobj.bytes_at(t).map(|b| b.to_vec());
+        drop(pobj);
         let mut elements = BTreeMap::new();
         for (name, v) in elems {
             elements.insert(name, pref_to_oop(&self.ws, v));
@@ -613,8 +706,13 @@ impl Session {
     fn run_compiled(&mut self, source: &str) -> GemResult<Oop> {
         let (method, lints) = compile_doit_with_lints(self, source)?;
         self.last_lints = lints;
-        let id = self.add_method_code(method)?;
-        Interpreter::new(self).run_doit(id)
+        let id = self.add_doit_code(method)?;
+        let result = Interpreter::new(self).run_doit(id);
+        // The statement body is dead once the interpreter returns (block
+        // closures hold their own Arc to the method), so long-lived
+        // sessions don't accumulate doIt bodies.
+        self.local_methods.pop();
+        result
     }
 
     /// Compile-time lints produced by the most recent [`Session::run`].
@@ -630,7 +728,7 @@ impl Session {
     /// returns one tuple per result-template row.
     pub fn query(&mut self, query: &Query) -> GemResult<Vec<Vec<Oop>>> {
         self.ensure_txn();
-        let catalog = { self.db.inner.lock().dirs.catalog().clone() };
+        let catalog = self.db.schema.read().dirs.catalog().clone();
         self.eval_with_catalog(query, &catalog)
     }
 
@@ -858,6 +956,32 @@ impl Session {
 
     // ------------------------------------------------ internal helpers
 
+    /// Bytecode verification shared by doIt and installed-method
+    /// registration (counters + journal events move here exactly once).
+    fn verified(&mut self, m: CompiledMethod) -> GemResult<CompiledMethod> {
+        self.m.verify_checks.inc();
+        if let Err(e) = gemstone_opal::verify::check(&m) {
+            self.m.verify_rejects.inc();
+            if self.telemetry.journal.enabled() {
+                self.telemetry.journal.emit(&JournalEvent::VerifyCheck { rejected: true });
+            }
+            return Err(e.into());
+        }
+        if self.telemetry.journal.enabled() {
+            self.telemetry.journal.emit(&JournalEvent::VerifyCheck { rejected: false });
+        }
+        Ok(m)
+    }
+
+    /// Register a session-local doIt body: verified like any method but
+    /// never installed database-wide, so executing statements takes no
+    /// shared method lock.
+    fn add_doit_code(&mut self, m: CompiledMethod) -> GemResult<MethodId> {
+        let m = self.verified(m)?;
+        self.local_methods.push(Arc::new(m));
+        Ok(MethodId(LOCAL_METHOD_BIT | (self.local_methods.len() as u32 - 1)))
+    }
+
     fn elem_read(&mut self, obj: Oop, name: ElemName) -> GemResult<Oop> {
         self.ensure_txn();
         let obj = self.swizzle(obj)?;
@@ -865,16 +989,15 @@ impl Session {
             let o = self.ws.get(obj)?;
             (o.goop, o.segment)
         };
-        {
-            let inner = self.db.inner.lock();
-            inner.auth.check(&self.user, segment, Access::Read)?;
-        }
+        self.db.schema.read().auth.check(&self.user, segment, Access::Read)?;
         if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
             // Past state: read through the permanent histories.
-            let v = {
-                let mut inner = self.db.inner.lock();
-                inner.store.get(g)?.elem_at(name, t).unwrap_or(PRef::NIL)
-            };
+            let v = self
+                .db
+                .store
+                .get_traced(g, self.session_id, self.io_parent())?
+                .elem_at(name, t)
+                .unwrap_or(PRef::NIL);
             return Ok(pref_to_oop(&self.ws, v));
         }
         if let Some(g) = goop {
@@ -901,10 +1024,7 @@ impl Session {
             self.wrote_committed = true;
         }
         let segment = self.ws.get(obj)?.segment;
-        {
-            let inner = self.db.inner.lock();
-            inner.auth.check(&self.user, segment, Access::Write)?;
-        }
+        self.db.schema.read().auth.check(&self.user, segment, Access::Write)?;
         self.ws.get_mut(obj)?.set_elem(name, v);
         Ok(())
     }
@@ -923,23 +1043,28 @@ fn pref_to_oop(ws: &Workspace, v: PRef) -> Oop {
 
 impl OpalWorld for Session {
     fn intern(&mut self, name: &str) -> SymbolId {
-        self.db.inner.lock().symbols.intern(name)
+        // Fast path: almost every intern is a lookup of an existing
+        // symbol, served under the shared read lock.
+        if let Some(s) = self.db.schema.read().symbols.lookup(name) {
+            return s;
+        }
+        self.db.schema.write().symbols.intern(name)
     }
 
     fn sym_name(&self, id: SymbolId) -> String {
-        self.db.inner.lock().symbols.name(id).to_string()
+        self.db.schema.read().symbols.name(id).to_string()
     }
 
     fn class_named(&self, name: SymbolId) -> Option<ClassId> {
-        self.db.inner.lock().classes.by_name(name)
+        self.db.schema.read().classes.by_name(name)
     }
 
     fn class_name_of(&self, class: ClassId) -> SymbolId {
-        self.db.inner.lock().classes.get(class).name
+        self.db.schema.read().classes.get(class).name
     }
 
     fn superclass_of(&self, class: ClassId) -> Option<ClassId> {
-        self.db.inner.lock().classes.get(class).superclass
+        self.db.schema.read().classes.get(class).superclass
     }
 
     fn define_subclass(
@@ -948,29 +1073,29 @@ impl OpalWorld for Session {
         name: SymbolId,
         instvars: Vec<SymbolId>,
     ) -> GemResult<ClassId> {
-        let mut inner = self.db.inner.lock();
-        let id = inner.classes.subclass(name, superclass, instvars)?;
-        inner.schema_dirty = true;
+        let mut schema = self.db.schema.write();
+        let id = schema.classes.subclass(name, superclass, instvars)?;
+        schema.schema_dirty = true;
         Ok(id)
     }
 
     fn add_instvar(&mut self, class: ClassId, var: SymbolId) -> GemResult<()> {
-        let mut inner = self.db.inner.lock();
-        inner.classes.add_instvar(class, var)?;
-        inner.schema_dirty = true;
+        let mut schema = self.db.schema.write();
+        schema.classes.add_instvar(class, var)?;
+        schema.schema_dirty = true;
         Ok(())
     }
 
     fn declares_instvar(&self, class: ClassId, var: SymbolId) -> bool {
-        self.db.inner.lock().classes.declares_instvar(class, var)
+        self.db.schema.read().classes.declares_instvar(class, var)
     }
 
     fn lookup_method(&self, class: ClassId, selector: SymbolId) -> Option<MethodRef> {
-        self.db.inner.lock().classes.lookup_method(class, selector).map(|(_, m)| m)
+        self.db.schema.read().classes.lookup_method(class, selector).map(|(_, m)| m)
     }
 
     fn lookup_class_method(&self, class: ClassId, selector: SymbolId) -> Option<MethodRef> {
-        self.db.inner.lock().classes.lookup_class_method(class, selector).map(|(_, m)| m)
+        self.db.schema.read().classes.lookup_class_method(class, selector).map(|(_, m)| m)
     }
 
     fn install_method(
@@ -980,17 +1105,17 @@ impl OpalWorld for Session {
         m: MethodRef,
         class_side: bool,
     ) {
-        let mut inner = self.db.inner.lock();
+        let mut schema = self.db.schema.write();
         if class_side {
-            inner.classes.add_class_method(class, selector, m);
+            schema.classes.add_class_method(class, selector, m);
         } else {
-            inner.classes.add_method(class, selector, m);
+            schema.classes.add_method(class, selector, m);
         }
-        inner.schema_dirty = true;
+        schema.schema_dirty = true;
     }
 
     fn is_kind_of(&self, a: ClassId, b: ClassId) -> bool {
-        self.db.inner.lock().classes.is_kind_of(a, b)
+        self.db.schema.read().classes.is_kind_of(a, b)
     }
 
     fn kernel(&self) -> Kernel {
@@ -999,16 +1124,13 @@ impl OpalWorld for Session {
 
     fn class_of(&self, oop: Oop) -> ClassId {
         match oop.kind() {
-            OopKind::Ref(g) => {
-                let mut inner = self.db.inner.lock();
-                inner.store.get(g).map(|o| o.class).unwrap_or(self.kernel.object)
-            }
+            OopKind::Ref(g) => self.db.store.get(g).map(|o| o.class).unwrap_or(self.kernel.object),
             _ => gemstone_object::class_of(&self.ws, &self.kernel, oop),
         }
     }
 
     fn class_format(&self, class: ClassId) -> BodyFormat {
-        self.db.inner.lock().classes.get(class).format
+        self.db.schema.read().classes.get(class).format
     }
 
     fn block_class(&self) -> ClassId {
@@ -1016,19 +1138,23 @@ impl OpalWorld for Session {
     }
 
     fn selector_defined_anywhere(&self, selector: SymbolId) -> bool {
-        self.db.inner.lock().classes.iter().any(|(_, def)| {
+        self.db.schema.read().classes.iter().any(|(_, def)| {
             def.methods.contains_key(&selector) || def.class_methods.contains_key(&selector)
         })
     }
 
     fn note_method_source(&mut self, class: ClassId, source: &str, class_side: bool) {
-        let mut inner = self.db.inner.lock();
-        inner.method_sources.push(MethodSource { class, source: source.to_string(), class_side });
-        inner.schema_dirty = true;
+        let mut schema = self.db.schema.write();
+        schema.method_sources.push(MethodSource { class, source: source.to_string(), class_side });
+        schema.schema_dirty = true;
     }
 
     fn method(&self, id: MethodId) -> Arc<CompiledMethod> {
-        self.db.inner.lock().methods[id.0 as usize].clone()
+        if id.0 & LOCAL_METHOD_BIT != 0 {
+            self.local_methods[(id.0 & !LOCAL_METHOD_BIT) as usize].clone()
+        } else {
+            self.db.methods.read()[id.0 as usize].clone()
+        }
     }
 
     fn note_interp_stats(&mut self, dispatches: u64, sends: u64) {
@@ -1040,20 +1166,10 @@ impl OpalWorld for Session {
     }
 
     fn add_method_code(&mut self, m: CompiledMethod) -> GemResult<MethodId> {
-        self.m.verify_checks.inc();
-        if let Err(e) = gemstone_opal::verify::check(&m) {
-            self.m.verify_rejects.inc();
-            if self.telemetry.journal.enabled() {
-                self.telemetry.journal.emit(&JournalEvent::VerifyCheck { rejected: true });
-            }
-            return Err(e.into());
-        }
-        if self.telemetry.journal.enabled() {
-            self.telemetry.journal.emit(&JournalEvent::VerifyCheck { rejected: false });
-        }
-        let mut inner = self.db.inner.lock();
-        inner.methods.push(Arc::new(m));
-        Ok(MethodId(inner.methods.len() as u32 - 1))
+        let m = self.verified(m)?;
+        let mut methods = self.db.methods.write();
+        methods.push(Arc::new(m));
+        Ok(MethodId(methods.len() as u32 - 1))
     }
 
     fn new_object(&mut self, class: ClassId) -> GemResult<Oop> {
@@ -1080,16 +1196,9 @@ impl OpalWorld for Session {
             OopKind::Heap(_) => {
                 self.ws.get(oop).ok().and_then(|o| o.as_str().ok()).map(String::from)
             }
-            OopKind::Ref(g) => {
-                let mut inner = self.db.inner.lock();
-                inner
-                    .store
-                    .get(g)
-                    .ok()
-                    .and_then(|o| o.bytes_current())
-                    .and_then(|b| std::str::from_utf8(b).ok())
-                    .map(String::from)
-            }
+            OopKind::Ref(g) => self.db.store.get(g).ok().and_then(|o| {
+                o.bytes_current().and_then(|b| std::str::from_utf8(b).ok()).map(String::from)
+            }),
             _ => None,
         }
     }
@@ -1104,10 +1213,12 @@ impl OpalWorld for Session {
         let goop = self.ws.get(obj)?.goop;
         match goop {
             Some(g) => {
-                let v = {
-                    let mut inner = self.db.inner.lock();
-                    inner.store.get(g)?.elem_at(name, t).unwrap_or(PRef::NIL)
-                };
+                let v = self
+                    .db
+                    .store
+                    .get_traced(g, self.session_id, self.io_parent())?
+                    .elem_at(name, t)
+                    .unwrap_or(PRef::NIL);
                 Ok(pref_to_oop(&self.ws, v))
             }
             // A transient object has no history: it did not exist at t.
@@ -1124,10 +1235,13 @@ impl OpalWorld for Session {
         let obj = self.swizzle(obj)?;
         let goop = self.ws.get(obj)?.goop;
         if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
-            let vals: Vec<PRef> = {
-                let mut inner = self.db.inner.lock();
-                inner.store.get(g)?.elements_at(t).map(|(_, v)| v).collect()
-            };
+            let vals: Vec<PRef> = self
+                .db
+                .store
+                .get_traced(g, self.session_id, self.io_parent())?
+                .elements_at(t)
+                .map(|(_, v)| v)
+                .collect();
             return Ok(vals.into_iter().map(|v| pref_to_oop(&self.ws, v)).collect());
         }
         if let Some(g) = goop {
@@ -1150,8 +1264,13 @@ impl OpalWorld for Session {
         let obj = self.swizzle(obj)?;
         let goop = self.ws.get(obj)?.goop;
         if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
-            let mut inner = self.db.inner.lock();
-            return Ok(inner.store.get(g)?.elements_at(t).map(|(n, _)| n).collect());
+            return Ok(self
+                .db
+                .store
+                .get_traced(g, self.session_id, self.io_parent())?
+                .elements_at(t)
+                .map(|(n, _)| n)
+                .collect());
         }
         if let Some(g) = goop {
             self.record_read(SlotId::Object(g));
@@ -1189,8 +1308,7 @@ impl OpalWorld for Session {
         let obj = self.swizzle(obj)?;
         let goop = self.ws.get(obj)?.goop;
         if let (Some(t), Some(g)) = (self.dial.setting(), goop) {
-            let mut inner = self.db.inner.lock();
-            let pobj = inner.store.get(g)?;
+            let pobj = self.db.store.get_traced(g, self.session_id, self.io_parent())?;
             return Ok(match pobj.bytes_at(t) {
                 Some(b) => b.len(),
                 None => pobj.elements_at(t).count(),
@@ -1209,8 +1327,8 @@ impl OpalWorld for Session {
     fn equals(&mut self, a: Oop, b: Oop) -> GemResult<bool> {
         let a = self.swizzle(a)?;
         let b = self.swizzle(b)?;
-        let inner = self.db.inner.lock();
-        Ok(structurally_equal(&self.ws, &inner.symbols, a, b))
+        let schema = self.db.schema.read();
+        Ok(structurally_equal(&self.ws, &schema.symbols, a, b))
     }
 
     fn compare(&mut self, a: Oop, b: Oop) -> GemResult<Option<Ordering>> {
@@ -1223,8 +1341,15 @@ impl OpalWorld for Session {
         if let Some(v) = self.pending_globals.get(&name) {
             return Some(*v);
         }
-        let inner = self.db.inner.lock();
-        inner.globals.get(&name).map(|p| pref_to_oop(&self.ws, *p))
+        // Committed globals come from the transaction snapshot: lock-free,
+        // and consistent with every other read in the transaction. Between
+        // transactions, read the latest published view (the session's own
+        // snapshot predates its own most recent commit).
+        if self.txn.is_some() {
+            self.snap.globals.get(&name).map(|p| pref_to_oop(&self.ws, *p))
+        } else {
+            self.db.committed_view().globals.get(&name).map(|p| pref_to_oop(&self.ws, *p))
+        }
     }
 
     fn set_global(&mut self, name: SymbolId, v: Oop) -> GemResult<()> {
@@ -1284,10 +1409,10 @@ impl OpalWorld for Session {
                 })?;
                 let path = self.path_arg(args[1])?;
                 let now = self.db.txns.now();
-                let mut inner = self.db.inner.lock();
-                let DbInner { store, symbols, dirs, .. } = &mut *inner;
-                dirs.create_index(store, symbols, goop, path, now)?;
-                inner.schema_dirty = true;
+                let mut schema = self.db.schema.write();
+                let Schema { symbols, dirs, schema_dirty, .. } = &mut *schema;
+                dirs.create_index(&self.db.store, symbols, goop, path, now)?;
+                *schema_dirty = true;
                 Ok(Oop::TRUE)
             }
             "error:" => {
@@ -1331,7 +1456,7 @@ impl OpalWorld for Session {
             env_consts.insert(VarId(1 + i as u16), *v);
         }
         substitute(&mut query.pred, &env_consts);
-        let catalog = { self.db.inner.lock().dirs.catalog().clone() };
+        let catalog = self.db.schema.read().dirs.catalog().clone();
         let rows = self.eval_with_catalog(&query, &catalog)?;
         Ok(rows.into_iter().filter_map(|mut r| (!r.is_empty()).then(|| r.remove(0))).collect())
     }
@@ -1425,10 +1550,13 @@ impl QueryContext for Session {
                 }
             }
         };
-        let at = self.dial.setting();
+        // Serve at the dial when set, else the transaction snapshot —
+        // directory answers stay consistent with every other read even
+        // while concurrent commits re-key the directory.
+        let at = Some(self.dial.setting().unwrap_or(self.snap.time));
         let goops = {
-            let inner = self.db.inner.lock();
-            inner.dirs.range(
+            let schema = self.db.schema.read();
+            schema.dirs.range(
                 goop,
                 path,
                 lo_key.as_ref().map(|(k, i)| (k, *i)),
@@ -1454,8 +1582,8 @@ impl QueryContext for Session {
         if v.as_float().is_some_and(f64::is_nan) {
             return Ok(None);
         }
-        let inner = self.db.inner.lock();
-        Ok(Some(value_key(&self.ws, &inner.symbols, v)))
+        let schema = self.db.schema.read();
+        Ok(Some(value_key(&self.ws, &schema.symbols, v)))
     }
 
     fn index_lookup(
@@ -1477,10 +1605,10 @@ impl QueryContext for Session {
             Some(k) => k,
             None => return Ok(None),
         };
-        let at = self.dial.setting();
+        let at = Some(self.dial.setting().unwrap_or(self.snap.time));
         let goops = {
-            let inner = self.db.inner.lock();
-            inner.dirs.lookup(goop, path, &dir_key, at)
+            let schema = self.db.schema.read();
+            schema.dirs.lookup(goop, path, &dir_key, at)
         };
         let Some(goops) = goops else { return Ok(None) };
         self.record_read(SlotId::Object(goop));

@@ -54,6 +54,9 @@ impl From<&str> for Rval {
 /// Row identifier within a relation.
 pub type RowId = usize;
 
+/// An arbitrary row test, boxed for [`Pred::Fn`].
+pub type RowTest<'a> = Box<dyn Fn(&[Rval]) -> bool + 'a>;
+
 /// A predicate over a row, by attribute position.
 pub enum Pred<'a> {
     /// attribute = constant
@@ -61,7 +64,7 @@ pub enum Pred<'a> {
     /// attribute > constant (numeric)
     Gt(usize, f64),
     /// arbitrary test
-    Fn(Box<dyn Fn(&[Rval]) -> bool + 'a>),
+    Fn(RowTest<'a>),
 }
 
 impl Pred<'_> {

@@ -6,6 +6,7 @@
 
 use crate::disk::TrackId;
 use gemstone_telemetry::{Counter, Journal, JournalEvent};
+use parking_lot::Mutex;
 use std::collections::{HashMap, VecDeque};
 
 /// Cache statistics.
@@ -60,7 +61,10 @@ impl CacheCounters {
         self.fills_commit.reset();
     }
 
-    fn share(&self) -> CacheCounters {
+    /// Shared handles (non-detaching): every clone updates the same cells.
+    /// This is what lets all shards of a [`ShardedTrackCache`] move one
+    /// aggregate set of counters while the registry binds those same cells.
+    pub fn share(&self) -> CacheCounters {
         CacheCounters {
             hits: self.hits.clone(),
             misses: self.misses.clone(),
@@ -87,18 +91,29 @@ pub struct TrackCache {
     tick: u64,
     stats: CacheCounters,
     journal: Option<Journal>,
+    /// Which shard of a [`ShardedTrackCache`] this is (0 standalone);
+    /// stamped into `CacheAccess` journal events.
+    shard_index: u64,
 }
 
 impl TrackCache {
     /// A cache holding up to `capacity` tracks.
     pub fn new(capacity: usize) -> TrackCache {
+        TrackCache::with_counters(capacity, CacheCounters::default())
+    }
+
+    /// A cache that moves the given (possibly shared) counter cells instead
+    /// of private ones — the building block of [`ShardedTrackCache`], whose
+    /// shards all report into one aggregate set.
+    pub fn with_counters(capacity: usize, counters: CacheCounters) -> TrackCache {
         TrackCache {
             capacity,
             entries: HashMap::new(),
             recency: VecDeque::new(),
             tick: 0,
-            stats: CacheCounters::default(),
+            stats: counters,
             journal: None,
+            shard_index: 0,
         }
     }
 
@@ -162,7 +177,11 @@ impl TrackCache {
         if !self.entries.contains_key(&id) {
             self.stats.misses.inc();
             if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::CacheAccess { track: id.0 as u64, hit: false });
+                j.emit(&JournalEvent::CacheAccess {
+                    track: id.0 as u64,
+                    shard: self.shard_index,
+                    hit: false,
+                });
             }
             return None;
         }
@@ -174,7 +193,11 @@ impl TrackCache {
         self.compact();
         self.stats.hits.inc();
         if let Some(j) = self.journal_on() {
-            j.emit(&JournalEvent::CacheAccess { track: id.0 as u64, hit: true });
+            j.emit(&JournalEvent::CacheAccess {
+                track: id.0 as u64,
+                shard: self.shard_index,
+                hit: true,
+            });
         }
         let (_, data) = self.entries.get(&id).expect("checked above");
         Some(data.as_slice())
@@ -245,6 +268,165 @@ impl TrackCache {
     /// True when empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+}
+
+/// Shards in a [`ShardedTrackCache`]. Adjacent tracks land on different
+/// shards (round-robin by track id), so parallel faulting of a clustered
+/// object's tracks takes disjoint locks.
+pub const CACHE_SHARDS: usize = 8;
+
+/// Per-shard hit/miss tallies (see [`ShardedTrackCache::shard_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+/// A lock-striped track cache: [`CACHE_SHARDS`] independent [`TrackCache`]s,
+/// each behind its own mutex, selected round-robin by track id. Concurrent
+/// sessions faulting different tracks proceed in parallel; the aggregate
+/// counters (one shared set of cells moved by every shard, under that
+/// shard's lock) keep the canonical `storage.cache.*` metrics and their
+/// journal events exactly as coherent as the single-lock cache had them.
+///
+/// Eviction is per-shard LRU over `capacity / shards` slots (remainder
+/// spread over the low shards), which approximates — but is not identical
+/// to — a single global LRU: hit/miss counts under capacity pressure can
+/// differ from the unsharded cache by the imbalance of the track→shard
+/// distribution. The perf trajectory is generated against this policy.
+///
+/// A capacity below [`CACHE_SHARDS`] shards down to one slot per shard
+/// (never a zero-capacity shard, which would silently refuse fills):
+/// tiny caches trade parallelism for actually caching.
+#[derive(Debug)]
+pub struct ShardedTrackCache {
+    shards: Vec<Mutex<TrackCache>>,
+    /// Aggregate cells shared by every shard (canonical registry names).
+    counters: CacheCounters,
+    /// Per-shard hit/miss cells (`storage.cache.shard<i>.*`), always
+    /// [`CACHE_SHARDS`] entries; the tail stays zero when sharded down.
+    shard_hits: Vec<Counter>,
+    shard_misses: Vec<Counter>,
+    capacity: usize,
+}
+
+impl ShardedTrackCache {
+    /// A sharded cache holding up to `capacity` tracks in total.
+    pub fn new(capacity: usize) -> ShardedTrackCache {
+        let counters = CacheCounters::default();
+        let nshards = if capacity == 0 { CACHE_SHARDS } else { CACHE_SHARDS.min(capacity) };
+        let shards = (0..nshards)
+            .map(|i| {
+                let per = capacity / nshards + usize::from(i < capacity % nshards);
+                let mut shard = TrackCache::with_counters(per, counters.share());
+                shard.shard_index = i as u64;
+                Mutex::new(shard)
+            })
+            .collect();
+        ShardedTrackCache {
+            shards,
+            counters,
+            shard_hits: (0..CACHE_SHARDS).map(|_| Counter::new()).collect(),
+            shard_misses: (0..CACHE_SHARDS).map(|_| Counter::new()).collect(),
+            capacity,
+        }
+    }
+
+    #[inline]
+    fn shard_of(&self, id: TrackId) -> usize {
+        id.0 as usize % self.shards.len()
+    }
+
+    /// Total capacity in tracks.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Attach the flight recorder to every shard (events are emitted under
+    /// the owning shard's lock, beside the aggregate counter moves, so the
+    /// journal stays 1:1 with the registry under concurrency).
+    pub fn attach_journal(&mut self, journal: Journal) {
+        for s in &mut self.shards {
+            s.get_mut().attach_journal(journal.clone());
+        }
+    }
+
+    /// Look up a track and hand its payload to `f`. Counts a hit or miss
+    /// either way (aggregate + per-shard).
+    pub fn with_track<R>(&self, id: TrackId, f: impl FnOnce(&[u8]) -> R) -> Option<R> {
+        let i = self.shard_of(id);
+        let mut shard = self.shards[i].lock();
+        let r = shard.get(id).map(f);
+        match r {
+            Some(_) => self.shard_hits[i].inc(),
+            None => self.shard_misses[i].inc(),
+        }
+        r
+    }
+
+    /// Insert (or refresh) a track payload, attributing the fill.
+    pub fn put_from(&self, id: TrackId, data: Vec<u8>, source: FillSource) {
+        self.shards[self.shard_of(id)].lock().put_from(id, data, source);
+    }
+
+    /// Drop a track (superseded by a shadow copy).
+    pub fn invalidate(&self, id: TrackId) {
+        self.shards[self.shard_of(id)].lock().invalidate(id);
+    }
+
+    /// Drop everything (recovery).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().clear();
+        }
+    }
+
+    /// Aggregate hit/miss counters across all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.counters.snapshot()
+    }
+
+    /// The live aggregate counter cells (for registry binding).
+    pub fn counters(&self) -> CacheCounters {
+        self.counters.share()
+    }
+
+    /// Per-shard (hits, misses) tallies, shard 0 first.
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        (0..CACHE_SHARDS)
+            .map(|i| ShardStats {
+                hits: self.shard_hits[i].get(),
+                misses: self.shard_misses[i].get(),
+            })
+            .collect()
+    }
+
+    /// The live per-shard hit/miss cells (for registry binding), shard 0
+    /// first.
+    pub fn shard_counters(&self) -> Vec<(Counter, Counter)> {
+        (0..CACHE_SHARDS)
+            .map(|i| (self.shard_hits[i].clone(), self.shard_misses[i].clone()))
+            .collect()
+    }
+
+    /// Reset aggregate and per-shard counters.
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+        for i in 0..CACHE_SHARDS {
+            self.shard_hits[i].reset();
+            self.shard_misses[i].reset();
+        }
+    }
+
+    /// Cached tracks across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// True when every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -396,5 +578,77 @@ mod tests {
             }
             assert_eq!(c.len(), r.order.len(), "step {step}: size diverged");
         }
+    }
+
+    #[test]
+    fn sharded_cache_routes_by_track_and_aggregates_counters() {
+        let c = ShardedTrackCache::new(64);
+        for i in 0..16u32 {
+            c.put_from(TrackId(i), vec![i as u8], FillSource::ReadThrough);
+        }
+        assert_eq!(c.len(), 16);
+        // Every track readable back through the striped path.
+        for i in 0..16u32 {
+            assert_eq!(c.with_track(TrackId(i), |b| b.to_vec()), Some(vec![i as u8]));
+        }
+        assert!(c.with_track(TrackId(99), |b| b.to_vec()).is_none());
+        let stats = c.stats();
+        assert_eq!(stats.hits, 16);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.fills_read, 16);
+        // Per-shard tallies sum to the aggregate.
+        let per: Vec<ShardStats> = c.shard_stats();
+        assert_eq!(per.iter().map(|s| s.hits).sum::<u64>(), 16);
+        assert_eq!(per.iter().map(|s| s.misses).sum::<u64>(), 1);
+        // 16 consecutive tracks over 8 shards: two hits each.
+        assert!(per.iter().all(|s| s.hits == 2));
+    }
+
+    #[test]
+    fn sharded_cache_invalidate_clear_and_reset() {
+        let c = ShardedTrackCache::new(8);
+        c.put_from(TrackId(3), vec![3], FillSource::CommitWrite);
+        c.put_from(TrackId(4), vec![4], FillSource::CommitWrite);
+        c.invalidate(TrackId(3));
+        assert_eq!(c.len(), 1);
+        assert!(c.with_track(TrackId(3), |_| ()).is_none());
+        c.reset_stats();
+        assert_eq!(c.stats(), CacheStats::default());
+        assert!(c.shard_stats().iter().all(|s| *s == ShardStats::default()));
+        c.clear();
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn sharded_cache_zero_capacity_never_retains() {
+        let c = ShardedTrackCache::new(0);
+        c.put_from(TrackId(1), vec![1], FillSource::ReadThrough);
+        assert!(c.is_empty());
+        assert!(c.with_track(TrackId(1), |_| ()).is_none());
+    }
+
+    #[test]
+    fn sharded_cache_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ShardedTrackCache>();
+    }
+
+    #[test]
+    fn sharded_capacity_distributes_remainder() {
+        // 10 slots over 8 shards: shards 0-1 get 2, the rest 1 — so 10
+        // distinct tracks all landing evenly survive without eviction only
+        // up to per-shard capacity. Fill one track per shard, then verify
+        // a second round on shards 0 and 1 fits while shard 2 evicts.
+        let c = ShardedTrackCache::new(10);
+        assert_eq!(c.capacity(), 10);
+        for i in 0..8u32 {
+            c.put_from(TrackId(i), vec![i as u8], FillSource::ReadThrough);
+        }
+        c.put_from(TrackId(8), vec![8], FillSource::ReadThrough); // shard 0, slot 2
+        c.put_from(TrackId(9), vec![9], FillSource::ReadThrough); // shard 1, slot 2
+        assert_eq!(c.len(), 10);
+        c.put_from(TrackId(10), vec![10], FillSource::ReadThrough); // shard 2 evicts
+        assert_eq!(c.len(), 10);
+        assert_eq!(c.stats().evictions, 1);
     }
 }

@@ -249,7 +249,7 @@ impl StateImage {
         let mut objects = BTreeMap::new();
         for g in store.all_goops() {
             let obj = store.get(g).map_err(|e| format!("image: get {g:?}: {e}"))?;
-            objects.insert(g.0, format::put_object(obj));
+            objects.insert(g.0, format::put_object(&obj));
         }
         let mut metas = BTreeMap::new();
         for &key in meta_keys {

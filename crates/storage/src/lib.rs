@@ -43,7 +43,9 @@ mod format;
 mod pobj;
 mod store;
 
-pub use cache::{CacheCounters, CacheStats, FillSource, TrackCache};
+pub use cache::{
+    CacheCounters, CacheStats, FillSource, ShardStats, ShardedTrackCache, TrackCache, CACHE_SHARDS,
+};
 pub use commit::RecoveryReport;
 pub use crashpoint::{CrashSchedule, MatrixReport, Workload};
 pub use directory::{DirKey, Directory, DirectorySpec};
@@ -52,4 +54,5 @@ pub use disk::{
     WriteRecord, TRACK_HEADER,
 };
 pub use pobj::{ObjectDelta, PersistentObject};
+pub use store::OBJ_SHARDS;
 pub use store::{PermanentStore, StoreConfig, StoreCounters, StoreStats};

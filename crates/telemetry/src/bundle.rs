@@ -128,7 +128,7 @@ impl DiagnosticBundle {
                 _ => None,
             })
             .collect();
-        slow.sort_by(|a, b| b.wall_ns.cmp(&a.wall_ns));
+        slow.sort_by_key(|s| std::cmp::Reverse(s.wall_ns));
         slow.truncate(SLOW_TOP_N);
         let recovery = events.iter().rev().find_map(|e| match e {
             JournalEvent::Recovery {
@@ -469,7 +469,7 @@ fn cache_sweep(
     let mut recorded_misses = 0u64;
     for e in events {
         match e {
-            JournalEvent::CacheAccess { track, hit } => {
+            JournalEvent::CacheAccess { track, hit, .. } => {
                 unique.insert(*track);
                 if *hit {
                     recorded_hits += 1;
@@ -541,12 +541,12 @@ mod tests {
         // miss (fill, evicts A), access A miss again.
         let events = vec![
             JournalEvent::CacheConfigured { tracks: 1 },
-            JournalEvent::CacheAccess { track: 10, hit: false },
+            JournalEvent::CacheAccess { track: 10, shard: 10 % 8, hit: false },
             JournalEvent::CacheFill { track: 10, commit: false },
-            JournalEvent::CacheAccess { track: 10, hit: true },
-            JournalEvent::CacheAccess { track: 20, hit: false },
+            JournalEvent::CacheAccess { track: 10, shard: 10 % 8, hit: true },
+            JournalEvent::CacheAccess { track: 20, shard: 20 % 8, hit: false },
             JournalEvent::CacheFill { track: 20, commit: false },
-            JournalEvent::CacheAccess { track: 10, hit: false },
+            JournalEvent::CacheAccess { track: 10, shard: 10 % 8, hit: false },
             JournalEvent::CacheFill { track: 10, commit: false },
         ];
         let b = DiagnosticBundle::build(&readout(events), None, "test");

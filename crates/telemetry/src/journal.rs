@@ -63,9 +63,10 @@ pub enum JournalEvent {
         value: i64,
     },
     /// Registry state at recording start: one event per histogram.
+    /// Boxed: the bucket array dwarfs every other variant.
     BaselineHistogram {
         name: String,
-        snap: HistogramSnapshot,
+        snap: Box<HistogramSnapshot>,
     },
     /// Informational: the live track-cache capacity (drives the doctor's
     /// sweep validation; no counter effect).
@@ -119,7 +120,14 @@ pub enum JournalEvent {
     },
     CacheAccess {
         track: u64,
+        /// Which cache shard served the access (`storage.cache.shard<i>.*`).
+        shard: u64,
         hit: bool,
+    },
+    /// One transaction validation: how long the committer waited to enter
+    /// the validation critical section (`txn.validation_wait_us`).
+    ValidationWait {
+        us: u64,
     },
     CacheFill {
         track: u64,
@@ -207,9 +215,10 @@ impl JournalEvent {
             TrackWrite { track, ok, bytes } => {
                 format!("{{\"e\":\"track_write\",\"track\":{track},\"ok\":{ok},\"bytes\":{bytes}}}")
             }
-            CacheAccess { track, hit } => {
-                format!("{{\"e\":\"cache_access\",\"track\":{track},\"hit\":{hit}}}")
+            CacheAccess { track, shard, hit } => {
+                format!("{{\"e\":\"cache_access\",\"track\":{track},\"shard\":{shard},\"hit\":{hit}}}")
             }
+            ValidationWait { us } => format!("{{\"e\":\"validation_wait\",\"us\":{us}}}"),
             CacheFill { track, commit } => {
                 format!("{{\"e\":\"cache_fill\",\"track\":{track},\"commit\":{commit}}}")
             }
@@ -247,13 +256,13 @@ impl JournalEvent {
             }
             "base_hist" => JournalEvent::BaselineHistogram {
                 name: obj.str("name")?,
-                snap: HistogramSnapshot {
+                snap: Box::new(HistogramSnapshot {
                     count: obj.u64("count")?,
                     sum: obj.u64("sum")?,
                     min: obj.u64("min")?,
                     max: obj.u64("max")?,
                     buckets: buckets_from_str(&obj.str("buckets")?)?,
-                },
+                }),
             },
             "cache_configured" => JournalEvent::CacheConfigured { tracks: obj.u64("tracks")? },
             "statement" => JournalEvent::Statement {
@@ -293,9 +302,12 @@ impl JournalEvent {
                 ok: obj.bool("ok")?,
                 bytes: obj.u64("bytes")?,
             },
-            "cache_access" => {
-                JournalEvent::CacheAccess { track: obj.u64("track")?, hit: obj.bool("hit")? }
-            }
+            "cache_access" => JournalEvent::CacheAccess {
+                track: obj.u64("track")?,
+                shard: obj.u64("shard")?,
+                hit: obj.bool("hit")?,
+            },
+            "validation_wait" => JournalEvent::ValidationWait { us: obj.u64("us")? },
             "cache_fill" => {
                 JournalEvent::CacheFill { track: obj.u64("track")?, commit: obj.bool("commit")? }
             }
@@ -387,13 +399,16 @@ impl JournalEvent {
                     r.counter("storage.disk.failed_writes").inc();
                 }
             }
-            CacheAccess { hit, .. } => {
+            CacheAccess { shard, hit, .. } => {
                 if *hit {
                     r.counter("storage.cache.hits").inc();
+                    r.counter(&format!("storage.cache.shard{shard}.hits")).inc();
                 } else {
                     r.counter("storage.cache.misses").inc();
+                    r.counter(&format!("storage.cache.shard{shard}.misses")).inc();
                 }
             }
+            ValidationWait { us } => r.histogram("txn.validation_wait_us").record(*us),
             CacheFill { commit, .. } => {
                 if *commit {
                     r.counter("storage.cache.fills_commit").inc();
@@ -600,7 +615,10 @@ impl Journal {
             self.emit(&JournalEvent::BaselineGauge { name: name.clone(), value });
         }
         for (name, h) in &snap.histograms {
-            self.emit(&JournalEvent::BaselineHistogram { name: name.clone(), snap: h.clone() });
+            self.emit(&JournalEvent::BaselineHistogram {
+                name: name.clone(),
+                snap: Box::new(h.clone()),
+            });
         }
     }
 
@@ -934,7 +952,7 @@ mod tests {
             JournalEvent::Interp { dispatches: 42, sends: 7 },
             JournalEvent::TrackWrite { track: 3, ok: true, bytes: 8192 },
             JournalEvent::TrackRead { track: 3, ok: false },
-            JournalEvent::CacheAccess { track: 3, hit: true },
+            JournalEvent::CacheAccess { track: 3, shard: 3, hit: true },
             JournalEvent::CacheFill { track: 9, commit: false },
             JournalEvent::CacheEvict { track: 2 },
             JournalEvent::ObjectFault { goop: 77 },

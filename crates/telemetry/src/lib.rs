@@ -32,7 +32,9 @@ pub use journal::{
     parse_flat, replay, FlatObject, Journal, JournalConfig, JournalEvent, JournalReadout,
     JsonValue, JOURNAL_SCHEMA,
 };
-pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsBatch, MetricsRegistry, MetricsSnapshot,
+};
 pub use trace::{OpenSpan, SpanEvent, SpanKind, Tracer};
 
 use std::sync::atomic::{AtomicU64, Ordering};

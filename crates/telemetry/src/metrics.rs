@@ -284,6 +284,23 @@ impl MetricsRegistry {
         inner.histograms.insert(name.to_string(), h.clone());
     }
 
+    /// Apply every binding in `batch` under one lock acquisition: a
+    /// concurrent [`MetricsRegistry::snapshot`] observes either none of the
+    /// batch or all of it, never a half-bound layer. Use this instead of a
+    /// run of `register_*` calls when wiring a subsystem's instruments.
+    pub fn register_batch(&self, batch: MetricsBatch) {
+        let mut inner = self.inner.lock().unwrap();
+        for (name, c) in batch.counters {
+            inner.counters.insert(name, c);
+        }
+        for (name, g) in batch.gauges {
+            inner.gauges.insert(name, g);
+        }
+        for (name, h) in batch.histograms {
+            inner.histograms.insert(name, h);
+        }
+    }
+
     /// Freeze every instrument into a diffable snapshot.
     pub fn snapshot(&self) -> MetricsSnapshot {
         let inner = self.inner.lock().unwrap();
@@ -292,6 +309,40 @@ impl MetricsRegistry {
             gauges: inner.gauges.iter().map(|(k, g)| (k.clone(), g.get())).collect(),
             histograms: inner.histograms.iter().map(|(k, h)| (k.clone(), h.snapshot())).collect(),
         }
+    }
+}
+
+/// A set of instrument bindings staged off-lock and applied atomically by
+/// [`MetricsRegistry::register_batch`].
+#[derive(Default)]
+pub struct MetricsBatch {
+    counters: Vec<(String, Counter)>,
+    gauges: Vec<(String, Gauge)>,
+    histograms: Vec<(String, Histogram)>,
+}
+
+impl MetricsBatch {
+    pub fn new() -> MetricsBatch {
+        MetricsBatch::default()
+    }
+
+    /// Stage a counter binding (the owner's cell and the registry will
+    /// share it).
+    pub fn counter(mut self, name: &str, c: &Counter) -> MetricsBatch {
+        self.counters.push((name.to_string(), c.clone()));
+        self
+    }
+
+    /// Stage a gauge binding.
+    pub fn gauge(mut self, name: &str, g: &Gauge) -> MetricsBatch {
+        self.gauges.push((name.to_string(), g.clone()));
+        self
+    }
+
+    /// Stage a histogram binding.
+    pub fn histogram(mut self, name: &str, h: &Histogram) -> MetricsBatch {
+        self.histograms.push((name.to_string(), h.clone()));
+        self
     }
 }
 
@@ -493,5 +544,62 @@ mod tests {
         assert!(json.lines().count() == 3);
         assert!(json.contains("\"metric\":\"a.b\"") && json.contains("\"type\":\"histogram\""));
         assert!(json.contains("\"p95\":") && table.contains("p95<="), "quantiles rendered");
+    }
+
+    #[test]
+    fn batch_registration_binds_shared_cells() {
+        let reg = MetricsRegistry::new();
+        let c = Counter::new();
+        let g = Gauge::new();
+        let h = Histogram::new();
+        reg.register_batch(
+            MetricsBatch::new()
+                .counter("layer.c", &c)
+                .gauge("layer.g", &g)
+                .histogram("layer.h", &h),
+        );
+        c.inc();
+        g.set(7);
+        h.record(5);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("layer.c"), 1);
+        assert_eq!(snap.gauge("layer.g"), 7);
+        assert_eq!(snap.histogram("layer.h").unwrap().count, 1);
+    }
+
+    #[test]
+    fn batch_registration_is_atomic_under_concurrent_snapshots() {
+        // A snapshot taken while a layer registers must see either none of
+        // the layer's names or all of them — never a half-bound registry.
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let reg = MetricsRegistry::new();
+        let names: Vec<String> = (0..24).map(|i| format!("layer.m{i}")).collect();
+        let done = AtomicBool::new(false);
+        std::thread::scope(|s| {
+            let reader_reg = reg.clone();
+            let reader_names = names.clone();
+            let done_ref = &done;
+            s.spawn(move || {
+                while !done_ref.load(Ordering::Relaxed) {
+                    let snap = reader_reg.snapshot();
+                    let bound =
+                        reader_names.iter().filter(|n| snap.counters.contains_key(*n)).count();
+                    assert!(
+                        bound == 0 || bound == reader_names.len(),
+                        "snapshot saw a half-bound layer: {bound}/{}",
+                        reader_names.len()
+                    );
+                }
+            });
+            let cells: Vec<Counter> = names.iter().map(|_| Counter::new()).collect();
+            let mut batch = MetricsBatch::new();
+            for (n, c) in names.iter().zip(&cells) {
+                batch = batch.counter(n, c);
+            }
+            reg.register_batch(batch);
+            done.store(true, Ordering::Relaxed);
+        });
+        let snap = reg.snapshot();
+        assert!(names.iter().all(|n| snap.counters.contains_key(n)));
     }
 }

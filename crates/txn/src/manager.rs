@@ -2,10 +2,11 @@
 
 use crate::access::AccessSet;
 use gemstone_object::{GemError, GemResult};
-use gemstone_telemetry::{Counter, Journal, JournalEvent};
+use gemstone_telemetry::{Counter, Histogram, Journal, JournalEvent};
 use gemstone_temporal::{Clock, TxnTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::time::Instant;
 
 /// Identity of a transaction attempt.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -38,6 +39,13 @@ struct Inner {
     active: HashMap<TxnId, TxnTime>,
     log: Vec<CommitRecord>,
     next_id: u64,
+    /// Newest commit time whose log record has been pruned. A writing
+    /// transaction that began at or before this cannot be validated (the
+    /// records it must check are gone) and aborts conservatively. This
+    /// closes the registration race: a commit can prune its own record
+    /// while a session is between reading the published snapshot and
+    /// registering via `begin_at`.
+    pruned_through: TxnTime,
 }
 
 /// Live outcome counters; shared cells for registry binding.
@@ -52,12 +60,29 @@ pub struct TxnCounters {
 }
 
 impl TxnCounters {
-    fn share(&self) -> TxnCounters {
+    /// Shared handles (non-detaching): every copy updates the same cells.
+    /// This is what the registry binds, so the live `txn.*` metrics and the
+    /// manager's own counts can never diverge.
+    pub fn share(&self) -> TxnCounters {
         TxnCounters {
             begins: self.begins.clone(),
             commits: self.commits.clone(),
             aborts: self.aborts.clone(),
             conflicts: self.conflicts.clone(),
+        }
+    }
+}
+
+/// `Clone` takes a *detached* point-in-time copy (checkpoint semantics,
+/// matching `DiskCounters`): updates to either side are independent. Use
+/// [`TxnCounters::share`] when you want live cells.
+impl Clone for TxnCounters {
+    fn clone(&self) -> TxnCounters {
+        TxnCounters {
+            begins: self.begins.detached_copy(),
+            commits: self.commits.detached_copy(),
+            aborts: self.aborts.detached_copy(),
+            conflicts: self.conflicts.detached_copy(),
         }
     }
 }
@@ -71,6 +96,9 @@ pub struct TransactionManager {
     /// beside the counter moves, so journal and registry stay 1:1 under
     /// concurrent sessions.
     journal: Option<Journal>,
+    /// Microseconds each committer waited to enter the validation critical
+    /// section — the direct measure of commit-path contention.
+    validation_wait: Histogram,
     inner: Mutex<Inner>,
 }
 
@@ -88,7 +116,16 @@ impl TransactionManager {
             grain,
             counters: TxnCounters::default(),
             journal: None,
-            inner: Mutex::new(Inner { active: HashMap::new(), log: Vec::new(), next_id: 1 }),
+            validation_wait: Histogram::new(),
+            inner: Mutex::new(Inner {
+                active: HashMap::new(),
+                log: Vec::new(),
+                next_id: 1,
+                // Commits from before this manager existed (pre-recovery)
+                // have no log records: snapshots older than the resume
+                // point cannot be validated.
+                pruned_through: last_committed,
+            }),
         }
     }
 
@@ -107,10 +144,41 @@ impl TransactionManager {
 
     /// Begin a transaction: snapshot at the latest committed time.
     pub fn begin(&self) -> TxnToken {
+        self.begin_at(self.clock.last_issued())
+    }
+
+    /// Begin a transaction snapshotted at an explicit `start` time — the
+    /// time of the state the session actually sees. A concurrent engine
+    /// must pass its *published* committed time here, not the manager's
+    /// clock: a transaction whose commit is logged (clock advanced) but not
+    /// yet published has `log time > start` for sessions beginning off the
+    /// published state, so validation still catches the overlap. Beginning
+    /// from `clock.last_issued()` instead would blind validation to exactly
+    /// that window.
+    pub fn begin_at(&self, start: TxnTime) -> TxnToken {
         let mut inner = self.inner.lock();
+        self.register_locked(&mut inner, start)
+    }
+
+    /// [`TransactionManager::begin_at`], refusing a stale start. `None`
+    /// means commits pruned the log past `start` between the caller reading
+    /// its published view and registering here — the caller must re-read
+    /// the (necessarily newer) published state and try again. Registering
+    /// through this check closes the begin/prune race *at begin time*:
+    /// once the transaction is in the active set, pruning never passes its
+    /// start, so a registered writer cannot be conservatively aborted by
+    /// the watermark it just checked.
+    pub fn begin_at_checked(&self, start: TxnTime) -> Option<TxnToken> {
+        let mut inner = self.inner.lock();
+        if start < inner.pruned_through {
+            return None;
+        }
+        Some(self.register_locked(&mut inner, start))
+    }
+
+    fn register_locked(&self, inner: &mut Inner, start: TxnTime) -> TxnToken {
         let id = TxnId(inner.next_id);
         inner.next_id += 1;
-        let start = self.clock.last_issued();
         inner.active.insert(id, start);
         self.counters.begins.inc();
         if let Some(j) = self.journal_on() {
@@ -125,47 +193,49 @@ impl TransactionManager {
     ///
     /// Validation is backward: T's reads must not intersect the writes of
     /// any transaction that committed after T began. Read-only transactions
-    /// therefore always commit, without consuming a transaction time.
+    /// skip validation entirely and always commit, without consuming a
+    /// transaction time: a session that reads *as of its snapshot* saw a
+    /// committed state that really existed, so it serializes at its start
+    /// time no matter who committed since.
     pub fn commit(
         &self,
         token: TxnToken,
         reads: &AccessSet,
         writes: &AccessSet,
     ) -> GemResult<TxnTime> {
+        let waited = Instant::now();
         let mut inner = self.inner.lock();
         if inner.active.remove(&token.id).is_none() {
             return Err(GemError::NoTransaction);
         }
-        let (reads_g, writes_g) = match self.grain {
-            ValidationGrain::Element => (reads.clone(), writes.clone()),
-            ValidationGrain::Object => (reads.coarsened(), writes.coarsened()),
-        };
-        let conflict = inner
-            .log
-            .iter()
-            .rev()
-            .take_while(|rec| rec.time > token.start)
-            .find(|rec| rec.writes.intersects(&reads_g))
-            .map(|rec| rec.time);
-        if let Some(time) = conflict {
-            self.counters.aborts.inc();
-            self.counters.conflicts.inc();
-            if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::TxnAbort { conflict: true });
-            }
-            return Err(GemError::TransactionConflict {
-                detail: format!(
-                    "a transaction committed at {} wrote data read since {}",
-                    time, token.start
-                ),
-            });
+        let wait_us = waited.elapsed().as_micros() as u64;
+        self.validation_wait.record(wait_us);
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::ValidationWait { us: wait_us });
         }
         if writes.is_empty() {
             self.counters.commits.inc();
             if let Some(j) = self.journal_on() {
                 j.emit(&JournalEvent::TxnCommit);
             }
-            return Ok(self.clock.last_issued());
+            return Ok(token.start);
+        }
+        let (reads_g, writes_g) = match self.grain {
+            ValidationGrain::Element => (reads.clone(), writes.clone()),
+            ValidationGrain::Object => (reads.coarsened(), writes.coarsened()),
+        };
+        // Validation failure aborts: the watermark case means records this
+        // transaction must validate against were pruned before it
+        // registered (it raced a commit's prune between reading the
+        // published snapshot and `begin_at`), so the overlap cannot be
+        // ruled out and the abort is conservative.
+        if let Err(e) = self.validate_locked(&mut inner, &token, &reads_g) {
+            self.counters.aborts.inc();
+            self.counters.conflicts.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TxnAbort { conflict: true });
+            }
+            return Err(e);
         }
         let time = self.clock.tick();
         inner.log.push(CommitRecord { time, writes: writes_g });
@@ -175,6 +245,122 @@ impl TransactionManager {
         }
         self.prune_log(&mut inner);
         Ok(time)
+    }
+
+    /// Phase 1 of the engine's two-phase writing commit: validate
+    /// `token`'s reads and assign the commit time, **without** logging the
+    /// commit or removing the transaction from the active set. Because the
+    /// transaction stays active, the prune horizon cannot pass its start
+    /// while the caller makes the writes durable; because nothing is
+    /// logged, a storage failure aborts ([`TransactionManager::abort`])
+    /// with no trace in the commit log or the `pruned_through` watermark —
+    /// the failure mode that would otherwise strand every later
+    /// `begin_at_checked` below a commit time that never published.
+    ///
+    /// On conflict the transaction is aborted here, exactly as
+    /// [`TransactionManager::commit`] would.
+    ///
+    /// The caller must serialize `prepare` → `finalize`/`abort` against
+    /// every other *writing* commit (the engine holds its commit lock
+    /// across the pair); read-only commits may interleave freely.
+    pub fn prepare(
+        &self,
+        token: &TxnToken,
+        reads: &AccessSet,
+        writes: &AccessSet,
+    ) -> GemResult<TxnTime> {
+        let waited = Instant::now();
+        let mut inner = self.inner.lock();
+        if !inner.active.contains_key(&token.id) {
+            return Err(GemError::NoTransaction);
+        }
+        let wait_us = waited.elapsed().as_micros() as u64;
+        self.validation_wait.record(wait_us);
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::ValidationWait { us: wait_us });
+        }
+        if writes.is_empty() {
+            // Schema-only commits consume no transaction time.
+            return Ok(token.start);
+        }
+        let reads_g = match self.grain {
+            ValidationGrain::Element => reads.clone(),
+            ValidationGrain::Object => reads.coarsened(),
+        };
+        if let Err(e) = self.validate_locked(&mut inner, token, &reads_g) {
+            inner.active.remove(&token.id);
+            self.counters.aborts.inc();
+            self.counters.conflicts.inc();
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::TxnAbort { conflict: true });
+            }
+            return Err(e);
+        }
+        Ok(self.clock.tick())
+    }
+
+    /// Phase 2: the writes are durable; log the commit at the `time`
+    /// assigned by [`TransactionManager::prepare`] and retire the
+    /// transaction. Infallible in the engine's usage (the token was
+    /// prepared and never finalized twice); `NoTransaction` guards misuse.
+    pub fn finalize(
+        &self,
+        token: TxnToken,
+        time: TxnTime,
+        writes: &AccessSet,
+    ) -> GemResult<TxnTime> {
+        let mut inner = self.inner.lock();
+        if inner.active.remove(&token.id).is_none() {
+            return Err(GemError::NoTransaction);
+        }
+        if !writes.is_empty() {
+            let writes_g = match self.grain {
+                ValidationGrain::Element => writes.clone(),
+                ValidationGrain::Object => writes.coarsened(),
+            };
+            inner.log.push(CommitRecord { time, writes: writes_g });
+        }
+        self.counters.commits.inc();
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::TxnCommit);
+        }
+        self.prune_log(&mut inner);
+        Ok(time)
+    }
+
+    /// Backward validation of `reads_g` against the log and the watermark,
+    /// under the inner lock. Does not touch the active set or counters.
+    fn validate_locked(
+        &self,
+        inner: &mut Inner,
+        token: &TxnToken,
+        reads_g: &AccessSet,
+    ) -> GemResult<()> {
+        if token.start < inner.pruned_through {
+            return Err(GemError::TransactionConflict {
+                detail: format!(
+                    "commit log pruned through {} but the transaction began at {}: \
+                     overlap cannot be ruled out",
+                    inner.pruned_through, token.start
+                ),
+            });
+        }
+        let conflict = inner
+            .log
+            .iter()
+            .rev()
+            .take_while(|rec| rec.time > token.start)
+            .find(|rec| rec.writes.intersects(reads_g))
+            .map(|rec| rec.time);
+        if let Some(time) = conflict {
+            return Err(GemError::TransactionConflict {
+                detail: format!(
+                    "a transaction committed at {} wrote data read since {}",
+                    time, token.start
+                ),
+            });
+        }
+        Ok(())
     }
 
     /// Abort without validating.
@@ -212,12 +398,30 @@ impl TransactionManager {
         self.counters.share()
     }
 
-    /// Drop log records no active transaction can conflict with.
+    /// The live validation-wait histogram (`txn.validation_wait_us`):
+    /// microseconds spent waiting to enter the validation critical section.
+    pub fn validation_wait_histogram(&self) -> Histogram {
+        self.validation_wait.clone()
+    }
+
+    /// Drop log records no active transaction can conflict with, advancing
+    /// the `pruned_through` watermark past everything removed.
     fn prune_log(&self, inner: &mut Inner) {
         let horizon = inner.active.values().copied().min();
         match horizon {
-            Some(h) => inner.log.retain(|r| r.time > h),
-            None => inner.log.clear(),
+            Some(h) => {
+                let removed_max = inner.log.iter().filter(|r| r.time <= h).map(|r| r.time).max();
+                if let Some(m) = removed_max {
+                    inner.pruned_through = inner.pruned_through.max(m);
+                    inner.log.retain(|r| r.time > h);
+                }
+            }
+            None => {
+                if let Some(m) = inner.log.iter().map(|r| r.time).max() {
+                    inner.pruned_through = inner.pruned_through.max(m);
+                }
+                inner.log.clear();
+            }
         }
     }
 }
@@ -301,17 +505,85 @@ mod tests {
         let r = tm.begin();
         let w = tm.begin();
         tm.commit(w, &set(&[]), &set(&[slot(1, 1)])).unwrap();
-        // r read something w wrote — but r wrote nothing, so it would be
-        // serialized before w... except backward validation still flags it:
-        // r's read is inconsistent with its snapshot only if it read AFTER
-        // w's commit. Conservatively, conflicting reads abort.
-        let err = tm.commit(r, &set(&[slot(1, 1)]), &set(&[]));
-        assert!(err.is_err(), "stale read detected");
-        // A genuinely clean read-only txn commits without a new time.
+        // r read something w later overwrote — but r reads *as of its
+        // snapshot*, so its view is the committed state that existed at its
+        // start: it serializes there and commits regardless of w.
+        let c = tm.commit(r, &set(&[slot(1, 1)]), &set(&[])).unwrap();
+        assert_eq!(c, r.start, "read-only commit serializes at its snapshot");
+        // A read-only txn never consumes a transaction time.
         let before = tm.now();
         let r2 = tm.begin();
         assert_eq!(tm.commit(r2, &set(&[slot(9, 9)]), &set(&[])).unwrap(), before);
         assert_eq!(tm.now(), before, "no time consumed");
+        assert_eq!(tm.outcome_counts(), (3, 0));
+    }
+
+    #[test]
+    fn begin_at_validates_against_explicit_snapshot() {
+        let tm = TransactionManager::new(TxnTime::EPOCH);
+        // A writer's commit is logged (clock advanced) but imagine it is
+        // not yet *published*: a session beginning from the published state
+        // must still start at the pre-commit time.
+        let published = tm.now();
+        let w = tm.begin();
+        // Session begins off the stale published root while w is in
+        // flight…
+        let r = tm.begin_at(published);
+        assert_eq!(r.start, published);
+        tm.commit(w, &set(&[]), &set(&[slot(1, 1)])).unwrap();
+        // …and reads the slot the in-flight commit wrote: validation sees
+        // the log record with time > start and aborts the overlap.
+        let err = tm.commit(r, &set(&[slot(1, 1)]), &set(&[slot(2, 2)]));
+        assert!(matches!(err, Err(GemError::TransactionConflict { .. })));
+        // Whereas `begin()` (clock time) would have hidden that commit:
+        let r2 = tm.begin();
+        assert!(tm.commit(r2, &set(&[slot(1, 1)]), &set(&[slot(2, 2)])).is_ok());
+    }
+
+    #[test]
+    fn pruned_snapshot_gap_aborts_conservatively() {
+        let tm = TransactionManager::new(TxnTime::EPOCH);
+        let published = tm.now();
+        // w commits with nobody registered: its prune clears the log and
+        // advances the watermark…
+        let w = tm.begin();
+        tm.commit(w, &set(&[]), &set(&[slot(1, 1)])).unwrap();
+        // …then a session registers off the stale published snapshot (it
+        // raced the prune). Its writes cannot be validated: abort.
+        let r = tm.begin_at(published);
+        let err = tm.commit(r, &set(&[slot(1, 1)]), &set(&[slot(2, 2)]));
+        assert!(matches!(err, Err(GemError::TransactionConflict { .. })));
+        // A read-only transaction off the same stale snapshot still
+        // commits: it serializes at its start time.
+        let r2 = tm.begin_at(published);
+        assert_eq!(tm.commit(r2, &set(&[slot(1, 1)]), &set(&[])).unwrap(), published);
+    }
+
+    #[test]
+    fn validation_wait_histogram_records_each_commit() {
+        let tm = TransactionManager::new(TxnTime::EPOCH);
+        let h = tm.validation_wait_histogram();
+        assert_eq!(h.snapshot().count, 0);
+        let a = tm.begin();
+        tm.commit(a, &set(&[]), &set(&[slot(1, 1)])).unwrap();
+        let b = tm.begin();
+        tm.commit(b, &set(&[]), &set(&[])).unwrap();
+        assert_eq!(h.snapshot().count, 2, "write and read-only commits both measured");
+    }
+
+    #[test]
+    fn counters_clone_detaches_share_does_not() {
+        let tm = TransactionManager::new(TxnTime::EPOCH);
+        let live = tm.counters(); // share(): live cells
+        let frozen = live.clone(); // Clone: detached checkpoint
+        let t = tm.begin();
+        tm.commit(t, &set(&[]), &set(&[slot(1, 1)])).unwrap();
+        assert_eq!(live.begins.get(), 1, "shared cells see the manager's moves");
+        assert_eq!(live.commits.get(), 1);
+        assert_eq!(frozen.begins.get(), 0, "detached copy froze at the checkpoint");
+        assert_eq!(frozen.commits.get(), 0);
+        frozen.aborts.inc();
+        assert_eq!(tm.counters().aborts.get(), 0, "moves on a detached copy stay private");
     }
 
     #[test]

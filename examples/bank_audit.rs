@@ -46,11 +46,12 @@ fn main() -> gemstone::GemResult<()> {
     };
 
     let mut teller2 = gs.login("system")?;
-    let mut times = Vec::new();
-    times.push(transfer(&mut teller, "alice", "bob", 300));
-    times.push(transfer(&mut teller2, "bob", "carol", 150));
-    times.push(transfer(&mut teller, "carol", "alice", 75));
-    times.push(transfer(&mut teller2, "alice", "carol", 40));
+    let times = [
+        transfer(&mut teller, "alice", "bob", 300),
+        transfer(&mut teller2, "bob", "carol", 150),
+        transfer(&mut teller, "carol", "alice", 75),
+        transfer(&mut teller2, "alice", "carol", 40),
+    ];
     for (i, t) in times.iter().enumerate() {
         println!("transfer #{} committed at t{}", i + 1, t.ticks());
     }

@@ -17,7 +17,7 @@ use gemstone::{
 use gemstone_calculus::{CmpOp, Pred, Query, Range, Term, VarId};
 use gemstone_object::ElemName;
 use gemstone_opal::OpalWorld;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
 /// A per-test journal directory under `target/diagnostics/`, wiped clean.
 fn diag_dir(name: &str) -> PathBuf {
@@ -60,9 +60,9 @@ fn build_company(s: &mut Session) -> Query {
 
 /// A GemStone whose flight recorder runs from birth: the journal starts
 /// *before* the volume is formatted, so the baseline covers creation.
-fn recorded_gemstone(dir: &PathBuf, cfg: StoreConfig) -> GemStone {
+fn recorded_gemstone(dir: &Path, cfg: StoreConfig) -> GemStone {
     let telemetry = Telemetry::new();
-    telemetry.journal.start(JournalConfig::at(dir.clone())).expect("journal start");
+    telemetry.journal.start(JournalConfig::at(dir.to_path_buf())).expect("journal start");
     GemStone::create_with(cfg, telemetry).expect("create")
 }
 

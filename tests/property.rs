@@ -120,10 +120,7 @@ proptest! {
             }
             let now = gs.database().txn_counts(); // force no-op; keep timing via session below
             let _ = now;
-            let time_now = {
-                let t = s.run("System currentTime").unwrap().as_int().unwrap() as u64;
-                t
-            };
+            let time_now = s.run("System currentTime").unwrap().as_int().unwrap() as u64;
             model.apply(step, || time_now);
             // Current visibility (pending included).
             for k in 0..4u8 {

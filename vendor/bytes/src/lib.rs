@@ -1,0 +1,114 @@
+//! Offline stand-in for the `bytes` crate: just the `Buf`/`BufMut` cursor
+//! traits over `&[u8]` / `Vec<u8>`, which is all the storage format code
+//! uses. Reads past the end panic, matching the real crate.
+
+macro_rules! get_le {
+    ($($fn:ident -> $ty:ty),+ $(,)?) => {
+        $(fn $fn(&mut self) -> $ty {
+            let n = std::mem::size_of::<$ty>();
+            let mut raw = [0u8; std::mem::size_of::<$ty>()];
+            self.copy_to_slice(&mut raw[..n]);
+            <$ty>::from_le_bytes(raw)
+        })+
+    };
+}
+
+/// Read cursor over a byte slice.
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    get_le! {
+        get_u16_le -> u16,
+        get_u32_le -> u32,
+        get_u64_le -> u64,
+        get_i16_le -> i16,
+        get_i32_le -> i32,
+        get_i64_le -> i64,
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {}, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+macro_rules! put_le {
+    ($($fn:ident($ty:ty)),+ $(,)?) => {
+        $(fn $fn(&mut self, v: $ty) {
+            self.put_slice(&v.to_le_bytes());
+        })+
+    };
+}
+
+/// Append cursor over a growable byte buffer.
+pub trait BufMut {
+    fn put_slice(&mut self, src: &[u8]);
+
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    put_le! {
+        put_u16_le(u16),
+        put_u32_le(u32),
+        put_u64_le(u64),
+        put_i16_le(i16),
+        put_i32_le(i32),
+        put_i64_le(i64),
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut buf = Vec::new();
+        buf.put_u8(7);
+        buf.put_u16_le(300);
+        buf.put_u32_le(70_000);
+        buf.put_u64_le(1 << 40);
+        buf.put_i64_le(-9);
+        let mut r: &[u8] = &buf;
+        assert_eq!(r.get_u8(), 7);
+        assert_eq!(r.get_u16_le(), 300);
+        assert_eq!(r.get_u32_le(), 70_000);
+        assert_eq!(r.get_u64_le(), 1 << 40);
+        assert_eq!(r.get_i64_le(), -9);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn underflow_panics() {
+        let mut r: &[u8] = &[1, 2];
+        let _ = r.get_u32_le();
+    }
+}

@@ -1,0 +1,213 @@
+//! Offline stand-in for the `criterion` crate. It accepts the same harness
+//! surface the workspace benches use (`criterion_group!`/`criterion_main!`,
+//! `benchmark_group`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `black_box`) and reports a crude median wall time. Under `cargo test`
+//! (no `--bench` flag) every closure runs exactly once, keeping the tier-1
+//! suite fast; statistical rigor is explicitly out of scope.
+
+use std::fmt::Display;
+use std::time::Instant;
+
+pub use std::hint::black_box;
+
+/// Names a benchmark within a group, e.g. `BenchmarkId::new("hash", n)`.
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Display, parameter: impl Display) -> BenchmarkId {
+        BenchmarkId { name: format!("{function}/{parameter}") }
+    }
+}
+
+/// Anything usable as a bench id: a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Passed to each benchmark closure; `iter` runs the measured routine.
+pub struct Bencher {
+    iters: u32,
+    median_ns: u128,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let start = Instant::now();
+            black_box(routine());
+            samples.push(start.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        self.median_ns = samples[samples.len() / 2];
+    }
+
+    /// Per-iteration setup excluded from the (crude) timing: only the
+    /// routine is inside the timed window, matching real criterion.
+    pub fn iter_with_setup<S, I, O, R>(&mut self, mut setup: S, mut routine: R)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples = Vec::with_capacity(self.iters as usize);
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            samples.push(start.elapsed().as_nanos());
+        }
+        samples.sort_unstable();
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+/// The harness entry point.
+pub struct Criterion {
+    /// True when invoked by `cargo bench` (measure); false under
+    /// `cargo test` (smoke-run once).
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { measure }
+    }
+}
+
+impl Criterion {
+    fn iters(&self) -> u32 {
+        if self.measure {
+            5
+        } else {
+            1
+        }
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string() }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Criterion {
+        let name = id.into_id();
+        run_one(&name, self.iters(), f);
+        self
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: std::time::Duration) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&name, self.parent.iters(), f);
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepted for API compatibility; ignored by the stub.
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, iters: u32, mut f: F) {
+    let mut b = Bencher { iters, median_ns: 0 };
+    f(&mut b);
+    println!("bench {name}: median {} ns over {} iters (stub harness)", b.median_ns, iters);
+}
+
+/// Collect benchmark functions under a group name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_and_function_run() {
+        let mut c = Criterion { measure: false };
+        let mut ran = 0;
+        {
+            let mut g = c.benchmark_group("G");
+            g.sample_size(10);
+            g.bench_function(BenchmarkId::new("f", 1), |b| b.iter(|| ran += 1));
+            g.finish();
+        }
+        c.bench_function("plain", |b| b.iter(|| ()));
+        assert_eq!(ran, 1, "test mode runs the routine exactly once");
+    }
+}

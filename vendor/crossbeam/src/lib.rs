@@ -1,0 +1,84 @@
+//! Offline stand-in for the `crossbeam` crate: `crossbeam::scope` built on
+//! `std::thread::scope`. The spawn closure receives `&Scope` (crossbeam's
+//! signature), and a panicking child surfaces as `Err` from `scope` rather
+//! than a propagated panic.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+/// A scope handle; spawned threads may themselves spawn through it.
+pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+/// Handle to a spawned scoped thread.
+pub struct ScopedJoinHandle<'scope, T>(std::thread::ScopedJoinHandle<'scope, T>);
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.0;
+        ScopedJoinHandle(inner.spawn(move || f(&Scope(inner))))
+    }
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.0.join()
+    }
+}
+
+/// Run `f` with a scope in which borrowing threads can be spawned; every
+/// thread is joined before `scope` returns. Returns `Err` if `f` or an
+/// unjoined child panicked.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope(s)))))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn threads_borrow_and_join() {
+        let counter = AtomicU64::new(0);
+        let total = super::scope(|s| {
+            let handles: Vec<_> =
+                (0..4).map(|_| s.spawn(|_| counter.fetch_add(1, Ordering::SeqCst))).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).count()
+        })
+        .unwrap();
+        assert_eq!(total, 4);
+        assert_eq!(counter.load(Ordering::SeqCst), 4);
+    }
+
+    #[test]
+    fn nested_spawn_through_scope_arg() {
+        let v = super::scope(|s| {
+            let h = s.spawn(|s2| {
+                let inner = s2.spawn(|_| 21);
+                inner.join().unwrap() * 2
+            });
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(v, 42);
+    }
+
+    #[test]
+    fn panicking_child_is_an_err() {
+        let r = super::scope(|s| {
+            let h = s.spawn(|_| panic!("child down"));
+            drop(h); // not joined: std::thread::scope re-panics at exit
+        });
+        assert!(r.is_err());
+    }
+}

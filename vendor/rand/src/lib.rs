@@ -1,0 +1,179 @@
+//! Offline stand-in for the `rand` crate. Deterministic xoshiro256**
+//! seeded via SplitMix64; `Rng::gen_range` over half-open integer ranges.
+//! The streams differ from the real `StdRng` (ChaCha12), so any committed
+//! benchmark counts generated with the real crate must be regenerated.
+
+use std::ops::Range;
+
+/// Core pseudo-random source.
+pub trait RngCore {
+    fn next_u64(&mut self) -> u64;
+
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction.
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// User-facing sampling methods, blanket-implemented for every source.
+pub trait Rng: RngCore {
+    /// Uniform sample from a half-open range. Panics if the range is empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range, self)
+    }
+
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::standard(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types uniformly sampleable from a `Range`.
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample<R: RngCore>(range: Range<Self>, rng: &mut R) -> Self;
+}
+
+macro_rules! uniform_int {
+    ($($ty:ty => $wide:ty),+ $(,)?) => {
+        $(impl SampleUniform for $ty {
+            fn sample<R: RngCore>(range: Range<Self>, rng: &mut R) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as $wide).wrapping_sub(range.start as $wide) as u64;
+                // Debiased modulo: rejection-sample the top remainder zone.
+                let zone = u64::MAX - u64::MAX % span;
+                loop {
+                    let v = rng.next_u64();
+                    if v < zone {
+                        return ((range.start as $wide).wrapping_add((v % span) as $wide)) as $ty;
+                    }
+                }
+            }
+        })+
+    };
+}
+
+uniform_int! {
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64,
+}
+
+/// Types sampleable by `Rng::gen()`.
+pub trait Standard: Sized {
+    fn standard<R: RngCore>(rng: &mut R) -> Self;
+}
+
+impl Standard for bool {
+    fn standard<R: RngCore>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for u64 {
+    fn standard<R: RngCore>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for f64 {
+    fn standard<R: RngCore>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256** — not the real StdRng (ChaCha12), but a solid
+    /// deterministic generator with the same construction API.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            // SplitMix64 expansion, as rand does for small seeds.
+            let mut sm = seed;
+            let mut next = || {
+                sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+                let mut z = sm;
+                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+                z ^ (z >> 31)
+            };
+            StdRng { s: [next(), next(), next(), next()] }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u64..1_000_000), b.gen_range(0u64..1_000_000));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let v = r.gen_range(-50i64..50);
+            assert!((-50..50).contains(&v));
+            let u = r.gen_range(3u32..9);
+            assert!((3..9).contains(&u));
+            let s = r.gen_range(0usize..5);
+            assert!(s < 5);
+        }
+    }
+
+    #[test]
+    fn full_width_span_does_not_overflow() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v: i64 = r.gen_range(i64::MIN..i64::MAX);
+            assert!(v < i64::MAX);
+        }
+    }
+
+    #[test]
+    fn coverage_of_small_range() {
+        let mut r = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[r.gen_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit");
+    }
+}
