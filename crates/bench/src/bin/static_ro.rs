@@ -1,0 +1,239 @@
+//! B7: the static read-only commit-path benchmark behind `BENCH_PR7.json`.
+//!
+//! PR 7's effect analysis classifies every statement *before* execution;
+//! a transaction whose statements all prove Pure/ReadOnly commits through
+//! the lock-free fast path — no dirty-object walk, no write-set
+//! construction, no commit lock. This harness gates that claim with
+//! deterministic counters from the metrics registry:
+//!
+//! * **static read-only scaling** — N threads (1, 2, 4) running OPAL read
+//!   statements over disjoint account ranges, one commit per statement.
+//!   Every commit must be a static fast-path commit
+//!   (`opal.effects.static_ro_commits` == commits) and aborts must be
+//!   exactly zero: the path never touches the commit lock.
+//! * **classification coverage** — every statement run is classified
+//!   (`opal.effects.stmts_classified` == statements) and every read
+//!   statement proves statically read-only, with zero `Unknown`
+//!   summaries on the workload.
+//! * **mixed discrimination** — alternating read and write transactions:
+//!   exactly the read transactions take the fast path, the writes fall
+//!   back to the full path and still commit. The analysis must neither
+//!   leak a writer onto the fast path (soundness — also debug-asserted in
+//!   the session) nor strand a reader on the slow one (precision).
+//!
+//! Counter-derived fields are deterministic and gated exactly by
+//! `perf_gate` against the committed `BENCH_PR7.json`; wall-clock derived
+//! fields carry the `info_` prefix.
+//!
+//! ```sh
+//! cargo run -p gemstone-bench --bin static_ro --release       # writes BENCH_PR7.json
+//! STATIC_RO_OPS=40 cargo run ... --bin static_ro              # CI-sized
+//! ```
+
+use gemstone::{GemStone, MetricsSnapshot};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Accounts in the committed working set (disjointly partitionable).
+const ACCOUNTS: usize = 64;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Deterministic per-thread stream (xorshift64*); no timing dependence.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn populate(gs: &GemStone) {
+    let mut s = gs.login("system").expect("login");
+    let mut src = String::from("| t | Accounts := Dictionary new.\n");
+    for i in 0..ACCOUNTS {
+        src.push_str(&format!(
+            "t := Dictionary new. t at: #bal put: {}. Accounts at: {i} put: t.\n",
+            i * 100
+        ));
+    }
+    s.run(&src).expect("populate");
+    s.commit().expect("populate commit");
+}
+
+fn snap(gs: &GemStone) -> MetricsSnapshot {
+    gs.telemetry().registry.snapshot()
+}
+
+struct PhaseResult {
+    ops: u64,
+    aborts: u64,
+    wall: std::time::Duration,
+}
+
+/// N sessions, each running single-read transactions over a disjoint
+/// account range with a commit per statement. Every statement classifies
+/// ReadOnly before execution, so every commit must take the static path.
+fn read_only(gs: &GemStone, threads: usize, ops_per_thread: usize) -> PhaseResult {
+    let aborts = Arc::new(AtomicU64::new(0));
+    let per = ACCOUNTS / 4;
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let mut s = gs.login("system").expect("login");
+            let aborts = aborts.clone();
+            scope.spawn(move || {
+                let mut rng = Rng(0x9e37_79b9 + t as u64);
+                for _ in 0..ops_per_thread {
+                    let k = t * per + (rng.next() as usize % per);
+                    let v = s.run(&format!("(Accounts at: {k}) at: #bal")).expect("read");
+                    assert!(v.as_int().is_some(), "balance reads answer integers");
+                    if s.commit().is_err() {
+                        aborts.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    PhaseResult {
+        ops: (threads * ops_per_thread) as u64,
+        aborts: aborts.load(Ordering::Relaxed),
+        wall: start.elapsed(),
+    }
+}
+
+fn ops_per_sec(r: &PhaseResult) -> u64 {
+    (r.ops as f64 / r.wall.as_secs_f64().max(1e-9)) as u64
+}
+
+fn main() {
+    let ops = env_usize("STATIC_RO_OPS", 300);
+
+    let gs = GemStone::in_memory();
+    populate(&gs);
+
+    let mut records: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+
+    // ---- static read-only scaling -----------------------------------
+    for &threads in &[1usize, 2, 4] {
+        let before = snap(&gs);
+        let r = read_only(&gs, threads, ops);
+        let d = snap(&gs).diff(&before);
+        let fast = d.counter("opal.effects.static_ro_commits");
+        let classified = d.counter("opal.effects.stmts_classified");
+        let static_ro = d.counter("opal.effects.stmts_static_ro");
+        let unknown = d.counter("opal.effects.unknown");
+        let rate = ops_per_sec(&r);
+        println!(
+            "static-ro t={threads}: {} ops in {:?} ({rate} ops/s, {} aborts, \
+             {fast} fast-path commits, {static_ro}/{classified} statements static-RO)",
+            r.ops, r.wall, r.aborts
+        );
+        if r.aborts != 0 {
+            println!("FAIL static-ro t={threads}: {} aborts (fast path never conflicts)", r.aborts);
+            failures += 1;
+        }
+        if fast != r.ops {
+            println!(
+                "FAIL static-ro t={threads}: {fast} fast-path commits for {} read-only txns",
+                r.ops
+            );
+            failures += 1;
+        }
+        if static_ro != r.ops || classified != r.ops {
+            println!(
+                "FAIL static-ro t={threads}: classified {classified}, static-RO {static_ro}, \
+                 expected {} of each",
+                r.ops
+            );
+            failures += 1;
+        }
+        if unknown != 0 {
+            println!(
+                "FAIL static-ro t={threads}: {unknown} Unknown summaries on a static workload"
+            );
+            failures += 1;
+        }
+        records.push(format!(
+            "{{\"id\": \"static-ro-t{threads}\", \"threads\": {threads}, \"ops\": {}, \
+             \"aborts\": {}, \"static_ro_commits\": {fast}, \"stmts_classified\": {classified}, \
+             \"stmts_static_ro\": {static_ro}, \"unknown_summaries\": {unknown}, \
+             \"info_ops_per_sec\": {rate}}}",
+            r.ops, r.aborts
+        ));
+    }
+
+    // ---- mixed discrimination ---------------------------------------
+    // One session alternating read-only and writing transactions: the
+    // fast-path count must equal exactly the read half — no writer leaks
+    // onto it, no reader misses it.
+    let mixed_txns = ops.min(100);
+    let before = snap(&gs);
+    let mut s = gs.login("system").expect("login");
+    for i in 0..mixed_txns {
+        let k = i % ACCOUNTS;
+        if i % 2 == 0 {
+            s.run(&format!("(Accounts at: {k}) at: #bal")).expect("read");
+        } else {
+            s.run(&format!("(Accounts at: {k}) at: #bal put: (((Accounts at: {k}) at: #bal) + 1)"))
+                .expect("write");
+        }
+        s.commit().expect("mixed commit");
+    }
+    drop(s);
+    let d = snap(&gs).diff(&before);
+    let fast = d.counter("opal.effects.static_ro_commits");
+    let reads = (mixed_txns as u64).div_ceil(2);
+    println!(
+        "mixed: {mixed_txns} txns ({reads} read-only), {fast} fast-path commits, \
+         {} statements static-RO",
+        d.counter("opal.effects.stmts_static_ro")
+    );
+    if fast != reads {
+        println!("FAIL mixed: {fast} fast-path commits, expected exactly the {reads} read txns");
+        failures += 1;
+    }
+    records.push(format!(
+        "{{\"id\": \"static-ro-mixed\", \"txns\": {mixed_txns}, \"read_txns\": {reads}, \
+         \"static_ro_commits\": {fast}, \"stmts_static_ro\": {}}}",
+        d.counter("opal.effects.stmts_static_ro")
+    ));
+
+    // The write half landed: balances moved by exactly one increment per
+    // writing transaction.
+    let mut s = gs.login("system").expect("login");
+    let mut total = 0i64;
+    for i in 0..ACCOUNTS {
+        total += s
+            .run(&format!("(Accounts at: {i}) at: #bal"))
+            .expect("sum read")
+            .as_int()
+            .expect("int");
+    }
+    let expected: i64 =
+        (0..ACCOUNTS as i64).map(|i| i * 100).sum::<i64>() + (mixed_txns as i64 / 2);
+    if total != expected {
+        println!("FAIL conservation: balances sum to {total}, expected {expected}");
+        failures += 1;
+    } else {
+        println!("conservation: {} committed increments all present", mixed_txns / 2);
+    }
+
+    let body = records.join(",\n  ");
+    std::fs::write("BENCH_PR7.json", format!("[\n  {body}\n]\n")).expect("write BENCH_PR7.json");
+    println!("wrote BENCH_PR7.json ({} records)", records.len());
+
+    if failures > 0 {
+        println!("static_ro: {failures} FAILURES");
+        std::process::exit(1);
+    }
+}

@@ -20,8 +20,11 @@
 //!   metadata → safe-write → publish. Read-only transactions never take it.
 //!
 //! Lock hierarchy (outermost first): `commit_lock` → txn-manager inner →
-//! `schema` → store writer → store internals → cache shard → disk. See
-//! DESIGN.md §9.
+//! `effects` → `schema` → store writer → store internals → cache shard →
+//! disk. The effect-summary cache sits above `schema` because the analyzer
+//! resolves selectors and method tables (schema/methods read locks) while
+//! holding the cache; invalidation sites must therefore drop their schema
+//! guard before touching the cache. See DESIGN.md §9.
 
 use crate::auth::AuthTable;
 use crate::index::DirRegistry;
@@ -30,7 +33,7 @@ use crate::session::Session;
 use gemstone_object::{
     ClassId, ClassTable, GemError, GemResult, Kernel, PRef, SymbolId, SymbolTable,
 };
-use gemstone_opal::{install_kernel_methods, CompiledMethod};
+use gemstone_opal::{install_kernel_methods, CompiledMethod, EffectCache};
 use gemstone_storage::{DiskArray, PermanentStore, StoreConfig};
 use gemstone_telemetry::{
     DiagnosticBundle, Journal, JournalConfig, JournalEvent, MetricsBatch, MetricsSnapshot,
@@ -98,6 +101,11 @@ pub struct Database {
     /// Serializes the commit pipeline (validate → stage → write → publish).
     /// Never taken by readers or read-only commits.
     pub(crate) commit_lock: Mutex<()>,
+    /// Effect summaries for installed methods, shared by every session and
+    /// invalidated wholesale whenever a method is installed or rebound.
+    /// Sits above `schema` in the lock hierarchy (the analyzer reads the
+    /// schema while holding it).
+    pub(crate) effects: Mutex<EffectCache>,
     pub(crate) txns: TransactionManager,
     pub(crate) telemetry: Telemetry,
 }
@@ -158,6 +166,16 @@ fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &Tran
         "opal.interp.sends",
         "opal.verify.checks",
         "opal.verify.rejects",
+        "opal.effects.computed",
+        "opal.effects.pure",
+        "opal.effects.read_only",
+        "opal.effects.writes_local",
+        "opal.effects.writes_global",
+        "opal.effects.unknown",
+        "opal.effects.stmts_classified",
+        "opal.effects.stmts_static_ro",
+        "opal.effects.static_ro_commits",
+        "opal.effects.invalidations",
         "calculus.rows_scanned",
         "calculus.index_rows",
         "calculus.index_hits",
@@ -261,6 +279,7 @@ impl Database {
                 globals: Arc::new(HashMap::new()),
             })),
             commit_lock: Mutex::new(()),
+            effects: Mutex::new(EffectCache::new()),
             txns,
             telemetry,
         });
@@ -365,6 +384,7 @@ impl Database {
                 globals: Arc::new(globals),
             })),
             commit_lock: Mutex::new(()),
+            effects: Mutex::new(EffectCache::new()),
             txns,
             telemetry,
         });

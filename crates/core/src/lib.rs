@@ -34,6 +34,7 @@ pub use session::{Session, SlowStatement};
 // Re-exports for downstream users of the public API.
 pub use gemstone_calculus::{OpNode, OpProfile, PlanStats};
 pub use gemstone_object::{ElemName, GemError, GemResult, Goop, Oop, OopKind, SegmentId};
+pub use gemstone_opal::{Effect, EffectSummary};
 pub use gemstone_storage::{
     CacheStats, DiskArray, DiskStats, FaultPlan, ReadFault, RecoveryReport, StoreConfig,
     StoreStats, TearClass, TrackId,

@@ -32,7 +32,8 @@ use gemstone_object::{
     HeapObject, Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId, SymbolId, Workspace,
 };
 use gemstone_opal::{
-    compile_doit_with_lints, CompiledMethod, Interpreter, Lint, OpalWorld, QueryTemplate,
+    compile_doit_with_lints, effects, CompiledMethod, Effect, EffectSummary, Interpreter, Lint,
+    OpalWorld, QueryTemplate,
 };
 use gemstone_storage::{DirKey, ObjectDelta};
 use gemstone_telemetry::{
@@ -107,6 +108,19 @@ pub struct Session {
     /// Consecutive commit conflicts; a storm (≥ 8) auto-captures a
     /// diagnostic bundle when the flight recorder is running.
     consecutive_conflicts: u32,
+    /// True while every statement of the open transaction was statically
+    /// summarized `Pure`/`ReadOnly` *before* execution — the commit then
+    /// skips the dirty-object walk and write-set construction entirely.
+    /// Any unclassified entry point (a raw [`Session::send`], a direct
+    /// OpalWorld write, a segment move) conservatively clears it.
+    txn_static_ro: bool,
+    /// True while the interpreter is running a statement the analysis
+    /// proved read-only: a soundness tripwire — any write reaching the
+    /// workspace under this flag is an analysis bug (debug-asserted).
+    stmt_static_ro: bool,
+    /// The effect summary of the most recent statement [`Session::run`]
+    /// classified (what the REPL's `:effects` and tests inspect).
+    last_effect: Option<EffectSummary>,
 }
 
 /// Consecutive conflicts that count as a storm (bundle auto-capture).
@@ -147,6 +161,16 @@ struct SessionMetrics {
     hash_probes: Counter,
     hash_matches: Counter,
     rows_out: Counter,
+    effects_computed: Counter,
+    effects_pure: Counter,
+    effects_read_only: Counter,
+    effects_writes_local: Counter,
+    effects_writes_global: Counter,
+    effects_unknown: Counter,
+    effects_stmts_classified: Counter,
+    effects_stmts_static_ro: Counter,
+    effects_static_ro_commits: Counter,
+    effects_invalidations: Counter,
 }
 
 impl SessionMetrics {
@@ -169,6 +193,28 @@ impl SessionMetrics {
             hash_probes: r.counter("calculus.hash_probes"),
             hash_matches: r.counter("calculus.hash_matches"),
             rows_out: r.counter("calculus.rows_out"),
+            effects_computed: r.counter("opal.effects.computed"),
+            effects_pure: r.counter("opal.effects.pure"),
+            effects_read_only: r.counter("opal.effects.read_only"),
+            effects_writes_local: r.counter("opal.effects.writes_local"),
+            effects_writes_global: r.counter("opal.effects.writes_global"),
+            effects_unknown: r.counter("opal.effects.unknown"),
+            effects_stmts_classified: r.counter("opal.effects.stmts_classified"),
+            effects_stmts_static_ro: r.counter("opal.effects.stmts_static_ro"),
+            effects_static_ro_commits: r.counter("opal.effects.static_ro_commits"),
+            effects_invalidations: r.counter("opal.effects.invalidations"),
+        }
+    }
+
+    /// The per-effect-class counter for one computed summary (the live
+    /// twin of the journal's `effect_class_counter` replay rule).
+    fn effect_class(&self, e: Effect) -> &Counter {
+        match e {
+            Effect::Pure => &self.effects_pure,
+            Effect::ReadOnly => &self.effects_read_only,
+            Effect::WritesLocal => &self.effects_writes_local,
+            Effect::WritesGlobal => &self.effects_writes_global,
+            Effect::Unknown => &self.effects_unknown,
         }
     }
 
@@ -226,6 +272,9 @@ impl Session {
             slow_threshold_ns: None,
             slow_log: Vec::new(),
             consecutive_conflicts: 0,
+            txn_static_ro: true,
+            stmt_static_ro: false,
+            last_effect: None,
         }
     }
 
@@ -272,6 +321,7 @@ impl Session {
                 ));
             }
             self.reads.clear();
+            self.txn_static_ro = true;
             self.refresh_workspace();
         }
     }
@@ -358,6 +408,32 @@ impl Session {
             // Nothing read or written: trivially committed "at" now.
             return Ok(self.db.txns.now());
         };
+        // Statically proven read-only: every statement this transaction
+        // ran was summarized Pure/ReadOnly before execution, so the
+        // workspace cannot hold a dirty object — skip the dirty walk, the
+        // delta vector and the write-set construction entirely and commit
+        // lock-free with an empty write set. (A schema flush staged by
+        // concurrent DDL still takes the full path.)
+        if self.txn_static_ro
+            && self.pending_globals.is_empty()
+            && !self.db.schema.read().schema_dirty
+        {
+            debug_assert!(
+                self.ws.dirty_objects().is_empty(),
+                "effect analysis misclassified a writing transaction as read-only"
+            );
+            let time = self.db.txns.commit(token, &self.reads, &AccessSet::new())?;
+            self.m.effects_static_ro_commits.inc();
+            if self.telemetry.journal.enabled() {
+                self.telemetry.journal.emit(&JournalEvent::EffectCommit);
+            }
+            self.consecutive_conflicts = 0;
+            self.reads.clear();
+            self.txn = None;
+            self.wrote_committed = false;
+            self.end_txn_span();
+            return Ok(time);
+        }
         // 1. Assign identities to new dirty objects (the store's GOOP
         //    allocator is internally synchronized).
         let dirty = self.ws.dirty_objects();
@@ -591,6 +667,19 @@ impl Session {
         Ok(self.ws.alloc(obj))
     }
 
+    /// A workspace write or allocation is happening: the transaction can
+    /// no longer claim the static read-only commit path. During a
+    /// statement the analysis proved read-only this must be unreachable —
+    /// the debug assertion is the soundness tripwire every write-bearing
+    /// test in the suite arms.
+    fn note_write(&mut self) {
+        debug_assert!(
+            !self.stmt_static_ro,
+            "write during a statement the effect analysis classified read-only"
+        );
+        self.txn_static_ro = false;
+    }
+
     fn oop_to_pref(&self, oop: Oop) -> GemResult<PRef> {
         match oop.kind() {
             OopKind::Ref(g) => Ok(PRef::goop(g)),
@@ -629,6 +718,7 @@ impl Session {
             });
         }
         let obj = self.swizzle(obj)?;
+        self.txn_static_ro = false;
         let o = self.ws.get_mut(obj)?;
         o.segment = segment;
         o.touch_for_commit(); // the segment change must reach the disk
@@ -706,13 +796,150 @@ impl Session {
     fn run_compiled(&mut self, source: &str) -> GemResult<Oop> {
         let (method, lints) = compile_doit_with_lints(self, source)?;
         self.last_lints = lints;
+        // Classify before execution: a transaction whose every statement
+        // proves Pure/ReadOnly commits on the static fast path.
+        let summary = self.classify_statement(&method);
+        let static_ro = summary.effect.is_read_only();
+        self.txn_static_ro &= static_ro;
+        self.last_effect = Some(summary);
         let id = self.add_doit_code(method)?;
+        self.stmt_static_ro = static_ro;
         let result = Interpreter::new(self).run_doit(id);
+        self.stmt_static_ro = false;
         // The statement body is dead once the interpreter returns (block
         // closures hold their own Arc to the method), so long-lived
         // sessions don't accumulate doIt bodies.
         self.local_methods.pop();
         result
+    }
+
+    /// Run the effect analysis over a compiled statement body, journaling
+    /// any callee summaries computed along the way plus the statement's
+    /// own classification. Lock order: the effects cache is acquired
+    /// *before* any schema/methods read lock the analyzer takes.
+    fn classify_statement(&mut self, m: &CompiledMethod) -> EffectSummary {
+        let db = self.db.clone();
+        let mut cache = db.effects.lock();
+        let summary = effects::summarize_body(self, &mut cache, m);
+        let fresh = cache.take_fresh();
+        drop(cache);
+        for (id, s) in &fresh {
+            self.note_summary(*id, s);
+        }
+        self.m.effects_stmts_classified.inc();
+        let static_ro = summary.effect.is_read_only();
+        if static_ro {
+            self.m.effects_stmts_static_ro.inc();
+        }
+        if self.telemetry.journal.enabled() {
+            self.telemetry.journal.emit(&JournalEvent::EffectClassify { static_ro });
+        }
+        summary
+    }
+
+    /// Counter + journal moves for one freshly computed method summary.
+    fn note_summary(&mut self, id: MethodId, s: &EffectSummary) {
+        self.m.effects_computed.inc();
+        self.m.effect_class(s.effect).inc();
+        if self.telemetry.journal.enabled() {
+            let selector = self.sym_name(self.method(id).selector);
+            self.telemetry.journal.emit(&JournalEvent::EffectSummary {
+                selector,
+                effect: s.effect.as_str().to_string(),
+                reads: s.globals_read.len() as u64,
+                writes: s.globals_written.len() as u64,
+            });
+        }
+    }
+
+    /// Drop every cached effect summary (a method was installed or
+    /// rebound). Called only after schema/methods write guards are
+    /// released — the effects cache sits *above* them in the hierarchy.
+    fn invalidate_effects(&mut self) {
+        let dropped = self.db.effects.lock().invalidate();
+        if dropped {
+            self.m.effects_invalidations.inc();
+            if self.telemetry.journal.enabled() {
+                self.telemetry.journal.emit(&JournalEvent::EffectInvalidate);
+            }
+        }
+    }
+
+    /// The effect summary of an installed method, computed (and cached)
+    /// on demand: `class_name` then instance-side `selector`, falling
+    /// back to the class side.
+    pub fn method_effects(&mut self, class_name: &str, selector: &str) -> GemResult<EffectSummary> {
+        let (class, sel) = {
+            let schema = self.db.schema.read();
+            let cname = schema
+                .symbols
+                .lookup(class_name)
+                .ok_or_else(|| GemError::RuntimeError(format!("no such class {class_name}")))?;
+            let class = schema
+                .classes
+                .by_name(cname)
+                .ok_or_else(|| GemError::RuntimeError(format!("no such class {class_name}")))?;
+            let sel =
+                schema.symbols.lookup(selector).ok_or_else(|| GemError::DoesNotUnderstand {
+                    class: class_name.to_string(),
+                    selector: selector.to_string(),
+                })?;
+            (class, sel)
+        };
+        let mref = self
+            .lookup_method(class, sel)
+            .or_else(|| self.lookup_class_method(class, sel))
+            .ok_or_else(|| GemError::DoesNotUnderstand {
+                class: class_name.to_string(),
+                selector: selector.to_string(),
+            })?;
+        let db = self.db.clone();
+        let mut cache = db.effects.lock();
+        let summary = effects::summarize_ref(self, &mut cache, mref);
+        let fresh = cache.take_fresh();
+        drop(cache);
+        for (id, s) in &fresh {
+            self.note_summary(*id, s);
+        }
+        Ok(summary)
+    }
+
+    /// The effect summary of the most recent statement [`Session::run`]
+    /// classified, if any.
+    pub fn last_effect(&self) -> Option<&EffectSummary> {
+        self.last_effect.as_ref()
+    }
+
+    /// Render an effect summary with symbol names resolved — what the
+    /// REPL's `:effects` command prints.
+    pub fn render_effect(&self, s: &EffectSummary) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = write!(out, "effect: {}", s.effect);
+        if s.effect.is_read_only() {
+            out.push_str("  (eligible for the static read-only commit path)");
+        }
+        let names = |set: &std::collections::BTreeSet<gemstone_object::SymbolId>| {
+            set.iter().map(|g| self.sym_name(*g)).collect::<Vec<_>>().join(", ")
+        };
+        if !s.globals_read.is_empty() {
+            let _ = write!(out, "\nglobals read: {}", names(&s.globals_read));
+        }
+        if !s.globals_written.is_empty() {
+            let _ = write!(out, "\nglobals written: {}", names(&s.globals_written));
+        }
+        if s.invoking_params != 0 {
+            let ps: Vec<String> = (0..32u32)
+                .filter(|i| s.invoking_params & (1 << i) != 0)
+                .map(|i| i.to_string())
+                .collect();
+            let _ = write!(
+                out,
+                "\ninvokes block parameter(s) {} — judged at each call site",
+                ps.join(", ")
+            );
+        }
+        out
     }
 
     /// Compile-time lints produced by the most recent [`Session::run`].
@@ -930,6 +1157,8 @@ impl Session {
     /// Send a message to an object from Rust.
     pub fn send(&mut self, recv: Oop, selector: &str, args: &[Oop]) -> GemResult<Oop> {
         self.ensure_txn();
+        // Unclassified execution: anything could be written.
+        self.txn_static_ro = false;
         let sel = self.intern(selector);
         Interpreter::new(self).send_message(recv, sel, args)
     }
@@ -1013,6 +1242,7 @@ impl Session {
 
     fn elem_write(&mut self, obj: Oop, name: ElemName, v: Oop) -> GemResult<()> {
         self.ensure_txn();
+        self.note_write();
         let obj = self.swizzle(obj)?;
         // Past states are immutable — but transient scratch objects (no
         // permanent identity yet) stay writable even while the dial is set,
@@ -1105,13 +1335,19 @@ impl OpalWorld for Session {
         m: MethodRef,
         class_side: bool,
     ) {
-        let mut schema = self.db.schema.write();
-        if class_side {
-            schema.classes.add_class_method(class, selector, m);
-        } else {
-            schema.classes.add_method(class, selector, m);
+        {
+            let mut schema = self.db.schema.write();
+            if class_side {
+                schema.classes.add_class_method(class, selector, m);
+            } else {
+                schema.classes.add_method(class, selector, m);
+            }
+            schema.schema_dirty = true;
         }
-        schema.schema_dirty = true;
+        // Rebinding a selector can change any closed-world effect join;
+        // invalidate only after the schema write guard is released (the
+        // effects cache is above `schema` in the lock hierarchy).
+        self.invalidate_effects();
     }
 
     fn is_kind_of(&self, a: ClassId, b: ClassId) -> bool {
@@ -1143,6 +1379,21 @@ impl OpalWorld for Session {
         })
     }
 
+    fn selector_targets(&self, selector: SymbolId) -> Vec<MethodRef> {
+        let schema = self.db.schema.read();
+        let mut out = Vec::new();
+        for (_, def) in schema.classes.iter() {
+            for m in
+                [def.methods.get(&selector), def.class_methods.get(&selector)].into_iter().flatten()
+            {
+                if !out.contains(m) {
+                    out.push(*m);
+                }
+            }
+        }
+        out
+    }
+
     fn note_method_source(&mut self, class: ClassId, source: &str, class_side: bool) {
         let mut schema = self.db.schema.write();
         schema.method_sources.push(MethodSource { class, source: source.to_string(), class_side });
@@ -1167,13 +1418,21 @@ impl OpalWorld for Session {
 
     fn add_method_code(&mut self, m: CompiledMethod) -> GemResult<MethodId> {
         let m = self.verified(m)?;
-        let mut methods = self.db.methods.write();
-        methods.push(Arc::new(m));
-        Ok(MethodId(methods.len() as u32 - 1))
+        let id = {
+            let mut methods = self.db.methods.write();
+            methods.push(Arc::new(m));
+            MethodId(methods.len() as u32 - 1)
+        };
+        // Invalidate after the methods write guard drops: no stale
+        // summary may survive a method-table append.
+        self.invalidate_effects();
+        Ok(id)
     }
 
     fn new_object(&mut self, class: ClassId) -> GemResult<Oop> {
         self.ensure_txn();
+        // A fresh object is born dirty: allocation is a local write.
+        self.note_write();
         let format = self.class_format(class);
         let obj = match format {
             BodyFormat::Elements => HeapObject::new_elements(class, SegmentId::SYSTEM),
@@ -1183,6 +1442,10 @@ impl OpalWorld for Session {
     }
 
     fn new_string(&mut self, s: &str) -> Oop {
+        // Open the transaction first: the clear below must not be undone
+        // by a later lazy transaction begin resetting the flag.
+        self.ensure_txn();
+        self.note_write();
         self.ws.alloc(HeapObject::new_bytes(
             self.kernel.string,
             SegmentId::SYSTEM,
@@ -1280,6 +1543,7 @@ impl OpalWorld for Session {
 
     fn add_aliased(&mut self, obj: Oop, v: Oop) -> GemResult<()> {
         self.ensure_txn();
+        self.note_write();
         let obj = self.swizzle(obj)?;
         if self.ws.get(obj)?.goop.is_some() {
             if self.dial.in_past() {
@@ -1293,6 +1557,7 @@ impl OpalWorld for Session {
 
     fn push_indexed(&mut self, obj: Oop, v: Oop) -> GemResult<i64> {
         self.ensure_txn();
+        self.note_write();
         let obj = self.swizzle(obj)?;
         if self.ws.get(obj)?.goop.is_some() {
             if self.dial.in_past() {
@@ -1354,6 +1619,7 @@ impl OpalWorld for Session {
 
     fn set_global(&mut self, name: SymbolId, v: Oop) -> GemResult<()> {
         self.ensure_txn();
+        self.note_write();
         self.pending_globals.insert(name, v);
         Ok(())
     }

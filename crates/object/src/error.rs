@@ -54,6 +54,11 @@ pub enum GemError {
     ParseError { line: u32, col: u32, msg: String },
     /// OPAL compilation error (undefined variable, bad calculus expression…).
     CompileError(String),
+    /// Method installation rejected: a `select:` fallback block was proven
+    /// impure by the effect analysis. The calculus translation is free to
+    /// run any selection declaratively (§5.2), which is only sound when the
+    /// predicate block cannot write.
+    ImpureSelectBlock { selector: String, effect: String },
     /// Generic runtime error raised by OPAL code (`System error:`).
     RuntimeError(String),
     /// A compiled method failed bytecode verification, or the interpreter
@@ -102,6 +107,13 @@ impl fmt::Display for GemError {
                 write!(f, "parse error at {line}:{col}: {msg}")
             }
             GemError::CompileError(m) => write!(f, "compile error: {m}"),
+            GemError::ImpureSelectBlock { selector, effect } => {
+                write!(
+                    f,
+                    "cannot install #{selector}: its select: block is {effect}, \
+                     not a pure predicate"
+                )
+            }
             GemError::RuntimeError(m) => write!(f, "error: {m}"),
             GemError::CorruptMethod(m) => write!(f, "corrupt method: {m}"),
             GemError::ResourceExhausted(w) => write!(f, "resource exhausted: {w}"),

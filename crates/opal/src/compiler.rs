@@ -49,6 +49,7 @@ pub fn compile_method_with_lints<W: OpalWorld>(
         false,
     )?;
     lints.extend(verify::code_lints(&m));
+    refine_select_lints(world, &m, &mut lints);
     Ok((m, lints))
 }
 
@@ -67,7 +68,55 @@ pub fn compile_doit_with_lints<W: OpalWorld>(
     let (temps, body) = parser::parse_doit(source)?;
     let (m, mut lints) = Compiler::new(world, None).compile("doIt", &[], &temps, &body, true)?;
     lints.extend(verify::code_lints(&m));
+    refine_select_lints(world, &m, &mut lints);
     Ok((m, lints))
+}
+
+/// Reconcile the syntactic `select:` purity scan with the effect
+/// analysis, which is the authority (satellite of the interprocedural
+/// effect work): the source scan over-approximates (a mutating-looking
+/// send may be hoisted into a once-evaluated capture of a declarative
+/// select) and under-approximates (a user-defined selector can mutate
+/// without appearing in the `MUTATING` table). The analysis judges the
+/// blocks that actually survive as procedural fallbacks.
+fn refine_select_lints<W: OpalWorld>(world: &W, m: &CompiledMethod, lints: &mut Vec<Lint>) {
+    use crate::effects::{self, Effect, EffectCache};
+    let scanned = lints.iter().any(|l| matches!(l.kind, LintKind::SelectBlockImpure { .. }));
+    if !scanned && m.blocks.is_empty() {
+        return;
+    }
+    let mut cache = EffectCache::new();
+    let impure: Vec<(u16, Effect)> = effects::select_fallback_blocks(world, &mut cache, m)
+        .into_iter()
+        .filter(|(_, s)| !s.effect.is_read_only())
+        .map(|(b, s)| (b, s.effect))
+        .collect();
+    if impure.is_empty() {
+        // Every surviving fallback block is proven read-only: the scan's
+        // hits were captures or dead patterns. Drop the diagnostics.
+        lints.retain(|l| !matches!(l.kind, LintKind::SelectBlockImpure { .. }));
+        return;
+    }
+    if scanned {
+        let worst = impure.into_iter().fold(Effect::Pure, |e, (_, x)| e.join(x));
+        for l in lints.iter_mut() {
+            if let LintKind::SelectBlockImpure { effect, .. } = &mut l.kind {
+                *effect = worst.as_str().to_string();
+            }
+        }
+    } else {
+        // Impurity only the analysis caught — a mutating user-defined
+        // selector the syntactic table cannot know about.
+        for (b, e) in impure {
+            lints.push(Lint {
+                kind: LintKind::SelectBlockImpure {
+                    selector: String::new(),
+                    effect: e.as_str().to_string(),
+                },
+                site: LintSite::Code(verify::CodeLoc { block: Some(b), pc: 0 }),
+            });
+        }
+    }
 }
 
 /// One declared variable in some frame scope, with usage accounting for the
@@ -822,7 +871,10 @@ impl<'w, W: OpalWorld> Compiler<'w, W> {
         }
         for selector in found {
             self.lints.push(Lint {
-                kind: LintKind::SelectBlockImpure { selector },
+                // `effect` is filled in (or the lint dropped) by
+                // `refine_select_lints` once the effect analysis has
+                // judged the compiled blocks.
+                kind: LintKind::SelectBlockImpure { selector, effect: String::new() },
                 site: LintSite::Source(b.span),
             });
         }
@@ -1381,7 +1433,73 @@ mod tests {
         assert!(
             lints
                 .iter()
-                .any(|l| matches!(&l.kind, LintKind::SelectBlockImpure { selector } if selector == "add:")),
+                .any(|l| matches!(&l.kind, LintKind::SelectBlockImpure { selector, .. } if selector == "add:")),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn select_lint_cites_the_proven_effect() {
+        let mut w = BasicWorld::new();
+        let (_, lints) =
+            compile_doit_with_lints(&mut w, "| c | c := Set new. c select: [:e | c add: e. e > 0]")
+                .unwrap();
+        assert!(
+            lints.iter().any(|l| matches!(
+                &l.kind,
+                LintKind::SelectBlockImpure { selector, effect }
+                    if selector == "add:" && effect == "WritesLocal"
+            )),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn hoisted_capture_mutation_does_not_lint() {
+        // The source scan sees `removeFirst` inside the block, but the
+        // declarative translation hoists it into a capture evaluated once
+        // outside the query — the predicate itself is pure, and the effect
+        // analysis overrules the scan.
+        let mut w = BasicWorld::new();
+        let (m, lints) = compile_doit_with_lints(
+            &mut w,
+            "| c box | c := Set new. box := OrderedCollection new. \
+             c select: [:e | e salary > (box removeFirst)]",
+        )
+        .unwrap();
+        assert!(
+            m.code.iter().any(|b| matches!(b, Bc::SelectQuery { .. })),
+            "compiled declaratively"
+        );
+        assert!(
+            !lints.iter().any(|l| matches!(l.kind, LintKind::SelectBlockImpure { .. })),
+            "{lints:?}"
+        );
+    }
+
+    #[test]
+    fn user_defined_mutation_is_caught_by_analysis_alone() {
+        use gemstone_object::MethodRef;
+        // `bump` is not in the syntactic MUTATING table, but the effect
+        // analysis proves the fallback block writes through it.
+        let mut w = BasicWorld::new();
+        let k = w.kernel();
+        let name = w.intern("Thing");
+        let var = w.intern("n");
+        let thing = w.define_subclass(k.object, name, vec![var]).unwrap();
+        let m = compile_method(&mut w, thing, "bump n := 1. ^n").unwrap();
+        let sel = m.selector;
+        let id = w.add_method_code(m).unwrap();
+        w.install_method(thing, sel, MethodRef::Compiled(id), false);
+        let (_, lints) =
+            compile_doit_with_lints(&mut w, "| c | c := Set new. c select: [:e | e bump > 0]")
+                .unwrap();
+        assert!(
+            lints.iter().any(|l| matches!(
+                &l.kind,
+                LintKind::SelectBlockImpure { selector, effect }
+                    if selector.is_empty() && effect == "WritesLocal"
+            )),
             "{lints:?}"
         );
     }

@@ -6,6 +6,7 @@
 
 use crate::bytecode::{Bc, CompiledMethod, Literal};
 use crate::compiler;
+use crate::effects;
 use crate::world::{compare_values, prims, print_oop, OpalWorld, PrintDepth};
 use gemstone_object::{ElemName, GemError, GemResult, MethodId, MethodRef, Oop, OopKind, SymbolId};
 use gemstone_temporal::TxnTime;
@@ -971,6 +972,20 @@ impl<'w, W: OpalWorld> Interpreter<'w, W> {
                     got: "?".into(),
                 })?;
                 let m = compiler::compile_method(self.world, class, &src)?;
+                // Install-time purity gate: once installed, any caller's
+                // `select:` may be planned declaratively, which is only
+                // sound when the fallback predicate block cannot write.
+                // Blocks that merely invoke a parameter block are judged
+                // at their own call sites via `invoking_params`.
+                let mut ecache = effects::EffectCache::new();
+                for (_, s) in effects::select_fallback_blocks(&*self.world, &mut ecache, &m) {
+                    if !s.effect.is_read_only() {
+                        return Err(GemError::ImpureSelectBlock {
+                            selector: self.world.sym_name(m.selector),
+                            effect: s.effect.as_str().into(),
+                        });
+                    }
+                }
                 let sel = m.selector;
                 let id = self.world.add_method_code(m)?;
                 self.world.install_method(

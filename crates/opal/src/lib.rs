@@ -21,6 +21,10 @@
 //!   interpretation (stack depth, jump targets, slot bounds,
 //!   definite assignment, query-template arity) that makes the
 //!   interpreter's fast path sound without per-instruction checks;
+//! * [`effects`] — interprocedural effect analysis over verified
+//!   bytecode: per-method read/write summaries on a small lattice, used
+//!   to classify statements as statically read-only (commit fast path)
+//!   and to prove select-block purity for calculus pushdown;
 //! * [`interp`] — the stack machine and its ~90 primitive methods;
 //! * [`OpalWorld`] — the object-system interface the machine runs against:
 //!   the core crate implements it with persistence, transactions and the
@@ -30,6 +34,7 @@
 pub mod ast;
 pub mod bytecode;
 pub mod compiler;
+pub mod effects;
 pub mod interp;
 pub mod lexer;
 pub mod parser;
@@ -40,6 +45,7 @@ pub use bytecode::{Bc, CompiledBlock, CompiledMethod, Literal, QueryTemplate};
 pub use compiler::{
     compile_doit, compile_doit_with_lints, compile_method, compile_method_with_lints,
 };
+pub use effects::{Effect, EffectCache, EffectSummary};
 pub use interp::Interpreter;
 pub use verify::{Lint, LintKind, LintSite, Verified, VerifyError, VerifyErrorKind};
 pub use world::{install_kernel_methods, BasicWorld, OpalWorld, PrintDepth};

@@ -190,9 +190,15 @@ pub enum LintKind {
     Shadowing { name: String },
     /// Statements after `^`, or bytecode no path reaches.
     UnreachableCode,
-    /// A `select:` block sends a known-mutating message — the calculus
-    /// translation assumes selection blocks are pure predicates.
-    SelectBlockImpure { selector: String },
+    /// A `select:` fallback block is impure — the calculus translation
+    /// assumes selection blocks are pure predicates. `selector` names the
+    /// mutating send the source scan spotted (empty when only the effect
+    /// analysis caught it); `effect` is the block's proven effect class.
+    /// The syntactic scan alone no longer decides: when the interprocedural
+    /// analysis proves every surviving fallback block read-only (e.g. the
+    /// mutating-looking send was hoisted into a once-evaluated capture),
+    /// the diagnostic is dropped.
+    SelectBlockImpure { selector: String, effect: String },
 }
 
 /// Where a lint points: a source position (compiler lints) or a bytecode
@@ -211,8 +217,18 @@ impl std::fmt::Display for Lint {
                 write!(f, "'{name}' shadows an outer variable of the same name")?
             }
             LintKind::UnreachableCode => write!(f, "unreachable code")?,
-            LintKind::SelectBlockImpure { selector } => {
-                write!(f, "select: block sends mutating message #{selector}")?
+            LintKind::SelectBlockImpure { selector, effect } => {
+                if selector.is_empty() {
+                    write!(f, "select: block is {effect} — not a pure predicate")?
+                } else if effect.is_empty() {
+                    write!(f, "select: block sends mutating message #{selector}")?
+                } else {
+                    write!(
+                        f,
+                        "select: block sends mutating message #{selector} \
+                         (effect analysis: {effect})"
+                    )?
+                }
             }
         }
         match &self.site {

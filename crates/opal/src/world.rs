@@ -67,6 +67,11 @@ pub trait OpalWorld {
     /// The select-block analyzer uses this to avoid misreading a real
     /// method send (`printString`) as an element path.
     fn selector_defined_anywhere(&self, selector: SymbolId) -> bool;
+    /// Every method bound to `selector` anywhere — instance and class
+    /// side, all classes, deduplicated. The effect analysis
+    /// ([`crate::effects`]) joins over this closed world to bound what a
+    /// dynamically dispatched send can do.
+    fn selector_targets(&self, selector: SymbolId) -> Vec<MethodRef>;
     /// Called when user source is compiled into a class (`compile:`), so a
     /// persistent world can record it for recompilation at recovery.
     fn note_method_source(&mut self, _class: ClassId, _source: &str, _class_side: bool) {}
@@ -305,6 +310,20 @@ impl OpalWorld for BasicWorld {
         self.classes.iter().any(|(_, def)| {
             def.methods.contains_key(&selector) || def.class_methods.contains_key(&selector)
         })
+    }
+
+    fn selector_targets(&self, selector: SymbolId) -> Vec<MethodRef> {
+        let mut out = Vec::new();
+        for (_, def) in self.classes.iter() {
+            for m in
+                [def.methods.get(&selector), def.class_methods.get(&selector)].into_iter().flatten()
+            {
+                if !out.contains(m) {
+                    out.push(*m);
+                }
+            }
+        }
+        out
     }
 
     fn method(&self, id: MethodId) -> Arc<CompiledMethod> {

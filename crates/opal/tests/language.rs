@@ -433,6 +433,26 @@ fn to_do_inside_block() {
 }
 
 #[test]
+fn impure_select_block_is_rejected_at_install() {
+    let mut w = BasicWorld::new();
+    eval_in(&mut w, "Object subclass: 'Reg' instVarNames: #(log)");
+    eval_in(&mut w, "Reg compile: 'note: x log add: x. ^x'");
+    // The fallback block calls a user-defined mutating method: the effect
+    // analysis proves it WritesLocal, so installation fails structurally.
+    let err = run_block(&mut w, "Reg compile: 'sift: c ^c select: [:e | (self note: e) > 0]'")
+        .unwrap_err();
+    match err {
+        GemError::ImpureSelectBlock { selector, effect } => {
+            assert_eq!(selector, "sift:");
+            assert_eq!(effect, "WritesLocal");
+        }
+        other => panic!("expected ImpureSelectBlock, got {other:?}"),
+    }
+    // A pure predicate (even one the calculus cannot translate) installs.
+    eval_in(&mut w, "Reg compile: 'odds: c ^c select: [:e | e isNil not]'");
+}
+
+#[test]
 fn deep_recursion_is_guarded() {
     let mut w = BasicWorld::new();
     eval_in(&mut w, "Object subclass: 'R' instVarNames: #(). R compile: 'go ^self go'");

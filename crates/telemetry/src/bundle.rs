@@ -55,6 +55,30 @@ pub struct SlowEntry {
     pub label: String,
 }
 
+/// Effect-analysis activity distilled from the journal: summaries
+/// computed per effect class, statement classification, and how often the
+/// static read-only commit fast path fired.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct EffectProfile {
+    /// Summaries computed, total and per effect class in lattice order
+    /// (Pure, ReadOnly, WritesLocal, WritesGlobal, Unknown).
+    pub computed: u64,
+    pub per_class: [u64; 5],
+    pub stmts_classified: u64,
+    pub stmts_static_ro: u64,
+    pub static_ro_commits: u64,
+    pub invalidations: u64,
+}
+
+impl EffectProfile {
+    pub const CLASSES: [&'static str; 5] =
+        ["Pure", "ReadOnly", "WritesLocal", "WritesGlobal", "Unknown"];
+
+    fn is_empty(&self) -> bool {
+        self == &EffectProfile::default()
+    }
+}
+
 /// The last recorded recovery pass.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoverySummary {
@@ -93,6 +117,9 @@ pub struct DiagnosticBundle {
     pub sweep_validated: Option<bool>,
     /// Top statements by wall time, slowest first.
     pub slow_statements: Vec<SlowEntry>,
+    /// Effect-analysis activity (all zeros when no effect events were
+    /// recorded).
+    pub effects: EffectProfile,
     pub recovery: Option<RecoverySummary>,
     /// The journal replayed through a fresh registry.
     pub replayed: MetricsSnapshot,
@@ -130,6 +157,28 @@ impl DiagnosticBundle {
             .collect();
         slow.sort_by_key(|s| std::cmp::Reverse(s.wall_ns));
         slow.truncate(SLOW_TOP_N);
+        let mut effects = EffectProfile::default();
+        for e in events {
+            match e {
+                JournalEvent::EffectSummary { effect, .. } => {
+                    effects.computed += 1;
+                    let i = EffectProfile::CLASSES
+                        .iter()
+                        .position(|c| c == effect)
+                        .unwrap_or(EffectProfile::CLASSES.len() - 1);
+                    effects.per_class[i] += 1;
+                }
+                JournalEvent::EffectClassify { static_ro } => {
+                    effects.stmts_classified += 1;
+                    if *static_ro {
+                        effects.stmts_static_ro += 1;
+                    }
+                }
+                JournalEvent::EffectCommit => effects.static_ro_commits += 1,
+                JournalEvent::EffectInvalidate => effects.invalidations += 1,
+                _ => {}
+            }
+        }
         let recovery = events.iter().rev().find_map(|e| match e {
             JournalEvent::Recovery {
                 roots_considered,
@@ -163,6 +212,7 @@ impl DiagnosticBundle {
             live_capacity,
             sweep_validated,
             slow_statements: slow,
+            effects,
             recovery,
             replayed,
             replay_matches_live,
@@ -233,6 +283,27 @@ impl DiagnosticBundle {
                     s.label.replace('\n', "⏎")
                 );
             }
+        }
+        if !self.effects.is_empty() {
+            let e = &self.effects;
+            let _ = writeln!(out, "\neffect analysis:");
+            let per: Vec<String> = EffectProfile::CLASSES
+                .iter()
+                .zip(e.per_class.iter())
+                .filter(|(_, n)| **n > 0)
+                .map(|(c, n)| format!("{c} {n}"))
+                .collect();
+            let _ = writeln!(out, "  {} summaries computed ({})", e.computed, per.join(", "));
+            let _ = writeln!(
+                out,
+                "  {}/{} statements classified statically read-only",
+                e.stmts_static_ro, e.stmts_classified
+            );
+            let _ = writeln!(
+                out,
+                "  {} static read-only commits, {} cache invalidations",
+                e.static_ro_commits, e.invalidations
+            );
         }
         if let Some(r) = &self.recovery {
             let _ = writeln!(
@@ -311,6 +382,22 @@ impl DiagnosticBundle {
             out.push_str(if i + 1 < self.slow_statements.len() { ",\n" } else { "\n" });
         }
         out.push_str("  ],\n");
+        {
+            let e = &self.effects;
+            let _ = write!(out, "  \"effects\": {{\"computed\":{},\"per_class\":{{", e.computed);
+            for (i, (c, n)) in EffectProfile::CLASSES.iter().zip(e.per_class.iter()).enumerate() {
+                let _ = write!(out, "\"{c}\":{n}");
+                if i + 1 < EffectProfile::CLASSES.len() {
+                    out.push(',');
+                }
+            }
+            let _ = writeln!(
+                out,
+                "}},\"stmts_classified\":{},\"stmts_static_ro\":{},\
+                 \"static_ro_commits\":{},\"invalidations\":{}}},",
+                e.stmts_classified, e.stmts_static_ro, e.static_ro_commits, e.invalidations
+            );
+        }
         match &self.recovery {
             Some(r) => {
                 let _ = writeln!(
@@ -570,6 +657,42 @@ mod tests {
         assert_eq!(b.slow_statements.len(), 10);
         assert_eq!(b.slow_statements[0].label, "stmt 19", "slowest first");
         assert!(b.slow_statements.windows(2).all(|w| w[0].wall_ns >= w[1].wall_ns));
+    }
+
+    #[test]
+    fn effect_profile_counts_per_class() {
+        let events = vec![
+            JournalEvent::EffectSummary {
+                selector: "do:".into(),
+                effect: "WritesLocal".into(),
+                reads: 0,
+                writes: 0,
+            },
+            JournalEvent::EffectSummary {
+                selector: "size".into(),
+                effect: "ReadOnly".into(),
+                reads: 1,
+                writes: 0,
+            },
+            JournalEvent::EffectClassify { static_ro: true },
+            JournalEvent::EffectClassify { static_ro: false },
+            JournalEvent::EffectCommit,
+            JournalEvent::EffectInvalidate,
+        ];
+        let b = DiagnosticBundle::build(&readout(events), None, "test");
+        let e = &b.effects;
+        assert_eq!(e.computed, 2);
+        assert_eq!(e.per_class, [0, 1, 1, 0, 0]);
+        assert_eq!((e.stmts_classified, e.stmts_static_ro), (2, 1));
+        assert_eq!((e.static_ro_commits, e.invalidations), (1, 1));
+        let text = b.render();
+        assert!(text.contains("2 summaries computed (ReadOnly 1, WritesLocal 1)"), "{text}");
+        assert!(text.contains("1/2 statements classified statically read-only"), "{text}");
+        let json = b.to_json();
+        assert!(json.contains("\"static_ro_commits\":1"), "{json}");
+        // A journal without effect events keeps the section out entirely.
+        let quiet = DiagnosticBundle::build(&readout(vec![JournalEvent::TxnBegin]), None, "t");
+        assert!(!quiet.render().contains("effect analysis"));
     }
 
     #[test]

@@ -142,6 +142,26 @@ pub enum JournalEvent {
     VerifyCheck {
         rejected: bool,
     },
+    /// One freshly computed method effect summary (`opal.effects.computed`
+    /// plus the per-effect-class counter). `reads`/`writes` are the sizes
+    /// of the summary's global read/write sets (informational).
+    EffectSummary {
+        selector: String,
+        effect: String,
+        reads: u64,
+        writes: u64,
+    },
+    /// One statement classified before execution
+    /// (`opal.effects.stmts_classified` / `.stmts_static_ro`).
+    EffectClassify {
+        static_ro: bool,
+    },
+    /// One commit taken on the statically-proven read-only fast path
+    /// (`opal.effects.static_ro_commits`).
+    EffectCommit,
+    /// One wholesale effect-cache invalidation at a method install
+    /// (`opal.effects.invalidations`).
+    EffectInvalidate,
     /// One recovery pass (the `storage.recovery.*` gauges).
     Recovery {
         roots_considered: u64,
@@ -225,6 +245,17 @@ impl JournalEvent {
             CacheEvict { track } => format!("{{\"e\":\"cache_evict\",\"track\":{track}}}"),
             ObjectFault { goop } => format!("{{\"e\":\"object_fault\",\"goop\":{goop}}}"),
             VerifyCheck { rejected } => format!("{{\"e\":\"verify\",\"rejected\":{rejected}}}"),
+            EffectSummary { selector, effect, reads, writes } => format!(
+                "{{\"e\":\"effect_summary\",\"selector\":\"{}\",\"effect\":\"{}\",\
+                 \"reads\":{reads},\"writes\":{writes}}}",
+                esc(selector),
+                esc(effect)
+            ),
+            EffectClassify { static_ro } => {
+                format!("{{\"e\":\"effect_classify\",\"static_ro\":{static_ro}}}")
+            }
+            EffectCommit => "{\"e\":\"effect_commit\"}".to_string(),
+            EffectInvalidate => "{\"e\":\"effect_invalidate\"}".to_string(),
             Recovery {
                 roots_considered,
                 roots_valid,
@@ -314,6 +345,15 @@ impl JournalEvent {
             "cache_evict" => JournalEvent::CacheEvict { track: obj.u64("track")? },
             "object_fault" => JournalEvent::ObjectFault { goop: obj.u64("goop")? },
             "verify" => JournalEvent::VerifyCheck { rejected: obj.bool("rejected")? },
+            "effect_summary" => JournalEvent::EffectSummary {
+                selector: obj.str("selector")?,
+                effect: obj.str("effect")?,
+                reads: obj.u64("reads")?,
+                writes: obj.u64("writes")?,
+            },
+            "effect_classify" => JournalEvent::EffectClassify { static_ro: obj.bool("static_ro")? },
+            "effect_commit" => JournalEvent::EffectCommit,
+            "effect_invalidate" => JournalEvent::EffectInvalidate,
             "recovery" => JournalEvent::Recovery {
                 roots_considered: obj.u64("roots_considered")?,
                 roots_valid: obj.u64("roots_valid")?,
@@ -424,6 +464,18 @@ impl JournalEvent {
                     r.counter("opal.verify.rejects").inc();
                 }
             }
+            EffectSummary { effect, .. } => {
+                r.counter("opal.effects.computed").inc();
+                r.counter(effect_class_counter(effect)).inc();
+            }
+            EffectClassify { static_ro } => {
+                r.counter("opal.effects.stmts_classified").inc();
+                if *static_ro {
+                    r.counter("opal.effects.stmts_static_ro").inc();
+                }
+            }
+            EffectCommit => r.counter("opal.effects.static_ro_commits").inc(),
+            EffectInvalidate => r.counter("opal.effects.invalidations").inc(),
             Recovery {
                 roots_considered,
                 roots_valid,
@@ -442,6 +494,19 @@ impl JournalEvent {
                 r.gauge("storage.recovery.reopen_reads").set(*reopen_reads as i64);
             }
         }
+    }
+}
+
+/// The per-effect-class counter an effect display name maps to. Unknown
+/// names (a future lattice level) conservatively count as `unknown`, so
+/// replay still moves exactly one class counter per summary.
+pub fn effect_class_counter(effect: &str) -> &'static str {
+    match effect {
+        "Pure" => "opal.effects.pure",
+        "ReadOnly" => "opal.effects.read_only",
+        "WritesLocal" => "opal.effects.writes_local",
+        "WritesGlobal" => "opal.effects.writes_global",
+        _ => "opal.effects.unknown",
     }
 }
 
@@ -957,6 +1022,15 @@ mod tests {
             JournalEvent::CacheEvict { track: 2 },
             JournalEvent::ObjectFault { goop: 77 },
             JournalEvent::VerifyCheck { rejected: true },
+            JournalEvent::EffectSummary {
+                selector: "do:".into(),
+                effect: "WritesLocal".into(),
+                reads: 2,
+                writes: 0,
+            },
+            JournalEvent::EffectClassify { static_ro: true },
+            JournalEvent::EffectCommit,
+            JournalEvent::EffectInvalidate,
             JournalEvent::SafeWriteGroup { tracks: 4, objects: 11 },
             JournalEvent::TxnAbort { conflict: true },
             JournalEvent::TxnCommit,
@@ -1006,6 +1080,12 @@ mod tests {
         assert_eq!(s.counter("storage.store.objects_written"), 11);
         assert_eq!(s.counter("opal.verify.checks"), 1);
         assert_eq!(s.counter("opal.verify.rejects"), 1);
+        assert_eq!(s.counter("opal.effects.computed"), 1);
+        assert_eq!(s.counter("opal.effects.writes_local"), 1);
+        assert_eq!(s.counter("opal.effects.stmts_classified"), 1);
+        assert_eq!(s.counter("opal.effects.stmts_static_ro"), 1);
+        assert_eq!(s.counter("opal.effects.static_ro_commits"), 1);
+        assert_eq!(s.counter("opal.effects.invalidations"), 1);
         assert_eq!(s.gauge("storage.recovery.epoch"), 5);
         assert_eq!(s.histogram("storage.commit.group_tracks").unwrap().count, 1);
         assert_eq!(s.histogram("session.statement_ns").unwrap().sum, 1234);

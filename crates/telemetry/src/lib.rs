@@ -26,11 +26,13 @@ mod journal;
 mod metrics;
 mod trace;
 
-pub use bundle::{CacheSweepPoint, DiagnosticBundle, RecoverySummary, SlowEntry, TrackHeat};
+pub use bundle::{
+    CacheSweepPoint, DiagnosticBundle, EffectProfile, RecoverySummary, SlowEntry, TrackHeat,
+};
 pub use clock::{ManualTime, TelemetryClock};
 pub use journal::{
-    parse_flat, replay, FlatObject, Journal, JournalConfig, JournalEvent, JournalReadout,
-    JsonValue, JOURNAL_SCHEMA,
+    effect_class_counter, parse_flat, replay, FlatObject, Journal, JournalConfig, JournalEvent,
+    JournalReadout, JsonValue, JOURNAL_SCHEMA,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsBatch, MetricsRegistry, MetricsSnapshot,

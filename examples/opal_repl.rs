@@ -22,6 +22,8 @@
 //! ```text
 //! :metrics                 — metrics moved since the last :metrics call
 //! :metrics all             — the full cumulative registry
+//! :effects Class>>selector — the method's static effect summary
+//! :effects                 — classification of the last statement run
 //! :explain+ <doIt>         — run the doIt and render its profiled plan
 //! :journal <dir>           — start the flight recorder (segments in <dir>)
 //! :journal off             — stop it
@@ -65,6 +67,32 @@ fn main() {
         }
         if src == ":metrics all" {
             print!("{}", session.metrics().render_table());
+            continue;
+        }
+        if let Some(arg) = src.strip_prefix(":effects") {
+            let arg = arg.trim();
+            if arg.is_empty() {
+                match session.last_effect() {
+                    Some(s) => {
+                        let text = session.render_effect(&s.clone());
+                        for l in text.lines() {
+                            println!("  {l}");
+                        }
+                    }
+                    None => println!("  no statement classified yet — run a doIt first."),
+                }
+            } else if let Some((class, selector)) = arg.split_once(">>") {
+                match session.method_effects(class.trim(), selector.trim()) {
+                    Ok(s) => {
+                        for l in session.render_effect(&s).lines() {
+                            println!("  {l}");
+                        }
+                    }
+                    Err(e) => println!("  !! {e}"),
+                }
+            } else {
+                println!("  usage: :effects Class>>selector  (or bare :effects)");
+            }
             continue;
         }
         if let Some(arg) = src.strip_prefix(":journal") {

@@ -92,7 +92,7 @@ fn lints_accumulate_on_run_and_never_block() {
     assert!(v.as_int().is_some());
     assert!(
         s.last_lints().iter().any(
-            |l| matches!(&l.kind, LintKind::SelectBlockImpure { selector } if selector == "add:")
+            |l| matches!(&l.kind, LintKind::SelectBlockImpure { selector, .. } if selector == "add:")
         ),
         "expected SelectBlockImpure lint, got {:?}",
         s.last_lints()
