@@ -1,0 +1,151 @@
+//! B8: the file-backend I/O benchmark behind `BENCH_PR8.json`.
+//!
+//! PR 8 put the database on a real preallocated file with group commit:
+//! one safe-write group per transaction, exactly two fsyncs per group (a
+//! data barrier before the root page, an ack barrier after it). This
+//! harness gates the protocol with deterministic counters:
+//!
+//! * **group commit** — N committing transactions on the file backend;
+//!   `storage.disk.fsyncs` must grow by exactly `2 * commits` (plus the
+//!   volume-format commit at create), never per-track.
+//! * **write batching** — tracks per fsync on a multi-object workload:
+//!   writes/fsyncs stays a ratio, not 1:1; the exact writes and fsyncs
+//!   counts are gated.
+//! * **reopen recovery** — drop the store, reopen from the file, count
+//!   root-scan reads; every committed object answers. Wall-clock recovery
+//!   time is reported as `info_` only.
+//!
+//! Counter-derived fields are deterministic and gated exactly by
+//! `perf_gate` against the committed `BENCH_PR8.json`; wall-clock derived
+//! fields carry the `info_` prefix.
+//!
+//! ```sh
+//! cargo run -p gemstone-bench --bin io_bench --release    # writes BENCH_PR8.json
+//! IO_BENCH_COMMITS=10 cargo run ... --bin io_bench        # CI-sized
+//! ```
+
+use gemstone::{GemStone, MetricsSnapshot, StoreConfig};
+use std::time::Instant;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name).ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+fn snap(gs: &GemStone) -> MetricsSnapshot {
+    gs.telemetry().registry.snapshot()
+}
+
+fn main() {
+    let commits = env_usize("IO_BENCH_COMMITS", 32);
+
+    let dir = std::env::temp_dir().join(format!("gemstone-io-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("bench dir");
+    let db = dir.join("bench.gem");
+
+    let mut records: Vec<String> = Vec::new();
+    let mut failures = 0usize;
+
+    // ---- group commit: fsyncs per committing transaction -------------
+    let cfg = StoreConfig { track_size: 2048, cache_tracks: 64, replicas: 1 };
+    let gs = GemStone::create_file(&db, cfg).expect("create file db");
+    let mut s = gs.login("system").expect("login");
+    s.run("Log := OrderedCollection new").expect("schema");
+    s.commit().expect("schema commit");
+
+    let before = snap(&gs);
+    let wall = Instant::now();
+    for i in 0..commits {
+        s.run(&format!("Log add: {i}")).expect("append");
+        s.commit().expect("commit");
+    }
+    let commit_wall = wall.elapsed();
+    let d = snap(&gs).diff(&before);
+    let fsyncs = d.counter("storage.disk.fsyncs");
+    let writes = d.counter("storage.disk.writes");
+    let n = commits as u64;
+    let per_commit = fsyncs as f64 / n as f64;
+    println!(
+        "group-commit: {n} commits, {fsyncs} fsyncs ({per_commit:.1}/commit), {writes} track \
+         writes, {:?} wall",
+        commit_wall
+    );
+    if fsyncs != 2 * n {
+        println!("FAIL group-commit: {fsyncs} fsyncs for {n} commits (want exactly 2 per group)");
+        failures += 1;
+    }
+    records.push(format!(
+        "{{\"id\": \"io-group-commit\", \"commits\": {n}, \"fsyncs\": {fsyncs}, \
+         \"fsyncs_per_commit\": {}, \"track_writes\": {writes}, \"info_commit_wall_us\": {}}}",
+        fsyncs / n,
+        commit_wall.as_micros()
+    ));
+
+    // ---- write batching: many objects, still two fsyncs --------------
+    let before = snap(&gs);
+    s.run(
+        "| t | Wide := OrderedCollection new.
+         1 to: 40 do: [:i | t := Dictionary new. t at: #n put: i. Wide add: t]",
+    )
+    .expect("wide txn");
+    s.commit().expect("wide commit");
+    drop(s);
+    let d = snap(&gs).diff(&before);
+    let wide_fsyncs = d.counter("storage.disk.fsyncs");
+    let wide_writes = d.counter("storage.disk.writes");
+    let tracks_per_fsync = wide_writes as f64 / wide_fsyncs.max(1) as f64;
+    println!(
+        "write-batching: 1 wide commit, {wide_writes} track writes over {wide_fsyncs} fsyncs \
+         ({tracks_per_fsync:.1} tracks/fsync)"
+    );
+    if wide_fsyncs != 2 {
+        println!("FAIL write-batching: {wide_fsyncs} fsyncs for one commit group");
+        failures += 1;
+    }
+    if wide_writes < 4 {
+        println!("FAIL write-batching: only {wide_writes} track writes — workload too narrow");
+        failures += 1;
+    }
+    records.push(format!(
+        "{{\"id\": \"io-write-batching\", \"fsyncs\": {wide_fsyncs}, \
+         \"track_writes\": {wide_writes}, \"tracks_per_fsync\": {}}}",
+        wide_writes / wide_fsyncs.max(1)
+    ));
+
+    // ---- reopen recovery ---------------------------------------------
+    drop(gs);
+    let wall = Instant::now();
+    let gs = GemStone::open_file(&db, 64).expect("reopen");
+    let recovery_wall = wall.elapsed();
+    let d = snap(&gs);
+    let recovery_reads = d.counter("storage.disk.reads");
+    let mut s = gs.login("system").expect("login");
+    let log_size = s.run("Log size").expect("Log size").as_int().expect("int") as u64;
+    let wide_size = s.run("Wide size").expect("Wide size").as_int().expect("int") as u64;
+    println!(
+        "reopen-recovery: {recovery_reads} reads to recover, log {log_size}, wide {wide_size}, \
+         {recovery_wall:?} wall"
+    );
+    if log_size != n || wide_size != 40 {
+        println!("FAIL reopen-recovery: committed state incomplete after reopen");
+        failures += 1;
+    }
+    records.push(format!(
+        "{{\"id\": \"io-reopen-recovery\", \"recovered_log\": {log_size}, \
+         \"recovered_wide\": {wide_size}, \"info_recovery_reads\": {recovery_reads}, \
+         \"info_recovery_wall_us\": {}}}",
+        recovery_wall.as_micros()
+    ));
+    drop(s);
+    drop(gs);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let body = records.join(",\n  ");
+    std::fs::write("BENCH_PR8.json", format!("[\n  {body}\n]\n")).expect("write BENCH_PR8.json");
+    println!("wrote BENCH_PR8.json ({} records)", records.len());
+
+    if failures > 0 {
+        println!("io_bench: {failures} FAILURES");
+        std::process::exit(1);
+    }
+}

@@ -128,6 +128,7 @@ fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &Tran
         .counter("storage.disk.bytes_written", &d.bytes_written)
         .counter("storage.disk.failed_reads", &d.failed_reads)
         .counter("storage.disk.failed_writes", &d.failed_writes)
+        .counter("storage.disk.fsyncs", &d.fsyncs)
         .counter("storage.cache.hits", &c.hits)
         .counter("storage.cache.misses", &c.misses)
         .counter("storage.cache.evictions", &c.evictions)
@@ -240,7 +241,33 @@ impl Database {
     /// [`Database::create`] over an explicit telemetry bundle (tests inject
     /// a manual clock here for deterministic span durations).
     pub fn create_with(cfg: StoreConfig, telemetry: Telemetry) -> GemResult<Arc<Database>> {
-        let mut store = PermanentStore::create(cfg)?;
+        Database::create_with_store(PermanentStore::create(cfg)?, telemetry)
+    }
+
+    /// Format a fresh *persistent* database in a real file at `path` (the
+    /// file backend: `pwrite` + group-commit `fdatasync`, so committed
+    /// state survives the process). Replica `i` of a replicated config
+    /// lives beside the file at `<path>.r{i}`.
+    pub fn create_file(
+        path: impl AsRef<std::path::Path>,
+        cfg: StoreConfig,
+    ) -> GemResult<Arc<Database>> {
+        Database::create_file_with(path, cfg, Telemetry::new())
+    }
+
+    /// [`Database::create_file`] over an explicit telemetry bundle.
+    pub fn create_file_with(
+        path: impl AsRef<std::path::Path>,
+        cfg: StoreConfig,
+        telemetry: Telemetry,
+    ) -> GemResult<Arc<Database>> {
+        Database::create_with_store(PermanentStore::create_file(path, cfg)?, telemetry)
+    }
+
+    fn create_with_store(
+        mut store: PermanentStore,
+        telemetry: Telemetry,
+    ) -> GemResult<Arc<Database>> {
         store.attach_tracer(telemetry.tracer.clone());
         let mut symbols = SymbolTable::new();
         let (mut classes, kernel) = ClassTable::bootstrap(&mut symbols);
@@ -316,7 +343,32 @@ impl Database {
         cache_tracks: usize,
         telemetry: Telemetry,
     ) -> GemResult<Arc<Database>> {
-        let mut store = PermanentStore::open(disk, cache_tracks)?;
+        Database::open_with_store(PermanentStore::open(disk, cache_tracks)?, telemetry)
+    }
+
+    /// Recover a *persistent* database from the file at `path` (created by
+    /// [`Database::create_file`]): newest valid root wins, exactly as with
+    /// [`Database::open`], but read from real storage.
+    pub fn open_file(
+        path: impl AsRef<std::path::Path>,
+        cache_tracks: usize,
+    ) -> GemResult<Arc<Database>> {
+        Database::open_file_with(path, cache_tracks, Telemetry::new())
+    }
+
+    /// [`Database::open_file`] over an explicit telemetry bundle.
+    pub fn open_file_with(
+        path: impl AsRef<std::path::Path>,
+        cache_tracks: usize,
+        telemetry: Telemetry,
+    ) -> GemResult<Arc<Database>> {
+        Database::open_with_store(PermanentStore::open_file(path, 1, cache_tracks)?, telemetry)
+    }
+
+    fn open_with_store(
+        mut store: PermanentStore,
+        telemetry: Telemetry,
+    ) -> GemResult<Arc<Database>> {
         store.attach_tracer(telemetry.tracer.clone());
         let symbols = match store.get_meta(meta::META_SYMBOLS)? {
             Some(b) => meta::get_symbols(&b)?,

@@ -36,8 +36,8 @@ pub use gemstone_calculus::{OpNode, OpProfile, PlanStats};
 pub use gemstone_object::{ElemName, GemError, GemResult, Goop, Oop, OopKind, SegmentId};
 pub use gemstone_opal::{Effect, EffectSummary};
 pub use gemstone_storage::{
-    CacheStats, DiskArray, DiskStats, FaultPlan, ReadFault, RecoveryReport, StoreConfig,
-    StoreStats, TearClass, TrackId,
+    CacheStats, DiskArray, DiskStats, FaultFile, FaultPlan, FileDisk, IoRecord, ReadFault,
+    RecoveryReport, StoreConfig, StoreStats, TearClass, TrackDisk, TrackId,
 };
 pub use gemstone_telemetry::{
     replay, CacheSweepPoint, Counter, DiagnosticBundle, Gauge, Histogram, HistogramSnapshot,
@@ -64,6 +64,21 @@ impl GemStone {
     /// A fresh database with explicit storage sizing.
     pub fn create(cfg: StoreConfig) -> GemResult<GemStone> {
         Ok(GemStone { db: Database::create(cfg)? })
+    }
+
+    /// A fresh *persistent* database in a real file at `path`: committed
+    /// state survives the process and reopens with
+    /// [`GemStone::open_file`].
+    pub fn create_file(path: impl AsRef<std::path::Path>, cfg: StoreConfig) -> GemResult<GemStone> {
+        Ok(GemStone { db: Database::create_file(path, cfg)? })
+    }
+
+    /// Recover a persistent database from the file at `path`.
+    pub fn open_file(
+        path: impl AsRef<std::path::Path>,
+        cache_tracks: usize,
+    ) -> GemResult<GemStone> {
+        Ok(GemStone { db: Database::open_file(path, cache_tracks)? })
     }
 
     /// A fresh database over an explicit telemetry bundle (tests inject a

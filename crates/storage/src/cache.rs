@@ -3,6 +3,17 @@
 //! §6: "The Track Manager schedules reads and writes of tracks." Reads are
 //! served through an LRU cache of track payloads; hit/miss counters feed the
 //! clustering experiments (C7).
+//!
+//! The cache is backend-agnostic: it fronts whichever [`TrackDisk`]
+//! implementation the store was built on (the simulated disk or the real
+//! [`FileDisk`]), caching decoded payloads with the track checksum already
+//! stripped. On the file backend the commit path's write-through fills are
+//! what keep a freshly reopened volume from re-reading every track it just
+//! wrote; recovery instead starts cold via [`TrackCache::clear`] /
+//! [`ShardedTrackCache::clear`] so nothing stale survives a root rollback.
+//!
+//! [`TrackDisk`]: crate::disk::TrackDisk
+//! [`FileDisk`]: crate::file_disk::FileDisk
 
 use crate::disk::TrackId;
 use gemstone_telemetry::{Counter, Journal, JournalEvent};
@@ -578,6 +589,27 @@ mod tests {
             }
             assert_eq!(c.len(), r.order.len(), "step {step}: size diverged");
         }
+    }
+
+    #[test]
+    fn clear_drops_entries_and_recency() {
+        // Recovery (a root rollback on reopen) must leave no stale payload
+        // *and* no stale recency record that could mis-order later
+        // evictions.
+        let mut c = TrackCache::new(2);
+        c.put(TrackId(1), vec![1]);
+        c.put(TrackId(2), vec![2]);
+        c.clear();
+        assert!(c.is_empty());
+        assert!(c.recency.is_empty(), "recovery leaves no tombstones behind");
+        // Post-recovery fills evict in fresh LRU order, unaffected by
+        // pre-recovery touches.
+        c.put(TrackId(3), vec![3]);
+        c.put(TrackId(4), vec![4]);
+        c.put(TrackId(5), vec![5]); // evicts 3, not anything historical
+        assert!(c.get(TrackId(3)).is_none());
+        assert!(c.get(TrackId(4)).is_some());
+        assert!(c.get(TrackId(5)).is_some());
     }
 
     #[test]

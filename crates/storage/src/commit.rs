@@ -70,9 +70,21 @@ pub fn read_checked(disk: &mut DiskArray, id: TrackId) -> GemResult<Vec<u8>> {
     Ok(payload.to_vec())
 }
 
+/// How many durability barriers one committed safe-write group costs: the
+/// data barrier plus the ack barrier. Group commit — the count is per
+/// *group*, never per track.
+pub const FSYNCS_PER_GROUP: u64 = 2;
+
 /// Commit a group: write every data track, then flip the root. Returns the
 /// root track used. Data tracks MUST be fresh (shadow) tracks; the caller's
 /// allocator guarantees that.
+///
+/// Durability is batched (group commit): one barrier after the data tracks
+/// — the root must never be visible before the data it points at — and one
+/// after the root write, so the commit is on the platter before the caller
+/// acknowledges it. [`FSYNCS_PER_GROUP`] barriers per group, regardless of
+/// group size. Barriers never consume a fault plan's write budget, so a
+/// crash schedule's write index means the same thing on every backend.
 pub fn safe_write_group(
     disk: &mut DiskArray,
     data: &[(TrackId, Vec<u8>)],
@@ -82,8 +94,10 @@ pub fn safe_write_group(
         debug_assert!(id.0 >= FIRST_DATA_TRACK, "data must not touch root tracks");
         write_checked(disk, *id, payload)?;
     }
+    disk.sync()?;
     let root_track = ROOT_TRACKS[(root.epoch % 2) as usize];
     write_checked(disk, root_track, &format::put_root(root))?;
+    disk.sync()?;
     Ok(root_track)
 }
 
@@ -285,5 +299,50 @@ mod tests {
         let mut d = DiskArray::new(64, 1);
         assert!(write_checked(&mut d, TrackId(2), &[0u8; 52]).is_ok());
         assert!(write_checked(&mut d, TrackId(2), &[0u8; 53]).is_err());
+    }
+
+    /// The fsync-ordering contract, checked against the physical I/O trace:
+    /// the root-page write must never be issued before the barrier covering
+    /// its data tracks, and the ack barrier must be the last operation —
+    /// which makes a torn write *after* acknowledgement impossible by
+    /// construction (there is nothing left to write once the caller hears
+    /// "committed").
+    fn assert_group_commit_ordering(mut d: DiskArray) {
+        use crate::disk::{FaultPlan, IoRecord};
+        d.replica_mut(0).set_fault_plan(FaultPlan::trace());
+        let data = vec![(TrackId(2), b"a".to_vec()), (TrackId(3), b"b".to_vec())];
+        let root_track = safe_write_group(&mut d, &data, &root(1)).unwrap();
+        let trace = d.replica_mut(0).take_io_trace();
+
+        let is_root =
+            |r: &IoRecord| matches!(r, IoRecord::Write { track, .. } if *track == root_track);
+        let first_sync = trace.iter().position(|r| *r == IoRecord::Sync).expect("a data barrier");
+        let root_write = trace.iter().position(is_root).expect("a root write");
+        assert!(first_sync < root_write, "root write before the data barrier: {trace:?}");
+        assert!(
+            trace[..first_sync]
+                .iter()
+                .all(|r| matches!(r, IoRecord::Write { track, .. } if track.0 >= FIRST_DATA_TRACK)),
+            "everything before the data barrier is a data-track write: {trace:?}"
+        );
+        assert_eq!(trace.last(), Some(&IoRecord::Sync), "ack barrier is the final operation");
+        let syncs = trace.iter().filter(|r| **r == IoRecord::Sync).count() as u64;
+        assert_eq!(syncs, FSYNCS_PER_GROUP, "group commit: 2 barriers for a 3-track group");
+    }
+
+    #[test]
+    fn group_commit_fsync_ordering_sim() {
+        assert_group_commit_ordering(DiskArray::new(256, 1));
+    }
+
+    #[test]
+    fn group_commit_fsync_ordering_file() {
+        let dir =
+            std::env::temp_dir().join(format!("gemstone-commit-fsync-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut f = crate::file_disk::FaultFile::create(dir.join("db.gem"), 256).unwrap();
+        f.set_ephemeral(true);
+        assert_group_commit_ordering(DiskArray::from_backend(Box::new(f)));
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

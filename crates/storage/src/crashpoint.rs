@@ -310,6 +310,43 @@ impl MatrixReport {
     }
 }
 
+/// Which storage backend a matrix run drives. The enumeration itself is
+/// backend-blind — checkpoints, fault arming, and recovery all go through
+/// the [`TrackDisk`](crate::TrackDisk) trait — so the only difference is
+/// where the initial volume comes from: a [`SimDisk`](crate::SimDisk) in
+/// memory, or a real file (plus its checkpoint copies) under `dir`,
+/// torn by [`FaultFile`](crate::FaultFile) at actual file offsets.
+#[derive(Debug, Clone)]
+pub enum MatrixBackend {
+    /// The in-memory simulated disk (the default).
+    Sim,
+    /// Real files under `dir` (created if absent). Every file the run
+    /// creates — volumes and checkpoint copies — is ephemeral: it is
+    /// deleted when its disk handle drops.
+    File { dir: std::path::PathBuf },
+}
+
+/// Distinguishes concurrently running matrix volumes within one process.
+static FILE_SEQ: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+impl MatrixBackend {
+    /// Create a fresh volume for a matrix run.
+    fn create_store(&self, cfg: StoreConfig, tag: &str) -> GemResult<PermanentStore> {
+        match self {
+            MatrixBackend::Sim => PermanentStore::create(cfg),
+            MatrixBackend::File { dir } => {
+                std::fs::create_dir_all(dir)
+                    .map_err(|e| GemError::DiskFailure(format!("create {}: {e}", dir.display())))?;
+                let n = FILE_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                let path = dir.join(format!("{tag}-{}-{n}.gem", std::process::id()));
+                let mut f = crate::file_disk::FaultFile::create(&path, cfg.track_size)?;
+                f.set_ephemeral(true);
+                PermanentStore::create_on(DiskArray::from_backend(Box::new(f)), cfg.cache_tracks)
+            }
+        }
+    }
+}
+
 /// The clean-run profile: per-commit write counts, a disk checkpoint
 /// *before* each commit, and state images around every commit.
 struct Profile {
@@ -320,9 +357,10 @@ struct Profile {
     images: Vec<StateImage>,
 }
 
-fn profile(w: &Workload) -> Result<Profile, String> {
+fn profile(w: &Workload, backend: &MatrixBackend) -> Result<Profile, String> {
     let keys = w.meta_keys();
-    let mut store = PermanentStore::create(w.cfg).map_err(|e| format!("create: {e}"))?;
+    let mut store =
+        backend.create_store(w.cfg, "matrix-profile").map_err(|e| format!("create: {e}"))?;
     store.disk_mut().replica_mut(0).set_fault_plan(FaultPlan::trace());
     let mut p = Profile {
         write_counts: Vec::new(),
@@ -479,8 +517,20 @@ fn check_schedule(
 /// determinism the whole enumeration rests on). Invariant violations are
 /// collected (not panicked) so a CI run can print every failing token.
 pub fn enumerate_matrix(w: &Workload, tears: &[TearClass]) -> GemResult<MatrixReport> {
+    enumerate_matrix_on(w, tears, &MatrixBackend::Sim)
+}
+
+/// [`enumerate_matrix`] against an explicit storage backend. The matrix
+/// invariants are backend-independent; a clean run on
+/// [`MatrixBackend::File`] proves the §7 atomicity claim against real
+/// `pwrite`/`fdatasync` I/O, torn at real file offsets.
+pub fn enumerate_matrix_on(
+    w: &Workload,
+    tears: &[TearClass],
+    backend: &MatrixBackend,
+) -> GemResult<MatrixReport> {
     assert!(!tears.is_empty(), "need at least one tear class");
-    let p = profile(w).map_err(GemError::RuntimeError)?;
+    let p = profile(w, backend).map_err(GemError::RuntimeError)?;
     let keys = w.meta_keys();
     let mut report = MatrixReport {
         commits: w.steps.len() as u32,
@@ -556,12 +606,22 @@ pub fn enumerate_matrix(w: &Workload, tears: &[TearClass]) -> GemResult<MatrixRe
 /// Replay a single schedule from scratch — the one-line repro for a token
 /// printed by a failing matrix run. Returns the violation, if any.
 pub fn run_schedule(w: &Workload, s: &CrashSchedule) -> Result<(), String> {
+    run_schedule_on(w, s, &MatrixBackend::Sim)
+}
+
+/// [`run_schedule`] against an explicit storage backend.
+pub fn run_schedule_on(
+    w: &Workload,
+    s: &CrashSchedule,
+    backend: &MatrixBackend,
+) -> Result<(), String> {
     let k = s.commit as usize;
     if k >= w.steps.len() {
         return Err(format!("workload has {} commits, token names c{k}", w.steps.len()));
     }
     let keys = w.meta_keys();
-    let mut store = PermanentStore::create(w.cfg).map_err(|e| format!("create: {e}"))?;
+    let mut store =
+        backend.create_store(w.cfg, "matrix-repro").map_err(|e| format!("create: {e}"))?;
     store.disk_mut().replica_mut(0).set_fault_plan(FaultPlan::trace());
     for j in 0..k {
         w.apply(&mut store, j).map_err(|e| format!("prefix commit {j}: {e}"))?;
@@ -610,6 +670,21 @@ mod tests {
         assert!(report.recovery_crash_points > 0, "recovery reads enumerated");
         assert!(report.reopenings > report.commit_crash_points, "every point reopens");
         assert!(report.is_clean(), "violations: {:?}", report.violations);
+    }
+
+    #[test]
+    fn small_matrix_is_clean_on_file_backend() {
+        let dir = std::env::temp_dir().join(format!("gemstone-matrix-{}", std::process::id()));
+        let backend = MatrixBackend::File { dir: dir.clone() };
+        let w = Workload::standard(4);
+        let report = enumerate_matrix_on(&w, &[TearClass::Clean, TearClass::Tail], &backend)
+            .expect("matrix runs");
+        assert_eq!(report.commit_crash_points, report.total_writes * 2);
+        assert!(report.is_clean(), "violations: {:?}", report.violations);
+        // Every volume and checkpoint copy was ephemeral.
+        let leftovers = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+        assert_eq!(leftovers, 0, "file backend leaked volumes");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -41,6 +41,10 @@ pub struct DiskStats {
     pub failed_reads: u64,
     /// Writes that returned an error (dead disk, torn write, oversized data).
     pub failed_writes: u64,
+    /// Durability barriers issued ([`TrackDisk::sync`]): real
+    /// `fdatasync` calls on the file backend, counted no-ops on the
+    /// simulated disk. Group commit means ~2 per commit, not 2 per track.
+    pub fsyncs: u64,
 }
 
 /// The live telemetry counters behind [`DiskStats`].  Handles are shared
@@ -56,6 +60,7 @@ pub struct DiskCounters {
     pub bytes_written: Counter,
     pub failed_reads: Counter,
     pub failed_writes: Counter,
+    pub fsyncs: Counter,
 }
 
 impl Clone for DiskCounters {
@@ -66,6 +71,7 @@ impl Clone for DiskCounters {
             bytes_written: self.bytes_written.detached_copy(),
             failed_reads: self.failed_reads.detached_copy(),
             failed_writes: self.failed_writes.detached_copy(),
+            fsyncs: self.fsyncs.detached_copy(),
         }
     }
 }
@@ -79,15 +85,17 @@ impl DiskCounters {
             bytes_written: self.bytes_written.get(),
             failed_reads: self.failed_reads.get(),
             failed_writes: self.failed_writes.get(),
+            fsyncs: self.fsyncs.get(),
         }
     }
 
-    fn reset(&self) {
+    pub(crate) fn reset(&self) {
         self.track_reads.reset();
         self.track_writes.reset();
         self.bytes_written.reset();
         self.failed_reads.reset();
         self.failed_writes.reset();
+        self.fsyncs.reset();
     }
 
     /// Shared handles (non-detaching, for registry binding).
@@ -98,6 +106,7 @@ impl DiskCounters {
             bytes_written: self.bytes_written.clone(),
             failed_reads: self.failed_reads.clone(),
             failed_writes: self.failed_writes.clone(),
+            fsyncs: self.fsyncs.clone(),
         }
     }
 }
@@ -182,6 +191,98 @@ pub struct WriteRecord {
     pub len: usize,
 }
 
+/// One physical I/O operation in order, as recorded by a tracing
+/// [`FaultPlan`] — the evidence stream for fsync-ordering assertions
+/// (no root-page write may precede its data tracks' sync barrier).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoRecord {
+    /// A successful whole-track write.
+    Write { track: TrackId, len: usize },
+    /// A successful durability barrier ([`TrackDisk::sync`]).
+    Sync,
+}
+
+/// The whole-track disk interface the storage stack is written against.
+///
+/// Extracted from [`SimDisk`]'s surface so the simulated disk and the
+/// durable [`FileDisk`](crate::file_disk::FileDisk) (behind its
+/// [`FaultFile`](crate::file_disk::FaultFile) fault-injection wrapper) are
+/// interchangeable everywhere — the store, the Commit Manager, and the
+/// crash-point matrix all drive `dyn TrackDisk` and cannot tell the
+/// backends apart except through [`TrackDisk::backend_name`].
+pub trait TrackDisk: Send + std::fmt::Debug {
+    /// Stable backend identifier stamped into journal events
+    /// (`"sim"` / `"file"`).
+    fn backend_name(&self) -> &'static str;
+
+    /// Track size in bytes (includes the [`TRACK_HEADER`]).
+    fn track_size(&self) -> usize;
+
+    /// Number of tracks ever written.
+    fn tracks_in_use(&self) -> usize;
+
+    /// Access counters so far.
+    fn stats(&self) -> DiskStats;
+
+    /// The live counter cells (for registry binding).
+    fn counters(&self) -> DiskCounters;
+
+    /// Reset counters (benchmark hygiene).
+    fn reset_stats(&mut self);
+
+    /// Attach the flight recorder; every counter move also emits a journal
+    /// event, so replaying the journal reproduces the counters.
+    fn attach_journal(&mut self, journal: Journal);
+
+    /// Install a fault plan, reviving the disk if it was dead.
+    fn set_fault_plan(&mut self, plan: FaultPlan);
+
+    /// The write trace accumulated so far (with `record_trace` armed),
+    /// clearing it.
+    fn take_write_trace(&mut self) -> Vec<WriteRecord>;
+
+    /// The ordered write/sync trace accumulated so far (with
+    /// `record_trace` armed), clearing it.
+    fn take_io_trace(&mut self) -> Vec<IoRecord>;
+
+    /// Disarm all fault injection and revive the disk (power-up after a
+    /// crash; any torn data remains).
+    fn revive(&mut self);
+
+    /// True once a crash has been triggered.
+    fn is_dead(&self) -> bool;
+
+    /// Write an entire track. `data` must fit in the track; short data is
+    /// zero-padded (a track is always written whole).
+    fn write_track(&mut self, id: TrackId, data: &[u8]) -> GemResult<()>;
+
+    /// Read an entire track.
+    fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]>;
+
+    /// Durability barrier: everything written so far must survive power
+    /// loss before this returns. `fdatasync` on the file backend, a
+    /// counted no-op on the simulated disk. Never consumes the fault
+    /// plan's write budget — crash-point indices stay write-aligned.
+    fn sync(&mut self) -> GemResult<()>;
+
+    /// True if the track has ever been written.
+    fn track_exists(&self, id: TrackId) -> bool;
+
+    /// Number of written tracks at or past `frontier` — the orphans a
+    /// recovered root does not reference (shadow writes of a torn commit).
+    fn tracks_beyond(&self, frontier: u32) -> u32;
+
+    /// Checkpoint: an independent copy of the platter. Counters detach and
+    /// any journal is dropped — a checkpoint must not keep emitting.
+    fn clone_disk(&self) -> Box<dyn TrackDisk>;
+
+    /// Arm crash injection: `n` more writes succeed, the next one tears in
+    /// half (shorthand for installing [`FaultPlan::crash_after`]).
+    fn fail_after_writes(&mut self, n: u64) {
+        self.set_fault_plan(FaultPlan::crash_after(n));
+    }
+}
+
 /// The pluggable fault-injection plan carried by a [`SimDisk`]. The default
 /// plan injects nothing.
 #[derive(Debug, Default, Clone)]
@@ -218,6 +319,7 @@ pub struct SimDisk {
     stats: DiskCounters,
     plan: FaultPlan,
     trace: Vec<WriteRecord>,
+    io_trace: Vec<IoRecord>,
     dead: bool,
     /// Flight recorder, attached to the primary replica only (the one
     /// whose counters the registry binds).  Not derivable: cloning a disk
@@ -233,6 +335,7 @@ impl Clone for SimDisk {
             stats: self.stats.clone(), // detaches, like the journal below
             plan: self.plan.clone(),
             trace: self.trace.clone(),
+            io_trace: self.io_trace.clone(),
             dead: self.dead,
             journal: None,
         }
@@ -249,6 +352,7 @@ impl SimDisk {
             stats: DiskCounters::default(),
             plan: FaultPlan::default(),
             trace: Vec::new(),
+            io_trace: Vec::new(),
             dead: false,
             journal: None,
         }
@@ -304,6 +408,7 @@ impl SimDisk {
     pub fn set_fault_plan(&mut self, plan: FaultPlan) {
         if plan.record_trace {
             self.trace.clear();
+            self.io_trace.clear();
         }
         self.plan = plan;
         self.dead = false;
@@ -313,6 +418,32 @@ impl SimDisk {
     /// clearing it.
     pub fn take_write_trace(&mut self) -> Vec<WriteRecord> {
         std::mem::take(&mut self.trace)
+    }
+
+    /// The ordered write/sync trace accumulated so far (with
+    /// `record_trace` armed), clearing it.
+    pub fn take_io_trace(&mut self) -> Vec<IoRecord> {
+        std::mem::take(&mut self.io_trace)
+    }
+
+    /// Durability barrier. The simulated platter is always "durable", so
+    /// this only counts, traces, and journals — but it fails on a dead disk
+    /// exactly like the file backend, so crash schedules agree.
+    pub fn sync(&mut self) -> GemResult<()> {
+        if self.dead {
+            if let Some(j) = self.journal_on() {
+                j.emit(&JournalEvent::DiskSync { ok: false, backend: "sim".into() });
+            }
+            return Err(GemError::DiskDead);
+        }
+        self.stats.fsyncs.inc();
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::DiskSync { ok: true, backend: "sim".into() });
+        }
+        if self.plan.record_trace {
+            self.io_trace.push(IoRecord::Sync);
+        }
+        Ok(())
     }
 
     /// Disarm all fault injection and revive the disk (simulates power-up
@@ -333,14 +464,24 @@ impl SimDisk {
         if self.dead {
             self.stats.failed_writes.inc();
             if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::TrackWrite { track: id.0 as u64, ok: false, bytes: 0 });
+                j.emit(&JournalEvent::TrackWrite {
+                    track: id.0 as u64,
+                    ok: false,
+                    bytes: 0,
+                    backend: "sim".into(),
+                });
             }
             return Err(GemError::DiskDead);
         }
         if data.len() > self.track_size {
             self.stats.failed_writes.inc();
             if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::TrackWrite { track: id.0 as u64, ok: false, bytes: 0 });
+                j.emit(&JournalEvent::TrackWrite {
+                    track: id.0 as u64,
+                    ok: false,
+                    bytes: 0,
+                    backend: "sim".into(),
+                });
             }
             return Err(GemError::DiskFailure(format!(
                 "data ({} bytes) exceeds track size ({})",
@@ -372,7 +513,12 @@ impl SimDisk {
                 self.dead = true;
                 self.stats.failed_writes.inc();
                 if let Some(j) = self.journal_on() {
-                    j.emit(&JournalEvent::TrackWrite { track: id.0 as u64, ok: false, bytes: 0 });
+                    j.emit(&JournalEvent::TrackWrite {
+                        track: id.0 as u64,
+                        ok: false,
+                        bytes: 0,
+                        backend: "sim".into(),
+                    });
                 }
                 return Err(GemError::DiskFailure("power lost mid-write (torn track)".into()));
             }
@@ -386,10 +532,12 @@ impl SimDisk {
                 track: id.0 as u64,
                 ok: true,
                 bytes: self.track_size as u64,
+                backend: "sim".into(),
             });
         }
         if self.plan.record_trace {
             self.trace.push(WriteRecord { track: id, len: data.len() });
+            self.io_trace.push(IoRecord::Write { track: id, len: data.len() });
         }
         self.tracks[idx] = Some(buf);
         Ok(())
@@ -400,7 +548,11 @@ impl SimDisk {
         if self.dead {
             self.stats.failed_reads.inc();
             if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: false });
+                j.emit(&JournalEvent::TrackRead {
+                    track: id.0 as u64,
+                    ok: false,
+                    backend: "sim".into(),
+                });
             }
             return Err(GemError::DiskDead);
         }
@@ -411,7 +563,11 @@ impl SimDisk {
                 fault.count -= 1;
                 self.stats.failed_reads.inc();
                 if let Some(j) = self.journal_on() {
-                    j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: false });
+                    j.emit(&JournalEvent::TrackRead {
+                        track: id.0 as u64,
+                        ok: false,
+                        backend: "sim".into(),
+                    });
                 }
                 return Err(GemError::DiskFailure(format!("transient read error on {id:?}")));
             }
@@ -419,13 +575,21 @@ impl SimDisk {
         if self.tracks.get(id.0 as usize).and_then(|t| t.as_ref()).is_none() {
             self.stats.failed_reads.inc();
             if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: false });
+                j.emit(&JournalEvent::TrackRead {
+                    track: id.0 as u64,
+                    ok: false,
+                    backend: "sim".into(),
+                });
             }
             return Err(GemError::DiskFailure(format!("track {id:?} never written")));
         }
         self.stats.track_reads.inc();
         if let Some(j) = self.journal_on() {
-            j.emit(&JournalEvent::TrackRead { track: id.0 as u64, ok: true });
+            j.emit(&JournalEvent::TrackRead {
+                track: id.0 as u64,
+                ok: true,
+                backend: "sim".into(),
+            });
         }
         Ok(self.tracks[id.0 as usize].as_deref().expect("checked above"))
     }
@@ -442,13 +606,72 @@ impl SimDisk {
     }
 }
 
+impl TrackDisk for SimDisk {
+    fn backend_name(&self) -> &'static str {
+        "sim"
+    }
+    fn track_size(&self) -> usize {
+        SimDisk::track_size(self)
+    }
+    fn tracks_in_use(&self) -> usize {
+        SimDisk::tracks_in_use(self)
+    }
+    fn stats(&self) -> DiskStats {
+        SimDisk::stats(self)
+    }
+    fn counters(&self) -> DiskCounters {
+        SimDisk::counters(self)
+    }
+    fn reset_stats(&mut self) {
+        SimDisk::reset_stats(self)
+    }
+    fn attach_journal(&mut self, journal: Journal) {
+        SimDisk::attach_journal(self, journal)
+    }
+    fn set_fault_plan(&mut self, plan: FaultPlan) {
+        SimDisk::set_fault_plan(self, plan)
+    }
+    fn take_write_trace(&mut self) -> Vec<WriteRecord> {
+        SimDisk::take_write_trace(self)
+    }
+    fn take_io_trace(&mut self) -> Vec<IoRecord> {
+        SimDisk::take_io_trace(self)
+    }
+    fn revive(&mut self) {
+        SimDisk::revive(self)
+    }
+    fn is_dead(&self) -> bool {
+        SimDisk::is_dead(self)
+    }
+    fn write_track(&mut self, id: TrackId, data: &[u8]) -> GemResult<()> {
+        SimDisk::write_track(self, id, data)
+    }
+    fn read_track(&mut self, id: TrackId) -> GemResult<&[u8]> {
+        SimDisk::read_track(self, id)
+    }
+    fn sync(&mut self) -> GemResult<()> {
+        SimDisk::sync(self)
+    }
+    fn track_exists(&self, id: TrackId) -> bool {
+        SimDisk::track_exists(self, id)
+    }
+    fn tracks_beyond(&self, frontier: u32) -> u32 {
+        SimDisk::tracks_beyond(self, frontier)
+    }
+    fn clone_disk(&self) -> Box<dyn TrackDisk> {
+        Box::new(self.clone())
+    }
+}
+
 /// A replicated set of disks (§6: the Object Manager handles "requests for
 /// replication of data"). Writes go to every live replica; reads are served
 /// by the first replica that can deliver the track, so data survives the
-/// loss of any proper subset of replicas.
+/// loss of any proper subset of replicas. The replicas are [`TrackDisk`]
+/// trait objects, so an array may be simulated, file-backed, or (in tests)
+/// a mix.
 #[derive(Debug)]
 pub struct DiskArray {
-    replicas: Vec<SimDisk>,
+    replicas: Vec<Box<dyn TrackDisk>>,
     /// Tracks per safe-write group (root write included), recorded by the
     /// Commit Manager via [`DiskArray::note_safe_write_group`].
     group_sizes: Histogram,
@@ -458,23 +681,44 @@ impl Clone for DiskArray {
     fn clone(&self) -> DiskArray {
         // A cloned array is a checkpoint: its histogram detaches, matching
         // `DiskCounters` semantics.
-        DiskArray { replicas: self.replicas.clone(), group_sizes: self.group_sizes.detached_copy() }
+        DiskArray {
+            replicas: self.replicas.iter().map(|d| d.clone_disk()).collect(),
+            group_sizes: self.group_sizes.detached_copy(),
+        }
     }
 }
 
 impl DiskArray {
-    /// `n` mirrored replicas of `track_size` tracks.
+    /// `n` mirrored simulated replicas of `track_size` tracks.
     pub fn new(track_size: usize, n: usize) -> DiskArray {
         assert!(n >= 1);
         DiskArray {
-            replicas: (0..n).map(|_| SimDisk::new(track_size)).collect(),
+            replicas: (0..n)
+                .map(|_| Box::new(SimDisk::new(track_size)) as Box<dyn TrackDisk>)
+                .collect(),
             group_sizes: Histogram::new(),
         }
     }
 
     /// Wrap an existing disk as a single-replica array (recovery path).
     pub fn from_disk(disk: SimDisk) -> DiskArray {
+        DiskArray::from_backend(Box::new(disk))
+    }
+
+    /// Wrap any [`TrackDisk`] backend as a single-replica array.
+    pub fn from_backend(disk: Box<dyn TrackDisk>) -> DiskArray {
         DiskArray { replicas: vec![disk], group_sizes: Histogram::new() }
+    }
+
+    /// Wrap a set of [`TrackDisk`] backends as mirrored replicas.
+    pub fn from_backends(replicas: Vec<Box<dyn TrackDisk>>) -> DiskArray {
+        assert!(!replicas.is_empty());
+        DiskArray { replicas, group_sizes: Histogram::new() }
+    }
+
+    /// The primary replica's backend identifier (`"sim"` / `"file"`).
+    pub fn backend_name(&self) -> &'static str {
+        self.replicas[0].backend_name()
     }
 
     /// Record that a safe-write group of `tracks` tracks (root included)
@@ -504,8 +748,8 @@ impl DiskArray {
     }
 
     /// Access a replica (crash injection in tests).
-    pub fn replica_mut(&mut self, i: usize) -> &mut SimDisk {
-        &mut self.replicas[i]
+    pub fn replica_mut(&mut self, i: usize) -> &mut dyn TrackDisk {
+        &mut *self.replicas[i]
     }
 
     /// Write to all live replicas. Succeeds if *any* replica took the write;
@@ -520,6 +764,24 @@ impl DiskArray {
             }
         }
         if wrote > 0 {
+            Ok(())
+        } else {
+            Err(last_err.unwrap_or_else(|| GemError::DiskFailure("no replicas".into())))
+        }
+    }
+
+    /// Durability barrier across the array. Mirrors the write semantics:
+    /// the commit survives if *any* replica made it durable.
+    pub fn sync(&mut self) -> GemResult<()> {
+        let mut synced = 0;
+        let mut last_err = None;
+        for d in &mut self.replicas {
+            match d.sync() {
+                Ok(()) => synced += 1,
+                Err(e) => last_err = Some(e),
+            }
+        }
+        if synced > 0 {
             Ok(())
         } else {
             Err(last_err.unwrap_or_else(|| GemError::DiskFailure("no replicas".into())))

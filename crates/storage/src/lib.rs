@@ -39,6 +39,7 @@ pub mod commit;
 pub mod crashpoint;
 mod directory;
 mod disk;
+mod file_disk;
 mod format;
 mod pobj;
 mod store;
@@ -47,12 +48,13 @@ pub use cache::{
     CacheCounters, CacheStats, FillSource, ShardStats, ShardedTrackCache, TrackCache, CACHE_SHARDS,
 };
 pub use commit::RecoveryReport;
-pub use crashpoint::{CrashSchedule, MatrixReport, Workload};
+pub use crashpoint::{CrashSchedule, MatrixBackend, MatrixReport, Workload};
 pub use directory::{DirKey, Directory, DirectorySpec};
 pub use disk::{
-    DiskArray, DiskCounters, DiskStats, FaultPlan, ReadFault, SimDisk, TearClass, TrackId,
-    WriteRecord, TRACK_HEADER,
+    DiskArray, DiskCounters, DiskStats, FaultPlan, IoRecord, ReadFault, SimDisk, TearClass,
+    TrackDisk, TrackId, WriteRecord, TRACK_HEADER,
 };
+pub use file_disk::{FaultFile, FileDisk};
 pub use pobj::{ObjectDelta, PersistentObject};
 pub use store::OBJ_SHARDS;
 pub use store::{PermanentStore, StoreConfig, StoreCounters, StoreStats};

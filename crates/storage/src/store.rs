@@ -40,7 +40,7 @@
 use crate::boxer;
 use crate::cache::{CacheCounters, CacheStats, FillSource, ShardedTrackCache};
 use crate::commit::{self, RecoveryReport, FIRST_DATA_TRACK};
-use crate::disk::{DiskArray, DiskCounters, DiskStats, TrackId, TRACK_HEADER};
+use crate::disk::{DiskArray, DiskCounters, DiskStats, TrackDisk, TrackId, TRACK_HEADER};
 use crate::format::{self, Catalog, GoopPage, Location, Root, GOOP_PAGE_SPAN};
 use crate::pobj::{ObjectDelta, PersistentObject};
 use gemstone_object::{GemError, GemResult, Goop};
@@ -54,6 +54,25 @@ use std::sync::Arc;
 /// Object-image shards; GOOPs are striped round-robin so neighboring
 /// allocations land on different locks.
 pub const OBJ_SHARDS: usize = 8;
+
+/// Build the replica set of a file-backed volume: replica 0 lives at
+/// `path`, replica `i` beside it at `<path>.r{i}`.
+fn file_replicas<D: TrackDisk + 'static>(
+    path: &std::path::Path,
+    n: usize,
+    mut make: impl FnMut(std::path::PathBuf) -> GemResult<D>,
+) -> GemResult<Vec<Box<dyn TrackDisk>>> {
+    (0..n)
+        .map(|i| {
+            let p = if i == 0 {
+                path.to_path_buf()
+            } else {
+                std::path::PathBuf::from(format!("{}.r{i}", path.display()))
+            };
+            Ok(Box::new(make(p)?) as Box<dyn TrackDisk>)
+        })
+        .collect()
+}
 
 /// Store construction parameters.
 #[derive(Debug, Clone, Copy)]
@@ -207,10 +226,44 @@ impl PermanentStore {
         }
     }
 
-    /// Format a fresh database volume.
+    /// Format a fresh database volume on a simulated disk.
     pub fn create(cfg: StoreConfig) -> GemResult<PermanentStore> {
-        let mut disk = DiskArray::new(cfg.track_size, cfg.replicas.max(1));
-        // Write an initial empty commit so a valid root always exists.
+        let disk = DiskArray::new(cfg.track_size, cfg.replicas.max(1));
+        PermanentStore::create_on(disk, cfg.cache_tracks)
+    }
+
+    /// Format a fresh database volume in a real file at `path` (replica `i`
+    /// of a replicated config lives beside it at `<path>.r{i}`). The file
+    /// backend gives the §4 storage story its missing half: the safe-write
+    /// groups land via `pwrite` + batched `fdatasync`, so committed state
+    /// survives the death of the process.
+    pub fn create_file(
+        path: impl AsRef<std::path::Path>,
+        cfg: StoreConfig,
+    ) -> GemResult<PermanentStore> {
+        let disk =
+            DiskArray::from_backends(file_replicas(path.as_ref(), cfg.replicas.max(1), |p| {
+                crate::file_disk::FaultFile::create(p, cfg.track_size)
+            })?);
+        PermanentStore::create_on(disk, cfg.cache_tracks)
+    }
+
+    /// Recover a file-backed volume created by [`PermanentStore::create_file`].
+    pub fn open_file(
+        path: impl AsRef<std::path::Path>,
+        replicas: usize,
+        cache_tracks: usize,
+    ) -> GemResult<PermanentStore> {
+        let disk = DiskArray::from_backends(file_replicas(path.as_ref(), replicas.max(1), |p| {
+            crate::file_disk::FaultFile::open(p)
+        })?);
+        PermanentStore::open(disk, cache_tracks)
+    }
+
+    /// Format a fresh volume onto an already-constructed disk array (any
+    /// backend): write the initial empty commit so a valid root always
+    /// exists, then assemble the store.
+    pub fn create_on(mut disk: DiskArray, cache_tracks: usize) -> GemResult<PermanentStore> {
         let root = Root {
             epoch: 1,
             commit_time: TxnTime::EPOCH,
@@ -227,7 +280,7 @@ impl PermanentStore {
         commit::safe_write_group(&mut disk, &[(TrackId(FIRST_DATA_TRACK), cat_blob)], &root)?;
         Ok(PermanentStore::assemble(
             disk,
-            ShardedTrackCache::new(cfg.cache_tracks),
+            ShardedTrackCache::new(cache_tracks),
             HashMap::new(),
             Catalog::default(),
             root,
@@ -524,13 +577,13 @@ impl PermanentStore {
             .tracer
             .as_ref()
             .map(|t| t.begin(SpanKind::TrackIo, session, parent, "safe-write-group"));
-        let wrote = {
+        let (wrote, backend) = {
             let mut disk = self.disk.lock();
             let r = commit::safe_write_group(&mut disk, &group, &new_root);
             if r.is_ok() {
                 disk.note_safe_write_group(group.len() as u64 + 1);
             }
-            r
+            (r, disk.backend_name())
         };
         if let (Some(t), Some(sp)) = (&self.tracer, span) {
             t.end(sp);
@@ -565,6 +618,8 @@ impl PermanentStore {
             j.emit(&JournalEvent::SafeWriteGroup {
                 tracks: group_len + 1,
                 objects: touched.len() as u64,
+                fsyncs: commit::FSYNCS_PER_GROUP,
+                backend: backend.into(),
             });
         }
         {

@@ -461,7 +461,7 @@ fn heat_map(events: &[JournalEvent]) -> (Vec<TrackHeat>, f64) {
     let mut reads_total = 0u64;
     for e in events {
         match e {
-            JournalEvent::TrackRead { track, ok: true } => {
+            JournalEvent::TrackRead { track, ok: true, .. } => {
                 per.entry(*track).or_default().0 += 1;
                 reads_total += 1;
             }
@@ -606,13 +606,14 @@ mod tests {
 
     #[test]
     fn heat_map_counts_and_locality() {
+        let rd = |track, ok| JournalEvent::TrackRead { track, ok, backend: "sim".into() };
         let events = vec![
-            JournalEvent::TrackRead { track: 1, ok: true },
-            JournalEvent::TrackRead { track: 1, ok: true },
-            JournalEvent::TrackRead { track: 1, ok: true },
-            JournalEvent::TrackRead { track: 2, ok: true },
-            JournalEvent::TrackRead { track: 9, ok: false },
-            JournalEvent::TrackWrite { track: 2, ok: true, bytes: 100 },
+            rd(1, true),
+            rd(1, true),
+            rd(1, true),
+            rd(2, true),
+            rd(9, false),
+            JournalEvent::TrackWrite { track: 2, ok: true, bytes: 100, backend: "sim".into() },
         ];
         let b = DiagnosticBundle::build(&readout(events), None, "test");
         assert_eq!(b.heat[0], TrackHeat { track: 1, reads: 3, writes: 0 });

@@ -26,7 +26,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 /// Journal schema version accepted by this build's reader.
-pub const JOURNAL_SCHEMA: u64 = 1;
+///
+/// v2: track-I/O and safe-write-group events carry the storage backend
+/// (`sim` / `file`), groups carry their fsync count, and the `disk_sync`
+/// event exists (PR 8's durable file backend).
+pub const JOURNAL_SCHEMA: u64 = 2;
 
 const BUCKETS: usize = 64;
 
@@ -104,19 +108,32 @@ pub enum JournalEvent {
         conflict: bool,
     },
     /// One committed safe-write group (`storage.store.commits`,
-    /// `.objects_written`, `storage.commit.group_tracks`).
+    /// `.objects_written`, `storage.commit.group_tracks`). `fsyncs` is how
+    /// many sync barriers the group issued (informational — the matching
+    /// [`JournalEvent::DiskSync`] events move the counter); `backend`
+    /// identifies the disk that took the group (`sim` / `file`).
     SafeWriteGroup {
         tracks: u64,
         objects: u64,
+        fsyncs: u64,
+        backend: String,
     },
     TrackRead {
         track: u64,
         ok: bool,
+        backend: String,
     },
     TrackWrite {
         track: u64,
         ok: bool,
         bytes: u64,
+        backend: String,
+    },
+    /// One durability barrier (`fsync`/`fdatasync` on the file backend, a
+    /// counted no-op on the simulated disk): `storage.disk.fsyncs`.
+    DiskSync {
+        ok: bool,
+        backend: String,
     },
     CacheAccess {
         track: u64,
@@ -226,14 +243,26 @@ impl JournalEvent {
             TxnBegin => "{\"e\":\"txn_begin\"}".to_string(),
             TxnCommit => "{\"e\":\"txn_commit\"}".to_string(),
             TxnAbort { conflict } => format!("{{\"e\":\"txn_abort\",\"conflict\":{conflict}}}"),
-            SafeWriteGroup { tracks, objects } => format!(
-                "{{\"e\":\"safe_write_group\",\"tracks\":{tracks},\"objects\":{objects}}}"
+            SafeWriteGroup { tracks, objects, fsyncs, backend } => format!(
+                "{{\"e\":\"safe_write_group\",\"tracks\":{tracks},\"objects\":{objects},\
+                 \"fsyncs\":{fsyncs},\"backend\":\"{}\"}}",
+                esc(backend)
             ),
-            TrackRead { track, ok } => {
-                format!("{{\"e\":\"track_read\",\"track\":{track},\"ok\":{ok}}}")
+            TrackRead { track, ok, backend } => {
+                format!(
+                    "{{\"e\":\"track_read\",\"track\":{track},\"ok\":{ok},\"backend\":\"{}\"}}",
+                    esc(backend)
+                )
             }
-            TrackWrite { track, ok, bytes } => {
-                format!("{{\"e\":\"track_write\",\"track\":{track},\"ok\":{ok},\"bytes\":{bytes}}}")
+            TrackWrite { track, ok, bytes, backend } => {
+                format!(
+                    "{{\"e\":\"track_write\",\"track\":{track},\"ok\":{ok},\"bytes\":{bytes},\
+                     \"backend\":\"{}\"}}",
+                    esc(backend)
+                )
+            }
+            DiskSync { ok, backend } => {
+                format!("{{\"e\":\"disk_sync\",\"ok\":{ok},\"backend\":\"{}\"}}", esc(backend))
             }
             CacheAccess { track, shard, hit } => {
                 format!("{{\"e\":\"cache_access\",\"track\":{track},\"shard\":{shard},\"hit\":{hit}}}")
@@ -324,15 +353,23 @@ impl JournalEvent {
             "safe_write_group" => JournalEvent::SafeWriteGroup {
                 tracks: obj.u64("tracks")?,
                 objects: obj.u64("objects")?,
+                fsyncs: obj.u64("fsyncs")?,
+                backend: obj.str("backend")?,
             },
-            "track_read" => {
-                JournalEvent::TrackRead { track: obj.u64("track")?, ok: obj.bool("ok")? }
-            }
+            "track_read" => JournalEvent::TrackRead {
+                track: obj.u64("track")?,
+                ok: obj.bool("ok")?,
+                backend: obj.str("backend")?,
+            },
             "track_write" => JournalEvent::TrackWrite {
                 track: obj.u64("track")?,
                 ok: obj.bool("ok")?,
                 bytes: obj.u64("bytes")?,
+                backend: obj.str("backend")?,
             },
+            "disk_sync" => {
+                JournalEvent::DiskSync { ok: obj.bool("ok")?, backend: obj.str("backend")? }
+            }
             "cache_access" => JournalEvent::CacheAccess {
                 track: obj.u64("track")?,
                 shard: obj.u64("shard")?,
@@ -419,10 +456,17 @@ impl JournalEvent {
                     r.counter("txn.conflicts").inc();
                 }
             }
-            SafeWriteGroup { tracks, objects } => {
+            SafeWriteGroup { tracks, objects, .. } => {
                 r.counter("storage.store.commits").inc();
                 r.counter("storage.store.objects_written").add(*objects);
                 r.histogram("storage.commit.group_tracks").record(*tracks);
+            }
+            DiskSync { ok, .. } => {
+                // Only successful barriers move the live counter; a failed
+                // sync (dead disk) moves nothing, so replay stays exact.
+                if *ok {
+                    r.counter("storage.disk.fsyncs").inc();
+                }
             }
             TrackRead { ok, .. } => {
                 if *ok {
@@ -1015,8 +1059,10 @@ mod tests {
             JournalEvent::TxnBegin,
             JournalEvent::Statement { session: 1, wall_ns: 1234, label: "X := 1\n\"q\"".into() },
             JournalEvent::Interp { dispatches: 42, sends: 7 },
-            JournalEvent::TrackWrite { track: 3, ok: true, bytes: 8192 },
-            JournalEvent::TrackRead { track: 3, ok: false },
+            JournalEvent::TrackWrite { track: 3, ok: true, bytes: 8192, backend: "sim".into() },
+            JournalEvent::TrackRead { track: 3, ok: false, backend: "file".into() },
+            JournalEvent::DiskSync { ok: true, backend: "file".into() },
+            JournalEvent::DiskSync { ok: false, backend: "file".into() },
             JournalEvent::CacheAccess { track: 3, shard: 3, hit: true },
             JournalEvent::CacheFill { track: 9, commit: false },
             JournalEvent::CacheEvict { track: 2 },
@@ -1031,7 +1077,12 @@ mod tests {
             JournalEvent::EffectClassify { static_ro: true },
             JournalEvent::EffectCommit,
             JournalEvent::EffectInvalidate,
-            JournalEvent::SafeWriteGroup { tracks: 4, objects: 11 },
+            JournalEvent::SafeWriteGroup {
+                tracks: 4,
+                objects: 11,
+                fsyncs: 2,
+                backend: "file".into(),
+            },
             JournalEvent::TxnAbort { conflict: true },
             JournalEvent::TxnCommit,
             JournalEvent::Recovery {
@@ -1072,6 +1123,7 @@ mod tests {
         assert_eq!(s.counter("storage.disk.writes"), 1);
         assert_eq!(s.counter("storage.disk.bytes_written"), 8192);
         assert_eq!(s.counter("storage.disk.failed_reads"), 1);
+        assert_eq!(s.counter("storage.disk.fsyncs"), 1, "only the ok sync counts");
         assert_eq!(s.counter("storage.cache.hits"), 1);
         assert_eq!(s.counter("storage.cache.fills_read"), 1);
         assert_eq!(s.counter("storage.cache.evictions"), 1);
@@ -1122,7 +1174,12 @@ mod tests {
         j.start(JournalConfig { dir: dir.clone(), max_segment_bytes: 256, max_segments: 3 })
             .unwrap();
         for i in 0..200 {
-            j.emit(&JournalEvent::TrackWrite { track: i, ok: true, bytes: 8192 });
+            j.emit(&JournalEvent::TrackWrite {
+                track: i,
+                ok: true,
+                bytes: 8192,
+                backend: "sim".into(),
+            });
         }
         j.flush();
         let (seq, live, _) = j.status().unwrap();

@@ -1,0 +1,44 @@
+//! Durability harness helper: append acked commits to a file-backed
+//! database until killed.
+//!
+//! Usage: `durable_writer <db-path> <n-commits>`
+//!
+//! Creates the database on first use (with a persistent `Log` ordered
+//! collection), or reopens it and resumes where the log left off. After
+//! every committed append it prints `ack <i>` on stdout and flushes, so a
+//! supervising test can SIGKILL the process at a chosen ack and then
+//! assert that every acknowledged commit survived the crash.
+
+use gemstone::{GemStone, StoreConfig};
+use std::io::Write;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let usage = "usage: durable_writer <db-path> <n-commits>";
+    let path = std::path::PathBuf::from(args.next().expect(usage));
+    let n: i64 = args.next().expect(usage).parse().expect("commit count");
+
+    let gs = if path.exists() {
+        GemStone::open_file(&path, 64).expect("reopen database")
+    } else {
+        let cfg = StoreConfig { track_size: 2048, cache_tracks: 64, replicas: 1 };
+        let gs = GemStone::create_file(&path, cfg).expect("create database");
+        let mut s = gs.login("system").expect("login");
+        s.run("Log := OrderedCollection new").expect("init log");
+        s.commit().expect("commit schema");
+        gs
+    };
+
+    let mut s = gs.login("system").expect("login");
+    let start = s.run("Log size").expect("log size").as_int().expect("integer size");
+    let out = std::io::stdout();
+    for i in start..start + n {
+        s.run(&format!("Log add: {i}")).expect("append");
+        s.commit().expect("commit");
+        // The ack is the durability promise: it is only printed after the
+        // commit's root page is fsynced to the file.
+        let mut h = out.lock();
+        writeln!(h, "ack {i}").expect("stdout");
+        h.flush().expect("flush");
+    }
+}

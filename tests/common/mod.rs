@@ -1,0 +1,50 @@
+//! Shared fixtures for the integration suites.
+#![allow(dead_code)] // each test target uses a different subset
+
+use std::path::{Path, PathBuf};
+
+/// A per-test scratch directory under `target/diagnostics/`, wiped clean on
+/// entry and removed again when the test passes. On panic the directory is
+/// left behind so a failing CI job can upload it as an artifact.
+pub struct DiagDir(PathBuf);
+
+impl DiagDir {
+    pub fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl std::ops::Deref for DiagDir {
+    type Target = Path;
+    fn deref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl AsRef<Path> for DiagDir {
+    fn as_ref(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for DiagDir {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!("test failed: diagnostics kept at {}", self.0.display());
+        } else {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+}
+
+/// Claim `<root>/<name>-<pid>` for one test.
+pub fn scratch_dir(root: &str, name: &str) -> DiagDir {
+    let dir = PathBuf::from(root).join(format!("{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    DiagDir(dir)
+}
+
+/// Claim `target/diagnostics/<name>-<pid>` for one test.
+pub fn diag_dir(name: &str) -> DiagDir {
+    scratch_dir("target/diagnostics", name)
+}

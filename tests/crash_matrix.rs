@@ -16,19 +16,41 @@
 //! full token list lands in `target/crash_matrix_failures.txt` so CI can
 //! upload it as an artifact.
 
-use gemstone::{FaultPlan, GemStone, StoreConfig, TearClass};
-use gemstone_storage::crashpoint::{enumerate_matrix, run_schedule, CrashSchedule, Workload};
+use gemstone::{FaultPlan, GemStone, IoRecord, StoreConfig, TearClass};
+use gemstone_storage::crashpoint::{
+    enumerate_matrix_on, run_schedule, CrashSchedule, MatrixBackend, Workload,
+};
 
 /// Workload size; the nightly workflow raises it via CRASH_MATRIX_COMMITS.
 fn matrix_commits() -> usize {
     std::env::var("CRASH_MATRIX_COMMITS").ok().and_then(|v| v.parse().ok()).unwrap_or(25)
 }
 
+/// Which backend the matrix drives: `GEMSTONE_BACKEND=file` runs it
+/// against real files (in `GEMSTONE_DB_DIR`, or a tmpdir), anything else
+/// against the simulated disk. The CI `durability` job and the nightly
+/// file-matrix tier set it; local `cargo test` stays in memory.
+fn matrix_backend() -> MatrixBackend {
+    match std::env::var("GEMSTONE_BACKEND").as_deref() {
+        Ok("file") => {
+            let dir = std::env::var("GEMSTONE_DB_DIR")
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(|_| {
+                    std::env::temp_dir().join(format!("gemstone-matrix-{}", std::process::id()))
+                });
+            MatrixBackend::File { dir }
+        }
+        _ => MatrixBackend::Sim,
+    }
+}
+
 #[test]
 fn exhaustive_storage_crash_matrix() {
     let commits = matrix_commits();
+    let backend = matrix_backend();
     let w = Workload::standard(commits);
-    let report = enumerate_matrix(&w, &TearClass::ALL).expect("harness ran");
+    let report = enumerate_matrix_on(&w, &TearClass::ALL, &backend).expect("harness ran");
+    eprintln!("crash matrix backend: {backend:?}");
     eprintln!(
         "crash matrix: {} commits, {} writes -> {} commit crash points, \
          {} recovery crash points, {} reopenings, {} violations",
@@ -66,6 +88,50 @@ fn exhaustive_storage_crash_matrix() {
         "recovery performs at least two reads per reopening, all interrupted"
     );
     assert!(report.reopenings > report.commit_crash_points, "each point recovers at least once");
+}
+
+/// The physical write/fsync stream of real commits on the file backend:
+/// each safe-write group must show data writes, a barrier, the root write,
+/// and the ack barrier — in that order, twice per group, never more. The
+/// full stream is printed when `GEMSTONE_FSYNC_TRACE=1` (the nightly
+/// file-matrix tier enables it) so ordering regressions are visible in CI
+/// logs even when the assertions still pass.
+#[test]
+fn file_backend_fsync_trace_shows_group_commit() {
+    let dir = std::env::temp_dir().join(format!("gemstone-fsync-trace-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("trace.gem");
+    let _ = std::fs::remove_file(&path);
+    let cfg = StoreConfig { track_size: 1024, cache_tracks: 32, replicas: 1 };
+    let gs = GemStone::create_file(&path, cfg).unwrap();
+    let mut s = gs.login("system").unwrap();
+    let verbose = std::env::var("GEMSTONE_FSYNC_TRACE").as_deref() == Ok("1");
+    for (k, script) in
+        ["Log := Dictionary new", "Log at: 1 put: 100", "Log at: 2 put: 'two'"].iter().enumerate()
+    {
+        gs.database().with_disk(|d| d.replica_mut(0).set_fault_plan(FaultPlan::trace()));
+        s.run(script).unwrap();
+        s.commit().unwrap();
+        let trace = gs.database().with_disk(|d| d.replica_mut(0).take_io_trace());
+        if verbose {
+            eprintln!("commit {k}: {trace:?}");
+        }
+        let syncs = trace.iter().filter(|r| **r == IoRecord::Sync).count();
+        assert_eq!(syncs, 2, "commit {k}: group commit is two barriers, got {trace:?}");
+        assert_eq!(trace.last(), Some(&IoRecord::Sync), "commit {k}: ack barrier last");
+        let data_sync = trace.iter().position(|r| *r == IoRecord::Sync).unwrap();
+        let root_write = trace
+            .iter()
+            .position(|r| matches!(r, IoRecord::Write { track, .. } if track.0 < 2))
+            .expect("a root-page write");
+        assert!(
+            data_sync < root_write,
+            "commit {k}: root write before the data barrier: {trace:?}"
+        );
+    }
+    drop(s);
+    drop(gs);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]

@@ -17,14 +17,10 @@ use gemstone::{
 use gemstone_calculus::{CmpOp, Pred, Query, Range, Term, VarId};
 use gemstone_object::ElemName;
 use gemstone_opal::OpalWorld;
-use std::path::{Path, PathBuf};
+use std::path::Path;
 
-/// A per-test journal directory under `target/diagnostics/`, wiped clean.
-fn diag_dir(name: &str) -> PathBuf {
-    let dir = PathBuf::from("target/diagnostics").join(format!("{name}-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
-    dir
-}
+mod common;
+use common::diag_dir;
 
 /// §5.1-style company data (same fixture as the telemetry suite): the
 /// equi-join on the department name answers exactly two rows.
@@ -108,7 +104,7 @@ fn replay_survives_reopen() {
     let disk = gs.shutdown().unwrap();
 
     let telemetry = Telemetry::new();
-    telemetry.journal.start(JournalConfig::at(dir.clone())).unwrap();
+    telemetry.journal.start(JournalConfig::at(dir.path())).unwrap();
     let gs2 = GemStone::open_with(disk, 64, telemetry).unwrap();
     let mut s2 = gs2.login("system").unwrap();
     s2.run("Stash add: 2. Stash size").unwrap();
@@ -136,7 +132,7 @@ fn rotation_bounds_disk_and_flags_incomplete() {
     let telemetry = Telemetry::new();
     telemetry
         .journal
-        .start(JournalConfig { dir: dir.clone(), max_segment_bytes: 2048, max_segments: 3 })
+        .start(JournalConfig { dir: dir.to_path_buf(), max_segment_bytes: 2048, max_segments: 3 })
         .unwrap();
     let gs = GemStone::create_with(StoreConfig::default(), telemetry).unwrap();
     let mut s = gs.login("system").unwrap();
@@ -271,7 +267,7 @@ fn midlife_start_baselines_absolute_state() {
     s.run("Pre := OrderedCollection new. Pre add: 1").unwrap();
     s.commit().unwrap();
 
-    gs.database().start_journal(JournalConfig::at(dir.clone())).unwrap();
+    gs.database().start_journal(JournalConfig::at(dir.path())).unwrap();
     s.run("Pre add: 2. Pre size").unwrap();
     s.commit().unwrap();
 

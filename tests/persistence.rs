@@ -1,0 +1,107 @@
+//! PR 8 acceptance ground truth: `create → commit → drop → open` against
+//! the real file backend round-trips every committed object — including
+//! temporal `@` reads at transaction times recorded before the process
+//! boundary — with uncommitted work gone.
+
+mod common;
+use common::scratch_dir;
+
+use gemstone::{GemError, GemStone, StoreConfig};
+
+fn small_cfg() -> StoreConfig {
+    StoreConfig { track_size: 2048, cache_tracks: 16, replicas: 1 }
+}
+
+/// Every committed object kind survives the process boundary; the
+/// uncommitted tail does not.
+#[test]
+fn file_database_round_trips_committed_state() {
+    let dir = scratch_dir("target/durability", "roundtrip");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("round.gem");
+
+    {
+        let gs = GemStone::create_file(&db, small_cfg()).unwrap();
+        let mut s = gs.login("system").unwrap();
+        s.run(
+            "| e | Object subclass: 'Employee' instVarNames: #('name' 'salary').
+             Staff := OrderedCollection new.
+             e := Employee new. e name: 'Peters'. e salary: 24650. Staff add: e.
+             Dept := Dictionary new. Dept at: #Name put: 'Sales'. Dept at: #Floor put: 1.
+             Tags := Set new. Tags add: 'fast'; add: 'safe'",
+        )
+        .unwrap();
+        s.commit().unwrap();
+        // A second commit mutates state, then an uncommitted change dangles.
+        s.run("(Staff at: 1) salary: 30000").unwrap();
+        s.commit().unwrap();
+        s.run("Dept at: #Floor put: 99").unwrap();
+        // No commit: the floor change must NOT survive.
+        drop(s);
+        drop(gs); // process boundary (same process, but the store is gone)
+    }
+
+    let gs = GemStone::open_file(&db, 16).unwrap();
+    let mut s = gs.login("system").unwrap();
+    assert_eq!(s.run("Staff size").unwrap().as_int(), Some(1));
+    assert_eq!(s.run_display("(Staff at: 1) name").unwrap(), "'Peters'");
+    assert_eq!(s.run("(Staff at: 1) salary").unwrap().as_int(), Some(30000));
+    assert_eq!(s.run_display("Dept at: #Name").unwrap(), "'Sales'");
+    assert_eq!(s.run("Dept at: #Floor").unwrap().as_int(), Some(1), "uncommitted write discarded");
+    assert_eq!(s.run("Tags size").unwrap().as_int(), Some(2));
+    // The recovered database accepts new work.
+    s.run("Staff add: (Employee new name: 'Burns'; yourself)").unwrap();
+    s.commit().unwrap();
+    assert_eq!(s.run("Staff size").unwrap().as_int(), Some(2));
+}
+
+/// Temporal `@` reads work across the process boundary: transaction times
+/// recorded before the drop still answer historical values after reopen.
+#[test]
+fn temporal_reads_survive_reopen() {
+    let dir = scratch_dir("target/durability", "temporal");
+    std::fs::create_dir_all(&dir).unwrap();
+    let db = dir.join("temporal.gem");
+
+    let (t1, t2);
+    {
+        let gs = GemStone::create_file(&db, small_cfg()).unwrap();
+        let mut s = gs.login("system").unwrap();
+        s.run("Car := Dictionary new").unwrap();
+        s.commit().unwrap();
+        s.run("Car at: #assignedTo put: 'Milton'").unwrap();
+        t1 = s.commit().unwrap().ticks();
+        s.run("Car at: #assignedTo put: 'Sales'").unwrap();
+        t2 = s.commit().unwrap().ticks();
+    }
+
+    let gs = GemStone::open_file(&db, 16).unwrap();
+    let mut s = gs.login("system").unwrap();
+    assert_eq!(s.run_display("Car at: #assignedTo").unwrap(), "'Sales'");
+    assert_eq!(s.run_display(&format!("Car ! assignedTo @ {t1}")).unwrap(), "'Milton'");
+    assert_eq!(s.run_display(&format!("Car ! assignedTo @ {t2}")).unwrap(), "'Sales'");
+    // The time dial rolls the whole session view back, too.
+    s.run(&format!("System timeDial: {t1}")).unwrap();
+    assert_eq!(s.run_display("Car at: #assignedTo").unwrap(), "'Milton'");
+}
+
+/// Reopening a path that never held a database is an error, not a crash;
+/// creating over an existing database is refused.
+#[test]
+fn open_and_create_guard_their_paths() {
+    let dir = scratch_dir("target/durability", "guards");
+    std::fs::create_dir_all(&dir).unwrap();
+
+    match GemStone::open_file(dir.join("absent.gem"), 16) {
+        Err(GemError::DiskFailure(msg)) => assert!(msg.contains("open"), "unexpected: {msg}"),
+        Err(other) => panic!("opening a missing file must fail cleanly, got {other:?}"),
+        Ok(_) => panic!("opening a missing file must fail"),
+    }
+
+    let db = dir.join("dup.gem");
+    GemStone::create_file(&db, small_cfg()).unwrap();
+    assert!(
+        GemStone::create_file(&db, small_cfg()).is_err(),
+        "create_new semantics: refusing to clobber an existing database"
+    );
+}

@@ -15,6 +15,9 @@ use gemstone_object::ElemName;
 use gemstone_opal::OpalWorld;
 use std::collections::{HashMap, HashSet};
 
+mod common;
+use common::diag_dir;
+
 /// §5.1-style company data: three employees, two departments, joined on
 /// the department name. Two employees work in Sales, so the equi-join
 /// answers exactly two rows.
@@ -281,11 +284,9 @@ fn telemetry_overhead_gate() {
     // load), and enabling the journal changes no interpreter work either
     // — events are emitted beside existing counter moves, never inside
     // the bytecode loop.
-    let dir = std::path::PathBuf::from("target/diagnostics")
-        .join(format!("overhead-{}", std::process::id()));
-    let _ = std::fs::remove_dir_all(&dir);
+    let dir = diag_dir("overhead");
     let gs_j = GemStone::in_memory();
-    gs_j.database().start_journal(gemstone::JournalConfig::at(&dir)).unwrap();
+    gs_j.database().start_journal(gemstone::JournalConfig::at(dir.path())).unwrap();
     let mut s_j = gs_j.login("system").unwrap();
     let before_j = s_j.metrics();
     workload(&mut s_j);
