@@ -22,17 +22,25 @@
 //!   otherwise. The optimistic abort rate must track the knob: zero at
 //!   p=0 (disjoint writes), nonzero under full contention.
 //!
+//! * **conflict forensics** (PR 9) — the mixed workload re-run on a fresh
+//!   instance with the flight recorder on from birth: every optimistic
+//!   abort must surface as exactly one journaled `TxnConflict` event
+//!   (conservation against the `txn.conflicts` counter), fully attributed
+//!   (kind + culprit commit + overlapping objects + home tracks), and the
+//!   `CommitTimeline` stream must be 1:1 with the writing commits.
+//!   Results land in `BENCH_PR9.json`.
+//!
 //! Deterministic counts (threads, ops, zero-abort invariants) are gated by
-//! `perf_gate` against the committed `BENCH_PR6.json`; wall-clock derived
-//! fields carry the `info_` prefix and are bounded, not diffed, via
-//! `floor_`/`ceil_` fields (see perf_gate).
+//! `perf_gate` against the committed `BENCH_PR6.json` / `BENCH_PR9.json`;
+//! wall-clock derived fields carry the `info_` prefix and are bounded, not
+//! diffed, via `floor_`/`ceil_` fields (see perf_gate).
 //!
 //! ```sh
 //! cargo run -p gemstone-bench --bin contention --release          # writes BENCH_PR6.json
 //! CONTENTION_OPS=40 CONTENTION_TXNS=30 cargo run ... --bin contention  # CI-sized
 //! ```
 
-use gemstone::{GemStone, StoreConfig};
+use gemstone::{GemStone, Journal, JournalConfig, JournalEvent, StoreConfig};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
@@ -290,9 +298,111 @@ fn main() {
         println!("conservation: {} committed increments all present", 3 * 4 * txns);
     }
 
+    // ---- conflict forensics (journaled mixed phase, PR 9) -----------
+    let mut pr9: Vec<String> = Vec::new();
+    {
+        let dir = std::env::temp_dir().join(format!("gemstone-forensics-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("forensics journal dir");
+        let gs_f = GemStone::in_memory();
+        gs_f.database().start_journal(JournalConfig::at(&dir)).expect("start journal");
+        populate(&gs_f);
+        let rf = mixed(&gs_f, 4, txns, 100);
+        gs_f.telemetry().journal.flush();
+        let snap = gs_f.database().metrics_snapshot();
+        let conflicts_counter = snap.counter("txn.conflicts");
+        let readout = Journal::read_from(&dir).expect("read journal");
+        let mut journaled = 0u64;
+        let mut unattributed = 0u64;
+        let mut timeline_events = 0u64;
+        for e in &readout.events {
+            match e {
+                JournalEvent::TxnConflict {
+                    kind,
+                    culprit_time,
+                    culprit_session,
+                    goops,
+                    tracks,
+                    ..
+                } => {
+                    journaled += 1;
+                    // An overlap conflict must name its killer and the
+                    // contested objects; a watermark refusal's culprit is
+                    // pruned by definition.
+                    let attributed = kind.as_str() != "overlap"
+                        || (*culprit_time > 0
+                            && *culprit_session > 0
+                            && !goops.is_empty()
+                            && !tracks.is_empty());
+                    if !attributed {
+                        unattributed += 1;
+                    }
+                }
+                JournalEvent::CommitTimeline { .. } => timeline_events += 1,
+                _ => {}
+            }
+        }
+        let cs = gs_f.database().conflict_stats();
+        println!(
+            "forensics p=100: {} aborts, {} journaled TxnConflict, counter {}, \
+             stats overlap {} watermark {}",
+            rf.aborts, journaled, conflicts_counter, cs.overlap, cs.watermark
+        );
+        if journaled != conflicts_counter || rf.aborts != conflicts_counter {
+            println!(
+                "FAIL forensics conservation: {} aborts, {} journaled, counter {}",
+                rf.aborts, journaled, conflicts_counter
+            );
+            failures += 1;
+        }
+        if unattributed != 0 {
+            println!("FAIL forensics attribution: {unattributed} overlap events incomplete");
+            failures += 1;
+        }
+        // One CommitTimeline per writing commit: populate + every retried
+        // increment that eventually landed. Aborted prepares record none.
+        let commits_expected = 1 + rf.ops;
+        println!("forensics: {timeline_events} commit timelines ({commits_expected} expected)");
+        if timeline_events != commits_expected {
+            println!(
+                "FAIL forensics timeline: {timeline_events} CommitTimeline events, \
+                 expected {commits_expected}"
+            );
+            failures += 1;
+        }
+        let p99 = |name: &str| snap.histogram(name).map(|h| h.quantile(0.99)).unwrap_or(0);
+        pr9.push(format!(
+            "{{\"id\": \"forensics-conservation\", \"txns\": {}, \"conservation_ok\": 1, \
+             \"attribution_complete\": 1, \"watermark\": {}, \"info_conflicts\": {journaled}, \
+             \"floor_info_conflicts\": 1}}",
+            rf.ops, cs.watermark
+        ));
+        pr9.push(format!(
+            "{{\"id\": \"forensics-timeline\", \"commits\": {commits_expected}, \
+             \"timeline_events\": {timeline_events}, \
+             \"info_snapshot_age_p99_us\": {}, \"info_validation_p99_us\": {}, \
+             \"info_safe_write_p99_us\": {}, \"info_publish_p99_us\": {}}}",
+            p99("commit.phase.snapshot_age_us"),
+            p99("commit.phase.validation_us"),
+            p99("commit.phase.safe_write_us"),
+            p99("commit.phase.publish_us")
+        ));
+        pr9.push(format!(
+            "{{\"id\": \"forensics-fsync\", \"info_fsyncs\": {}, \"info_fsync_p99_us\": {}, \
+             \"info_commit_fsync_p99_us\": {}}}",
+            snap.counter("storage.disk.fsyncs"),
+            p99("storage.disk.fsync_us"),
+            p99("commit.phase.fsync_us")
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
     let body = records.join(",\n  ");
     std::fs::write("BENCH_PR6.json", format!("[\n  {body}\n]\n")).expect("write BENCH_PR6.json");
     println!("wrote BENCH_PR6.json ({} records)", records.len());
+    let body9 = pr9.join(",\n  ");
+    std::fs::write("BENCH_PR9.json", format!("[\n  {body9}\n]\n")).expect("write BENCH_PR9.json");
+    println!("wrote BENCH_PR9.json ({} records)", pr9.len());
 
     if failures > 0 {
         println!("contention: {failures} FAILURES");

@@ -1,0 +1,254 @@
+//! `gemtop` — a top-style live view of a GemStone engine under load.
+//!
+//! Drives the pull-based observatory ring (PR 9): an embedded
+//! multi-session increment workload runs in the background while the
+//! main thread ticks the observatory once per refresh and renders the
+//! windowed rates, commit-phase latencies, cache health and conflict
+//! forensics as one ANSI-refreshed frame.
+//!
+//! ```sh
+//! cargo run -p gemstone-bench --bin gemtop --release
+//! cargo run -p gemstone-bench --bin gemtop --release -- \
+//!     --threads 4 --hot-pct 100 --interval-ms 500 --frames 20
+//! cargo run ... --bin gemtop -- --capture     # one plain frame, no ANSI
+//! ```
+//!
+//! `--capture` renders a single final frame without terminal control
+//! sequences (what EXPERIMENTS.md E-obs3 embeds); the default mode
+//! clears and redraws the terminal every interval like `top`.
+
+use gemstone::{Anomaly, GemStone, ObservatoryConfig};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Accounts in the shared working set.
+const ACCOUNTS: usize = 64;
+/// The contended hot set targeted with probability `hot_pct`.
+const HOT: usize = 4;
+
+struct Args {
+    threads: usize,
+    hot_pct: u64,
+    interval_ms: u64,
+    frames: usize,
+    capture: bool,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args { threads: 4, hot_pct: 100, interval_ms: 500, frames: 0, capture: false };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let num = |it: &mut dyn Iterator<Item = String>| {
+            it.next().and_then(|v| v.parse::<u64>().ok()).unwrap_or_else(|| {
+                eprintln!("gemtop: {flag} needs a numeric argument");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--threads" => a.threads = num(&mut it) as usize,
+            "--hot-pct" => a.hot_pct = num(&mut it).min(100),
+            "--interval-ms" => a.interval_ms = num(&mut it).max(1),
+            "--frames" => a.frames = num(&mut it) as usize,
+            "--capture" => a.capture = true,
+            _ => {
+                eprintln!(
+                    "usage: gemtop [--threads N] [--hot-pct P] [--interval-ms M] \
+                     [--frames K] [--capture]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if a.frames == 0 {
+        a.frames = if a.capture { 6 } else { 24 };
+    }
+    a
+}
+
+/// Deterministic per-thread stream (xorshift64*).
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+}
+
+fn populate(gs: &GemStone) {
+    let mut s = gs.login("system").expect("login");
+    let mut src = String::from("| t | Accounts := Dictionary new.\n");
+    for i in 0..ACCOUNTS {
+        src.push_str(&format!(
+            "t := Dictionary new. t at: #bal put: {}. Accounts at: {i} put: t.\n",
+            i * 100
+        ));
+    }
+    s.run(&src).expect("populate");
+    s.commit().expect("populate commit");
+}
+
+fn render_frame(
+    gs: &GemStone,
+    args: &Args,
+    frame: usize,
+    committed: u64,
+    fired: &[(Anomaly, Option<std::path::PathBuf>)],
+) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let obs = &gs.telemetry().observatory;
+    let _ = writeln!(
+        out,
+        "gemtop — GemStone live observatory · {} writer sessions (hot {}%) · frame {}/{}",
+        args.threads, args.hot_pct, frame, args.frames
+    );
+    match obs.window(8) {
+        Some(w) if w.samples >= 2 => {
+            let _ = writeln!(out, "window {:.1}s ({} samples)", w.span_us as f64 / 1e6, w.samples);
+            let _ = writeln!(
+                out,
+                "  txn/s {:8.1}   abort {:5.1}% ({} aborts)   stmts/s {:8.1}",
+                w.commits_per_s, w.abort_pct, w.aborts, w.statements_per_s
+            );
+            let _ = writeln!(
+                out,
+                "  cache hit {:5.1}% ({} hits / {} misses)   fsyncs {} (p50 {}µs p99 {}µs)",
+                w.cache_hit_pct,
+                w.cache_hits,
+                w.cache_misses,
+                w.fsyncs,
+                w.fsync_p50_us,
+                w.fsync_p99_us
+            );
+        }
+        _ => {
+            let _ = writeln!(out, "window: warming up ({} samples)", obs.len());
+        }
+    }
+    let snap = gs.database().metrics_snapshot();
+    let p99 = |name: &str| snap.histogram(name).map(|h| h.quantile(0.99)).unwrap_or(0);
+    let _ = writeln!(
+        out,
+        "commit phases p99 (µs): snapshot-age {} · validation {} · safe-write {} · \
+         fsync {} · publish {}",
+        p99("commit.phase.snapshot_age_us"),
+        p99("commit.phase.validation_us"),
+        p99("commit.phase.safe_write_us"),
+        p99("commit.phase.fsync_us"),
+        p99("commit.phase.publish_us")
+    );
+    let shards: Vec<String> = (0..64)
+        .filter_map(|i| {
+            let h = snap.counter(&format!("storage.cache.shard{i}.hits"));
+            let m = snap.counter(&format!("storage.cache.shard{i}.misses"));
+            if h + m == 0 {
+                None
+            } else {
+                Some(format!("s{i} {:.0}%", h as f64 / (h + m) as f64 * 100.0))
+            }
+        })
+        .collect();
+    if !shards.is_empty() {
+        let _ = writeln!(out, "cache shards: {}", shards.join("  "));
+    }
+    let c = gs.database().conflict_stats();
+    let _ = writeln!(
+        out,
+        "conflicts: {} total (overlap {}, watermark {}) · {} committed increments",
+        c.total(),
+        c.overlap,
+        c.watermark,
+        committed
+    );
+    let heat = |pairs: &[(u64, u64)], what: &str| {
+        pairs.iter().take(6).map(|(k, n)| format!("{what} {k} ×{n}")).collect::<Vec<_>>().join(", ")
+    };
+    if !c.by_object.is_empty() {
+        let _ = writeln!(out, "  top conflict objects: {}", heat(&c.by_object, "goop"));
+    }
+    if !c.by_track.is_empty() {
+        let _ = writeln!(out, "  top conflict tracks:  {}", heat(&c.by_track, "track"));
+    }
+    let active = obs.active_anomalies();
+    if active.is_empty() && fired.is_empty() {
+        let _ = writeln!(out, "anomalies: none");
+    } else {
+        let _ = writeln!(out, "anomalies: active [{}]", active.join(", "));
+        for (a, bundle) in fired {
+            let _ = writeln!(
+                out,
+                "  NEW {} — {}{}",
+                a.slug(),
+                a.describe(),
+                bundle.as_ref().map(|p| format!(" (bundle: {})", p.display())).unwrap_or_default()
+            );
+        }
+    }
+    out
+}
+
+fn main() {
+    let args = parse_args();
+    let gs = GemStone::in_memory();
+    populate(&gs);
+    gs.database().enable_observatory(ObservatoryConfig {
+        interval_us: args.interval_ms.saturating_mul(1000) / 2,
+        ..ObservatoryConfig::default()
+    });
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let committed = Arc::new(AtomicU64::new(0));
+    let mut workers = Vec::new();
+    for t in 0..args.threads {
+        let mut s = gs.login("system").expect("login");
+        let stop = stop.clone();
+        let committed = committed.clone();
+        let hot_pct = args.hot_pct;
+        let per = ((ACCOUNTS - HOT) / args.threads.max(1)).max(1);
+        workers.push(std::thread::spawn(move || {
+            let mut rng = Rng(0xdead_beef + t as u64);
+            while !stop.load(Ordering::Relaxed) {
+                let k = if rng.next() % 100 < hot_pct {
+                    rng.next() as usize % HOT
+                } else {
+                    HOT + (t * per + rng.next() as usize % per) % (ACCOUNTS - HOT)
+                };
+                s.run(&format!(
+                    "(Accounts at: {k}) at: #bal put: (((Accounts at: {k}) at: #bal) + 1)"
+                ))
+                .expect("increment");
+                std::thread::yield_now();
+                if s.commit().is_ok() {
+                    committed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }));
+    }
+
+    let mut last_frame = String::new();
+    for frame in 1..=args.frames {
+        std::thread::sleep(std::time::Duration::from_millis(args.interval_ms));
+        let fired = gs.database().observatory_tick();
+        last_frame = render_frame(&gs, &args, frame, committed.load(Ordering::Relaxed), &fired);
+        if !args.capture {
+            // Clear + home, like top(1).
+            print!("\x1b[2J\x1b[H{last_frame}");
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    for w in workers {
+        w.join().expect("worker");
+    }
+    if args.capture {
+        print!("{last_frame}");
+    } else {
+        println!();
+    }
+}

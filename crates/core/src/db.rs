@@ -36,8 +36,8 @@ use gemstone_object::{
 use gemstone_opal::{install_kernel_methods, CompiledMethod, EffectCache};
 use gemstone_storage::{DiskArray, PermanentStore, StoreConfig};
 use gemstone_telemetry::{
-    DiagnosticBundle, Journal, JournalConfig, JournalEvent, MetricsBatch, MetricsSnapshot,
-    Telemetry,
+    Anomaly, DiagnosticBundle, Journal, JournalConfig, JournalEvent, MetricsBatch, MetricsSnapshot,
+    ObservatoryConfig, Telemetry,
 };
 use gemstone_temporal::TxnTime;
 use gemstone_txn::TransactionManager;
@@ -142,6 +142,7 @@ fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &Tran
         .counter("txn.aborts", &t.aborts)
         .counter("txn.conflicts", &t.conflicts)
         .histogram("storage.commit.group_tracks", &store.group_size_histogram())
+        .histogram("storage.disk.fsync_us", &d.fsync_us)
         .histogram("txn.validation_wait_us", &txns.validation_wait_histogram());
     for (i, (hits, misses)) in store.cache_shard_counters().iter().enumerate() {
         batch = batch
@@ -192,6 +193,18 @@ fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &Tran
         let _ = r.counter(name);
     }
     let _ = r.histogram("session.statement_ns");
+    // Commit-timeline phase histograms, recorded by sessions per writing
+    // commit (pre-created here for baseline name parity, like the session
+    // counters above).
+    for name in [
+        "commit.phase.snapshot_age_us",
+        "commit.phase.validation_us",
+        "commit.phase.safe_write_us",
+        "commit.phase.fsync_us",
+        "commit.phase.publish_us",
+    ] {
+        let _ = r.histogram(name);
+    }
 }
 
 fn kernel_from(classes: &ClassTable, symbols: &SymbolTable) -> GemResult<Kernel> {
@@ -310,6 +323,7 @@ impl Database {
             txns,
             telemetry,
         });
+        db.install_track_resolver();
         // Kernel methods install through a bootstrap session.
         let mut boot = Session::internal_login(db.clone());
         install_kernel_methods(&mut boot)?;
@@ -440,6 +454,7 @@ impl Database {
             txns,
             telemetry,
         });
+        db.install_track_resolver();
         // Rebuild method dictionaries: kernel first, then user sources in
         // their original order.
         let mut boot = Session::internal_login(db.clone());
@@ -448,6 +463,19 @@ impl Database {
             boot.recompile_method(&ms)?;
         }
         Ok(db)
+    }
+
+    /// Teach the Transaction Manager to map objects onto their home
+    /// tracks for conflict attribution. The closure holds a `Weak` so the
+    /// resolver never keeps the database alive ([`Database::into_disk`]
+    /// relies on being the last strong reference); resolver reads are a
+    /// lock-free `OnceLock` load plus the locations read lock, which the
+    /// DESIGN.md §9 hierarchy permits under the manager's inner lock.
+    fn install_track_resolver(self: &Arc<Database>) {
+        let weak = Arc::downgrade(self);
+        self.txns.set_track_resolver(Arc::new(move |goop| {
+            weak.upgrade().and_then(|db| db.store.home_track(goop))
+        }));
     }
 
     /// The current committed snapshot. Sessions clone this Arc at
@@ -561,6 +589,40 @@ impl Database {
         let path = dir.join(format!("bundle-{}-{:04}.json", reason, j.next_bundle_seq()));
         std::fs::write(&path, bundle.to_json()).ok()?;
         Some(path)
+    }
+
+    /// Turn on the live observatory ring: periodic registry samples with
+    /// windowed rate queries and threshold anomaly detectors. Pull-based
+    /// — sampling happens only inside [`Database::observatory_tick`], so
+    /// the engine's hot paths are untouched whether this is on or off.
+    pub fn enable_observatory(&self, cfg: ObservatoryConfig) {
+        self.telemetry.observatory.enable(cfg);
+    }
+
+    /// Turn the observatory off and drop its samples.
+    pub fn disable_observatory(&self) {
+        self.telemetry.observatory.disable();
+    }
+
+    /// Sample the observatory (a no-op inside the configured interval or
+    /// when disabled). Each anomaly that *newly* fires auto-captures a
+    /// diagnostic bundle named after it when the flight recorder is
+    /// running; the bundle paths ride back with the anomalies.
+    pub fn observatory_tick(&self) -> Vec<(Anomaly, Option<std::path::PathBuf>)> {
+        self.telemetry
+            .observe()
+            .into_iter()
+            .map(|a| {
+                let path = self.capture_bundle(a.slug());
+                (a, path)
+            })
+            .collect()
+    }
+
+    /// Aggregated conflict forensics: per-kind abort totals plus the
+    /// hottest objects and tracks, straight from the Transaction Manager.
+    pub fn conflict_stats(&self) -> gemstone_txn::ConflictStats {
+        self.txns.conflict_stats()
     }
 
     /// Storage/disk statistics snapshot (benchmark instrumentation).

@@ -33,19 +33,23 @@ pub use session::{Session, SlowStatement};
 
 // Re-exports for downstream users of the public API.
 pub use gemstone_calculus::{OpNode, OpProfile, PlanStats};
-pub use gemstone_object::{ElemName, GemError, GemResult, Goop, Oop, OopKind, SegmentId};
+pub use gemstone_object::{
+    ConflictKind, ElemName, GemError, GemResult, Goop, Oop, OopKind, SegmentId,
+};
 pub use gemstone_opal::{Effect, EffectSummary};
 pub use gemstone_storage::{
     CacheStats, DiskArray, DiskStats, FaultFile, FaultPlan, FileDisk, IoRecord, ReadFault,
     RecoveryReport, StoreConfig, StoreStats, TearClass, TrackDisk, TrackId,
 };
 pub use gemstone_telemetry::{
-    replay, CacheSweepPoint, Counter, DiagnosticBundle, Gauge, Histogram, HistogramSnapshot,
-    Journal, JournalConfig, JournalEvent, JournalReadout, ManualTime, MetricsRegistry,
-    MetricsSnapshot, RecoverySummary, SlowEntry, SpanEvent, SpanKind, Telemetry, TelemetryClock,
-    Tracer, TrackHeat, JOURNAL_SCHEMA,
+    replay, Anomaly, AnomalyThresholds, CacheSweepPoint, ConflictProfile, Counter,
+    DiagnosticBundle, Gauge, Histogram, HistogramSnapshot, Journal, JournalConfig, JournalEvent,
+    JournalReadout, ManualTime, MetricsRegistry, MetricsSnapshot, Observatory, ObservatoryConfig,
+    ObservatorySample, RecoverySummary, SlowEntry, SpanEvent, SpanKind, Telemetry, TelemetryClock,
+    Tracer, TrackHeat, WindowStats, JOURNAL_SCHEMA, JOURNAL_SCHEMA_MIN,
 };
 pub use gemstone_temporal::TxnTime;
+pub use gemstone_txn::{ConflictReport, ConflictStats};
 
 use std::sync::Arc;
 

@@ -28,8 +28,9 @@ use gemstone_calculus::{
     AlgExpr, IndexCatalog, JoinKey, OpProfile, PlanStats, Query, QueryContext, Term, VarId,
 };
 use gemstone_object::{
-    structurally_equal, value_key, BodyFormat, ClassId, ElemName, GemError, GemResult, Goop,
-    HeapObject, Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId, SymbolId, Workspace,
+    structurally_equal, value_key, BodyFormat, ClassId, ConflictKind, ElemName, GemError,
+    GemResult, Goop, HeapObject, Kernel, MethodId, MethodRef, Oop, OopKind, PRef, SegmentId,
+    SymbolId, Workspace,
 };
 use gemstone_opal::{
     compile_doit_with_lints, effects, CompiledMethod, Effect, EffectSummary, Interpreter, Lint,
@@ -41,7 +42,7 @@ use gemstone_telemetry::{
     SpanKind, Telemetry,
 };
 use gemstone_temporal::{TimeDial, TxnTime};
-use gemstone_txn::{AccessSet, SlotId, TxnToken};
+use gemstone_txn::{AccessSet, ConflictReport, SlotId, TxnToken};
 use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
@@ -105,9 +106,13 @@ pub struct Session {
     /// Statements at least this slow land in the slow log. `None` = off.
     slow_threshold_ns: Option<u64>,
     slow_log: Vec<SlowStatement>,
-    /// Consecutive commit conflicts; a storm (≥ 8) auto-captures a
-    /// diagnostic bundle when the flight recorder is running.
+    /// Consecutive overlap conflicts; a storm (≥ 8) auto-captures a
+    /// diagnostic bundle when the flight recorder is running. Watermark
+    /// refusals (stale snapshot, not contention) neither feed nor reset it.
     consecutive_conflicts: u32,
+    /// Clock stamp (ns) of the current transaction's begin — the zero
+    /// point of the commit timeline's snapshot-age phase.
+    txn_began_ns: u64,
     /// True while every statement of the open transaction was statically
     /// summarized `Pure`/`ReadOnly` *before* execution — the commit then
     /// skips the dirty-object walk and write-set construction entirely.
@@ -171,6 +176,11 @@ struct SessionMetrics {
     effects_stmts_static_ro: Counter,
     effects_static_ro_commits: Counter,
     effects_invalidations: Counter,
+    phase_snapshot_age: Histogram,
+    phase_validation: Histogram,
+    phase_safe_write: Histogram,
+    phase_fsync: Histogram,
+    phase_publish: Histogram,
 }
 
 impl SessionMetrics {
@@ -203,6 +213,11 @@ impl SessionMetrics {
             effects_stmts_static_ro: r.counter("opal.effects.stmts_static_ro"),
             effects_static_ro_commits: r.counter("opal.effects.static_ro_commits"),
             effects_invalidations: r.counter("opal.effects.invalidations"),
+            phase_snapshot_age: r.histogram("commit.phase.snapshot_age_us"),
+            phase_validation: r.histogram("commit.phase.validation_us"),
+            phase_safe_write: r.histogram("commit.phase.safe_write_us"),
+            phase_fsync: r.histogram("commit.phase.fsync_us"),
+            phase_publish: r.histogram("commit.phase.publish_us"),
         }
     }
 
@@ -272,6 +287,7 @@ impl Session {
             slow_threshold_ns: None,
             slow_log: Vec::new(),
             consecutive_conflicts: 0,
+            txn_began_ns: 0,
             txn_static_ro: true,
             stmt_static_ro: false,
             last_effect: None,
@@ -306,11 +322,14 @@ impl Session {
             // conservatively aborted by the watermark.
             self.txn = Some(loop {
                 self.snap = self.db.committed_view();
-                if let Some(token) = self.db.txns.begin_at_checked(self.snap.time) {
+                if let Some(token) =
+                    self.db.txns.begin_at_checked_for(self.snap.time, self.session_id)
+                {
                     break token;
                 }
                 std::thread::yield_now();
             });
+            self.txn_began_ns = self.telemetry.clock().now_ns();
             if self.telemetry.tracer.enabled() {
                 let parent = self.ensure_session_span();
                 self.txn_span = Some(self.telemetry.tracer.begin(
@@ -501,6 +520,12 @@ impl Session {
         //    only recorded (`finalize`) after the safe-write group is on
         //    disk, so a storage failure leaves no phantom commit in the
         //    validation log or the prune watermark.
+        // Commit-timeline phase 1: how stale the snapshot is by the time
+        // the writing commit enters validation. Phase 2 (validation)
+        // includes the wait for the commit lock — under contention that
+        // wait *is* the validation story.
+        let validate_from = self.telemetry.clock().now_ns();
+        let snapshot_age_us = validate_from.saturating_sub(self.txn_began_ns) / 1_000;
         let db = self.db.clone();
         let _commit = db.commit_lock.lock();
         let time = match self.db.txns.prepare(&token, &self.reads, &writes) {
@@ -509,16 +534,24 @@ impl Session {
                 // Conflict: the transaction is dead; discard its workspace.
                 self.end_txn_span();
                 self.discard_workspace();
-                if matches!(e, GemError::TransactionConflict { .. }) {
-                    self.consecutive_conflicts += 1;
-                    if self.consecutive_conflicts == CONFLICT_STORM_THRESHOLD {
-                        self.db.capture_bundle("conflict-storm");
+                if let GemError::TransactionConflict { kind, .. } = &e {
+                    match kind {
+                        ConflictKind::Overlap => {
+                            self.consecutive_conflicts += 1;
+                            if self.consecutive_conflicts == CONFLICT_STORM_THRESHOLD {
+                                self.db.capture_bundle("conflict-storm");
+                            }
+                        }
+                        // A watermark refusal is snapshot staleness, not
+                        // contention: it neither feeds nor resets the storm.
+                        ConflictKind::Watermark => {}
                     }
                 }
                 return Err(e);
             }
         };
         self.consecutive_conflicts = 0;
+        let validation_us = self.telemetry.clock().now_ns().saturating_sub(validate_from) / 1_000;
         // 4. Persist (metadata travels in the same safe-write group). A
         //    schema-only commit consumed no transaction time: it rewrites
         //    metadata at the unchanged committed time.
@@ -540,26 +573,31 @@ impl Session {
             }
             globals = Arc::new(next);
         }
+        let phases;
+        let publish_us;
         {
             let mut schema = self.db.schema.write();
             if schema.schema_dirty || !Arc::ptr_eq(&globals, &committed.globals) {
                 schema.flush_meta(&self.db.store, &globals);
             }
-            if let Err(e) = self.db.store.commit_batch_traced(
+            phases = match self.db.store.commit_batch_traced(
                 store_time,
                 &deltas,
                 self.session_id,
                 self.io_parent(),
             ) {
-                // Storage failure: the prepared transaction dies with no
-                // trace in the commit log — nothing was published, so
-                // later snapshots validate against a consistent history.
-                drop(schema);
-                self.db.txns.abort(token);
-                self.end_txn_span();
-                self.discard_workspace();
-                return Err(e);
-            }
+                Ok(p) => p,
+                Err(e) => {
+                    // Storage failure: the prepared transaction dies with no
+                    // trace in the commit log — nothing was published, so
+                    // later snapshots validate against a consistent history.
+                    drop(schema);
+                    self.db.txns.abort(token);
+                    self.end_txn_span();
+                    self.discard_workspace();
+                    return Err(e);
+                }
+            };
             // 5. Directory maintenance (§6: the Linker "calling for
             //    restructuring of directories as needed").
             let Schema { symbols, dirs, .. } = &mut *schema;
@@ -571,10 +609,30 @@ impl Session {
                 return Err(e);
             }
             // The writes are durable: log the commit and publish the view.
+            let publish_from = self.telemetry.clock().now_ns();
             self.db.txns.finalize(token, time, &writes)?;
             let view = Arc::new(CommittedView { time: store_time, globals });
             *self.db.committed.write() = view.clone();
             self.snap = view;
+            publish_us = self.telemetry.clock().now_ns().saturating_sub(publish_from) / 1_000;
+        }
+        // Commit timeline: record the phase breakdown and journal it with
+        // the *same* values, so replaying the journal rebuilds the
+        // `commit.phase.*` histograms byte-exactly.
+        self.m.phase_snapshot_age.record(snapshot_age_us);
+        self.m.phase_validation.record(validation_us);
+        self.m.phase_safe_write.record(phases.safe_write_us);
+        self.m.phase_fsync.record(phases.fsync_us);
+        self.m.phase_publish.record(publish_us);
+        if self.telemetry.journal.enabled() {
+            self.telemetry.journal.emit(&JournalEvent::CommitTimeline {
+                session: self.session_id,
+                snapshot_age_us,
+                validation_us,
+                safe_write_us: phases.safe_write_us,
+                fsync_us: phases.fsync_us,
+                publish_us,
+            });
         }
         // 6. The workspace copies are now clean cached copies.
         for &oop in &dirty {
@@ -1111,6 +1169,14 @@ impl Session {
     /// This session's span-attribution id (nonzero, unique per login).
     pub fn session_id(&self) -> u64 {
         self.session_id
+    }
+
+    /// The forensic report of this session's most recent validation
+    /// conflict: what kind it was, which committed transaction killed it,
+    /// and which objects (with their home tracks) overlapped. `None`
+    /// until the session loses a validation.
+    pub fn last_conflict(&self) -> Option<ConflictReport> {
+        self.db.txns.last_conflict_for(self.session_id)
     }
 
     /// The shared telemetry bundle (registry + tracer + clock).

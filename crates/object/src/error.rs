@@ -3,6 +3,37 @@
 use crate::symbol::SymbolId;
 use std::fmt;
 
+/// Why optimistic validation refused a commit. Carried inside
+/// [`GemError::TransactionConflict`] so retry policies can distinguish a
+/// real overlap (retrying immediately may well succeed) from the
+/// watermark-conservative refusal (the commit log was pruned past the
+/// transaction's start, so overlap could not be ruled out — the retry
+/// should begin from a fresh snapshot).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ConflictKind {
+    /// A concurrent transaction committed a write intersecting this
+    /// transaction's read set after its snapshot.
+    Overlap,
+    /// Conservative refusal: the commit log no longer reaches back to the
+    /// transaction's start, so validation cannot prove non-overlap.
+    Watermark,
+}
+
+impl ConflictKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ConflictKind::Overlap => "overlap",
+            ConflictKind::Watermark => "watermark",
+        }
+    }
+}
+
+impl fmt::Display for ConflictKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Anything that can go wrong in the GemStone system, from message sends to
 /// track I/O. Subsystems all speak this type so errors cross crate
 /// boundaries without translation — the single-language goal of §2F applied
@@ -35,8 +66,11 @@ pub enum GemError {
     WriteInPast,
     /// Optimistic validation failed: a concurrent transaction committed a
     /// conflicting write (§6's Transaction Manager "validates \[accesses\] for
-    /// consistency when a transaction commits").
-    TransactionConflict { detail: String },
+    /// consistency when a transaction commits"). `kind` distinguishes a real
+    /// read/write overlap from the watermark-conservative refusal; the full
+    /// forensic record (culprit, overlapping objects, home tracks) is kept
+    /// by the Transaction Manager and fetched via `Session::last_conflict`.
+    TransactionConflict { kind: ConflictKind, detail: String },
     /// No transaction is active for an operation that requires one.
     NoTransaction,
     /// The user lacks the privilege for this segment.
@@ -93,8 +127,8 @@ impl fmt::Display for GemError {
             GemError::IntOverflow => write!(f, "SmallInteger overflow"),
             GemError::ZeroDivide => write!(f, "division by zero"),
             GemError::WriteInPast => write!(f, "cannot modify a past database state"),
-            GemError::TransactionConflict { detail } => {
-                write!(f, "transaction conflict: {detail}")
+            GemError::TransactionConflict { kind, detail } => {
+                write!(f, "transaction conflict ({kind}): {detail}")
             }
             GemError::NoTransaction => write!(f, "no transaction in progress"),
             GemError::AuthorizationDenied { segment, detail } => {

@@ -37,7 +37,7 @@ pub use class::{
 };
 pub use elem::ElemName;
 pub use equality::{class_name, class_of, structurally_equal, value_key, ValueKey};
-pub use error::{GemError, GemResult};
+pub use error::{ConflictKind, GemError, GemResult};
 pub use heap::{HeapObject, ObjIndex, Workspace};
 pub use oop::{Goop, Oop, OopKind, PRef, SegmentId};
 pub use symbol::{SymbolId, SymbolTable};

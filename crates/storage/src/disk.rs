@@ -47,6 +47,10 @@ pub struct DiskStats {
     pub fsyncs: u64,
 }
 
+// DiskStats deliberately stays a `Copy` value struct, so the fsync
+// latency histogram lives only on `DiskCounters::fsync_us` and in the
+// registry as `storage.disk.fsync_us`.
+
 /// The live telemetry counters behind [`DiskStats`].  Handles are shared
 /// atomics so a [`gemstone_telemetry::MetricsRegistry`] can bind the very
 /// cells the disk increments; `Clone` deliberately *detaches* (fresh cells
@@ -61,6 +65,9 @@ pub struct DiskCounters {
     pub failed_reads: Counter,
     pub failed_writes: Counter,
     pub fsyncs: Counter,
+    /// Latency of each successful durability barrier, in microseconds
+    /// (bound by the registry as `storage.disk.fsync_us`).
+    pub fsync_us: Histogram,
 }
 
 impl Clone for DiskCounters {
@@ -72,6 +79,7 @@ impl Clone for DiskCounters {
             failed_reads: self.failed_reads.detached_copy(),
             failed_writes: self.failed_writes.detached_copy(),
             fsyncs: self.fsyncs.detached_copy(),
+            fsync_us: self.fsync_us.detached_copy(),
         }
     }
 }
@@ -96,6 +104,7 @@ impl DiskCounters {
         self.failed_reads.reset();
         self.failed_writes.reset();
         self.fsyncs.reset();
+        self.fsync_us.reset();
     }
 
     /// Shared handles (non-detaching, for registry binding).
@@ -107,6 +116,7 @@ impl DiskCounters {
             failed_reads: self.failed_reads.clone(),
             failed_writes: self.failed_writes.clone(),
             fsyncs: self.fsyncs.clone(),
+            fsync_us: self.fsync_us.clone(),
         }
     }
 }
@@ -437,8 +447,13 @@ impl SimDisk {
             return Err(GemError::DiskDead);
         }
         self.stats.fsyncs.inc();
+        // The simulated platter syncs instantly; record the (near-zero)
+        // barrier latency anyway so the `storage.disk.fsync_us` stream
+        // exists on both backends and replay rules stay uniform.
+        self.stats.fsync_us.record(0);
         if let Some(j) = self.journal_on() {
             j.emit(&JournalEvent::DiskSync { ok: true, backend: "sim".into() });
+            j.emit(&JournalEvent::FsyncLatency { us: 0, backend: "sim".into() });
         }
         if self.plan.record_trace {
             self.io_trace.push(IoRecord::Sync);

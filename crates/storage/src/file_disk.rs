@@ -317,12 +317,17 @@ impl FileDisk {
         Ok(&self.read_buf)
     }
 
-    /// Durability barrier: `fdatasync` the file, count it, journal it.
+    /// Durability barrier: `fdatasync` the file, count it, time it,
+    /// journal it.
     pub fn sync(&mut self) -> GemResult<()> {
+        let start = std::time::Instant::now();
         self.file.sync_data().map_err(|e| io_err("fdatasync", &self.path, e))?;
+        let us = start.elapsed().as_micros() as u64;
         self.stats.fsyncs.inc();
+        self.stats.fsync_us.record(us);
         if let Some(j) = self.journal_on() {
             j.emit(&JournalEvent::DiskSync { ok: true, backend: "file".into() });
+            j.emit(&JournalEvent::FsyncLatency { us, backend: "file".into() });
         }
         Ok(())
     }

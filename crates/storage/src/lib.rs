@@ -57,4 +57,4 @@ pub use disk::{
 pub use file_disk::{FaultFile, FileDisk};
 pub use pobj::{ObjectDelta, PersistentObject};
 pub use store::OBJ_SHARDS;
-pub use store::{PermanentStore, StoreConfig, StoreCounters, StoreStats};
+pub use store::{CommitPhases, PermanentStore, StoreConfig, StoreCounters, StoreStats};

@@ -74,6 +74,20 @@ fn file_replicas<D: TrackDisk + 'static>(
         .collect()
 }
 
+/// How one commit's storage leg spent its time, returned by
+/// [`PermanentStore::commit_batch_traced`] so the session can assemble a
+/// full commit timeline (snapshot age / validation / safe-write / fsync /
+/// publish) without reaching into the disk layer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CommitPhases {
+    /// Wall microseconds inside the safe-write group (all track writes on
+    /// every replica plus the durability barriers).
+    pub safe_write_us: u64,
+    /// The slice of `safe_write_us` spent inside fsync barriers on the
+    /// primary replica.
+    pub fsync_us: u64,
+}
+
 /// Store construction parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct StoreConfig {
@@ -440,6 +454,17 @@ impl PermanentStore {
         }
     }
 
+    /// The primary-extent track holding `goop`'s committed image, when
+    /// the object has one (an object created but never committed has no
+    /// home yet).  Forensics uses this to map conflicting objects onto
+    /// disk tracks; lock-wise it takes only the locations read lock, so
+    /// it is safe to call from under the transaction manager.
+    pub fn home_track(&self, goop: Goop) -> Option<u64> {
+        let loc = *self.locations.read().get(&goop)?;
+        let payload = self.track_size - TRACK_HEADER;
+        Some(loc.extent_first.0 as u64 + (loc.offset as usize / payload) as u64)
+    }
+
     /// Apply a validated transaction's writes at commit time `time`:
     /// Linker → Boxer → Commit Manager. All-or-nothing, copy-on-write: the
     /// deltas are applied to private clones of the touched objects and
@@ -449,18 +474,19 @@ impl PermanentStore {
     /// (the crash matrix caught an earlier take-then-fail version silently
     /// dropping it).
     pub fn commit_batch(&self, time: TxnTime, deltas: &[ObjectDelta]) -> GemResult<()> {
-        self.commit_batch_traced(time, deltas, 0, 0)
+        self.commit_batch_traced(time, deltas, 0, 0).map(|_| ())
     }
 
     /// [`PermanentStore::commit_batch`] with span attribution for the
-    /// safe-write-group I/O (0 = unattributed).
+    /// safe-write-group I/O (0 = unattributed).  Returns the storage-side
+    /// phase timings so the session can assemble a full commit timeline.
     pub fn commit_batch_traced(
         &self,
         time: TxnTime,
         deltas: &[ObjectDelta],
         session: u64,
         parent: u64,
-    ) -> GemResult<()> {
+    ) -> GemResult<CommitPhases> {
         let mut w = self.writer.lock();
 
         // 1. Linker: apply deltas to private clones of the permanent
@@ -501,7 +527,7 @@ impl PermanentStore {
         images: HashMap<Goop, PersistentObject>,
         session: u64,
         parent: u64,
-    ) -> GemResult<()> {
+    ) -> GemResult<CommitPhases> {
         let payload = self.track_size - TRACK_HEADER;
 
         // 2. Boxer: serialize touched objects into extent A.
@@ -577,13 +603,21 @@ impl PermanentStore {
             .tracer
             .as_ref()
             .map(|t| t.begin(SpanKind::TrackIo, session, parent, "safe-write-group"));
-        let (wrote, backend) = {
+        let (wrote, backend, phases) = {
             let mut disk = self.disk.lock();
+            // Phase timing: wall time for the whole group, and the slice
+            // of it spent inside durability barriers — diffed off the
+            // primary replica's live fsync-latency histogram while the
+            // disk lock serializes all other sync sources.
+            let fsync_before = disk.counters().fsync_us.snapshot().sum;
+            let started = std::time::Instant::now();
             let r = commit::safe_write_group(&mut disk, &group, &new_root);
+            let safe_write_us = started.elapsed().as_micros() as u64;
+            let fsync_us = disk.counters().fsync_us.snapshot().sum.saturating_sub(fsync_before);
             if r.is_ok() {
                 disk.note_safe_write_group(group.len() as u64 + 1);
             }
-            (r, disk.backend_name())
+            (r, disk.backend_name(), CommitPhases { safe_write_us, fsync_us })
         };
         if let (Some(t), Some(sp)) = (&self.tracer, span) {
             t.end(sp);
@@ -629,7 +663,7 @@ impl PermanentStore {
             }
             self.enforce_cache_limit_locked(&mut ev, None);
         }
-        Ok(())
+        Ok(phases)
     }
 
     /// The database-administrator archive operation (§6: "A database

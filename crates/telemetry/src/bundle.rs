@@ -79,6 +79,34 @@ impl EffectProfile {
     }
 }
 
+/// Conflict forensics distilled from `TxnConflict` events: abort
+/// attribution by kind plus per-object and per-track conflict heat
+/// (which goops and which home tracks transactions keep colliding on).
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct ConflictProfile {
+    /// Validation conflicts where the read and write sets overlapped.
+    pub overlap: u64,
+    /// Conservative refusals at the pruned-log watermark.
+    pub watermark: u64,
+    /// `(goop, conflicts)` hottest first, bounded.
+    pub object_heat: Vec<(u64, u64)>,
+    /// `(track, conflicts)` hottest first, bounded.
+    pub track_heat: Vec<(u64, u64)>,
+}
+
+impl ConflictProfile {
+    pub fn total(&self) -> u64 {
+        self.overlap + self.watermark
+    }
+
+    fn is_empty(&self) -> bool {
+        self.total() == 0
+    }
+}
+
+/// Heat entries kept per conflict table (objects, tracks).
+const CONFLICT_HEAT_TOP_N: usize = 32;
+
 /// The last recorded recovery pass.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoverySummary {
@@ -120,6 +148,8 @@ pub struct DiagnosticBundle {
     /// Effect-analysis activity (all zeros when no effect events were
     /// recorded).
     pub effects: EffectProfile,
+    /// Conflict forensics (all zeros when no conflicts were recorded).
+    pub conflicts: ConflictProfile,
     pub recovery: Option<RecoverySummary>,
     /// The journal replayed through a fresh registry.
     pub replayed: MetricsSnapshot,
@@ -179,6 +209,28 @@ impl DiagnosticBundle {
                 _ => {}
             }
         }
+        let mut conflicts = ConflictProfile::default();
+        {
+            let mut obj: HashMap<u64, u64> = HashMap::new();
+            let mut trk: HashMap<u64, u64> = HashMap::new();
+            for e in events {
+                if let JournalEvent::TxnConflict { kind, goops, tracks, .. } = e {
+                    if kind == "watermark" {
+                        conflicts.watermark += 1;
+                    } else {
+                        conflicts.overlap += 1;
+                    }
+                    for g in goops {
+                        *obj.entry(*g).or_default() += 1;
+                    }
+                    for t in tracks {
+                        *trk.entry(*t).or_default() += 1;
+                    }
+                }
+            }
+            conflicts.object_heat = top_heat(obj);
+            conflicts.track_heat = top_heat(trk);
+        }
         let recovery = events.iter().rev().find_map(|e| match e {
             JournalEvent::Recovery {
                 roots_considered,
@@ -213,6 +265,7 @@ impl DiagnosticBundle {
             sweep_validated,
             slow_statements: slow,
             effects,
+            conflicts,
             recovery,
             replayed,
             replay_matches_live,
@@ -272,6 +325,40 @@ impl DiagnosticBundle {
                 if ok { "matches recorded hits/misses" } else { "DIVERGES from recorded counts" }
             );
         }
+        // Storage health from the replayed registry: fsync latency
+        // quantiles and the per-shard cache hit/miss split (a skewed
+        // shard is a clustering hot spot the aggregate hit rate hides).
+        let fsync = self.replayed.histogram("storage.disk.fsync_us");
+        let shards: Vec<(usize, u64, u64)> = (0..64)
+            .map(|i| {
+                (
+                    i,
+                    self.replayed.counter(&format!("storage.cache.shard{i}.hits")),
+                    self.replayed.counter(&format!("storage.cache.shard{i}.misses")),
+                )
+            })
+            .filter(|&(_, h, m)| h + m > 0)
+            .collect();
+        if fsync.map(|f| f.count > 0).unwrap_or(false) || !shards.is_empty() {
+            let _ = writeln!(out, "\nstorage health:");
+            if let Some(f) = fsync {
+                if f.count > 0 {
+                    let _ = writeln!(
+                        out,
+                        "  fsync latency: {} syncs, p50<={}µs p95<={}µs p99<={}µs",
+                        f.count,
+                        f.quantile(0.5),
+                        f.quantile(0.95),
+                        f.quantile(0.99)
+                    );
+                }
+            }
+            for (i, h, m) in &shards {
+                let total = h + m;
+                let pct = if total == 0 { 100.0 } else { *h as f64 / total as f64 * 100.0 };
+                let _ = writeln!(out, "  cache shard {i}: {h} hits / {m} misses ({pct:.1}%)");
+            }
+        }
         if !self.slow_statements.is_empty() {
             let _ = writeln!(out, "\nslowest statements:");
             for s in &self.slow_statements {
@@ -304,6 +391,27 @@ impl DiagnosticBundle {
                 "  {} static read-only commits, {} cache invalidations",
                 e.static_ro_commits, e.invalidations
             );
+        }
+        if !self.conflicts.is_empty() {
+            let c = &self.conflicts;
+            let _ = writeln!(out, "\nconflict forensics:");
+            let _ = writeln!(
+                out,
+                "  {} conflicts (overlap {}, watermark {})",
+                c.total(),
+                c.overlap,
+                c.watermark
+            );
+            if !c.object_heat.is_empty() {
+                let per: Vec<String> =
+                    c.object_heat.iter().take(10).map(|(g, n)| format!("goop {g} ×{n}")).collect();
+                let _ = writeln!(out, "  hottest objects: {}", per.join(", "));
+            }
+            if !c.track_heat.is_empty() {
+                let per: Vec<String> =
+                    c.track_heat.iter().take(10).map(|(t, n)| format!("track {t} ×{n}")).collect();
+                let _ = writeln!(out, "  hottest tracks: {}", per.join(", "));
+            }
         }
         if let Some(r) = &self.recovery {
             let _ = writeln!(
@@ -398,6 +506,25 @@ impl DiagnosticBundle {
                 e.stmts_classified, e.stmts_static_ro, e.static_ro_commits, e.invalidations
             );
         }
+        {
+            let c = &self.conflicts;
+            let heat = |pairs: &[(u64, u64)], key: &str| {
+                let per: Vec<String> = pairs
+                    .iter()
+                    .map(|(k, n)| format!("{{\"{key}\":{k},\"conflicts\":{n}}}"))
+                    .collect();
+                per.join(",")
+            };
+            let _ = writeln!(
+                out,
+                "  \"conflicts\": {{\"overlap\":{},\"watermark\":{},\
+                 \"object_heat\":[{}],\"track_heat\":[{}]}},",
+                c.overlap,
+                c.watermark,
+                heat(&c.object_heat, "goop"),
+                heat(&c.track_heat, "track")
+            );
+        }
         match &self.recovery {
             Some(r) => {
                 let _ = writeln!(
@@ -453,6 +580,15 @@ fn esc(s: &str) -> String {
         }
     }
     out
+}
+
+/// Sort a heat table hottest-first (count desc, then key asc for
+/// determinism) and keep the top entries.
+fn top_heat(per: HashMap<u64, u64>) -> Vec<(u64, u64)> {
+    let mut heat: Vec<(u64, u64)> = per.into_iter().collect();
+    heat.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+    heat.truncate(CONFLICT_HEAT_TOP_N);
+    heat
 }
 
 /// Per-track reads/writes plus the locality score over successful reads.
@@ -694,6 +830,46 @@ mod tests {
         // A journal without effect events keeps the section out entirely.
         let quiet = DiagnosticBundle::build(&readout(vec![JournalEvent::TxnBegin]), None, "t");
         assert!(!quiet.render().contains("effect analysis"));
+    }
+
+    #[test]
+    fn conflict_profile_attributes_and_ranks() {
+        let overlap = |goops: Vec<u64>, tracks: Vec<u64>| JournalEvent::TxnConflict {
+            kind: "overlap".into(),
+            session: 2,
+            start: 5,
+            culprit_time: 9,
+            culprit_session: 1,
+            goops,
+            tracks,
+        };
+        let events = vec![
+            overlap(vec![77, 90], vec![3]),
+            overlap(vec![77], vec![3]),
+            JournalEvent::TxnConflict {
+                kind: "watermark".into(),
+                session: 4,
+                start: 1,
+                culprit_time: 0,
+                culprit_session: 0,
+                goops: vec![],
+                tracks: vec![],
+            },
+        ];
+        let b = DiagnosticBundle::build(&readout(events), None, "test");
+        let c = &b.conflicts;
+        assert_eq!((c.overlap, c.watermark, c.total()), (2, 1, 3));
+        assert_eq!(c.object_heat, vec![(77, 2), (90, 1)], "hottest goop first");
+        assert_eq!(c.track_heat, vec![(3, 2)]);
+        let text = b.render();
+        assert!(text.contains("3 conflicts (overlap 2, watermark 1)"), "{text}");
+        assert!(text.contains("hottest objects: goop 77 ×2, goop 90 ×1"), "{text}");
+        assert!(text.contains("hottest tracks: track 3 ×2"), "{text}");
+        let json = b.to_json();
+        assert!(json.contains("\"object_heat\":[{\"goop\":77,\"conflicts\":2}"), "{json}");
+        // A conflict-free journal keeps the section out entirely.
+        let quiet = DiagnosticBundle::build(&readout(vec![JournalEvent::TxnBegin]), None, "t");
+        assert!(!quiet.render().contains("conflict forensics"));
     }
 
     #[test]

@@ -4,7 +4,7 @@
 //! Events are one JSON object per line (JSONL) across numbered segment
 //! files `journal-NNNNNNNN.jsonl`; segments rotate at a byte budget and
 //! the oldest are deleted past a segment budget, so the journal is
-//! bounded on disk.  Every segment opens with a `{"e":"header","v":1}`
+//! bounded on disk.  Every segment opens with a `{"e":"header","v":N}`
 //! line and readers reject unknown schema versions.
 //!
 //! The journal is the durable twin of the metrics registry: every event
@@ -25,12 +25,27 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-/// Journal schema version accepted by this build's reader.
+/// Journal schema version written by this build.
 ///
 /// v2: track-I/O and safe-write-group events carry the storage backend
 /// (`sim` / `file`), groups carry their fsync count, and the `disk_sync`
 /// event exists (PR 8's durable file backend).
-pub const JOURNAL_SCHEMA: u64 = 2;
+///
+/// v3: conflict forensics and commit-latency observability — the
+/// `txn_conflict` event (structured abort attribution: kind, culprit,
+/// overlapping objects and home tracks), the `commit_timeline` event
+/// (per-commit phase breakdown feeding the `commit.phase.*_us`
+/// histograms) and the `fsync_latency` event (per-barrier duration
+/// feeding `storage.disk.fsync_us`).
+///
+/// The reader is version-aware: it accepts any segment whose header
+/// version is in [`JOURNAL_SCHEMA_MIN`]`..=JOURNAL_SCHEMA`, but rejects
+/// an event under a header too old to have defined it (a v3-only event
+/// in a v2 segment is corruption, not forward compatibility).
+pub const JOURNAL_SCHEMA: u64 = 3;
+
+/// Oldest journal schema version this build's reader still replays.
+pub const JOURNAL_SCHEMA_MIN: u64 = 2;
 
 const BUCKETS: usize = 64;
 
@@ -106,6 +121,52 @@ pub enum JournalEvent {
     TxnCommit,
     TxnAbort {
         conflict: bool,
+    },
+    /// Forensic record of one validation conflict (v3). Emitted beside
+    /// the [`JournalEvent::TxnAbort`] that moves the counters, under the
+    /// same lock, so `txn.conflicts == count(txn_conflict)` always holds.
+    /// Purely informational for replay (the paired abort event moves the
+    /// counters); the doctor distills it into conflict-heat tables.
+    TxnConflict {
+        /// `"overlap"` or `"watermark"` (the txn layer's `ConflictKind`
+        /// rendered as a string — telemetry stays dependency-free).
+        kind: String,
+        /// Telemetry session id of the aborted transaction (0 when the
+        /// transaction was begun outside a session).
+        session: u64,
+        /// Transaction time at which the aborted transaction began.
+        start: u64,
+        /// Commit time of the culprit transaction (for `watermark`: the
+        /// prune watermark that made validation impossible).
+        culprit_time: u64,
+        /// Telemetry session id of the culprit (0 for `watermark`).
+        culprit_session: u64,
+        /// Overlapping object identities (capped; oldest conflict first).
+        goops: Vec<u64>,
+        /// Home tracks of the overlapping objects, where resolvable.
+        tracks: Vec<u64>,
+    },
+    /// Per-commit phase breakdown (v3): how one writing commit spent its
+    /// time, recorded into the `commit.phase.*_us` histograms.
+    CommitTimeline {
+        session: u64,
+        /// Age of the transaction's snapshot when the commit began.
+        snapshot_age_us: u64,
+        /// Validation, including the wait for the commit critical section.
+        validation_us: u64,
+        /// The safe-write group: track writes on both replicas.
+        safe_write_us: u64,
+        /// Durability barriers inside the group (subset of safe-write).
+        fsync_us: u64,
+        /// View publication after finalize.
+        publish_us: u64,
+    },
+    /// One durability barrier's duration (v3): `storage.disk.fsync_us`.
+    /// The matching [`JournalEvent::DiskSync`] moves the fsync counter;
+    /// this event carries its latency.
+    FsyncLatency {
+        us: u64,
+        backend: String,
     },
     /// One committed safe-write group (`storage.store.commits`,
     /// `.objects_written`, `storage.commit.group_tracks`). `fsyncs` is how
@@ -243,6 +304,32 @@ impl JournalEvent {
             TxnBegin => "{\"e\":\"txn_begin\"}".to_string(),
             TxnCommit => "{\"e\":\"txn_commit\"}".to_string(),
             TxnAbort { conflict } => format!("{{\"e\":\"txn_abort\",\"conflict\":{conflict}}}"),
+            TxnConflict { kind, session, start, culprit_time, culprit_session, goops, tracks } => {
+                format!(
+                    "{{\"e\":\"txn_conflict\",\"kind\":\"{}\",\"session\":{session},\
+                     \"start\":{start},\"culprit_time\":{culprit_time},\
+                     \"culprit_session\":{culprit_session},\"goops\":{},\"tracks\":{}}}",
+                    esc(kind),
+                    nums_to_str(goops),
+                    nums_to_str(tracks)
+                )
+            }
+            CommitTimeline {
+                session,
+                snapshot_age_us,
+                validation_us,
+                safe_write_us,
+                fsync_us,
+                publish_us,
+            } => format!(
+                "{{\"e\":\"commit_timeline\",\"session\":{session},\
+                 \"snapshot_age_us\":{snapshot_age_us},\"validation_us\":{validation_us},\
+                 \"safe_write_us\":{safe_write_us},\"fsync_us\":{fsync_us},\
+                 \"publish_us\":{publish_us}}}"
+            ),
+            FsyncLatency { us, backend } => {
+                format!("{{\"e\":\"fsync_latency\",\"us\":{us},\"backend\":\"{}\"}}", esc(backend))
+            }
             SafeWriteGroup { tracks, objects, fsyncs, backend } => format!(
                 "{{\"e\":\"safe_write_group\",\"tracks\":{tracks},\"objects\":{objects},\
                  \"fsyncs\":{fsyncs},\"backend\":\"{}\"}}",
@@ -305,6 +392,14 @@ impl JournalEvent {
     /// Parse one JSON line back into an event.  Unknown event names are
     /// an error: within one schema version the event set is closed.
     pub fn parse(line: &str) -> Result<JournalEvent, String> {
+        JournalEvent::parse_at(line, JOURNAL_SCHEMA)
+    }
+
+    /// Parse one JSON line under a specific segment schema version.  An
+    /// event introduced after `schema` is rejected exactly like an
+    /// unknown name: within one schema version the event set is closed,
+    /// so a v3-only event in a v2 segment is corruption.
+    pub fn parse_at(line: &str, schema: u64) -> Result<JournalEvent, String> {
         let obj = parse_flat(line)?;
         let kind = obj.str("e")?;
         let ev = match kind.as_str() {
@@ -350,6 +445,26 @@ impl JournalEvent {
             "txn_begin" => JournalEvent::TxnBegin,
             "txn_commit" => JournalEvent::TxnCommit,
             "txn_abort" => JournalEvent::TxnAbort { conflict: obj.bool("conflict")? },
+            "txn_conflict" => JournalEvent::TxnConflict {
+                kind: obj.str("kind")?,
+                session: obj.u64("session")?,
+                start: obj.u64("start")?,
+                culprit_time: obj.u64("culprit_time")?,
+                culprit_session: obj.u64("culprit_session")?,
+                goops: obj.u64_array("goops")?,
+                tracks: obj.u64_array("tracks")?,
+            },
+            "commit_timeline" => JournalEvent::CommitTimeline {
+                session: obj.u64("session")?,
+                snapshot_age_us: obj.u64("snapshot_age_us")?,
+                validation_us: obj.u64("validation_us")?,
+                safe_write_us: obj.u64("safe_write_us")?,
+                fsync_us: obj.u64("fsync_us")?,
+                publish_us: obj.u64("publish_us")?,
+            },
+            "fsync_latency" => {
+                JournalEvent::FsyncLatency { us: obj.u64("us")?, backend: obj.str("backend")? }
+            }
             "safe_write_group" => JournalEvent::SafeWriteGroup {
                 tracks: obj.u64("tracks")?,
                 objects: obj.u64("objects")?,
@@ -402,7 +517,20 @@ impl JournalEvent {
             },
             other => return Err(format!("unknown journal event {other:?}")),
         };
+        if ev.min_schema() > schema {
+            return Err(format!("unknown journal event {kind:?}"));
+        }
         Ok(ev)
+    }
+
+    /// The oldest schema version that defines this event.
+    fn min_schema(&self) -> u64 {
+        match self {
+            JournalEvent::TxnConflict { .. }
+            | JournalEvent::CommitTimeline { .. }
+            | JournalEvent::FsyncLatency { .. } => 3,
+            _ => JOURNAL_SCHEMA_MIN,
+        }
     }
 
     /// Replay this event's counter/gauge/histogram moves into `r`.  This
@@ -456,6 +584,24 @@ impl JournalEvent {
                     r.counter("txn.conflicts").inc();
                 }
             }
+            // Forensic only: the paired TxnAbort moved the counters, so
+            // this event must move nothing or replay would double-count.
+            TxnConflict { .. } => {}
+            CommitTimeline {
+                snapshot_age_us,
+                validation_us,
+                safe_write_us,
+                fsync_us,
+                publish_us,
+                ..
+            } => {
+                r.histogram("commit.phase.snapshot_age_us").record(*snapshot_age_us);
+                r.histogram("commit.phase.validation_us").record(*validation_us);
+                r.histogram("commit.phase.safe_write_us").record(*safe_write_us);
+                r.histogram("commit.phase.fsync_us").record(*fsync_us);
+                r.histogram("commit.phase.publish_us").record(*publish_us);
+            }
+            FsyncLatency { us, .. } => r.histogram("storage.disk.fsync_us").record(*us),
             SafeWriteGroup { tracks, objects, .. } => {
                 r.counter("storage.store.commits").inc();
                 r.counter("storage.store.objects_written").add(*objects);
@@ -759,6 +905,7 @@ impl Journal {
                 .map_err(|e| format!("segment {}: {e}", path.display()))?;
             let ends_clean = text.ends_with('\n');
             let lines: Vec<&str> = text.lines().collect();
+            let mut seg_schema = JOURNAL_SCHEMA;
             for (i, line) in lines.iter().enumerate() {
                 if line.is_empty() {
                     continue;
@@ -769,14 +916,16 @@ impl Journal {
                         return Err(format!("segment {seq} does not start with a header"));
                     }
                     let v = hdr.u64("v").map_err(|e| format!("segment {seq} header: {e}"))?;
-                    if v != JOURNAL_SCHEMA {
+                    if !(JOURNAL_SCHEMA_MIN..=JOURNAL_SCHEMA).contains(&v) {
                         return Err(format!(
-                            "unsupported journal schema v{v} (this reader speaks v{JOURNAL_SCHEMA})"
+                            "unsupported journal schema v{v} (this reader speaks \
+                             v{JOURNAL_SCHEMA_MIN}..=v{JOURNAL_SCHEMA})"
                         ));
                     }
+                    seg_schema = v;
                     continue;
                 }
-                match JournalEvent::parse(line) {
+                match JournalEvent::parse_at(line, seg_schema) {
                     Ok(ev) => events.push(ev),
                     Err(_) if seq == last_seq && i == lines.len() - 1 && !ends_clean => {
                         // In-flight partial write at the live tail.
@@ -803,6 +952,19 @@ fn rotate(s: &mut JournalState) -> std::io::Result<()> {
         let _ = std::fs::remove_file(segment_path(&s.cfg.dir, old));
     }
     Ok(())
+}
+
+/// Render a u64 slice as a JSON number array (`[1,2,3]`).
+fn nums_to_str(nums: &[u64]) -> String {
+    let mut out = String::from("[");
+    for (i, n) in nums.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&n.to_string());
+    }
+    out.push(']');
+    out
 }
 
 fn buckets_to_str(buckets: &[u64; BUCKETS]) -> String {
@@ -901,6 +1063,15 @@ impl FlatObject {
         match self.0.get(key) {
             Some(JsonValue::Bool(b)) => Ok(*b),
             other => Err(format!("field {key:?}: expected bool, got {other:?}")),
+        }
+    }
+
+    pub fn u64_array(&self, key: &str) -> Result<Vec<u64>, String> {
+        match self.0.get(key) {
+            Some(JsonValue::NumArray(a)) if a.iter().all(|n| *n >= 0 && *n <= u64::MAX as i128) => {
+                Ok(a.iter().map(|n| *n as u64).collect())
+            }
+            other => Err(format!("field {key:?}: expected u64 array, got {other:?}")),
         }
     }
 }
@@ -1084,6 +1255,33 @@ mod tests {
                 backend: "file".into(),
             },
             JournalEvent::TxnAbort { conflict: true },
+            JournalEvent::TxnConflict {
+                kind: "overlap".into(),
+                session: 2,
+                start: 10,
+                culprit_time: 12,
+                culprit_session: 1,
+                goops: vec![77, 90],
+                tracks: vec![3],
+            },
+            JournalEvent::TxnConflict {
+                kind: "watermark".into(),
+                session: 0,
+                start: 4,
+                culprit_time: 9,
+                culprit_session: 0,
+                goops: vec![],
+                tracks: vec![],
+            },
+            JournalEvent::CommitTimeline {
+                session: 2,
+                snapshot_age_us: 1500,
+                validation_us: 40,
+                safe_write_us: 900,
+                fsync_us: 600,
+                publish_us: 5,
+            },
+            JournalEvent::FsyncLatency { us: 480, backend: "file".into() },
             JournalEvent::TxnCommit,
             JournalEvent::Recovery {
                 roots_considered: 2,
@@ -1141,6 +1339,14 @@ mod tests {
         assert_eq!(s.gauge("storage.recovery.epoch"), 5);
         assert_eq!(s.histogram("storage.commit.group_tracks").unwrap().count, 1);
         assert_eq!(s.histogram("session.statement_ns").unwrap().sum, 1234);
+        assert_eq!(s.histogram("commit.phase.fsync_us").unwrap().sum, 600);
+        assert_eq!(s.histogram("commit.phase.snapshot_age_us").unwrap().count, 1);
+        assert_eq!(s.histogram("storage.disk.fsync_us").unwrap().sum, 480);
+        assert_eq!(
+            s.counter("txn.conflicts"),
+            1,
+            "txn_conflict events are forensic only; the paired abort moves the counter"
+        );
     }
 
     #[test]
@@ -1218,11 +1424,73 @@ mod tests {
         let dir = temp_dir("unknown-event");
         std::fs::write(
             dir.join("journal-00000001.jsonl"),
-            "{\"e\":\"header\",\"v\":1,\"seq\":1}\n{\"e\":\"warp_drive\",\"x\":1}\n",
+            format!("{}{{\"e\":\"warp_drive\",\"x\":1}}\n", header_line(1)),
         )
         .unwrap();
         let err = Journal::read_from(&dir).unwrap_err();
         assert!(err.contains("unknown journal event"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A journal committed under schema v2 (the previous release) must
+    /// still replay, byte-exact, after the v3 bump: the v2 event set is a
+    /// strict subset of v3 and the replay rules for it are unchanged.
+    #[test]
+    fn v2_fixture_replays_byte_exact_under_v3_reader() {
+        let dir = temp_dir("v2-compat");
+        std::fs::write(
+            dir.join("journal-00000001.jsonl"),
+            concat!(
+                "{\"e\":\"header\",\"v\":2,\"seq\":1}\n",
+                "{\"e\":\"txn_begin\"}\n",
+                "{\"e\":\"cache_access\",\"track\":3,\"shard\":3,\"hit\":true}\n",
+                "{\"e\":\"track_write\",\"track\":3,\"ok\":true,\"bytes\":8192,\
+                 \"backend\":\"file\"}\n",
+                "{\"e\":\"disk_sync\",\"ok\":true,\"backend\":\"file\"}\n",
+                "{\"e\":\"safe_write_group\",\"tracks\":1,\"objects\":2,\"fsyncs\":2,\
+                 \"backend\":\"file\"}\n",
+                "{\"e\":\"txn_abort\",\"conflict\":true}\n",
+                "{\"e\":\"txn_commit\"}\n",
+            ),
+        )
+        .unwrap();
+        let readout = Journal::read_from(&dir).unwrap();
+        assert!(readout.complete);
+        assert_eq!(readout.events.len(), 7);
+
+        // The same moves made live must match the replay byte-for-byte.
+        let live = MetricsRegistry::new();
+        live.counter("txn.begins").inc();
+        live.counter("storage.cache.hits").inc();
+        live.counter("storage.cache.shard3.hits").inc();
+        live.counter("storage.disk.writes").inc();
+        live.counter("storage.disk.bytes_written").add(8192);
+        live.counter("storage.disk.fsyncs").inc();
+        live.counter("storage.store.commits").inc();
+        live.counter("storage.store.objects_written").add(2);
+        live.histogram("storage.commit.group_tracks").record(1);
+        live.counter("txn.aborts").inc();
+        live.counter("txn.conflicts").inc();
+        live.counter("txn.commits").inc();
+        let replayed = replay(&readout.events).snapshot();
+        assert_eq!(replayed.to_json_lines(), live.snapshot().to_json_lines());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A v3-only event under a v2 segment header is corruption, not
+    /// forward compatibility: within one schema version the event set is
+    /// closed, so the reader refuses it with the unknown-event error.
+    #[test]
+    fn v3_event_under_v2_header_is_rejected() {
+        let dir = temp_dir("v3-in-v2");
+        std::fs::write(
+            dir.join("journal-00000001.jsonl"),
+            "{\"e\":\"header\",\"v\":2,\"seq\":1}\n\
+             {\"e\":\"fsync_latency\",\"us\":480,\"backend\":\"file\"}\n",
+        )
+        .unwrap();
+        let err = Journal::read_from(&dir).unwrap_err();
+        assert!(err.contains("unknown journal event \"fsync_latency\""), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 
@@ -1239,7 +1507,7 @@ mod tests {
         let dir = temp_dir("partial");
         std::fs::write(
             dir.join("journal-00000001.jsonl"),
-            "{\"e\":\"header\",\"v\":1,\"seq\":1}\n{\"e\":\"txn_begin\"}\n{\"e\":\"txn_co",
+            format!("{}{{\"e\":\"txn_begin\"}}\n{{\"e\":\"txn_co", header_line(1)),
         )
         .unwrap();
         let readout = Journal::read_from(&dir).unwrap();

@@ -24,18 +24,24 @@ mod bundle;
 mod clock;
 mod journal;
 mod metrics;
+mod ring;
 mod trace;
 
 pub use bundle::{
-    CacheSweepPoint, DiagnosticBundle, EffectProfile, RecoverySummary, SlowEntry, TrackHeat,
+    CacheSweepPoint, ConflictProfile, DiagnosticBundle, EffectProfile, RecoverySummary, SlowEntry,
+    TrackHeat,
 };
 pub use clock::{ManualTime, TelemetryClock};
 pub use journal::{
     effect_class_counter, parse_flat, replay, FlatObject, Journal, JournalConfig, JournalEvent,
-    JournalReadout, JsonValue, JOURNAL_SCHEMA,
+    JournalReadout, JsonValue, JOURNAL_SCHEMA, JOURNAL_SCHEMA_MIN,
 };
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsBatch, MetricsRegistry, MetricsSnapshot,
+};
+pub use ring::{
+    detect, Anomaly, AnomalyThresholds, Observatory, ObservatoryConfig, ObservatorySample,
+    WindowStats,
 };
 pub use trace::{OpenSpan, SpanEvent, SpanKind, Tracer};
 
@@ -50,6 +56,9 @@ pub struct Telemetry {
     pub tracer: Tracer,
     /// The persistent flight recorder (disabled until started).
     pub journal: Journal,
+    /// The live time-series ring (disabled until enabled). Pull-based:
+    /// sampling happens only when a driver ticks it, never on hot paths.
+    pub observatory: Observatory,
     clock: TelemetryClock,
     next_session: Arc<AtomicU64>,
 }
@@ -70,9 +79,20 @@ impl Telemetry {
             registry,
             tracer,
             journal: Journal::disabled(),
+            observatory: Observatory::disabled(),
             clock,
             next_session: Arc::new(AtomicU64::new(1)),
         }
+    }
+
+    /// Tick the observatory against this telemetry's registry and clock.
+    /// Returns anomalies that newly fired on this sample.  One relaxed
+    /// atomic load when the observatory is disabled.
+    pub fn observe(&self) -> Vec<Anomaly> {
+        if !self.observatory.enabled() {
+            return Vec::new();
+        }
+        self.observatory.tick(&self.registry, self.clock.now_ns() / 1_000)
     }
 
     /// Deterministic telemetry for tests: a hand-cranked clock plus its

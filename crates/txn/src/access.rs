@@ -69,6 +69,35 @@ impl AccessSet {
         self.slots.contains(&slot) || self.slots.contains(&SlotId::Object(slot.goop()))
     }
 
+    /// The objects on which the two sets collide, using the same covering
+    /// rules as [`AccessSet::intersects`] — the forensic twin of the
+    /// boolean check, enumerated for conflict attribution. Sorted and
+    /// deduplicated.
+    pub fn intersection_goops(&self, other: &AccessSet) -> Vec<Goop> {
+        let mut goops: Vec<Goop> = self
+            .slots
+            .iter()
+            .filter(|s| {
+                other.covers(**s)
+                    || (matches!(s, SlotId::Object(_))
+                        && other.slots.iter().any(|o| o.goop() == s.goop()))
+            })
+            .map(|s| s.goop())
+            .collect();
+        goops.sort_unstable_by_key(|g| g.0);
+        goops.dedup();
+        goops
+    }
+
+    /// Every distinct object in the set, sorted (watermark-conservative
+    /// conflicts attribute the whole read set: any of it may overlap).
+    pub fn goops(&self) -> Vec<Goop> {
+        let mut goops: Vec<Goop> = self.slots.iter().map(|s| s.goop()).collect();
+        goops.sort_unstable_by_key(|g| g.0);
+        goops.dedup();
+        goops
+    }
+
     /// Iterate recorded slots.
     pub fn iter(&self) -> impl Iterator<Item = SlotId> + '_ {
         self.slots.iter().copied()

@@ -22,4 +22,7 @@ mod access;
 mod manager;
 
 pub use access::{AccessSet, SlotId};
-pub use manager::{TransactionManager, TxnCounters, TxnId, TxnToken, ValidationGrain};
+pub use manager::{
+    ConflictReport, ConflictStats, TrackResolver, TransactionManager, TxnCounters, TxnId, TxnToken,
+    ValidationGrain,
+};

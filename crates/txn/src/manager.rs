@@ -1,11 +1,12 @@
 //! Optimistic validation (Kung–Robinson backward validation).
 
 use crate::access::AccessSet;
-use gemstone_object::{GemError, GemResult};
+use gemstone_object::{ConflictKind, GemError, GemResult, Goop};
 use gemstone_telemetry::{Counter, Histogram, Journal, JournalEvent};
 use gemstone_temporal::{Clock, TxnTime};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Identity of a transaction attempt.
@@ -18,6 +19,69 @@ pub struct TxnToken {
     pub id: TxnId,
     /// The transaction sees the database state as of this time.
     pub start: TxnTime,
+    /// Telemetry session id of the owner (0 when begun through the plain
+    /// `begin*` entries) — stamped into commit records so a later conflict
+    /// can name the culprit session.
+    pub session: u64,
+}
+
+/// Resolves an object to its current home track (installed by the engine;
+/// the storage layer owns the GOOP table). Called under the manager's
+/// inner lock, which precedes store internals in the DESIGN.md §9 lock
+/// hierarchy.
+pub type TrackResolver = Arc<dyn Fn(Goop) -> Option<u64> + Send + Sync>;
+
+/// Objects/tracks attributed per conflict report (hot conflicts involve a
+/// handful of slots; the cap keeps journal lines and reports bounded).
+const MAX_REPORT_OBJECTS: usize = 8;
+
+/// Distinct objects/tracks tracked in the conflict-heat tables before new
+/// entries are dropped (existing entries keep counting).
+const MAX_HEAT_ENTRIES: usize = 1024;
+
+/// The forensic record of one validation failure: why the transaction
+/// aborted, whose commit killed it, and which objects collided. Built by
+/// the Transaction Manager at validation time, journaled as a `TxnConflict`
+/// event, and retrievable per session via `Session::last_conflict`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConflictReport {
+    /// Real overlap or watermark-conservative refusal.
+    pub kind: ConflictKind,
+    /// Telemetry session id of the aborted transaction (0 if unknown).
+    pub session: u64,
+    /// When the aborted transaction began (its snapshot time).
+    pub started_at: TxnTime,
+    /// The commit that killed it: the conflicting commit's time for an
+    /// overlap, the prune watermark for a conservative refusal.
+    pub culprit_time: TxnTime,
+    /// Telemetry session id of the culprit committer (0 when unknown —
+    /// always 0 for watermark conflicts: the culprit's record is pruned).
+    pub culprit_session: u64,
+    /// Overlapping object identities (capped at 8): the read∩write overlap
+    /// for an overlap conflict, the transaction's read set for a watermark
+    /// refusal (any of it may overlap the pruned records).
+    pub goops: Vec<u64>,
+    /// Current home tracks of `goops`, deduplicated (empty when no track
+    /// resolver is installed).
+    pub tracks: Vec<u64>,
+}
+
+/// Aggregated conflict-heat: how often validation failed, per kind, and
+/// the objects/tracks most often involved (hottest first).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ConflictStats {
+    pub overlap: u64,
+    pub watermark: u64,
+    /// (goop, conflicts) sorted by count descending then goop.
+    pub by_object: Vec<(u64, u64)>,
+    /// (track, conflicts) sorted by count descending then track.
+    pub by_track: Vec<(u64, u64)>,
+}
+
+impl ConflictStats {
+    pub fn total(&self) -> u64 {
+        self.overlap + self.watermark
+    }
 }
 
 /// Validation granularity (the DESIGN.md §4.5 ablation).
@@ -32,6 +96,7 @@ pub enum ValidationGrain {
 
 struct CommitRecord {
     time: TxnTime,
+    session: u64,
     writes: AccessSet,
 }
 
@@ -39,6 +104,15 @@ struct Inner {
     active: HashMap<TxnId, TxnTime>,
     log: Vec<CommitRecord>,
     next_id: u64,
+    /// Per-kind conflict totals plus bounded per-object / per-track heat
+    /// tables — the aggregate view behind [`TransactionManager::conflict_stats`].
+    conflicts_overlap: u64,
+    conflicts_watermark: u64,
+    conflict_objects: HashMap<u64, u64>,
+    conflict_tracks: HashMap<u64, u64>,
+    /// The most recent conflict report per telemetry session id, for
+    /// `Session::last_conflict`.
+    last_conflict: HashMap<u64, ConflictReport>,
     /// Newest commit time whose log record has been pruned. A writing
     /// transaction that began at or before this cannot be validated (the
     /// records it must check are gone) and aborts conservatively. This
@@ -99,6 +173,9 @@ pub struct TransactionManager {
     /// Microseconds each committer waited to enter the validation critical
     /// section — the direct measure of commit-path contention.
     validation_wait: Histogram,
+    /// Goop → home-track resolution for conflict attribution, installed
+    /// once by the engine after construction (lock-free to read).
+    resolver: OnceLock<TrackResolver>,
     inner: Mutex<Inner>,
 }
 
@@ -117,10 +194,16 @@ impl TransactionManager {
             counters: TxnCounters::default(),
             journal: None,
             validation_wait: Histogram::new(),
+            resolver: OnceLock::new(),
             inner: Mutex::new(Inner {
                 active: HashMap::new(),
                 log: Vec::new(),
                 next_id: 1,
+                conflicts_overlap: 0,
+                conflicts_watermark: 0,
+                conflict_objects: HashMap::new(),
+                conflict_tracks: HashMap::new(),
+                last_conflict: HashMap::new(),
                 // Commits from before this manager existed (pre-recovery)
                 // have no log records: snapshots older than the resume
                 // point cannot be validated.
@@ -132,6 +215,12 @@ impl TransactionManager {
     /// Attach the flight recorder (before the manager is shared).
     pub fn attach_journal(&mut self, journal: Journal) {
         self.journal = Some(journal);
+    }
+
+    /// Install the goop → home-track resolver conflict reports use for
+    /// track attribution. One-shot: later calls are ignored.
+    pub fn set_track_resolver(&self, f: TrackResolver) {
+        let _ = self.resolver.set(f);
     }
 
     #[inline]
@@ -157,7 +246,7 @@ impl TransactionManager {
     /// that window.
     pub fn begin_at(&self, start: TxnTime) -> TxnToken {
         let mut inner = self.inner.lock();
-        self.register_locked(&mut inner, start)
+        self.register_locked(&mut inner, start, 0)
     }
 
     /// [`TransactionManager::begin_at`], refusing a stale start. `None`
@@ -169,14 +258,21 @@ impl TransactionManager {
     /// start, so a registered writer cannot be conservatively aborted by
     /// the watermark it just checked.
     pub fn begin_at_checked(&self, start: TxnTime) -> Option<TxnToken> {
+        self.begin_at_checked_for(start, 0)
+    }
+
+    /// [`TransactionManager::begin_at_checked`] with the owner's telemetry
+    /// session id, stamped into the token (and, at commit, into the commit
+    /// record) so conflict reports can name culprit sessions.
+    pub fn begin_at_checked_for(&self, start: TxnTime, session: u64) -> Option<TxnToken> {
         let mut inner = self.inner.lock();
         if start < inner.pruned_through {
             return None;
         }
-        Some(self.register_locked(&mut inner, start))
+        Some(self.register_locked(&mut inner, start, session))
     }
 
-    fn register_locked(&self, inner: &mut Inner, start: TxnTime) -> TxnToken {
+    fn register_locked(&self, inner: &mut Inner, start: TxnTime, session: u64) -> TxnToken {
         let id = TxnId(inner.next_id);
         inner.next_id += 1;
         inner.active.insert(id, start);
@@ -184,7 +280,7 @@ impl TransactionManager {
         if let Some(j) = self.journal_on() {
             j.emit(&JournalEvent::TxnBegin);
         }
-        TxnToken { id, start }
+        TxnToken { id, start, session }
     }
 
     /// Validate and commit: returns the commit time on success. On conflict
@@ -229,16 +325,11 @@ impl TransactionManager {
         // registered (it raced a commit's prune between reading the
         // published snapshot and `begin_at`), so the overlap cannot be
         // ruled out and the abort is conservative.
-        if let Err(e) = self.validate_locked(&mut inner, &token, &reads_g) {
-            self.counters.aborts.inc();
-            self.counters.conflicts.inc();
-            if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::TxnAbort { conflict: true });
-            }
-            return Err(e);
+        if let Err(report) = self.validate_locked(&mut inner, &token, &reads_g) {
+            return Err(self.conflict_abort_locked(&mut inner, *report));
         }
         let time = self.clock.tick();
-        inner.log.push(CommitRecord { time, writes: writes_g });
+        inner.log.push(CommitRecord { time, session: token.session, writes: writes_g });
         self.counters.commits.inc();
         if let Some(j) = self.journal_on() {
             j.emit(&JournalEvent::TxnCommit);
@@ -287,14 +378,9 @@ impl TransactionManager {
             ValidationGrain::Element => reads.clone(),
             ValidationGrain::Object => reads.coarsened(),
         };
-        if let Err(e) = self.validate_locked(&mut inner, token, &reads_g) {
+        if let Err(report) = self.validate_locked(&mut inner, token, &reads_g) {
             inner.active.remove(&token.id);
-            self.counters.aborts.inc();
-            self.counters.conflicts.inc();
-            if let Some(j) = self.journal_on() {
-                j.emit(&JournalEvent::TxnAbort { conflict: true });
-            }
-            return Err(e);
+            return Err(self.conflict_abort_locked(&mut inner, *report));
         }
         Ok(self.clock.tick())
     }
@@ -318,7 +404,7 @@ impl TransactionManager {
                 ValidationGrain::Element => writes.clone(),
                 ValidationGrain::Object => writes.coarsened(),
             };
-            inner.log.push(CommitRecord { time, writes: writes_g });
+            inner.log.push(CommitRecord { time, session: token.session, writes: writes_g });
         }
         self.counters.commits.inc();
         if let Some(j) = self.journal_on() {
@@ -329,38 +415,150 @@ impl TransactionManager {
     }
 
     /// Backward validation of `reads_g` against the log and the watermark,
-    /// under the inner lock. Does not touch the active set or counters.
+    /// under the inner lock. Does not touch the active set or counters; a
+    /// failure returns the full forensic report for the caller to record.
     fn validate_locked(
         &self,
         inner: &mut Inner,
         token: &TxnToken,
         reads_g: &AccessSet,
-    ) -> GemResult<()> {
+    ) -> Result<(), Box<ConflictReport>> {
         if token.start < inner.pruned_through {
-            return Err(GemError::TransactionConflict {
-                detail: format!(
-                    "commit log pruned through {} but the transaction began at {}: \
-                     overlap cannot be ruled out",
-                    inner.pruned_through, token.start
-                ),
-            });
+            // The culprit's record is pruned: attribute the refusal to the
+            // watermark and name the whole read set (any of it may
+            // overlap the records that are gone).
+            let goops: Vec<u64> =
+                reads_g.goops().into_iter().take(MAX_REPORT_OBJECTS).map(|g| g.0).collect();
+            return Err(Box::new(self.attribute(ConflictReport {
+                kind: ConflictKind::Watermark,
+                session: token.session,
+                started_at: token.start,
+                culprit_time: inner.pruned_through,
+                culprit_session: 0,
+                tracks: Vec::new(),
+                goops,
+            })));
         }
         let conflict = inner
             .log
             .iter()
             .rev()
             .take_while(|rec| rec.time > token.start)
-            .find(|rec| rec.writes.intersects(reads_g))
-            .map(|rec| rec.time);
-        if let Some(time) = conflict {
-            return Err(GemError::TransactionConflict {
-                detail: format!(
-                    "a transaction committed at {} wrote data read since {}",
-                    time, token.start
-                ),
-            });
+            .find(|rec| rec.writes.intersects(reads_g));
+        if let Some(rec) = conflict {
+            let goops: Vec<u64> = rec
+                .writes
+                .intersection_goops(reads_g)
+                .into_iter()
+                .take(MAX_REPORT_OBJECTS)
+                .map(|g| g.0)
+                .collect();
+            return Err(Box::new(self.attribute(ConflictReport {
+                kind: ConflictKind::Overlap,
+                session: token.session,
+                started_at: token.start,
+                culprit_time: rec.time,
+                culprit_session: rec.session,
+                tracks: Vec::new(),
+                goops,
+            })));
         }
         Ok(())
+    }
+
+    /// Fill in the home tracks of a report's objects via the installed
+    /// resolver (no resolver: tracks stay empty).
+    fn attribute(&self, mut report: ConflictReport) -> ConflictReport {
+        if let Some(resolve) = self.resolver.get() {
+            let mut tracks: Vec<u64> =
+                report.goops.iter().filter_map(|&g| resolve(Goop(g))).collect();
+            tracks.sort_unstable();
+            tracks.dedup();
+            report.tracks = tracks;
+        }
+        report
+    }
+
+    /// Shared conflict epilogue, under the inner lock: move the abort and
+    /// conflict counters, fold the report into the heat tables, stash it
+    /// for `last_conflict`, journal `TxnAbort` + `TxnConflict` (beside the
+    /// counter moves, so journaled conflict events and the conflicts
+    /// counter stay 1:1 under concurrency), and build the error.
+    fn conflict_abort_locked(&self, inner: &mut Inner, report: ConflictReport) -> GemError {
+        self.counters.aborts.inc();
+        self.counters.conflicts.inc();
+        match report.kind {
+            ConflictKind::Overlap => inner.conflicts_overlap += 1,
+            ConflictKind::Watermark => inner.conflicts_watermark += 1,
+        }
+        for &g in &report.goops {
+            if inner.conflict_objects.len() < MAX_HEAT_ENTRIES
+                || inner.conflict_objects.contains_key(&g)
+            {
+                *inner.conflict_objects.entry(g).or_insert(0) += 1;
+            }
+        }
+        for &t in &report.tracks {
+            if inner.conflict_tracks.len() < MAX_HEAT_ENTRIES
+                || inner.conflict_tracks.contains_key(&t)
+            {
+                *inner.conflict_tracks.entry(t).or_insert(0) += 1;
+            }
+        }
+        if let Some(j) = self.journal_on() {
+            j.emit(&JournalEvent::TxnAbort { conflict: true });
+            j.emit(&JournalEvent::TxnConflict {
+                kind: report.kind.as_str().to_string(),
+                session: report.session,
+                start: report.started_at.ticks(),
+                culprit_time: report.culprit_time.ticks(),
+                culprit_session: report.culprit_session,
+                goops: report.goops.clone(),
+                tracks: report.tracks.clone(),
+            });
+        }
+        let detail = match report.kind {
+            ConflictKind::Watermark => format!(
+                "commit log pruned through {} but the transaction began at {}: \
+                 overlap cannot be ruled out",
+                report.culprit_time, report.started_at
+            ),
+            ConflictKind::Overlap => {
+                let goops: Vec<String> = report.goops.iter().map(|g| format!("g{g}")).collect();
+                format!(
+                    "a transaction committed at {} wrote data read since {} (goops: {})",
+                    report.culprit_time,
+                    report.started_at,
+                    if goops.is_empty() { "unrecorded".to_string() } else { goops.join(", ") }
+                )
+            }
+        };
+        let kind = report.kind;
+        inner.last_conflict.insert(report.session, report);
+        GemError::TransactionConflict { kind, detail }
+    }
+
+    /// The most recent conflict report recorded for `session`, if any.
+    pub fn last_conflict_for(&self, session: u64) -> Option<ConflictReport> {
+        self.inner.lock().last_conflict.get(&session).cloned()
+    }
+
+    /// Aggregated conflict heat: per-kind totals plus the objects and
+    /// tracks most often involved, hottest first.
+    pub fn conflict_stats(&self) -> ConflictStats {
+        let inner = self.inner.lock();
+        let mut by_object: Vec<(u64, u64)> =
+            inner.conflict_objects.iter().map(|(&g, &n)| (g, n)).collect();
+        by_object.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut by_track: Vec<(u64, u64)> =
+            inner.conflict_tracks.iter().map(|(&t, &n)| (t, n)).collect();
+        by_track.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        ConflictStats {
+            overlap: inner.conflicts_overlap,
+            watermark: inner.conflicts_watermark,
+            by_object,
+            by_track,
+        }
     }
 
     /// Abort without validating.

@@ -28,6 +28,7 @@
 //! :journal <dir>           — start the flight recorder (segments in <dir>)
 //! :journal off             — stop it
 //! :doctor                  — render a diagnostic bundle from the journal
+//! :conflicts               — this session's last conflict + database heat
 //! ```
 
 use gemstone::{GemStone, JournalConfig, MetricsSnapshot};
@@ -114,6 +115,47 @@ fn main() {
                     Err(e) => println!("  !! {e}"),
                 }
             }
+            continue;
+        }
+        if src == ":conflicts" {
+            match session.last_conflict() {
+                Some(r) => {
+                    println!(
+                        "  last conflict: {} — txn begun {:?} killed by commit {:?} (session {})",
+                        r.kind, r.started_at, r.culprit_time, r.culprit_session
+                    );
+                    if !r.goops.is_empty() {
+                        let goops: Vec<String> = r.goops.iter().map(|g| format!("g{g}")).collect();
+                        let tracks: Vec<String> = r.tracks.iter().map(|t| t.to_string()).collect();
+                        println!(
+                            "    objects: {}  home tracks: {}",
+                            goops.join(", "),
+                            if tracks.is_empty() {
+                                "(no resolver)".into()
+                            } else {
+                                tracks.join(", ")
+                            }
+                        );
+                    }
+                }
+                None => println!("  no conflict recorded for this session."),
+            }
+            let s = gs.database().conflict_stats();
+            println!(
+                "  database: {} conflicts (overlap {}, watermark {})",
+                s.total(),
+                s.overlap,
+                s.watermark
+            );
+            let heat = |pairs: &[(u64, u64)], what: &str| {
+                if !pairs.is_empty() {
+                    let per: Vec<String> =
+                        pairs.iter().take(8).map(|(k, n)| format!("{what} {k} ×{n}")).collect();
+                    println!("    hottest: {}", per.join(", "));
+                }
+            };
+            heat(&s.by_object, "goop");
+            heat(&s.by_track, "track");
             continue;
         }
         if src == ":doctor" {

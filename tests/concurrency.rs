@@ -2,7 +2,51 @@
 //! system (§6's Transaction Manager), including SafeTime (§5.4) and a
 //! serializability check on concurrent counter updates.
 
-use gemstone::{GemError, GemStone};
+use gemstone::{ConflictKind, GemError, GemStone};
+
+/// PR 9 tentpole: a losing validation yields a structured forensic
+/// report — the kind, the culprit commit (time + session), the
+/// overlapping objects with their home tracks — surfaced through the
+/// error, `Session::last_conflict`, and the database-wide heat tables.
+#[test]
+fn conflict_forensics_name_the_culprit() {
+    let gs = GemStone::in_memory();
+    let mut a = gs.login("system").unwrap();
+    let mut b = gs.login("system").unwrap();
+
+    a.run("Account := Dictionary new. Account at: #balance put: 100").unwrap();
+    a.commit().unwrap();
+
+    a.run("Account at: #balance put: (Account at: #balance) + 10").unwrap();
+    b.run("Account at: #balance put: (Account at: #balance) - 10").unwrap();
+    let winner_time = a.commit().unwrap();
+    let err = b.commit().unwrap_err();
+    let GemError::TransactionConflict { kind, detail } = &err else {
+        panic!("expected a conflict, got {err:?}");
+    };
+    assert_eq!(*kind, ConflictKind::Overlap);
+    assert!(detail.contains("goop"), "detail names the contested object: {detail}");
+
+    let report = b.last_conflict().expect("losing session has a report");
+    assert_eq!(report.kind, ConflictKind::Overlap);
+    assert_eq!(report.session, b.session_id());
+    assert_eq!(report.culprit_session, a.session_id(), "the killer is named");
+    assert_eq!(report.culprit_time, winner_time, "killed by the winning commit");
+    assert!(!report.goops.is_empty(), "the contested objects are listed");
+    assert!(
+        !report.tracks.is_empty(),
+        "home tracks resolved (the resolver is installed at database build)"
+    );
+    assert!(a.last_conflict().is_none(), "the winner has no conflict to report");
+
+    let stats = gs.database().conflict_stats();
+    assert_eq!((stats.overlap, stats.watermark), (1, 0));
+    assert_eq!(stats.total(), 1);
+    let (hot_goop, n) = stats.by_object[0];
+    assert_eq!(n, 1);
+    assert!(report.goops.contains(&hot_goop), "heat table agrees with the report");
+    assert_eq!(stats.by_track[0].1, 1);
+}
 
 #[test]
 fn conflicting_sessions_abort_the_later_committer() {

@@ -298,6 +298,24 @@ fn telemetry_overhead_gate() {
         off,
         "journal disabled (the default above) adds no interpreter dispatches"
     );
+
+    // The observatory leg of the gate: the ring is pull-based — sampling
+    // only happens inside an explicit `observatory_tick`, so enabling it
+    // leaves every engine hot path untouched (structurally zero extra
+    // dispatches, not merely within budget).
+    let gs_r = GemStone::in_memory();
+    gs_r.database().enable_observatory(gemstone::ObservatoryConfig::default());
+    let mut s_r = gs_r.login("system").unwrap();
+    let before_r = s_r.metrics();
+    workload(&mut s_r);
+    let d_r = s_r.metrics().diff(&before_r);
+    assert_eq!(
+        off,
+        d_r.counter("opal.interp.dispatches"),
+        "the observatory ring adds no interpreter dispatches"
+    );
+    gs_r.database().observatory_tick();
+    assert!(gs_r.telemetry().observatory.len() <= 1, "samples exist only where a driver ticks");
 }
 
 /// Interpreter and verifier counters flow through the registry.
