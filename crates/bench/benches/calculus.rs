@@ -124,8 +124,8 @@ fn equi_join(c: &mut Criterion) {
     build_join_collections(&mut s, n, m);
     let q = join_query(&mut s);
     let catalog = IndexCatalog::new();
-    let hash_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: true });
-    let nested_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: false });
+    let hash_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: true, stats: None });
+    let nested_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: false, stats: None });
     assert!(
         hash_plan.uses_hash_join(),
         "planner must pick the hash join: {}",

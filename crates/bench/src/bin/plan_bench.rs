@@ -1,0 +1,217 @@
+//! B10: the plan-trajectory benchmark behind `BENCH_PR10.json`.
+//!
+//! Two deterministic planner experiments, self-enforcing and then gated by
+//! `perf_gate` against the committed snapshot:
+//!
+//! * **skewed 3-way join** — the acceptance skew from the planner suite:
+//!   declaration order joins the explosive Regions pair first, the
+//!   cost-based planner reorders the selective Customers join ahead of it.
+//!   The record carries both canonical plan strings (exact-matched by the
+//!   gate — a silent plan change fails CI) plus the exact row-visit
+//!   counters proving the reorder is cheaper.
+//! * **drift → replan** — statistics trained on a tiny Orders set, frozen,
+//!   the set grown 100x with non-matching keys. Execution 1 must journal
+//!   exactly one `PlanDrift`; execution 2 must re-plan (`replan = true`)
+//!   to a different, cheaper plan. Both plan strings and both visit
+//!   counts land in the record.
+//!
+//! All gated fields are counted, not timed: the planner prices plans in
+//! row visits and the engine counts them exactly, so the gate tolerates
+//! zero nondeterminism.
+//!
+//! ```sh
+//! cargo run -p gemstone-bench --bin plan_bench --release   # writes BENCH_PR10.json
+//! cargo run -p gemstone-bench --bin perf_gate --release -- BENCH_PR10.committed.json BENCH_PR10.json
+//! ```
+
+use gemstone::{GemStone, Session};
+use gemstone_calculus::{CmpOp, Pred, Query, Range, Term, VarId};
+use gemstone_object::ElemName;
+use gemstone_opal::OpalWorld;
+
+/// Total row traffic the last query caused: rows scanned + directory rows
+/// visited + hash build/probe work — the currency plans are priced in.
+fn row_visits(s: &Session) -> u64 {
+    let p = s.last_plan_stats().expect("a planned query");
+    p.rows_scanned + p.index_rows + p.hash_builds + p.hash_probes
+}
+
+/// The acceptance skew: 40 orders over 5 customers (selective join) all
+/// bunched into one region shared by 5 region rows (explosive join), every
+/// join path indexed. Declaration order puts the explosive join first.
+fn build_skew(s: &mut Session) -> Query {
+    s.run(
+        "| t | Orders := Bag new. Customers := Bag new. Regions := Bag new.
+         1 to: 8 do: [:r |
+             1 to: 5 do: [:c |
+                 t := Dictionary new.
+                 t at: #Cust put: c. t at: #Region put: 7.
+                 Orders add: t]].
+         1 to: 5 do: [:c |
+             t := Dictionary new. t at: #Cust put: c. Customers add: t].
+         1 to: 5 do: [:i |
+             t := Dictionary new. t at: #Region put: 7. Regions add: t].",
+    )
+    .expect("populate");
+    s.commit().expect("commit data");
+    s.run("System createIndexOn: Orders path: #Cust").expect("index");
+    s.run("System createIndexOn: Orders path: #Region").expect("index");
+    s.run("System createIndexOn: Customers path: #Cust").expect("index");
+    s.run("System createIndexOn: Regions path: #Region").expect("index");
+    s.commit().expect("commit indexes");
+
+    let (o_sym, r_sym, c_sym) = (s.intern("Orders"), s.intern("Regions"), s.intern("Customers"));
+    let o = s.get_global(o_sym).expect("Orders");
+    let r = s.get_global(r_sym).expect("Regions");
+    let c = s.get_global(c_sym).expect("Customers");
+    let cust = ElemName::Sym(s.intern("Cust"));
+    let region = ElemName::Sym(s.intern("Region"));
+    let label = s.intern("Cust");
+    let (v0, v1, v2) = (VarId(0), VarId(1), VarId(2));
+    Query {
+        result: vec![(label, Term::Path(v0, vec![cust]))],
+        ranges: vec![
+            Range { var: v0, domain: Term::Const(o) },
+            Range { var: v1, domain: Term::Const(r) },
+            Range { var: v2, domain: Term::Const(c) },
+        ],
+        pred: Pred::Cmp(Term::Path(v0, vec![region]), CmpOp::Eq, Term::Path(v1, vec![region]))
+            .and(Pred::Cmp(Term::Path(v0, vec![cust]), CmpOp::Eq, Term::Path(v2, vec![cust]))),
+    }
+}
+
+fn main() {
+    let mut failures = 0usize;
+    let mut records: Vec<String> = Vec::new();
+
+    // ------------------------------------------- skewed 3-way join order
+    {
+        let gs = GemStone::in_memory();
+        let mut s = gs.login("system").expect("login");
+        let q = build_skew(&mut s);
+
+        let fixed_rows = s.query(&q).expect("fixed plan").len();
+        let fixed = s.last_decision().expect("decision").clone();
+        let fixed_visits = row_visits(&s);
+
+        let trained = gs.database().enable_stats().expect("enable stats");
+        let chosen_rows = s.query(&q).expect("cost-based plan").len();
+        let chosen = s.last_decision().expect("decision").clone();
+        let chosen_visits = row_visits(&s);
+        let stats = s.last_plan_stats().expect("plan stats");
+
+        println!(
+            "skew3: fixed {fixed_visits} visits [{}] vs cost-based {chosen_visits} visits [{}]",
+            fixed.canon, chosen.canon
+        );
+        if fixed_rows != 200 || chosen_rows != 200 {
+            println!("FAIL skew3: expected 200 rows, got {fixed_rows}/{chosen_rows}");
+            failures += 1;
+        }
+        if !chosen.cost_based || chosen.canon == fixed.canon {
+            println!("FAIL skew3: statistics did not change the plan");
+            failures += 1;
+        }
+        if chosen_visits >= fixed_visits {
+            println!(
+                "FAIL skew3: cost-based order ({chosen_visits}) must beat declaration \
+                 order ({fixed_visits})"
+            );
+            failures += 1;
+        }
+        records.push(format!(
+            "{{\"id\": \"plan-skew3\", \"rows\": {chosen_rows}, \"stats_trained\": {trained}, \
+             \"fixed_plan\": \"{}\", \"chosen_plan\": \"{}\", \"fixed_visits\": {fixed_visits}, \
+             \"chosen_visits\": {chosen_visits}, \"hash_builds\": {}, \"hash_probes\": {}, \
+             \"alternatives\": {}, \"cost_based\": 1}}",
+            fixed.canon,
+            chosen.canon,
+            stats.hash_builds,
+            stats.hash_probes,
+            chosen.alternatives.len()
+        ));
+    }
+
+    // ----------------------------------------------------- drift → replan
+    {
+        let gs = GemStone::in_memory();
+        let mut s = gs.login("system").expect("login");
+        s.run(
+            "| t | Orders := Bag new. Customers := Bag new.
+             1 to: 4 do: [:c |
+                 t := Dictionary new. t at: #Cust put: c. Orders add: t].
+             1 to: 40 do: [:c |
+                 t := Dictionary new. t at: #Cust put: c. Customers add: t].",
+        )
+        .expect("populate");
+        s.commit().expect("commit");
+        s.run("System createIndexOn: Orders path: #Cust").expect("index");
+        s.run("System createIndexOn: Customers path: #Cust").expect("index");
+        s.commit().expect("commit indexes");
+
+        let (o_sym, c_sym) = (s.intern("Orders"), s.intern("Customers"));
+        let o = s.get_global(o_sym).expect("Orders");
+        let c = s.get_global(c_sym).expect("Customers");
+        let cust = ElemName::Sym(s.intern("Cust"));
+        let label = s.intern("Cust");
+        let (v0, v1) = (VarId(0), VarId(1));
+        let q = Query {
+            result: vec![(label, Term::Path(v0, vec![cust]))],
+            ranges: vec![
+                Range { var: v0, domain: Term::Const(o) },
+                Range { var: v1, domain: Term::Const(c) },
+            ],
+            pred: Pred::Cmp(Term::Path(v0, vec![cust]), CmpOp::Eq, Term::Path(v1, vec![cust])),
+        };
+
+        gs.database().enable_stats().expect("enable stats");
+        gs.database().set_stats_maintenance(false);
+        s.run(
+            "| t | 1 to: 396 do: [:i |
+                 t := Dictionary new. t at: #Cust put: i + 100. Orders add: t]",
+        )
+        .expect("grow");
+        s.commit().expect("commit growth");
+
+        let before = s.metrics();
+        s.query_analyzed(&q).expect("stale plan");
+        let stale = s.last_decision().expect("decision").clone();
+        let stale_visits = row_visits(&s);
+        let drifts = s.metrics().diff(&before).counter("calculus.plan.drift");
+
+        let before = s.metrics();
+        let rows = s.query_analyzed(&q).expect("fresh plan").len();
+        let fresh = s.last_decision().expect("decision").clone();
+        let fresh_visits = row_visits(&s);
+        let replans = s.metrics().diff(&before).counter("calculus.plan.replans");
+
+        println!(
+            "drift: stale {stale_visits} visits [{}] → fresh {fresh_visits} visits [{}]",
+            stale.canon, fresh.canon
+        );
+        if drifts != 1 || replans != 1 {
+            println!("FAIL drift: expected 1 drift + 1 replan, got {drifts}/{replans}");
+            failures += 1;
+        }
+        if !fresh.replan || fresh.canon == stale.canon || fresh_visits >= stale_visits {
+            println!("FAIL drift: the re-plan must change the plan and do less work");
+            failures += 1;
+        }
+        records.push(format!(
+            "{{\"id\": \"plan-drift-replan\", \"rows\": {rows}, \"drift_events\": {drifts}, \
+             \"replans\": {replans}, \"stale_plan\": \"{}\", \"fresh_plan\": \"{}\", \
+             \"stale_visits\": {stale_visits}, \"fresh_visits\": {fresh_visits}}}",
+            stale.canon, fresh.canon
+        ));
+    }
+
+    let body = records.join(",\n  ");
+    std::fs::write("BENCH_PR10.json", format!("[\n  {body}\n]\n")).expect("write BENCH_PR10.json");
+    println!("wrote BENCH_PR10.json ({} records)", records.len());
+
+    if failures > 0 {
+        println!("plan_bench: {failures} FAILURES");
+        std::process::exit(1);
+    }
+    println!("plan_bench: all invariants hold");
+}

@@ -245,8 +245,10 @@ fn c_join_plans(traj: &mut Vec<String>) {
         build_join_collections(&mut s, n, m);
         let q = join_query(&mut s);
         let catalog = IndexCatalog::new();
-        let hash_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: true });
-        let nested_plan = translate_with(&q, &catalog, &PlanOptions { hash_joins: false });
+        let hash_plan =
+            translate_with(&q, &catalog, &PlanOptions { hash_joins: true, stats: None });
+        let nested_plan =
+            translate_with(&q, &catalog, &PlanOptions { hash_joins: false, stats: None });
         let mut hash_stats = PlanStats::default();
         eval_algebra_stats(&mut s, &hash_plan, &q, &mut hash_stats).unwrap();
         let mut nested_stats = PlanStats::default();

@@ -535,6 +535,17 @@ pub struct OpNode {
     /// Streaming pushes rows *through* the consumer, so a node's time
     /// includes downstream work on its rows.
     pub wall_ns: u64,
+    /// The planner's rows_out estimate for this operator, attached by
+    /// [`OpProfile::attach_estimates`] after a planned run. `None` when no
+    /// decision was recorded (plain profiled evaluation).
+    pub est_rows: Option<u64>,
+}
+
+/// Estimate-vs-actual error in percent, signed (positive = actual exceeded
+/// the estimate), against a floor-1 denominator so zero estimates stay
+/// finite.
+pub fn est_err_pct(est: u64, actual: u64) -> i64 {
+    ((actual as i128 - est as i128) * 100 / est.max(1) as i128) as i64
 }
 
 /// Per-operator counters for one evaluated plan (the EXPLAIN ANALYZE
@@ -555,6 +566,29 @@ impl OpProfile {
         self.root().map(|n| n.rows_out).unwrap_or(0)
     }
 
+    /// Zip the planner's pre-order rows_out estimates onto the nodes (both
+    /// sides are pre-order walks of the same tree, so indices line up).
+    pub fn attach_estimates(&mut self, est_rows: &[u64]) {
+        for (n, e) in self.nodes.iter_mut().zip(est_rows) {
+            n.est_rows = Some(*e);
+        }
+    }
+
+    /// The worst estimate-vs-actual node: `(index, est, actual)` by error
+    /// ratio, once estimates are attached. Drift detection keys off this.
+    pub fn worst_estimate(&self) -> Option<(usize, u64, u64)> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter_map(|(i, n)| n.est_rows.map(|e| (i, e, n.rows_out)))
+            .max_by(|a, b| {
+                let ratio = |&(_, e, a): &(usize, u64, u64)| {
+                    e.max(a).max(1) as f64 / e.min(a).max(1) as f64
+                };
+                ratio(a).partial_cmp(&ratio(b)).unwrap()
+            })
+    }
+
     /// Indented tree rendering with per-operator annotations.
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -566,9 +600,15 @@ impl OpProfile {
                 Some(b) => format!(" build={b}"),
                 None => String::new(),
             };
+            let est = match n.est_rows {
+                Some(e) => {
+                    format!(" est={e} err={:+}%", est_err_pct(e, n.rows_out))
+                }
+                None => String::new(),
+            };
             let _ = writeln!(
                 out,
-                "{pad}{label:<w$}  rows_in={ri} rows_out={ro}{build} wall={ns}ns",
+                "{pad}{label:<w$}  rows_in={ri} rows_out={ro}{est}{build} wall={ns}ns",
                 label = n.label,
                 w = width.saturating_sub(n.depth * 2),
                 ri = n.rows_in,
@@ -578,6 +618,44 @@ impl OpProfile {
         }
         out
     }
+}
+
+/// Pair every single-variable `Select` operator with its observed row flow.
+/// The walk is the same pre-order as [`OpProfile`] nodes, so index `i` of
+/// the walk is node `i` of the profile. Returns `(var, pred_key, rows_in,
+/// rows_out)` tuples — how observed selectivities from an analyzed run get
+/// back into the statistics catalog.
+pub fn scrape_selectivities(plan: &AlgExpr, profile: &OpProfile) -> Vec<(u16, String, u64, u64)> {
+    fn walk(
+        e: &AlgExpr,
+        idx: &mut usize,
+        profile: &OpProfile,
+        out: &mut Vec<(u16, String, u64, u64)>,
+    ) {
+        let my = *idx;
+        *idx += 1;
+        match e {
+            AlgExpr::Unit
+            | AlgExpr::Scan { .. }
+            | AlgExpr::IndexScan { .. }
+            | AlgExpr::IndexRangeScan { .. } => {}
+            AlgExpr::Select { input, pred } => {
+                let mut vars = Vec::new();
+                pred.vars(&mut vars);
+                if let (Some(n), [v]) = (profile.nodes.get(my), vars.as_slice()) {
+                    out.push((v.0, crate::stats::pred_key(pred), n.rows_in, n.rows_out));
+                }
+                walk(input, idx, profile, out);
+            }
+            AlgExpr::NestJoin { left, right } | AlgExpr::HashJoin { left, right, .. } => {
+                walk(left, idx, profile, out);
+                walk(right, idx, profile, out);
+            }
+        }
+    }
+    let mut out = Vec::new();
+    walk(plan, &mut 0, profile, &mut out);
+    out
 }
 
 /// Shallow (single-node) operator label.
@@ -680,6 +758,7 @@ pub fn eval_algebra_profiled<C: QueryContext>(
                 build_rows,
                 wall_ns: accs[i].wall_ns,
                 children,
+                est_rows: None,
             }
         })
         .collect();

@@ -25,14 +25,20 @@
 
 mod algebra;
 mod ast;
+pub mod stats;
 mod translate;
 
 pub use algebra::{
-    eval_algebra, eval_algebra_profiled, eval_algebra_stats, AlgExpr, Binding, Env, OpNode,
-    OpProfile, PlanStats,
+    est_err_pct, eval_algebra, eval_algebra_profiled, eval_algebra_stats, scrape_selectivities,
+    AlgExpr, Binding, Env, OpNode, OpProfile, PlanStats,
 };
 pub use ast::{CmpOp, EnvRead, Pred, Query, Range, Term, VarId};
-pub use translate::{translate, translate_with, IndexCatalog, PlanOptions};
+pub use stats::{
+    path_key, pred_key, KeySketch, SelObs, SetStats, StatsCatalog, StatsView, VarStats,
+};
+pub use translate::{
+    plan_query, translate, translate_with, IndexCatalog, PlanDecision, PlanOptions,
+};
 
 use gemstone_object::{ElemName, GemResult, Oop, ValueKey};
 
@@ -130,10 +136,24 @@ pub fn eval_query_explained<C: QueryContext>(
     query: &Query,
     indexes: &IndexCatalog,
 ) -> GemResult<(Vec<Vec<Oop>>, AlgExpr, PlanStats)> {
-    let alg = translate(query, indexes);
+    let (rows, decision, stats) =
+        eval_query_explained_with(ctx, query, indexes, &PlanOptions::default())?;
+    Ok((rows, decision.plan, stats))
+}
+
+/// [`eval_query_explained`] with explicit [`PlanOptions`] (statistics for
+/// the cost model ride in on `options.stats`), returning the full
+/// [`PlanDecision`] so callers can journal the choice.
+pub fn eval_query_explained_with<C: QueryContext>(
+    ctx: &mut C,
+    query: &Query,
+    indexes: &IndexCatalog,
+    options: &PlanOptions,
+) -> GemResult<(Vec<Vec<Oop>>, PlanDecision, PlanStats)> {
+    let decision = plan_query(query, indexes, options);
     let mut stats = PlanStats::default();
-    let rows = eval_algebra_stats(ctx, &alg, query, &mut stats)?;
-    Ok((rows, alg, stats))
+    let rows = eval_algebra_stats(ctx, &decision.plan, query, &mut stats)?;
+    Ok((rows, decision, stats))
 }
 
 /// [`eval_query_explained`] with per-operator profiling: also returns an
@@ -146,10 +166,26 @@ pub fn eval_query_profiled<C: QueryContext>(
     indexes: &IndexCatalog,
     clock: &dyn Fn() -> u64,
 ) -> GemResult<(Vec<Vec<Oop>>, AlgExpr, PlanStats, OpProfile)> {
-    let alg = translate(query, indexes);
+    let (rows, decision, stats, profile) =
+        eval_query_profiled_with(ctx, query, indexes, &PlanOptions::default(), clock)?;
+    Ok((rows, decision.plan, stats, profile))
+}
+
+/// [`eval_query_profiled`] with explicit [`PlanOptions`]: the returned
+/// [`OpProfile`] carries the planner's per-operator estimates, so every
+/// analyzed run reports estimate vs actual.
+pub fn eval_query_profiled_with<C: QueryContext>(
+    ctx: &mut C,
+    query: &Query,
+    indexes: &IndexCatalog,
+    options: &PlanOptions,
+    clock: &dyn Fn() -> u64,
+) -> GemResult<(Vec<Vec<Oop>>, PlanDecision, PlanStats, OpProfile)> {
+    let decision = plan_query(query, indexes, options);
     let mut stats = PlanStats::default();
-    let (rows, profile) = eval_algebra_profiled(ctx, &alg, query, &mut stats, clock)?;
-    Ok((rows, alg, stats, profile))
+    let (rows, mut profile) = eval_algebra_profiled(ctx, &decision.plan, query, &mut stats, clock)?;
+    profile.attach_estimates(&decision.est_rows);
+    Ok((rows, decision, stats, profile))
 }
 
 /// Evaluate by the calculus' direct semantics (pure nested loops, no

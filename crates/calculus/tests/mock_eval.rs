@@ -286,7 +286,8 @@ fn hash_join_matches_naive_with_linear_row_visits() {
     assert_eq!(stats.hash_matches as usize, naive.len());
 
     // The nested plan agrees but visits O(n·m) rows.
-    let nested = translate_with(&q, &IndexCatalog::new(), &PlanOptions { hash_joins: false });
+    let nested =
+        translate_with(&q, &IndexCatalog::new(), &PlanOptions { hash_joins: false, stats: None });
     assert!(!nested.uses_hash_join());
     let mut nstats = PlanStats::default();
     let nrows = eval_algebra_stats(&mut g, &nested, &q, &mut nstats).unwrap();
@@ -437,7 +438,7 @@ proptest! {
         prop_assert_eq!(sorted(naive.clone()), sorted(rows));
         prop_assert_eq!(stats.row_visits(), (n + m) as u64);
         let nested =
-            translate_with(&q, &IndexCatalog::new(), &PlanOptions { hash_joins: false });
+            translate_with(&q, &IndexCatalog::new(), &PlanOptions { hash_joins: false, stats: None });
         let mut nstats = PlanStats::default();
         let nrows = eval_algebra_stats(&mut g, &nested, &q, &mut nstats).unwrap();
         prop_assert_eq!(sorted(naive), sorted(nrows));

@@ -27,9 +27,10 @@
 //! guard before touching the cache. See DESIGN.md §9.
 
 use crate::auth::AuthTable;
-use crate::index::DirRegistry;
+use crate::index::{DirRegistry, StatsRefresh};
 use crate::meta::{self, MethodSource};
 use crate::session::Session;
+use gemstone_calculus::StatsCatalog;
 use gemstone_object::{
     ClassId, ClassTable, GemError, GemResult, Kernel, PRef, SymbolId, SymbolTable,
 };
@@ -43,6 +44,7 @@ use gemstone_temporal::TxnTime;
 use gemstone_txn::TransactionManager;
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Mutable schema state: everything a statement needs read access to and
@@ -57,9 +59,17 @@ pub(crate) struct Schema {
     pub method_sources: Vec<MethodSource>,
     pub dirs: DirRegistry,
     pub auth: AuthTable,
+    /// The planner's statistics catalog: per-set cardinality, per-directory
+    /// key sketches, per-predicate observed selectivities. Maintained under
+    /// the commit choke point, persisted in [`meta::META_STATS`].
+    pub stats: StatsCatalog,
     /// Schema (classes/symbols/methods/globals/directories) changed since
     /// the last commit and must be flushed with it.
     pub schema_dirty: bool,
+    /// The statistics catalog changed since the last metadata flush.
+    /// Tracked separately from `schema_dirty` so routine stats refreshes
+    /// don't masquerade as DDL.
+    pub stats_dirty: bool,
 }
 
 impl Schema {
@@ -72,7 +82,9 @@ impl Schema {
         store.set_meta(meta::META_GLOBALS, meta::put_globals(globals));
         store.set_meta(meta::META_METHODS, meta::put_method_sources(&self.method_sources));
         store.set_meta(meta::META_DIRS, meta::put_dir_specs(&self.dirs.spec_records()));
+        store.set_meta(meta::META_STATS, meta::put_stats(&self.stats));
         self.schema_dirty = false;
+        self.stats_dirty = false;
     }
 }
 
@@ -108,6 +120,14 @@ pub struct Database {
     pub(crate) effects: Mutex<EffectCache>,
     pub(crate) txns: TransactionManager,
     pub(crate) telemetry: Telemetry,
+    /// Master switch for the statistics observatory: when off (the
+    /// default), planning, commits, and the journal behave exactly as
+    /// before — the overhead gate relies on that.
+    pub(crate) stats_on: AtomicBool,
+    /// Whether commits passively refresh statistics for the sets they
+    /// touch. Only consulted while `stats_on`; benchmarks freeze it to
+    /// seed estimate drift (train, shift the data, watch the planner miss).
+    pub(crate) stats_maintenance: AtomicBool,
 }
 
 /// Bind every layer's instrument handles into the registry under the
@@ -189,6 +209,11 @@ fn bind_layer_metrics(telemetry: &Telemetry, store: &PermanentStore, txns: &Tran
         "calculus.hash_probes",
         "calculus.hash_matches",
         "calculus.rows_out",
+        "calculus.stats.updates",
+        "calculus.plan.choices",
+        "calculus.plan.cost_based",
+        "calculus.plan.replans",
+        "calculus.plan.drift",
     ] {
         let _ = r.counter(name);
     }
@@ -294,7 +319,9 @@ impl Database {
             method_sources: Vec::new(),
             dirs: DirRegistry::default(),
             auth: AuthTable::new(),
+            stats: StatsCatalog::default(),
             schema_dirty: true,
+            stats_dirty: false,
         };
         let mut txns = TransactionManager::new(TxnTime::EPOCH);
         bind_layer_metrics(&telemetry, &store, &txns);
@@ -322,6 +349,8 @@ impl Database {
             effects: Mutex::new(EffectCache::new()),
             txns,
             telemetry,
+            stats_on: AtomicBool::new(false),
+            stats_maintenance: AtomicBool::new(true),
         });
         db.install_track_resolver();
         // Kernel methods install through a bootstrap session.
@@ -404,6 +433,10 @@ impl Database {
             Some(b) => meta::get_dir_specs(&b)?,
             None => Vec::new(),
         };
+        let stats = match store.get_meta(meta::META_STATS)? {
+            Some(b) => meta::get_stats(&b)?,
+            None => StatsCatalog::default(),
+        };
         let kernel = kernel_from(&classes, &symbols)?;
         let block_class = symbols
             .lookup("BlockClosure")
@@ -419,7 +452,9 @@ impl Database {
             method_sources: method_sources.clone(),
             dirs,
             auth: AuthTable::new(),
+            stats,
             schema_dirty: false,
+            stats_dirty: false,
         };
         let mut txns = TransactionManager::new(last);
         bind_layer_metrics(&telemetry, &store, &txns);
@@ -453,6 +488,8 @@ impl Database {
             effects: Mutex::new(EffectCache::new()),
             txns,
             telemetry,
+            stats_on: AtomicBool::new(false),
+            stats_maintenance: AtomicBool::new(true),
         });
         db.install_track_resolver();
         // Rebuild method dictionaries: kernel first, then user sources in
@@ -654,6 +691,75 @@ impl Database {
     /// Number of registered directories.
     pub fn directory_count(&self) -> usize {
         self.schema.read().dirs.count()
+    }
+
+    /// Switch the statistics observatory on and train it: every registered
+    /// directory is sketched from its current state, so the very next plan
+    /// is cost-based. Returns the number of refreshed sketches.
+    pub fn enable_stats(&self) -> GemResult<usize> {
+        self.stats_on.store(true, Ordering::Release);
+        let updates = {
+            let mut schema = self.schema.write();
+            let now = self.txns.now().ticks();
+            let Schema { dirs, stats, stats_dirty, .. } = &mut *schema;
+            let ups = dirs.refresh_stats_all(&self.store, stats, now)?;
+            if !ups.is_empty() {
+                *stats_dirty = true;
+            }
+            ups
+        };
+        self.journal_stats_updates(&updates);
+        Ok(updates.len())
+    }
+
+    /// Switch the statistics observatory off: planning, commits, and the
+    /// journal revert to the exact pre-statistics behavior. The catalog is
+    /// kept (re-enabling retrains over it).
+    pub fn disable_stats(&self) {
+        self.stats_on.store(false, Ordering::Release);
+    }
+
+    /// Whether the statistics observatory is on.
+    pub fn stats_enabled(&self) -> bool {
+        self.stats_on.load(Ordering::Acquire)
+    }
+
+    /// Freeze or resume passive commit-time statistics maintenance (only
+    /// meaningful while stats are enabled). Freezing lets a workload shift
+    /// the data out from under the trained statistics — the drift
+    /// benchmark's setup.
+    pub fn set_stats_maintenance(&self, on: bool) {
+        self.stats_maintenance.store(on, Ordering::Release);
+    }
+
+    pub(crate) fn stats_maintenance_enabled(&self) -> bool {
+        self.stats_on.load(Ordering::Acquire) && self.stats_maintenance.load(Ordering::Acquire)
+    }
+
+    /// A snapshot of the planner's statistics catalog (REPL `:stats`,
+    /// doctor introspection).
+    pub fn planner_stats(&self) -> StatsCatalog {
+        self.schema.read().stats.clone()
+    }
+
+    /// Count each refreshed sketch and journal its `StatsUpdate` event —
+    /// the counter and the event move together, so replay reproduces the
+    /// live registry exactly. Call *after* dropping the schema lock.
+    pub(crate) fn journal_stats_updates(&self, updates: &[StatsRefresh]) {
+        for u in updates {
+            self.telemetry.registry.counter("calculus.stats.updates").inc();
+            if self.telemetry.journal.enabled() {
+                self.telemetry.journal.emit(&JournalEvent::StatsUpdate {
+                    set: u.set,
+                    path: u.path.clone(),
+                    cardinality: u.cardinality,
+                    total: u.sketch.total,
+                    distinct: u.sketch.distinct,
+                    fuzz: u.sketch.fuzz,
+                    points: u.sketch.encode_points(),
+                });
+            }
+        }
     }
 
     /// DBA archive: prune element histories older than the state at

@@ -11,7 +11,7 @@
 //! object along the path so a change anywhere re-keys the affected member.
 
 use crate::meta::DirSpecRecord;
-use gemstone_calculus::IndexCatalog;
+use gemstone_calculus::{path_key, IndexCatalog, KeySketch, StatsCatalog};
 use gemstone_object::{ElemName, GemResult, Goop, OopKind, PRef, SymbolId, SymbolTable};
 use gemstone_storage::{DirKey, Directory, DirectorySpec, ObjectDelta, PermanentStore};
 
@@ -24,6 +24,15 @@ pub struct RegEntry {
     pub path: Vec<SymbolId>,
     pub directory: Directory,
     pub created_at: TxnTime,
+}
+
+/// One refreshed key sketch, reported so the commit path can journal a
+/// `StatsUpdate` event per sketch (replay then moves the same counters).
+pub struct StatsRefresh {
+    pub set: u64,
+    pub cardinality: u64,
+    pub path: String,
+    pub sketch: KeySketch,
 }
 
 /// The registry of all directories plus reverse maps for maintenance.
@@ -250,6 +259,86 @@ impl DirRegistry {
             }
         }
         Ok(())
+    }
+
+    /// Rebuild the planner statistics of the directories at `idxs`: set
+    /// cardinality from the collection's current member count, one fresh
+    /// key sketch per directory. Returns one record per refreshed sketch so
+    /// the caller can journal `StatsUpdate` events.
+    fn refresh_entries(
+        &self,
+        store: &PermanentStore,
+        idxs: &[usize],
+        stats: &mut StatsCatalog,
+        now: u64,
+    ) -> GemResult<Vec<StatsRefresh>> {
+        let mut out = Vec::new();
+        for &i in idxs {
+            let e = &self.entries[i];
+            if !store.contains(e.collection) {
+                continue;
+            }
+            let cardinality = store.get(e.collection)?.current_elements().count() as u64;
+            let epath: Vec<ElemName> = e.path.iter().map(|s| ElemName::Sym(*s)).collect();
+            let path = path_key(&epath);
+            let sketch = KeySketch::from_keys(&e.directory.current_num_keys());
+            let set = stats.entry(e.collection.0);
+            set.cardinality = cardinality;
+            set.updated_at = now;
+            set.stale = false;
+            set.sketches.insert(path.clone(), sketch.clone());
+            out.push(StatsRefresh { set: e.collection.0, cardinality, path, sketch });
+        }
+        Ok(out)
+    }
+
+    /// Refresh statistics for every set a committed batch touched — the
+    /// incremental maintenance half of the statistics layer, called under
+    /// the commit choke point right after [`DirRegistry::on_commit`].
+    pub fn refresh_stats_for_deltas(
+        &self,
+        store: &PermanentStore,
+        deltas: &[ObjectDelta],
+        stats: &mut StatsCatalog,
+        now: u64,
+    ) -> GemResult<Vec<StatsRefresh>> {
+        let mut idxs: Vec<usize> = Vec::new();
+        for delta in deltas {
+            if let Some(ds) = self.by_coll.get(&delta.goop) {
+                idxs.extend(ds);
+            }
+            if let Some(deps) = self.by_object.get(&delta.goop) {
+                idxs.extend(deps.iter().map(|(i, _)| i));
+            }
+        }
+        idxs.sort_unstable();
+        idxs.dedup();
+        self.refresh_entries(store, &idxs, stats, now)
+    }
+
+    /// Refresh one set's statistics from its directories — the drift
+    /// response: a stale-marked set is re-read just before the next plan.
+    pub fn refresh_stats_for_set(
+        &self,
+        store: &PermanentStore,
+        collection: Goop,
+        stats: &mut StatsCatalog,
+        now: u64,
+    ) -> GemResult<Vec<StatsRefresh>> {
+        let idxs = self.by_coll.get(&collection).cloned().unwrap_or_default();
+        self.refresh_entries(store, &idxs, stats, now)
+    }
+
+    /// Refresh every registered directory's statistics (initial training
+    /// when statistics collection is switched on).
+    pub fn refresh_stats_all(
+        &self,
+        store: &PermanentStore,
+        stats: &mut StatsCatalog,
+        now: u64,
+    ) -> GemResult<Vec<StatsRefresh>> {
+        let idxs: Vec<usize> = (0..self.entries.len()).collect();
+        self.refresh_entries(store, &idxs, stats, now)
     }
 
     /// Persistable specifications.

@@ -29,10 +29,12 @@ mod session;
 
 pub use auth::{Access, AuthTable, DBA};
 pub use db::Database;
-pub use session::{Session, SlowStatement};
+pub use session::{PlanChoiceRecord, Session, SlowStatement};
 
 // Re-exports for downstream users of the public API.
-pub use gemstone_calculus::{OpNode, OpProfile, PlanStats};
+pub use gemstone_calculus::{
+    est_err_pct, KeySketch, OpNode, OpProfile, PlanStats, SelObs, SetStats, StatsCatalog,
+};
 pub use gemstone_object::{
     ConflictKind, ElemName, GemError, GemResult, Goop, Oop, OopKind, SegmentId,
 };
@@ -43,10 +45,11 @@ pub use gemstone_storage::{
 };
 pub use gemstone_telemetry::{
     replay, Anomaly, AnomalyThresholds, CacheSweepPoint, ConflictProfile, Counter,
-    DiagnosticBundle, Gauge, Histogram, HistogramSnapshot, Journal, JournalConfig, JournalEvent,
-    JournalReadout, ManualTime, MetricsRegistry, MetricsSnapshot, Observatory, ObservatoryConfig,
-    ObservatorySample, RecoverySummary, SlowEntry, SpanEvent, SpanKind, Telemetry, TelemetryClock,
-    Tracer, TrackHeat, WindowStats, JOURNAL_SCHEMA, JOURNAL_SCHEMA_MIN,
+    DiagnosticBundle, DriftEpisode, Gauge, Histogram, HistogramSnapshot, Journal, JournalConfig,
+    JournalEvent, JournalReadout, ManualTime, MetricsRegistry, MetricsSnapshot, Observatory,
+    ObservatoryConfig, ObservatorySample, PlannerProfile, RecoverySummary, SlowEntry, SpanEvent,
+    SpanKind, Telemetry, TelemetryClock, Tracer, TrackHeat, WindowStats, JOURNAL_SCHEMA,
+    JOURNAL_SCHEMA_MIN,
 };
 pub use gemstone_temporal::TxnTime;
 pub use gemstone_txn::{ConflictReport, ConflictStats};

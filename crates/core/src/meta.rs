@@ -6,6 +6,7 @@
 //! kernel is reinstalled), so bytecode and primitive numbers can evolve
 //! without a disk-format migration.
 
+use gemstone_calculus::{KeySketch, SelObs, StatsCatalog};
 use gemstone_object::GemError;
 use gemstone_object::{
     BodyFormat, ClassDef, ClassId, ClassKind, ClassTable, GemResult, PRef, SymbolId, SymbolTable,
@@ -18,6 +19,7 @@ pub const META_CLASSES: u8 = 2;
 pub const META_GLOBALS: u8 = 3;
 pub const META_METHODS: u8 = 4;
 pub const META_DIRS: u8 = 5;
+pub const META_STATS: u8 = 6;
 
 /// A user method's compilation record.
 #[derive(Debug, Clone, PartialEq)]
@@ -248,6 +250,75 @@ pub fn get_dir_specs(mut buf: &[u8]) -> GemResult<Vec<DirSpecRecord>> {
     Ok(out)
 }
 
+// -------------------------------------------------------- planner stats
+
+/// Serialize the planner's statistics catalog. Sketch keys are f64s written
+/// as raw bits, so the catalog a recovered database plans with is bit-for-bit
+/// the one the last flushing commit maintained.
+pub fn put_stats(stats: &StatsCatalog) -> Vec<u8> {
+    let mut buf = Vec::new();
+    buf.extend_from_slice(&(stats.sets.len() as u32).to_le_bytes());
+    for (goop, set) in &stats.sets {
+        buf.extend_from_slice(&goop.to_le_bytes());
+        buf.extend_from_slice(&set.cardinality.to_le_bytes());
+        buf.extend_from_slice(&set.updated_at.to_le_bytes());
+        buf.extend_from_slice(&(set.sketches.len() as u32).to_le_bytes());
+        for (path, sk) in &set.sketches {
+            put_str(&mut buf, path);
+            buf.extend_from_slice(&sk.total.to_le_bytes());
+            buf.extend_from_slice(&sk.distinct.to_le_bytes());
+            buf.extend_from_slice(&sk.fuzz.to_le_bytes());
+            buf.extend_from_slice(&(sk.points.len() as u32).to_le_bytes());
+            for (k, c) in &sk.points {
+                buf.extend_from_slice(&k.to_bits().to_le_bytes());
+                buf.extend_from_slice(&c.to_le_bytes());
+            }
+        }
+        buf.extend_from_slice(&(set.predicates.len() as u32).to_le_bytes());
+        for (key, obs) in &set.predicates {
+            put_str(&mut buf, key);
+            buf.extend_from_slice(&obs.rows_in.to_le_bytes());
+            buf.extend_from_slice(&obs.rows_out.to_le_bytes());
+        }
+    }
+    buf
+}
+
+pub fn get_stats(mut buf: &[u8]) -> GemResult<StatsCatalog> {
+    let b = &mut buf;
+    let n = get_u32(b)?;
+    let mut out = StatsCatalog::default();
+    for _ in 0..(n as usize).min(1 << 16) {
+        let goop = get_u64(b)?;
+        let set = out.entry(goop);
+        set.cardinality = get_u64(b)?;
+        set.updated_at = get_u64(b)?;
+        let ns = get_u32(b)?;
+        for _ in 0..(ns as usize).min(1 << 12) {
+            let path = get_str(b)?;
+            let total = get_u64(b)?;
+            let distinct = get_u64(b)?;
+            let fuzz = get_u64(b)?;
+            let np = get_u32(b)?;
+            let mut points = Vec::with_capacity((np as usize).min(1 << 10));
+            for _ in 0..np {
+                let k = f64::from_bits(get_u64(b)?);
+                let c = get_u64(b)?;
+                points.push((k, c));
+            }
+            set.sketches.insert(path, KeySketch { total, distinct, fuzz, points });
+        }
+        let npred = get_u32(b)?;
+        for _ in 0..(npred as usize).min(1 << 12) {
+            let key = get_str(b)?;
+            let rows_in = get_u64(b)?;
+            let rows_out = get_u64(b)?;
+            set.predicates.insert(key, SelObs { rows_in, rows_out });
+        }
+    }
+    Ok(out)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -307,6 +378,27 @@ mod tests {
     }
 
     #[test]
+    fn stats_roundtrip_is_bit_exact() {
+        let mut c = StatsCatalog::default();
+        let set = c.entry(77);
+        set.cardinality = 1000;
+        set.updated_at = 42;
+        set.sketches.insert(
+            "s3".into(),
+            KeySketch {
+                total: 1000,
+                distinct: 17,
+                fuzz: 3,
+                points: vec![(-2.5, 100), (0.1 + 0.2, 800), (1e18, 100)],
+            },
+        );
+        set.predicates.insert("v0!s3>c100".into(), SelObs { rows_in: 500, rows_out: 25 });
+        c.entry(99).cardinality = 5; // sketchless set
+        let back = get_stats(&put_stats(&c)).unwrap();
+        assert_eq!(back, c, "float keys survive via raw bits");
+    }
+
+    #[test]
     fn corrupt_metadata_is_detected() {
         assert!(get_symbols(&[1, 0, 0, 0]).is_err());
         assert!(get_classes(&[9]).is_err());
@@ -316,5 +408,9 @@ mod tests {
             class_side: false,
         }]);
         assert!(get_method_sources(&good[..good.len() - 2]).is_err());
+        let mut c = StatsCatalog::default();
+        c.entry(7).sketches.insert("s1".into(), KeySketch::from_keys(&[1.0, 2.0]));
+        let blob = put_stats(&c);
+        assert!(get_stats(&blob[..blob.len() - 3]).is_err());
     }
 }

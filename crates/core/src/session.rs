@@ -25,7 +25,8 @@ use crate::auth::{Access, DBA};
 use crate::db::{CommittedView, Database, Schema};
 use crate::meta::MethodSource;
 use gemstone_calculus::{
-    AlgExpr, IndexCatalog, JoinKey, OpProfile, PlanStats, Query, QueryContext, Term, VarId,
+    est_err_pct, scrape_selectivities, AlgExpr, IndexCatalog, JoinKey, OpProfile, PlanDecision,
+    PlanOptions, PlanStats, Query, QueryContext, StatsView, Term, VarId, VarStats,
 };
 use gemstone_object::{
     structurally_equal, value_key, BodyFormat, ClassId, ConflictKind, ElemName, GemError,
@@ -126,10 +127,42 @@ pub struct Session {
     /// The effect summary of the most recent statement [`Session::run`]
     /// classified (what the REPL's `:effects` and tests inspect).
     last_effect: Option<EffectSummary>,
+    /// How the planner chose the most recent query's plan (canonical plan,
+    /// cost, alternatives) — `None` until a query runs.
+    last_decision: Option<PlanChoiceRecord>,
+    /// Label of the statement currently (or most recently) running, used
+    /// to attribute `PlanChoice`/`PlanDrift` journal events.
+    stmt_label: String,
 }
+
+/// The observable record of one planning decision: what `PlanChoice`
+/// journals and what the plan-regression gate string-matches on.
+#[derive(Debug, Clone)]
+pub struct PlanChoiceRecord {
+    /// Canonical chosen-plan string (`AlgExpr::describe`).
+    pub canon: String,
+    /// Estimated cost of the chosen plan, in row-visit units.
+    pub est_cost: f64,
+    /// Considered `(canonical plan, estimated cost)` pairs, chosen first.
+    pub alternatives: Vec<(String, f64)>,
+    /// True when statistics actually drove the choice.
+    pub cost_based: bool,
+    /// True when this plan followed a drift-triggered stats refresh.
+    pub replan: bool,
+}
+
+/// What [`Session::resolve_stats_view`] hands the planner: per-range
+/// `(var, committed-set goop)` pairs, the resolved statistics view, and
+/// whether a drift-triggered refresh means this plan is a re-plan.
+type ResolvedStats = (Vec<(u16, Option<u64>)>, Option<StatsView>, bool);
 
 /// Consecutive conflicts that count as a storm (bundle auto-capture).
 const CONFLICT_STORM_THRESHOLD: u32 = 8;
+
+/// Estimate-vs-actual ratio at which an analyzed run counts as plan drift.
+const DRIFT_RATIO: u64 = 4;
+/// Noise floor for drift: both sides tiny means the miss is meaningless.
+const DRIFT_FLOOR: u64 = 16;
 
 /// One slow-log entry: a statement that exceeded the session's threshold.
 #[derive(Clone, Debug)]
@@ -181,6 +214,10 @@ struct SessionMetrics {
     phase_safe_write: Histogram,
     phase_fsync: Histogram,
     phase_publish: Histogram,
+    plan_choices: Counter,
+    plan_cost_based: Counter,
+    plan_replans: Counter,
+    plan_drift: Counter,
 }
 
 impl SessionMetrics {
@@ -218,6 +255,10 @@ impl SessionMetrics {
             phase_safe_write: r.histogram("commit.phase.safe_write_us"),
             phase_fsync: r.histogram("commit.phase.fsync_us"),
             phase_publish: r.histogram("commit.phase.publish_us"),
+            plan_choices: r.counter("calculus.plan.choices"),
+            plan_cost_based: r.counter("calculus.plan.cost_based"),
+            plan_replans: r.counter("calculus.plan.replans"),
+            plan_drift: r.counter("calculus.plan.drift"),
         }
     }
 
@@ -291,6 +332,8 @@ impl Session {
             txn_static_ro: true,
             stmt_static_ro: false,
             last_effect: None,
+            last_decision: None,
+            stmt_label: String::new(),
         }
     }
 
@@ -575,9 +618,13 @@ impl Session {
         }
         let phases;
         let publish_us;
+        let mut stats_updates = Vec::new();
         {
             let mut schema = self.db.schema.write();
-            if schema.schema_dirty || !Arc::ptr_eq(&globals, &committed.globals) {
+            if schema.schema_dirty
+                || schema.stats_dirty
+                || !Arc::ptr_eq(&globals, &committed.globals)
+            {
                 schema.flush_meta(&self.db.store, &globals);
             }
             phases = match self.db.store.commit_batch_traced(
@@ -608,6 +655,20 @@ impl Session {
                 self.discard_workspace();
                 return Err(e);
             }
+            // Statistics maintenance rides the same choke point: refresh
+            // cardinality and key sketches for the sets this batch touched.
+            // Best-effort — the commit is already durable, so a refresh
+            // failure degrades statistics, never the commit. Journaling
+            // happens after the schema lock drops.
+            if self.db.stats_maintenance_enabled() {
+                let Schema { dirs, stats, stats_dirty, .. } = &mut *schema;
+                stats_updates = dirs
+                    .refresh_stats_for_deltas(&self.db.store, &deltas, stats, store_time.ticks())
+                    .unwrap_or_default();
+                if !stats_updates.is_empty() {
+                    *stats_dirty = true;
+                }
+            }
             // The writes are durable: log the commit and publish the view.
             let publish_from = self.telemetry.clock().now_ns();
             self.db.txns.finalize(token, time, &writes)?;
@@ -616,6 +677,7 @@ impl Session {
             self.snap = view;
             publish_us = self.telemetry.clock().now_ns().saturating_sub(publish_from) / 1_000;
         }
+        self.db.journal_stats_updates(&stats_updates);
         // Commit timeline: record the phase breakdown and journal it with
         // the *same* values, so replaying the journal rebuilds the
         // `commit.phase.*` histograms byte-exactly.
@@ -801,6 +863,7 @@ impl Session {
             0
         };
         let label: String = source.chars().take(60).collect();
+        self.stmt_label = label.clone();
         let span =
             self.telemetry.tracer.begin(SpanKind::Statement, self.session_id, parent, &label);
         self.stmt_span = span.id();
@@ -1013,6 +1076,9 @@ impl Session {
     /// returns one tuple per result-template row.
     pub fn query(&mut self, query: &Query) -> GemResult<Vec<Vec<Oop>>> {
         self.ensure_txn();
+        if !self.stmt_active {
+            self.stmt_label = "(query)".into();
+        }
         let catalog = self.db.schema.read().dirs.catalog().clone();
         self.eval_with_catalog(query, &catalog)
     }
@@ -1020,30 +1086,199 @@ impl Session {
     /// Evaluate against a catalog, honoring the profile-next flag: the
     /// single evaluation entry behind [`Session::query`] and select
     /// blocks. Folds the plan counters into the registry either way.
+    ///
+    /// With statistics enabled the planner gets a [`StatsView`] resolved
+    /// for this query's sets (refreshing any drift-staled set first), the
+    /// decision is journaled as `PlanChoice`, and analyzed runs feed
+    /// observed selectivities and drift episodes back into the catalog.
     fn eval_with_catalog(
         &mut self,
         query: &Query,
         catalog: &IndexCatalog,
     ) -> GemResult<Vec<Vec<Oop>>> {
         self.plan_this_stmt = true;
+        let stats_on = self.db.stats_enabled();
+        let (var_sets, view, replan) =
+            if stats_on { self.resolve_stats_view(query)? } else { (Vec::new(), None, false) };
+        let had_stats = view.is_some();
+        let options = PlanOptions { hash_joins: true, stats: view };
         if self.profile_next {
             let clock = self.telemetry.clock().clone();
             let now = move || clock.now_ns();
-            let (rows, plan, stats, profile) =
-                gemstone_calculus::eval_query_profiled(self, query, catalog, &now)?;
+            let (rows, decision, stats, profile) =
+                gemstone_calculus::eval_query_profiled_with(self, query, catalog, &options, &now)?;
             self.record_plan_spans(&profile);
             self.m.note_plan(&stats);
             self.journal_plan(&stats);
+            if stats_on {
+                self.note_plan_choice(&decision, replan);
+                if had_stats {
+                    self.absorb_profile(&decision, &profile, &var_sets);
+                }
+            }
             self.last_profile = Some(profile);
-            self.last_plan = Some((plan, stats));
+            self.note_decision(&decision, replan);
+            self.last_plan = Some((decision.plan, stats));
             Ok(rows)
         } else {
-            let (rows, plan, stats) =
-                gemstone_calculus::eval_query_explained(self, query, catalog)?;
+            let (rows, decision, stats) =
+                gemstone_calculus::eval_query_explained_with(self, query, catalog, &options)?;
             self.m.note_plan(&stats);
             self.journal_plan(&stats);
-            self.last_plan = Some((plan, stats));
+            if stats_on {
+                self.note_plan_choice(&decision, replan);
+            }
+            self.note_decision(&decision, replan);
+            self.last_plan = Some((decision.plan, stats));
             Ok(rows)
+        }
+    }
+
+    /// Resolve each range variable's constant domain to its committed set
+    /// and look up catalog statistics: the planner's [`StatsView`], plus
+    /// the `(var, set)` map the feedback paths use. Sets a prior drift
+    /// episode marked stale are refreshed from their directories first —
+    /// the re-optimization protocol — and `replan = true` rides out.
+    fn resolve_stats_view(&mut self, query: &Query) -> GemResult<ResolvedStats> {
+        let mut var_sets: Vec<(u16, Option<u64>)> = Vec::with_capacity(query.ranges.len());
+        for range in &query.ranges {
+            let set = if let Term::Const(c) = &range.domain {
+                let c = self.swizzle(*c)?;
+                self.ws.get(c).ok().and_then(|o| o.goop).map(|g| g.0)
+            } else {
+                None
+            };
+            var_sets.push((range.var.0, set));
+        }
+        let stale: Vec<u64> = {
+            let schema = self.db.schema.read();
+            var_sets
+                .iter()
+                .filter_map(|(_, s)| *s)
+                .filter(|g| schema.stats.get(*g).is_some_and(|s| s.stale))
+                .collect()
+        };
+        let mut replan = false;
+        if !stale.is_empty() {
+            let now = self.db.txns.now().ticks();
+            let mut refreshed = Vec::new();
+            {
+                let mut schema = self.db.schema.write();
+                let Schema { dirs, stats, stats_dirty, .. } = &mut *schema;
+                for g in stale {
+                    let ups = dirs.refresh_stats_for_set(&self.db.store, Goop(g), stats, now)?;
+                    if !ups.is_empty() {
+                        *stats_dirty = true;
+                        replan = true;
+                    }
+                    refreshed.extend(ups);
+                }
+            }
+            self.db.journal_stats_updates(&refreshed);
+        }
+        let schema = self.db.schema.read();
+        if schema.stats.is_empty() {
+            return Ok((var_sets, None, replan));
+        }
+        let mut per_var: Vec<Option<VarStats>> = vec![None; query.var_count()];
+        for (var, set) in &var_sets {
+            if let Some(s) = set.and_then(|g| schema.stats.get(g)) {
+                per_var[*var as usize] = Some(VarStats::from_set(s));
+            }
+        }
+        Ok((var_sets, Some(StatsView { per_var }), replan))
+    }
+
+    /// Count and journal one planning decision (the counter moves and the
+    /// `PlanChoice` event travel together, so replay stays byte-exact).
+    fn note_plan_choice(&self, decision: &PlanDecision, replan: bool) {
+        self.m.plan_choices.inc();
+        if decision.cost_based {
+            self.m.plan_cost_based.inc();
+        }
+        if replan {
+            self.m.plan_replans.inc();
+        }
+        if self.telemetry.journal.enabled() {
+            self.telemetry.journal.emit(&JournalEvent::PlanChoice {
+                session: self.session_id,
+                label: self.stmt_label.clone(),
+                chosen: decision.canon.clone(),
+                cost_milli: (decision.est_cost * 1000.0) as u64,
+                alternatives: decision.alternatives.len() as u64,
+                cost_based: decision.cost_based,
+                replan,
+            });
+        }
+    }
+
+    /// Remember the decision for [`Session::last_decision`].
+    fn note_decision(&mut self, decision: &PlanDecision, replan: bool) {
+        self.last_decision = Some(PlanChoiceRecord {
+            canon: decision.canon.clone(),
+            est_cost: decision.est_cost,
+            alternatives: decision.alternatives.clone(),
+            cost_based: decision.cost_based,
+            replan,
+        });
+    }
+
+    /// After an analyzed run with statistics: scrape each residual
+    /// select's observed selectivity back into the catalog, then compare
+    /// the worst per-operator estimate against its actual. A miss beyond
+    /// [`DRIFT_RATIO`] (above the [`DRIFT_FLOOR`] noise floor) journals a
+    /// `PlanDrift` episode and marks the query's sets stale, so the next
+    /// execution re-plans over fresh statistics.
+    fn absorb_profile(
+        &mut self,
+        decision: &PlanDecision,
+        profile: &OpProfile,
+        var_sets: &[(u16, Option<u64>)],
+    ) {
+        let scraped = scrape_selectivities(&decision.plan, profile);
+        if !scraped.is_empty() {
+            let mut schema = self.db.schema.write();
+            let mut any = false;
+            for (var, key, rows_in, rows_out) in &scraped {
+                let set = var_sets.iter().find(|(v, _)| v == var).and_then(|(_, s)| *s);
+                if let Some(g) = set {
+                    schema
+                        .stats
+                        .entry(g)
+                        .predicates
+                        .entry(key.clone())
+                        .or_default()
+                        .observe(*rows_in, *rows_out);
+                    any = true;
+                }
+            }
+            if any {
+                schema.stats_dirty = true;
+            }
+        }
+        if let Some((op, est, actual)) = profile.worst_estimate() {
+            let hi = est.max(actual);
+            let lo = est.min(actual).max(1);
+            if hi >= DRIFT_FLOOR && hi / lo >= DRIFT_RATIO {
+                self.m.plan_drift.inc();
+                if self.telemetry.journal.enabled() {
+                    self.telemetry.journal.emit(&JournalEvent::PlanDrift {
+                        session: self.session_id,
+                        label: self.stmt_label.clone(),
+                        plan: decision.canon.clone(),
+                        op: op as u64,
+                        est,
+                        actual,
+                        err_pct: est_err_pct(est, actual),
+                    });
+                }
+                let mut schema = self.db.schema.write();
+                for (_, set) in var_sets {
+                    if let Some(g) = set {
+                        schema.stats.mark_stale(*g);
+                    }
+                }
+            }
         }
     }
 
@@ -1210,6 +1445,54 @@ impl Session {
     /// The operator counters of the most recent query (for reports/tests).
     pub fn last_plan_stats(&self) -> Option<PlanStats> {
         self.last_plan.as_ref().map(|(_, s)| *s)
+    }
+
+    /// How the planner chose the most recent query's plan: canonical plan
+    /// string, estimated cost, considered alternatives, whether statistics
+    /// drove the choice, and whether it followed a drift-triggered refresh.
+    pub fn last_decision(&self) -> Option<&PlanChoiceRecord> {
+        self.last_decision.as_ref()
+    }
+
+    /// Render the planner's statistics catalog (REPL `:stats`): one block
+    /// per set with cardinality, staleness, key sketches, and observed
+    /// predicate selectivities.
+    pub fn render_stats(&self) -> String {
+        use std::fmt::Write as _;
+        let stats = self.db.planner_stats();
+        if stats.is_empty() {
+            return "(statistics catalog empty — enable with Database::enable_stats)".into();
+        }
+        let mut out = String::new();
+        for (goop, set) in &stats.sets {
+            let _ = writeln!(
+                out,
+                "set {goop}: cardinality={} updated_at={}{}",
+                set.cardinality,
+                set.updated_at,
+                if set.stale { " STALE" } else { "" },
+            );
+            for (path, sk) in &set.sketches {
+                let _ = writeln!(
+                    out,
+                    "  sketch {path}: total={} distinct={} fuzz={} points={}",
+                    sk.total,
+                    sk.distinct,
+                    sk.fuzz,
+                    sk.points.len(),
+                );
+            }
+            for (key, obs) in &set.predicates {
+                let _ = writeln!(
+                    out,
+                    "  pred {key}: {}/{} sel={:.4}",
+                    obs.rows_out,
+                    obs.rows_in,
+                    obs.selectivity().unwrap_or(0.0),
+                );
+            }
+        }
+        out
     }
 
     /// Run a block and render its result (the host-side display of §6's

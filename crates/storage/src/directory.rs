@@ -158,6 +158,27 @@ impl Directory {
     pub fn entry_count(&self) -> usize {
         self.tree.values().map(Vec::len).sum()
     }
+
+    /// The current numeric-key multiset: every [`DirKey::Num`] key, once per
+    /// open entry — the raw material for the planner's key-distribution
+    /// sketches. Non-numeric keys are skipped (sketches summarize numeric
+    /// distributions only).
+    pub fn current_num_keys(&self) -> Vec<f64> {
+        let mut out = Vec::new();
+        for (key, entries) in &self.tree {
+            if let DirKey::Num(stored) = key {
+                // Invert DirKey::num's total-order transform.
+                let bits = if stored >> 63 == 1 { stored & !(1u64 << 63) } else { !stored };
+                let x = f64::from_bits(bits);
+                for e in entries {
+                    if e.is_open() {
+                        out.push(x);
+                    }
+                }
+            }
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -231,6 +252,19 @@ mod tests {
         d.update(Goop(1), Some(DirKey::num(5.0)), t(9));
         assert_eq!(d.entry_count(), 1, "no churn on unchanged keys");
         assert_eq!(d.lookup_as_of(&DirKey::num(5.0), t(4)), vec![Goop(1)]);
+    }
+
+    #[test]
+    fn current_num_keys_inverts_the_transform() {
+        let mut d = dir();
+        d.update(Goop(1), Some(DirKey::num(-2.5)), t(1));
+        d.update(Goop(2), Some(DirKey::num(0.0)), t(1));
+        d.update(Goop(3), Some(DirKey::num(7.0)), t(1));
+        d.update(Goop(4), Some(DirKey::num(7.0)), t(1));
+        d.update(Goop(5), Some(DirKey::text("not a number")), t(1));
+        d.update(Goop(3), None, t(5)); // closed entries don't count
+        let keys = d.current_num_keys();
+        assert_eq!(keys, vec![-2.5, 0.0, 7.0], "sorted, open, numeric only");
     }
 
     #[test]

@@ -107,6 +107,49 @@ impl ConflictProfile {
 /// Heat entries kept per conflict table (objects, tracks).
 const CONFLICT_HEAT_TOP_N: usize = 32;
 
+/// One recorded `PlanDrift` episode: an operator whose actual row count
+/// missed the planner's estimate past the drift threshold.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DriftEpisode {
+    pub session: u64,
+    pub label: String,
+    pub plan: String,
+    pub op: u64,
+    pub est: u64,
+    pub actual: u64,
+    pub err_pct: i64,
+}
+
+/// Planner health distilled from the statistics events: how often the
+/// cost model actually drove choices, which statements keep missing
+/// their estimates, how fresh each set's statistics are, and the most
+/// recent drift episodes.
+#[derive(Clone, Debug, PartialEq, Eq, Default)]
+pub struct PlannerProfile {
+    pub choices: u64,
+    pub cost_based: u64,
+    pub replans: u64,
+    pub stats_updates: u64,
+    /// `(statement label, worst |err_pct|, drift episodes)` worst first,
+    /// bounded at the planner top-N.
+    pub worst_statements: Vec<(String, i64, u64)>,
+    /// `(set goop, refreshes, last recorded cardinality)` most-refreshed
+    /// first, bounded at the planner top-N.
+    pub set_refreshes: Vec<(u64, u64, u64)>,
+    /// The most recent drift episodes, oldest first, bounded at the
+    /// planner top-N.
+    pub drift_episodes: Vec<DriftEpisode>,
+}
+
+impl PlannerProfile {
+    fn is_empty(&self) -> bool {
+        self == &PlannerProfile::default()
+    }
+}
+
+/// Entries kept per planner-health table.
+const PLANNER_TOP_N: usize = 10;
+
 /// The last recorded recovery pass.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct RecoverySummary {
@@ -150,6 +193,8 @@ pub struct DiagnosticBundle {
     pub effects: EffectProfile,
     /// Conflict forensics (all zeros when no conflicts were recorded).
     pub conflicts: ConflictProfile,
+    /// Planner health distilled from the statistics events.
+    pub planner: PlannerProfile,
     pub recovery: Option<RecoverySummary>,
     /// The journal replayed through a fresh registry.
     pub replayed: MetricsSnapshot,
@@ -231,6 +276,59 @@ impl DiagnosticBundle {
             conflicts.object_heat = top_heat(obj);
             conflicts.track_heat = top_heat(trk);
         }
+        let mut planner = PlannerProfile::default();
+        {
+            let mut refreshes: HashMap<u64, (u64, u64)> = HashMap::new();
+            let mut worst: HashMap<String, (i64, u64)> = HashMap::new();
+            for e in events {
+                match e {
+                    JournalEvent::StatsUpdate { set, cardinality, .. } => {
+                        planner.stats_updates += 1;
+                        let slot = refreshes.entry(*set).or_default();
+                        slot.0 += 1;
+                        slot.1 = *cardinality;
+                    }
+                    JournalEvent::PlanChoice { cost_based, replan, .. } => {
+                        planner.choices += 1;
+                        if *cost_based {
+                            planner.cost_based += 1;
+                        }
+                        if *replan {
+                            planner.replans += 1;
+                        }
+                    }
+                    JournalEvent::PlanDrift { session, label, plan, op, est, actual, err_pct } => {
+                        let slot = worst.entry(label.clone()).or_default();
+                        slot.0 = slot.0.max(err_pct.abs());
+                        slot.1 += 1;
+                        planner.drift_episodes.push(DriftEpisode {
+                            session: *session,
+                            label: label.clone(),
+                            plan: plan.clone(),
+                            op: *op,
+                            est: *est,
+                            actual: *actual,
+                            err_pct: *err_pct,
+                        });
+                    }
+                    _ => {}
+                }
+            }
+            if planner.drift_episodes.len() > PLANNER_TOP_N {
+                let skip = planner.drift_episodes.len() - PLANNER_TOP_N;
+                planner.drift_episodes.drain(..skip);
+            }
+            planner.worst_statements = worst.into_iter().map(|(l, (e, n))| (l, e, n)).collect();
+            planner
+                .worst_statements
+                .sort_by(|a, b| b.1.cmp(&a.1).then(b.2.cmp(&a.2)).then(a.0.cmp(&b.0)));
+            planner.worst_statements.truncate(PLANNER_TOP_N);
+            let mut sets: Vec<(u64, u64, u64)> =
+                refreshes.into_iter().map(|(s, (n, c))| (s, n, c)).collect();
+            sets.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            sets.truncate(PLANNER_TOP_N);
+            planner.set_refreshes = sets;
+        }
         let recovery = events.iter().rev().find_map(|e| match e {
             JournalEvent::Recovery {
                 roots_considered,
@@ -266,6 +364,7 @@ impl DiagnosticBundle {
             slow_statements: slow,
             effects,
             conflicts,
+            planner,
             recovery,
             replayed,
             replay_matches_live,
@@ -413,6 +512,37 @@ impl DiagnosticBundle {
                 let _ = writeln!(out, "  hottest tracks: {}", per.join(", "));
             }
         }
+        if !self.planner.is_empty() {
+            let p = &self.planner;
+            let _ = writeln!(out, "\nplanner health:");
+            let _ = writeln!(
+                out,
+                "  {} plan choices ({} cost-based, {} replans), {} stats refreshes",
+                p.choices, p.cost_based, p.replans, p.stats_updates
+            );
+            if !p.worst_statements.is_empty() {
+                let _ = writeln!(out, "  worst statements by estimate error:");
+                for (label, err, n) in &p.worst_statements {
+                    let _ =
+                        writeln!(out, "    {:>6}% err ×{}  {}", err, n, label.replace('\n', "⏎"));
+                }
+            }
+            if !p.set_refreshes.is_empty() {
+                let per: Vec<String> = p
+                    .set_refreshes
+                    .iter()
+                    .map(|(s, n, c)| format!("goop {s} ×{n} (card {c})"))
+                    .collect();
+                let _ = writeln!(out, "  stats freshness: {}", per.join(", "));
+            }
+            for d in &p.drift_episodes {
+                let _ = writeln!(
+                    out,
+                    "  drift: [session {}] op {} est {} actual {} ({}%) in {}",
+                    d.session, d.op, d.est, d.actual, d.err_pct, d.plan
+                );
+            }
+        }
         if let Some(r) = &self.recovery {
             let _ = writeln!(
                 out,
@@ -523,6 +653,51 @@ impl DiagnosticBundle {
                 c.watermark,
                 heat(&c.object_heat, "goop"),
                 heat(&c.track_heat, "track")
+            );
+        }
+        {
+            let p = &self.planner;
+            let worst: Vec<String> = p
+                .worst_statements
+                .iter()
+                .map(|(l, e, n)| {
+                    format!("{{\"label\":\"{}\",\"worst_err_pct\":{e},\"episodes\":{n}}}", esc(l))
+                })
+                .collect();
+            let sets: Vec<String> = p
+                .set_refreshes
+                .iter()
+                .map(|(s, n, c)| format!("{{\"set\":{s},\"refreshes\":{n},\"cardinality\":{c}}}"))
+                .collect();
+            let drifts: Vec<String> = p
+                .drift_episodes
+                .iter()
+                .map(|d| {
+                    format!(
+                        "{{\"session\":{},\"label\":\"{}\",\"plan\":\"{}\",\"op\":{},\
+                         \"est\":{},\"actual\":{},\"err_pct\":{}}}",
+                        d.session,
+                        esc(&d.label),
+                        esc(&d.plan),
+                        d.op,
+                        d.est,
+                        d.actual,
+                        d.err_pct
+                    )
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "  \"planner\": {{\"choices\":{},\"cost_based\":{},\"replans\":{},\
+                 \"stats_updates\":{},\"worst_statements\":[{}],\"set_refreshes\":[{}],\
+                 \"drift_episodes\":[{}]}},",
+                p.choices,
+                p.cost_based,
+                p.replans,
+                p.stats_updates,
+                worst.join(","),
+                sets.join(","),
+                drifts.join(",")
             );
         }
         match &self.recovery {
@@ -870,6 +1045,108 @@ mod tests {
         // A conflict-free journal keeps the section out entirely.
         let quiet = DiagnosticBundle::build(&readout(vec![JournalEvent::TxnBegin]), None, "t");
         assert!(!quiet.render().contains("conflict forensics"));
+    }
+
+    #[test]
+    fn planner_profile_ranks_statements_and_keeps_drift_episodes() {
+        let events = vec![
+            JournalEvent::StatsUpdate {
+                set: 40,
+                path: "Cust".into(),
+                cardinality: 100,
+                total: 100,
+                distinct: 5,
+                fuzz: 0,
+                points: "1:20".into(),
+            },
+            JournalEvent::StatsUpdate {
+                set: 40,
+                path: "Cust".into(),
+                cardinality: 140,
+                total: 140,
+                distinct: 5,
+                fuzz: 0,
+                points: "1:28".into(),
+            },
+            JournalEvent::StatsUpdate {
+                set: 55,
+                path: String::new(),
+                cardinality: 7,
+                total: 0,
+                distinct: 0,
+                fuzz: 0,
+                points: String::new(),
+            },
+            JournalEvent::PlanChoice {
+                session: 1,
+                label: "orders detect".into(),
+                chosen: "HashJoin(Scan,Scan)".into(),
+                cost_milli: 140_000,
+                alternatives: 6,
+                cost_based: true,
+                replan: false,
+            },
+            JournalEvent::PlanDrift {
+                session: 1,
+                label: "orders detect".into(),
+                plan: "HashJoin(Scan,Scan)".into(),
+                op: 2,
+                est: 4,
+                actual: 64,
+                err_pct: -94,
+            },
+            JournalEvent::PlanDrift {
+                session: 1,
+                label: "regions sweep".into(),
+                plan: "NestJoin(Scan,IndexScan)".into(),
+                op: 1,
+                est: 80,
+                actual: 5,
+                err_pct: 1500,
+            },
+            JournalEvent::PlanChoice {
+                session: 1,
+                label: "orders detect".into(),
+                chosen: "HashJoin(Scan,IndexScan)".into(),
+                cost_milli: 12_000,
+                alternatives: 6,
+                cost_based: true,
+                replan: true,
+            },
+        ];
+        let b = DiagnosticBundle::build(&readout(events), None, "test");
+        let p = &b.planner;
+        assert_eq!((p.choices, p.cost_based, p.replans, p.stats_updates), (2, 2, 1, 3));
+        assert_eq!(
+            p.worst_statements,
+            vec![("regions sweep".into(), 1500, 1), ("orders detect".into(), 94, 1)],
+            "worst |err_pct| first"
+        );
+        assert_eq!(
+            p.set_refreshes,
+            vec![(40, 2, 140), (55, 1, 7)],
+            "most-refreshed first, last cardinality kept"
+        );
+        assert_eq!(p.drift_episodes.len(), 2);
+        assert_eq!(p.drift_episodes[0].label, "orders detect", "episodes stay in journal order");
+        let text = b.render();
+        assert!(
+            text.contains("2 plan choices (2 cost-based, 1 replans), 3 stats refreshes"),
+            "{text}"
+        );
+        assert!(text.contains("1500% err ×1  regions sweep"), "{text}");
+        assert!(text.contains("goop 40 ×2 (card 140)"), "{text}");
+        assert!(text.contains("drift: [session 1] op 2 est 4 actual 64 (-94%)"), "{text}");
+        let json = b.to_json();
+        assert!(
+            json.contains("\"planner\": {\"choices\":2,\"cost_based\":2,\"replans\":1"),
+            "{json}"
+        );
+        assert!(json.contains("{\"set\":40,\"refreshes\":2,\"cardinality\":140}"), "{json}");
+        assert!(json.contains("\"plan\":\"NestJoin(Scan,IndexScan)\""), "{json}");
+        // A journal without planner events keeps the section out entirely.
+        let quiet = DiagnosticBundle::build(&readout(vec![JournalEvent::TxnBegin]), None, "t");
+        assert!(!quiet.render().contains("planner health"));
     }
 
     #[test]

@@ -38,11 +38,20 @@ use std::sync::{Arc, Mutex};
 /// histograms) and the `fsync_latency` event (per-barrier duration
 /// feeding `storage.disk.fsync_us`).
 ///
+/// v4: the statistics observatory and cost-based planner — the
+/// `stats_update` event (one refreshed key-distribution sketch, wire
+/// form included so replay round-trips the sketch bytes exactly), the
+/// `plan_choice` event (which plan the cost model picked, how many
+/// alternatives it weighed, and whether the choice was a drift-forced
+/// re-plan) and the `plan_drift` event (an analyzed operator whose
+/// actual cardinality strayed past the drift threshold from its
+/// estimate).
+///
 /// The reader is version-aware: it accepts any segment whose header
 /// version is in [`JOURNAL_SCHEMA_MIN`]`..=JOURNAL_SCHEMA`, but rejects
 /// an event under a header too old to have defined it (a v3-only event
 /// in a v2 segment is corruption, not forward compatibility).
-pub const JOURNAL_SCHEMA: u64 = 3;
+pub const JOURNAL_SCHEMA: u64 = 4;
 
 /// Oldest journal schema version this build's reader still replays.
 pub const JOURNAL_SCHEMA_MIN: u64 = 2;
@@ -240,6 +249,65 @@ pub enum JournalEvent {
     /// One wholesale effect-cache invalidation at a method install
     /// (`opal.effects.invalidations`).
     EffectInvalidate,
+    /// One refreshed statistics sketch (v4): a per-directory
+    /// key-distribution histogram rebuilt at commit time
+    /// (`calculus.stats.updates`). `points` is the sketch's exact wire
+    /// encoding (bit-exact f64 keys), so a replayed journal carries the
+    /// same statistics the planner saw.
+    StatsUpdate {
+        /// Object identity of the statistics' collection.
+        set: u64,
+        /// Canonical indexed-path key (`stats::path_key`), or `""` for a
+        /// cardinality-only refresh of an unindexed set.
+        path: String,
+        /// Set cardinality at refresh time.
+        cardinality: u64,
+        /// Keys summarized by the sketch.
+        total: u64,
+        /// Distinct-key estimate.
+        distinct: u64,
+        /// Documented rank-error bound of the sketch.
+        fuzz: u64,
+        /// `KeySketch::encode_points` wire form (exact round-trip).
+        points: String,
+    },
+    /// One planning decision (v4): the canonical plan string the
+    /// translator chose and what it weighed (`calculus.plan.choices`,
+    /// `.cost_based`, `.replans`).
+    PlanChoice {
+        session: u64,
+        /// Statement label (as in [`JournalEvent::Statement`]).
+        label: String,
+        /// Canonical string of the chosen plan.
+        chosen: String,
+        /// Estimated cost of the chosen plan, in milli-row-visits.
+        cost_milli: u64,
+        /// How many distinct alternatives the cost model compared.
+        alternatives: u64,
+        /// False when statistics were absent and the historical fixed
+        /// plan shape was kept.
+        cost_based: bool,
+        /// True when this choice re-planned a statement after drift.
+        replan: bool,
+    },
+    /// One estimate-vs-actual miss past the drift threshold (v4):
+    /// the worst analyzed operator of a statement strayed from its
+    /// cardinality estimate (`calculus.plan.drift`). The next execution
+    /// of the statement re-plans with fresh statistics.
+    PlanDrift {
+        session: u64,
+        label: String,
+        /// Canonical string of the drifted plan.
+        plan: String,
+        /// Pre-order index of the worst operator.
+        op: u64,
+        /// Planner's cardinality estimate for that operator.
+        est: u64,
+        /// Observed rows-out.
+        actual: u64,
+        /// Signed error percentage (`est_err_pct`).
+        err_pct: i64,
+    },
     /// One recovery pass (the `storage.recovery.*` gauges).
     Recovery {
         roots_considered: u64,
@@ -372,6 +440,29 @@ impl JournalEvent {
             }
             EffectCommit => "{\"e\":\"effect_commit\"}".to_string(),
             EffectInvalidate => "{\"e\":\"effect_invalidate\"}".to_string(),
+            StatsUpdate { set, path, cardinality, total, distinct, fuzz, points } => format!(
+                "{{\"e\":\"stats_update\",\"set\":{set},\"path\":\"{}\",\
+                 \"cardinality\":{cardinality},\"total\":{total},\"distinct\":{distinct},\
+                 \"fuzz\":{fuzz},\"points\":\"{}\"}}",
+                esc(path),
+                esc(points)
+            ),
+            PlanChoice { session, label, chosen, cost_milli, alternatives, cost_based, replan } => {
+                format!(
+                    "{{\"e\":\"plan_choice\",\"session\":{session},\"label\":\"{}\",\
+                     \"chosen\":\"{}\",\"cost_milli\":{cost_milli},\
+                     \"alternatives\":{alternatives},\"cost_based\":{cost_based},\
+                     \"replan\":{replan}}}",
+                    esc(label),
+                    esc(chosen)
+                )
+            }
+            PlanDrift { session, label, plan, op, est, actual, err_pct } => format!(
+                "{{\"e\":\"plan_drift\",\"session\":{session},\"label\":\"{}\",\"plan\":\"{}\",\
+                 \"op\":{op},\"est\":{est},\"actual\":{actual},\"err_pct\":{err_pct}}}",
+                esc(label),
+                esc(plan)
+            ),
             Recovery {
                 roots_considered,
                 roots_valid,
@@ -506,6 +597,33 @@ impl JournalEvent {
             "effect_classify" => JournalEvent::EffectClassify { static_ro: obj.bool("static_ro")? },
             "effect_commit" => JournalEvent::EffectCommit,
             "effect_invalidate" => JournalEvent::EffectInvalidate,
+            "stats_update" => JournalEvent::StatsUpdate {
+                set: obj.u64("set")?,
+                path: obj.str("path")?,
+                cardinality: obj.u64("cardinality")?,
+                total: obj.u64("total")?,
+                distinct: obj.u64("distinct")?,
+                fuzz: obj.u64("fuzz")?,
+                points: obj.str("points")?,
+            },
+            "plan_choice" => JournalEvent::PlanChoice {
+                session: obj.u64("session")?,
+                label: obj.str("label")?,
+                chosen: obj.str("chosen")?,
+                cost_milli: obj.u64("cost_milli")?,
+                alternatives: obj.u64("alternatives")?,
+                cost_based: obj.bool("cost_based")?,
+                replan: obj.bool("replan")?,
+            },
+            "plan_drift" => JournalEvent::PlanDrift {
+                session: obj.u64("session")?,
+                label: obj.str("label")?,
+                plan: obj.str("plan")?,
+                op: obj.u64("op")?,
+                est: obj.u64("est")?,
+                actual: obj.u64("actual")?,
+                err_pct: obj.i64("err_pct")?,
+            },
             "recovery" => JournalEvent::Recovery {
                 roots_considered: obj.u64("roots_considered")?,
                 roots_valid: obj.u64("roots_valid")?,
@@ -526,6 +644,9 @@ impl JournalEvent {
     /// The oldest schema version that defines this event.
     fn min_schema(&self) -> u64 {
         match self {
+            JournalEvent::StatsUpdate { .. }
+            | JournalEvent::PlanChoice { .. }
+            | JournalEvent::PlanDrift { .. } => 4,
             JournalEvent::TxnConflict { .. }
             | JournalEvent::CommitTimeline { .. }
             | JournalEvent::FsyncLatency { .. } => 3,
@@ -666,6 +787,17 @@ impl JournalEvent {
             }
             EffectCommit => r.counter("opal.effects.static_ro_commits").inc(),
             EffectInvalidate => r.counter("opal.effects.invalidations").inc(),
+            StatsUpdate { .. } => r.counter("calculus.stats.updates").inc(),
+            PlanChoice { cost_based, replan, .. } => {
+                r.counter("calculus.plan.choices").inc();
+                if *cost_based {
+                    r.counter("calculus.plan.cost_based").inc();
+                }
+                if *replan {
+                    r.counter("calculus.plan.replans").inc();
+                }
+            }
+            PlanDrift { .. } => r.counter("calculus.plan.drift").inc(),
             Recovery {
                 roots_considered,
                 roots_valid,
@@ -1282,6 +1414,42 @@ mod tests {
                 publish_us: 5,
             },
             JournalEvent::FsyncLatency { us: 480, backend: "file".into() },
+            JournalEvent::StatsUpdate {
+                set: 4096,
+                path: "s3.i0".into(),
+                cardinality: 100,
+                total: 100,
+                distinct: 10,
+                fuzz: 0,
+                points: "4059000000000000:5a,4024000000000000:a".into(),
+            },
+            JournalEvent::PlanChoice {
+                session: 2,
+                label: "Emp select: [:e | e dept = 7]".into(),
+                chosen: "hash-join[v1=v0](scan v1, scan v0)".into(),
+                cost_milli: 123_500,
+                alternatives: 4,
+                cost_based: true,
+                replan: false,
+            },
+            JournalEvent::PlanChoice {
+                session: 2,
+                label: "no stats".into(),
+                chosen: "scan v0".into(),
+                cost_milli: 1000,
+                alternatives: 1,
+                cost_based: false,
+                replan: true,
+            },
+            JournalEvent::PlanDrift {
+                session: 2,
+                label: "Emp select: [:e | e dept = 7]".into(),
+                plan: "select(scan v0)".into(),
+                op: 1,
+                est: 3,
+                actual: 90,
+                err_pct: 2900,
+            },
             JournalEvent::TxnCommit,
             JournalEvent::Recovery {
                 roots_considered: 2,
@@ -1336,6 +1504,11 @@ mod tests {
         assert_eq!(s.counter("opal.effects.stmts_static_ro"), 1);
         assert_eq!(s.counter("opal.effects.static_ro_commits"), 1);
         assert_eq!(s.counter("opal.effects.invalidations"), 1);
+        assert_eq!(s.counter("calculus.stats.updates"), 1);
+        assert_eq!(s.counter("calculus.plan.choices"), 2);
+        assert_eq!(s.counter("calculus.plan.cost_based"), 1);
+        assert_eq!(s.counter("calculus.plan.replans"), 1);
+        assert_eq!(s.counter("calculus.plan.drift"), 1);
         assert_eq!(s.gauge("storage.recovery.epoch"), 5);
         assert_eq!(s.histogram("storage.commit.group_tracks").unwrap().count, 1);
         assert_eq!(s.histogram("session.statement_ns").unwrap().sum, 1234);
@@ -1492,6 +1665,74 @@ mod tests {
         let err = Journal::read_from(&dir).unwrap_err();
         assert!(err.contains("unknown journal event \"fsync_latency\""), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A journal committed under schema v3 (the previous release) must
+    /// still replay, byte-exact, after the v4 bump: the v3 event set is a
+    /// strict subset of v4 and the replay rules for it are unchanged.
+    #[test]
+    fn v3_fixture_replays_byte_exact_under_v4_reader() {
+        let dir = temp_dir("v3-compat");
+        std::fs::write(
+            dir.join("journal-00000001.jsonl"),
+            concat!(
+                "{\"e\":\"header\",\"v\":3,\"seq\":1}\n",
+                "{\"e\":\"txn_begin\"}\n",
+                "{\"e\":\"txn_abort\",\"conflict\":true}\n",
+                "{\"e\":\"txn_conflict\",\"kind\":\"overlap\",\"session\":2,\"start\":10,\
+                 \"culprit_time\":12,\"culprit_session\":1,\"goops\":[77],\"tracks\":[3]}\n",
+                "{\"e\":\"commit_timeline\",\"session\":2,\"snapshot_age_us\":1500,\
+                 \"validation_us\":40,\"safe_write_us\":900,\"fsync_us\":600,\
+                 \"publish_us\":5}\n",
+                "{\"e\":\"fsync_latency\",\"us\":480,\"backend\":\"file\"}\n",
+                "{\"e\":\"txn_commit\"}\n",
+            ),
+        )
+        .unwrap();
+        let readout = Journal::read_from(&dir).unwrap();
+        assert!(readout.complete);
+        assert_eq!(readout.events.len(), 6);
+
+        // The same moves made live must match the replay byte-for-byte.
+        let live = MetricsRegistry::new();
+        live.counter("txn.begins").inc();
+        live.counter("txn.aborts").inc();
+        live.counter("txn.conflicts").inc();
+        live.histogram("commit.phase.snapshot_age_us").record(1500);
+        live.histogram("commit.phase.validation_us").record(40);
+        live.histogram("commit.phase.safe_write_us").record(900);
+        live.histogram("commit.phase.fsync_us").record(600);
+        live.histogram("commit.phase.publish_us").record(5);
+        live.histogram("storage.disk.fsync_us").record(480);
+        live.counter("txn.commits").inc();
+        let replayed = replay(&readout.events).snapshot();
+        assert_eq!(replayed.to_json_lines(), live.snapshot().to_json_lines());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A v4-only event under a v3 segment header is corruption, not
+    /// forward compatibility: within one schema version the event set is
+    /// closed, so the reader refuses it with the unknown-event error.
+    #[test]
+    fn v4_event_under_v3_header_is_rejected() {
+        for line in [
+            "{\"e\":\"stats_update\",\"set\":1,\"path\":\"s3\",\"cardinality\":9,\"total\":9,\
+             \"distinct\":3,\"fuzz\":0,\"points\":\"\"}",
+            "{\"e\":\"plan_choice\",\"session\":1,\"label\":\"q\",\"chosen\":\"scan v0\",\
+             \"cost_milli\":1000,\"alternatives\":1,\"cost_based\":false,\"replan\":false}",
+            "{\"e\":\"plan_drift\",\"session\":1,\"label\":\"q\",\"plan\":\"scan v0\",\"op\":0,\
+             \"est\":1,\"actual\":50,\"err_pct\":4900}",
+        ] {
+            let dir = temp_dir("v4-in-v3");
+            std::fs::write(
+                dir.join("journal-00000001.jsonl"),
+                format!("{{\"e\":\"header\",\"v\":3,\"seq\":1}}\n{line}\n"),
+            )
+            .unwrap();
+            let err = Journal::read_from(&dir).unwrap_err();
+            assert!(err.contains("unknown journal event"), "{err}");
+            let _ = std::fs::remove_dir_all(&dir);
+        }
     }
 
     #[test]

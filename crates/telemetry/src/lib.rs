@@ -28,8 +28,8 @@ mod ring;
 mod trace;
 
 pub use bundle::{
-    CacheSweepPoint, ConflictProfile, DiagnosticBundle, EffectProfile, RecoverySummary, SlowEntry,
-    TrackHeat,
+    CacheSweepPoint, ConflictProfile, DiagnosticBundle, DriftEpisode, EffectProfile,
+    PlannerProfile, RecoverySummary, SlowEntry, TrackHeat,
 };
 pub use clock::{ManualTime, TelemetryClock};
 pub use journal::{

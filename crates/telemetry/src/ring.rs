@@ -63,6 +63,9 @@ pub struct AnomalyThresholds {
     pub cache_hit_pct: f64,
     /// …with at least this many cache accesses in the window.
     pub min_cache_accesses: u64,
+    /// Plan drift: at least this many `PlanDrift` episodes in the window
+    /// (sustained estimate misses, not a single cold-stats outlier).
+    pub min_plan_drifts: u64,
 }
 
 impl Default for AnomalyThresholds {
@@ -74,6 +77,7 @@ impl Default for AnomalyThresholds {
             min_fsyncs: 8,
             cache_hit_pct: 50.0,
             min_cache_accesses: 64,
+            min_plan_drifts: 2,
         }
     }
 }
@@ -108,6 +112,10 @@ pub struct WindowStats {
     pub fsync_p50_us: u64,
     pub fsync_p99_us: u64,
     pub statements_per_s: f64,
+    /// `PlanDrift` episodes journaled inside the window.
+    pub plan_drifts: u64,
+    /// Planning decisions taken inside the window.
+    pub plan_choices: u64,
 }
 
 impl WindowStats {
@@ -148,6 +156,8 @@ impl WindowStats {
             fsync_p50_us: fsync.map(|h| h.quantile(0.50)).unwrap_or(0),
             fsync_p99_us: fsync.map(|h| h.quantile(0.99)).unwrap_or(0),
             statements_per_s: per_s(d.counter("session.statements")),
+            plan_drifts: d.counter("calculus.plan.drift"),
+            plan_choices: d.counter("calculus.plan.choices"),
         }
     }
 }
@@ -162,6 +172,9 @@ pub enum Anomaly {
     FsyncStall { p99_us: u64, fsyncs: u64 },
     /// The track cache stopped absorbing reads.
     CacheThrash { hit_pct: f64, accesses: u64 },
+    /// The planner's cardinality estimates keep missing: sustained
+    /// `PlanDrift` episodes inside one window.
+    PlanDrift { drifts: u64, choices: u64 },
 }
 
 impl Anomaly {
@@ -171,6 +184,7 @@ impl Anomaly {
             Anomaly::AbortStorm { .. } => "abort-storm",
             Anomaly::FsyncStall { .. } => "fsync-stall",
             Anomaly::CacheThrash { .. } => "cache-thrash",
+            Anomaly::PlanDrift { .. } => "plan-drift",
         }
     }
 
@@ -186,6 +200,9 @@ impl Anomaly {
             Anomaly::CacheThrash { hit_pct, accesses } => {
                 format!("cache thrash: {hit_pct:.0}% hit rate over {accesses} accesses")
             }
+            Anomaly::PlanDrift { drifts, choices } => {
+                format!("plan drift: {drifts} drift episodes over {choices} plan choices")
+            }
         }
     }
 
@@ -194,6 +211,7 @@ impl Anomaly {
             Anomaly::AbortStorm { .. } => 1,
             Anomaly::FsyncStall { .. } => 2,
             Anomaly::CacheThrash { .. } => 4,
+            Anomaly::PlanDrift { .. } => 8,
         }
     }
 }
@@ -355,6 +373,9 @@ impl Observatory {
         if mask & 4 != 0 {
             out.push("cache-thrash");
         }
+        if mask & 8 != 0 {
+            out.push("plan-drift");
+        }
         out
     }
 }
@@ -385,6 +406,9 @@ pub fn detect(stats: &WindowStats, t: &AnomalyThresholds) -> Vec<Anomaly> {
             hit_pct: stats.cache_hit_pct,
             accesses: stats.cache_hits + stats.cache_misses,
         });
+    }
+    if stats.plan_drifts >= t.min_plan_drifts {
+        out.push(Anomaly::PlanDrift { drifts: stats.plan_drifts, choices: stats.plan_choices });
     }
     out
 }
@@ -490,5 +514,31 @@ mod tests {
         s.cache_hits = 1;
         s.cache_misses = 2;
         assert!(detect(&s, &t).is_empty(), "denominator floors suppress quiet windows");
+    }
+
+    #[test]
+    fn plan_drift_detects_and_edge_triggers() {
+        let t = AnomalyThresholds::default();
+        let s = WindowStats { plan_drifts: 3, plan_choices: 12, ..WindowStats::default() };
+        let found = detect(&s, &t);
+        assert_eq!(found.len(), 1, "{found:?}");
+        assert_eq!(found[0].slug(), "plan-drift");
+        assert!(found[0].describe().contains("3 drift episodes"), "{}", found[0].describe());
+        let calm = WindowStats { plan_drifts: 1, plan_choices: 50, ..WindowStats::default() };
+        assert!(detect(&calm, &t).is_empty(), "a single cold-stats miss is not sustained drift");
+
+        // Through the observatory: sustained drift fires once, then re-arms.
+        let o = Observatory::disabled();
+        let r = MetricsRegistry::new();
+        o.enable(cfg(1));
+        o.tick(&r, 1_000_000);
+        r.counter("calculus.plan.drift").add(3);
+        r.counter("calculus.plan.choices").add(10);
+        let fired = o.tick(&r, 2_000_000);
+        assert_eq!(fired.len(), 1);
+        assert_eq!(fired[0].slug(), "plan-drift");
+        assert_eq!(o.active_anomalies(), vec!["plan-drift"]);
+        assert!(o.tick(&r, 3_000_000).is_empty(), "calm window clears it");
+        assert!(o.active_anomalies().is_empty());
     }
 }

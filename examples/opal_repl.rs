@@ -29,6 +29,8 @@
 //! :journal off             — stop it
 //! :doctor                  — render a diagnostic bundle from the journal
 //! :conflicts               — this session's last conflict + database heat
+//! :stats                   — the statistics catalog + last plan decision
+//! :stats on                — train the catalog and turn the planner cost-based
 //! ```
 
 use gemstone::{GemStone, JournalConfig, MetricsSnapshot};
@@ -156,6 +158,33 @@ fn main() {
             };
             heat(&s.by_object, "goop");
             heat(&s.by_track, "track");
+            continue;
+        }
+        if src == ":stats" || src == ":stats on" {
+            if src == ":stats on" {
+                match gs.database().enable_stats() {
+                    Ok(n) => {
+                        println!("  statistics on — {n} sketches trained; planner is cost-based.")
+                    }
+                    Err(e) => {
+                        println!("  !! {e}");
+                        continue;
+                    }
+                }
+            }
+            for l in session.render_stats().lines() {
+                println!("  {l}");
+            }
+            if let Some(d) = session.last_decision() {
+                println!(
+                    "  last plan: {} (est {:.0} row visits, {} alternatives{}{})",
+                    d.canon,
+                    d.est_cost,
+                    d.alternatives.len(),
+                    if d.cost_based { ", cost-based" } else { ", declaration order" },
+                    if d.replan { ", re-planned after drift" } else { "" }
+                );
+            }
             continue;
         }
         if src == ":doctor" {
